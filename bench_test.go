@@ -1,0 +1,309 @@
+package fastread
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastread/internal/core"
+	"fastread/internal/quorum"
+	"fastread/internal/sig"
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// The benchmarks below regenerate the quantitative comparisons of the
+// reproduction (see DESIGN.md §4 and EXPERIMENTS.md):
+//
+//   - Benchmark{Fast,ABD,MaxMin,Regular}Read and Benchmark*Write are the
+//     microbenchmark counterpart of experiment E7 (time complexity of reads
+//     and writes per protocol and system size).
+//   - BenchmarkByzantine* covers the arbitrary-failure algorithm (E3).
+//   - BenchmarkPredicate* is the ablation of the seen-set predicate
+//     evaluator called out in DESIGN.md §5.
+//   - BenchmarkWire* and BenchmarkSig* quantify the codec and signature
+//     substrates.
+//
+// Absolute numbers are machine-dependent; the shapes (fast ≈ regular,
+// ABD ≈ 2× message count per read, signature cost dominating the Byzantine
+// write path) are what the paper predicts.
+
+// benchCluster builds a cluster for benchmarking and fails the benchmark on
+// error.
+func benchCluster(b *testing.B, cfg Config) *Cluster {
+	b.Helper()
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		b.Fatalf("NewCluster: %v", err)
+	}
+	b.Cleanup(func() { _ = cluster.Close() })
+	return cluster
+}
+
+// benchCtx returns a long-lived context for benchmark operations.
+func benchCtx(b *testing.B) context.Context {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	b.Cleanup(cancel)
+	return ctx
+}
+
+// readProtocols lists the protocols compared by the read benchmarks.
+var readProtocols = []struct {
+	name  string
+	proto Protocol
+}{
+	{"Fast", ProtocolFast},
+	{"ABD", ProtocolABD},
+	{"MaxMin", ProtocolMaxMin},
+	{"Regular", ProtocolRegular},
+}
+
+// benchmarkRead measures a single reader issuing reads back to back.
+func benchmarkRead(b *testing.B, proto Protocol, servers int) {
+	b.Helper()
+	cluster := benchCluster(b, Config{Servers: servers, Faulty: 1, Readers: 1, Protocol: proto})
+	ctx := benchCtx(b)
+	if err := cluster.Writer().Write(ctx, []byte("bench-value")); err != nil {
+		b.Fatalf("seed write: %v", err)
+	}
+	reader, err := cluster.Reader(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reader.Read(ctx); err != nil {
+			b.Fatalf("read: %v", err)
+		}
+	}
+}
+
+// benchmarkWrite measures the writer issuing writes back to back.
+func benchmarkWrite(b *testing.B, proto Protocol, servers int) {
+	b.Helper()
+	cluster := benchCluster(b, Config{Servers: servers, Faulty: 1, Readers: 1, Protocol: proto})
+	ctx := benchCtx(b)
+	value := []byte("bench-value")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cluster.Writer().Write(ctx, value); err != nil {
+			b.Fatalf("write: %v", err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	for _, proto := range readProtocols {
+		for _, servers := range []int{4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/S=%d", proto.name, servers), func(b *testing.B) {
+				benchmarkRead(b, proto.proto, servers)
+			})
+		}
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	for _, proto := range readProtocols {
+		for _, servers := range []int{4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/S=%d", proto.name, servers), func(b *testing.B) {
+				benchmarkWrite(b, proto.proto, servers)
+			})
+		}
+	}
+}
+
+// BenchmarkReadWithNetworkDelay reproduces the latency table E7 in benchmark
+// form: with a uniform per-message delay the protocol's round-trip count is
+// directly visible in ns/op.
+func BenchmarkReadWithNetworkDelay(b *testing.B) {
+	const delay = 200 * time.Microsecond
+	for _, proto := range readProtocols {
+		b.Run(proto.name, func(b *testing.B) {
+			cluster := benchCluster(b, Config{
+				Servers: 5, Faulty: 1, Readers: 1, Protocol: proto.proto, NetworkDelay: delay,
+			})
+			ctx := benchCtx(b)
+			if err := cluster.Writer().Write(ctx, []byte("seed")); err != nil {
+				b.Fatal(err)
+			}
+			reader, err := cluster.Reader(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := reader.Read(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkByzantineFast covers the arbitrary-failure algorithm: the extra
+// cost over the crash-model register is one signature per write and one
+// verification per accepted acknowledgement.
+func BenchmarkByzantineFast(b *testing.B) {
+	cfg := Config{Servers: 8, Faulty: 1, Malicious: 1, Readers: 1, Protocol: ProtocolFastByzantine}
+	b.Run("Write", func(b *testing.B) {
+		cluster := benchCluster(b, cfg)
+		ctx := benchCtx(b)
+		value := []byte("signed-value")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cluster.Writer().Write(ctx, value); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Read", func(b *testing.B) {
+		cluster := benchCluster(b, cfg)
+		ctx := benchCtx(b)
+		if err := cluster.Writer().Write(ctx, []byte("signed-value")); err != nil {
+			b.Fatal(err)
+		}
+		reader, err := cluster.Reader(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := reader.Read(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPredicate is the DESIGN.md §5 ablation of the exact seen-set
+// predicate evaluator: cost as a function of the number of readers and of
+// the maxTS message count.
+func BenchmarkPredicate(b *testing.B) {
+	scenarios := []struct {
+		name    string
+		readers int
+		msgs    int
+	}{
+		{"R=1/msgs=3", 1, 3},
+		{"R=4/msgs=8", 4, 8},
+		{"R=8/msgs=16", 8, 16},
+		{"R=16/msgs=32", 16, 32},
+	}
+	for _, sc := range scenarios {
+		b.Run(sc.name, func(b *testing.B) {
+			cfg := quorum.Config{Servers: sc.msgs * 2, Faulty: 1, Readers: sc.readers}
+			acks := make([]core.SeenAck, sc.msgs)
+			for i := range acks {
+				seen := types.NewProcessSet(types.Writer())
+				for r := 1; r <= sc.readers; r++ {
+					if (i+r)%2 == 0 {
+						seen.Add(types.Reader(r))
+					}
+				}
+				acks[i] = core.SeenAck{Server: types.Server(i + 1), Seen: seen}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EvaluatePredicate(cfg, acks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireCodec quantifies the message codec substrate.
+func BenchmarkWireCodec(b *testing.B) {
+	msg := &wire.Message{
+		Op:       wire.OpReadAck,
+		TS:       12345,
+		Cur:      types.Value("a realistic register value payload"),
+		Prev:     types.Value("the immediately preceding value"),
+		Seen:     []types.ProcessID{types.Writer(), types.Reader(1), types.Reader(2), types.Reader(3)},
+		RCounter: 42,
+	}
+	encoded := wire.MustEncode(msg)
+	b.Run("Encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Encode(msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Decode(encoded); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSignatures quantifies the signature substrate used by the
+// arbitrary-failure algorithm (one Sign per write, one Verify per accepted
+// acknowledgement).
+func BenchmarkSignatures(b *testing.B) {
+	kp := sig.MustKeyPair()
+	cur := types.Value("a realistic register value payload")
+	prev := types.Value("the immediately preceding value")
+	signature := kp.Signer.MustSign(7, cur, prev)
+	b.Run("Sign", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := kp.Signer.Sign(7, cur, prev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Verify", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := kp.Verifier.Verify(7, cur, prev, signature); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentReaders measures aggregate read throughput with several
+// readers sharing the register, the regime where the paper's bound on R
+// matters.
+func BenchmarkConcurrentReaders(b *testing.B) {
+	for _, readers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("R=%d", readers), func(b *testing.B) {
+			servers := MinServersForFast(readers, 1, 0)
+			cluster := benchCluster(b, Config{Servers: servers, Faulty: 1, Readers: readers, Protocol: ProtocolFast})
+			ctx := benchCtx(b)
+			if err := cluster.Writer().Write(ctx, []byte("seed")); err != nil {
+				b.Fatal(err)
+			}
+			handles := cluster.Readers()
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Each parallel worker uses one of the reader handles,
+				// cycling through the available ones. Handles serialise
+				// their own operations, matching the model's one-operation-
+				// at-a-time clients.
+				idx := int(next.Add(1)-1) % len(handles)
+				reader := handles[idx]
+				for pb.Next() {
+					if _, err := reader.Read(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,33 @@
+package fastread
+
+import "fastread/internal/quorum"
+
+// FastReadPossible reports whether a fast SWMR atomic register implementation
+// exists for S servers, at most t faulty servers of which at most b are
+// malicious, and R readers: S > (R+2)·t + (R+1)·b. With b = 0 this is the
+// paper's crash-model bound R < S/t − 2.
+func FastReadPossible(servers, faulty, malicious, readers int) bool {
+	cfg := quorum.Config{Servers: servers, Faulty: faulty, Malicious: malicious, Readers: readers}
+	return cfg.FastReadPossible()
+}
+
+// MaxFastReaders returns the largest number of readers for which a fast
+// implementation exists with the given servers and failure bounds, or -1 if
+// no fast implementation exists even with zero readers.
+func MaxFastReaders(servers, faulty, malicious int) int {
+	return quorum.MaxFastReaders(servers, faulty, malicious)
+}
+
+// MinServersForFast returns the smallest number of servers for which a fast
+// implementation exists with the given readers and failure bounds.
+func MinServersForFast(readers, faulty, malicious int) int {
+	return quorum.MinServersForFast(readers, faulty, malicious)
+}
+
+// RegularPossible reports whether a fast SWMR regular register exists for the
+// given failure bounds (t < S/2 in the crash model, S > 2t + b in general),
+// irrespective of the number of readers.
+func RegularPossible(servers, faulty, malicious int) bool {
+	cfg := quorum.Config{Servers: servers, Faulty: faulty, Malicious: malicious}
+	return cfg.FastRegularPossible()
+}

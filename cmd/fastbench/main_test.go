@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list output missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-exp", "e5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "E5") || !strings.Contains(text, "naive fast MWMR") {
+		t.Errorf("unexpected output:\n%s", text)
+	}
+	if !strings.Contains(text, "completed 1 experiment(s)") {
+		t.Errorf("missing completion line:\n%s", text)
+	}
+}
+
+func TestRunMarkdownOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-markdown", "-exp", "E5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "| S |") {
+		t.Errorf("markdown table missing:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E42"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCrashConstructionBeyondBound(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-S", "4", "-t", "1", "-R", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "atomicity violation, as the paper predicts") {
+		t.Errorf("expected a violation verdict:\n%s", text)
+	}
+	if !strings.Contains(text, "schedule narrative:") {
+		t.Errorf("missing narrative:\n%s", text)
+	}
+}
+
+func TestRunCrashConstructionWithinBound(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-S", "7", "-t", "1", "-R", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "could not break atomicity") {
+		t.Errorf("expected a no-violation verdict:\n%s", out.String())
+	}
+}
+
+func TestRunByzantineConstruction(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-S", "7", "-t", "1", "-b", "1", "-R", "2", "-byz"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "atomicity violation, as the paper predicts") {
+		t.Errorf("expected a violation verdict:\n%s", out.String())
+	}
+}
+
+func TestRunNaiveReader(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-S", "7", "-t", "1", "-R", "2", "-reader", "naive"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "VIOLATED") {
+		t.Errorf("naive reader should be broken even within the bound:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadArguments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-reader", "nonsense"}, &out); err == nil {
+		t.Error("unknown reader kind accepted")
+	}
+	if err := run([]string{"-S", "3", "-t", "0", "-R", "2"}, &out); err == nil {
+		t.Error("t=0 construction accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

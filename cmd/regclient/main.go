@@ -1,0 +1,251 @@
+// Command regclient is the client-side companion of cmd/regserver: it acts
+// as the deployment's writer or as one of its readers over TCP.
+//
+//	regclient -id w  -book "$BOOK" -S 4 -t 1 -R 1 write "hello"
+//	regclient -id r1 -book "$BOOK" -S 4 -t 1 -R 1 read
+//	regclient -id r1 -book "$BOOK" -S 4 -t 1 -R 1 bench -ops 1000
+//
+// The deployment parameters (-S, -t, -b, -R) must match what the servers were
+// started with; the exact fast-read bound is checked locally before any
+// operation is attempted.
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fastread/internal/core"
+	"fastread/internal/quorum"
+	"fastread/internal/sig"
+	"fastread/internal/stats"
+	"fastread/internal/transport/tcpnet"
+	"fastread/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "regclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("regclient", flag.ContinueOnError)
+	var (
+		idFlag    = fs.String("id", "r1", "client identity: w for the writer, r1..rR for readers")
+		bookFlag  = fs.String("book", "", "address book: comma-separated id=host:port pairs")
+		servers   = fs.Int("S", 4, "number of servers")
+		faulty    = fs.Int("t", 1, "maximum faulty servers")
+		malicious = fs.Int("b", 0, "maximum malicious servers")
+		readers   = fs.Int("R", 1, "number of readers")
+		byz       = fs.Bool("byz", false, "use the arbitrary-failure variant")
+		keyHex    = fs.String("writer-key", "", "hex-encoded writer private seed (Byzantine writer) or public key (Byzantine reader)")
+		timeout   = fs.Duration("timeout", 5*time.Second, "per-operation timeout")
+		ops       = fs.Int("ops", 100, "operation count for the bench subcommand")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: regclient [flags] read | write <value> | bench")
+	}
+	command := fs.Arg(0)
+
+	id, err := types.ParseProcessID(*idFlag)
+	if err != nil {
+		return err
+	}
+	book, err := parseBook(*bookFlag)
+	if err != nil {
+		return err
+	}
+	cfg := quorum.Config{Servers: *servers, Faulty: *faulty, Malicious: *malicious, Readers: *readers}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if !cfg.FastReadPossible() {
+		return fmt.Errorf("configuration %v does not admit fast reads (max readers = %d)",
+			cfg, quorum.MaxFastReaders(*servers, *faulty, *malicious))
+	}
+
+	node, err := tcpnet.Listen(tcpnet.Config{Self: id, Book: book})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	ctx := context.Background()
+	switch {
+	case id.Role == types.RoleWriter:
+		writerCfg := core.WriterConfig{Quorum: cfg, Byzantine: *byz}
+		if *byz {
+			signer, err := signerFromHex(*keyHex)
+			if err != nil {
+				return err
+			}
+			writerCfg.Signer = signer
+		}
+		writer, err := core.NewWriter(writerCfg, node)
+		if err != nil {
+			return err
+		}
+		return runWriter(ctx, writer, command, fs.Args(), *timeout, *ops)
+	case id.Role == types.RoleReader:
+		readerCfg := core.ReaderConfig{Quorum: cfg, Byzantine: *byz}
+		if *byz {
+			verifier, err := verifierFromHex(*keyHex)
+			if err != nil {
+				return err
+			}
+			readerCfg.Verifier = verifier
+		}
+		reader, err := core.NewReader(readerCfg, node)
+		if err != nil {
+			return err
+		}
+		return runReader(ctx, reader, command, *timeout, *ops)
+	default:
+		return fmt.Errorf("-id must be the writer (w) or a reader (r1..rR)")
+	}
+}
+
+// runWriter executes the writer-side subcommands.
+func runWriter(ctx context.Context, writer *core.Writer, command string, args []string, timeout time.Duration, ops int) error {
+	switch command {
+	case "write":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: regclient ... write <value>")
+		}
+		opCtx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		start := time.Now()
+		if err := writer.Write(opCtx, types.Value(args[1])); err != nil {
+			return err
+		}
+		fmt.Printf("ok in %v (one round-trip)\n", time.Since(start).Round(time.Microsecond))
+		return nil
+	case "bench":
+		recorder := stats.NewLatencyRecorder(ops)
+		for i := 0; i < ops; i++ {
+			opCtx, cancel := context.WithTimeout(ctx, timeout)
+			start := time.Now()
+			err := writer.Write(opCtx, types.Value(fmt.Sprintf("bench-%d", i)))
+			cancel()
+			if err != nil {
+				return fmt.Errorf("write %d: %w", i, err)
+			}
+			recorder.Record(time.Since(start))
+		}
+		fmt.Printf("writes: %s\n", recorder.Summary())
+		return nil
+	default:
+		return fmt.Errorf("the writer supports: write <value> | bench")
+	}
+}
+
+// runReader executes the reader-side subcommands.
+func runReader(ctx context.Context, reader *core.Reader, command string, timeout time.Duration, ops int) error {
+	switch command {
+	case "read":
+		opCtx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		start := time.Now()
+		res, err := reader.Read(opCtx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("value=%s version=%d round-trips=%d latency=%v\n",
+			res.Value, res.Timestamp, res.RoundTrips, time.Since(start).Round(time.Microsecond))
+		return nil
+	case "bench":
+		recorder := stats.NewLatencyRecorder(ops)
+		for i := 0; i < ops; i++ {
+			opCtx, cancel := context.WithTimeout(ctx, timeout)
+			start := time.Now()
+			_, err := reader.Read(opCtx)
+			cancel()
+			if err != nil {
+				return fmt.Errorf("read %d: %w", i, err)
+			}
+			recorder.Record(time.Since(start))
+		}
+		fmt.Printf("reads: %s\n", recorder.Summary())
+		return nil
+	default:
+		return fmt.Errorf("readers support: read | bench")
+	}
+}
+
+// parseBook parses the id=addr,... address book flag.
+func parseBook(spec string) (tcpnet.AddressBook, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("an address book is required (-book id=host:port,...)")
+	}
+	book := make(tcpnet.AddressBook)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.SplitN(entry, "=", 2)
+		if len(parts) != 2 || parts[1] == "" {
+			return nil, fmt.Errorf("malformed address book entry %q", entry)
+		}
+		id, err := types.ParseProcessID(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, err
+		}
+		book[id] = strings.TrimSpace(parts[1])
+	}
+	return book, nil
+}
+
+// signerFromHex rebuilds the writer's signer from a hex-encoded ed25519 seed
+// produced by `regclient keygen` (not implemented here: any 32-byte seed).
+func signerFromHex(keyHex string) (*sig.Signer, error) {
+	if keyHex == "" {
+		return nil, fmt.Errorf("the Byzantine writer requires -writer-key (hex seed)")
+	}
+	// The Signer API is deliberately narrow; for the CLI we derive a key pair
+	// from the seed bytes via the deterministic reader in sig.NewKeyPair.
+	raw, err := hex.DecodeString(strings.TrimPrefix(keyHex, "0x"))
+	if err != nil {
+		return nil, err
+	}
+	kp, err := sig.NewKeyPair(seedReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	return kp.Signer, nil
+}
+
+// verifierFromHex rebuilds a verifier from a hex-encoded public key.
+func verifierFromHex(keyHex string) (sig.Verifier, error) {
+	if keyHex == "" {
+		return sig.Verifier{}, fmt.Errorf("the Byzantine reader requires -writer-key (hex public key)")
+	}
+	raw, err := hex.DecodeString(strings.TrimPrefix(keyHex, "0x"))
+	if err != nil {
+		return sig.Verifier{}, err
+	}
+	return sig.VerifierFromPublicKey(raw)
+}
+
+// seedReader turns a byte slice into an io.Reader that repeats it, giving
+// ed25519.GenerateKey the 32 bytes of entropy it needs deterministically.
+type seedReader []byte
+
+func (s seedReader) Read(p []byte) (int, error) {
+	if len(s) == 0 {
+		return 0, fmt.Errorf("empty seed")
+	}
+	for i := range p {
+		p[i] = s[i%len(s)]
+	}
+	return len(p), nil
+}

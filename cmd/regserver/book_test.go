@@ -1,0 +1,80 @@
+package main
+
+import (
+	"testing"
+
+	"fastread/internal/sig"
+	"fastread/internal/types"
+)
+
+func TestParseAddressBook(t *testing.T) {
+	book, err := ParseAddressBook("s1=127.0.0.1:7101, s2=127.0.0.1:7102 ,w=host:9,r1=10.0.0.2:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(book) != 4 {
+		t.Fatalf("len = %d, want 4", len(book))
+	}
+	if book[types.Server(1)] != "127.0.0.1:7101" {
+		t.Errorf("s1 = %q", book[types.Server(1)])
+	}
+	if book[types.Writer()] != "host:9" {
+		t.Errorf("w = %q", book[types.Writer()])
+	}
+	if book[types.Reader(1)] != "10.0.0.2:80" {
+		t.Errorf("r1 = %q", book[types.Reader(1)])
+	}
+}
+
+func TestParseAddressBookErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"s1",
+		"s1=",
+		"x9=127.0.0.1:1",
+		"s1=127.0.0.1:1,s1=127.0.0.1:2",
+		",",
+	}
+	for _, spec := range cases {
+		if _, err := ParseAddressBook(spec); err == nil {
+			t.Errorf("ParseAddressBook(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestDecodeHex(t *testing.T) {
+	got, err := decodeHex("0xdeadbeef")
+	if err != nil || len(got) != 4 || got[0] != 0xde {
+		t.Errorf("decodeHex with prefix: %v %v", got, err)
+	}
+	got, err = decodeHex("00ff")
+	if err != nil || len(got) != 2 || got[1] != 0xff {
+		t.Errorf("decodeHex without prefix: %v %v", got, err)
+	}
+	if _, err := decodeHex("zz"); err == nil {
+		t.Error("invalid hex accepted")
+	}
+}
+
+func TestParseVerifier(t *testing.T) {
+	if _, err := ParseVerifier(""); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := ParseVerifier("abcd"); err == nil {
+		t.Error("short key accepted")
+	}
+	kp := sig.MustKeyPair()
+	hexKey := ""
+	for _, b := range kp.Verifier.PublicKey() {
+		hexKey += string("0123456789abcdef"[b>>4]) + string("0123456789abcdef"[b&0xf])
+	}
+	verifier, err := ParseVerifier(hexKey)
+	if err != nil {
+		t.Fatalf("ParseVerifier(valid key): %v", err)
+	}
+	signature := kp.Signer.MustSign(1, types.Value("x"), nil)
+	if err := verifier.Verify(1, types.Value("x"), nil, signature); err != nil {
+		t.Errorf("round-tripped verifier rejected a valid signature: %v", err)
+	}
+}

@@ -1,0 +1,103 @@
+// Command regserver runs one register server process over TCP. A full
+// deployment consists of S regserver processes (one per server identity)
+// plus clients driven by cmd/regclient.
+//
+// The address book is a comma-separated list of id=host:port pairs covering
+// every process in the deployment, e.g.:
+//
+//	-book "s1=127.0.0.1:7101,s2=127.0.0.1:7102,s3=127.0.0.1:7103,s4=127.0.0.1:7104,w=127.0.0.1:7200,r1=127.0.0.1:7201"
+//
+// Example 4-server deployment (each in its own terminal):
+//
+//	regserver -id s1 -book "$BOOK" -readers 1
+//	regserver -id s2 -book "$BOOK" -readers 1
+//	regserver -id s3 -book "$BOOK" -readers 1
+//	regserver -id s4 -book "$BOOK" -readers 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fastread/internal/core"
+	"fastread/internal/sig"
+	"fastread/internal/transport/tcpnet"
+	"fastread/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "regserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("regserver", flag.ContinueOnError)
+	var (
+		idFlag   = fs.String("id", "s1", "server identity (s1, s2, ...)")
+		bookFlag = fs.String("book", "", "address book: comma-separated id=host:port pairs")
+		readers  = fs.Int("readers", 1, "number of reader processes (R)")
+		byz      = fs.Bool("byz", false, "run the arbitrary-failure variant (requires -writer-pubkey)")
+		pubKey   = fs.String("writer-pubkey", "", "hex-encoded writer public key (Byzantine variant)")
+		listen   = fs.String("listen", "", "listen address override (defaults to the address book entry)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	id, err := types.ParseProcessID(*idFlag)
+	if err != nil {
+		return err
+	}
+	if id.Role != types.RoleServer {
+		return fmt.Errorf("-id must name a server (s1, s2, ...), got %q", *idFlag)
+	}
+	book, err := ParseAddressBook(*bookFlag)
+	if err != nil {
+		return err
+	}
+
+	node, err := tcpnet.Listen(tcpnet.Config{Self: id, ListenAddr: *listen, Book: book})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	serverCfg := core.ServerConfig{ID: id, Readers: *readers, Byzantine: *byz}
+	if *byz {
+		verifier, err := ParseVerifier(*pubKey)
+		if err != nil {
+			return err
+		}
+		serverCfg.Verifier = verifier
+	}
+	server, err := core.NewServer(serverCfg, node)
+	if err != nil {
+		return err
+	}
+	server.Start()
+	defer server.Stop()
+
+	fmt.Printf("register server %s listening on %s (readers=%d byzantine=%v)\n", id, node.Addr(), *readers, *byz)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down")
+	return nil
+}
+
+// ParseVerifier decodes a hex-encoded ed25519 public key.
+func ParseVerifier(hexKey string) (sig.Verifier, error) {
+	if hexKey == "" {
+		return sig.Verifier{}, fmt.Errorf("the Byzantine variant requires -writer-pubkey")
+	}
+	raw, err := decodeHex(hexKey)
+	if err != nil {
+		return sig.Verifier{}, fmt.Errorf("decode -writer-pubkey: %w", err)
+	}
+	return sig.VerifierFromPublicKey(raw)
+}

@@ -1,0 +1,36 @@
+// Package fastread is a Go implementation of the fast single-writer
+// multi-reader (SWMR) atomic register of Dutta, Guerraoui, Levy and Vukolić,
+// "How Fast can a Distributed Atomic Read be?" (PODC 2004), together with the
+// baselines the paper compares against.
+//
+// A register is replicated over S server processes, of which up to t may
+// fail (and, in the arbitrary-failure variant, up to b ≤ t may be
+// malicious). A single writer and up to R readers access it. The paper's
+// central result is that every read and every write can complete in a single
+// communication round-trip — a fast implementation — if and only if
+// R < S/t − 2 (crash failures) or S > (R+2)·t + (R+1)·b (arbitrary
+// failures). This package implements those fast algorithms, the classic
+// two-round ABD register, the decentralised max-min variant, a fast regular
+// register, and the machinery to reproduce the paper's results (adversarial
+// lower-bound schedules, atomicity checking, workloads and benchmarks).
+//
+// # Quick start
+//
+//	cfg := fastread.Config{Servers: 4, Faulty: 1, Readers: 1}
+//	cluster, err := fastread.NewCluster(cfg)
+//	if err != nil { ... }
+//	defer cluster.Close()
+//
+//	w := cluster.Writer()
+//	r, _ := cluster.Reader(1)
+//
+//	_ = w.Write(ctx, []byte("hello"))
+//	res, _ := r.Read(ctx)        // exactly one round-trip
+//	fmt.Println(string(res.Value))
+//
+// Use Config.Protocol to select among the fast crash-tolerant register
+// (default), the Byzantine-tolerant fast register, the ABD baseline, the
+// max-min variant and the regular register. The resilience helpers
+// (FastReadPossible, MaxFastReaders, MinServersForFast) expose the paper's
+// exact bounds.
+package fastread

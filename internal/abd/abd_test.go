@@ -1,0 +1,421 @@
+package abd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fastread/internal/quorum"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+)
+
+// testDeployment wires an ABD cluster: S servers plus whatever clients the
+// test asks for.
+type testDeployment struct {
+	t   *testing.T
+	cfg quorum.Config
+	net *transport.InMemNetwork
+}
+
+func newDeployment(t *testing.T, cfg quorum.Config) *testDeployment {
+	t.Helper()
+	d := &testDeployment{t: t, cfg: cfg, net: transport.NewInMemNetwork()}
+	t.Cleanup(func() { _ = d.net.Close() })
+	for i := 1; i <= cfg.Servers; i++ {
+		node, err := d.net.Join(types.Server(i))
+		if err != nil {
+			t.Fatalf("join server %d: %v", i, err)
+		}
+		srv, err := NewServer(ServerConfig{ID: types.Server(i)}, node)
+		if err != nil {
+			t.Fatalf("new server %d: %v", i, err)
+		}
+		srv.Start()
+		t.Cleanup(srv.Stop)
+	}
+	return d
+}
+
+func (d *testDeployment) ctx() context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	d.t.Cleanup(cancel)
+	return ctx
+}
+
+func (d *testDeployment) swmrWriter() *Writer {
+	d.t.Helper()
+	node, err := d.net.Join(types.Writer())
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	w, err := NewWriter(ClientConfig{Quorum: d.cfg}, node)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	return w
+}
+
+func (d *testDeployment) swmrReader(i int) *Reader {
+	d.t.Helper()
+	node, err := d.net.Join(types.Reader(i))
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	r, err := NewReader(ClientConfig{Quorum: d.cfg}, node)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	return r
+}
+
+func (d *testDeployment) mwWriter(readerSlot int, rank int32) *MWWriter {
+	d.t.Helper()
+	node, err := d.net.Join(types.Reader(readerSlot))
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	w, err := NewMWWriter(ClientConfig{Quorum: d.cfg}, node, rank)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	return w
+}
+
+func (d *testDeployment) mwReader(readerSlot int) *MWReader {
+	d.t.Helper()
+	node, err := d.net.Join(types.Reader(readerSlot))
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	r, err := NewMWReader(ClientConfig{Quorum: d.cfg}, node)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	return r
+}
+
+func TestSWMRWriteThenRead(t *testing.T) {
+	cfg := quorum.Config{Servers: 5, Faulty: 2, Readers: 2}
+	d := newDeployment(t, cfg)
+	w := d.swmrWriter()
+	r := d.swmrReader(1)
+
+	res, err := r.Read(d.ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Value.IsBottom() || res.Timestamp != 0 {
+		t.Errorf("initial read = %s ts=%d", res.Value, res.Timestamp)
+	}
+
+	if err := w.Write(d.ctx(), types.Value("hello")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = r.Read(d.ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Value.Equal(types.Value("hello")) || res.Timestamp != 1 {
+		t.Errorf("read = %s ts=%d, want hello ts=1", res.Value, res.Timestamp)
+	}
+	if res.RoundTrips != 2 {
+		t.Errorf("ABD read used %d round-trips, want 2", res.RoundTrips)
+	}
+}
+
+func TestSWMRReadUsesTwoRoundTripsAndWriteOne(t *testing.T) {
+	cfg := quorum.Config{Servers: 5, Faulty: 2, Readers: 1}
+	d := newDeployment(t, cfg)
+	w := d.swmrWriter()
+	r := d.swmrReader(1)
+	for i := 0; i < 4; i++ {
+		if err := w.Write(d.ctx(), types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Read(d.ctx()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writes, wRounds := w.Stats()
+	if writes != 4 || wRounds != 4 {
+		t.Errorf("writer stats = %d/%d, want 4/4", writes, wRounds)
+	}
+	reads, rRounds := r.Stats()
+	if reads != 4 || rRounds != 8 {
+		t.Errorf("reader stats = %d/%d, want 4/8 (two rounds per read)", reads, rRounds)
+	}
+}
+
+func TestSWMRToleratesMinorityCrash(t *testing.T) {
+	cfg := quorum.Config{Servers: 5, Faulty: 2, Readers: 1}
+	d := newDeployment(t, cfg)
+	w := d.swmrWriter()
+	r := d.swmrReader(1)
+
+	if err := w.Write(d.ctx(), types.Value("v1")); err != nil {
+		t.Fatal(err)
+	}
+	d.net.Crash(types.Server(1))
+	d.net.Crash(types.Server(2))
+
+	if err := w.Write(d.ctx(), types.Value("v2")); err != nil {
+		t.Fatalf("write after minority crash: %v", err)
+	}
+	res, err := r.Read(d.ctx())
+	if err != nil {
+		t.Fatalf("read after minority crash: %v", err)
+	}
+	if !res.Value.Equal(types.Value("v2")) {
+		t.Errorf("read = %s, want v2", res.Value)
+	}
+}
+
+func TestSWMRWriteBackPropagatesToSlowServers(t *testing.T) {
+	// The written value initially reaches only a majority; after a read
+	// (whose write-back phase contacts all servers), previously missed
+	// servers that are reachable catch up.
+	cfg := quorum.Config{Servers: 5, Faulty: 2, Readers: 1}
+	d := newDeployment(t, cfg)
+	w := d.swmrWriter()
+	r := d.swmrReader(1)
+
+	// Block the writer (only) from servers 4 and 5.
+	d.net.Block(types.Writer(), types.Server(4))
+	d.net.Block(types.Writer(), types.Server(5))
+	if err := w.Write(d.ctx(), types.Value("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := r.Read(d.ctx()); err != nil {
+		t.Fatal(err)
+	}
+	// Give the write-back to the remaining servers a moment to land.
+	deadline := time.Now().Add(time.Second)
+	for {
+		caughtUp := true
+		for i := 4; i <= 5; i++ {
+			node := types.Server(i)
+			_ = node
+		}
+		// Check server 4's state via a fresh read quorum: all servers must
+		// now hold ts=1 eventually; we verify by reading repeatedly.
+		res, err := r.Read(d.ctx())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Timestamp != 1 {
+			caughtUp = false
+		}
+		if caughtUp || time.Now().After(deadline) {
+			if !caughtUp {
+				t.Error("servers never caught up to ts=1")
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSWMRBottomWriteRejected(t *testing.T) {
+	cfg := quorum.Config{Servers: 3, Faulty: 1, Readers: 1}
+	d := newDeployment(t, cfg)
+	w := d.swmrWriter()
+	if err := w.Write(d.ctx(), types.Bottom()); !errors.Is(err, ErrBottomWrite) {
+		t.Errorf("err = %v, want ErrBottomWrite", err)
+	}
+}
+
+func TestSWMRManyReadersNoBound(t *testing.T) {
+	// Unlike the fast register, ABD supports arbitrarily many readers for a
+	// fixed S and t.
+	cfg := quorum.Config{Servers: 4, Faulty: 1, Readers: 8}
+	d := newDeployment(t, cfg)
+	w := d.swmrWriter()
+	readers := make([]*Reader, 8)
+	for i := range readers {
+		readers[i] = d.swmrReader(i + 1)
+	}
+	if err := w.Write(d.ctx(), types.Value("shared")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, r := range readers {
+		wg.Add(1)
+		go func(rd *Reader) {
+			defer wg.Done()
+			res, err := rd.Read(d.ctx())
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if !res.Value.Equal(types.Value("shared")) {
+				t.Errorf("read = %s", res.Value)
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestMWMRTwoWritersInterleave(t *testing.T) {
+	cfg := quorum.Config{Servers: 5, Faulty: 2, Readers: 4}
+	d := newDeployment(t, cfg)
+	w1 := d.mwWriter(1, 1)
+	w2 := d.mwWriter(2, 2)
+	r := d.mwReader(3)
+
+	if err := w1.Write(d.ctx(), types.Value("from-w1")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Read(d.ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Value.Equal(types.Value("from-w1")) {
+		t.Errorf("read = %s, want from-w1", res.Value)
+	}
+
+	if err := w2.Write(d.ctx(), types.Value("from-w2")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = r.Read(d.ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Value.Equal(types.Value("from-w2")) {
+		t.Errorf("read = %s, want from-w2 (later write must win)", res.Value)
+	}
+	if res.RoundTrips != 2 {
+		t.Errorf("MWMR read used %d rounds, want 2", res.RoundTrips)
+	}
+
+	// Writer ranks break timestamp ties deterministically.
+	writes, rounds := w1.Stats()
+	if writes != 1 || rounds != 2 {
+		t.Errorf("w1 stats = %d/%d, want 1 write / 2 rounds", writes, rounds)
+	}
+}
+
+func TestMWMRConcurrentWritersConverge(t *testing.T) {
+	cfg := quorum.Config{Servers: 7, Faulty: 3, Readers: 6}
+	d := newDeployment(t, cfg)
+	const writers = 4
+	var wg sync.WaitGroup
+	for i := 1; i <= writers; i++ {
+		w := d.mwWriter(i, int32(i))
+		wg.Add(1)
+		go func(w *MWWriter, idx int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if err := w.Write(d.ctx(), types.Value(fmt.Sprintf("w%d-%d", idx, j))); err != nil {
+					t.Errorf("writer %d: %v", idx, err)
+					return
+				}
+			}
+		}(w, i)
+	}
+	wg.Wait()
+
+	// After all writes complete, two sequential reads must agree (no
+	// new/old inversion once writes are quiescent).
+	r1 := d.mwReader(5)
+	r2 := d.mwReader(6)
+	res1, err := r1.Read(d.ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := r2.Read(d.ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Timestamp < res1.Timestamp {
+		t.Errorf("second read ts=%d.%d older than first ts=%d.%d",
+			res2.Timestamp, res2.WriterRank, res1.Timestamp, res1.WriterRank)
+	}
+}
+
+func TestMWMRTimestampOrdering(t *testing.T) {
+	a := VersionedValue{TS: 1, Rank: 2}
+	b := VersionedValue{TS: 2, Rank: 1}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("timestamp must dominate rank")
+	}
+	c := VersionedValue{TS: 2, Rank: 2}
+	if !b.Less(c) || c.Less(b) {
+		t.Error("rank must break ties")
+	}
+	if c.Less(c) {
+		t.Error("a value must not be less than itself")
+	}
+}
+
+func TestClientConstructorValidation(t *testing.T) {
+	cfg := quorum.Config{Servers: 3, Faulty: 1, Readers: 1}
+	d := newDeployment(t, cfg)
+
+	readerNode, err := d.net.Join(types.Reader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writerNode, err := d.net.Join(types.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverNode, err := d.net.Join(types.Server(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := NewWriter(ClientConfig{Quorum: cfg}, readerNode); !errors.Is(err, ErrNotWriter) {
+		t.Errorf("SWMR writer on reader node: %v", err)
+	}
+	if _, err := NewReader(ClientConfig{Quorum: cfg}, writerNode); !errors.Is(err, ErrNotReader) {
+		t.Errorf("SWMR reader on writer node: %v", err)
+	}
+	if _, err := NewWriter(ClientConfig{Quorum: quorum.Config{}}, writerNode); err == nil {
+		t.Error("invalid quorum accepted")
+	}
+	if _, err := NewMWWriter(ClientConfig{Quorum: cfg}, readerNode, 0); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, err := NewMWWriter(ClientConfig{Quorum: cfg}, serverNode, 1); err == nil {
+		t.Error("server node accepted as MW writer")
+	}
+	if _, err := NewMWReader(ClientConfig{Quorum: cfg}, serverNode); err == nil {
+		t.Error("server node accepted as MW reader")
+	}
+	if _, err := NewServer(ServerConfig{ID: types.Reader(1)}, readerNode); err == nil {
+		t.Error("reader identity accepted as server")
+	}
+	if _, err := NewServer(ServerConfig{ID: types.Server(1)}, nil); err == nil {
+		t.Error("nil node accepted for server")
+	}
+}
+
+func TestServerIgnoresServerMessagesAndGarbage(t *testing.T) {
+	cfg := quorum.Config{Servers: 3, Faulty: 1, Readers: 1}
+	d := newDeployment(t, cfg)
+	rogue, err := d.net.Join(types.Server(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garbage payload and a server-originated message must both be ignored.
+	_ = rogue.Send(types.Server(1), "junk", []byte{9, 9, 9})
+	time.Sleep(30 * time.Millisecond)
+
+	w := d.swmrWriter()
+	r := d.swmrReader(1)
+	if err := w.Write(d.ctx(), types.Value("ok")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Read(d.ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Value.Equal(types.Value("ok")) {
+		t.Errorf("read = %s", res.Value)
+	}
+}

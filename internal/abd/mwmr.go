@@ -1,0 +1,230 @@
+package abd
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"fastread/internal/protoutil"
+	"fastread/internal/stats"
+	"fastread/internal/trace"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// MWWriter is a multi-writer ABD writer in the style of Lynch–Shvartsman:
+// every write first queries a majority for the highest (ts, rank) pair, then
+// writes (ts+1, ownRank). Two round-trips per write — Proposition 11 of the
+// paper shows this second round cannot be avoided by any fast MWMR
+// implementation.
+type MWWriter struct {
+	cfg     ClientConfig
+	node    transport.Node
+	id      types.ProcessID
+	rank    int32
+	servers []types.ProcessID
+
+	mu       sync.Mutex
+	rCounter int64
+	rounds   stats.Counter
+	writes   int64
+}
+
+// NewMWWriter creates a multi-writer client. Writers are identified by their
+// reader-style index (w1, w2, ... are modelled as reader identities with a
+// writer rank) or by the canonical writer identity for rank 1; any client
+// identity is accepted because the MWMR model has no distinguished writer.
+func NewMWWriter(cfg ClientConfig, node transport.Node, rank int32) (*MWWriter, error) {
+	if err := cfg.Quorum.Validate(); err != nil {
+		return nil, err
+	}
+	if node == nil {
+		return nil, fmt.Errorf("abd: mw writer requires a transport node")
+	}
+	if rank < 1 {
+		return nil, fmt.Errorf("abd: writer rank must be ≥ 1, got %d", rank)
+	}
+	if node.ID().Role == types.RoleServer {
+		return nil, fmt.Errorf("abd: servers cannot act as writers")
+	}
+	return &MWWriter{
+		cfg:     cfg,
+		node:    node,
+		id:      node.ID(),
+		rank:    rank,
+		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
+	}, nil
+}
+
+// Write stores v in the multi-writer register using two round-trips.
+func (w *MWWriter) Write(ctx context.Context, v types.Value) error {
+	if v.IsBottom() {
+		return ErrBottomWrite
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	majority := w.cfg.Quorum.Majority()
+
+	// Phase 1: discover the highest (ts, rank) currently in the system.
+	w.rCounter++
+	qrc := w.rCounter
+	w.cfg.Trace.Record(trace.KindInvoke, w.id, types.ProcessID{}, "mwmr write query rc=%d", qrc)
+	query := &wire.Message{Op: wire.OpQuery, RCounter: qrc}
+	qFilter := func(_ types.ProcessID, m *wire.Message) bool {
+		return m.Op == wire.OpQueryAck && m.RCounter == qrc
+	}
+	acks, err := protoutil.RoundTrip(ctx, w.node, w.servers, query, majority, qFilter, w.cfg.Trace)
+	if err != nil {
+		return fmt.Errorf("abd: mwmr write query: %w", err)
+	}
+	w.rounds.Add(1)
+
+	highest := VersionedValue{}
+	for _, a := range acks {
+		candidate := VersionedValue{TS: a.Msg.TS, Rank: a.Msg.WriterRank}
+		if highest.Less(candidate) {
+			highest = candidate
+		}
+	}
+
+	// Phase 2: write (maxTS+1, ownRank).
+	w.rCounter++
+	wrc := w.rCounter
+	req := &wire.Message{
+		Op:         wire.OpWrite,
+		TS:         highest.TS.Next(),
+		WriterRank: w.rank,
+		Cur:        v.Clone(),
+		RCounter:   wrc,
+	}
+	wFilter := func(_ types.ProcessID, m *wire.Message) bool {
+		return m.Op == wire.OpWriteAck && m.RCounter == wrc
+	}
+	if _, err := protoutil.RoundTrip(ctx, w.node, w.servers, req, majority, wFilter, w.cfg.Trace); err != nil {
+		return fmt.Errorf("abd: mwmr write ts=%d.%d: %w", req.TS, w.rank, err)
+	}
+	w.rounds.Add(1)
+	w.writes++
+	w.cfg.Trace.Record(trace.KindReturn, w.id, types.ProcessID{}, "mwmr write -> ts=%d.%d", req.TS, w.rank)
+	return nil
+}
+
+// Stats reports completed writes and total round-trips (2 per write).
+func (w *MWWriter) Stats() (writes, roundTrips int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writes, w.rounds.Total()
+}
+
+// Close detaches the writer from the network.
+func (w *MWWriter) Close() error { return w.node.Close() }
+
+// MWReadResult is the result of a multi-writer read.
+type MWReadResult struct {
+	Value      types.Value
+	Timestamp  types.Timestamp
+	WriterRank int32
+	RoundTrips int
+}
+
+// MWReader is the multi-writer ABD reader: query a majority, select the
+// highest (ts, rank), write it back, return. Two round-trips.
+type MWReader struct {
+	cfg     ClientConfig
+	node    transport.Node
+	id      types.ProcessID
+	servers []types.ProcessID
+
+	mu       sync.Mutex
+	rCounter int64
+	rounds   stats.Counter
+	reads    int64
+}
+
+// NewMWReader creates a multi-writer reader.
+func NewMWReader(cfg ClientConfig, node transport.Node) (*MWReader, error) {
+	if err := cfg.Quorum.Validate(); err != nil {
+		return nil, err
+	}
+	if node == nil {
+		return nil, fmt.Errorf("abd: mw reader requires a transport node")
+	}
+	if node.ID().Role == types.RoleServer {
+		return nil, fmt.Errorf("abd: servers cannot act as readers")
+	}
+	return &MWReader{
+		cfg:     cfg,
+		node:    node,
+		id:      node.ID(),
+		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
+	}, nil
+}
+
+// Read returns the current value of the multi-writer register.
+func (r *MWReader) Read(ctx context.Context) (MWReadResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	majority := r.cfg.Quorum.Majority()
+
+	r.rCounter++
+	qrc := r.rCounter
+	r.cfg.Trace.Record(trace.KindInvoke, r.id, types.ProcessID{}, "mwmr read query rc=%d", qrc)
+	query := &wire.Message{Op: wire.OpQuery, RCounter: qrc}
+	qFilter := func(_ types.ProcessID, m *wire.Message) bool {
+		return m.Op == wire.OpQueryAck && m.RCounter == qrc
+	}
+	acks, err := protoutil.RoundTrip(ctx, r.node, r.servers, query, majority, qFilter, r.cfg.Trace)
+	if err != nil {
+		return MWReadResult{}, fmt.Errorf("abd: mwmr read query: %w", err)
+	}
+	r.rounds.Add(1)
+
+	best := acks[0]
+	bestVV := VersionedValue{TS: best.Msg.TS, Rank: best.Msg.WriterRank}
+	for _, a := range acks[1:] {
+		candidate := VersionedValue{TS: a.Msg.TS, Rank: a.Msg.WriterRank}
+		if bestVV.Less(candidate) {
+			best, bestVV = a, candidate
+		}
+	}
+
+	// Write-back phase.
+	r.rCounter++
+	wrc := r.rCounter
+	writeBack := &wire.Message{
+		Op:         wire.OpWriteBack,
+		TS:         bestVV.TS,
+		WriterRank: bestVV.Rank,
+		Cur:        best.Msg.Cur.Clone(),
+		RCounter:   wrc,
+	}
+	wbFilter := func(_ types.ProcessID, m *wire.Message) bool {
+		return m.Op == wire.OpWriteBackAck && m.RCounter == wrc
+	}
+	if _, err := protoutil.RoundTrip(ctx, r.node, r.servers, writeBack, majority, wbFilter, r.cfg.Trace); err != nil {
+		return MWReadResult{}, fmt.Errorf("abd: mwmr read write-back: %w", err)
+	}
+	r.rounds.Add(1)
+	r.reads++
+
+	r.cfg.Trace.Record(trace.KindReturn, r.id, types.ProcessID{}, "mwmr read -> ts=%d.%d", bestVV.TS, bestVV.Rank)
+	return MWReadResult{
+		Value:      best.Msg.Cur.Clone(),
+		Timestamp:  bestVV.TS,
+		WriterRank: bestVV.Rank,
+		RoundTrips: 2,
+	}, nil
+}
+
+// Stats reports completed reads and total round-trips (2 per read).
+func (r *MWReader) Stats() (reads, roundTrips int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reads, r.rounds.Total()
+}
+
+// Close detaches the reader from the network.
+func (r *MWReader) Close() error { return r.node.Close() }

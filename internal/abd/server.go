@@ -1,0 +1,153 @@
+package abd
+
+import (
+	"fmt"
+	"sync"
+
+	"fastread/internal/trace"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// VersionedValue is the timestamped value stored by an ABD server. For the
+// single-writer register Rank is always 0; for the multi-writer register
+// timestamps are ordered lexicographically by (TS, Rank).
+type VersionedValue struct {
+	TS   types.Timestamp
+	Rank int32
+	Cur  types.Value
+	Prev types.Value
+}
+
+// Less reports whether v is strictly older than other in (TS, Rank) order.
+func (v VersionedValue) Less(other VersionedValue) bool {
+	if v.TS != other.TS {
+		return v.TS < other.TS
+	}
+	return v.Rank < other.Rank
+}
+
+// ServerConfig configures an ABD server.
+type ServerConfig struct {
+	// ID is the server's process identity.
+	ID types.ProcessID
+	// Trace, if non-nil, records protocol events.
+	Trace *trace.Trace
+}
+
+// Server is the quorum server used by both the SWMR and MWMR ABD registers.
+// It answers queries and reads with its current versioned value and adopts
+// any strictly newer value carried by write or write-back messages.
+type Server struct {
+	cfg  ServerConfig
+	node transport.Node
+
+	mu        sync.Mutex
+	value     VersionedValue
+	mutations int64
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewServer creates an ABD server bound to the given node. Call Start to
+// begin processing messages.
+func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
+	if cfg.ID.Role != types.RoleServer || !cfg.ID.Valid() {
+		return nil, fmt.Errorf("abd: server id %v is not a valid server identity", cfg.ID)
+	}
+	if node == nil {
+		return nil, fmt.Errorf("abd: server %v requires a transport node", cfg.ID)
+	}
+	return &Server{
+		cfg:  cfg,
+		node: node,
+		done: make(chan struct{}),
+	}, nil
+}
+
+// Start launches the message-handling goroutine.
+func (s *Server) Start() {
+	go func() {
+		defer close(s.done)
+		transport.Serve(s.node, s.handle)
+	}()
+}
+
+// Stop detaches the server from the network and waits for the handler to
+// exit. Stop is idempotent.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { _ = s.node.Close() })
+	<-s.done
+}
+
+// ID returns the server's process identity.
+func (s *Server) ID() types.ProcessID { return s.cfg.ID }
+
+// State returns a copy of the server's current value and the number of state
+// mutations it has performed.
+func (s *Server) State() (VersionedValue, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.value
+	out.Cur = s.value.Cur.Clone()
+	out.Prev = s.value.Prev.Clone()
+	return out, s.mutations
+}
+
+func (s *Server) handle(m transport.Message) {
+	req, err := wire.Decode(m.Payload)
+	if err != nil {
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "malformed: %v", err)
+		return
+	}
+	if m.From.Role == types.RoleServer {
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "server-to-server message in ABD")
+		return
+	}
+	s.cfg.Trace.Record(trace.KindReceive, s.cfg.ID, m.From, "%s ts=%d.%d", req.Op, req.TS, req.WriterRank)
+
+	var ackOp wire.Op
+	switch req.Op {
+	case wire.OpQuery:
+		ackOp = wire.OpQueryAck
+	case wire.OpRead:
+		ackOp = wire.OpReadAck
+	case wire.OpWrite:
+		ackOp = wire.OpWriteAck
+	case wire.OpWriteBack:
+		ackOp = wire.OpWriteBackAck
+	default:
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "unexpected op %s", req.Op)
+		return
+	}
+
+	incoming := VersionedValue{TS: req.TS, Rank: req.WriterRank, Cur: req.Cur, Prev: req.Prev}
+
+	s.mu.Lock()
+	if (req.Op == wire.OpWrite || req.Op == wire.OpWriteBack) && s.value.Less(incoming) {
+		s.value = VersionedValue{
+			TS:   incoming.TS,
+			Rank: incoming.Rank,
+			Cur:  incoming.Cur.Clone(),
+			Prev: incoming.Prev.Clone(),
+		}
+		s.mutations++
+		s.cfg.Trace.Record(trace.KindStateChange, s.cfg.ID, m.From, "adopt ts=%d.%d", incoming.TS, incoming.Rank)
+	}
+	ack := &wire.Message{
+		Op:         ackOp,
+		TS:         s.value.TS,
+		WriterRank: s.value.Rank,
+		Cur:        s.value.Cur.Clone(),
+		Prev:       s.value.Prev.Clone(),
+		RCounter:   req.RCounter,
+	}
+	s.mu.Unlock()
+
+	s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, m.From, "%s ts=%d.%d", ack.Op, ack.TS, ack.WriterRank)
+	if err := s.node.Send(m.From, ack.Kind(), wire.MustEncode(ack)); err != nil {
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "send ack: %v", err)
+	}
+}

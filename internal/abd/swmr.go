@@ -1,0 +1,212 @@
+package abd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fastread/internal/protoutil"
+	"fastread/internal/quorum"
+	"fastread/internal/stats"
+	"fastread/internal/trace"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// Errors returned by the ABD clients.
+var (
+	// ErrBottomWrite indicates an attempt to write the reserved value ⊥.
+	ErrBottomWrite = errors.New("abd: cannot write the initial value ⊥")
+	// ErrNotWriter indicates a writer constructed on a non-writer node.
+	ErrNotWriter = errors.New("abd: writer must use the writer identity")
+	// ErrNotReader indicates a reader constructed on a non-reader node.
+	ErrNotReader = errors.New("abd: reader must use a reader identity")
+)
+
+// ClientConfig configures an ABD client (writer or reader).
+type ClientConfig struct {
+	// Quorum describes the deployment. ABD uses majority quorums, so it
+	// requires t < S/2 but places no bound on the number of readers.
+	Quorum quorum.Config
+	// Trace, if non-nil, records protocol events.
+	Trace *trace.Trace
+}
+
+// Writer is the single-writer ABD writer: one round-trip per write, exactly
+// as in the paper's description of [Attiya et al. 1995].
+type Writer struct {
+	cfg     ClientConfig
+	node    transport.Node
+	servers []types.ProcessID
+
+	mu     sync.Mutex
+	ts     types.Timestamp
+	prev   types.Value
+	rounds stats.Counter
+	writes int64
+}
+
+// NewWriter creates the SWMR ABD writer.
+func NewWriter(cfg ClientConfig, node transport.Node) (*Writer, error) {
+	if err := cfg.Quorum.Validate(); err != nil {
+		return nil, err
+	}
+	if node == nil {
+		return nil, fmt.Errorf("abd: writer requires a transport node")
+	}
+	if node.ID() != types.Writer() {
+		return nil, fmt.Errorf("%w: got %v", ErrNotWriter, node.ID())
+	}
+	return &Writer{
+		cfg:     cfg,
+		node:    node,
+		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
+		ts:      1,
+		prev:    types.Bottom(),
+	}, nil
+}
+
+// Write stores v in the register using a single round-trip to a majority of
+// servers.
+func (w *Writer) Write(ctx context.Context, v types.Value) error {
+	if v.IsBottom() {
+		return ErrBottomWrite
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	ts := w.ts
+	req := &wire.Message{Op: wire.OpWrite, TS: ts, Cur: v.Clone(), Prev: w.prev.Clone()}
+	w.cfg.Trace.Record(trace.KindInvoke, types.Writer(), types.ProcessID{}, "abd write(ts=%d)", ts)
+	filter := func(_ types.ProcessID, m *wire.Message) bool {
+		return m.Op == wire.OpWriteAck && m.TS >= ts
+	}
+	if _, err := protoutil.RoundTrip(ctx, w.node, w.servers, req, w.cfg.Quorum.Majority(), filter, w.cfg.Trace); err != nil {
+		return fmt.Errorf("abd: write ts=%d: %w", ts, err)
+	}
+	w.rounds.Add(1)
+	w.writes++
+	w.ts = ts.Next()
+	w.prev = v.Clone()
+	w.cfg.Trace.Record(trace.KindReturn, types.Writer(), types.ProcessID{}, "abd write(ts=%d) -> ok", ts)
+	return nil
+}
+
+// Stats reports completed writes and total round-trips (equal: SWMR ABD
+// writes are fast).
+func (w *Writer) Stats() (writes, roundTrips int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writes, w.rounds.Total()
+}
+
+// Close detaches the writer from the network.
+func (w *Writer) Close() error { return w.node.Close() }
+
+// ReadResult is what an ABD read returns, including the number of
+// round-trips it used (always 2: query + write-back).
+type ReadResult struct {
+	Value      types.Value
+	Timestamp  types.Timestamp
+	RoundTrips int
+}
+
+// Reader is the SWMR ABD reader: query a majority, select the highest
+// timestamp, write it back to a majority, then return.
+type Reader struct {
+	cfg     ClientConfig
+	node    transport.Node
+	id      types.ProcessID
+	servers []types.ProcessID
+
+	mu       sync.Mutex
+	rCounter int64
+	rounds   stats.Counter
+	reads    int64
+}
+
+// NewReader creates an SWMR ABD reader. Unlike the fast register, any number
+// of readers is supported, so the reader index only needs to be ≥ 1.
+func NewReader(cfg ClientConfig, node transport.Node) (*Reader, error) {
+	if err := cfg.Quorum.Validate(); err != nil {
+		return nil, err
+	}
+	if node == nil {
+		return nil, fmt.Errorf("abd: reader requires a transport node")
+	}
+	id := node.ID()
+	if id.Role != types.RoleReader || id.Index < 1 {
+		return nil, fmt.Errorf("%w: got %v", ErrNotReader, id)
+	}
+	return &Reader{
+		cfg:     cfg,
+		node:    node,
+		id:      id,
+		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
+	}, nil
+}
+
+// ID returns the reader's process identity.
+func (r *Reader) ID() types.ProcessID { return r.id }
+
+// Read returns the current register value using two round-trips.
+func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	majority := r.cfg.Quorum.Majority()
+
+	// Phase 1: query a majority for their current (ts, value).
+	r.rCounter++
+	rc := r.rCounter
+	r.cfg.Trace.Record(trace.KindInvoke, r.id, types.ProcessID{}, "abd read() rc=%d", rc)
+	query := &wire.Message{Op: wire.OpRead, RCounter: rc}
+	filter := func(_ types.ProcessID, m *wire.Message) bool {
+		return m.Op == wire.OpReadAck && m.RCounter == rc
+	}
+	acks, err := protoutil.RoundTrip(ctx, r.node, r.servers, query, majority, filter, r.cfg.Trace)
+	if err != nil {
+		return ReadResult{}, fmt.Errorf("abd: read phase 1: %w", err)
+	}
+	r.rounds.Add(1)
+	maxTS, best, _ := protoutil.MaxTimestamp(acks)
+
+	// Phase 2: write the selected value back to a majority before returning,
+	// so that no later read can return an older value.
+	r.rCounter++
+	wbRC := r.rCounter
+	writeBack := &wire.Message{
+		Op:       wire.OpWriteBack,
+		TS:       maxTS,
+		Cur:      best.Msg.Cur.Clone(),
+		Prev:     best.Msg.Prev.Clone(),
+		RCounter: wbRC,
+	}
+	wbFilter := func(_ types.ProcessID, m *wire.Message) bool {
+		return m.Op == wire.OpWriteBackAck && m.RCounter == wbRC
+	}
+	if _, err := protoutil.RoundTrip(ctx, r.node, r.servers, writeBack, majority, wbFilter, r.cfg.Trace); err != nil {
+		return ReadResult{}, fmt.Errorf("abd: read phase 2 (write-back): %w", err)
+	}
+	r.rounds.Add(1)
+	r.reads++
+
+	r.cfg.Trace.Record(trace.KindReturn, r.id, types.ProcessID{}, "abd read rc=%d -> ts=%d", rc, maxTS)
+	return ReadResult{
+		Value:      best.Msg.Cur.Clone(),
+		Timestamp:  maxTS,
+		RoundTrips: 2,
+	}, nil
+}
+
+// Stats reports completed reads and total round-trips (2 per read).
+func (r *Reader) Stats() (reads, roundTrips int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reads, r.rounds.Total()
+}
+
+// Close detaches the reader from the network.
+func (r *Reader) Close() error { return r.node.Close() }

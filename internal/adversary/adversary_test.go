@@ -1,0 +1,216 @@
+package adversary
+
+import (
+	"testing"
+
+	"fastread/internal/quorum"
+	"fastread/internal/types"
+)
+
+func TestBuildCrashPartition(t *testing.T) {
+	cfg := quorum.Config{Servers: 4, Faulty: 1, Readers: 2}
+	p, err := BuildCrashPartition(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Primary) != 4 {
+		t.Fatalf("blocks = %d, want R+2 = 4", len(p.Primary))
+	}
+	total := len(p.Extra)
+	seen := map[types.ProcessID]bool{}
+	for i, block := range p.Primary {
+		if len(block) == 0 {
+			t.Errorf("block %d empty", i+1)
+		}
+		if len(block) > cfg.Faulty {
+			t.Errorf("block %d has %d servers, more than t=%d", i+1, len(block), cfg.Faulty)
+		}
+		total += len(block)
+		for _, s := range block {
+			if seen[s] {
+				t.Errorf("server %v in two blocks", s)
+			}
+			seen[s] = true
+		}
+	}
+	if total != cfg.Servers {
+		t.Errorf("partition covers %d servers, want %d", total, cfg.Servers)
+	}
+	if len(p.Extra) != 0 {
+		t.Errorf("at the bound there must be no extra servers, got %v", p.Extra)
+	}
+}
+
+func TestBuildCrashPartitionWithinBoundHasExtras(t *testing.T) {
+	cfg := quorum.Config{Servers: 7, Faulty: 1, Readers: 2} // 7 > (2+2)*1, within bound
+	p, err := BuildCrashPartition(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Extra) != 3 {
+		t.Errorf("extra = %v, want 3 servers the adversary cannot block", p.Extra)
+	}
+	// The critical block B_{R+1} must be filled to capacity.
+	if len(p.Primary[cfg.Readers]) != cfg.Faulty {
+		t.Errorf("critical block size = %d, want t=%d", len(p.Primary[cfg.Readers]), cfg.Faulty)
+	}
+}
+
+func TestBuildCrashPartitionErrors(t *testing.T) {
+	if _, err := BuildCrashPartition(quorum.Config{Servers: 4, Faulty: 1, Readers: 1}); err == nil {
+		t.Error("R=1 accepted")
+	}
+	if _, err := BuildCrashPartition(quorum.Config{Servers: 4, Faulty: 0, Readers: 2}); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := BuildCrashPartition(quorum.Config{Servers: 3, Faulty: 1, Readers: 2}); err == nil {
+		t.Error("S < R+2 accepted")
+	}
+	if _, err := BuildCrashPartition(quorum.Config{Servers: 0}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestBuildByzantinePartition(t *testing.T) {
+	cfg := quorum.Config{Servers: 7, Faulty: 1, Malicious: 1, Readers: 2}
+	p, err := BuildByzantinePartition(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Primary) != 4 || len(p.Shadow) != 3 {
+		t.Fatalf("primary/shadow = %d/%d, want 4/3", len(p.Primary), len(p.Shadow))
+	}
+	if len(p.MaliciousServers()) != 3 {
+		t.Errorf("malicious = %v", p.MaliciousServers())
+	}
+	if len(p.Extra) != 0 {
+		t.Errorf("extra = %v", p.Extra)
+	}
+	if _, err := BuildByzantinePartition(quorum.Config{Servers: 5, Faulty: 1, Malicious: 1, Readers: 2}); err == nil {
+		t.Error("too few servers accepted")
+	}
+	if _, err := BuildByzantinePartition(quorum.Config{Servers: 9, Faulty: 1, Malicious: 0, Readers: 2}); err == nil {
+		t.Error("b=0 accepted for the Byzantine construction")
+	}
+}
+
+func TestCrashConstructionViolatesBeyondBound(t *testing.T) {
+	// S=4, t=1, R=2: R ≥ S/t − 2, so the paper predicts a violation for ANY
+	// fast implementation — including its own algorithm used out of range.
+	cfg := quorum.Config{Servers: 4, Faulty: 1, Readers: 2}
+	if cfg.FastReadPossible() {
+		t.Fatal("test config must be at/beyond the bound")
+	}
+	for _, kind := range []ReaderKind{ReaderPaper, ReaderNaive} {
+		res, err := RunCrashConstruction(cfg, kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !res.Violation {
+			t.Errorf("%v readers: expected an atomicity violation beyond the bound; narrative:\n%v", kind, res.Narrative)
+		}
+		if res.LastReaderTS != 1 {
+			t.Errorf("%v readers: rR's read returned ts=%d, the construction forces 1", kind, res.LastReaderTS)
+		}
+		if res.FirstReaderTS != 0 {
+			t.Errorf("%v readers: r1's final read returned ts=%d, the construction forces 0", kind, res.FirstReaderTS)
+		}
+	}
+}
+
+func TestCrashConstructionHarmlessWithinBound(t *testing.T) {
+	// S=7, t=1, R=2: within the bound; the paper's algorithm must survive
+	// the same adversarial schedule.
+	cfg := quorum.Config{Servers: 7, Faulty: 1, Readers: 2}
+	if !cfg.FastReadPossible() {
+		t.Fatal("test config must satisfy the bound")
+	}
+	res, err := RunCrashConstruction(cfg, ReaderPaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation {
+		t.Errorf("paper's algorithm violated atomicity within the bound:\n%s\nnarrative: %v",
+			res.Report, res.Narrative)
+	}
+	if !res.BoundSatisfied {
+		t.Error("BoundSatisfied should be true")
+	}
+}
+
+func TestCrashConstructionThreeReaders(t *testing.T) {
+	// A larger instance: S=5, t=1, R=3 (bound requires R < 3, so violated).
+	cfg := quorum.Config{Servers: 5, Faulty: 1, Readers: 3}
+	if cfg.FastReadPossible() {
+		t.Fatal("config should be at/beyond the bound")
+	}
+	res, err := RunCrashConstruction(cfg, ReaderPaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Errorf("expected violation for R=3 beyond the bound; narrative:\n%v", res.Narrative)
+	}
+}
+
+func TestByzantineConstructionViolatesBeyondBound(t *testing.T) {
+	// S=7, t=1, b=1, R=2: (R+2)t + (R+1)b = 7 ≥ S, so no fast implementation
+	// exists; the schedule must defeat the paper's Byzantine algorithm too.
+	cfg := quorum.Config{Servers: 7, Faulty: 1, Malicious: 1, Readers: 2}
+	if cfg.FastReadPossible() {
+		t.Fatal("config should be at/beyond the Byzantine bound")
+	}
+	res, err := RunByzantineConstruction(cfg, ReaderPaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Errorf("expected violation beyond the Byzantine bound; narrative:\n%v", res.Narrative)
+	}
+	if res.LastReaderTS != 1 || res.FirstReaderTS != 0 {
+		t.Errorf("rR returned ts=%d and r1 returned ts=%d; construction forces 1 then 0",
+			res.LastReaderTS, res.FirstReaderTS)
+	}
+}
+
+func TestByzantineConstructionHarmlessWithinBound(t *testing.T) {
+	// S=9, t=1, b=1, R=2: 9 > (R+2)t + (R+1)b = 7, within the bound.
+	cfg := quorum.Config{Servers: 9, Faulty: 1, Malicious: 1, Readers: 2}
+	if !cfg.FastReadPossible() {
+		t.Fatal("config should satisfy the Byzantine bound")
+	}
+	res, err := RunByzantineConstruction(cfg, ReaderPaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation {
+		t.Errorf("Byzantine algorithm violated atomicity within the bound:\n%s\nnarrative: %v",
+			res.Report, res.Narrative)
+	}
+}
+
+func TestMWMRDemonstration(t *testing.T) {
+	cfg := quorum.Config{Servers: 3, Faulty: 1, Readers: 3}
+	res, err := RunMWMRDemonstration(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NaiveReport.OK {
+		t.Error("the naive fast MWMR register should not be linearizable under the interchange schedule")
+	}
+	if !res.ABDReport.OK {
+		t.Errorf("the ABD MWMR register should be linearizable: %s", res.ABDReport)
+	}
+	if len(res.Narrative) == 0 {
+		t.Error("narrative should not be empty")
+	}
+	if _, err := RunMWMRDemonstration(quorum.Config{Servers: 0}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestReaderKindString(t *testing.T) {
+	if ReaderPaper.String() != "paper" || ReaderNaive.String() != "naive" || ReaderKind(9).String() != "unknown" {
+		t.Error("unexpected reader kind names")
+	}
+}

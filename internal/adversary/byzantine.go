@@ -1,0 +1,295 @@
+package adversary
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fastread/internal/atomicity"
+	"fastread/internal/core"
+	"fastread/internal/fault"
+	"fastread/internal/history"
+	"fastread/internal/quorum"
+	"fastread/internal/sig"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+)
+
+// maliciousSettleTime is how long the scheduler waits for malicious servers
+// (whose internal state it cannot poll) to process delivered messages.
+const maliciousSettleTime = 30 * time.Millisecond
+
+// RunByzantineConstruction executes the Proposition 10 schedule (Figure 6)
+// against the arbitrary-failure algorithm. The primary blocks T1..T_{R+2}
+// hold honest servers; the shadow blocks B1..B_{R+1} hold malicious servers
+// that "lose their memory" towards reader r1 (they answer r1 as if they had
+// never received any message, and answer everyone else honestly).
+//
+// The schedule mirrors RunCrashConstruction:
+//
+//  1. The signed write(1) reaches only T_{R+1} and B_{R+1}.
+//  2. Readers r1..r_{R−1} invoke reads that stay incomplete.
+//  3. Reader rR performs a complete read that skips T_R; at or beyond the
+//     bound S ≤ (R+2)t + (R+1)b it must return the written value.
+//  4. (prA) r1's pending read completes without ever hearing from T_{R+1};
+//     the malicious B_{R+1} denies having seen the write.
+//  5. (prC) r1 performs a second complete read that skips T_{R+1} and, at or
+//     beyond the bound, returns the old value — an atomicity violation.
+func RunByzantineConstruction(cfg quorum.Config, kind ReaderKind) (ConstructionResult, error) {
+	part, err := BuildByzantinePartition(cfg)
+	if err != nil {
+		return ConstructionResult{}, err
+	}
+	result := ConstructionResult{
+		Config:         cfg,
+		Kind:           kind,
+		BoundSatisfied: cfg.FastReadPossible(),
+	}
+	narrate := func(format string, args ...any) {
+		result.Narrative = append(result.Narrative, fmt.Sprintf(format, args...))
+	}
+	narrate("partition: %s | malicious %s | extra=%v",
+		describeBlocks("T", part.Primary), describeBlocks("B", part.Shadow), part.Extra)
+
+	net := transport.NewInMemNetwork()
+	defer net.Close()
+	keys := sig.MustKeyPair()
+
+	malicious := make(map[types.ProcessID]bool)
+	for _, s := range part.MaliciousServers() {
+		malicious[s] = true
+	}
+
+	honest := make(map[types.ProcessID]*core.Server, cfg.Servers)
+	for i := 1; i <= cfg.Servers; i++ {
+		id := types.Server(i)
+		node, err := net.Join(id)
+		if err != nil {
+			return result, err
+		}
+		if malicious[id] {
+			srv, err := fault.NewByzantineServer(fault.ByzantineConfig{
+				ID:       id,
+				Behavior: fault.BehaviorMemoryLoss,
+				Readers:  cfg.Readers,
+				Victim:   types.Reader(1),
+			}, node)
+			if err != nil {
+				return result, err
+			}
+			srv.Start()
+			defer srv.Stop()
+			continue
+		}
+		srv, err := core.NewServer(core.ServerConfig{
+			ID:        id,
+			Readers:   cfg.Readers,
+			Byzantine: true,
+			Verifier:  keys.Verifier,
+		}, node)
+		if err != nil {
+			return result, err
+		}
+		srv.Start()
+		defer srv.Stop()
+		honest[id] = srv
+	}
+
+	wNode, err := net.Join(types.Writer())
+	if err != nil {
+		return result, err
+	}
+	writer, err := core.NewWriter(core.WriterConfig{Quorum: cfg, Byzantine: true, Signer: keys.Signer}, wNode)
+	if err != nil {
+		return result, err
+	}
+
+	readers := make([]readClient, cfg.Readers)
+	for i := 1; i <= cfg.Readers; i++ {
+		rNode, err := net.Join(types.Reader(i))
+		if err != nil {
+			return result, err
+		}
+		switch kind {
+		case ReaderNaive:
+			nr, err := newNaiveReader(cfg, rNode)
+			if err != nil {
+				return result, err
+			}
+			readers[i-1] = nr
+		case ReaderPaper:
+			pr, err := core.NewReader(core.ReaderConfig{Quorum: cfg, Byzantine: true, Verifier: keys.Verifier}, rNode)
+			if err != nil {
+				return result, err
+			}
+			readers[i-1] = paperReaderAdapter{r: pr}
+		default:
+			return result, fmt.Errorf("adversary: unknown reader kind %d", kind)
+		}
+	}
+
+	recorder := history.NewRecorder()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var background sync.WaitGroup
+	defer background.Wait()
+
+	R := cfg.Readers
+
+	// Step 1: the signed write(1) reaches only T_{R+1} ∪ B_{R+1}.
+	receivesWrite := make(map[types.ProcessID]bool)
+	for _, s := range part.Primary[R] {
+		receivesWrite[s] = true
+	}
+	for _, s := range part.Shadow[R] {
+		receivesWrite[s] = true
+	}
+	for i := 1; i <= cfg.Servers; i++ {
+		if id := types.Server(i); !receivesWrite[id] {
+			net.Hold(types.Writer(), id)
+		}
+	}
+	writeValue := types.Value("v1")
+	writeOp := recorder.Invoke(types.Writer(), history.OpWrite, writeValue)
+	background.Add(1)
+	go func() {
+		defer background.Done()
+		if err := writer.Write(ctx, writeValue); err != nil {
+			recorder.Fail(writeOp)
+			return
+		}
+		recorder.Return(writeOp, nil, 1)
+	}()
+	narrate("signed write(1) invoked; its messages reach only T%d=%v and the malicious B%d=%v",
+		R+1, part.Primary[R], R+1, part.Shadow[R])
+
+	if err := waitForServers(part.Primary[R], func(id types.ProcessID) bool {
+		return honest[id].State().Value.TS >= 1
+	}); err != nil {
+		return result, fmt.Errorf("waiting for write to reach T%d: %w", R+1, err)
+	}
+	time.Sleep(maliciousSettleTime)
+
+	// Step 2: incomplete reads by r1..r_{R−1}.
+	pendingReadDone := make([]chan struct{}, R)
+	for h := 1; h <= R-1; h++ {
+		reader := types.Reader(h)
+		for _, s := range part.primaryUnion(rangeInts(h, R)...) {
+			net.Hold(reader, s)
+		}
+		for _, s := range part.shadowUnion(rangeInts(h+1, R)...) {
+			net.Hold(reader, s)
+		}
+		if h == 1 {
+			var heldReplies []types.ProcessID
+			heldReplies = append(heldReplies, part.primaryUnion(R+1, R+2)...)
+			heldReplies = append(heldReplies, part.shadowUnion(1)...)
+			heldReplies = append(heldReplies, part.shadowUnion(R+1)...)
+			heldReplies = append(heldReplies, part.Extra...)
+			for _, s := range heldReplies {
+				net.Hold(s, reader)
+			}
+		} else {
+			for i := 1; i <= cfg.Servers; i++ {
+				net.Hold(types.Server(i), reader)
+			}
+		}
+
+		done := make(chan struct{})
+		pendingReadDone[h-1] = done
+		op := recorder.Invoke(reader, history.OpRead, nil)
+		rc := readers[h-1]
+		background.Add(1)
+		go func(h int, op int64) {
+			defer background.Done()
+			defer close(done)
+			value, ts, err := rc.Read(ctx)
+			if err != nil {
+				recorder.Fail(op)
+				return
+			}
+			recorder.Return(op, value, ts)
+		}(h, op)
+
+		var mustProcess []types.ProcessID
+		mustProcess = append(mustProcess, part.primaryUnion(rangeInts(1, h-1)...)...)
+		mustProcess = append(mustProcess, part.primaryUnion(R+1, R+2)...)
+		mustProcess = append(mustProcess, part.Extra...)
+		if err := waitForServers(mustProcess, func(id types.ProcessID) bool {
+			return honest[id].State().Counters[h] >= 1
+		}); err != nil {
+			return result, fmt.Errorf("waiting for r%d's read to be processed: %w", h, err)
+		}
+		time.Sleep(maliciousSettleTime)
+		narrate("read by r%d invoked; it skips T%d..T%d and B%d..B%d and its replies stay in transit", h, h, R, h+1, R)
+	}
+
+	// Step 3: complete read by rR skipping T_R.
+	for _, s := range part.Primary[R-1] {
+		net.Hold(types.Reader(R), s)
+	}
+	lastOp := recorder.Invoke(types.Reader(R), history.OpRead, nil)
+	lastValue, lastTS, err := readers[R-1].Read(withTimeout(ctx))
+	if err != nil {
+		recorder.Fail(lastOp)
+		return result, fmt.Errorf("rR's read failed: %w", err)
+	}
+	recorder.Return(lastOp, lastValue, lastTS)
+	result.LastReaderTS = lastTS
+	narrate("complete read by r%d (skipping T%d) returned ts=%d value=%s", R, R, lastTS, lastValue)
+
+	// Step 4 (prA): r1's pending read completes; it never hears from T_{R+1}
+	// and the malicious B_{R+1} pretends it saw nothing.
+	for _, s := range part.primaryUnion(rangeInts(1, R)...) {
+		net.Release(types.Reader(1), s)
+	}
+	for _, s := range part.shadowUnion(rangeInts(2, R)...) {
+		net.Release(types.Reader(1), s)
+	}
+	var releaseReplies []types.ProcessID
+	releaseReplies = append(releaseReplies, part.primaryUnion(R+2)...)
+	releaseReplies = append(releaseReplies, part.shadowUnion(1)...)
+	releaseReplies = append(releaseReplies, part.shadowUnion(R+1)...)
+	releaseReplies = append(releaseReplies, part.Extra...)
+	for _, s := range releaseReplies {
+		net.Release(s, types.Reader(1))
+	}
+	select {
+	case <-pendingReadDone[0]:
+	case <-time.After(scheduleStepTimeout):
+		return result, fmt.Errorf("%w: r1's first read did not complete in prA", errScheduleStuck)
+	}
+	narrate("r1's first read completed; T%d stayed silent and the malicious B%d denied the write", R+1, R+1)
+
+	// Step 5 (prC): r1's second read skips T_{R+1}.
+	for _, s := range part.Primary[R] {
+		net.Hold(types.Reader(1), s)
+	}
+	finalOp := recorder.Invoke(types.Reader(1), history.OpRead, nil)
+	finalValue, finalTS, err := readers[0].Read(withTimeout(ctx))
+	if err != nil {
+		recorder.Fail(finalOp)
+		return result, fmt.Errorf("r1's second read failed: %w", err)
+	}
+	recorder.Return(finalOp, finalValue, finalTS)
+	result.FirstReaderTS = finalTS
+	narrate("r1's second read (skipping T%d) returned ts=%d value=%s", R+1, finalTS, finalValue)
+
+	cancel()
+	background.Wait()
+
+	result.History = recorder.History()
+	report, err := atomicity.CheckSWMR(result.History)
+	if err != nil {
+		return result, err
+	}
+	result.Report = report
+	result.Violation = !report.OK
+	if result.Violation {
+		narrate("atomicity VIOLATED: %s", report.Violations[0].Message)
+	} else {
+		narrate("no atomicity violation")
+	}
+	return result, nil
+}

@@ -1,0 +1,404 @@
+package adversary
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fastread/internal/atomicity"
+	"fastread/internal/core"
+	"fastread/internal/history"
+	"fastread/internal/quorum"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+)
+
+// ReaderKind selects which read implementation is placed under the
+// adversarial schedule.
+type ReaderKind int
+
+const (
+	// ReaderPaper uses the paper's fast reader (with the seen-set
+	// predicate).
+	ReaderPaper ReaderKind = iota + 1
+	// ReaderNaive uses the strawman reader that returns the highest
+	// timestamp it sees, with no predicate.
+	ReaderNaive
+)
+
+// String names the reader kind.
+func (k ReaderKind) String() string {
+	switch k {
+	case ReaderPaper:
+		return "paper"
+	case ReaderNaive:
+		return "naive"
+	default:
+		return "unknown"
+	}
+}
+
+// ConstructionResult is the outcome of executing a lower-bound schedule.
+type ConstructionResult struct {
+	// Config is the deployment the schedule ran against.
+	Config quorum.Config
+	// Kind says which reader implementation was attacked.
+	Kind ReaderKind
+	// BoundSatisfied reports whether the configuration satisfies the
+	// fast-read bound (in which case the paper predicts no violation for
+	// its own algorithm).
+	BoundSatisfied bool
+	// History is the recorded operation history of the schedule.
+	History history.History
+	// Report is the atomicity verdict on that history.
+	Report atomicity.Report
+	// Violation is a convenience alias for !Report.OK.
+	Violation bool
+	// LastReaderTS is the timestamp returned by reader rR's read (the read
+	// the proof forces to return the written value).
+	LastReaderTS types.Timestamp
+	// FirstReaderTS is the timestamp returned by r1's final read (the read
+	// the proof forces to return an older value).
+	FirstReaderTS types.Timestamp
+	// Narrative describes the schedule step by step.
+	Narrative []string
+}
+
+// schedulePollInterval is how often the scheduler polls server state while
+// waiting for a protocol step to be processed.
+const schedulePollInterval = 500 * time.Microsecond
+
+// scheduleStepTimeout bounds each wait of the adversarial schedule.
+const scheduleStepTimeout = 5 * time.Second
+
+// errScheduleStuck indicates a schedule step did not complete in time.
+var errScheduleStuck = errors.New("adversary: schedule step timed out")
+
+// readClient abstracts over the paper reader and the naive reader.
+type readClient interface {
+	Read(ctx context.Context) (types.Value, types.Timestamp, error)
+}
+
+// paperReaderAdapter adapts core.Reader to readClient.
+type paperReaderAdapter struct{ r *core.Reader }
+
+func (a paperReaderAdapter) Read(ctx context.Context) (types.Value, types.Timestamp, error) {
+	res, err := a.r.Read(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Value, res.Timestamp, nil
+}
+
+// RunCrashConstruction executes the Proposition 5 schedule (Figures 3 and 4)
+// against a deployment of the paper's servers and writer, with readers of the
+// requested kind. It returns the recorded history and its atomicity verdict.
+//
+// The schedule is the final partial run prC of the proof:
+//
+//  1. write(1) is invoked but its messages reach only block B_{R+1}.
+//  2. Readers r1..r_{R−1} invoke reads that remain incomplete; their
+//     messages reach every block except B_h..B_R and their replies stay in
+//     transit.
+//  3. Reader rR performs a complete read that skips block B_R. If the
+//     implementation is fast and correct it must return the written value.
+//  4. (prA) r1's pending read completes using replies from every block
+//     except B_{R+1}.
+//  5. (prC) r1 performs a second complete read that skips B_{R+1}.
+//
+// When R ≥ S/t − 2 the adversary can populate every block and step 5 returns
+// the old value even though step 3 returned the new one — an atomicity
+// violation. When R < S/t − 2 the leftover servers (which the adversary
+// cannot hide inside any block) break the construction and the paper's
+// algorithm stays atomic.
+func RunCrashConstruction(cfg quorum.Config, kind ReaderKind) (ConstructionResult, error) {
+	part, err := BuildCrashPartition(cfg)
+	if err != nil {
+		return ConstructionResult{}, err
+	}
+	result := ConstructionResult{
+		Config:         cfg,
+		Kind:           kind,
+		BoundSatisfied: cfg.FastReadPossible(),
+	}
+	narrate := func(format string, args ...any) {
+		result.Narrative = append(result.Narrative, fmt.Sprintf(format, args...))
+	}
+	narrate("partition: %s extra=%v", describeBlocks("B", part.Primary), part.Extra)
+
+	net := transport.NewInMemNetwork()
+	defer net.Close()
+
+	// Servers: the paper's fast servers in both cases (the naive strawman
+	// only changes the reader side).
+	servers := make(map[types.ProcessID]*core.Server, cfg.Servers)
+	for i := 1; i <= cfg.Servers; i++ {
+		id := types.Server(i)
+		node, err := net.Join(id)
+		if err != nil {
+			return result, err
+		}
+		srv, err := core.NewServer(core.ServerConfig{ID: id, Readers: cfg.Readers}, node)
+		if err != nil {
+			return result, err
+		}
+		srv.Start()
+		defer srv.Stop()
+		servers[id] = srv
+	}
+
+	// Writer.
+	wNode, err := net.Join(types.Writer())
+	if err != nil {
+		return result, err
+	}
+	writer, err := core.NewWriter(core.WriterConfig{Quorum: cfg}, wNode)
+	if err != nil {
+		return result, err
+	}
+
+	// Readers.
+	readers := make([]readClient, cfg.Readers)
+	for i := 1; i <= cfg.Readers; i++ {
+		rNode, err := net.Join(types.Reader(i))
+		if err != nil {
+			return result, err
+		}
+		switch kind {
+		case ReaderNaive:
+			nr, err := newNaiveReader(cfg, rNode)
+			if err != nil {
+				return result, err
+			}
+			readers[i-1] = nr
+		case ReaderPaper:
+			pr, err := core.NewReader(core.ReaderConfig{Quorum: cfg}, rNode)
+			if err != nil {
+				return result, err
+			}
+			readers[i-1] = paperReaderAdapter{r: pr}
+		default:
+			return result, fmt.Errorf("adversary: unknown reader kind %d", kind)
+		}
+	}
+
+	recorder := history.NewRecorder()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var background sync.WaitGroup
+	defer background.Wait()
+
+	R := cfg.Readers
+	blockWriteTargets := func() []types.ProcessID {
+		// Everything except B_{R+1} is withheld from the write.
+		var out []types.ProcessID
+		for i := 1; i <= R+2; i++ {
+			if i == R+1 {
+				continue
+			}
+			out = append(out, part.Primary[i-1]...)
+		}
+		out = append(out, part.Extra...)
+		return out
+	}()
+	for _, s := range blockWriteTargets {
+		net.Hold(types.Writer(), s)
+	}
+
+	// Step 1: the incomplete write(1).
+	writeValue := types.Value("v1")
+	writeOp := recorder.Invoke(types.Writer(), history.OpWrite, writeValue)
+	background.Add(1)
+	go func() {
+		defer background.Done()
+		if err := writer.Write(ctx, writeValue); err != nil {
+			recorder.Fail(writeOp)
+			return
+		}
+		recorder.Return(writeOp, nil, 1)
+	}()
+	narrate("write(1) invoked; its messages reach only block B%d = %v", R+1, part.Primary[R])
+
+	if err := waitForServers(part.Primary[R], func(id types.ProcessID) bool {
+		return servers[id].State().Value.TS >= 1
+	}); err != nil {
+		return result, fmt.Errorf("waiting for write to reach B%d: %w", R+1, err)
+	}
+
+	// Step 2: incomplete reads by r1..r_{R−1}.
+	pendingReadDone := make([]chan struct{}, R)
+	pendingReadOp := make([]int64, R)
+	for h := 1; h <= R-1; h++ {
+		reader := types.Reader(h)
+		// Read messages to blocks B_h..B_R stay in transit.
+		for _, s := range part.primaryUnion(rangeInts(h, R)...) {
+			net.Hold(reader, s)
+		}
+		// Replies stay in transit: for r1 only from the blocks that will be
+		// withheld until prA (B_{R+1}, B_{R+2}, extra); for the other
+		// intermediate readers from everyone (their reads never finish).
+		if h == 1 {
+			for _, s := range part.primaryUnion(R+1, R+2) {
+				net.Hold(s, reader)
+			}
+			for _, s := range part.Extra {
+				net.Hold(s, reader)
+			}
+		} else {
+			for i := 1; i <= cfg.Servers; i++ {
+				net.Hold(types.Server(i), reader)
+			}
+		}
+
+		done := make(chan struct{})
+		pendingReadDone[h-1] = done
+		op := recorder.Invoke(reader, history.OpRead, nil)
+		pendingReadOp[h-1] = op
+		rc := readers[h-1]
+		background.Add(1)
+		go func(h int) {
+			defer background.Done()
+			defer close(done)
+			value, ts, err := rc.Read(ctx)
+			if err != nil {
+				recorder.Fail(op)
+				return
+			}
+			recorder.Return(op, value, ts)
+		}(h)
+
+		// Wait until every server that is supposed to receive this read has
+		// processed it (so its seen set mentions r_h before rR reads).
+		var mustProcess []types.ProcessID
+		mustProcess = append(mustProcess, part.primaryUnion(rangeInts(1, h-1)...)...)
+		mustProcess = append(mustProcess, part.primaryUnion(R+1, R+2)...)
+		mustProcess = append(mustProcess, part.Extra...)
+		if err := waitForServers(mustProcess, func(id types.ProcessID) bool {
+			return servers[id].State().Counters[h] >= 1
+		}); err != nil {
+			return result, fmt.Errorf("waiting for r%d's read to be processed: %w", h, err)
+		}
+		narrate("read by r%d invoked; it skips blocks B%d..B%d and all replies to it stay in transit", h, h, R)
+	}
+
+	// Step 3: the complete read by rR, skipping block B_R.
+	for _, s := range part.Primary[R-1] {
+		net.Hold(types.Reader(R), s)
+	}
+	lastOp := recorder.Invoke(types.Reader(R), history.OpRead, nil)
+	lastValue, lastTS, err := readers[R-1].Read(withTimeout(ctx))
+	if err != nil {
+		recorder.Fail(lastOp)
+		return result, fmt.Errorf("rR's read failed: %w", err)
+	}
+	recorder.Return(lastOp, lastValue, lastTS)
+	result.LastReaderTS = lastTS
+	narrate("complete read by r%d (skipping B%d) returned ts=%d value=%s", R, R, lastTS, lastValue)
+
+	// Step 4 (prA): r1's pending read completes without ever hearing from
+	// B_{R+1}.
+	for _, s := range part.primaryUnion(rangeInts(1, R)...) {
+		net.Release(types.Reader(1), s)
+	}
+	for _, s := range part.Primary[R+1] {
+		net.Release(s, types.Reader(1))
+	}
+	for _, s := range part.Extra {
+		net.Release(s, types.Reader(1))
+	}
+	select {
+	case <-pendingReadDone[0]:
+	case <-time.After(scheduleStepTimeout):
+		return result, fmt.Errorf("%w: r1's first read did not complete in prA", errScheduleStuck)
+	}
+	narrate("r1's first read completed using replies from every block except B%d", R+1)
+
+	// Step 5 (prC): r1's second read skips B_{R+1}.
+	for _, s := range part.Primary[R] {
+		net.Hold(types.Reader(1), s)
+	}
+	finalOp := recorder.Invoke(types.Reader(1), history.OpRead, nil)
+	finalValue, finalTS, err := readers[0].Read(withTimeout(ctx))
+	if err != nil {
+		recorder.Fail(finalOp)
+		return result, fmt.Errorf("r1's second read failed: %w", err)
+	}
+	recorder.Return(finalOp, finalValue, finalTS)
+	result.FirstReaderTS = finalTS
+	narrate("r1's second read (skipping B%d) returned ts=%d value=%s", R+1, finalTS, finalValue)
+
+	// Tear down the still-blocked operations and judge the history.
+	cancel()
+	background.Wait()
+
+	result.History = recorder.History()
+	report, err := atomicity.CheckSWMR(result.History)
+	if err != nil {
+		return result, err
+	}
+	result.Report = report
+	result.Violation = !report.OK
+	if result.Violation {
+		narrate("atomicity VIOLATED: %s", report.Violations[0].Message)
+	} else {
+		narrate("no atomicity violation")
+	}
+	return result, nil
+}
+
+// withTimeout derives a bounded context for a single schedule step.
+func withTimeout(ctx context.Context) context.Context {
+	stepCtx, cancel := context.WithTimeout(ctx, scheduleStepTimeout)
+	// The schedule steps are short; letting the timer fire is fine. The
+	// cancel func is retained by the returned context's lifetime.
+	_ = cancel
+	return stepCtx
+}
+
+// waitForServers polls the predicate for every listed server until it holds
+// or the step timeout expires.
+func waitForServers(ids []types.ProcessID, ready func(types.ProcessID) bool) error {
+	deadline := time.Now().Add(scheduleStepTimeout)
+	for {
+		allReady := true
+		for _, id := range ids {
+			if !ready(id) {
+				allReady = false
+				break
+			}
+		}
+		if allReady {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return errScheduleStuck
+		}
+		time.Sleep(schedulePollInterval)
+	}
+}
+
+// rangeInts returns the integers lo..hi inclusive (empty if lo > hi).
+func rangeInts(lo, hi int) []int {
+	if lo > hi {
+		return nil
+	}
+	out := make([]int, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// describeBlocks renders a partition's blocks compactly.
+func describeBlocks(prefix string, blocks [][]types.ProcessID) string {
+	s := ""
+	for i, b := range blocks {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s%d=%v", prefix, i+1, b)
+	}
+	return s
+}

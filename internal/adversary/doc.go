@@ -1,0 +1,23 @@
+// Package adversary turns the paper's lower-bound proofs into executable
+// schedules.
+//
+// The proofs of Proposition 5 (crash model), Proposition 10 (arbitrary
+// failures) and Proposition 11 (multiple writers) construct explicit partial
+// runs — sequences of message deliveries, delays and failures — that force
+// any fast implementation into an atomicity violation when the resilience
+// bound is not met. This package drives real protocol code through those
+// schedules using the in-memory network's Hold/Release/Block controls and
+// records the resulting operation history, which internal/atomicity then
+// judges.
+//
+// Three register implementations can be placed under the adversary:
+//
+//   - the paper's own fast algorithm (internal/core), to show that the
+//     schedule is harmless while R is below the bound and harmful at or
+//     beyond it;
+//   - a "naive" fast reader that skips the seen-set predicate and simply
+//     returns the highest timestamp it sees (the strawman from the paper's
+//     introduction), to show why the predicate is needed at all;
+//   - for the multi-writer case, a naive fast MWMR register versus the
+//     two-round ABD MWMR register.
+package adversary

@@ -1,0 +1,60 @@
+package adversary
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"fastread/internal/protoutil"
+	"fastread/internal/quorum"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// naiveReader is the strawman fast reader from the paper's introduction: it
+// collects S−t acknowledgements and simply returns the value with the
+// highest timestamp, with no seen-set predicate and no memory across reads.
+// With a single reader this is correct; with two or more readers the
+// lower-bound schedule makes it violate atomicity, which is exactly what
+// experiment E2 demonstrates.
+type naiveReader struct {
+	cfg     quorum.Config
+	node    transport.Node
+	id      types.ProcessID
+	servers []types.ProcessID
+
+	mu       sync.Mutex
+	rCounter int64
+}
+
+// newNaiveReader builds a naive fast reader on the given node.
+func newNaiveReader(cfg quorum.Config, node transport.Node) (*naiveReader, error) {
+	if node.ID().Role != types.RoleReader {
+		return nil, fmt.Errorf("adversary: naive reader needs a reader identity, got %v", node.ID())
+	}
+	return &naiveReader{
+		cfg:     cfg,
+		node:    node,
+		id:      node.ID(),
+		servers: protoutil.ServerIDs(cfg.Servers),
+	}, nil
+}
+
+// Read performs one naive fast read.
+func (r *naiveReader) Read(ctx context.Context) (types.Value, types.Timestamp, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rCounter++
+	rc := r.rCounter
+	req := &wire.Message{Op: wire.OpRead, RCounter: rc}
+	filter := func(_ types.ProcessID, m *wire.Message) bool {
+		return m.Op == wire.OpReadAck && m.RCounter == rc
+	}
+	acks, err := protoutil.RoundTrip(ctx, r.node, r.servers, req, r.cfg.AckQuorum(), filter, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	_, best, _ := protoutil.MaxTimestamp(acks)
+	return best.Msg.Cur.Clone(), best.Msg.TS, nil
+}

@@ -1,0 +1,336 @@
+package atomicity
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"fastread/internal/history"
+	"fastread/internal/types"
+)
+
+// historyBuilder constructs synthetic histories with explicit timing so that
+// precedence is unambiguous.
+type historyBuilder struct {
+	ops  history.History
+	now  time.Time
+	next int64
+}
+
+func newBuilder() *historyBuilder {
+	return &historyBuilder{now: time.Unix(0, 0)}
+}
+
+// at returns a time `ticks` milliseconds after the origin.
+func (b *historyBuilder) at(ticks int) time.Time {
+	return b.now.Add(time.Duration(ticks) * time.Millisecond)
+}
+
+func (b *historyBuilder) write(proc types.ProcessID, v string, invoke, ret int, completed bool) {
+	b.next++
+	op := history.Operation{
+		ID:        b.next,
+		Process:   proc,
+		Kind:      history.OpWrite,
+		Argument:  types.Value(v),
+		Invoked:   b.at(invoke),
+		Returned:  b.at(ret),
+		Completed: completed,
+	}
+	b.ops = append(b.ops, op)
+}
+
+func (b *historyBuilder) read(proc types.ProcessID, result string, bottom bool, invoke, ret int) {
+	b.next++
+	op := history.Operation{
+		ID:        b.next,
+		Process:   proc,
+		Kind:      history.OpRead,
+		Invoked:   b.at(invoke),
+		Returned:  b.at(ret),
+		Completed: true,
+	}
+	if !bottom {
+		op.Result = types.Value(result)
+	}
+	b.ops = append(b.ops, op)
+}
+
+func TestSequentialHistoryIsAtomic(t *testing.T) {
+	b := newBuilder()
+	b.write(types.Writer(), "v1", 0, 10, true)
+	b.read(types.Reader(1), "v1", false, 20, 30)
+	b.write(types.Writer(), "v2", 40, 50, true)
+	b.read(types.Reader(2), "v2", false, 60, 70)
+
+	report, err := CheckSWMR(b.ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK {
+		t.Errorf("sequential history flagged: %s", report)
+	}
+	if report.Reads != 2 || report.Writes != 2 {
+		t.Errorf("counts = %d reads / %d writes", report.Reads, report.Writes)
+	}
+	if err := MustBeAtomic(b.ops); err != nil {
+		t.Errorf("MustBeAtomic: %v", err)
+	}
+}
+
+func TestInitialReadOfBottomIsAtomic(t *testing.T) {
+	b := newBuilder()
+	b.read(types.Reader(1), "", true, 0, 5)
+	b.write(types.Writer(), "v1", 10, 20, true)
+	report, err := CheckSWMR(b.ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK {
+		t.Errorf("⊥ before first write flagged: %s", report)
+	}
+}
+
+func TestStaleReadViolatesCondition2(t *testing.T) {
+	b := newBuilder()
+	b.write(types.Writer(), "v1", 0, 10, true)
+	b.write(types.Writer(), "v2", 20, 30, true)
+	// Read invoked after write v2 completed, but returns v1.
+	b.read(types.Reader(1), "v1", false, 40, 50)
+
+	report, err := CheckSWMR(b.ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK {
+		t.Fatal("stale read not detected")
+	}
+	if report.Violations[0].Condition != CondReadAfterWrite {
+		t.Errorf("condition = %d, want 2", report.Violations[0].Condition)
+	}
+	if MustBeAtomic(b.ops) == nil {
+		t.Error("MustBeAtomic should fail")
+	}
+}
+
+func TestUnknownValueViolatesCondition1(t *testing.T) {
+	b := newBuilder()
+	b.write(types.Writer(), "v1", 0, 10, true)
+	b.read(types.Reader(1), "never-written", false, 20, 30)
+	report, err := CheckSWMR(b.ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK || report.Violations[0].Condition != CondValidValue {
+		t.Errorf("report = %s", report)
+	}
+}
+
+func TestFutureReadViolatesCondition3(t *testing.T) {
+	b := newBuilder()
+	// Read completes before the write of the value it returns is invoked.
+	b.read(types.Reader(1), "v1", false, 0, 5)
+	b.write(types.Writer(), "v1", 10, 20, true)
+	report, err := CheckSWMR(b.ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK {
+		t.Fatal("future read not detected")
+	}
+	found := false
+	for _, v := range report.Violations {
+		if v.Condition == CondNoFutureRead {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no condition-3 violation in %s", report)
+	}
+}
+
+func TestNewOldInversionViolatesCondition4(t *testing.T) {
+	// This is exactly the violation the lower-bound construction produces:
+	// rd1 returns the new value, a later rd2 returns the old one.
+	b := newBuilder()
+	b.write(types.Writer(), "old", 0, 10, true)
+	b.write(types.Writer(), "new", 20, 200, false) // incomplete write
+	b.read(types.Reader(1), "new", false, 30, 40)
+	b.read(types.Reader(2), "old", false, 50, 60)
+
+	report, err := CheckSWMR(b.ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK {
+		t.Fatal("new/old inversion not detected")
+	}
+	if report.Violations[0].Condition != CondReadMonotone {
+		t.Errorf("condition = %d, want 4", report.Violations[0].Condition)
+	}
+
+	// The same history is acceptable for a REGULAR register.
+	regReport, err := CheckRegular(b.ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regReport.OK {
+		t.Errorf("regular check should accept a new/old inversion: %s", regReport)
+	}
+}
+
+func TestConcurrentReadDuringWriteMayReturnEitherValue(t *testing.T) {
+	for _, result := range []string{"v1", "v2"} {
+		b := newBuilder()
+		b.write(types.Writer(), "v1", 0, 10, true)
+		b.write(types.Writer(), "v2", 20, 60, true)
+		b.read(types.Reader(1), result, false, 30, 40) // concurrent with write v2
+		report, err := CheckSWMR(b.ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !report.OK {
+			t.Errorf("concurrent read returning %s flagged: %s", result, report)
+		}
+	}
+}
+
+func TestDuplicateWritesRejected(t *testing.T) {
+	b := newBuilder()
+	b.write(types.Writer(), "same", 0, 10, true)
+	b.write(types.Writer(), "same", 20, 30, true)
+	if _, err := CheckSWMR(b.ops); !errors.Is(err, ErrDuplicateWrites) {
+		t.Errorf("err = %v, want ErrDuplicateWrites", err)
+	}
+	if _, err := CheckLinearizable(b.ops); !errors.Is(err, ErrDuplicateWrites) {
+		t.Errorf("linearizable err = %v, want ErrDuplicateWrites", err)
+	}
+}
+
+func TestViolationAndReportStrings(t *testing.T) {
+	v := Violation{Condition: CondReadMonotone, Message: "boom"}
+	if !strings.Contains(v.String(), "condition 4") {
+		t.Errorf("violation string = %q", v.String())
+	}
+	ok := Report{OK: true, Reads: 1, Writes: 1}
+	if !strings.Contains(ok.String(), "atomic") {
+		t.Errorf("ok report string = %q", ok.String())
+	}
+	bad := Report{Violations: []Violation{v}}
+	if !strings.Contains(bad.String(), "NOT atomic") {
+		t.Errorf("bad report string = %q", bad.String())
+	}
+}
+
+func TestLinearizableSequentialMultiWriter(t *testing.T) {
+	b := newBuilder()
+	b.write(types.Reader(1), "w1-a", 0, 10, true) // writer modelled as client 1
+	b.write(types.Reader(2), "w2-a", 20, 30, true)
+	b.read(types.Reader(3), "w2-a", false, 40, 50)
+	report, err := CheckLinearizable(b.ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK {
+		t.Errorf("sequential MW history flagged: %s", report)
+	}
+}
+
+func TestLinearizableDetectsP2Violation(t *testing.T) {
+	// Two reads after all writes completed return different values — the
+	// property P2 violation from Proposition 11.
+	b := newBuilder()
+	b.write(types.Reader(1), "one", 0, 10, true)
+	b.write(types.Reader(2), "two", 20, 30, true)
+	b.read(types.Reader(3), "one", false, 40, 50)
+	b.read(types.Reader(4), "two", false, 60, 70)
+
+	report, err := CheckLinearizable(b.ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK {
+		t.Error("P2 violation not detected")
+	}
+}
+
+func TestLinearizableConcurrentWritesEitherOrderOK(t *testing.T) {
+	b := newBuilder()
+	b.write(types.Reader(1), "a", 0, 100, true)
+	b.write(types.Reader(2), "b", 10, 90, true)
+	b.read(types.Reader(3), "a", false, 110, 120)
+	report, err := CheckLinearizable(b.ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK {
+		t.Errorf("concurrent writes then read of either value should linearize: %s", report)
+	}
+}
+
+func TestLinearizableIncompleteWriteOptional(t *testing.T) {
+	// An incomplete write may be linearized (read sees it) or omitted
+	// (read sees the previous value); both histories must pass.
+	for _, result := range []string{"old", "maybe"} {
+		b := newBuilder()
+		b.write(types.Reader(1), "old", 0, 10, true)
+		b.write(types.Reader(2), "maybe", 20, 500, false)
+		b.read(types.Reader(3), result, false, 30, 40)
+		report, err := CheckLinearizable(b.ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !report.OK {
+			t.Errorf("history with incomplete write returning %q flagged: %s", result, report)
+		}
+	}
+}
+
+func TestLinearizableReadOfBottom(t *testing.T) {
+	b := newBuilder()
+	b.read(types.Reader(1), "", true, 0, 10)
+	b.write(types.Reader(2), "x", 20, 30, true)
+	report, err := CheckLinearizable(b.ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK {
+		t.Errorf("⊥ read before any write flagged: %s", report)
+	}
+
+	// A ⊥ read AFTER a completed write is not linearizable.
+	b2 := newBuilder()
+	b2.write(types.Reader(2), "x", 0, 10, true)
+	b2.read(types.Reader(1), "", true, 20, 30)
+	report, err = CheckLinearizable(b2.ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK {
+		t.Error("⊥ read after a completed write should not linearize")
+	}
+}
+
+func TestLinearizableEmptyValueDistinctFromBottom(t *testing.T) {
+	b := newBuilder()
+	b.write(types.Reader(1), "", 0, 10, true) // writes the empty (non-⊥) value
+	b.read(types.Reader(2), "", true, 20, 30) // returns ⊥
+	report, err := CheckLinearizable(b.ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK {
+		t.Error("⊥ after a completed write of the empty value should not linearize")
+	}
+}
+
+func TestLinearizableTooManyOps(t *testing.T) {
+	b := newBuilder()
+	for i := 0; i < 70; i++ {
+		b.read(types.Reader(1), "", true, i*10, i*10+5)
+	}
+	if _, err := CheckLinearizable(b.ops); err == nil {
+		t.Error("oversized history should be rejected")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fastread/internal/quorum"
+	"fastread/internal/sig"
+	"fastread/internal/trace"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+)
+
+// testCluster wires up a full in-memory deployment of the fast register:
+// S servers, the writer and R readers.
+type testCluster struct {
+	t       *testing.T
+	cfg     quorum.Config
+	net     *transport.InMemNetwork
+	servers []*Server
+	writer  *Writer
+	readers []*Reader
+	keys    sig.KeyPair
+	trace   *trace.Trace
+	byz     bool
+}
+
+type clusterOption func(*testCluster)
+
+func withByzantine() clusterOption {
+	return func(c *testCluster) { c.byz = true }
+}
+
+func withNetwork(net *transport.InMemNetwork) clusterOption {
+	return func(c *testCluster) { c.net = net }
+}
+
+// newTestCluster builds and starts a cluster. Servers, writer and readers are
+// all attached to the same in-memory network.
+func newTestCluster(t *testing.T, cfg quorum.Config, opts ...clusterOption) *testCluster {
+	t.Helper()
+	c := &testCluster{t: t, cfg: cfg, trace: trace.New(), keys: sig.MustKeyPair()}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.net == nil {
+		c.net = transport.NewInMemNetwork()
+	}
+	t.Cleanup(func() { _ = c.net.Close() })
+
+	for i := 1; i <= cfg.Servers; i++ {
+		node, err := c.net.Join(types.Server(i))
+		if err != nil {
+			t.Fatalf("join server %d: %v", i, err)
+		}
+		srv, err := NewServer(ServerConfig{
+			ID:        types.Server(i),
+			Readers:   cfg.Readers,
+			Byzantine: c.byz,
+			Verifier:  c.keys.Verifier,
+			Trace:     c.trace,
+		}, node)
+		if err != nil {
+			t.Fatalf("new server %d: %v", i, err)
+		}
+		srv.Start()
+		c.servers = append(c.servers, srv)
+		t.Cleanup(srv.Stop)
+	}
+
+	wNode, err := c.net.Join(types.Writer())
+	if err != nil {
+		t.Fatalf("join writer: %v", err)
+	}
+	c.writer, err = NewWriter(WriterConfig{
+		Quorum:    cfg,
+		Byzantine: c.byz,
+		Signer:    c.keys.Signer,
+		Trace:     c.trace,
+	}, wNode)
+	if err != nil {
+		t.Fatalf("new writer: %v", err)
+	}
+
+	for i := 1; i <= cfg.Readers; i++ {
+		rNode, err := c.net.Join(types.Reader(i))
+		if err != nil {
+			t.Fatalf("join reader %d: %v", i, err)
+		}
+		rd, err := NewReader(ReaderConfig{
+			Quorum:    cfg,
+			Byzantine: c.byz,
+			Verifier:  c.keys.Verifier,
+			Trace:     c.trace,
+		}, rNode)
+		if err != nil {
+			t.Fatalf("new reader %d: %v", i, err)
+		}
+		c.readers = append(c.readers, rd)
+	}
+	return c
+}
+
+func (c *testCluster) ctx() context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	c.t.Cleanup(cancel)
+	return ctx
+}
+
+func (c *testCluster) write(v string) {
+	c.t.Helper()
+	if err := c.writer.Write(c.ctx(), types.Value(v)); err != nil {
+		c.t.Fatalf("write %q: %v", v, err)
+	}
+}
+
+func (c *testCluster) read(reader int) ReadResult {
+	c.t.Helper()
+	res, err := c.readers[reader-1].Read(c.ctx())
+	if err != nil {
+		c.t.Fatalf("read by r%d: %v", reader, err)
+	}
+	return res
+}

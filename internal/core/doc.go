@@ -1,0 +1,32 @@
+// Package core implements the paper's primary contribution: fast
+// single-writer multi-reader (SWMR) atomic register implementations in which
+// every read and every write completes in a single communication round-trip.
+//
+// Two variants are provided, exactly following the paper:
+//
+//   - The crash-failure algorithm of Figure 2, correct whenever the number of
+//     readers satisfies R < S/t − 2 (equivalently S > (R+2)·t).
+//   - The arbitrary-failure algorithm of Figure 5, in which the writer signs
+//     each timestamp/value pair; it is correct whenever
+//     S > (R+2)·t + (R+1)·b, where b ≤ t of the faulty servers may behave
+//     maliciously.
+//
+// The three process roles are:
+//
+//   - Server (server.go): stores the latest timestamp, its value tags and the
+//     seen set (the clients it has replied to since last adopting a
+//     timestamp), plus a per-client counter used to ignore stale messages.
+//   - Writer (writer.go): increments its local timestamp, broadcasts the
+//     signed (in the arbitrary-failure variant) value and waits for S−t
+//     acknowledgements.
+//   - Reader (reader.go): broadcasts a read request carrying the highest
+//     timestamp it has previously observed (a lightweight "write back" that
+//     costs no extra round), collects S−t acknowledgements, and decides —
+//     using the seen-set predicate in predicate.go — whether returning the
+//     highest observed timestamp is safe or whether it must return the
+//     previous one.
+//
+// The value returned for timestamp maxTS−1 is available without a second
+// round because every write carries both the new value and the immediately
+// preceding one ("two tags", end of Section 4 of the paper).
+package core

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"fastread/internal/quorum"
+	"fastread/internal/types"
+)
+
+// MaxPredicateUnion bounds the number of distinct client processes that may
+// appear in the seen sets handed to the predicate evaluator. The exact
+// evaluation enumerates subsets of that union (with a subset-sum dynamic
+// program), so the bound keeps both time and memory small. Honest runs only
+// ever produce unions of size ≤ R+1, and the façade rejects configurations
+// with more readers than this.
+const MaxPredicateUnion = 22
+
+// ErrPredicateTooLarge indicates the seen sets mention more distinct clients
+// than the exact evaluator supports.
+var ErrPredicateTooLarge = errors.New("core: seen-set union exceeds supported size")
+
+// SeenAck is the per-message input to the predicate: which server sent the
+// maxTS message and which clients were in its seen set.
+type SeenAck struct {
+	Server types.ProcessID
+	Seen   types.ProcessSet
+}
+
+// PredicateResult reports the outcome of evaluating the fast-read predicate.
+type PredicateResult struct {
+	// Holds is true when the reader may safely return maxTS.
+	Holds bool
+	// Level is the witness value of a ∈ [1, R+1] for which the predicate
+	// held (0 when it did not hold).
+	Level int
+	// Witness is the set of clients common to the witnessing messages
+	// (empty when the predicate did not hold).
+	Witness types.ProcessSet
+	// Support is the number of messages containing the witness set.
+	Support int
+}
+
+// EvaluatePredicate decides whether a reader that received the given maxTS
+// messages may return maxTS (paper Figure 2 line 19, Figure 5 line 19):
+//
+//	∃ a ∈ [1, R+1], ∃ MS ⊆ maxTSmsg:
+//	    |MS| ≥ S − a·t − (a−1)·b   and   |∩_{m ∈ MS} m.seen| ≥ a
+//
+// In the crash model b = 0 and the threshold reduces to S − a·t.
+//
+// The evaluation is exact. For a candidate set P of clients, the best
+// possible MS is the set of all messages whose seen set contains P, so the
+// predicate is equivalent to the existence of a non-empty client set P with
+// |{m : P ⊆ m.seen}| ≥ S − |P|·t − (|P|−1)·b and |P| ≤ R+1. We enumerate all
+// subsets of the union of the (client-restricted) seen sets using a
+// superset-sum dynamic program, which costs O(2^u · u) for a union of u
+// clients; u is at most R+1 in honest runs.
+//
+// Only legitimate clients (the writer and readers r1..rR from cfg) are
+// considered: malicious servers may stuff arbitrary identifiers into their
+// seen sets, but fictitious processes never help an honest run and must not
+// influence the decision.
+func EvaluatePredicate(cfg quorum.Config, acks []SeenAck) (PredicateResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return PredicateResult{}, err
+	}
+	if len(acks) == 0 {
+		return PredicateResult{}, nil
+	}
+
+	// Collect the union of legitimate clients mentioned in the seen sets.
+	union := make([]types.ProcessID, 0, cfg.Readers+1)
+	index := make(map[types.ProcessID]int, cfg.Readers+1)
+	for _, a := range acks {
+		for p := range a.Seen {
+			if !isLegitimateClient(p, cfg.Readers) {
+				continue
+			}
+			if _, ok := index[p]; !ok {
+				index[p] = len(union)
+				union = append(union, p)
+			}
+		}
+	}
+	if len(union) == 0 {
+		return PredicateResult{}, nil
+	}
+	if len(union) > MaxPredicateUnion {
+		return PredicateResult{}, fmt.Errorf("%w: %d clients", ErrPredicateTooLarge, len(union))
+	}
+
+	u := len(union)
+	size := 1 << u
+	// count[mask] starts as the number of messages whose (client-restricted)
+	// seen set is exactly mask, and after the superset-sum transform holds
+	// the number of messages whose seen set is a superset of mask.
+	count := make([]int, size)
+	for _, a := range acks {
+		mask := 0
+		for p := range a.Seen {
+			if i, ok := index[p]; ok {
+				mask |= 1 << i
+			}
+		}
+		count[mask]++
+	}
+	for bit := 0; bit < u; bit++ {
+		for mask := 0; mask < size; mask++ {
+			if mask&(1<<bit) == 0 {
+				count[mask] += count[mask|1<<bit]
+			}
+		}
+	}
+
+	maxLevel := cfg.MaxPredicateLevel()
+	best := PredicateResult{}
+	for mask := 1; mask < size; mask++ {
+		a := bits.OnesCount(uint(mask))
+		if a > maxLevel {
+			continue
+		}
+		threshold := cfg.PredicateThreshold(a)
+		if threshold < 1 {
+			threshold = 1
+		}
+		if count[mask] < threshold {
+			continue
+		}
+		if !best.Holds || a < best.Level || (a == best.Level && count[mask] > best.Support) {
+			witness := types.NewProcessSet()
+			for i := 0; i < u; i++ {
+				if mask&(1<<i) != 0 {
+					witness.Add(union[i])
+				}
+			}
+			best = PredicateResult{Holds: true, Level: a, Witness: witness, Support: count[mask]}
+		}
+	}
+	return best, nil
+}
+
+// isLegitimateClient reports whether p is the writer or one of the readers
+// r1..rR.
+func isLegitimateClient(p types.ProcessID, readers int) bool {
+	switch p.Role {
+	case types.RoleWriter:
+		return p.Index == 0
+	case types.RoleReader:
+		return p.Index >= 1 && p.Index <= readers
+	default:
+		return false
+	}
+}
+
+// evaluatePredicateBruteForce is the reference implementation used by tests:
+// it literally enumerates every subset MS of the messages and checks the
+// paper's condition. Exponential in the number of messages; test-only sizes.
+func evaluatePredicateBruteForce(cfg quorum.Config, acks []SeenAck) bool {
+	n := len(acks)
+	maxLevel := cfg.MaxPredicateLevel()
+	for subset := 1; subset < 1<<n; subset++ {
+		var inter types.ProcessSet
+		count := 0
+		for i := 0; i < n; i++ {
+			if subset&(1<<i) == 0 {
+				continue
+			}
+			legit := types.NewProcessSet()
+			for p := range acks[i].Seen {
+				if isLegitimateClient(p, cfg.Readers) {
+					legit.Add(p)
+				}
+			}
+			if count == 0 {
+				inter = legit
+			} else {
+				inter = inter.Intersect(legit)
+			}
+			count++
+		}
+		for a := 1; a <= maxLevel; a++ {
+			threshold := cfg.PredicateThreshold(a)
+			if threshold < 1 {
+				threshold = 1
+			}
+			if count >= threshold && inter.Len() >= a {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastread/internal/quorum"
+	"fastread/internal/types"
+)
+
+func seenAck(server int, members ...types.ProcessID) SeenAck {
+	return SeenAck{Server: types.Server(server), Seen: types.NewProcessSet(members...)}
+}
+
+func TestPredicateCompleteWriteScenario(t *testing.T) {
+	// S=4, t=1, R=1: after a complete write followed by a read, every server
+	// in S1∩S2 (size ≥ S−2t = 2) has both w and the reader in seen. The
+	// predicate must hold with a=2 (Lemma 3 case z=k).
+	cfg := quorum.Config{Servers: 4, Faulty: 1, Readers: 1}
+	acks := []SeenAck{
+		seenAck(1, types.Writer(), types.Reader(1)),
+		seenAck(2, types.Writer(), types.Reader(1)),
+		seenAck(3, types.Writer(), types.Reader(1)),
+	}
+	res, err := EvaluatePredicate(cfg, acks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("predicate should hold after a complete write: %+v", res)
+	}
+	if res.Level > 2 {
+		t.Errorf("expected witness level ≤ 2, got %d", res.Level)
+	}
+}
+
+func TestPredicateIncompleteWriteOnlyWriterSeen(t *testing.T) {
+	// S=4, t=1, R=1. An incomplete write reached only one server; the reader
+	// got maxTS from that single server. |MS| = 1 < S−t = 3 for a=1 and
+	// 1 < S−2t = 2 for a=2, so the predicate must NOT hold.
+	cfg := quorum.Config{Servers: 4, Faulty: 1, Readers: 1}
+	acks := []SeenAck{
+		seenAck(1, types.Writer(), types.Reader(1)),
+	}
+	res, err := EvaluatePredicate(cfg, acks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatalf("predicate should not hold for a single maxTS message: %+v", res)
+	}
+}
+
+func TestPredicateAllAcksAtWrittenBackTimestamp(t *testing.T) {
+	// Lemma 2 situation: the reader wrote back ts=x and every one of the S−t
+	// acks carries ts=x with the reader in seen, so a=1 must succeed.
+	cfg := quorum.Config{Servers: 5, Faulty: 1, Readers: 2}
+	acks := []SeenAck{
+		seenAck(1, types.Reader(2)),
+		seenAck(2, types.Reader(2)),
+		seenAck(3, types.Reader(2), types.Writer()),
+		seenAck(4, types.Reader(2), types.Reader(1)),
+	}
+	res, err := EvaluatePredicate(cfg, acks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds || res.Level != 1 {
+		t.Fatalf("predicate should hold with a=1: %+v", res)
+	}
+	if !res.Witness.Has(types.Reader(2)) {
+		t.Errorf("witness %v should contain r2", res.Witness)
+	}
+}
+
+func TestPredicateRequiresEnoughSupportAtEachLevel(t *testing.T) {
+	// S=10, t=2, R=2 (max level 3). Thresholds: a=1→8, a=2→6, a=3→4.
+	cfg := quorum.Config{Servers: 10, Faulty: 2, Readers: 2}
+
+	// 5 messages all containing {w, r1}: a=2 needs 6, a=1 needs 8 → fails.
+	var five []SeenAck
+	for i := 1; i <= 5; i++ {
+		five = append(five, seenAck(i, types.Writer(), types.Reader(1)))
+	}
+	res, err := EvaluatePredicate(cfg, five)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatalf("5 messages with a 2-client intersection should fail (needs 6): %+v", res)
+	}
+
+	// 6 messages with {w, r1} → a=2 holds.
+	six := append(five, seenAck(6, types.Writer(), types.Reader(1)))
+	res, err = EvaluatePredicate(cfg, six)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds || res.Level != 2 {
+		t.Fatalf("6 messages with a 2-client intersection should hold at a=2: %+v", res)
+	}
+
+	// 4 messages with {w, r1, r2} → a=3 holds even though a=1,2 fail.
+	var four []SeenAck
+	for i := 1; i <= 4; i++ {
+		four = append(four, seenAck(i, types.Writer(), types.Reader(1), types.Reader(2)))
+	}
+	res, err = EvaluatePredicate(cfg, four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds || res.Level != 3 {
+		t.Fatalf("4 messages with a 3-client intersection should hold at a=3: %+v", res)
+	}
+}
+
+func TestPredicateByzantineThresholds(t *testing.T) {
+	// S=8, t=1, b=1, R=1: thresholds a=1→7 (S−t), a=2→5 (S−2t−b).
+	cfg := quorum.Config{Servers: 8, Faulty: 1, Malicious: 1, Readers: 1}
+	var acks []SeenAck
+	for i := 1; i <= 5; i++ {
+		acks = append(acks, seenAck(i, types.Writer(), types.Reader(1)))
+	}
+	res, err := EvaluatePredicate(cfg, acks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds || res.Level != 2 {
+		t.Fatalf("5 messages should satisfy the Byzantine a=2 threshold of 5: %+v", res)
+	}
+	// With only 4 it must fail (4 < 5 and 4 < 7).
+	res, err = EvaluatePredicate(cfg, acks[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatalf("4 messages should not satisfy any Byzantine threshold: %+v", res)
+	}
+}
+
+func TestPredicateIgnoresIllegitimateClients(t *testing.T) {
+	// Malicious servers stuff their seen sets with servers and out-of-range
+	// readers; those must not help the predicate.
+	cfg := quorum.Config{Servers: 4, Faulty: 1, Readers: 1}
+	acks := []SeenAck{
+		seenAck(1, types.Server(2), types.Reader(9)),
+		seenAck(2, types.Server(2), types.Reader(9)),
+		seenAck(3, types.Server(2), types.Reader(9)),
+	}
+	res, err := EvaluatePredicate(cfg, acks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatalf("fictitious clients must not satisfy the predicate: %+v", res)
+	}
+}
+
+func TestPredicateEmptyInputs(t *testing.T) {
+	cfg := quorum.Config{Servers: 4, Faulty: 1, Readers: 1}
+	res, err := EvaluatePredicate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Error("empty ack list should not satisfy the predicate")
+	}
+	res, err = EvaluatePredicate(cfg, []SeenAck{seenAck(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Error("acks with empty seen sets should not satisfy the predicate")
+	}
+}
+
+func TestPredicateInvalidConfig(t *testing.T) {
+	_, err := EvaluatePredicate(quorum.Config{Servers: 0}, []SeenAck{seenAck(1, types.Writer())})
+	if err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestPredicateUnionTooLarge(t *testing.T) {
+	cfg := quorum.Config{Servers: 200, Faulty: 1, Readers: 60}
+	members := make([]types.ProcessID, 0, MaxPredicateUnion+2)
+	for i := 1; i <= MaxPredicateUnion+2; i++ {
+		members = append(members, types.Reader(i))
+	}
+	acks := []SeenAck{{Server: types.Server(1), Seen: types.NewProcessSet(members...)}}
+	_, err := EvaluatePredicate(cfg, acks)
+	if !errors.Is(err, ErrPredicateTooLarge) {
+		t.Errorf("err = %v, want ErrPredicateTooLarge", err)
+	}
+}
+
+func TestPredicateMonotoneInSupport(t *testing.T) {
+	// Adding another message carrying the same seen set can never turn a
+	// holding predicate into a failing one.
+	cfg := quorum.Config{Servers: 7, Faulty: 1, Readers: 3}
+	base := []SeenAck{
+		seenAck(1, types.Writer(), types.Reader(1)),
+		seenAck(2, types.Writer(), types.Reader(1)),
+		seenAck(3, types.Writer(), types.Reader(2)),
+		seenAck(4, types.Writer()),
+		seenAck(5, types.Writer(), types.Reader(1)),
+		seenAck(6, types.Writer(), types.Reader(3)),
+	}
+	resBase, err := EvaluatePredicate(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resBase.Holds {
+		t.Fatalf("base predicate should hold (a=1 with w in all 6 ≥ S−t=6): %+v", resBase)
+	}
+	extended := append(append([]SeenAck(nil), base...), seenAck(7, types.Writer(), types.Reader(1), types.Reader(2)))
+	resExt, err := EvaluatePredicate(cfg, extended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resExt.Holds {
+		t.Errorf("adding a message broke a holding predicate: %+v", resExt)
+	}
+}
+
+// TestPredicateMatchesBruteForce cross-checks the subset-sum evaluator
+// against the literal definition on random small instances.
+func TestPredicateMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	clients := []types.ProcessID{types.Writer(), types.Reader(1), types.Reader(2), types.Reader(3)}
+	for trial := 0; trial < 500; trial++ {
+		cfg := quorum.Config{
+			Servers:   4 + rng.Intn(8),
+			Faulty:    1 + rng.Intn(2),
+			Malicious: 0,
+			Readers:   3,
+		}
+		if cfg.Faulty > cfg.Servers {
+			cfg.Faulty = cfg.Servers
+		}
+		if rng.Intn(2) == 0 {
+			cfg.Malicious = rng.Intn(cfg.Faulty + 1)
+		}
+		n := rng.Intn(7)
+		acks := make([]SeenAck, 0, n)
+		for i := 0; i < n; i++ {
+			seen := types.NewProcessSet()
+			for _, c := range clients {
+				if rng.Intn(2) == 0 {
+					seen.Add(c)
+				}
+			}
+			acks = append(acks, SeenAck{Server: types.Server(i + 1), Seen: seen})
+		}
+		got, err := EvaluatePredicate(cfg, acks)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := evaluatePredicateBruteForce(cfg, acks)
+		if got.Holds != want {
+			t.Fatalf("trial %d: cfg=%v acks=%v: fast=%v brute=%v", trial, cfg, acks, got.Holds, want)
+		}
+	}
+}
+
+// Property: if the predicate holds, the reported witness really is contained
+// in at least Support messages and Support meets the threshold for Level.
+func TestPredicateWitnessIsSound(t *testing.T) {
+	cfg := quorum.Config{Servers: 9, Faulty: 2, Readers: 2}
+	f := func(masks []uint8) bool {
+		clients := []types.ProcessID{types.Writer(), types.Reader(1), types.Reader(2)}
+		if len(masks) > 7 {
+			masks = masks[:7]
+		}
+		acks := make([]SeenAck, 0, len(masks))
+		for i, m := range masks {
+			seen := types.NewProcessSet()
+			for bit, c := range clients {
+				if m&(1<<bit) != 0 {
+					seen.Add(c)
+				}
+			}
+			acks = append(acks, SeenAck{Server: types.Server(i + 1), Seen: seen})
+		}
+		res, err := EvaluatePredicate(cfg, acks)
+		if err != nil {
+			return false
+		}
+		if !res.Holds {
+			return true
+		}
+		if res.Witness.Len() < res.Level || res.Level < 1 || res.Level > cfg.MaxPredicateLevel() {
+			return false
+		}
+		support := 0
+		for _, a := range acks {
+			if a.Seen.ContainsAll(res.Witness) {
+				support++
+			}
+		}
+		threshold := cfg.PredicateThreshold(res.Level)
+		return support == res.Support && support >= threshold
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"fastread/internal/protoutil"
+	"fastread/internal/quorum"
+	"fastread/internal/sig"
+	"fastread/internal/stats"
+	"fastread/internal/trace"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// ReaderConfig configures a reader process ri.
+type ReaderConfig struct {
+	// Quorum describes the deployment (S, t, b, R).
+	Quorum quorum.Config
+	// Byzantine enables the arbitrary-failure variant (Figure 5): readers
+	// verify the writer's signature on every acknowledgement and discard
+	// replies from servers that pretend not to have seen the written-back
+	// timestamp.
+	Byzantine bool
+	// Verifier is the writer's public key; required when Byzantine is true.
+	Verifier sig.Verifier
+	// Trace, if non-nil, records protocol events.
+	Trace *trace.Trace
+}
+
+// ReadResult reports what a read returned and how it decided.
+type ReadResult struct {
+	// Value is the value returned by the read (possibly ⊥).
+	Value types.Value
+	// Timestamp is the logical timestamp of the returned value.
+	Timestamp types.Timestamp
+	// MaxTimestamp is the highest timestamp observed during the read.
+	MaxTimestamp types.Timestamp
+	// PredicateHeld reports whether the seen-set predicate allowed returning
+	// MaxTimestamp (when false the read returned MaxTimestamp−1).
+	PredicateHeld bool
+	// PredicateLevel is the witness a for which the predicate held.
+	PredicateLevel int
+	// RoundTrips is the number of communication round-trips used (always 1).
+	RoundTrips int
+}
+
+// Reader is the reader-side of the fast algorithms (Figure 2 / Figure 5
+// lines 9-22). A Reader performs one read at a time; Read is not safe for
+// concurrent use by multiple goroutines.
+type Reader struct {
+	cfg     ReaderConfig
+	node    transport.Node
+	id      types.ProcessID
+	servers []types.ProcessID
+
+	mu       sync.Mutex
+	rCounter int64
+	last     types.TaggedValue // highest observed timestamp and its tags
+	lastSig  []byte
+	rounds   stats.Counter
+	reads    int64
+	fallback int64 // reads that returned maxTS−1
+}
+
+// NewReader creates reader client ri bound to the given transport node.
+func NewReader(cfg ReaderConfig, node transport.Node) (*Reader, error) {
+	if err := cfg.Quorum.Validate(); err != nil {
+		return nil, err
+	}
+	if node == nil {
+		return nil, fmt.Errorf("core: reader requires a transport node")
+	}
+	id := node.ID()
+	if id.Role != types.RoleReader || id.Index < 1 || id.Index > cfg.Quorum.Readers {
+		return nil, fmt.Errorf("%w: got %v with R=%d", ErrNotReader, id, cfg.Quorum.Readers)
+	}
+	return &Reader{
+		cfg:     cfg,
+		node:    node,
+		id:      id,
+		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
+		last:    types.InitialTaggedValue(),
+	}, nil
+}
+
+// ID returns the reader's process identity.
+func (r *Reader) ID() types.ProcessID { return r.id }
+
+// Read returns the current register value in a single round-trip.
+func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// Figure 2 line 13: rCounter ← rCounter+1; ts ← maxTS. The read request
+	// writes back the highest timestamp the reader has observed, together
+	// with its value tags (and the writer's signature in the
+	// arbitrary-failure variant) so servers can adopt it.
+	r.rCounter++
+	rc := r.rCounter
+	writeBack := r.last
+	req := &wire.Message{
+		Op:        wire.OpRead,
+		TS:        writeBack.TS,
+		Cur:       writeBack.Cur.Clone(),
+		Prev:      writeBack.Prev.Clone(),
+		RCounter:  rc,
+		WriterSig: append([]byte(nil), r.lastSig...),
+	}
+
+	r.cfg.Trace.Record(trace.KindInvoke, r.id, types.ProcessID{}, "read() rc=%d writeback ts=%d", rc, writeBack.TS)
+
+	need := r.cfg.Quorum.AckQuorum()
+	filter := r.ackFilter(rc, writeBack.TS)
+	acks, err := protoutil.RoundTrip(ctx, r.node, r.servers, req, need, filter, r.cfg.Trace)
+	if err != nil {
+		return ReadResult{}, fmt.Errorf("core: read rc=%d: %w", rc, err)
+	}
+	r.rounds.Add(1)
+	r.reads++
+
+	// Figure 2 lines 16-18: find maxTS and the messages carrying it.
+	maxTS, _, _ := protoutil.MaxTimestamp(acks)
+	maxAcks := protoutil.FilterByTimestamp(acks, maxTS)
+
+	seenAcks := make([]SeenAck, len(maxAcks))
+	for i, a := range maxAcks {
+		seenAcks[i] = SeenAck{Server: a.From, Seen: a.Msg.SeenSet()}
+	}
+	pred, err := EvaluatePredicate(r.cfg.Quorum, seenAcks)
+	if err != nil {
+		return ReadResult{}, fmt.Errorf("core: read rc=%d: evaluate predicate: %w", rc, err)
+	}
+
+	// Remember the highest observed timestamp (and its tags) for the next
+	// read's write-back, regardless of what this read returns.
+	tagged := maxAcks[0].Msg.Tagged()
+	r.last = tagged.Clone()
+	r.lastSig = append([]byte(nil), maxAcks[0].Msg.WriterSig...)
+
+	result := ReadResult{
+		MaxTimestamp:   maxTS,
+		PredicateHeld:  pred.Holds,
+		PredicateLevel: pred.Level,
+		RoundTrips:     1,
+	}
+	if pred.Holds {
+		result.Timestamp = maxTS
+		result.Value = tagged.Cur.Clone()
+	} else {
+		result.Timestamp = maxTS.Prev()
+		result.Value = tagged.Prev.Clone()
+		r.fallback++
+	}
+	r.cfg.Trace.Record(trace.KindReturn, r.id, types.ProcessID{},
+		"read rc=%d -> ts=%d (maxTS=%d predicate=%v a=%d)", rc, result.Timestamp, maxTS, pred.Holds, pred.Level)
+	return result, nil
+}
+
+// ackFilter builds the acceptance predicate for readack messages of the
+// current operation.
+func (r *Reader) ackFilter(rc int64, writeBackTS types.Timestamp) protoutil.AckFilter {
+	return func(from types.ProcessID, m *wire.Message) bool {
+		if m.Op != wire.OpReadAck || m.RCounter != rc {
+			return false
+		}
+		if !r.cfg.Byzantine {
+			return true
+		}
+		// Figure 5 line 15: accept only valid acknowledgements with
+		// ts' ≥ ts and ri ∈ seen'. Anything else is necessarily from a
+		// malicious server.
+		if m.TS < writeBackTS {
+			return false
+		}
+		if !m.SeenSet().Has(r.id) {
+			return false
+		}
+		if err := r.cfg.Verifier.Verify(m.TS, m.Cur, m.Prev, m.WriterSig); err != nil {
+			return false
+		}
+		return true
+	}
+}
+
+// Stats reports the number of completed reads, the total round-trips they
+// used (always equal for this fast implementation) and how many reads
+// returned maxTS−1 because the predicate did not hold.
+func (r *Reader) Stats() (reads, roundTrips, fallbacks int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reads, r.rounds.Total(), r.fallback
+}
+
+// LastObserved returns the highest timestamp the reader has observed so far.
+func (r *Reader) LastObserved() types.Timestamp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last.TS
+}
+
+// Close detaches the reader from the network.
+func (r *Reader) Close() error { return r.node.Close() }

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"fastread/internal/sig"
+	"fastread/internal/trace"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// ServerConfig configures a fast-register server process.
+type ServerConfig struct {
+	// ID is the server's process identity (must have RoleServer).
+	ID types.ProcessID
+	// Readers is R, the number of reader processes in the system. Messages
+	// from readers with a higher index are ignored.
+	Readers int
+	// Byzantine enables the arbitrary-failure variant (Figure 5): the server
+	// verifies the writer's signature on every timestamp it adopts and
+	// attaches the stored signature to its replies.
+	Byzantine bool
+	// Verifier is the writer's public key; required when Byzantine is true.
+	Verifier sig.Verifier
+	// Trace, if non-nil, records protocol events.
+	Trace *trace.Trace
+}
+
+// ServerState is a snapshot of a server's protocol state, exposed for tests,
+// the experiment harness (which counts state mutations per read for the
+// "atomic reads must write" discussion of Section 8) and fault injectors.
+type ServerState struct {
+	Value     types.TaggedValue
+	ValueSig  []byte
+	Seen      types.ProcessSet
+	Counters  map[int]int64
+	Mutations int64
+}
+
+// Server is the server-side state machine of the fast algorithms
+// (Figure 2 lines 23-35, Figure 5 lines 23-35). It never waits for messages
+// from other processes before replying, which is what makes the
+// implementation fast.
+type Server struct {
+	cfg  ServerConfig
+	node transport.Node
+
+	mu        sync.Mutex
+	value     types.TaggedValue
+	valueSig  []byte
+	seen      types.ProcessSet
+	counters  map[int]int64
+	mutations int64
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewServer creates a server bound to the given transport node. Call Start to
+// begin processing messages.
+func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
+	if cfg.ID.Role != types.RoleServer || !cfg.ID.Valid() {
+		return nil, fmt.Errorf("core: server id %v is not a valid server identity", cfg.ID)
+	}
+	if cfg.Readers < 0 {
+		return nil, fmt.Errorf("core: negative reader count %d", cfg.Readers)
+	}
+	if node == nil {
+		return nil, fmt.Errorf("core: server %v requires a transport node", cfg.ID)
+	}
+	return &Server{
+		cfg:      cfg,
+		node:     node,
+		value:    types.InitialTaggedValue(),
+		seen:     types.NewProcessSet(),
+		counters: make(map[int]int64, cfg.Readers+1),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Start launches the message-handling goroutine.
+func (s *Server) Start() {
+	go func() {
+		defer close(s.done)
+		transport.Serve(s.node, s.handle)
+	}()
+}
+
+// Stop detaches the server from the network and waits for its handler
+// goroutine to exit. Stop is idempotent.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		_ = s.node.Close()
+	})
+	<-s.done
+}
+
+// ID returns the server's process identity.
+func (s *Server) ID() types.ProcessID { return s.cfg.ID }
+
+// State returns a deep copy of the server's current protocol state.
+func (s *Server) State() ServerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counters := make(map[int]int64, len(s.counters))
+	for k, v := range s.counters {
+		counters[k] = v
+	}
+	sigCopy := append([]byte(nil), s.valueSig...)
+	return ServerState{
+		Value:     s.value.Clone(),
+		ValueSig:  sigCopy,
+		Seen:      s.seen.Clone(),
+		Counters:  counters,
+		Mutations: s.mutations,
+	}
+}
+
+// handle processes one incoming message: Figure 2 / Figure 5 lines 26-35.
+func (s *Server) handle(m transport.Message) {
+	req, err := wire.Decode(m.Payload)
+	if err != nil {
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "malformed: %v", err)
+		return
+	}
+	if req.Op != wire.OpWrite && req.Op != wire.OpRead {
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "unexpected op %s", req.Op)
+		return
+	}
+	if !isLegitimateClient(m.From, s.cfg.Readers) {
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "not a client")
+		return
+	}
+	// Writes must come from the writer, reads from readers; a process sending
+	// the wrong kind is misbehaving and is ignored.
+	if req.Op == wire.OpWrite && m.From.Role != types.RoleWriter {
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "write from non-writer")
+		return
+	}
+	if req.Op == wire.OpRead && m.From.Role != types.RoleReader {
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "read from non-reader")
+		return
+	}
+	s.cfg.Trace.Record(trace.KindReceive, s.cfg.ID, m.From, "%s ts=%d rc=%d", req.Op, req.TS, req.RCounter)
+
+	// In the arbitrary-failure variant, any timestamp the server might adopt
+	// must carry a valid writer signature (Figure 5's receivevalid). Read
+	// requests write back a previously signed timestamp; timestamp 0 needs no
+	// signature.
+	if s.cfg.Byzantine {
+		if err := s.cfg.Verifier.Verify(req.TS, req.Cur, req.Prev, req.WriterSig); err != nil {
+			s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "invalid writer signature on ts=%d: %v", req.TS, err)
+			return
+		}
+	}
+
+	pid := m.From.ClientPID()
+
+	s.mu.Lock()
+	if req.RCounter < s.counters[pid] {
+		s.mu.Unlock()
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "stale rCounter %d < %d", req.RCounter, s.counters[pid])
+		return
+	}
+	if req.TS > s.value.TS {
+		s.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
+		s.valueSig = append([]byte(nil), req.WriterSig...)
+		s.seen = types.NewProcessSet(m.From)
+	} else {
+		s.seen.Add(m.From)
+	}
+	s.counters[pid] = req.RCounter
+	s.mutations++
+
+	ackOp := wire.OpWriteAck
+	if req.Op == wire.OpRead {
+		ackOp = wire.OpReadAck
+	}
+	ack := &wire.Message{
+		Op:        ackOp,
+		TS:        s.value.TS,
+		Cur:       s.value.Cur.Clone(),
+		Prev:      s.value.Prev.Clone(),
+		Seen:      s.seen.Members(),
+		RCounter:  req.RCounter,
+		WriterSig: append([]byte(nil), s.valueSig...),
+	}
+	s.mu.Unlock()
+
+	s.cfg.Trace.Record(trace.KindStateChange, s.cfg.ID, m.From, "ts=%d seen=%s", ack.TS, types.NewProcessSet(ack.Seen...))
+	s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, m.From, "%s ts=%d rc=%d", ack.Op, ack.TS, ack.RCounter)
+	if err := s.node.Send(m.From, ack.Kind(), wire.MustEncode(ack)); err != nil {
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "send ack: %v", err)
+	}
+}

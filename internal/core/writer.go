@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fastread/internal/protoutil"
+	"fastread/internal/quorum"
+	"fastread/internal/sig"
+	"fastread/internal/stats"
+	"fastread/internal/trace"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// Errors returned by clients of the fast register.
+var (
+	// ErrBottomWrite indicates an attempt to write the reserved initial
+	// value ⊥ (a nil Value), which Section 3.1 forbids.
+	ErrBottomWrite = errors.New("core: cannot write the initial value ⊥")
+	// ErrNotWriter indicates a writer client constructed with a non-writer
+	// identity.
+	ErrNotWriter = errors.New("core: writer must use the writer identity")
+	// ErrNotReader indicates a reader client constructed with a non-reader
+	// identity.
+	ErrNotReader = errors.New("core: reader must use a reader identity")
+)
+
+// WriterConfig configures the single writer process w.
+type WriterConfig struct {
+	// Quorum describes the deployment (S, t, b, R).
+	Quorum quorum.Config
+	// Signer holds the writer's private key; required when Byzantine is
+	// true.
+	Signer *sig.Signer
+	// Byzantine enables the arbitrary-failure variant (Figure 5): each
+	// written timestamp/value pair is signed.
+	Byzantine bool
+	// Trace, if non-nil, records protocol events.
+	Trace *trace.Trace
+}
+
+// Writer is the writer-side of the fast algorithms (Figure 2 / Figure 5
+// lines 1-8). A Writer performs one write at a time; Write is not safe for
+// concurrent use, matching the model's assumption that a process invokes at
+// most one operation at a time.
+type Writer struct {
+	cfg     WriterConfig
+	node    transport.Node
+	servers []types.ProcessID
+
+	mu     sync.Mutex
+	ts     types.Timestamp
+	prev   types.Value
+	rounds stats.Counter
+	writes int64
+}
+
+// NewWriter creates the writer client bound to the given transport node.
+func NewWriter(cfg WriterConfig, node transport.Node) (*Writer, error) {
+	if err := cfg.Quorum.Validate(); err != nil {
+		return nil, err
+	}
+	if node == nil {
+		return nil, fmt.Errorf("core: writer requires a transport node")
+	}
+	if node.ID() != types.Writer() {
+		return nil, fmt.Errorf("%w: got %v", ErrNotWriter, node.ID())
+	}
+	if cfg.Byzantine && cfg.Signer == nil {
+		return nil, fmt.Errorf("core: the arbitrary-failure writer requires a signer")
+	}
+	return &Writer{
+		cfg:     cfg,
+		node:    node,
+		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
+		ts:      1, // Figure 2 line 3: ts ← 1.
+		prev:    types.Bottom(),
+	}, nil
+}
+
+// Write stores v in the register. It completes after a single round-trip:
+// broadcast (write, ts, v, prev) and wait for S−t acknowledgements.
+func (w *Writer) Write(ctx context.Context, v types.Value) error {
+	if v.IsBottom() {
+		return ErrBottomWrite
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	ts := w.ts
+	req := &wire.Message{
+		Op:       wire.OpWrite,
+		TS:       ts,
+		Cur:      v.Clone(),
+		Prev:     w.prev.Clone(),
+		RCounter: 0, // the writer's counter is always 0 (Section 4).
+	}
+	if w.cfg.Byzantine {
+		signature, err := w.cfg.Signer.Sign(ts, req.Cur, req.Prev)
+		if err != nil {
+			return fmt.Errorf("core: sign write ts=%d: %w", ts, err)
+		}
+		req.WriterSig = signature
+	}
+
+	w.cfg.Trace.Record(trace.KindInvoke, types.Writer(), types.ProcessID{}, "write(ts=%d, %s)", ts, v)
+	need := w.cfg.Quorum.AckQuorum()
+	filter := func(_ types.ProcessID, m *wire.Message) bool {
+		return m.Op == wire.OpWriteAck && m.TS == ts && m.RCounter == 0
+	}
+	if _, err := protoutil.RoundTrip(ctx, w.node, w.servers, req, need, filter, w.cfg.Trace); err != nil {
+		return fmt.Errorf("core: write ts=%d: %w", ts, err)
+	}
+	w.rounds.Add(1)
+	w.writes++
+	w.ts = ts.Next() // Figure 2 line 7.
+	w.prev = v.Clone()
+	w.cfg.Trace.Record(trace.KindReturn, types.Writer(), types.ProcessID{}, "write(ts=%d) -> ok", ts)
+	return nil
+}
+
+// NextTimestamp returns the timestamp the next write will use.
+func (w *Writer) NextTimestamp() types.Timestamp {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ts
+}
+
+// Stats reports the number of completed writes and the total round-trips they
+// used (always equal for this fast implementation).
+func (w *Writer) Stats() (writes int64, roundTrips int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writes, w.rounds.Total()
+}
+
+// Close detaches the writer from the network.
+func (w *Writer) Close() error { return w.node.Close() }

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, Seed: 1, Delay: 200 * time.Microsecond}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("registry has %d experiments, want 8", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if _, ok := ByID(e.ID); !ok {
+			t.Errorf("ByID(%s) not found", e.ID)
+		}
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID accepted an unknown id")
+	}
+	if len(IDs()) != 8 {
+		t.Error("IDs() length mismatch")
+	}
+}
+
+func TestE1FastReadsUnderCrash(t *testing.T) {
+	tables, err := RunE1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("rows = %d, want ≥ 4", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		// rounds/read column must be exactly 1 and atomic must be yes.
+		if row[6] != "1" {
+			t.Errorf("rounds/read = %q, want 1 (row %v)", row[6], row)
+		}
+		if row[8] != "yes" {
+			t.Errorf("atomic = %q, want yes (row %v)", row[8], row)
+		}
+	}
+}
+
+func TestE2CrashLowerBound(t *testing.T) {
+	tables, err := RunE2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "✓" {
+			t.Errorf("row does not match the paper's prediction: %v", row)
+		}
+	}
+}
+
+func TestE3Byzantine(t *testing.T) {
+	tables, err := RunE3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[8] != "no" {
+			t.Errorf("a forged value was returned: %v", row)
+		}
+		if row[9] != "yes" {
+			t.Errorf("history not atomic under attack: %v", row)
+		}
+	}
+}
+
+func TestE4ByzantineLowerBound(t *testing.T) {
+	tables, err := RunE4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[len(row)-1] != "✓" {
+			t.Errorf("row does not match the paper's prediction: %v", row)
+		}
+	}
+}
+
+func TestE5MWMR(t *testing.T) {
+	tables, err := RunE5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows)%2 != 0 || len(rows) == 0 {
+		t.Fatalf("expected paired rows, got %d", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		naive, abd := rows[i], rows[i+1]
+		if naive[5] != "no" {
+			t.Errorf("naive fast MWMR unexpectedly linearizable: %v", naive)
+		}
+		if abd[5] != "yes" {
+			t.Errorf("ABD MWMR unexpectedly non-linearizable: %v", abd)
+		}
+		if abd[4] != "first-writer" {
+			t.Errorf("ABD read returned %q, want the later write", abd[4])
+		}
+	}
+}
+
+func TestE6Thresholds(t *testing.T) {
+	tables, err := RunE6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tables))
+	}
+	if len(tables[0].Rows) == 0 || len(tables[1].Rows) == 0 {
+		t.Fatal("empty tables")
+	}
+	for _, row := range tables[1].Rows {
+		if row[len(row)-1] != "✓" {
+			t.Errorf("boundary row does not match prediction: %v", row)
+		}
+	}
+}
+
+func TestE7Latency(t *testing.T) {
+	tables, err := RunE7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	// Group rows by S and check the shape: ABD slower than fast.
+	var fastP50, abdP50 time.Duration
+	for _, row := range tbl.Rows {
+		if row[0] != "4" {
+			continue
+		}
+		p50, perr := time.ParseDuration(row[5])
+		if perr != nil {
+			t.Fatalf("cannot parse latency %q: %v", row[5], perr)
+		}
+		switch row[3] {
+		case "fast":
+			fastP50 = p50
+		case "abd":
+			abdP50 = p50
+		}
+		if row[8] != "yes" {
+			t.Errorf("protocol %s history flagged: %v", row[3], row)
+		}
+	}
+	if fastP50 == 0 || abdP50 == 0 {
+		t.Fatal("missing fast/abd rows for S=4")
+	}
+	if abdP50 <= fastP50 {
+		t.Errorf("ABD read p50 %v not above fast read p50 %v", abdP50, fastP50)
+	}
+}
+
+func TestE8ReadsMustWrite(t *testing.T) {
+	tables, err := RunE8(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	byProto := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byProto[row[0]] = row
+	}
+	if byProto["fast"][4] == "0" {
+		t.Error("fast reads should mutate server state (seen sets / counters)")
+	}
+	if byProto["abd"][6] == "0" {
+		t.Error("ABD reads should need extra round-trips")
+	}
+	if byProto["fast"][6] != "0" || byProto["regular"][6] != "0" {
+		t.Error("fast and regular reads should need no extra round-trips")
+	}
+}
+
+func TestTablesRenderMarkdown(t *testing.T) {
+	tables, err := RunE5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := tables[0].Markdown()
+	if !strings.Contains(md, "| S |") && !strings.Contains(md, "| S | t |") {
+		t.Errorf("markdown missing header:\n%s", md)
+	}
+}
+
+func TestOptionsHelpers(t *testing.T) {
+	var o Options
+	if o.delay() != time.Millisecond {
+		t.Errorf("default delay = %v", o.delay())
+	}
+	o.Quick = true
+	if o.delay() != 200*time.Microsecond {
+		t.Errorf("quick delay = %v", o.delay())
+	}
+	o.Delay = 5 * time.Millisecond
+	if o.delay() != 5*time.Millisecond {
+		t.Errorf("explicit delay = %v", o.delay())
+	}
+	if o.scale(100, 10) != 10 {
+		t.Error("quick scale wrong")
+	}
+	o.Quick = false
+	if o.scale(100, 10) != 100 {
+		t.Error("full scale wrong")
+	}
+	if yesNo(true) != "yes" || yesNo(false) != "no" {
+		t.Error("yesNo wrong")
+	}
+	if checkMark(true) != "✓" || checkMark(false) != "✗" {
+		t.Error("checkMark wrong")
+	}
+	if formatRatio(2, 0) != "n/a" {
+		t.Error("formatRatio division by zero not guarded")
+	}
+}

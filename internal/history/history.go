@@ -1,0 +1,226 @@
+// Package history records the invocation and response events of register
+// operations so that the checkers in internal/atomicity can verify them
+// afterwards.
+//
+// Protocol code never consults the recorder: as in the paper's proofs, the
+// global clock exists only for reasoning about runs, not for the processes
+// taking steps in them. The recorder uses Go's monotonic clock, so the
+// precedence relation between operations ("op1 returned before op2 was
+// invoked") is meaningful within a single test process.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fastread/internal/types"
+)
+
+// OpKind distinguishes reads from writes.
+type OpKind int
+
+const (
+	// OpWrite is a write invocation.
+	OpWrite OpKind = iota + 1
+	// OpRead is a read invocation.
+	OpRead
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	default:
+		return "unknown"
+	}
+}
+
+// Operation is one recorded register operation.
+type Operation struct {
+	// ID is a unique, monotonically increasing identifier assigned at
+	// invocation time.
+	ID int64
+	// Process is the invoking client.
+	Process types.ProcessID
+	// Kind says whether this is a read or a write.
+	Kind OpKind
+	// Argument is the value written (writes only).
+	Argument types.Value
+	// Result is the value returned (reads only; ⊥ if the read returned the
+	// initial value).
+	Result types.Value
+	// ResultTS is the timestamp reported by the protocol for the returned
+	// value, when available. Checkers treat it as advisory.
+	ResultTS types.Timestamp
+	// Invoked and Returned are the real-time bounds of the operation.
+	Invoked  time.Time
+	Returned time.Time
+	// Completed is false for operations that never returned (the invoking
+	// process crashed or the run ended first).
+	Completed bool
+	// Failed is true when the operation returned an error rather than a
+	// result; failed operations are treated as incomplete by the checkers.
+	Failed bool
+}
+
+// Precedes reports whether o returned before other was invoked (the paper's
+// "op1 precedes op2"). Only meaningful when o completed.
+func (o Operation) Precedes(other Operation) bool {
+	return o.Completed && !o.Failed && o.Returned.Before(other.Invoked)
+}
+
+// ConcurrentWith reports whether neither operation precedes the other.
+func (o Operation) ConcurrentWith(other Operation) bool {
+	return !o.Precedes(other) && !other.Precedes(o)
+}
+
+// String renders the operation compactly.
+func (o Operation) String() string {
+	switch o.Kind {
+	case OpWrite:
+		status := "ok"
+		if !o.Completed {
+			status = "incomplete"
+		}
+		return fmt.Sprintf("%s:write(%s)=%s", o.Process, o.Argument, status)
+	default:
+		if !o.Completed {
+			return fmt.Sprintf("%s:read()=incomplete", o.Process)
+		}
+		return fmt.Sprintf("%s:read()=%s@%d", o.Process, o.Result, o.ResultTS)
+	}
+}
+
+// Recorder collects operations from concurrent clients.
+type Recorder struct {
+	mu     sync.Mutex
+	nextID int64
+	ops    map[int64]*Operation
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{ops: make(map[int64]*Operation)}
+}
+
+// Invoke records the start of an operation and returns its id.
+func (r *Recorder) Invoke(process types.ProcessID, kind OpKind, argument types.Value) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	id := r.nextID
+	r.ops[id] = &Operation{
+		ID:       id,
+		Process:  process,
+		Kind:     kind,
+		Argument: argument.Clone(),
+		Invoked:  time.Now(),
+	}
+	return id
+}
+
+// Return records the successful completion of the operation.
+func (r *Recorder) Return(id int64, result types.Value, ts types.Timestamp) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op, ok := r.ops[id]
+	if !ok {
+		return
+	}
+	op.Returned = time.Now()
+	op.Completed = true
+	op.Result = result.Clone()
+	op.ResultTS = ts
+}
+
+// Fail records that the operation returned an error. Failed operations are
+// treated like incomplete ones by the checkers (their effects may or may not
+// have taken place).
+func (r *Recorder) Fail(id int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op, ok := r.ops[id]
+	if !ok {
+		return
+	}
+	op.Returned = time.Now()
+	op.Failed = true
+}
+
+// History returns all recorded operations sorted by invocation time.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(History, 0, len(r.ops))
+	for _, op := range r.ops {
+		copied := *op
+		copied.Argument = op.Argument.Clone()
+		copied.Result = op.Result.Clone()
+		out = append(out, copied)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Invoked.Equal(out[j].Invoked) {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Invoked.Before(out[j].Invoked)
+	})
+	return out
+}
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// History is a real-time-ordered sequence of operations.
+type History []Operation
+
+// Reads returns the completed read operations.
+func (h History) Reads() []Operation {
+	out := make([]Operation, 0, len(h))
+	for _, op := range h {
+		if op.Kind == OpRead && op.Completed && !op.Failed {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Writes returns all write operations (including incomplete ones), in
+// invocation order.
+func (h History) Writes() []Operation {
+	out := make([]Operation, 0, len(h))
+	for _, op := range h {
+		if op.Kind == OpWrite {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// CompletedWrites returns only the writes that completed successfully.
+func (h History) CompletedWrites() []Operation {
+	out := make([]Operation, 0, len(h))
+	for _, op := range h {
+		if op.Kind == OpWrite && op.Completed && !op.Failed {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// String renders the history one operation per line.
+func (h History) String() string {
+	s := ""
+	for _, op := range h {
+		s += op.String() + "\n"
+	}
+	return s
+}

@@ -1,0 +1,163 @@
+package history
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fastread/internal/types"
+)
+
+func TestRecorderBasicFlow(t *testing.T) {
+	r := NewRecorder()
+	wID := r.Invoke(types.Writer(), OpWrite, types.Value("v1"))
+	r.Return(wID, nil, 1)
+	rID := r.Invoke(types.Reader(1), OpRead, nil)
+	r.Return(rID, types.Value("v1"), 1)
+	fID := r.Invoke(types.Reader(2), OpRead, nil)
+	r.Fail(fID)
+	iID := r.Invoke(types.Reader(3), OpRead, nil)
+	_ = iID // never returns
+
+	h := r.History()
+	if len(h) != 4 {
+		t.Fatalf("history has %d ops, want 4", len(h))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if h[0].Kind != OpWrite || !h[0].Completed {
+		t.Errorf("first op = %v", h[0])
+	}
+	if h[1].Kind != OpRead || !h[1].Result.Equal(types.Value("v1")) || h[1].ResultTS != 1 {
+		t.Errorf("read op = %v", h[1])
+	}
+	if !h[2].Failed || h[2].Completed {
+		t.Errorf("failed op = %v", h[2])
+	}
+	if h[3].Completed || h[3].Failed {
+		t.Errorf("incomplete op = %v", h[3])
+	}
+}
+
+func TestPrecedesAndConcurrent(t *testing.T) {
+	now := time.Now()
+	a := Operation{Completed: true, Invoked: now, Returned: now.Add(10 * time.Millisecond)}
+	b := Operation{Completed: true, Invoked: now.Add(20 * time.Millisecond), Returned: now.Add(30 * time.Millisecond)}
+	c := Operation{Completed: true, Invoked: now.Add(5 * time.Millisecond), Returned: now.Add(25 * time.Millisecond)}
+
+	if !a.Precedes(b) {
+		t.Error("a should precede b")
+	}
+	if b.Precedes(a) {
+		t.Error("b should not precede a")
+	}
+	if !a.ConcurrentWith(c) || !c.ConcurrentWith(a) {
+		t.Error("a and c should be concurrent")
+	}
+	incomplete := Operation{Completed: false, Invoked: now, Returned: now.Add(time.Millisecond)}
+	if incomplete.Precedes(b) {
+		t.Error("incomplete op should not precede anything")
+	}
+	failed := Operation{Completed: true, Failed: true, Invoked: now, Returned: now.Add(time.Millisecond)}
+	if failed.Precedes(b) {
+		t.Error("failed op should not precede anything")
+	}
+}
+
+func TestHistoryOrderedByInvocation(t *testing.T) {
+	r := NewRecorder()
+	ids := make([]int64, 5)
+	for i := range ids {
+		ids[i] = r.Invoke(types.Reader(i+1), OpRead, nil)
+		time.Sleep(time.Millisecond)
+	}
+	for _, id := range ids {
+		r.Return(id, nil, 0)
+	}
+	h := r.History()
+	for i := 1; i < len(h); i++ {
+		if h[i].Invoked.Before(h[i-1].Invoked) {
+			t.Fatalf("history not sorted at %d", i)
+		}
+	}
+}
+
+func TestHistoryFilters(t *testing.T) {
+	r := NewRecorder()
+	w1 := r.Invoke(types.Writer(), OpWrite, types.Value("a"))
+	r.Return(w1, nil, 1)
+	w2 := r.Invoke(types.Writer(), OpWrite, types.Value("b")) // incomplete
+	_ = w2
+	rd := r.Invoke(types.Reader(1), OpRead, nil)
+	r.Return(rd, types.Value("a"), 1)
+	bad := r.Invoke(types.Reader(2), OpRead, nil)
+	r.Fail(bad)
+
+	h := r.History()
+	if got := len(h.Writes()); got != 2 {
+		t.Errorf("Writes = %d, want 2", got)
+	}
+	if got := len(h.CompletedWrites()); got != 1 {
+		t.Errorf("CompletedWrites = %d, want 1", got)
+	}
+	if got := len(h.Reads()); got != 1 {
+		t.Errorf("Reads = %d, want 1 (failed read excluded)", got)
+	}
+	if h.String() == "" {
+		t.Error("String should render something")
+	}
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := r.Invoke(types.Reader(idx+1), OpRead, nil)
+				r.Return(id, types.Value("x"), 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 400 {
+		t.Errorf("Len = %d, want 400", r.Len())
+	}
+	ids := map[int64]bool{}
+	for _, op := range r.History() {
+		if ids[op.ID] {
+			t.Fatalf("duplicate id %d", op.ID)
+		}
+		ids[op.ID] = true
+	}
+}
+
+func TestReturnUnknownIDIsNoop(t *testing.T) {
+	r := NewRecorder()
+	r.Return(42, types.Value("x"), 1)
+	r.Fail(43)
+	if r.Len() != 0 {
+		t.Errorf("Len = %d, want 0", r.Len())
+	}
+}
+
+func TestRecorderClonesValues(t *testing.T) {
+	r := NewRecorder()
+	arg := types.Value("mutable")
+	id := r.Invoke(types.Writer(), OpWrite, arg)
+	arg[0] = 'X'
+	r.Return(id, nil, 1)
+	h := r.History()
+	if string(h[0].Argument) != "mutable" {
+		t.Errorf("argument aliased caller slice: %s", h[0].Argument)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpWrite.String() != "write" || OpRead.String() != "read" || OpKind(9).String() != "unknown" {
+		t.Error("unexpected OpKind names")
+	}
+}

@@ -1,0 +1,425 @@
+// Package maxmin implements the decentralised read optimisation sketched in
+// the paper's introduction as a middle ground between the two-round ABD read
+// and the fast read:
+//
+//	"First, the reader sends messages to all servers. Every server, on
+//	receiving such a message, broadcasts its timestamp to all servers. On
+//	receiving timestamps from a majority of servers, every server selects
+//	the maximum timestamp, adopts the timestamp and its associated value,
+//	and sends the pair to the reader. On receiving such messages from a
+//	majority of servers, the reader returns the value with the minimum
+//	timestamp."
+//
+// From the client's point of view a read is a single request/response
+// exchange, but it is *not* fast in the paper's sense (Section 3.2): servers
+// wait for messages from other servers before replying, so the read latency
+// includes an extra server-to-server hop. The write is the ABD single-round
+// write. Experiment E7 compares its latency against both the fast algorithm
+// and ABD.
+package maxmin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fastread/internal/protoutil"
+	"fastread/internal/quorum"
+	"fastread/internal/stats"
+	"fastread/internal/trace"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// Errors returned by the max-min register.
+var (
+	// ErrBottomWrite indicates an attempt to write the reserved value ⊥.
+	ErrBottomWrite = errors.New("maxmin: cannot write the initial value ⊥")
+	// ErrNotWriter indicates a writer constructed on a non-writer node.
+	ErrNotWriter = errors.New("maxmin: writer must use the writer identity")
+	// ErrNotReader indicates a reader constructed on a non-reader node.
+	ErrNotReader = errors.New("maxmin: reader must use a reader identity")
+)
+
+// readKey identifies one read operation: which reader and which of its reads.
+type readKey struct {
+	Reader   int
+	RCounter int64
+}
+
+// pendingRead tracks the gossip a server has collected for one read.
+type pendingRead struct {
+	gossips   map[types.ProcessID]types.TaggedValue
+	requested bool
+	replied   bool
+}
+
+// ServerConfig configures a max-min server.
+type ServerConfig struct {
+	// ID is the server's identity.
+	ID types.ProcessID
+	// Quorum describes the deployment; the server waits for gossip from a
+	// majority of servers (including itself) before answering a read.
+	Quorum quorum.Config
+	// Trace, if non-nil, records protocol events.
+	Trace *trace.Trace
+}
+
+// Server is the max-min server. Unlike the fast register's server it is NOT
+// a fast responder: on a read request it first gossips with the other
+// servers.
+type Server struct {
+	cfg     ServerConfig
+	node    transport.Node
+	servers []types.ProcessID
+
+	mu      sync.Mutex
+	value   types.TaggedValue
+	pending map[readKey]*pendingRead
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewServer creates a max-min server bound to the given node.
+func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
+	if cfg.ID.Role != types.RoleServer || !cfg.ID.Valid() {
+		return nil, fmt.Errorf("maxmin: server id %v is not a valid server identity", cfg.ID)
+	}
+	if err := cfg.Quorum.Validate(); err != nil {
+		return nil, err
+	}
+	if node == nil {
+		return nil, fmt.Errorf("maxmin: server %v requires a transport node", cfg.ID)
+	}
+	return &Server{
+		cfg:     cfg,
+		node:    node,
+		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
+		value:   types.InitialTaggedValue(),
+		pending: make(map[readKey]*pendingRead),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the message-handling goroutine.
+func (s *Server) Start() {
+	go func() {
+		defer close(s.done)
+		transport.Serve(s.node, s.handle)
+	}()
+}
+
+// Stop detaches the server from the network and waits for its handler to
+// exit.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { _ = s.node.Close() })
+	<-s.done
+}
+
+// ID returns the server's identity.
+func (s *Server) ID() types.ProcessID { return s.cfg.ID }
+
+// State returns the server's current value.
+func (s *Server) State() types.TaggedValue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.value.Clone()
+}
+
+func (s *Server) handle(m transport.Message) {
+	req, err := wire.Decode(m.Payload)
+	if err != nil {
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "malformed: %v", err)
+		return
+	}
+	switch req.Op {
+	case wire.OpWrite:
+		s.handleWrite(m.From, req)
+	case wire.OpRead:
+		s.handleRead(m.From, req)
+	case wire.OpGossip:
+		s.handleGossip(m.From, req)
+	default:
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "unexpected op %s", req.Op)
+	}
+}
+
+// handleWrite adopts a newer value and acknowledges the writer, exactly as in
+// ABD.
+func (s *Server) handleWrite(from types.ProcessID, req *wire.Message) {
+	if from.Role != types.RoleWriter {
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, from, "write from non-writer")
+		return
+	}
+	s.mu.Lock()
+	if req.TS > s.value.TS {
+		s.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
+	}
+	ack := &wire.Message{Op: wire.OpWriteAck, TS: s.value.TS, RCounter: req.RCounter}
+	s.mu.Unlock()
+	_ = s.node.Send(from, ack.Kind(), wire.MustEncode(ack))
+}
+
+// handleRead starts the gossip round for this read: broadcast the server's
+// current timestamp tagged with the read's identity to every server
+// (including itself, handled locally).
+func (s *Server) handleRead(from types.ProcessID, req *wire.Message) {
+	if from.Role != types.RoleReader {
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, from, "read from non-reader")
+		return
+	}
+	key := readKey{Reader: from.Index, RCounter: req.RCounter}
+
+	s.mu.Lock()
+	p := s.pendingState(key)
+	p.requested = true
+	current := s.value.Clone()
+	p.gossips[s.cfg.ID] = current
+	s.mu.Unlock()
+
+	gossip := &wire.Message{
+		Op:       wire.OpGossip,
+		TS:       current.TS,
+		Cur:      current.Cur,
+		Prev:     current.Prev,
+		RCounter: req.RCounter,
+		Phase:    int32(from.Index), // identifies which reader's read this gossip belongs to
+	}
+	payload := wire.MustEncode(gossip)
+	for _, peer := range s.servers {
+		if peer == s.cfg.ID {
+			continue
+		}
+		s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, peer, "gossip ts=%d for r%d/%d", current.TS, from.Index, req.RCounter)
+		_ = s.node.Send(peer, gossip.Kind(), payload)
+	}
+
+	s.maybeReply(key)
+}
+
+// handleGossip records a peer server's timestamp for the identified read and
+// adopts it if newer.
+func (s *Server) handleGossip(from types.ProcessID, req *wire.Message) {
+	if from.Role != types.RoleServer {
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, from, "gossip from non-server")
+		return
+	}
+	key := readKey{Reader: int(req.Phase), RCounter: req.RCounter}
+	incoming := types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
+
+	s.mu.Lock()
+	// Adopt the maximum timestamp seen while gossiping ("adopts the
+	// timestamp and its associated value").
+	if incoming.TS > s.value.TS {
+		s.value = incoming.Clone()
+	}
+	p := s.pendingState(key)
+	p.gossips[from] = incoming
+	s.mu.Unlock()
+
+	s.maybeReply(key)
+}
+
+// pendingState returns (creating if necessary) the gossip state for a read.
+// Callers must hold s.mu.
+func (s *Server) pendingState(key readKey) *pendingRead {
+	p, ok := s.pending[key]
+	if !ok {
+		p = &pendingRead{gossips: make(map[types.ProcessID]types.TaggedValue)}
+		s.pending[key] = p
+	}
+	return p
+}
+
+// maybeReply answers the reader once the server has both received the read
+// request and collected gossip from a majority of servers.
+func (s *Server) maybeReply(key readKey) {
+	s.mu.Lock()
+	p := s.pendingState(key)
+	if p.replied || !p.requested || len(p.gossips) < s.cfg.Quorum.Majority() {
+		s.mu.Unlock()
+		return
+	}
+	// Select the maximum timestamp among the collected gossip and adopt it.
+	best := s.value.Clone()
+	for _, tv := range p.gossips {
+		if tv.TS > best.TS {
+			best = tv.Clone()
+		}
+	}
+	s.value = best.Clone()
+	p.replied = true
+	// The reply carries the adopted maximum.
+	ack := &wire.Message{
+		Op:       wire.OpReadAck,
+		TS:       best.TS,
+		Cur:      best.Cur,
+		Prev:     best.Prev,
+		RCounter: key.RCounter,
+	}
+	// Garbage-collect finished reads to keep the map bounded.
+	delete(s.pending, key)
+	s.mu.Unlock()
+
+	reader := types.Reader(key.Reader)
+	s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, reader, "readack ts=%d rc=%d", ack.TS, ack.RCounter)
+	_ = s.node.Send(reader, ack.Kind(), wire.MustEncode(ack))
+}
+
+// Writer is the max-min writer: identical to the single-round ABD writer.
+type Writer struct {
+	cfg     quorum.Config
+	tr      *trace.Trace
+	node    transport.Node
+	servers []types.ProcessID
+
+	mu     sync.Mutex
+	ts     types.Timestamp
+	prev   types.Value
+	rounds stats.Counter
+	writes int64
+}
+
+// NewWriter creates the max-min writer.
+func NewWriter(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Writer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if node == nil {
+		return nil, fmt.Errorf("maxmin: writer requires a transport node")
+	}
+	if node.ID() != types.Writer() {
+		return nil, fmt.Errorf("%w: got %v", ErrNotWriter, node.ID())
+	}
+	return &Writer{
+		cfg:     cfg,
+		tr:      tr,
+		node:    node,
+		servers: protoutil.ServerIDs(cfg.Servers),
+		ts:      1,
+		prev:    types.Bottom(),
+	}, nil
+}
+
+// Write stores v using one round-trip to a majority of servers.
+func (w *Writer) Write(ctx context.Context, v types.Value) error {
+	if v.IsBottom() {
+		return ErrBottomWrite
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	ts := w.ts
+	req := &wire.Message{Op: wire.OpWrite, TS: ts, Cur: v.Clone(), Prev: w.prev.Clone()}
+	filter := func(_ types.ProcessID, m *wire.Message) bool {
+		return m.Op == wire.OpWriteAck && m.TS >= ts
+	}
+	if _, err := protoutil.RoundTrip(ctx, w.node, w.servers, req, w.cfg.Majority(), filter, w.tr); err != nil {
+		return fmt.Errorf("maxmin: write ts=%d: %w", ts, err)
+	}
+	w.rounds.Add(1)
+	w.writes++
+	w.ts = ts.Next()
+	w.prev = v.Clone()
+	return nil
+}
+
+// Stats reports completed writes and total round-trips.
+func (w *Writer) Stats() (writes, roundTrips int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writes, w.rounds.Total()
+}
+
+// Close detaches the writer from the network.
+func (w *Writer) Close() error { return w.node.Close() }
+
+// ReadResult is what a max-min read returns.
+type ReadResult struct {
+	Value      types.Value
+	Timestamp  types.Timestamp
+	RoundTrips int
+}
+
+// Reader is the max-min reader: a single request/response exchange with a
+// majority of servers, returning the value with the MINIMUM timestamp among
+// the replies (each of which is itself a majority-maximum).
+type Reader struct {
+	cfg     quorum.Config
+	tr      *trace.Trace
+	node    transport.Node
+	id      types.ProcessID
+	servers []types.ProcessID
+
+	mu       sync.Mutex
+	rCounter int64
+	rounds   stats.Counter
+	reads    int64
+}
+
+// NewReader creates a max-min reader.
+func NewReader(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Reader, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if node == nil {
+		return nil, fmt.Errorf("maxmin: reader requires a transport node")
+	}
+	id := node.ID()
+	if id.Role != types.RoleReader || id.Index < 1 {
+		return nil, fmt.Errorf("%w: got %v", ErrNotReader, id)
+	}
+	return &Reader{
+		cfg:     cfg,
+		tr:      tr,
+		node:    node,
+		id:      id,
+		servers: protoutil.ServerIDs(cfg.Servers),
+	}, nil
+}
+
+// Read returns the register value. One client round-trip, but servers gossip
+// among themselves before replying.
+func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	r.rCounter++
+	rc := r.rCounter
+	req := &wire.Message{Op: wire.OpRead, RCounter: rc}
+	filter := func(_ types.ProcessID, m *wire.Message) bool {
+		return m.Op == wire.OpReadAck && m.RCounter == rc
+	}
+	acks, err := protoutil.RoundTrip(ctx, r.node, r.servers, req, r.cfg.Majority(), filter, r.tr)
+	if err != nil {
+		return ReadResult{}, fmt.Errorf("maxmin: read rc=%d: %w", rc, err)
+	}
+	r.rounds.Add(1)
+	r.reads++
+
+	// Return the value with the minimum timestamp among the replies.
+	min := acks[0].Msg
+	for _, a := range acks[1:] {
+		if a.Msg.TS < min.TS {
+			min = a.Msg
+		}
+	}
+	return ReadResult{
+		Value:      min.Cur.Clone(),
+		Timestamp:  min.TS,
+		RoundTrips: 1,
+	}, nil
+}
+
+// Stats reports completed reads and total client round-trips.
+func (r *Reader) Stats() (reads, roundTrips int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reads, r.rounds.Total()
+}
+
+// Close detaches the reader from the network.
+func (r *Reader) Close() error { return r.node.Close() }

@@ -1,0 +1,288 @@
+package maxmin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fastread/internal/quorum"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+)
+
+type deployment struct {
+	t       *testing.T
+	cfg     quorum.Config
+	net     *transport.InMemNetwork
+	servers []*Server
+}
+
+func newDeployment(t *testing.T, cfg quorum.Config) *deployment {
+	t.Helper()
+	d := &deployment{t: t, cfg: cfg, net: transport.NewInMemNetwork()}
+	t.Cleanup(func() { _ = d.net.Close() })
+	for i := 1; i <= cfg.Servers; i++ {
+		node, err := d.net.Join(types.Server(i))
+		if err != nil {
+			t.Fatalf("join server %d: %v", i, err)
+		}
+		srv, err := NewServer(ServerConfig{ID: types.Server(i), Quorum: cfg}, node)
+		if err != nil {
+			t.Fatalf("new server %d: %v", i, err)
+		}
+		srv.Start()
+		d.servers = append(d.servers, srv)
+		t.Cleanup(srv.Stop)
+	}
+	return d
+}
+
+func (d *deployment) ctx() context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	d.t.Cleanup(cancel)
+	return ctx
+}
+
+func (d *deployment) writer() *Writer {
+	d.t.Helper()
+	node, err := d.net.Join(types.Writer())
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	w, err := NewWriter(d.cfg, node, nil)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	return w
+}
+
+func (d *deployment) reader(i int) *Reader {
+	d.t.Helper()
+	node, err := d.net.Join(types.Reader(i))
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	r, err := NewReader(d.cfg, node, nil)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	return r
+}
+
+func TestReadBeforeWriteReturnsBottom(t *testing.T) {
+	d := newDeployment(t, quorum.Config{Servers: 4, Faulty: 1, Readers: 2})
+	r := d.reader(1)
+	res, err := r.Read(d.ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Value.IsBottom() || res.Timestamp != 0 {
+		t.Errorf("read = %s ts=%d, want ⊥ ts=0", res.Value, res.Timestamp)
+	}
+}
+
+func TestWriteThenReadReturnsValue(t *testing.T) {
+	d := newDeployment(t, quorum.Config{Servers: 4, Faulty: 1, Readers: 2})
+	w := d.writer()
+	r := d.reader(1)
+	if err := w.Write(d.ctx(), types.Value("hello")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Read(d.ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Value.Equal(types.Value("hello")) || res.Timestamp != 1 {
+		t.Errorf("read = %s ts=%d, want hello ts=1", res.Value, res.Timestamp)
+	}
+	if res.RoundTrips != 1 {
+		t.Errorf("client round trips = %d, want 1", res.RoundTrips)
+	}
+}
+
+func TestSequentialReadsMonotone(t *testing.T) {
+	cfg := quorum.Config{Servers: 5, Faulty: 2, Readers: 3}
+	d := newDeployment(t, cfg)
+	w := d.writer()
+	readers := []*Reader{d.reader(1), d.reader(2), d.reader(3)}
+
+	var last types.Timestamp
+	for i := 1; i <= 8; i++ {
+		if err := w.Write(d.ctx(), types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		for ri, r := range readers {
+			res, err := r.Read(d.ctx())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Timestamp < last {
+				t.Fatalf("reader %d saw ts=%d after ts=%d", ri+1, res.Timestamp, last)
+			}
+			if res.Timestamp != types.Timestamp(i) {
+				t.Fatalf("reader %d saw ts=%d after write %d completed", ri+1, res.Timestamp, i)
+			}
+			last = res.Timestamp
+		}
+	}
+}
+
+func TestGossipPropagatesIncompleteWrite(t *testing.T) {
+	// The written value reaches only one server (the writer is blocked from
+	// the rest and the write cannot complete). A read triggers gossip, which
+	// spreads the highest timestamp to a majority; the read returns the
+	// minimum over majority-maxima, so it may return either the old or the
+	// new value — but after it returns the new value, a subsequent read must
+	// not return the old one.
+	cfg := quorum.Config{Servers: 5, Faulty: 2, Readers: 2}
+	d := newDeployment(t, cfg)
+	w := d.writer()
+	r1 := d.reader(1)
+	r2 := d.reader(2)
+
+	if err := w.Write(d.ctx(), types.Value("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 2; i <= cfg.Servers; i++ {
+		d.net.Block(types.Writer(), types.Server(i))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := w.Write(ctx, types.Value("v2")); err == nil {
+		t.Fatal("blocked write should not complete")
+	}
+
+	var last types.Timestamp
+	for i := 0; i < 6; i++ {
+		for _, r := range []*Reader{r1, r2} {
+			res, err := r.Read(d.ctx())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Timestamp < last {
+				t.Fatalf("new/old inversion: ts=%d after ts=%d", res.Timestamp, last)
+			}
+			last = res.Timestamp
+		}
+	}
+}
+
+func TestToleratesMinorityCrash(t *testing.T) {
+	cfg := quorum.Config{Servers: 5, Faulty: 2, Readers: 1}
+	d := newDeployment(t, cfg)
+	w := d.writer()
+	r := d.reader(1)
+	if err := w.Write(d.ctx(), types.Value("v1")); err != nil {
+		t.Fatal(err)
+	}
+	d.net.Crash(types.Server(4))
+	d.net.Crash(types.Server(5))
+	if err := w.Write(d.ctx(), types.Value("v2")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Read(d.ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Value.Equal(types.Value("v2")) {
+		t.Errorf("read = %s, want v2", res.Value)
+	}
+}
+
+func TestConcurrentReadersDistinctGossipRounds(t *testing.T) {
+	cfg := quorum.Config{Servers: 7, Faulty: 3, Readers: 4}
+	d := newDeployment(t, cfg)
+	w := d.writer()
+	if err := w.Write(d.ctx(), types.Value("base")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 1; i <= 4; i++ {
+		r := d.reader(i)
+		wg.Add(1)
+		go func(r *Reader, idx int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				res, err := r.Read(d.ctx())
+				if err != nil {
+					t.Errorf("reader %d read %d: %v", idx, j, err)
+					return
+				}
+				if res.Value.IsBottom() {
+					t.Errorf("reader %d read %d returned ⊥ after a completed write", idx, j)
+					return
+				}
+			}
+		}(r, i)
+	}
+	wg.Wait()
+}
+
+func TestWriterValidation(t *testing.T) {
+	cfg := quorum.Config{Servers: 3, Faulty: 1, Readers: 1}
+	d := newDeployment(t, cfg)
+	node, err := d.net.Join(types.Reader(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWriter(cfg, node, nil); !errors.Is(err, ErrNotWriter) {
+		t.Errorf("err = %v, want ErrNotWriter", err)
+	}
+	if _, err := NewReader(cfg, nil, nil); err == nil {
+		t.Error("nil node accepted")
+	}
+	wNode, err := d.net.Join(types.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(cfg, wNode, nil); !errors.Is(err, ErrNotReader) {
+		t.Errorf("err = %v, want ErrNotReader", err)
+	}
+	w, err := NewWriter(cfg, wNode, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(d.ctx(), types.Bottom()); !errors.Is(err, ErrBottomWrite) {
+		t.Errorf("err = %v, want ErrBottomWrite", err)
+	}
+	if _, err := NewServer(ServerConfig{ID: types.Writer(), Quorum: cfg}, wNode); err == nil {
+		t.Error("writer identity accepted as server")
+	}
+}
+
+func TestServerStateAdoptsGossipMaximum(t *testing.T) {
+	cfg := quorum.Config{Servers: 4, Faulty: 1, Readers: 1}
+	d := newDeployment(t, cfg)
+	w := d.writer()
+	r := d.reader(1)
+
+	// Write reaches a majority; server 4 may or may not have it. After a
+	// read (which gossips), eventually servers that participated hold ts=1.
+	if err := w.Write(d.ctx(), types.Value("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(d.ctx()); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		count = 0
+		for _, s := range d.servers {
+			if s.State().TS >= 1 {
+				count++
+			}
+		}
+		if count >= cfg.Majority() {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if count < cfg.Majority() {
+		t.Errorf("only %d servers adopted ts=1 after gossip, want ≥ %d", count, cfg.Majority())
+	}
+}

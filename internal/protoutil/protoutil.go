@@ -1,0 +1,159 @@
+// Package protoutil contains the client-side round-trip machinery shared by
+// every register protocol: broadcasting a request to all servers and
+// collecting acknowledgements from a quorum of distinct servers.
+//
+// Keeping this logic in one place guarantees that all protocols implement the
+// same notion of a "communication round-trip" (Section 3.2 of the paper): the
+// client sends messages to a subset of processes, each recipient replies
+// without waiting for any other message, and the client returns after
+// receiving sufficiently many replies. The round-trip counters exposed here
+// are what the experiments report as time complexity.
+package protoutil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"fastread/internal/trace"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// Errors returned by the round-trip helpers.
+var (
+	// ErrInterrupted indicates the context was cancelled or timed out before
+	// the quorum was assembled.
+	ErrInterrupted = errors.New("protoutil: operation interrupted before quorum")
+	// ErrInboxClosed indicates the client's transport node was closed while
+	// waiting for acknowledgements.
+	ErrInboxClosed = errors.New("protoutil: transport inbox closed")
+)
+
+// Broadcast encodes the message once and sends it to every listed server.
+// Send errors (which only occur when the local node is closed) abort the
+// broadcast.
+func Broadcast(node transport.Node, servers []types.ProcessID, msg *wire.Message, tr *trace.Trace) error {
+	payload, err := wire.Encode(msg)
+	if err != nil {
+		return fmt.Errorf("encode %s: %w", msg.Op, err)
+	}
+	for _, s := range servers {
+		tr.Record(trace.KindSend, node.ID(), s, "%s ts=%d rc=%d", msg.Op, msg.TS, msg.RCounter)
+		if err := node.Send(s, msg.Kind(), payload); err != nil {
+			return fmt.Errorf("send %s to %s: %w", msg.Op, s, err)
+		}
+	}
+	return nil
+}
+
+// Ack couples a decoded acknowledgement with the server that sent it.
+type Ack struct {
+	From types.ProcessID
+	Msg  *wire.Message
+}
+
+// AckFilter decides whether an incoming message is a valid acknowledgement
+// for the in-flight operation. Returning false discards the message (e.g. a
+// stale ack from a previous operation, a malformed payload or — in the
+// arbitrary-failure algorithm — an ack with an invalid writer signature).
+type AckFilter func(from types.ProcessID, msg *wire.Message) bool
+
+// CollectAcks waits until acknowledgements from `need` distinct servers have
+// been accepted by the filter, then returns them. Messages from non-server
+// processes, duplicate acks from the same server, undecodable payloads and
+// filter rejections are all ignored, mirroring the paper's convention that a
+// process detects and drops incomplete messages.
+func CollectAcks(ctx context.Context, node transport.Node, need int, filter AckFilter, tr *trace.Trace) ([]Ack, error) {
+	acks := make([]Ack, 0, need)
+	seen := make(map[types.ProcessID]bool, need)
+	if need <= 0 {
+		return acks, nil
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: have %d of %d acks: %w", ErrInterrupted, len(acks), need, ctx.Err())
+		case m, ok := <-node.Inbox():
+			if !ok {
+				return nil, ErrInboxClosed
+			}
+			if m.From.Role != types.RoleServer {
+				continue
+			}
+			if seen[m.From] {
+				continue
+			}
+			decoded, err := wire.Decode(m.Payload)
+			if err != nil {
+				tr.Record(trace.KindDrop, node.ID(), m.From, "malformed payload: %v", err)
+				continue
+			}
+			if filter != nil && !filter(m.From, decoded) {
+				tr.Record(trace.KindDrop, node.ID(), m.From, "filtered %s ts=%d rc=%d", decoded.Op, decoded.TS, decoded.RCounter)
+				continue
+			}
+			tr.Record(trace.KindReceive, node.ID(), m.From, "%s ts=%d rc=%d", decoded.Op, decoded.TS, decoded.RCounter)
+			seen[m.From] = true
+			acks = append(acks, Ack{From: m.From, Msg: decoded})
+			if len(acks) >= need {
+				return acks, nil
+			}
+		}
+	}
+}
+
+// RoundTrip broadcasts the request and collects `need` acknowledgements: one
+// complete communication round-trip in the paper's sense.
+func RoundTrip(ctx context.Context, node transport.Node, servers []types.ProcessID, req *wire.Message, need int, filter AckFilter, tr *trace.Trace) ([]Ack, error) {
+	if err := Broadcast(node, servers, req, tr); err != nil {
+		return nil, err
+	}
+	return CollectAcks(ctx, node, need, filter, tr)
+}
+
+// ServerIDs builds the canonical list of server identities s1..sS.
+func ServerIDs(count int) []types.ProcessID {
+	out := make([]types.ProcessID, count)
+	for i := range out {
+		out[i] = types.Server(i + 1)
+	}
+	return out
+}
+
+// ReaderIDs builds the canonical list of reader identities r1..rR.
+func ReaderIDs(count int) []types.ProcessID {
+	out := make([]types.ProcessID, count)
+	for i := range out {
+		out[i] = types.Reader(i + 1)
+	}
+	return out
+}
+
+// MaxTimestamp returns the largest timestamp among the collected acks, along
+// with one ack carrying it. The boolean is false for an empty slice.
+func MaxTimestamp(acks []Ack) (types.Timestamp, Ack, bool) {
+	if len(acks) == 0 {
+		return 0, Ack{}, false
+	}
+	best := acks[0]
+	for _, a := range acks[1:] {
+		if a.Msg.TS > best.Msg.TS {
+			best = a
+		}
+	}
+	return best.Msg.TS, best, true
+}
+
+// FilterByTimestamp returns the subset of acks carrying exactly the given
+// timestamp.
+func FilterByTimestamp(acks []Ack, ts types.Timestamp) []Ack {
+	out := make([]Ack, 0, len(acks))
+	for _, a := range acks {
+		if a.Msg.TS == ts {
+			out = append(out, a)
+		}
+	}
+	return out
+}

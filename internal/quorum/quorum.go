@@ -1,0 +1,158 @@
+// Package quorum collects the closed-form resilience arithmetic of the paper:
+// when fast reads are possible, how many readers a deployment can support,
+// the sizes of the quorums each protocol waits for, and the thresholds used
+// by the fast-read predicate.
+//
+// Crash model (Sections 4-5): a fast SWMR atomic register exists iff
+// R < S/t − 2, equivalently S > (R+2)·t.
+//
+// Arbitrary failure model (Section 6): with b ≤ t malicious servers, a fast
+// implementation exists iff R < (S+b)/(t+b) − 2, equivalently
+// S > (R+2)·t + (R+1)·b.
+//
+// Regular registers (Section 8): a fast SWMR regular register exists iff
+// t < S/2, for any finite number of readers.
+package quorum
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes a deployment: S servers, up to t crash failures of which
+// up to b may be malicious, and R readers.
+type Config struct {
+	Servers   int // S
+	Faulty    int // t
+	Malicious int // b (0 in the crash model)
+	Readers   int // R
+}
+
+// Errors returned by Validate.
+var (
+	// ErrInvalidConfig indicates a structurally impossible configuration.
+	ErrInvalidConfig = errors.New("quorum: invalid configuration")
+)
+
+// Validate checks the structural constraints of the model: at least one
+// server, 0 ≤ b ≤ t ≤ S, at least one reader.
+func (c Config) Validate() error {
+	switch {
+	case c.Servers < 1:
+		return fmt.Errorf("%w: need at least one server, got %d", ErrInvalidConfig, c.Servers)
+	case c.Faulty < 0:
+		return fmt.Errorf("%w: negative t=%d", ErrInvalidConfig, c.Faulty)
+	case c.Faulty > c.Servers:
+		return fmt.Errorf("%w: t=%d exceeds S=%d", ErrInvalidConfig, c.Faulty, c.Servers)
+	case c.Malicious < 0:
+		return fmt.Errorf("%w: negative b=%d", ErrInvalidConfig, c.Malicious)
+	case c.Malicious > c.Faulty:
+		return fmt.Errorf("%w: b=%d exceeds t=%d", ErrInvalidConfig, c.Malicious, c.Faulty)
+	case c.Readers < 0:
+		return fmt.Errorf("%w: negative R=%d", ErrInvalidConfig, c.Readers)
+	}
+	return nil
+}
+
+// String renders the configuration compactly.
+func (c Config) String() string {
+	return fmt.Sprintf("S=%d t=%d b=%d R=%d", c.Servers, c.Faulty, c.Malicious, c.Readers)
+}
+
+// AckQuorum is the number of server replies a client waits for before
+// completing an operation: S − t. Waiting for more could block forever when t
+// servers have crashed (termination, Section 3.2).
+func (c Config) AckQuorum() int { return c.Servers - c.Faulty }
+
+// Majority is the size of a strict majority of servers, ⌊S/2⌋ + 1, the quorum
+// used by the ABD baseline and the regular-register implementation.
+func (c Config) Majority() int { return c.Servers/2 + 1 }
+
+// FastReadPossible reports whether a fast implementation of a SWMR atomic
+// register exists for this configuration: S > (R+2)·t + (R+1)·b. With b = 0
+// this is exactly the crash-model condition R < S/t − 2 (for t ≥ 1).
+func (c Config) FastReadPossible() bool {
+	if c.Validate() != nil {
+		return false
+	}
+	if c.Faulty == 0 && c.Malicious == 0 {
+		// With no failures every algorithm can be made fast; the paper's
+		// bound assumes t ≥ 1.
+		return true
+	}
+	return c.Servers > (c.Readers+2)*c.Faulty+(c.Readers+1)*c.Malicious
+}
+
+// MaxFastReaders returns the largest number of readers R for which a fast
+// implementation exists with S servers, t crash failures and b malicious
+// failures; it returns -1 when the configuration is invalid and a very large
+// number when t = b = 0 (any number of readers).
+func MaxFastReaders(servers, faulty, malicious int) int {
+	c := Config{Servers: servers, Faulty: faulty, Malicious: malicious}
+	if c.Validate() != nil {
+		return -1
+	}
+	if faulty == 0 && malicious == 0 {
+		return int(^uint(0) >> 1) // unbounded
+	}
+	// Largest R with S > (R+2)t + (R+1)b  ⇔  R < (S - 2t - b) / (t + b).
+	num := servers - 2*faulty - malicious
+	den := faulty + malicious
+	if num <= 0 {
+		return -1 // not even one reader can be fast... R must be ≥ 0; see below
+	}
+	r := (num - 1) / den // strict inequality
+	if (r+2)*faulty+(r+1)*malicious >= servers {
+		r--
+	}
+	if r < 0 {
+		return -1
+	}
+	return r
+}
+
+// MinServersForFast returns the smallest S for which a fast implementation
+// exists with R readers, t crash failures and b malicious failures.
+func MinServersForFast(readers, faulty, malicious int) int {
+	return (readers+2)*faulty + (readers+1)*malicious + 1
+}
+
+// FastRegularPossible reports whether a fast SWMR *regular* register exists:
+// t < S/2 in the crash model (Section 8), and — using the standard Byzantine
+// quorum condition — S > 2t + b when b of the faulty servers may be
+// malicious.
+func (c Config) FastRegularPossible() bool {
+	if c.Validate() != nil {
+		return false
+	}
+	return c.Servers > 2*c.Faulty+c.Malicious
+}
+
+// PredicateThreshold returns the minimum number of maxTS messages required by
+// the fast-read predicate for a given "a": S − a·t in the crash model and
+// S − a·t − (a−1)·b in the arbitrary failure model (Figure 5 line 19).
+func (c Config) PredicateThreshold(a int) int {
+	return c.Servers - a*c.Faulty - (a-1)*c.Malicious
+}
+
+// MaxPredicateLevel is the largest meaningful "a" in the fast-read predicate:
+// R + 1 (the writer plus all readers).
+func (c Config) MaxPredicateLevel() int { return c.Readers + 1 }
+
+// ReadersWithinBound clamps the configuration's reader count to the maximum
+// supported by fast reads, returning the clamped configuration and whether
+// clamping occurred. Used by the façade to fail fast on misconfiguration.
+func (c Config) ReadersWithinBound() (Config, bool) {
+	maxR := MaxFastReaders(c.Servers, c.Faulty, c.Malicious)
+	if maxR < 0 {
+		out := c
+		out.Readers = 0
+		return out, c.Readers > 0
+	}
+	if c.Readers <= maxR {
+		return c, false
+	}
+	out := c
+	out.Readers = maxR
+	return out, true
+}

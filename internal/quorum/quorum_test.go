@@ -1,0 +1,260 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"ok crash", Config{Servers: 4, Faulty: 1, Readers: 1}, false},
+		{"ok byz", Config{Servers: 10, Faulty: 2, Malicious: 1, Readers: 1}, false},
+		{"no servers", Config{Servers: 0, Faulty: 0}, true},
+		{"negative t", Config{Servers: 3, Faulty: -1}, true},
+		{"t > S", Config{Servers: 3, Faulty: 4}, true},
+		{"negative b", Config{Servers: 3, Faulty: 1, Malicious: -1}, true},
+		{"b > t", Config{Servers: 9, Faulty: 1, Malicious: 2}, true},
+		{"negative R", Config{Servers: 3, Faulty: 1, Readers: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate(%v) error = %v, wantErr %v", tt.cfg, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAckQuorumAndMajority(t *testing.T) {
+	c := Config{Servers: 7, Faulty: 2, Readers: 1}
+	if got := c.AckQuorum(); got != 5 {
+		t.Errorf("AckQuorum = %d, want 5", got)
+	}
+	if got := c.Majority(); got != 4 {
+		t.Errorf("Majority = %d, want 4", got)
+	}
+	even := Config{Servers: 8, Faulty: 3}
+	if got := even.Majority(); got != 5 {
+		t.Errorf("Majority(8) = %d, want 5", got)
+	}
+}
+
+func TestFastReadPossibleCrashExamples(t *testing.T) {
+	tests := []struct {
+		s, t, r int
+		want    bool
+	}{
+		// The paper's running intuition: with t < S/2 and two readers fast
+		// reads already fail for small S.
+		{4, 1, 1, true},   // S > (R+2)t ⇔ 4 > 3
+		{4, 1, 2, false},  // 4 > 4 is false
+		{7, 2, 1, true},   // 7 > 6
+		{7, 2, 2, false},  // 7 > 8 false
+		{10, 3, 1, true},  // 10 > 9
+		{10, 3, 2, false}, // 10 > 12 false
+		{31, 1, 28, true}, // 31 > 30
+		{31, 1, 29, false},
+		{3, 1, 0, true},  // writer-only deployments: 3 > 2
+		{2, 1, 0, false}, // 2 > 2 false
+	}
+	for _, tt := range tests {
+		c := Config{Servers: tt.s, Faulty: tt.t, Readers: tt.r}
+		if got := c.FastReadPossible(); got != tt.want {
+			t.Errorf("FastReadPossible(%v) = %v, want %v", c, got, tt.want)
+		}
+	}
+}
+
+func TestFastReadPossibleByzantineExamples(t *testing.T) {
+	tests := []struct {
+		s, t, b, r int
+		want       bool
+	}{
+		{8, 1, 1, 1, true},  // S > (R+2)t+(R+1)b = 3+2 = 5
+		{8, 1, 1, 2, false}, // 4+3 = 7 < 8 -> true? 8 > 7 is true
+		{7, 1, 1, 1, true},  // 7 > 5
+		{5, 1, 1, 1, false}, // 5 > 5 false
+		{6, 1, 1, 1, true},  // 6 > 5
+		{13, 2, 2, 1, true}, // 13 > 6+4=10
+		{10, 2, 2, 1, false},
+	}
+	// Fix the expectation for the second row computed inline above.
+	tests[1].want = true
+	for _, tt := range tests {
+		c := Config{Servers: tt.s, Faulty: tt.t, Malicious: tt.b, Readers: tt.r}
+		if got := c.FastReadPossible(); got != tt.want {
+			t.Errorf("FastReadPossible(%v) = %v, want %v", c, got, tt.want)
+		}
+	}
+}
+
+func TestFastReadPossibleNoFailures(t *testing.T) {
+	c := Config{Servers: 3, Faulty: 0, Readers: 100}
+	if !c.FastReadPossible() {
+		t.Error("with t=0 fast reads should always be possible")
+	}
+}
+
+func TestMaxFastReadersMatchesDefinition(t *testing.T) {
+	// Brute-force cross-check: MaxFastReaders must be the largest R with
+	// FastReadPossible true, and R+1 must not be fast.
+	for s := 1; s <= 40; s++ {
+		for tt := 1; tt <= s; tt++ {
+			for b := 0; b <= tt; b++ {
+				maxR := MaxFastReaders(s, tt, b)
+				if maxR == -1 {
+					c := Config{Servers: s, Faulty: tt, Malicious: b, Readers: 0}
+					if c.FastReadPossible() {
+						t.Fatalf("S=%d t=%d b=%d: MaxFastReaders=-1 but R=0 is fast", s, tt, b)
+					}
+					continue
+				}
+				cOK := Config{Servers: s, Faulty: tt, Malicious: b, Readers: maxR}
+				if !cOK.FastReadPossible() {
+					t.Fatalf("S=%d t=%d b=%d: R=%d reported max but not fast", s, tt, b, maxR)
+				}
+				cBad := cOK
+				cBad.Readers = maxR + 1
+				if cBad.FastReadPossible() {
+					t.Fatalf("S=%d t=%d b=%d: R=%d fast although max is %d", s, tt, b, maxR+1, maxR)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxFastReadersSpecialCases(t *testing.T) {
+	if got := MaxFastReaders(5, 0, 0); got <= 1<<30 {
+		t.Errorf("t=b=0 should allow unbounded readers, got %d", got)
+	}
+	if got := MaxFastReaders(0, 0, 0); got != -1 {
+		t.Errorf("invalid config should return -1, got %d", got)
+	}
+	if got := MaxFastReaders(2, 1, 0); got != -1 {
+		t.Errorf("S=2,t=1 cannot even support R=0 fast, got %d", got)
+	}
+	// Paper example shape: S=4, t=1 supports exactly one fast reader.
+	if got := MaxFastReaders(4, 1, 0); got != 1 {
+		t.Errorf("MaxFastReaders(4,1,0) = %d, want 1", got)
+	}
+}
+
+func TestMinServersForFastInvertsMaxReaders(t *testing.T) {
+	for r := 0; r <= 10; r++ {
+		for tt := 1; tt <= 4; tt++ {
+			for b := 0; b <= tt; b++ {
+				s := MinServersForFast(r, tt, b)
+				c := Config{Servers: s, Faulty: tt, Malicious: b, Readers: r}
+				if !c.FastReadPossible() {
+					t.Errorf("MinServersForFast(%d,%d,%d)=%d is not sufficient", r, tt, b, s)
+				}
+				cLess := c
+				cLess.Servers--
+				if cLess.Validate() == nil && cLess.FastReadPossible() {
+					t.Errorf("S=%d already fast for R=%d t=%d b=%d; MinServers not minimal", s-1, r, tt, b)
+				}
+			}
+		}
+	}
+}
+
+func TestFastRegularPossible(t *testing.T) {
+	tests := []struct {
+		s, t, b int
+		want    bool
+	}{
+		{3, 1, 0, true},
+		{2, 1, 0, false},
+		{5, 2, 0, true},
+		{4, 2, 0, false},
+		{4, 1, 1, true},
+		{3, 1, 1, false},
+	}
+	for _, tt := range tests {
+		c := Config{Servers: tt.s, Faulty: tt.t, Malicious: tt.b, Readers: 100}
+		if got := c.FastRegularPossible(); got != tt.want {
+			t.Errorf("FastRegularPossible(%v) = %v, want %v", c, got, tt.want)
+		}
+	}
+}
+
+func TestPredicateThreshold(t *testing.T) {
+	crash := Config{Servers: 10, Faulty: 2, Readers: 2}
+	if got := crash.PredicateThreshold(1); got != 8 {
+		t.Errorf("crash a=1 threshold = %d, want 8", got)
+	}
+	if got := crash.PredicateThreshold(3); got != 4 {
+		t.Errorf("crash a=3 threshold = %d, want 4", got)
+	}
+	byz := Config{Servers: 13, Faulty: 2, Malicious: 1, Readers: 1}
+	if got := byz.PredicateThreshold(1); got != 11 {
+		t.Errorf("byz a=1 threshold = %d, want 11 (S - t)", got)
+	}
+	if got := byz.PredicateThreshold(2); got != 8 {
+		t.Errorf("byz a=2 threshold = %d, want 8 (S - 2t - b)", got)
+	}
+	if got := crash.MaxPredicateLevel(); got != 3 {
+		t.Errorf("MaxPredicateLevel = %d, want R+1 = 3", got)
+	}
+}
+
+func TestReadersWithinBound(t *testing.T) {
+	c := Config{Servers: 10, Faulty: 2, Readers: 5}
+	clamped, wasClamped := c.ReadersWithinBound()
+	if !wasClamped {
+		t.Error("expected clamping for R=5, S=10, t=2")
+	}
+	if clamped.Readers != MaxFastReaders(10, 2, 0) {
+		t.Errorf("clamped to %d, want %d", clamped.Readers, MaxFastReaders(10, 2, 0))
+	}
+	ok := Config{Servers: 10, Faulty: 2, Readers: 1}
+	if _, was := ok.ReadersWithinBound(); was {
+		t.Error("unexpected clamping for a valid configuration")
+	}
+}
+
+// Property: the crash-model condition S > (R+2)t is exactly equivalent to the
+// paper's R < S/t − 2 formulation (over the rationals).
+func TestCrashBoundEquivalentFormulations(t *testing.T) {
+	f := func(s8, t8, r8 uint8) bool {
+		s := int(s8%60) + 1
+		tt := int(t8%uint8(s)) + 1
+		if tt > s {
+			tt = s
+		}
+		r := int(r8 % 40)
+		c := Config{Servers: s, Faulty: tt, Readers: r}
+		lhs := c.FastReadPossible()
+		rhs := float64(r) < float64(s)/float64(tt)-2
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Byzantine condition S > (R+2)t+(R+1)b is equivalent to the
+// paper's R < (S+b)/(t+b) − 2 formulation.
+func TestByzantineBoundEquivalentFormulations(t *testing.T) {
+	f := func(s8, t8, b8, r8 uint8) bool {
+		s := int(s8%80) + 1
+		tt := int(t8%uint8(s)) + 1
+		if tt > s {
+			tt = s
+		}
+		b := int(b8) % (tt + 1)
+		r := int(r8 % 40)
+		c := Config{Servers: s, Faulty: tt, Malicious: b, Readers: r}
+		lhs := c.FastReadPossible()
+		rhs := float64(r) < float64(s+b)/float64(tt+b)-2
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

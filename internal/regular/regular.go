@@ -1,0 +1,297 @@
+// Package regular implements a fast single-writer multi-reader REGULAR
+// register, the comparison point of Section 8 of the paper.
+//
+// A regular register is weaker than an atomic one: a read that is concurrent
+// with a write may return either the value being written or the previous
+// value, and two concurrent reads may disagree on which (the "new/old
+// inversion" that atomicity forbids). In exchange, the implementation is
+// trivially fast for ANY number of readers as long as a majority of servers
+// is correct (t < S/2): writes go to a majority in one round, reads query a
+// majority and return the highest-timestamped value, with no write-back and
+// no seen-set bookkeeping.
+//
+// Experiment E7 uses this register to reproduce the paper's observation that
+// "fast atomic registers have exactly the same time-complexity as regular
+// registers" when R is small enough, and that beyond the R < S/t − 2 bound
+// the designer must choose between speed (regular) and consistency (atomic).
+package regular
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fastread/internal/protoutil"
+	"fastread/internal/quorum"
+	"fastread/internal/stats"
+	"fastread/internal/trace"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// Errors returned by the regular register.
+var (
+	// ErrBottomWrite indicates an attempt to write the reserved value ⊥.
+	ErrBottomWrite = errors.New("regular: cannot write the initial value ⊥")
+	// ErrNotWriter indicates a writer constructed on a non-writer node.
+	ErrNotWriter = errors.New("regular: writer must use the writer identity")
+	// ErrNotReader indicates a reader constructed on a non-reader node.
+	ErrNotReader = errors.New("regular: reader must use a reader identity")
+	// ErrNotRegularizable indicates a configuration with t ≥ S/2, for which
+	// even a regular register cannot be implemented.
+	ErrNotRegularizable = errors.New("regular: requires t < S/2")
+)
+
+// Server stores the highest-timestamped value it has received and answers
+// both writes and reads in a single step.
+type Server struct {
+	id   types.ProcessID
+	tr   *trace.Trace
+	node transport.Node
+
+	mu    sync.Mutex
+	value types.TaggedValue
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewServer creates a regular-register server bound to the given node.
+func NewServer(id types.ProcessID, node transport.Node, tr *trace.Trace) (*Server, error) {
+	if id.Role != types.RoleServer || !id.Valid() {
+		return nil, fmt.Errorf("regular: server id %v is not a valid server identity", id)
+	}
+	if node == nil {
+		return nil, fmt.Errorf("regular: server %v requires a transport node", id)
+	}
+	return &Server{
+		id:    id,
+		tr:    tr,
+		node:  node,
+		value: types.InitialTaggedValue(),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Start launches the message-handling goroutine.
+func (s *Server) Start() {
+	go func() {
+		defer close(s.done)
+		transport.Serve(s.node, s.handle)
+	}()
+}
+
+// Stop detaches the server from the network and waits for its handler to
+// exit.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { _ = s.node.Close() })
+	<-s.done
+}
+
+// ID returns the server's identity.
+func (s *Server) ID() types.ProcessID { return s.id }
+
+// State returns the server's current value.
+func (s *Server) State() types.TaggedValue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.value.Clone()
+}
+
+func (s *Server) handle(m transport.Message) {
+	req, err := wire.Decode(m.Payload)
+	if err != nil {
+		s.tr.Record(trace.KindDrop, s.id, m.From, "malformed: %v", err)
+		return
+	}
+	var ackOp wire.Op
+	switch req.Op {
+	case wire.OpWrite:
+		if m.From.Role != types.RoleWriter {
+			return
+		}
+		ackOp = wire.OpWriteAck
+	case wire.OpRead:
+		if m.From.Role != types.RoleReader {
+			return
+		}
+		ackOp = wire.OpReadAck
+	default:
+		return
+	}
+
+	s.mu.Lock()
+	if req.Op == wire.OpWrite && req.TS > s.value.TS {
+		s.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
+	}
+	ack := &wire.Message{
+		Op:       ackOp,
+		TS:       s.value.TS,
+		Cur:      s.value.Cur.Clone(),
+		Prev:     s.value.Prev.Clone(),
+		RCounter: req.RCounter,
+	}
+	s.mu.Unlock()
+
+	if err := s.node.Send(m.From, ack.Kind(), wire.MustEncode(ack)); err != nil {
+		s.tr.Record(trace.KindDrop, s.id, m.From, "send ack: %v", err)
+	}
+}
+
+// Writer is the single writer of the regular register: one round-trip per
+// write to a majority of servers.
+type Writer struct {
+	cfg     quorum.Config
+	tr      *trace.Trace
+	node    transport.Node
+	servers []types.ProcessID
+
+	mu     sync.Mutex
+	ts     types.Timestamp
+	prev   types.Value
+	rounds stats.Counter
+	writes int64
+}
+
+// NewWriter creates the regular-register writer.
+func NewWriter(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Writer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.FastRegularPossible() {
+		return nil, fmt.Errorf("%w: %v", ErrNotRegularizable, cfg)
+	}
+	if node == nil {
+		return nil, fmt.Errorf("regular: writer requires a transport node")
+	}
+	if node.ID() != types.Writer() {
+		return nil, fmt.Errorf("%w: got %v", ErrNotWriter, node.ID())
+	}
+	return &Writer{
+		cfg:     cfg,
+		tr:      tr,
+		node:    node,
+		servers: protoutil.ServerIDs(cfg.Servers),
+		ts:      1,
+		prev:    types.Bottom(),
+	}, nil
+}
+
+// Write stores v in the register in one round-trip.
+func (w *Writer) Write(ctx context.Context, v types.Value) error {
+	if v.IsBottom() {
+		return ErrBottomWrite
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	ts := w.ts
+	req := &wire.Message{Op: wire.OpWrite, TS: ts, Cur: v.Clone(), Prev: w.prev.Clone()}
+	filter := func(_ types.ProcessID, m *wire.Message) bool {
+		return m.Op == wire.OpWriteAck && m.TS >= ts
+	}
+	if _, err := protoutil.RoundTrip(ctx, w.node, w.servers, req, w.cfg.Majority(), filter, w.tr); err != nil {
+		return fmt.Errorf("regular: write ts=%d: %w", ts, err)
+	}
+	w.rounds.Add(1)
+	w.writes++
+	w.ts = ts.Next()
+	w.prev = v.Clone()
+	return nil
+}
+
+// Stats reports completed writes and total round-trips.
+func (w *Writer) Stats() (writes, roundTrips int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writes, w.rounds.Total()
+}
+
+// Close detaches the writer from the network.
+func (w *Writer) Close() error { return w.node.Close() }
+
+// ReadResult is what a regular read returns.
+type ReadResult struct {
+	Value      types.Value
+	Timestamp  types.Timestamp
+	RoundTrips int
+}
+
+// Reader is a regular-register reader: query a majority, return the value
+// with the highest timestamp. One round-trip, no write-back.
+type Reader struct {
+	cfg     quorum.Config
+	tr      *trace.Trace
+	node    transport.Node
+	id      types.ProcessID
+	servers []types.ProcessID
+
+	mu       sync.Mutex
+	rCounter int64
+	rounds   stats.Counter
+	reads    int64
+}
+
+// NewReader creates a regular-register reader. Any number of readers is
+// supported.
+func NewReader(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Reader, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.FastRegularPossible() {
+		return nil, fmt.Errorf("%w: %v", ErrNotRegularizable, cfg)
+	}
+	if node == nil {
+		return nil, fmt.Errorf("regular: reader requires a transport node")
+	}
+	id := node.ID()
+	if id.Role != types.RoleReader || id.Index < 1 {
+		return nil, fmt.Errorf("%w: got %v", ErrNotReader, id)
+	}
+	return &Reader{
+		cfg:     cfg,
+		tr:      tr,
+		node:    node,
+		id:      id,
+		servers: protoutil.ServerIDs(cfg.Servers),
+	}, nil
+}
+
+// Read returns a regular-register value in one round-trip.
+func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	r.rCounter++
+	rc := r.rCounter
+	req := &wire.Message{Op: wire.OpRead, RCounter: rc}
+	filter := func(_ types.ProcessID, m *wire.Message) bool {
+		return m.Op == wire.OpReadAck && m.RCounter == rc
+	}
+	acks, err := protoutil.RoundTrip(ctx, r.node, r.servers, req, r.cfg.Majority(), filter, r.tr)
+	if err != nil {
+		return ReadResult{}, fmt.Errorf("regular: read rc=%d: %w", rc, err)
+	}
+	r.rounds.Add(1)
+	r.reads++
+
+	_, best, _ := protoutil.MaxTimestamp(acks)
+	return ReadResult{
+		Value:      best.Msg.Cur.Clone(),
+		Timestamp:  best.Msg.TS,
+		RoundTrips: 1,
+	}, nil
+}
+
+// Stats reports completed reads and total round-trips (equal: regular reads
+// are fast).
+func (r *Reader) Stats() (reads, roundTrips int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reads, r.rounds.Total()
+}
+
+// Close detaches the reader from the network.
+func (r *Reader) Close() error { return r.node.Close() }

@@ -1,0 +1,190 @@
+// Package trace provides a lightweight structured event log shared by the
+// protocol implementations, the adversarial schedules and the experiment
+// harness.
+//
+// Traces serve two purposes: (1) tests and the lower-bound reproductions
+// assert on the sequence of protocol-level events (e.g. "the read by r2 never
+// received a reply from any server in block B2"), and (2) the experiment
+// harness counts round-trips and server-state mutations per operation, which
+// is the paper's notion of time complexity.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"fastread/internal/types"
+)
+
+// Kind classifies trace events.
+type Kind int
+
+const (
+	// KindSend records a protocol message leaving a process.
+	KindSend Kind = iota + 1
+	// KindReceive records a protocol message being processed by a process.
+	KindReceive
+	// KindInvoke records a read or write invocation at a client.
+	KindInvoke
+	// KindReturn records a read or write response at a client.
+	KindReturn
+	// KindStateChange records a server mutating its durable protocol state
+	// (timestamp, seen set or counters).
+	KindStateChange
+	// KindDrop records a message intentionally suppressed by the adversary.
+	KindDrop
+	// KindNote records free-form annotations from experiments.
+	KindNote
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSend:
+		return "send"
+	case KindReceive:
+		return "recv"
+	case KindInvoke:
+		return "invoke"
+	case KindReturn:
+		return "return"
+	case KindStateChange:
+		return "state"
+	case KindDrop:
+		return "drop"
+	case KindNote:
+		return "note"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is a single entry in a trace.
+type Event struct {
+	Seq     int64
+	At      time.Time
+	Kind    Kind
+	Process types.ProcessID
+	Peer    types.ProcessID
+	Detail  string
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	if e.Peer.IsZero() {
+		return fmt.Sprintf("#%04d %-6s %-4s %s", e.Seq, e.Kind, e.Process, e.Detail)
+	}
+	return fmt.Sprintf("#%04d %-6s %-4s ↔ %-4s %s", e.Seq, e.Kind, e.Process, e.Peer, e.Detail)
+}
+
+// Trace is an append-only, concurrency-safe event log. The zero value is
+// ready to use but discards nothing; use Disabled() for a trace that records
+// nothing at zero cost.
+type Trace struct {
+	mu       sync.Mutex
+	events   []Event
+	seq      int64
+	disabled bool
+}
+
+// New returns an empty recording trace.
+func New() *Trace { return &Trace{} }
+
+// Disabled returns a trace that drops every event. Protocol code can always
+// call Record without checking for nil.
+func Disabled() *Trace { return &Trace{disabled: true} }
+
+// Record appends an event. A nil or disabled trace ignores the call.
+func (t *Trace) Record(kind Kind, process, peer types.ProcessID, format string, args ...any) {
+	if t == nil || t.disabled {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	t.events = append(t.events, Event{
+		Seq:     t.seq,
+		At:      time.Now(),
+		Kind:    kind,
+		Process: process,
+		Peer:    peer,
+		Detail:  detail,
+	})
+}
+
+// Note records a free-form annotation attributed to a process.
+func (t *Trace) Note(process types.ProcessID, format string, args ...any) {
+	t.Record(KindNote, process, types.ProcessID{}, format, args...)
+}
+
+// Events returns a copy of the recorded events in order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Count returns the number of events matching the filter.
+func (t *Trace) Count(filter func(Event) bool) int {
+	n := 0
+	for _, e := range t.Events() {
+		if filter(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountKind returns the number of events of the given kind attributed to the
+// given process (zero ProcessID matches any process).
+func (t *Trace) CountKind(kind Kind, process types.ProcessID) int {
+	return t.Count(func(e Event) bool {
+		if e.Kind != kind {
+			return false
+		}
+		return process.IsZero() || e.Process == process
+	})
+}
+
+// String renders the whole trace, one event per line.
+func (t *Trace) String() string {
+	events := t.Events()
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Reset discards all recorded events.
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = nil
+	t.seq = 0
+}

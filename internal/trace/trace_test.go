@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"fastread/internal/types"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	tr := New()
+	tr.Record(KindInvoke, types.Reader(1), types.ProcessID{}, "read()")
+	tr.Record(KindSend, types.Reader(1), types.Server(1), "read ts=%d", 3)
+	tr.Record(KindReturn, types.Reader(1), types.ProcessID{}, "-> v3")
+
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("len(Events) = %d, want 3", len(events))
+	}
+	if events[0].Seq != 1 || events[2].Seq != 3 {
+		t.Errorf("sequence numbers not monotone: %v", events)
+	}
+	if events[1].Detail != "read ts=3" {
+		t.Errorf("formatted detail = %q", events[1].Detail)
+	}
+	if events[1].Peer != types.Server(1) {
+		t.Errorf("peer = %v", events[1].Peer)
+	}
+}
+
+func TestCountKind(t *testing.T) {
+	tr := New()
+	tr.Record(KindSend, types.Reader(1), types.Server(1), "a")
+	tr.Record(KindSend, types.Reader(2), types.Server(1), "b")
+	tr.Record(KindReceive, types.Server(1), types.Reader(1), "c")
+
+	if got := tr.CountKind(KindSend, types.Reader(1)); got != 1 {
+		t.Errorf("CountKind(send, r1) = %d, want 1", got)
+	}
+	if got := tr.CountKind(KindSend, types.ProcessID{}); got != 2 {
+		t.Errorf("CountKind(send, any) = %d, want 2", got)
+	}
+	if got := tr.CountKind(KindDrop, types.ProcessID{}); got != 0 {
+		t.Errorf("CountKind(drop, any) = %d, want 0", got)
+	}
+}
+
+func TestDisabledAndNilTraces(t *testing.T) {
+	d := Disabled()
+	d.Record(KindSend, types.Writer(), types.Server(1), "ignored")
+	if d.Len() != 0 {
+		t.Errorf("disabled trace recorded %d events", d.Len())
+	}
+	var nilTrace *Trace
+	nilTrace.Record(KindSend, types.Writer(), types.Server(1), "ignored")
+	nilTrace.Note(types.Writer(), "ignored")
+	if nilTrace.Len() != 0 || nilTrace.Events() != nil {
+		t.Error("nil trace should be inert")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tr := New()
+	tr.Note(types.Writer(), "hello")
+	tr.Record(KindSend, types.Writer(), types.Server(2), "write ts=1")
+	s := tr.String()
+	if !strings.Contains(s, "note") || !strings.Contains(s, "hello") {
+		t.Errorf("trace string missing note: %q", s)
+	}
+	if !strings.Contains(s, "s2") {
+		t.Errorf("trace string missing peer: %q", s)
+	}
+	var e Event
+	if e.String() == "" {
+		t.Error("zero event should still render")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New()
+	tr.Note(types.Writer(), "x")
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Errorf("Len after Reset = %d", tr.Len())
+	}
+	tr.Note(types.Writer(), "y")
+	if got := tr.Events()[0].Seq; got != 1 {
+		t.Errorf("sequence should restart at 1 after Reset, got %d", got)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	const goroutines = 10
+	const perGoroutine = 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				tr.Record(KindNote, types.Reader(id+1), types.ProcessID{}, "n")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != goroutines*perGoroutine {
+		t.Errorf("Len = %d, want %d", tr.Len(), goroutines*perGoroutine)
+	}
+	// Sequence numbers must be unique.
+	seen := make(map[int64]bool)
+	for _, e := range tr.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate sequence number %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindSend, KindReceive, KindInvoke, KindReturn, KindStateChange, KindDrop, KindNote}
+	for _, k := range kinds {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("unexpected name for invalid kind")
+	}
+}

@@ -1,0 +1,352 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"fastread/internal/types"
+)
+
+// link identifies a directed sender→receiver channel.
+type link struct {
+	from types.ProcessID
+	to   types.ProcessID
+}
+
+// LinkStats aggregates what happened on the network so far. It is primarily
+// used by tests and experiments to assert that an adversarial schedule did
+// what it was supposed to (e.g. "the read by r2 skipped block B2").
+type LinkStats struct {
+	Delivered int
+	Dropped   int
+	InTransit int
+}
+
+// InMemOption configures an in-memory network.
+type InMemOption func(*InMemNetwork)
+
+// WithDefaultDelay makes every message delivery wait the given duration,
+// modelling a uniform one-way network latency. A zero delay (the default)
+// delivers messages as fast as the Go scheduler allows.
+func WithDefaultDelay(d time.Duration) InMemOption {
+	return func(n *InMemNetwork) { n.defaultDelay = d }
+}
+
+// WithJitter adds a uniformly distributed random extra delay in [0, j) to
+// every delivery. The jitter source is seeded deterministically per network
+// via WithSeed.
+func WithJitter(j time.Duration) InMemOption {
+	return func(n *InMemNetwork) { n.jitter = j }
+}
+
+// WithSeed seeds the network's internal randomness (jitter). Networks with
+// the same seed and the same schedule of sends produce the same delays.
+func WithSeed(seed int64) InMemOption {
+	return func(n *InMemNetwork) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithMailboxObserver installs a callback invoked (synchronously with
+// delivery) for every message handed to a destination mailbox. Used by the
+// trace package.
+func WithMailboxObserver(fn func(Message)) InMemOption {
+	return func(n *InMemNetwork) { n.observer = fn }
+}
+
+// InMemNetwork is the goroutine/channel implementation of Network.
+type InMemNetwork struct {
+	mu           sync.Mutex
+	nodes        map[types.ProcessID]*inMemNode
+	blocked      map[link]bool
+	crashed      map[types.ProcessID]bool
+	held         map[link][]Message
+	linkDelay    map[link]time.Duration
+	stats        LinkStats
+	perLink      map[link]*LinkStats
+	defaultDelay time.Duration
+	jitter       time.Duration
+	rng          *rand.Rand
+	observer     func(Message)
+	closed       bool
+	wg           sync.WaitGroup
+}
+
+var _ Network = (*InMemNetwork)(nil)
+
+// NewInMemNetwork builds an in-memory network. It is safe for concurrent use
+// by any number of nodes.
+func NewInMemNetwork(opts ...InMemOption) *InMemNetwork {
+	n := &InMemNetwork{
+		nodes:     make(map[types.ProcessID]*inMemNode),
+		blocked:   make(map[link]bool),
+		crashed:   make(map[types.ProcessID]bool),
+		linkDelay: make(map[link]time.Duration),
+		perLink:   make(map[link]*LinkStats),
+		rng:       rand.New(rand.NewSource(1)),
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// Join implements Network.
+func (n *InMemNetwork) Join(id types.ProcessID) (Node, error) {
+	if !id.Valid() {
+		return nil, fmt.Errorf("transport: invalid process id %v", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.nodes[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAlreadyJoined, id)
+	}
+	node := &inMemNode{
+		id:    id,
+		net:   n,
+		box:   newMailbox(),
+		inbox: make(chan Message),
+	}
+	node.startPump()
+	n.nodes[id] = node
+	return node, nil
+}
+
+// Close implements Network.
+func (n *InMemNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	nodes := make([]*inMemNode, 0, len(n.nodes))
+	for _, node := range n.nodes {
+		nodes = append(nodes, node)
+	}
+	n.mu.Unlock()
+
+	for _, node := range nodes {
+		_ = node.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// Block prevents delivery of any message sent from `from` to `to` until
+// Unblock is called. Messages sent while the link is blocked are counted as
+// dropped; in the abstract model they are simply "in transit" forever, which
+// is indistinguishable to the protocols because no protocol waits for more
+// than S−t servers.
+func (n *InMemNetwork) Block(from, to types.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[link{from, to}] = true
+}
+
+// Unblock re-enables delivery on the link.
+func (n *InMemNetwork) Unblock(from, to types.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, link{from, to})
+}
+
+// BlockPair blocks both directions between the two processes.
+func (n *InMemNetwork) BlockPair(a, b types.ProcessID) {
+	n.Block(a, b)
+	n.Block(b, a)
+}
+
+// UnblockPair unblocks both directions between the two processes.
+func (n *InMemNetwork) UnblockPair(a, b types.ProcessID) {
+	n.Unblock(a, b)
+	n.Unblock(b, a)
+}
+
+// UnblockAll clears every blocked link.
+func (n *InMemNetwork) UnblockAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = make(map[link]bool)
+}
+
+// Crash marks a process as crashed: no message is delivered to it or from it
+// anymore. Crashing is permanent for the lifetime of the network, matching
+// the crash-stop model.
+func (n *InMemNetwork) Crash(id types.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// Crashed reports whether the process has been crashed via Crash.
+func (n *InMemNetwork) Crashed(id types.ProcessID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[id]
+}
+
+// SetLinkDelay sets a one-way delivery delay for the given link, overriding
+// the network default.
+func (n *InMemNetwork) SetLinkDelay(from, to types.ProcessID, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkDelay[link{from, to}] = d
+}
+
+// Stats returns a snapshot of the aggregate delivery counters.
+func (n *InMemNetwork) Stats() LinkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// StatsFor returns the delivery counters of a single directed link.
+func (n *InMemNetwork) StatsFor(from, to types.ProcessID) LinkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s := n.perLink[link{from, to}]; s != nil {
+		return *s
+	}
+	return LinkStats{}
+}
+
+// route decides the fate of a message: returns the destination node and delay
+// if it should be delivered, or nil if it must be dropped.
+func (n *InMemNetwork) route(msg Message) (*inMemNode, time.Duration, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ls := n.perLink[link{msg.From, msg.To}]
+	if ls == nil {
+		ls = &LinkStats{}
+		n.perLink[link{msg.From, msg.To}] = ls
+	}
+	if n.closed || n.crashed[msg.From] || n.crashed[msg.To] || n.blocked[link{msg.From, msg.To}] {
+		n.stats.Dropped++
+		ls.Dropped++
+		return nil, 0, false
+	}
+	dst, ok := n.nodes[msg.To]
+	if !ok {
+		n.stats.Dropped++
+		ls.Dropped++
+		return nil, 0, false
+	}
+	delay := n.defaultDelay
+	if d, ok := n.linkDelay[link{msg.From, msg.To}]; ok {
+		delay = d
+	}
+	if n.jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.jitter)))
+	}
+	n.stats.Delivered++
+	n.stats.InTransit++
+	ls.Delivered++
+	return dst, delay, true
+}
+
+// deliver hands the message to the destination mailbox, possibly after a
+// delay, without ever blocking the sender.
+func (n *InMemNetwork) deliver(dst *inMemNode, msg Message, delay time.Duration) {
+	done := func() {
+		if n.observer != nil {
+			n.observer(msg)
+		}
+		dst.box.push(msg)
+		n.mu.Lock()
+		n.stats.InTransit--
+		n.mu.Unlock()
+		n.wg.Done()
+	}
+	n.wg.Add(1)
+	if delay <= 0 {
+		done()
+		return
+	}
+	time.AfterFunc(delay, done)
+}
+
+// inMemNode is a single process attachment.
+type inMemNode struct {
+	id    types.ProcessID
+	net   *InMemNetwork
+	box   *mailbox
+	inbox chan Message
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+var _ Node = (*inMemNode)(nil)
+
+// startPump launches the goroutine that moves messages from the unbounded
+// mailbox to the delivery channel.
+func (nd *inMemNode) startPump() {
+	nd.done = make(chan struct{})
+	go func() {
+		defer close(nd.done)
+		defer close(nd.inbox)
+		for {
+			msg, ok := nd.box.pop()
+			if !ok {
+				return
+			}
+			nd.inbox <- msg
+		}
+	}()
+}
+
+// ID implements Node.
+func (nd *inMemNode) ID() types.ProcessID { return nd.id }
+
+// Send implements Node.
+func (nd *inMemNode) Send(to types.ProcessID, kind string, payload []byte) error {
+	nd.mu.Lock()
+	closed := nd.closed
+	nd.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	msg := Message{From: nd.id, To: to, Kind: kind, Payload: payload}
+	if nd.net.holdIfNeeded(msg) {
+		return nil
+	}
+	dst, delay, ok := nd.net.route(msg)
+	if !ok {
+		return nil
+	}
+	nd.net.deliver(dst, msg, delay)
+	return nil
+}
+
+// Inbox implements Node.
+func (nd *inMemNode) Inbox() <-chan Message { return nd.inbox }
+
+// Close implements Node.
+func (nd *inMemNode) Close() error {
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return nil
+	}
+	nd.closed = true
+	nd.mu.Unlock()
+
+	nd.box.close()
+	// Drain the delivery channel so the pump goroutine can exit even if the
+	// owner stopped reading.
+	go func() {
+		for range nd.inbox {
+		}
+	}()
+	<-nd.done
+	return nil
+}
+
+// Pending returns the number of messages queued but not yet consumed by the
+// node's owner. Used in tests.
+func (nd *inMemNode) Pending() int { return nd.box.len() }

@@ -1,0 +1,79 @@
+package transport
+
+import "sync"
+
+// mailbox is an unbounded FIFO queue of messages with a channel-based
+// delivery side.
+//
+// The asynchronous model requires that a sender never blocks on a slow
+// receiver (a correct process keeps taking steps regardless of what other
+// processes do). A fixed-capacity channel cannot provide that, so each node
+// owns a mailbox: producers append under a mutex, and a single pump goroutine
+// forwards messages to the node's delivery channel in order.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Message
+	closed bool
+}
+
+// newMailbox returns an empty, open mailbox.
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push appends a message. It reports false if the mailbox is already closed.
+func (m *mailbox) push(msg Message) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.items = append(m.items, msg)
+	m.cond.Signal()
+	return true
+}
+
+// pop blocks until a message is available or the mailbox is closed. The
+// second return value is false once the mailbox is closed and drained.
+func (m *mailbox) pop() (Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		return Message{}, false
+	}
+	msg := m.items[0]
+	// Avoid retaining the payload of the popped slot.
+	m.items[0] = Message{}
+	m.items = m.items[1:]
+	if len(m.items) == 0 {
+		// Reset the backing array so the slice does not grow without bound
+		// across bursts.
+		m.items = nil
+	}
+	return msg, true
+}
+
+// close marks the mailbox closed. Messages already queued are still
+// delivered; subsequent pushes are dropped.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// len returns the number of queued messages.
+func (m *mailbox) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}

@@ -1,0 +1,378 @@
+// Package tcpnet implements the transport.Node interface over TCP, so that
+// the register protocols — which only ever talk to a Node — run unchanged
+// over real sockets. It is used by cmd/regserver, cmd/regclient and the
+// tcpcluster example.
+//
+// Each process owns one listening socket and dials its peers lazily; frames
+// are length-prefixed and carry the sender identity, the message kind and
+// the opaque protocol payload. Delivery guarantees match the in-memory
+// network as long as the underlying connections stay healthy: no duplication
+// and no reordering per link; a broken connection is re-dialled on the next
+// send and messages lost in between are simply "still in transit" from the
+// protocol's point of view (the algorithms only ever wait for S−t of S
+// replies, so this maps onto the paper's asynchronous model).
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"fastread/internal/transport"
+	"fastread/internal/types"
+)
+
+// AddressBook maps process identities to their "host:port" addresses.
+type AddressBook map[types.ProcessID]string
+
+// Clone returns a copy of the address book.
+func (b AddressBook) Clone() AddressBook {
+	out := make(AddressBook, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Config configures one TCP-attached process.
+type Config struct {
+	// Self is the identity of this process.
+	Self types.ProcessID
+	// ListenAddr is the address to listen on; when empty, the address book
+	// entry for Self is used.
+	ListenAddr string
+	// Book maps every peer (and usually Self) to its address.
+	Book AddressBook
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds a single frame write (default 2s).
+	WriteTimeout time.Duration
+}
+
+// Errors returned by the TCP transport.
+var (
+	// ErrNoAddress indicates a destination without an address book entry.
+	ErrNoAddress = errors.New("tcpnet: no address for destination")
+	// ErrClosed indicates the node has been closed.
+	ErrClosed = errors.New("tcpnet: node closed")
+)
+
+// maxFrameSize bounds incoming frames to protect against corrupt peers.
+const maxFrameSize = 4 << 20
+
+// Node is one process attached to the TCP network.
+type Node struct {
+	cfg      Config
+	listener net.Listener
+	box      chan transport.Message
+
+	mu      sync.Mutex
+	conns   map[types.ProcessID]net.Conn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Node = (*Node)(nil)
+
+// Listen starts a TCP node for the given process.
+func Listen(cfg Config) (*Node, error) {
+	if !cfg.Self.Valid() {
+		return nil, fmt.Errorf("tcpnet: invalid self identity %v", cfg.Self)
+	}
+	addr := cfg.ListenAddr
+	if addr == "" {
+		addr = cfg.Book[cfg.Self]
+	}
+	if addr == "" {
+		return nil, fmt.Errorf("%w: %v (set ListenAddr or add a book entry)", ErrNoAddress, cfg.Self)
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 2 * time.Second
+	}
+	listener, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	n := &Node{
+		cfg:      cfg,
+		listener: listener,
+		box:      make(chan transport.Message, 1024),
+		conns:    make(map[types.ProcessID]net.Conn),
+		inbound:  make(map[net.Conn]struct{}),
+	}
+	n.cfg.Book = cfg.Book.Clone()
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the address the node is listening on (useful with ":0").
+func (n *Node) Addr() string { return n.listener.Addr().String() }
+
+// ID implements transport.Node.
+func (n *Node) ID() types.ProcessID { return n.cfg.Self }
+
+// Inbox implements transport.Node.
+func (n *Node) Inbox() <-chan transport.Message { return n.box }
+
+// Send implements transport.Node. Messages to unknown or unreachable peers
+// are dropped, matching the asynchronous model where they are simply never
+// delivered.
+func (n *Node) Send(to types.ProcessID, kind string, payload []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	n.mu.Unlock()
+
+	frame, err := encodeFrame(n.cfg.Self, kind, payload)
+	if err != nil {
+		return err
+	}
+	conn, err := n.connTo(to)
+	if err != nil {
+		// Unreachable peer: the message is lost in transit. Not an error for
+		// the sender in the asynchronous model.
+		return nil
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
+	if _, err := conn.Write(frame); err != nil {
+		n.dropConn(to, conn)
+		return nil
+	}
+	return nil
+}
+
+// Close implements transport.Node.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]net.Conn, 0, len(n.conns)+len(n.inbound))
+	for _, c := range n.conns {
+		conns = append(conns, c)
+	}
+	for c := range n.inbound {
+		conns = append(conns, c)
+	}
+	n.conns = map[types.ProcessID]net.Conn{}
+	n.inbound = map[net.Conn]struct{}{}
+	n.mu.Unlock()
+
+	_ = n.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+	close(n.box)
+	return nil
+}
+
+// connTo returns a cached or freshly dialled connection to the peer.
+func (n *Node) connTo(to types.ProcessID) (net.Conn, error) {
+	n.mu.Lock()
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := n.cfg.Book[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoAddress, to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		_ = conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := n.conns[to]; ok {
+		_ = conn.Close()
+		return existing, nil
+	}
+	n.conns[to] = conn
+	return conn, nil
+}
+
+// dropConn forgets a broken connection.
+func (n *Node) dropConn(to types.ProcessID, conn net.Conn) {
+	_ = conn.Close()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.conns[to] == conn {
+		delete(n.conns, to)
+	}
+}
+
+// acceptLoop accepts inbound connections and spawns a reader per connection.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one inbound connection into the mailbox.
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+	for {
+		from, kind, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		msg := transport.Message{From: from, To: n.cfg.Self, Kind: kind, Payload: payload}
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case n.box <- msg:
+		default:
+			// The mailbox is full; drop the message. The protocols tolerate
+			// message loss of this kind because they never wait for more
+			// than S−t replies, and clients retransmit by retrying the
+			// operation.
+		}
+	}
+}
+
+// encodeFrame builds one wire frame:
+//
+//	uint32  total length of the remainder
+//	byte    sender role
+//	uint32  sender index
+//	uint16  kind length, kind bytes
+//	uint32  payload length, payload bytes
+func encodeFrame(from types.ProcessID, kind string, payload []byte) ([]byte, error) {
+	if len(payload) > maxFrameSize {
+		return nil, fmt.Errorf("tcpnet: payload too large (%d bytes)", len(payload))
+	}
+	body := make([]byte, 0, 1+4+2+len(kind)+4+len(payload))
+	body = append(body, byte(from.Role))
+	body = binary.BigEndian.AppendUint32(body, uint32(from.Index))
+	body = binary.BigEndian.AppendUint16(body, uint16(len(kind)))
+	body = append(body, kind...)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(payload)))
+	body = append(body, payload...)
+
+	frame := make([]byte, 0, 4+len(body))
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(body)))
+	return append(frame, body...), nil
+}
+
+// readFrame reads and decodes one frame.
+func readFrame(r io.Reader) (types.ProcessID, string, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return types.ProcessID{}, "", nil, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total > maxFrameSize {
+		return types.ProcessID{}, "", nil, fmt.Errorf("tcpnet: frame too large (%d bytes)", total)
+	}
+	body := make([]byte, total)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return types.ProcessID{}, "", nil, err
+	}
+	if len(body) < 1+4+2 {
+		return types.ProcessID{}, "", nil, errors.New("tcpnet: truncated frame")
+	}
+	from := types.ProcessID{Role: types.Role(body[0]), Index: int(binary.BigEndian.Uint32(body[1:5]))}
+	if !from.Valid() {
+		return types.ProcessID{}, "", nil, fmt.Errorf("tcpnet: invalid sender %v", from)
+	}
+	off := 5
+	kindLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2
+	if off+kindLen+4 > len(body) {
+		return types.ProcessID{}, "", nil, errors.New("tcpnet: truncated kind")
+	}
+	kind := string(body[off : off+kindLen])
+	off += kindLen
+	payloadLen := int(binary.BigEndian.Uint32(body[off : off+4]))
+	off += 4
+	if off+payloadLen != len(body) {
+		return types.ProcessID{}, "", nil, errors.New("tcpnet: inconsistent payload length")
+	}
+	payload := body[off:]
+	return from, kind, payload, nil
+}
+
+// LocalCluster starts one TCP node per identity, all listening on loopback
+// with ephemeral ports, and returns them along with the shared address book.
+// It is a convenience for tests and for the tcpcluster example.
+func LocalCluster(ids []types.ProcessID) (map[types.ProcessID]*Node, AddressBook, error) {
+	// First pass: create listeners so every process learns its port.
+	listeners := make(map[types.ProcessID]net.Listener, len(ids))
+	book := make(AddressBook, len(ids))
+	for _, id := range ids {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, prev := range listeners {
+				_ = prev.Close()
+			}
+			return nil, nil, err
+		}
+		listeners[id] = l
+		book[id] = l.Addr().String()
+	}
+	// Second pass: wrap each listener in a Node sharing the completed book.
+	nodes := make(map[types.ProcessID]*Node, len(ids))
+	for _, id := range ids {
+		l := listeners[id]
+		n := &Node{
+			cfg: Config{
+				Self:         id,
+				Book:         book.Clone(),
+				DialTimeout:  2 * time.Second,
+				WriteTimeout: 2 * time.Second,
+			},
+			listener: l,
+			box:      make(chan transport.Message, 1024),
+			conns:    make(map[types.ProcessID]net.Conn),
+			inbound:  make(map[net.Conn]struct{}),
+		}
+		n.wg.Add(1)
+		go n.acceptLoop()
+		nodes[id] = n
+	}
+	return nodes, book, nil
+}

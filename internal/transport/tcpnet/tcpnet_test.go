@@ -1,0 +1,183 @@
+package tcpnet
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"fastread/internal/core"
+	"fastread/internal/quorum"
+	"fastread/internal/types"
+)
+
+func TestSendReceiveOverTCP(t *testing.T) {
+	nodes, _, err := LocalCluster([]types.ProcessID{types.Reader(1), types.Server(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+
+	client := nodes[types.Reader(1)]
+	server := nodes[types.Server(1)]
+
+	if err := client.Send(types.Server(1), "ping", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-server.Inbox():
+		if msg.From != types.Reader(1) || msg.Kind != "ping" || string(msg.Payload) != "hello" {
+			t.Errorf("unexpected message %v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message not delivered over TCP")
+	}
+
+	// Replies work the other way too.
+	if err := server.Send(types.Reader(1), "pong", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-client.Inbox():
+		if msg.Kind != "pong" || string(msg.Payload) != "world" {
+			t.Errorf("unexpected reply %v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reply not delivered over TCP")
+	}
+}
+
+func TestSendToUnknownPeerIsDropped(t *testing.T) {
+	nodes, _, err := LocalCluster([]types.ProcessID{types.Reader(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodes[types.Reader(1)].Close()
+	if err := nodes[types.Reader(1)].Send(types.Server(9), "x", nil); err != nil {
+		t.Errorf("send to unknown peer should not error, got %v", err)
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	nodes, _, err := LocalCluster([]types.ProcessID{types.Reader(1), types.Server(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := nodes[types.Reader(1)]
+	_ = nodes[types.Server(1)].Close()
+	_ = client.Close()
+	if err := client.Send(types.Server(1), "x", nil); err == nil {
+		t.Error("send after close should fail")
+	}
+	// Close is idempotent.
+	if err := client.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frame, err := encodeFrame(types.Reader(7), "readack", []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, kind, payload, err := readFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != types.Reader(7) || kind != "readack" || !bytes.Equal(payload, []byte{1, 2, 3}) {
+		t.Errorf("round trip mismatch: %v %q %v", from, kind, payload)
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	// Truncated length prefix.
+	if _, _, _, err := readFrame(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Error("truncated prefix accepted")
+	}
+	// Body shorter than advertised.
+	frame, _ := encodeFrame(types.Writer(), "k", []byte("data"))
+	if _, _, _, err := readFrame(bytes.NewReader(frame[:len(frame)-2])); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// Invalid sender role.
+	bad := append([]byte(nil), frame...)
+	bad[4] = 99
+	if _, _, _, err := readFrame(bytes.NewReader(bad)); err == nil {
+		t.Error("invalid sender accepted")
+	}
+	// Oversized frame length.
+	huge := make([]byte, 8)
+	huge[0], huge[1], huge[2], huge[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, _, err := readFrame(bytes.NewReader(huge)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestListenValidation(t *testing.T) {
+	if _, err := Listen(Config{Self: types.ProcessID{}}); err == nil {
+		t.Error("invalid identity accepted")
+	}
+	if _, err := Listen(Config{Self: types.Server(1)}); err == nil {
+		t.Error("missing address accepted")
+	}
+}
+
+// TestFastRegisterOverTCP runs the paper's fast register end to end over
+// loopback TCP: the protocols only see transport.Node, so the crash-model
+// algorithm must behave exactly as it does in memory.
+func TestFastRegisterOverTCP(t *testing.T) {
+	cfg := quorum.Config{Servers: 4, Faulty: 1, Readers: 1}
+	ids := []types.ProcessID{types.Writer(), types.Reader(1)}
+	for i := 1; i <= cfg.Servers; i++ {
+		ids = append(ids, types.Server(i))
+	}
+	nodes, _, err := LocalCluster(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+
+	for i := 1; i <= cfg.Servers; i++ {
+		srv, err := core.NewServer(core.ServerConfig{ID: types.Server(i), Readers: cfg.Readers}, nodes[types.Server(i)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		defer srv.Stop()
+	}
+	writer, err := core.NewWriter(core.WriterConfig{Quorum: cfg}, nodes[types.Writer()])
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := core.NewReader(core.ReaderConfig{Quorum: cfg}, nodes[types.Reader(1)])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 1; i <= 5; i++ {
+		value := types.Value([]byte{byte('a' + i)})
+		if err := writer.Write(ctx, value); err != nil {
+			t.Fatalf("write %d over TCP: %v", i, err)
+		}
+		res, err := reader.Read(ctx)
+		if err != nil {
+			t.Fatalf("read %d over TCP: %v", i, err)
+		}
+		if !res.Value.Equal(value) {
+			t.Fatalf("read %d returned %s, want %s", i, res.Value, value)
+		}
+		if res.RoundTrips != 1 {
+			t.Fatalf("read %d used %d round trips", i, res.RoundTrips)
+		}
+	}
+}

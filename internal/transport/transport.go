@@ -1,0 +1,84 @@
+// Package transport provides the asynchronous message-passing substrate used
+// by every register protocol in this repository.
+//
+// The model (Section 2 of the paper) assumes reliable bi-directional
+// channels between every pair of processes: messages are never lost,
+// duplicated or corrupted, but may be delayed arbitrarily. The in-memory
+// implementation (see inmem.go) reproduces exactly that, and additionally
+// exposes the adversarial controls the lower-bound constructions need:
+// per-link blocking (a blocked message is "left in transit forever"), per-link
+// delivery delay, and process crashes.
+//
+// A second implementation over TCP lives in the tcpnet subpackage and
+// satisfies the same Network/Node interfaces.
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"fastread/internal/types"
+)
+
+// Message is a single protocol message travelling between two processes. The
+// payload is an opaque byte slice; protocol packages encode and decode it with
+// internal/wire.
+type Message struct {
+	From    types.ProcessID
+	To      types.ProcessID
+	Kind    string
+	Payload []byte
+}
+
+// String renders the message for traces and test failures.
+func (m Message) String() string {
+	return fmt.Sprintf("%s→%s %s (%dB)", m.From, m.To, m.Kind, len(m.Payload))
+}
+
+// Node is one process's attachment to the network. Send never blocks on the
+// destination: the model is asynchronous, so delivery happens in the
+// background and the sender continues immediately.
+type Node interface {
+	// ID returns the process identity this node is bound to.
+	ID() types.ProcessID
+	// Send transmits a message to another process. It returns an error only
+	// if the local node is closed; messages to crashed or unknown
+	// destinations are silently dropped, as in the asynchronous model where
+	// such messages simply never arrive.
+	Send(to types.ProcessID, kind string, payload []byte) error
+	// Inbox returns the stream of messages delivered to this node. The
+	// channel is closed when the node is closed.
+	Inbox() <-chan Message
+	// Close detaches the node from the network and releases its resources.
+	// Close is idempotent.
+	Close() error
+}
+
+// Network is a collection of interconnected nodes.
+type Network interface {
+	// Join attaches a process to the network and returns its node. Joining
+	// the same process twice is an error.
+	Join(id types.ProcessID) (Node, error)
+	// Close shuts down the network and all attached nodes.
+	Close() error
+}
+
+// Errors returned by transport implementations.
+var (
+	// ErrClosed indicates the node or network has been closed.
+	ErrClosed = errors.New("transport: closed")
+	// ErrAlreadyJoined indicates a process attempted to join twice.
+	ErrAlreadyJoined = errors.New("transport: process already joined")
+	// ErrUnknownProcess indicates an operation referenced a process that
+	// never joined the network.
+	ErrUnknownProcess = errors.New("transport: unknown process")
+)
+
+// Serve is a convenience loop for server processes: it invokes handler for
+// every message delivered to node until the node is closed. It returns after
+// the inbox is drained.
+func Serve(node Node, handler func(Message)) {
+	for msg := range node.Inbox() {
+		handler(msg)
+	}
+}

@@ -1,0 +1,296 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fastread/internal/types"
+)
+
+// formatVersion is bumped whenever the encoding changes incompatibly.
+const formatVersion = 1
+
+// Field limits protect decoders from hostile inputs (a malicious server could
+// otherwise make a reader allocate gigabytes).
+const (
+	// MaxValueSize is the largest register value accepted on the wire.
+	MaxValueSize = 1 << 20 // 1 MiB
+	// MaxSeenSize is the largest seen set accepted on the wire. The honest
+	// bound is R+1 processes, far below this.
+	MaxSeenSize = 1 << 16
+	// MaxSigSize is the largest signature accepted on the wire.
+	MaxSigSize = 1 << 12
+)
+
+// Encode serialises the message into a fresh byte slice.
+//
+// Layout (all integers little-endian):
+//
+//	byte    version
+//	byte    op
+//	uint64  ts
+//	int64   rCounter (as uint64)
+//	int32   writerRank
+//	int32   phase
+//	bytes   cur   (uvarint length prefix; length 0 + marker distinguishes ⊥)
+//	bytes   prev  (same)
+//	uint32  len(seen) then per entry: byte role, uint32 index
+//	bytes   writerSig (uvarint length prefix)
+func Encode(m *Message) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(m.Cur) > MaxValueSize || len(m.Prev) > MaxValueSize {
+		return nil, fmt.Errorf("%w: value too large", ErrMalformed)
+	}
+	if len(m.Seen) > MaxSeenSize {
+		return nil, fmt.Errorf("%w: seen set too large", ErrMalformed)
+	}
+	if len(m.WriterSig) > MaxSigSize {
+		return nil, fmt.Errorf("%w: signature too large", ErrMalformed)
+	}
+
+	size := 1 + 1 + 8 + 8 + 4 + 4 +
+		valueEncodedSize(m.Cur) + valueEncodedSize(m.Prev) +
+		4 + len(m.Seen)*5 +
+		binary.MaxVarintLen64 + len(m.WriterSig)
+	buf := make([]byte, 0, size)
+
+	buf = append(buf, formatVersion, byte(m.Op))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.TS))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.RCounter))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.WriterRank))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Phase))
+	buf = appendValue(buf, m.Cur)
+	buf = appendValue(buf, m.Prev)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Seen)))
+	for _, p := range m.Seen {
+		buf = append(buf, byte(p.Role))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Index))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.WriterSig)))
+	buf = append(buf, m.WriterSig...)
+	return buf, nil
+}
+
+// MustEncode is Encode for messages constructed by this codebase, where an
+// encoding error indicates a programming bug rather than bad input.
+func MustEncode(m *Message) []byte {
+	b, err := Encode(m)
+	if err != nil {
+		panic(fmt.Sprintf("wire: encode: %v", err))
+	}
+	return b
+}
+
+// Decode parses a message previously produced by Encode. It never panics on
+// arbitrary input and bounds all allocations.
+func Decode(data []byte) (*Message, error) {
+	d := decoder{buf: data}
+	version, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, version)
+	}
+	opByte, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	m := &Message{Op: Op(opByte)}
+
+	ts, err := d.uint64()
+	if err != nil {
+		return nil, err
+	}
+	if ts > math.MaxInt64 {
+		return nil, fmt.Errorf("%w: timestamp overflow", ErrMalformed)
+	}
+	m.TS = types.Timestamp(ts)
+
+	rc, err := d.uint64()
+	if err != nil {
+		return nil, err
+	}
+	if rc > math.MaxInt64 {
+		return nil, fmt.Errorf("%w: rCounter overflow", ErrMalformed)
+	}
+	m.RCounter = int64(rc)
+
+	wr, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	m.WriterRank = int32(wr)
+	ph, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	m.Phase = int32(ph)
+
+	if m.Cur, err = d.value(); err != nil {
+		return nil, err
+	}
+	if m.Prev, err = d.value(); err != nil {
+		return nil, err
+	}
+
+	nSeen, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if nSeen > MaxSeenSize {
+		return nil, fmt.Errorf("%w: seen set too large (%d)", ErrMalformed, nSeen)
+	}
+	if nSeen > 0 {
+		m.Seen = make([]types.ProcessID, 0, nSeen)
+		for i := uint32(0); i < nSeen; i++ {
+			role, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			idx, err := d.uint32()
+			if err != nil {
+				return nil, err
+			}
+			if idx > math.MaxInt32 {
+				return nil, fmt.Errorf("%w: process index overflow", ErrMalformed)
+			}
+			m.Seen = append(m.Seen, types.ProcessID{Role: types.Role(role), Index: int(idx)})
+		}
+	}
+
+	sigLen, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if sigLen > MaxSigSize {
+		return nil, fmt.Errorf("%w: signature too large (%d)", ErrMalformed, sigLen)
+	}
+	if sigLen > 0 {
+		sig, err := d.bytes(int(sigLen))
+		if err != nil {
+			return nil, err
+		}
+		m.WriterSig = sig
+	}
+
+	if !d.empty() {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, d.remaining())
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// valueEncodedSize returns the number of bytes appendValue will use.
+func valueEncodedSize(v types.Value) int {
+	return 1 + binary.MaxVarintLen64 + len(v)
+}
+
+// appendValue encodes a Value, preserving the distinction between ⊥ (nil) and
+// an empty value.
+func appendValue(buf []byte, v types.Value) []byte {
+	if v.IsBottom() {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = binary.AppendUvarint(buf, uint64(len(v)))
+	return append(buf, v...)
+}
+
+// decoder is a bounds-checked cursor over an encoded message.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+func (d *decoder) empty() bool    { return d.remaining() == 0 }
+
+func (d *decoder) byte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("%w: truncated", ErrMalformed)
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) uint32() (uint32, error) {
+	if d.remaining() < 4 {
+		return 0, fmt.Errorf("%w: truncated", ErrMalformed)
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) uint64() (uint64, error) {
+	if d.remaining() < 8 {
+		return 0, fmt.Errorf("%w: truncated", ErrMalformed)
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrMalformed)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, fmt.Errorf("%w: truncated", ErrMalformed)
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:d.off+n])
+	d.off += n
+	return out, nil
+}
+
+func (d *decoder) value() (types.Value, error) {
+	marker, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch marker {
+	case 0:
+		return types.Bottom(), nil
+	case 1:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > MaxValueSize {
+			return nil, fmt.Errorf("%w: value too large (%d)", ErrMalformed, n)
+		}
+		b, err := d.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		return types.Value(b), nil
+	default:
+		return nil, fmt.Errorf("%w: bad value marker %d", ErrMalformed, marker)
+	}
+}
+
+// SignedBytes returns the canonical byte string the writer signs for the
+// arbitrary-failure algorithm: the (ts, cur, prev) triple. Both the writer
+// (when signing) and readers/servers (when verifying) must use this exact
+// encoding.
+func SignedBytes(ts types.Timestamp, cur, prev types.Value) []byte {
+	buf := make([]byte, 0, 8+valueEncodedSize(cur)+valueEncodedSize(prev))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ts))
+	buf = appendValue(buf, cur)
+	buf = appendValue(buf, prev)
+	return buf
+}

@@ -1,0 +1,299 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fastread/internal/types"
+)
+
+func sampleMessages() []*Message {
+	return []*Message{
+		{Op: OpWrite, TS: 1, Cur: types.Value("v1"), RCounter: 0},
+		{Op: OpWriteAck, TS: 1, Seen: []types.ProcessID{types.Writer()}},
+		{Op: OpRead, TS: 0, RCounter: 3},
+		{
+			Op:       OpReadAck,
+			TS:       7,
+			Cur:      types.Value("current"),
+			Prev:     types.Value("previous"),
+			Seen:     []types.ProcessID{types.Writer(), types.Reader(1), types.Reader(3)},
+			RCounter: 9,
+		},
+		{Op: OpGossip, TS: 12},
+		{Op: OpGossipAck, TS: 12, Cur: types.Value("g")},
+		{Op: OpWriteBack, TS: 4, Cur: types.Value("wb"), WriterRank: 2},
+		{Op: OpWriteBackAck, TS: 4},
+		{Op: OpQuery, RCounter: 1},
+		{Op: OpQueryAck, TS: 99, Cur: types.Value("q"), WriterRank: 7, Phase: 1},
+		{Op: OpReadAck, TS: 5, Cur: types.Value{}, Prev: types.Bottom()},
+		{Op: OpWrite, TS: 2, Cur: types.Value("signed"), WriterSig: bytes.Repeat([]byte{0xAB}, 64)},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for i, m := range sampleMessages() {
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatalf("sample %d: Encode: %v", i, err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("sample %d: Decode: %v", i, err)
+		}
+		if !messagesEqual(m, got) {
+			t.Errorf("sample %d: round trip mismatch\n in: %+v\nout: %+v", i, m, got)
+		}
+	}
+}
+
+// messagesEqual compares messages treating nil and empty slices of Seen and
+// WriterSig as distinct only when one side is nil and the other is not; the
+// codec preserves nil-ness for Value but normalises empty Seen to nil.
+func messagesEqual(a, b *Message) bool {
+	if a.Op != b.Op || a.TS != b.TS || a.RCounter != b.RCounter ||
+		a.WriterRank != b.WriterRank || a.Phase != b.Phase {
+		return false
+	}
+	if !a.Cur.Equal(b.Cur) || a.Cur.IsBottom() != b.Cur.IsBottom() {
+		return false
+	}
+	if !a.Prev.Equal(b.Prev) || a.Prev.IsBottom() != b.Prev.IsBottom() {
+		return false
+	}
+	if len(a.Seen) != len(b.Seen) {
+		return false
+	}
+	for i := range a.Seen {
+		if a.Seen[i] != b.Seen[i] {
+			return false
+		}
+	}
+	return bytes.Equal(a.WriterSig, b.WriterSig)
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	m := &Message{
+		Op:   OpReadAck,
+		TS:   7,
+		Cur:  types.Value("current"),
+		Prev: types.Value("previous"),
+		Seen: []types.ProcessID{types.Writer(), types.Reader(1)},
+	}
+	data := MustEncode(m)
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Errorf("Decode of %d-byte prefix succeeded, want error", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	data := MustEncode(&Message{Op: OpRead, RCounter: 1})
+	if _, err := Decode(append(data, 0x00)); err == nil {
+		t.Error("Decode with trailing byte succeeded, want error")
+	}
+}
+
+func TestDecodeRejectsBadVersionAndOp(t *testing.T) {
+	data := MustEncode(&Message{Op: OpRead, RCounter: 1})
+	bad := append([]byte(nil), data...)
+	bad[0] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Error("Decode with bad version succeeded")
+	}
+	bad = append([]byte(nil), data...)
+	bad[1] = 200
+	if _, err := Decode(bad); err == nil {
+		t.Error("Decode with bad op succeeded")
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	tests := []*Message{
+		{Op: 0},
+		{Op: OpRead, TS: -1},
+		{Op: OpRead, RCounter: -2},
+		{Op: OpReadAck, Seen: []types.ProcessID{{}}},
+	}
+	for i, m := range tests {
+		if _, err := Encode(m); err == nil {
+			t.Errorf("case %d: Encode succeeded for invalid message %+v", i, m)
+		}
+	}
+}
+
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		// Must not panic; errors are fine.
+		_, _ = Decode(buf)
+	}
+}
+
+func TestBottomVersusEmptyValuePreserved(t *testing.T) {
+	m := &Message{Op: OpReadAck, TS: 1, Cur: types.Value{}, Prev: types.Bottom()}
+	got, err := Decode(MustEncode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cur.IsBottom() {
+		t.Error("empty value decoded as ⊥")
+	}
+	if !got.Prev.IsBottom() {
+		t.Error("⊥ decoded as non-⊥")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(op uint8, ts uint32, rc uint32, cur []byte, prev []byte, seenIdx []uint8, sig []byte, rank int32, phase int32) bool {
+		m := &Message{
+			Op:         Op(op%10) + 1,
+			TS:         types.Timestamp(ts),
+			RCounter:   int64(rc),
+			Cur:        cur,
+			Prev:       prev,
+			WriterRank: rank,
+			Phase:      phase,
+		}
+		if len(sig) > MaxSigSize {
+			sig = sig[:MaxSigSize]
+		}
+		m.WriterSig = sig
+		for _, i := range seenIdx {
+			switch i % 3 {
+			case 0:
+				m.Seen = append(m.Seen, types.Writer())
+			case 1:
+				m.Seen = append(m.Seen, types.Reader(int(i)+1))
+			default:
+				m.Seen = append(m.Seen, types.Server(int(i)+1))
+			}
+		}
+		data, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return messagesEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodingIsDeterministic(t *testing.T) {
+	m := &Message{
+		Op:   OpReadAck,
+		TS:   3,
+		Cur:  types.Value("x"),
+		Seen: []types.ProcessID{types.Reader(2), types.Writer()},
+	}
+	a := MustEncode(m)
+	b := MustEncode(m)
+	if !bytes.Equal(a, b) {
+		t.Error("two encodings of the same message differ")
+	}
+}
+
+func TestSignedBytesDeterministicAndDistinct(t *testing.T) {
+	a := SignedBytes(1, types.Value("v"), types.Bottom())
+	b := SignedBytes(1, types.Value("v"), types.Bottom())
+	if !bytes.Equal(a, b) {
+		t.Error("SignedBytes not deterministic")
+	}
+	c := SignedBytes(2, types.Value("v"), types.Bottom())
+	if bytes.Equal(a, c) {
+		t.Error("different timestamps produced identical signed bytes")
+	}
+	d := SignedBytes(1, types.Value("w"), types.Bottom())
+	if bytes.Equal(a, d) {
+		t.Error("different values produced identical signed bytes")
+	}
+	e := SignedBytes(1, types.Value("v"), types.Value(""))
+	if bytes.Equal(a, e) {
+		t.Error("⊥ and empty previous value produced identical signed bytes")
+	}
+}
+
+func TestOpHelpers(t *testing.T) {
+	for op := OpWrite; op <= OpQueryAck; op++ {
+		if !op.Valid() {
+			t.Errorf("op %d should be valid", op)
+		}
+		if op.String() == "" {
+			t.Errorf("op %d has empty name", op)
+		}
+	}
+	if Op(0).Valid() || Op(200).Valid() {
+		t.Error("invalid ops reported valid")
+	}
+	reqs := []Op{OpWrite, OpRead, OpGossip, OpWriteBack, OpQuery}
+	for _, r := range reqs {
+		if !r.IsRequest() {
+			t.Errorf("%v should be a request", r)
+		}
+		ack, err := AckFor(r)
+		if err != nil {
+			t.Errorf("AckFor(%v): %v", r, err)
+		}
+		if ack.IsRequest() {
+			t.Errorf("AckFor(%v) = %v is a request", r, ack)
+		}
+	}
+	if _, err := AckFor(OpReadAck); err == nil {
+		t.Error("AckFor on an ack should error")
+	}
+}
+
+func TestMessageClone(t *testing.T) {
+	m := &Message{
+		Op:        OpReadAck,
+		TS:        2,
+		Cur:       types.Value("cur"),
+		Prev:      types.Value("prev"),
+		Seen:      []types.ProcessID{types.Writer()},
+		WriterSig: []byte{1, 2, 3},
+	}
+	c := m.Clone()
+	c.Cur[0] = 'X'
+	c.Prev[0] = 'Y'
+	c.Seen[0] = types.Reader(5)
+	c.WriterSig[0] = 9
+	if string(m.Cur) != "cur" || string(m.Prev) != "prev" || m.Seen[0] != types.Writer() || m.WriterSig[0] != 1 {
+		t.Errorf("Clone aliases original: %+v", m)
+	}
+}
+
+func TestKindMatchesOpName(t *testing.T) {
+	m := &Message{Op: OpWriteAck}
+	if m.Kind() != "writeack" {
+		t.Errorf("Kind = %q", m.Kind())
+	}
+}
+
+func TestSeenSet(t *testing.T) {
+	m := &Message{Op: OpReadAck, Seen: []types.ProcessID{types.Writer(), types.Reader(2)}}
+	s := m.SeenSet()
+	if !s.Has(types.Writer()) || !s.Has(types.Reader(2)) || s.Len() != 2 {
+		t.Errorf("SeenSet = %v", s)
+	}
+}
+
+func TestTagged(t *testing.T) {
+	m := &Message{Op: OpReadAck, TS: 5, Cur: types.Value("a"), Prev: types.Value("b")}
+	tv := m.Tagged()
+	want := types.TaggedValue{TS: 5, Cur: types.Value("a"), Prev: types.Value("b")}
+	if !reflect.DeepEqual(tv, want) {
+		t.Errorf("Tagged = %v, want %v", tv, want)
+	}
+}

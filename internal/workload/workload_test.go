@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fastread/internal/atomicity"
+	"fastread/internal/fault"
+	"fastread/internal/types"
+)
+
+// fakeRegister is a trivially linearizable in-process register used to test
+// the workload driver itself.
+type fakeRegister struct {
+	mu    sync.Mutex
+	value types.Value
+	ts    types.Timestamp
+	fail  bool
+}
+
+func (f *fakeRegister) Write(_ context.Context, v types.Value) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return errors.New("injected failure")
+	}
+	f.ts++
+	f.value = v.Clone()
+	return nil
+}
+
+func (f *fakeRegister) Read(_ context.Context) (types.Value, types.Timestamp, int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return nil, 0, 0, errors.New("injected failure")
+	}
+	return f.value.Clone(), f.ts, 1, nil
+}
+
+func TestRunProducesAtomicHistoryAndStats(t *testing.T) {
+	reg := &fakeRegister{}
+	clients := Clients{
+		Writer: reg,
+		Readers: []Reader{
+			ReaderFunc(reg.Read),
+			ReaderFunc(reg.Read),
+		},
+	}
+	cfg := Config{Writes: 20, ReadsPerReader: 30}
+	res, err := Run(context.Background(), cfg, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedWrites != 20 {
+		t.Errorf("CompletedWrites = %d", res.CompletedWrites)
+	}
+	if res.CompletedReads != 60 {
+		t.Errorf("CompletedReads = %d", res.CompletedReads)
+	}
+	if res.FailedOps != 0 {
+		t.Errorf("FailedOps = %d", res.FailedOps)
+	}
+	if res.ReadRounds != 1 {
+		t.Errorf("ReadRounds = %f", res.ReadRounds)
+	}
+	if res.ReadLatency.Count != 60 || res.WriteLatency.Count != 20 {
+		t.Errorf("latency counts = %d/%d", res.ReadLatency.Count, res.WriteLatency.Count)
+	}
+	if res.Throughput <= 0 {
+		t.Error("throughput should be positive")
+	}
+	report, err := atomicity.CheckSWMR(res.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK {
+		t.Errorf("fake register history not atomic: %s", report)
+	}
+}
+
+func TestRunAppliesCrashSchedule(t *testing.T) {
+	reg := &fakeRegister{}
+	var crashed []types.ProcessID
+	var mu sync.Mutex
+	schedule := fault.NewCrashSchedule(
+		fault.CrashEvent{Server: types.Server(1), AfterOps: 1},
+		fault.CrashEvent{Server: types.Server(2), AfterOps: 3},
+	)
+	cfg := Config{
+		Writes:         5,
+		ReadsPerReader: 0,
+		Crashes:        schedule,
+		CrashFn: func(p types.ProcessID) {
+			mu.Lock()
+			crashed = append(crashed, p)
+			mu.Unlock()
+		},
+	}
+	if _, err := Run(context.Background(), cfg, Clients{Writer: reg}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(crashed) != 2 {
+		t.Fatalf("crashed = %v, want both scheduled servers", crashed)
+	}
+	if schedule.Pending() != 0 {
+		t.Errorf("Pending = %d", schedule.Pending())
+	}
+}
+
+func TestRunRecordsFailures(t *testing.T) {
+	reg := &fakeRegister{fail: true}
+	cfg := Config{Writes: 3, ReadsPerReader: 2}
+	res, err := Run(context.Background(), cfg, Clients{Writer: reg, Readers: []Reader{reg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedWrites != 0 || res.CompletedReads != 0 {
+		t.Errorf("completed = %d/%d, want 0/0", res.CompletedWrites, res.CompletedReads)
+	}
+	if res.FailedOps != 5 {
+		t.Errorf("FailedOps = %d, want 5", res.FailedOps)
+	}
+}
+
+func TestRunNoClients(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}, Clients{}); !errors.Is(err, ErrNoClients) {
+		t.Errorf("err = %v, want ErrNoClients", err)
+	}
+}
+
+func TestRunReaderOnly(t *testing.T) {
+	reg := &fakeRegister{}
+	cfg := Config{ReadsPerReader: 5}
+	res, err := Run(context.Background(), cfg, Clients{Readers: []Reader{reg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedReads != 5 || res.CompletedWrites != 0 {
+		t.Errorf("completed = %d/%d", res.CompletedReads, res.CompletedWrites)
+	}
+	// All reads of ⊥ must be atomic.
+	report, err := atomicity.CheckSWMR(res.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK {
+		t.Errorf("reader-only history not atomic: %s", report)
+	}
+}
+
+func TestMakeValuePadding(t *testing.T) {
+	v := makeValue("x", 7, 0)
+	if string(v) != "x7" {
+		t.Errorf("makeValue = %q", v)
+	}
+	padded := makeValue("x", 7, 10)
+	if len(padded) != 10 || string(padded[:2]) != "x7" {
+		t.Errorf("padded = %q (len %d)", padded, len(padded))
+	}
+	long := makeValue("prefix", 123456, 4)
+	if string(long) != "prefix123456" {
+		t.Errorf("padding shorter than value should be ignored: %q", long)
+	}
+}
+
+func TestThinkTimeSlowsRun(t *testing.T) {
+	reg := &fakeRegister{}
+	cfg := Config{Writes: 3, WriterThinkTime: 20 * time.Millisecond}
+	start := time.Now()
+	if _, err := Run(context.Background(), cfg, Clients{Writer: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("run with think time finished too quickly: %v", elapsed)
+	}
+}
+
+func TestWriterFuncAdapter(t *testing.T) {
+	called := false
+	w := WriterFunc(func(context.Context, types.Value) error {
+		called = true
+		return nil
+	})
+	if err := w.Write(context.Background(), types.Value("x")); err != nil || !called {
+		t.Error("WriterFunc adapter broken")
+	}
+}

@@ -1,0 +1,136 @@
+package fastread
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Protocol selects which register implementation a Cluster runs.
+type Protocol int
+
+const (
+	// ProtocolFast is the paper's fast crash-tolerant SWMR atomic register
+	// (Figure 2): one round-trip per read and per write, requires
+	// R < S/t − 2.
+	ProtocolFast Protocol = iota + 1
+	// ProtocolFastByzantine is the arbitrary-failure fast register
+	// (Figure 5): writer-signed values, requires S > (R+2)t + (R+1)b.
+	ProtocolFastByzantine
+	// ProtocolABD is the classic two-round-read SWMR register of Attiya,
+	// Bar-Noy and Dolev: requires only t < S/2 and supports any number of
+	// readers, but reads cost two round-trips.
+	ProtocolABD
+	// ProtocolMaxMin is the decentralised variant sketched in the paper's
+	// introduction: one client round-trip, but servers gossip with each
+	// other before replying.
+	ProtocolMaxMin
+	// ProtocolRegular is a fast SWMR *regular* register: one round-trip,
+	// any number of readers, t < S/2, but only regular (not atomic)
+	// semantics.
+	ProtocolRegular
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolFast:
+		return "fast"
+	case ProtocolFastByzantine:
+		return "fast-byz"
+	case ProtocolABD:
+		return "abd"
+	case ProtocolMaxMin:
+		return "maxmin"
+	case ProtocolRegular:
+		return "regular"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is a defined protocol.
+func (p Protocol) Valid() bool {
+	return p >= ProtocolFast && p <= ProtocolRegular
+}
+
+// Config describes a register deployment.
+type Config struct {
+	// Servers is S, the number of server processes hosting the register.
+	Servers int
+	// Faulty is t, the maximum number of servers that may fail.
+	Faulty int
+	// Malicious is b ≤ t, the number of faulty servers that may behave
+	// arbitrarily. Only meaningful for ProtocolFastByzantine.
+	Malicious int
+	// Readers is R, the number of reader processes.
+	Readers int
+	// Protocol selects the implementation; the zero value means
+	// ProtocolFast.
+	Protocol Protocol
+	// NetworkDelay, when non-zero, adds a uniform one-way delivery delay to
+	// every message of the in-memory network, which makes round-trip counts
+	// directly visible in operation latency.
+	NetworkDelay time.Duration
+	// Jitter adds a random extra delay in [0, Jitter) to each delivery.
+	Jitter time.Duration
+	// Seed seeds the network's randomness; runs with equal seeds and
+	// schedules see equal jitter.
+	Seed int64
+}
+
+// Errors returned by the façade.
+var (
+	// ErrTooManyReaders indicates a fast-register configuration that
+	// violates the paper's bound (R ≥ S/t − 2, or its Byzantine analogue).
+	ErrTooManyReaders = errors.New("fastread: too many readers for a fast implementation")
+	// ErrUnknownProtocol indicates an invalid Protocol value.
+	ErrUnknownProtocol = errors.New("fastread: unknown protocol")
+	// ErrUnknownReader indicates a reader index outside [1, R].
+	ErrUnknownReader = errors.New("fastread: unknown reader index")
+	// ErrUnknownServer indicates a server index outside [1, S].
+	ErrUnknownServer = errors.New("fastread: unknown server index")
+)
+
+// ReadResult is the outcome of a read operation.
+type ReadResult struct {
+	// Value is the value read; nil means the register still holds its
+	// initial value ⊥.
+	Value []byte
+	// Version is the logical timestamp of the returned value (0 for ⊥).
+	Version int64
+	// RoundTrips is the number of client↔server round-trips the read used:
+	// 1 for the fast, max-min and regular protocols, 2 for ABD.
+	RoundTrips int
+	// UsedFallback is true when a fast read returned the previous value
+	// because the seen-set predicate did not hold for the newest one.
+	UsedFallback bool
+}
+
+// Writer is the write handle of a register.
+type Writer interface {
+	// Write stores value in the register. The value must be non-nil (nil is
+	// reserved for the initial value ⊥).
+	Write(ctx context.Context, value []byte) error
+}
+
+// Reader is the read handle of a register.
+type Reader interface {
+	// Read returns the current register value.
+	Read(ctx context.Context) (ReadResult, error)
+}
+
+// Stats summarises the work performed through a cluster's clients.
+type Stats struct {
+	Writes           int64
+	Reads            int64
+	WriteRoundTrips  int64
+	ReadRoundTrips   int64
+	FallbackReads    int64
+	DeliveredMsgs    int
+	DroppedMsgs      int
+	ServerMutations  int64
+	ReadRoundsPerOp  float64
+	WriteRoundsPerOp float64
+}
