@@ -275,6 +275,74 @@ func BenchmarkSignatures(b *testing.B) {
 	})
 }
 
+// BenchmarkStoreParallelKeys measures aggregate throughput as the number of
+// registers multiplexed over one deployment grows: each parallel worker owns
+// a subset of the keys and alternates writes and reads on them. This is the
+// baseline for the later sharding/batching work — ops/sec should grow with
+// the key count (per-key operations are independent) until the shared
+// transport saturates.
+func BenchmarkStoreParallelKeys(b *testing.B) {
+	for _, proto := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"Fast", Config{Servers: 7, Faulty: 1, Readers: 1, Protocol: ProtocolFast}},
+		{"ABD", Config{Servers: 5, Faulty: 2, Readers: 1, Protocol: ProtocolABD}},
+	} {
+		for _, keys := range []int{1, 8, 64, 256} {
+			b.Run(fmt.Sprintf("%s/keys=%d", proto.name, keys), func(b *testing.B) {
+				store, err := NewStore(proto.cfg)
+				if err != nil {
+					b.Fatalf("NewStore: %v", err)
+				}
+				b.Cleanup(func() { _ = store.Close() })
+				ctx := benchCtx(b)
+
+				regs := make([]*Register, keys)
+				for i := range regs {
+					reg, err := store.Register(fmt.Sprintf("bench-key-%d", i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					regs[i] = reg
+					if err := reg.Writer().Write(ctx, []byte("seed")); err != nil {
+						b.Fatalf("seed write key %d: %v", i, err)
+					}
+				}
+
+				var next atomic.Int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					// Each worker claims one key (cycling if workers exceed
+					// keys) so per-key handles keep their one-op-at-a-time
+					// contract; workers on distinct keys run fully in
+					// parallel over the shared servers.
+					idx := int(next.Add(1)-1) % keys
+					reg := regs[idx]
+					reader, err := reg.Reader(1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					i := 0
+					for pb.Next() {
+						if i%2 == 0 {
+							if err := reg.Writer().Write(ctx, []byte("v")); err != nil {
+								b.Fatalf("write: %v", err)
+							}
+						} else {
+							if _, err := reader.Read(ctx); err != nil {
+								b.Fatalf("read: %v", err)
+							}
+						}
+						i++
+					}
+				})
+			})
+		}
+	}
+}
+
 // BenchmarkConcurrentReaders measures aggregate read throughput with several
 // readers sharing the register, the regime where the paper's bound on R
 // matters.

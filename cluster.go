@@ -1,366 +1,62 @@
 package fastread
 
 import (
-	"context"
-	"fmt"
-
-	"fastread/internal/abd"
-	"fastread/internal/core"
-	"fastread/internal/maxmin"
-	"fastread/internal/quorum"
-	"fastread/internal/regular"
-	"fastread/internal/sig"
 	"fastread/internal/transport"
-	"fastread/internal/types"
 )
 
-// Cluster is a complete in-memory deployment of one register: S server
+// Cluster is a complete in-memory deployment of ONE register: S server
 // processes, the single writer and R readers, all attached to an in-memory
-// asynchronous network. It is the main entry point of the library; the
-// examples and benchmarks are built on it.
+// asynchronous network. It is the single-register entry point of the
+// library, implemented as a thin wrapper around a Store serving only the
+// default register (the empty key); use NewStore directly to multiplex many
+// named registers over the same server processes.
 type Cluster struct {
-	cfg    Config
-	qcfg   quorum.Config
-	net    *transport.InMemNetwork
-	keys   sig.KeyPair
-	stop   []func()
-	writer *writerHandle
-	reads  []*readerHandle
-
-	mutations func() int64
+	store *Store
+	reg   *Register
 }
 
-// NewCluster builds and starts a register deployment according to cfg.
+// NewCluster builds and starts a single-register deployment according to
+// cfg.
 func NewCluster(cfg Config) (*Cluster, error) {
-	if cfg.Protocol == 0 {
-		cfg.Protocol = ProtocolFast
-	}
-	if !cfg.Protocol.Valid() {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownProtocol, cfg.Protocol)
-	}
-	qcfg := quorum.Config{
-		Servers:   cfg.Servers,
-		Faulty:    cfg.Faulty,
-		Malicious: cfg.Malicious,
-		Readers:   cfg.Readers,
-	}
-	if err := qcfg.Validate(); err != nil {
-		return nil, err
-	}
-	switch cfg.Protocol {
-	case ProtocolFast, ProtocolFastByzantine:
-		if !qcfg.FastReadPossible() {
-			return nil, fmt.Errorf("%w: %v (max fast readers = %d)",
-				ErrTooManyReaders, qcfg, quorum.MaxFastReaders(cfg.Servers, cfg.Faulty, cfg.Malicious))
-		}
-		if cfg.Readers+1 > core.MaxPredicateUnion {
-			return nil, fmt.Errorf("%w: predicate evaluator supports at most %d readers",
-				ErrTooManyReaders, core.MaxPredicateUnion-1)
-		}
-	case ProtocolABD, ProtocolMaxMin, ProtocolRegular:
-		if qcfg.Majority() > qcfg.AckQuorum() {
-			return nil, fmt.Errorf("fastread: %s requires t < S/2, got %v", cfg.Protocol, qcfg)
-		}
-	}
-
-	opts := []transport.InMemOption{transport.WithSeed(cfg.Seed)}
-	if cfg.NetworkDelay > 0 {
-		opts = append(opts, transport.WithDefaultDelay(cfg.NetworkDelay))
-	}
-	if cfg.Jitter > 0 {
-		opts = append(opts, transport.WithJitter(cfg.Jitter))
-	}
-
-	c := &Cluster{
-		cfg:  cfg,
-		qcfg: qcfg,
-		net:  transport.NewInMemNetwork(opts...),
-		keys: sig.MustKeyPair(),
-	}
-	if err := c.startServers(); err != nil {
-		_ = c.Close()
-		return nil, err
-	}
-	if err := c.startClients(); err != nil {
-		_ = c.Close()
-		return nil, err
-	}
-	return c, nil
-}
-
-// startServers launches the protocol-appropriate server on every server
-// identity.
-func (c *Cluster) startServers() error {
-	var stateFns []func() int64
-	for i := 1; i <= c.cfg.Servers; i++ {
-		id := types.Server(i)
-		node, err := c.net.Join(id)
-		if err != nil {
-			return fmt.Errorf("join %v: %w", id, err)
-		}
-		switch c.cfg.Protocol {
-		case ProtocolFast, ProtocolFastByzantine:
-			srv, err := core.NewServer(core.ServerConfig{
-				ID:        id,
-				Readers:   c.cfg.Readers,
-				Byzantine: c.cfg.Protocol == ProtocolFastByzantine,
-				Verifier:  c.keys.Verifier,
-			}, node)
-			if err != nil {
-				return err
-			}
-			srv.Start()
-			c.stop = append(c.stop, srv.Stop)
-			stateFns = append(stateFns, func() int64 { return srv.State().Mutations })
-		case ProtocolABD:
-			srv, err := abd.NewServer(abd.ServerConfig{ID: id}, node)
-			if err != nil {
-				return err
-			}
-			srv.Start()
-			c.stop = append(c.stop, srv.Stop)
-			stateFns = append(stateFns, func() int64 { _, m := srv.State(); return m })
-		case ProtocolMaxMin:
-			srv, err := maxmin.NewServer(maxmin.ServerConfig{ID: id, Quorum: c.qcfg}, node)
-			if err != nil {
-				return err
-			}
-			srv.Start()
-			c.stop = append(c.stop, srv.Stop)
-			stateFns = append(stateFns, func() int64 { return 0 })
-		case ProtocolRegular:
-			srv, err := regular.NewServer(id, node, nil)
-			if err != nil {
-				return err
-			}
-			srv.Start()
-			c.stop = append(c.stop, srv.Stop)
-			stateFns = append(stateFns, func() int64 { return 0 })
-		}
-	}
-	c.mutations = func() int64 {
-		var total int64
-		for _, fn := range stateFns {
-			total += fn()
-		}
-		return total
-	}
-	return nil
-}
-
-// startClients creates the writer and the readers.
-func (c *Cluster) startClients() error {
-	wNode, err := c.net.Join(types.Writer())
+	store, err := NewStore(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	wh := &writerHandle{}
-	switch c.cfg.Protocol {
-	case ProtocolFast, ProtocolFastByzantine:
-		w, err := core.NewWriter(core.WriterConfig{
-			Quorum:    c.qcfg,
-			Byzantine: c.cfg.Protocol == ProtocolFastByzantine,
-			Signer:    c.keys.Signer,
-		}, wNode)
-		if err != nil {
-			return err
-		}
-		wh.write = func(ctx context.Context, v []byte) error { return w.Write(ctx, v) }
-		wh.stats = func() (int64, int64) { return w.Stats() }
-	case ProtocolABD:
-		w, err := abd.NewWriter(abd.ClientConfig{Quorum: c.qcfg}, wNode)
-		if err != nil {
-			return err
-		}
-		wh.write = func(ctx context.Context, v []byte) error { return w.Write(ctx, v) }
-		wh.stats = func() (int64, int64) { return w.Stats() }
-	case ProtocolMaxMin:
-		w, err := maxmin.NewWriter(c.qcfg, wNode, nil)
-		if err != nil {
-			return err
-		}
-		wh.write = func(ctx context.Context, v []byte) error { return w.Write(ctx, v) }
-		wh.stats = func() (int64, int64) { return w.Stats() }
-	case ProtocolRegular:
-		w, err := regular.NewWriter(c.qcfg, wNode, nil)
-		if err != nil {
-			return err
-		}
-		wh.write = func(ctx context.Context, v []byte) error { return w.Write(ctx, v) }
-		wh.stats = func() (int64, int64) { return w.Stats() }
+	reg, err := store.Register("")
+	if err != nil {
+		_ = store.Close()
+		return nil, err
 	}
-	c.writer = wh
-
-	for i := 1; i <= c.cfg.Readers; i++ {
-		rNode, err := c.net.Join(types.Reader(i))
-		if err != nil {
-			return err
-		}
-		rh := &readerHandle{index: i}
-		switch c.cfg.Protocol {
-		case ProtocolFast, ProtocolFastByzantine:
-			r, err := core.NewReader(core.ReaderConfig{
-				Quorum:    c.qcfg,
-				Byzantine: c.cfg.Protocol == ProtocolFastByzantine,
-				Verifier:  c.keys.Verifier,
-			}, rNode)
-			if err != nil {
-				return err
-			}
-			rh.read = func(ctx context.Context) (ReadResult, error) {
-				res, err := r.Read(ctx)
-				if err != nil {
-					return ReadResult{}, err
-				}
-				return ReadResult{
-					Value:        res.Value,
-					Version:      int64(res.Timestamp),
-					RoundTrips:   res.RoundTrips,
-					UsedFallback: !res.PredicateHeld,
-				}, nil
-			}
-			rh.stats = func() (int64, int64, int64) { return r.Stats() }
-		case ProtocolABD:
-			r, err := abd.NewReader(abd.ClientConfig{Quorum: c.qcfg}, rNode)
-			if err != nil {
-				return err
-			}
-			rh.read = func(ctx context.Context) (ReadResult, error) {
-				res, err := r.Read(ctx)
-				if err != nil {
-					return ReadResult{}, err
-				}
-				return ReadResult{Value: res.Value, Version: int64(res.Timestamp), RoundTrips: res.RoundTrips}, nil
-			}
-			rh.stats = func() (int64, int64, int64) { reads, rounds := r.Stats(); return reads, rounds, 0 }
-		case ProtocolMaxMin:
-			r, err := maxmin.NewReader(c.qcfg, rNode, nil)
-			if err != nil {
-				return err
-			}
-			rh.read = func(ctx context.Context) (ReadResult, error) {
-				res, err := r.Read(ctx)
-				if err != nil {
-					return ReadResult{}, err
-				}
-				return ReadResult{Value: res.Value, Version: int64(res.Timestamp), RoundTrips: res.RoundTrips}, nil
-			}
-			rh.stats = func() (int64, int64, int64) { reads, rounds := r.Stats(); return reads, rounds, 0 }
-		case ProtocolRegular:
-			r, err := regular.NewReader(c.qcfg, rNode, nil)
-			if err != nil {
-				return err
-			}
-			rh.read = func(ctx context.Context) (ReadResult, error) {
-				res, err := r.Read(ctx)
-				if err != nil {
-					return ReadResult{}, err
-				}
-				return ReadResult{Value: res.Value, Version: int64(res.Timestamp), RoundTrips: res.RoundTrips}, nil
-			}
-			rh.stats = func() (int64, int64, int64) { reads, rounds := r.Stats(); return reads, rounds, 0 }
-		}
-		c.reads = append(c.reads, rh)
-	}
-	return nil
+	return &Cluster{store: store, reg: reg}, nil
 }
+
+// Store returns the underlying multi-register store; registers created
+// through it share the cluster's servers with the cluster's own register.
+func (c *Cluster) Store() *Store { return c.store }
 
 // Writer returns the cluster's single write handle.
-func (c *Cluster) Writer() Writer { return c.writer }
+func (c *Cluster) Writer() Writer { return c.reg.Writer() }
 
 // Reader returns the read handle of reader ri (1-based).
-func (c *Cluster) Reader(i int) (Reader, error) {
-	if i < 1 || i > len(c.reads) {
-		return nil, fmt.Errorf("%w: %d (R=%d)", ErrUnknownReader, i, len(c.reads))
-	}
-	return c.reads[i-1], nil
-}
+func (c *Cluster) Reader(i int) (Reader, error) { return c.reg.Reader(i) }
 
 // Readers returns all read handles in index order.
-func (c *Cluster) Readers() []Reader {
-	out := make([]Reader, len(c.reads))
-	for i, r := range c.reads {
-		out[i] = r
-	}
-	return out
-}
+func (c *Cluster) Readers() []Reader { return c.reg.Readers() }
 
 // CrashServer crash-stops server si (1-based): it stops receiving and
 // sending messages permanently. Crashing more than Faulty servers voids the
 // deployment's guarantees, exactly as in the model.
-func (c *Cluster) CrashServer(i int) error {
-	if i < 1 || i > c.cfg.Servers {
-		return fmt.Errorf("%w: %d (S=%d)", ErrUnknownServer, i, c.cfg.Servers)
-	}
-	c.net.Crash(types.Server(i))
-	return nil
-}
+func (c *Cluster) CrashServer(i int) error { return c.store.CrashServer(i) }
 
 // Config returns the cluster's configuration.
-func (c *Cluster) Config() Config { return c.cfg }
+func (c *Cluster) Config() Config { return c.store.Config() }
 
 // Stats aggregates client-side counters and network delivery counts.
-func (c *Cluster) Stats() Stats {
-	var s Stats
-	if c.writer != nil {
-		s.Writes, s.WriteRoundTrips = c.writer.stats()
-	}
-	for _, r := range c.reads {
-		reads, rounds, fallbacks := r.stats()
-		s.Reads += reads
-		s.ReadRoundTrips += rounds
-		s.FallbackReads += fallbacks
-	}
-	ns := c.net.Stats()
-	s.DeliveredMsgs = ns.Delivered
-	s.DroppedMsgs = ns.Dropped
-	if c.mutations != nil {
-		s.ServerMutations = c.mutations()
-	}
-	if s.Reads > 0 {
-		s.ReadRoundsPerOp = float64(s.ReadRoundTrips) / float64(s.Reads)
-	}
-	if s.Writes > 0 {
-		s.WriteRoundsPerOp = float64(s.WriteRoundTrips) / float64(s.Writes)
-	}
-	return s
-}
+func (c *Cluster) Stats() Stats { return c.store.Stats() }
 
 // Network exposes the underlying in-memory network for tests, fault
 // injection and the adversarial schedules.
-func (c *Cluster) Network() *transport.InMemNetwork { return c.net }
+func (c *Cluster) Network() *transport.InMemNetwork { return c.store.Network() }
 
 // Close shuts the cluster down: all servers stop and the network is closed.
-func (c *Cluster) Close() error {
-	for _, stop := range c.stop {
-		stop()
-	}
-	return c.net.Close()
-}
-
-// writerHandle adapts a protocol-specific writer to the Writer interface.
-type writerHandle struct {
-	write func(context.Context, []byte) error
-	stats func() (int64, int64)
-}
-
-var _ Writer = (*writerHandle)(nil)
-
-// Write implements Writer.
-func (w *writerHandle) Write(ctx context.Context, value []byte) error {
-	return w.write(ctx, value)
-}
-
-// readerHandle adapts a protocol-specific reader to the Reader interface.
-type readerHandle struct {
-	index int
-	read  func(context.Context) (ReadResult, error)
-	stats func() (int64, int64, int64)
-}
-
-var _ Reader = (*readerHandle)(nil)
-
-// Read implements Reader.
-func (r *readerHandle) Read(ctx context.Context) (ReadResult, error) {
-	return r.read(ctx)
-}
+func (c *Cluster) Close() error { return c.store.Close() }

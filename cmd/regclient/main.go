@@ -5,6 +5,15 @@
 //	regclient -id r1 -book "$BOOK" -S 4 -t 1 -R 1 read
 //	regclient -id r1 -book "$BOOK" -S 4 -t 1 -R 1 bench -ops 1000
 //
+// One server deployment multiplexes many named registers; -key selects which
+// register to operate on (default: the deployment's default register), and
+// the bench subcommand takes -keys N to spread its operations round-robin
+// over N registers derived from the -key prefix:
+//
+//	regclient -id w  -book "$BOOK" -key user/42 write "hello"
+//	regclient -id r1 -book "$BOOK" -key user/42 read
+//	regclient -id w  -book "$BOOK" -key bench- -keys 16 bench -ops 1000
+//
 // The deployment parameters (-S, -t, -b, -R) must match what the servers were
 // started with; the exact fast-read bound is checked locally before any
 // operation is attempted.
@@ -20,9 +29,11 @@ import (
 	"time"
 
 	"fastread/internal/core"
+	"fastread/internal/protoutil"
 	"fastread/internal/quorum"
 	"fastread/internal/sig"
 	"fastread/internal/stats"
+	"fastread/internal/transport"
 	"fastread/internal/transport/tcpnet"
 	"fastread/internal/types"
 )
@@ -47,6 +58,8 @@ func run(args []string) error {
 		keyHex    = fs.String("writer-key", "", "hex-encoded writer private seed (Byzantine writer) or public key (Byzantine reader)")
 		timeout   = fs.Duration("timeout", 5*time.Second, "per-operation timeout")
 		ops       = fs.Int("ops", 100, "operation count for the bench subcommand")
+		key       = fs.String("key", "", "register key to operate on (empty = default register)")
+		keysN     = fs.Int("keys", 1, "bench only: spread operations over N registers named <key>0..<key>N-1")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +68,17 @@ func run(args []string) error {
 		return fmt.Errorf("usage: regclient [flags] read | write <value> | bench")
 	}
 	command := fs.Arg(0)
+	if *keysN < 1 {
+		return fmt.Errorf("-keys must be >= 1, got %d", *keysN)
+	}
+
+	keys := []string{*key}
+	if command == "bench" && *keysN > 1 {
+		keys = make([]string, *keysN)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("%s%d", *key, i)
+		}
+	}
 
 	id, err := types.ParseProcessID(*idFlag)
 	if err != nil {
@@ -79,6 +103,11 @@ func run(args []string) error {
 	}
 	defer node.Close()
 
+	// The physical node is demultiplexed by register key so one process can
+	// drive many registers over a single TCP identity, exactly as the
+	// in-memory Store does.
+	demux := transport.NewDemux(node, protoutil.WireKeyFunc, 0)
+
 	ctx := context.Background()
 	switch {
 	case id.Role == types.RoleWriter:
@@ -90,11 +119,17 @@ func run(args []string) error {
 			}
 			writerCfg.Signer = signer
 		}
-		writer, err := core.NewWriter(writerCfg, node)
-		if err != nil {
-			return err
+		writers := make([]*core.Writer, len(keys))
+		for i, k := range keys {
+			kCfg := writerCfg
+			kCfg.Key = k
+			w, err := core.NewWriter(kCfg, demux.Route(k))
+			if err != nil {
+				return err
+			}
+			writers[i] = w
 		}
-		return runWriter(ctx, writer, command, fs.Args(), *timeout, *ops)
+		return runWriter(ctx, writers, command, fs.Args(), *timeout, *ops)
 	case id.Role == types.RoleReader:
 		readerCfg := core.ReaderConfig{Quorum: cfg, Byzantine: *byz}
 		if *byz {
@@ -104,18 +139,25 @@ func run(args []string) error {
 			}
 			readerCfg.Verifier = verifier
 		}
-		reader, err := core.NewReader(readerCfg, node)
-		if err != nil {
-			return err
+		readers := make([]*core.Reader, len(keys))
+		for i, k := range keys {
+			kCfg := readerCfg
+			kCfg.Key = k
+			r, err := core.NewReader(kCfg, demux.Route(k))
+			if err != nil {
+				return err
+			}
+			readers[i] = r
 		}
-		return runReader(ctx, reader, command, *timeout, *ops)
+		return runReader(ctx, readers, command, *timeout, *ops)
 	default:
 		return fmt.Errorf("-id must be the writer (w) or a reader (r1..rR)")
 	}
 }
 
-// runWriter executes the writer-side subcommands.
-func runWriter(ctx context.Context, writer *core.Writer, command string, args []string, timeout time.Duration, ops int) error {
+// runWriter executes the writer-side subcommands. The bench subcommand
+// round-robins its operations over every per-key writer.
+func runWriter(ctx context.Context, writers []*core.Writer, command string, args []string, timeout time.Duration, ops int) error {
 	switch command {
 	case "write":
 		if len(args) < 2 {
@@ -124,7 +166,7 @@ func runWriter(ctx context.Context, writer *core.Writer, command string, args []
 		opCtx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 		start := time.Now()
-		if err := writer.Write(opCtx, types.Value(args[1])); err != nil {
+		if err := writers[0].Write(opCtx, types.Value(args[1])); err != nil {
 			return err
 		}
 		fmt.Printf("ok in %v (one round-trip)\n", time.Since(start).Round(time.Microsecond))
@@ -134,28 +176,29 @@ func runWriter(ctx context.Context, writer *core.Writer, command string, args []
 		for i := 0; i < ops; i++ {
 			opCtx, cancel := context.WithTimeout(ctx, timeout)
 			start := time.Now()
-			err := writer.Write(opCtx, types.Value(fmt.Sprintf("bench-%d", i)))
+			err := writers[i%len(writers)].Write(opCtx, types.Value(fmt.Sprintf("bench-%d", i)))
 			cancel()
 			if err != nil {
 				return fmt.Errorf("write %d: %w", i, err)
 			}
 			recorder.Record(time.Since(start))
 		}
-		fmt.Printf("writes: %s\n", recorder.Summary())
+		fmt.Printf("writes over %d key(s): %s\n", len(writers), recorder.Summary())
 		return nil
 	default:
 		return fmt.Errorf("the writer supports: write <value> | bench")
 	}
 }
 
-// runReader executes the reader-side subcommands.
-func runReader(ctx context.Context, reader *core.Reader, command string, timeout time.Duration, ops int) error {
+// runReader executes the reader-side subcommands. The bench subcommand
+// round-robins its operations over every per-key reader.
+func runReader(ctx context.Context, readers []*core.Reader, command string, timeout time.Duration, ops int) error {
 	switch command {
 	case "read":
 		opCtx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 		start := time.Now()
-		res, err := reader.Read(opCtx)
+		res, err := readers[0].Read(opCtx)
 		if err != nil {
 			return err
 		}
@@ -167,14 +210,14 @@ func runReader(ctx context.Context, reader *core.Reader, command string, timeout
 		for i := 0; i < ops; i++ {
 			opCtx, cancel := context.WithTimeout(ctx, timeout)
 			start := time.Now()
-			_, err := reader.Read(opCtx)
+			_, err := readers[i%len(readers)].Read(opCtx)
 			cancel()
 			if err != nil {
 				return fmt.Errorf("read %d: %w", i, err)
 			}
 			recorder.Record(time.Since(start))
 		}
-		fmt.Printf("reads: %s\n", recorder.Summary())
+		fmt.Printf("reads over %d key(s): %s\n", len(readers), recorder.Summary())
 		return nil
 	default:
 		return fmt.Errorf("readers support: read | bench")

@@ -2,6 +2,11 @@
 // deployment consists of S regserver processes (one per server identity)
 // plus clients driven by cmd/regclient.
 //
+// One deployment serves MANY named registers: every protocol message carries
+// a register key, and the server keeps fully separate state per key (lazily
+// instantiated on first use), so no per-register configuration or restart is
+// needed — point regclient at any -key and the register exists.
+//
 // The address book is a comma-separated list of id=host:port pairs covering
 // every process in the deployment, e.g.:
 //
@@ -82,7 +87,7 @@ func run(args []string) error {
 	server.Start()
 	defer server.Stop()
 
-	fmt.Printf("register server %s listening on %s (readers=%d byzantine=%v)\n", id, node.Addr(), *readers, *byz)
+	fmt.Printf("register server %s listening on %s (readers=%d byzantine=%v, serving all register keys)\n", id, node.Addr(), *readers, *byz)
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	<-stop

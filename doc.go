@@ -1,7 +1,8 @@
 // Package fastread is a Go implementation of the fast single-writer
 // multi-reader (SWMR) atomic register of Dutta, Guerraoui, Levy and Vukolić,
 // "How Fast can a Distributed Atomic Read be?" (PODC 2004), together with the
-// baselines the paper compares against.
+// baselines the paper compares against — grown into a multi-register store
+// that serves many named registers from one shared deployment.
 //
 // A register is replicated over S server processes, of which up to t may
 // fail (and, in the arbitrary-failure variant, up to b ≤ t may be
@@ -14,7 +15,7 @@
 // register, and the machinery to reproduce the paper's results (adversarial
 // lower-bound schedules, atomicity checking, workloads and benchmarks).
 //
-// # Quick start
+// # Quick start: one register
 //
 //	cfg := fastread.Config{Servers: 4, Faulty: 1, Readers: 1}
 //	cluster, err := fastread.NewCluster(cfg)
@@ -28,9 +29,32 @@
 //	res, _ := r.Read(ctx)        // exactly one round-trip
 //	fmt.Println(string(res.Value))
 //
+// # Quick start: many registers, one deployment
+//
+// A Store multiplexes an open-ended keyspace of named registers over ONE set
+// of server processes. Each key is an independent register with the full
+// per-register atomicity guarantee; servers keep separate per-key state,
+// lazily instantiated, and the writer/reader processes join the network once
+// and demultiplex their traffic by the register key carried in every
+// protocol message.
+//
+//	store, err := fastread.NewStore(cfg)
+//	if err != nil { ... }
+//	defer store.Close()
+//
+//	reg, _ := store.Register("user/42/profile")
+//	_ = reg.Writer().Write(ctx, []byte("v1"))
+//	r, _ := reg.Reader(1)
+//	res, _ := r.Read(ctx)        // still one round-trip, per key
+//
+// A Cluster is simply a Store serving only the default register (the empty
+// key); Cluster.Store exposes the underlying store so single-register code
+// can grow into the keyed API without redeploying.
+//
 // Use Config.Protocol to select among the fast crash-tolerant register
 // (default), the Byzantine-tolerant fast register, the ABD baseline, the
 // max-min variant and the regular register. The resilience helpers
 // (FastReadPossible, MaxFastReaders, MinServersForFast) expose the paper's
-// exact bounds.
+// exact bounds; they are per-deployment properties and therefore hold for
+// every key of a Store at once.
 package fastread

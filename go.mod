@@ -1,0 +1,3 @@
+module fastread
+
+go 1.24

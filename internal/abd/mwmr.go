@@ -71,9 +71,9 @@ func (w *MWWriter) Write(ctx context.Context, v types.Value) error {
 	w.rCounter++
 	qrc := w.rCounter
 	w.cfg.Trace.Record(trace.KindInvoke, w.id, types.ProcessID{}, "mwmr write query rc=%d", qrc)
-	query := &wire.Message{Op: wire.OpQuery, RCounter: qrc}
+	query := &wire.Message{Op: wire.OpQuery, Key: w.cfg.Key, RCounter: qrc}
 	qFilter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpQueryAck && m.RCounter == qrc
+		return m.Op == wire.OpQueryAck && m.Key == w.cfg.Key && m.RCounter == qrc
 	}
 	acks, err := protoutil.RoundTrip(ctx, w.node, w.servers, query, majority, qFilter, w.cfg.Trace)
 	if err != nil {
@@ -94,13 +94,14 @@ func (w *MWWriter) Write(ctx context.Context, v types.Value) error {
 	wrc := w.rCounter
 	req := &wire.Message{
 		Op:         wire.OpWrite,
+		Key:        w.cfg.Key,
 		TS:         highest.TS.Next(),
 		WriterRank: w.rank,
 		Cur:        v.Clone(),
 		RCounter:   wrc,
 	}
 	wFilter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpWriteAck && m.RCounter == wrc
+		return m.Op == wire.OpWriteAck && m.Key == w.cfg.Key && m.RCounter == wrc
 	}
 	if _, err := protoutil.RoundTrip(ctx, w.node, w.servers, req, majority, wFilter, w.cfg.Trace); err != nil {
 		return fmt.Errorf("abd: mwmr write ts=%d.%d: %w", req.TS, w.rank, err)
@@ -172,9 +173,9 @@ func (r *MWReader) Read(ctx context.Context) (MWReadResult, error) {
 	r.rCounter++
 	qrc := r.rCounter
 	r.cfg.Trace.Record(trace.KindInvoke, r.id, types.ProcessID{}, "mwmr read query rc=%d", qrc)
-	query := &wire.Message{Op: wire.OpQuery, RCounter: qrc}
+	query := &wire.Message{Op: wire.OpQuery, Key: r.cfg.Key, RCounter: qrc}
 	qFilter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpQueryAck && m.RCounter == qrc
+		return m.Op == wire.OpQueryAck && m.Key == r.cfg.Key && m.RCounter == qrc
 	}
 	acks, err := protoutil.RoundTrip(ctx, r.node, r.servers, query, majority, qFilter, r.cfg.Trace)
 	if err != nil {
@@ -196,13 +197,14 @@ func (r *MWReader) Read(ctx context.Context) (MWReadResult, error) {
 	wrc := r.rCounter
 	writeBack := &wire.Message{
 		Op:         wire.OpWriteBack,
+		Key:        r.cfg.Key,
 		TS:         bestVV.TS,
 		WriterRank: bestVV.Rank,
 		Cur:        best.Msg.Cur.Clone(),
 		RCounter:   wrc,
 	}
 	wbFilter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpWriteBackAck && m.RCounter == wrc
+		return m.Op == wire.OpWriteBackAck && m.Key == r.cfg.Key && m.RCounter == wrc
 	}
 	if _, err := protoutil.RoundTrip(ctx, r.node, r.servers, writeBack, majority, wbFilter, r.cfg.Trace); err != nil {
 		return MWReadResult{}, fmt.Errorf("abd: mwmr read write-back: %w", err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"fastread/internal/shard"
 	"fastread/internal/trace"
 	"fastread/internal/transport"
 	"fastread/internal/types"
@@ -36,16 +37,23 @@ type ServerConfig struct {
 	Trace *trace.Trace
 }
 
-// Server is the quorum server used by both the SWMR and MWMR ABD registers.
-// It answers queries and reads with its current versioned value and adopts
-// any strictly newer value carried by write or write-back messages.
-type Server struct {
-	cfg  ServerConfig
-	node transport.Node
-
-	mu        sync.Mutex
+// registerState is the per-register ABD server state: the highest versioned
+// value adopted so far and a mutation counter.
+type registerState struct {
 	value     VersionedValue
 	mutations int64
+}
+
+// Server is the quorum server used by both the SWMR and MWMR ABD registers.
+// It answers queries and reads with its current versioned value and adopts
+// any strictly newer value carried by write or write-back messages. One
+// server multiplexes every register of the deployment: state is kept per
+// register key in a striped shard map, lazily instantiated on the first
+// message that names the key.
+type Server struct {
+	cfg    ServerConfig
+	node   transport.Node
+	states *shard.Map[*registerState]
 
 	stopOnce sync.Once
 	done     chan struct{}
@@ -61,9 +69,10 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 		return nil, fmt.Errorf("abd: server %v requires a transport node", cfg.ID)
 	}
 	return &Server{
-		cfg:  cfg,
-		node: node,
-		done: make(chan struct{}),
+		cfg:    cfg,
+		node:   node,
+		states: shard.NewMap(0, func(string) *registerState { return &registerState{} }),
+		done:   make(chan struct{}),
 	}, nil
 }
 
@@ -85,15 +94,35 @@ func (s *Server) Stop() {
 // ID returns the server's process identity.
 func (s *Server) ID() types.ProcessID { return s.cfg.ID }
 
-// State returns a copy of the server's current value and the number of state
-// mutations it has performed.
-func (s *Server) State() (VersionedValue, int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := s.value
-	out.Cur = s.value.Cur.Clone()
-	out.Prev = s.value.Prev.Clone()
-	return out, s.mutations
+// State returns a copy of the default register's current value and the
+// number of state mutations performed on it; use StateOf for a named
+// register.
+func (s *Server) State() (VersionedValue, int64) { return s.StateOf("") }
+
+// StateOf returns a copy of the named register's current value and its
+// mutation count. An untouched register reports its initial state without
+// being instantiated.
+func (s *Server) StateOf(key string) (VersionedValue, int64) {
+	var out VersionedValue
+	var mutations int64
+	s.states.Peek(key, func(st *registerState) {
+		out = st.value
+		out.Cur = st.value.Cur.Clone()
+		out.Prev = st.value.Prev.Clone()
+		mutations = st.mutations
+	})
+	return out, mutations
+}
+
+// Keys returns the keys of every register this server has instantiated.
+func (s *Server) Keys() []string { return s.states.Keys() }
+
+// TotalMutations sums the mutation counters across every register the server
+// hosts.
+func (s *Server) TotalMutations() int64 {
+	var total int64
+	s.states.Range(func(_ string, st *registerState) { total += st.mutations })
+	return total
 }
 
 func (s *Server) handle(m transport.Message) {
@@ -125,26 +154,28 @@ func (s *Server) handle(m transport.Message) {
 
 	incoming := VersionedValue{TS: req.TS, Rank: req.WriterRank, Cur: req.Cur, Prev: req.Prev}
 
-	s.mu.Lock()
-	if (req.Op == wire.OpWrite || req.Op == wire.OpWriteBack) && s.value.Less(incoming) {
-		s.value = VersionedValue{
-			TS:   incoming.TS,
-			Rank: incoming.Rank,
-			Cur:  incoming.Cur.Clone(),
-			Prev: incoming.Prev.Clone(),
+	var ack *wire.Message
+	s.states.Do(req.Key, func(st *registerState) {
+		if (req.Op == wire.OpWrite || req.Op == wire.OpWriteBack) && st.value.Less(incoming) {
+			st.value = VersionedValue{
+				TS:   incoming.TS,
+				Rank: incoming.Rank,
+				Cur:  incoming.Cur.Clone(),
+				Prev: incoming.Prev.Clone(),
+			}
+			st.mutations++
+			s.cfg.Trace.Record(trace.KindStateChange, s.cfg.ID, m.From, "adopt key=%q ts=%d.%d", req.Key, incoming.TS, incoming.Rank)
 		}
-		s.mutations++
-		s.cfg.Trace.Record(trace.KindStateChange, s.cfg.ID, m.From, "adopt ts=%d.%d", incoming.TS, incoming.Rank)
-	}
-	ack := &wire.Message{
-		Op:         ackOp,
-		TS:         s.value.TS,
-		WriterRank: s.value.Rank,
-		Cur:        s.value.Cur.Clone(),
-		Prev:       s.value.Prev.Clone(),
-		RCounter:   req.RCounter,
-	}
-	s.mu.Unlock()
+		ack = &wire.Message{
+			Op:         ackOp,
+			Key:        req.Key,
+			TS:         st.value.TS,
+			WriterRank: st.value.Rank,
+			Cur:        st.value.Cur.Clone(),
+			Prev:       st.value.Prev.Clone(),
+			RCounter:   req.RCounter,
+		}
+	})
 
 	s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, m.From, "%s ts=%d.%d", ack.Op, ack.TS, ack.WriterRank)
 	if err := s.node.Send(m.From, ack.Kind(), wire.MustEncode(ack)); err != nil {

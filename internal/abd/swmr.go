@@ -30,6 +30,10 @@ type ClientConfig struct {
 	// Quorum describes the deployment. ABD uses majority quorums, so it
 	// requires t < S/2 but places no bound on the number of readers.
 	Quorum quorum.Config
+	// Key names the register this client operates on; the empty key is the
+	// deployment's default register. Requests are stamped with the key and
+	// only acknowledgements carrying it are accepted.
+	Key string
 	// Trace, if non-nil, records protocol events.
 	Trace *trace.Trace
 }
@@ -78,10 +82,10 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	defer w.mu.Unlock()
 
 	ts := w.ts
-	req := &wire.Message{Op: wire.OpWrite, TS: ts, Cur: v.Clone(), Prev: w.prev.Clone()}
-	w.cfg.Trace.Record(trace.KindInvoke, types.Writer(), types.ProcessID{}, "abd write(ts=%d)", ts)
+	req := &wire.Message{Op: wire.OpWrite, Key: w.cfg.Key, TS: ts, Cur: v.Clone(), Prev: w.prev.Clone()}
+	w.cfg.Trace.Record(trace.KindInvoke, types.Writer(), types.ProcessID{}, "abd write(key=%q ts=%d)", w.cfg.Key, ts)
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpWriteAck && m.TS >= ts
+		return m.Op == wire.OpWriteAck && m.Key == w.cfg.Key && m.TS >= ts
 	}
 	if _, err := protoutil.RoundTrip(ctx, w.node, w.servers, req, w.cfg.Quorum.Majority(), filter, w.cfg.Trace); err != nil {
 		return fmt.Errorf("abd: write ts=%d: %w", ts, err)
@@ -161,10 +165,10 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 	// Phase 1: query a majority for their current (ts, value).
 	r.rCounter++
 	rc := r.rCounter
-	r.cfg.Trace.Record(trace.KindInvoke, r.id, types.ProcessID{}, "abd read() rc=%d", rc)
-	query := &wire.Message{Op: wire.OpRead, RCounter: rc}
+	r.cfg.Trace.Record(trace.KindInvoke, r.id, types.ProcessID{}, "abd read(key=%q) rc=%d", r.cfg.Key, rc)
+	query := &wire.Message{Op: wire.OpRead, Key: r.cfg.Key, RCounter: rc}
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpReadAck && m.RCounter == rc
+		return m.Op == wire.OpReadAck && m.Key == r.cfg.Key && m.RCounter == rc
 	}
 	acks, err := protoutil.RoundTrip(ctx, r.node, r.servers, query, majority, filter, r.cfg.Trace)
 	if err != nil {
@@ -179,13 +183,14 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 	wbRC := r.rCounter
 	writeBack := &wire.Message{
 		Op:       wire.OpWriteBack,
+		Key:      r.cfg.Key,
 		TS:       maxTS,
 		Cur:      best.Msg.Cur.Clone(),
 		Prev:     best.Msg.Prev.Clone(),
 		RCounter: wbRC,
 	}
 	wbFilter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpWriteBackAck && m.RCounter == wbRC
+		return m.Op == wire.OpWriteBackAck && m.Key == r.cfg.Key && m.RCounter == wbRC
 	}
 	if _, err := protoutil.RoundTrip(ctx, r.node, r.servers, writeBack, majority, wbFilter, r.cfg.Trace); err != nil {
 		return ReadResult{}, fmt.Errorf("abd: read phase 2 (write-back): %w", err)

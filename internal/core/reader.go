@@ -19,6 +19,11 @@ import (
 type ReaderConfig struct {
 	// Quorum describes the deployment (S, t, b, R).
 	Quorum quorum.Config
+	// Key names the register this reader operates on. The empty key is the
+	// deployment's default register. Every request is stamped with the key
+	// and only acknowledgements carrying it are accepted, so many per-key
+	// readers can share one transport identity.
+	Key string
 	// Byzantine enables the arbitrary-failure variant (Figure 5): readers
 	// verify the writer's signature on every acknowledgement and discard
 	// replies from servers that pretend not to have seen the written-back
@@ -103,6 +108,7 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 	writeBack := r.last
 	req := &wire.Message{
 		Op:        wire.OpRead,
+		Key:       r.cfg.Key,
 		TS:        writeBack.TS,
 		Cur:       writeBack.Cur.Clone(),
 		Prev:      writeBack.Prev.Clone(),
@@ -110,7 +116,7 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 		WriterSig: append([]byte(nil), r.lastSig...),
 	}
 
-	r.cfg.Trace.Record(trace.KindInvoke, r.id, types.ProcessID{}, "read() rc=%d writeback ts=%d", rc, writeBack.TS)
+	r.cfg.Trace.Record(trace.KindInvoke, r.id, types.ProcessID{}, "read(key=%q) rc=%d writeback ts=%d", r.cfg.Key, rc, writeBack.TS)
 
 	need := r.cfg.Quorum.AckQuorum()
 	filter := r.ackFilter(rc, writeBack.TS)
@@ -163,7 +169,7 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 // current operation.
 func (r *Reader) ackFilter(rc int64, writeBackTS types.Timestamp) protoutil.AckFilter {
 	return func(from types.ProcessID, m *wire.Message) bool {
-		if m.Op != wire.OpReadAck || m.RCounter != rc {
+		if m.Op != wire.OpReadAck || m.Key != r.cfg.Key || m.RCounter != rc {
 			return false
 		}
 		if !r.cfg.Byzantine {
@@ -178,7 +184,7 @@ func (r *Reader) ackFilter(rc int64, writeBackTS types.Timestamp) protoutil.AckF
 		if !m.SeenSet().Has(r.id) {
 			return false
 		}
-		if err := r.cfg.Verifier.Verify(m.TS, m.Cur, m.Prev, m.WriterSig); err != nil {
+		if err := r.cfg.Verifier.VerifyKeyed(r.cfg.Key, m.TS, m.Cur, m.Prev, m.WriterSig); err != nil {
 			return false
 		}
 		return true

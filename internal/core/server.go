@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"fastread/internal/shard"
 	"fastread/internal/sig"
 	"fastread/internal/trace"
 	"fastread/internal/transport"
@@ -28,9 +29,10 @@ type ServerConfig struct {
 	Trace *trace.Trace
 }
 
-// ServerState is a snapshot of a server's protocol state, exposed for tests,
-// the experiment harness (which counts state mutations per read for the
-// "atomic reads must write" discussion of Section 8) and fault injectors.
+// ServerState is a snapshot of one register's protocol state on a server,
+// exposed for tests, the experiment harness (which counts state mutations per
+// read for the "atomic reads must write" discussion of Section 8) and fault
+// injectors.
 type ServerState struct {
 	Value     types.TaggedValue
 	ValueSig  []byte
@@ -39,20 +41,28 @@ type ServerState struct {
 	Mutations int64
 }
 
-// Server is the server-side state machine of the fast algorithms
-// (Figure 2 lines 23-35, Figure 5 lines 23-35). It never waits for messages
-// from other processes before replying, which is what makes the
-// implementation fast.
-type Server struct {
-	cfg  ServerConfig
-	node transport.Node
-
-	mu        sync.Mutex
+// registerState is the per-register server state of Figure 2 / Figure 5: the
+// stored tagged value (with its writer signature in the Byzantine variant),
+// the seen set and the per-client operation counters. One server hosts many
+// registers, each with fully independent state.
+type registerState struct {
 	value     types.TaggedValue
 	valueSig  []byte
 	seen      types.ProcessSet
 	counters  map[int]int64
 	mutations int64
+}
+
+// Server is the server-side state machine of the fast algorithms
+// (Figure 2 lines 23-35, Figure 5 lines 23-35). It never waits for messages
+// from other processes before replying, which is what makes the
+// implementation fast. A single server multiplexes every register of the
+// deployment: protocol state is kept per register key in a striped shard
+// map, lazily instantiated on the first message that names the key.
+type Server struct {
+	cfg    ServerConfig
+	node   transport.Node
+	states *shard.Map[*registerState]
 
 	stopOnce sync.Once
 	done     chan struct{}
@@ -70,13 +80,18 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 	if node == nil {
 		return nil, fmt.Errorf("core: server %v requires a transport node", cfg.ID)
 	}
+	readers := cfg.Readers
 	return &Server{
-		cfg:      cfg,
-		node:     node,
-		value:    types.InitialTaggedValue(),
-		seen:     types.NewProcessSet(),
-		counters: make(map[int]int64, cfg.Readers+1),
-		done:     make(chan struct{}),
+		cfg:  cfg,
+		node: node,
+		states: shard.NewMap(0, func(string) *registerState {
+			return &registerState{
+				value:    types.InitialTaggedValue(),
+				seen:     types.NewProcessSet(),
+				counters: make(map[int]int64, readers+1),
+			}
+		}),
+		done: make(chan struct{}),
 	}, nil
 }
 
@@ -100,25 +115,54 @@ func (s *Server) Stop() {
 // ID returns the server's process identity.
 func (s *Server) ID() types.ProcessID { return s.cfg.ID }
 
-// State returns a deep copy of the server's current protocol state.
-func (s *Server) State() ServerState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	counters := make(map[int]int64, len(s.counters))
-	for k, v := range s.counters {
+// snapshot deep-copies a register's state under the shard lock.
+func snapshot(st *registerState) ServerState {
+	counters := make(map[int]int64, len(st.counters))
+	for k, v := range st.counters {
 		counters[k] = v
 	}
-	sigCopy := append([]byte(nil), s.valueSig...)
 	return ServerState{
-		Value:     s.value.Clone(),
-		ValueSig:  sigCopy,
-		Seen:      s.seen.Clone(),
+		Value:     st.value.Clone(),
+		ValueSig:  append([]byte(nil), st.valueSig...),
+		Seen:      st.seen.Clone(),
 		Counters:  counters,
-		Mutations: s.mutations,
+		Mutations: st.mutations,
 	}
 }
 
-// handle processes one incoming message: Figure 2 / Figure 5 lines 26-35.
+// State returns a deep copy of the default register's current protocol
+// state. Single-register deployments (and their tests and fault injectors)
+// read the server through this method; use StateOf for a named register.
+func (s *Server) State() ServerState { return s.StateOf("") }
+
+// StateOf returns a deep copy of the named register's current protocol
+// state. A register that has never been touched reports its initial state
+// (timestamp 0, both tags ⊥) without being instantiated.
+func (s *Server) StateOf(key string) ServerState {
+	var out ServerState
+	if !s.states.Peek(key, func(st *registerState) { out = snapshot(st) }) {
+		out = ServerState{
+			Value:    types.InitialTaggedValue(),
+			Seen:     types.NewProcessSet(),
+			Counters: map[int]int64{},
+		}
+	}
+	return out
+}
+
+// Keys returns the keys of every register this server has instantiated.
+func (s *Server) Keys() []string { return s.states.Keys() }
+
+// TotalMutations sums the state-mutation counters across every register the
+// server hosts; the store-level stats aggregate it.
+func (s *Server) TotalMutations() int64 {
+	var total int64
+	s.states.Range(func(_ string, st *registerState) { total += st.mutations })
+	return total
+}
+
+// handle processes one incoming message: Figure 2 / Figure 5 lines 26-35,
+// applied to the register named by the message's key.
 func (s *Server) handle(m transport.Message) {
 	req, err := wire.Decode(m.Payload)
 	if err != nil {
@@ -143,14 +187,15 @@ func (s *Server) handle(m transport.Message) {
 		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "read from non-reader")
 		return
 	}
-	s.cfg.Trace.Record(trace.KindReceive, s.cfg.ID, m.From, "%s ts=%d rc=%d", req.Op, req.TS, req.RCounter)
+	s.cfg.Trace.Record(trace.KindReceive, s.cfg.ID, m.From, "%s key=%q ts=%d rc=%d", req.Op, req.Key, req.TS, req.RCounter)
 
 	// In the arbitrary-failure variant, any timestamp the server might adopt
 	// must carry a valid writer signature (Figure 5's receivevalid). Read
 	// requests write back a previously signed timestamp; timestamp 0 needs no
-	// signature.
+	// signature. The signature covers the register key, so a value signed for
+	// one register cannot be replayed into another.
 	if s.cfg.Byzantine {
-		if err := s.cfg.Verifier.Verify(req.TS, req.Cur, req.Prev, req.WriterSig); err != nil {
+		if err := s.cfg.Verifier.VerifyKeyed(req.Key, req.TS, req.Cur, req.Prev, req.WriterSig); err != nil {
 			s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "invalid writer signature on ts=%d: %v", req.TS, err)
 			return
 		}
@@ -158,38 +203,42 @@ func (s *Server) handle(m transport.Message) {
 
 	pid := m.From.ClientPID()
 
-	s.mu.Lock()
-	if req.RCounter < s.counters[pid] {
-		s.mu.Unlock()
-		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "stale rCounter %d < %d", req.RCounter, s.counters[pid])
+	var ack *wire.Message
+	s.states.Do(req.Key, func(st *registerState) {
+		if req.RCounter < st.counters[pid] {
+			s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "stale rCounter %d < %d", req.RCounter, st.counters[pid])
+			return
+		}
+		if req.TS > st.value.TS {
+			st.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
+			st.valueSig = append([]byte(nil), req.WriterSig...)
+			st.seen = types.NewProcessSet(m.From)
+		} else {
+			st.seen.Add(m.From)
+		}
+		st.counters[pid] = req.RCounter
+		st.mutations++
+
+		ackOp := wire.OpWriteAck
+		if req.Op == wire.OpRead {
+			ackOp = wire.OpReadAck
+		}
+		ack = &wire.Message{
+			Op:        ackOp,
+			Key:       req.Key,
+			TS:        st.value.TS,
+			Cur:       st.value.Cur.Clone(),
+			Prev:      st.value.Prev.Clone(),
+			Seen:      st.seen.Members(),
+			RCounter:  req.RCounter,
+			WriterSig: append([]byte(nil), st.valueSig...),
+		}
+	})
+	if ack == nil {
 		return
 	}
-	if req.TS > s.value.TS {
-		s.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
-		s.valueSig = append([]byte(nil), req.WriterSig...)
-		s.seen = types.NewProcessSet(m.From)
-	} else {
-		s.seen.Add(m.From)
-	}
-	s.counters[pid] = req.RCounter
-	s.mutations++
 
-	ackOp := wire.OpWriteAck
-	if req.Op == wire.OpRead {
-		ackOp = wire.OpReadAck
-	}
-	ack := &wire.Message{
-		Op:        ackOp,
-		TS:        s.value.TS,
-		Cur:       s.value.Cur.Clone(),
-		Prev:      s.value.Prev.Clone(),
-		Seen:      s.seen.Members(),
-		RCounter:  req.RCounter,
-		WriterSig: append([]byte(nil), s.valueSig...),
-	}
-	s.mu.Unlock()
-
-	s.cfg.Trace.Record(trace.KindStateChange, s.cfg.ID, m.From, "ts=%d seen=%s", ack.TS, types.NewProcessSet(ack.Seen...))
+	s.cfg.Trace.Record(trace.KindStateChange, s.cfg.ID, m.From, "key=%q ts=%d seen=%s", ack.Key, ack.TS, types.NewProcessSet(ack.Seen...))
 	s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, m.From, "%s ts=%d rc=%d", ack.Op, ack.TS, ack.RCounter)
 	if err := s.node.Send(m.From, ack.Kind(), wire.MustEncode(ack)); err != nil {
 		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "send ack: %v", err)

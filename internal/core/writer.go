@@ -33,6 +33,11 @@ var (
 type WriterConfig struct {
 	// Quorum describes the deployment (S, t, b, R).
 	Quorum quorum.Config
+	// Key names the register this writer operates on. The empty key is the
+	// deployment's default register. Every request is stamped with the key
+	// and only acknowledgements carrying it are accepted, so many per-key
+	// writers can share one transport identity.
+	Key string
 	// Signer holds the writer's private key; required when Byzantine is
 	// true.
 	Signer *sig.Signer
@@ -94,23 +99,24 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	ts := w.ts
 	req := &wire.Message{
 		Op:       wire.OpWrite,
+		Key:      w.cfg.Key,
 		TS:       ts,
 		Cur:      v.Clone(),
 		Prev:     w.prev.Clone(),
 		RCounter: 0, // the writer's counter is always 0 (Section 4).
 	}
 	if w.cfg.Byzantine {
-		signature, err := w.cfg.Signer.Sign(ts, req.Cur, req.Prev)
+		signature, err := w.cfg.Signer.SignKeyed(w.cfg.Key, ts, req.Cur, req.Prev)
 		if err != nil {
 			return fmt.Errorf("core: sign write ts=%d: %w", ts, err)
 		}
 		req.WriterSig = signature
 	}
 
-	w.cfg.Trace.Record(trace.KindInvoke, types.Writer(), types.ProcessID{}, "write(ts=%d, %s)", ts, v)
+	w.cfg.Trace.Record(trace.KindInvoke, types.Writer(), types.ProcessID{}, "write(key=%q, ts=%d, %s)", w.cfg.Key, ts, v)
 	need := w.cfg.Quorum.AckQuorum()
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpWriteAck && m.TS == ts && m.RCounter == 0
+		return m.Op == wire.OpWriteAck && m.Key == w.cfg.Key && m.TS == ts && m.RCounter == 0
 	}
 	if _, err := protoutil.RoundTrip(ctx, w.node, w.servers, req, need, filter, w.cfg.Trace); err != nil {
 		return fmt.Errorf("core: write ts=%d: %w", ts, err)

@@ -26,6 +26,7 @@ import (
 
 	"fastread/internal/protoutil"
 	"fastread/internal/quorum"
+	"fastread/internal/shard"
 	"fastread/internal/stats"
 	"fastread/internal/trace"
 	"fastread/internal/transport"
@@ -43,7 +44,9 @@ var (
 	ErrNotReader = errors.New("maxmin: reader must use a reader identity")
 )
 
-// readKey identifies one read operation: which reader and which of its reads.
+// readKey identifies one read operation within a register: which reader and
+// which of its reads. (The register key itself selects the per-key state the
+// readKey lives in.)
 type readKey struct {
 	Reader   int
 	RCounter int64
@@ -54,6 +57,35 @@ type pendingRead struct {
 	gossips   map[types.ProcessID]types.TaggedValue
 	requested bool
 	replied   bool
+}
+
+// registerState is the per-register max-min server state: the current value,
+// the gossip collected for that register's in-flight reads, and the highest
+// rCounter already answered per reader. The latter lets the server drop late
+// gossip for finished reads instead of re-creating (and leaking) their
+// bookkeeping: readers issue strictly increasing rCounters, so anything at
+// or below the replied watermark belongs to a read that already returned.
+type registerState struct {
+	value   types.TaggedValue
+	pending map[readKey]*pendingRead
+	replied map[int]int64 // reader index → highest rCounter replied to
+}
+
+// done reports whether the identified read has already been answered.
+// Callers must hold the register's shard lock (i.e. run inside Map.Do).
+func (st *registerState) done(key readKey) bool {
+	return key.RCounter <= st.replied[key.Reader]
+}
+
+// pendingState returns (creating if necessary) the gossip state for a read.
+// Callers must hold the register's shard lock.
+func (st *registerState) pendingState(key readKey) *pendingRead {
+	p, ok := st.pending[key]
+	if !ok {
+		p = &pendingRead{gossips: make(map[types.ProcessID]types.TaggedValue)}
+		st.pending[key] = p
+	}
+	return p
 }
 
 // ServerConfig configures a max-min server.
@@ -69,15 +101,15 @@ type ServerConfig struct {
 
 // Server is the max-min server. Unlike the fast register's server it is NOT
 // a fast responder: on a read request it first gossips with the other
-// servers.
+// servers. One server multiplexes every register of the deployment: both the
+// stored value and the per-read gossip bookkeeping are kept per register key
+// in a striped shard map.
 type Server struct {
 	cfg     ServerConfig
 	node    transport.Node
 	servers []types.ProcessID
 
-	mu      sync.Mutex
-	value   types.TaggedValue
-	pending map[readKey]*pendingRead
+	states *shard.Map[*registerState]
 
 	stopOnce sync.Once
 	done     chan struct{}
@@ -98,9 +130,14 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 		cfg:     cfg,
 		node:    node,
 		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
-		value:   types.InitialTaggedValue(),
-		pending: make(map[readKey]*pendingRead),
-		done:    make(chan struct{}),
+		states: shard.NewMap(0, func(string) *registerState {
+			return &registerState{
+				value:   types.InitialTaggedValue(),
+				pending: make(map[readKey]*pendingRead),
+				replied: make(map[int]int64),
+			}
+		}),
+		done: make(chan struct{}),
 	}, nil
 }
 
@@ -122,11 +159,16 @@ func (s *Server) Stop() {
 // ID returns the server's identity.
 func (s *Server) ID() types.ProcessID { return s.cfg.ID }
 
-// State returns the server's current value.
-func (s *Server) State() types.TaggedValue {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.value.Clone()
+// State returns the default register's current value; use StateOf for a
+// named register.
+func (s *Server) State() types.TaggedValue { return s.StateOf("") }
+
+// StateOf returns the named register's current value. An untouched register
+// reports its initial state without being instantiated.
+func (s *Server) StateOf(key string) types.TaggedValue {
+	out := types.InitialTaggedValue()
+	s.states.Peek(key, func(st *registerState) { out = st.value.Clone() })
+	return out
 }
 
 func (s *Server) handle(m transport.Message) {
@@ -154,34 +196,46 @@ func (s *Server) handleWrite(from types.ProcessID, req *wire.Message) {
 		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, from, "write from non-writer")
 		return
 	}
-	s.mu.Lock()
-	if req.TS > s.value.TS {
-		s.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
-	}
-	ack := &wire.Message{Op: wire.OpWriteAck, TS: s.value.TS, RCounter: req.RCounter}
-	s.mu.Unlock()
+	var ack *wire.Message
+	s.states.Do(req.Key, func(st *registerState) {
+		if req.TS > st.value.TS {
+			st.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
+		}
+		ack = &wire.Message{Op: wire.OpWriteAck, Key: req.Key, TS: st.value.TS, RCounter: req.RCounter}
+	})
 	_ = s.node.Send(from, ack.Kind(), wire.MustEncode(ack))
 }
 
 // handleRead starts the gossip round for this read: broadcast the server's
-// current timestamp tagged with the read's identity to every server
-// (including itself, handled locally).
+// current timestamp tagged with the read's identity (and register key) to
+// every server (including itself, handled locally).
 func (s *Server) handleRead(from types.ProcessID, req *wire.Message) {
 	if from.Role != types.RoleReader {
 		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, from, "read from non-reader")
 		return
 	}
-	key := readKey{Reader: from.Index, RCounter: req.RCounter}
+	rkey := readKey{Reader: from.Index, RCounter: req.RCounter}
 
-	s.mu.Lock()
-	p := s.pendingState(key)
-	p.requested = true
-	current := s.value.Clone()
-	p.gossips[s.cfg.ID] = current
-	s.mu.Unlock()
+	var current types.TaggedValue
+	stale := false
+	s.states.Do(req.Key, func(st *registerState) {
+		if st.done(rkey) {
+			stale = true
+			return
+		}
+		p := st.pendingState(rkey)
+		p.requested = true
+		current = st.value.Clone()
+		p.gossips[s.cfg.ID] = current
+	})
+	if stale {
+		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, from, "stale read rc=%d", req.RCounter)
+		return
+	}
 
 	gossip := &wire.Message{
 		Op:       wire.OpGossip,
+		Key:      req.Key,
 		TS:       current.TS,
 		Cur:      current.Cur,
 		Prev:     current.Prev,
@@ -193,11 +247,11 @@ func (s *Server) handleRead(from types.ProcessID, req *wire.Message) {
 		if peer == s.cfg.ID {
 			continue
 		}
-		s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, peer, "gossip ts=%d for r%d/%d", current.TS, from.Index, req.RCounter)
+		s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, peer, "gossip key=%q ts=%d for r%d/%d", req.Key, current.TS, from.Index, req.RCounter)
 		_ = s.node.Send(peer, gossip.Kind(), payload)
 	}
 
-	s.maybeReply(key)
+	s.maybeReply(req.Key, rkey)
 }
 
 // handleGossip records a peer server's timestamp for the identified read and
@@ -207,71 +261,88 @@ func (s *Server) handleGossip(from types.ProcessID, req *wire.Message) {
 		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, from, "gossip from non-server")
 		return
 	}
-	key := readKey{Reader: int(req.Phase), RCounter: req.RCounter}
+	rkey := readKey{Reader: int(req.Phase), RCounter: req.RCounter}
 	incoming := types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
 
-	s.mu.Lock()
-	// Adopt the maximum timestamp seen while gossiping ("adopts the
-	// timestamp and its associated value").
-	if incoming.TS > s.value.TS {
-		s.value = incoming.Clone()
-	}
-	p := s.pendingState(key)
-	p.gossips[from] = incoming
-	s.mu.Unlock()
+	s.states.Do(req.Key, func(st *registerState) {
+		// Adopt the maximum timestamp seen while gossiping ("adopts the
+		// timestamp and its associated value").
+		if incoming.TS > st.value.TS {
+			st.value = incoming.Clone()
+		}
+		// Gossip for a read this server already answered must not re-create
+		// the read's bookkeeping: the entry would never be garbage-collected.
+		if st.done(rkey) {
+			return
+		}
+		p := st.pendingState(rkey)
+		p.gossips[from] = incoming
+	})
 
-	s.maybeReply(key)
-}
-
-// pendingState returns (creating if necessary) the gossip state for a read.
-// Callers must hold s.mu.
-func (s *Server) pendingState(key readKey) *pendingRead {
-	p, ok := s.pending[key]
-	if !ok {
-		p = &pendingRead{gossips: make(map[types.ProcessID]types.TaggedValue)}
-		s.pending[key] = p
-	}
-	return p
+	s.maybeReply(req.Key, rkey)
 }
 
 // maybeReply answers the reader once the server has both received the read
 // request and collected gossip from a majority of servers.
-func (s *Server) maybeReply(key readKey) {
-	s.mu.Lock()
-	p := s.pendingState(key)
-	if p.replied || !p.requested || len(p.gossips) < s.cfg.Quorum.Majority() {
-		s.mu.Unlock()
+func (s *Server) maybeReply(key string, rkey readKey) {
+	var ack *wire.Message
+	s.states.Do(key, func(st *registerState) {
+		if st.done(rkey) {
+			return
+		}
+		p := st.pendingState(rkey)
+		if p.replied || !p.requested || len(p.gossips) < s.cfg.Quorum.Majority() {
+			return
+		}
+		// Select the maximum timestamp among the collected gossip and adopt it.
+		best := st.value.Clone()
+		for _, tv := range p.gossips {
+			if tv.TS > best.TS {
+				best = tv.Clone()
+			}
+		}
+		st.value = best.Clone()
+		p.replied = true
+		// The reply carries the adopted maximum.
+		ack = &wire.Message{
+			Op:       wire.OpReadAck,
+			Key:      key,
+			TS:       best.TS,
+			Cur:      best.Cur,
+			Prev:     best.Prev,
+			RCounter: rkey.RCounter,
+		}
+		// Garbage-collect finished reads to keep the map bounded; the replied
+		// watermark stops late gossip from re-creating the entry.
+		delete(st.pending, rkey)
+		if rkey.RCounter > st.replied[rkey.Reader] {
+			st.replied[rkey.Reader] = rkey.RCounter
+			// Sweep this reader's older entries too: the reader is serial, so
+			// replying to rCounter k proves every read below k has already
+			// returned at the reader. An entry stranded below the watermark
+			// (e.g. this server replied to a later read before the older
+			// read's gossip reached a majority here) can never be replied to
+			// and would otherwise leak.
+			for k := range st.pending {
+				if k.Reader == rkey.Reader && k.RCounter < rkey.RCounter {
+					delete(st.pending, k)
+				}
+			}
+		}
+	})
+	if ack == nil {
 		return
 	}
-	// Select the maximum timestamp among the collected gossip and adopt it.
-	best := s.value.Clone()
-	for _, tv := range p.gossips {
-		if tv.TS > best.TS {
-			best = tv.Clone()
-		}
-	}
-	s.value = best.Clone()
-	p.replied = true
-	// The reply carries the adopted maximum.
-	ack := &wire.Message{
-		Op:       wire.OpReadAck,
-		TS:       best.TS,
-		Cur:      best.Cur,
-		Prev:     best.Prev,
-		RCounter: key.RCounter,
-	}
-	// Garbage-collect finished reads to keep the map bounded.
-	delete(s.pending, key)
-	s.mu.Unlock()
 
-	reader := types.Reader(key.Reader)
-	s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, reader, "readack ts=%d rc=%d", ack.TS, ack.RCounter)
+	reader := types.Reader(rkey.Reader)
+	s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, reader, "readack key=%q ts=%d rc=%d", key, ack.TS, ack.RCounter)
 	_ = s.node.Send(reader, ack.Kind(), wire.MustEncode(ack))
 }
 
 // Writer is the max-min writer: identical to the single-round ABD writer.
 type Writer struct {
 	cfg     quorum.Config
+	key     string
 	tr      *trace.Trace
 	node    transport.Node
 	servers []types.ProcessID
@@ -283,8 +354,13 @@ type Writer struct {
 	writes int64
 }
 
-// NewWriter creates the max-min writer.
+// NewWriter creates the max-min writer for the default register.
 func NewWriter(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Writer, error) {
+	return NewKeyedWriter("", cfg, node, tr)
+}
+
+// NewKeyedWriter creates the max-min writer for the named register.
+func NewKeyedWriter(key string, cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Writer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -296,6 +372,7 @@ func NewWriter(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Writer
 	}
 	return &Writer{
 		cfg:     cfg,
+		key:     key,
 		tr:      tr,
 		node:    node,
 		servers: protoutil.ServerIDs(cfg.Servers),
@@ -313,9 +390,9 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	defer w.mu.Unlock()
 
 	ts := w.ts
-	req := &wire.Message{Op: wire.OpWrite, TS: ts, Cur: v.Clone(), Prev: w.prev.Clone()}
+	req := &wire.Message{Op: wire.OpWrite, Key: w.key, TS: ts, Cur: v.Clone(), Prev: w.prev.Clone()}
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpWriteAck && m.TS >= ts
+		return m.Op == wire.OpWriteAck && m.Key == w.key && m.TS >= ts
 	}
 	if _, err := protoutil.RoundTrip(ctx, w.node, w.servers, req, w.cfg.Majority(), filter, w.tr); err != nil {
 		return fmt.Errorf("maxmin: write ts=%d: %w", ts, err)
@@ -349,6 +426,7 @@ type ReadResult struct {
 // the replies (each of which is itself a majority-maximum).
 type Reader struct {
 	cfg     quorum.Config
+	key     string
 	tr      *trace.Trace
 	node    transport.Node
 	id      types.ProcessID
@@ -360,8 +438,13 @@ type Reader struct {
 	reads    int64
 }
 
-// NewReader creates a max-min reader.
+// NewReader creates a max-min reader for the default register.
 func NewReader(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Reader, error) {
+	return NewKeyedReader("", cfg, node, tr)
+}
+
+// NewKeyedReader creates a max-min reader for the named register.
+func NewKeyedReader(key string, cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Reader, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -374,6 +457,7 @@ func NewReader(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Reader
 	}
 	return &Reader{
 		cfg:     cfg,
+		key:     key,
 		tr:      tr,
 		node:    node,
 		id:      id,
@@ -389,9 +473,9 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 
 	r.rCounter++
 	rc := r.rCounter
-	req := &wire.Message{Op: wire.OpRead, RCounter: rc}
+	req := &wire.Message{Op: wire.OpRead, Key: r.key, RCounter: rc}
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpReadAck && m.RCounter == rc
+		return m.Op == wire.OpReadAck && m.Key == r.key && m.RCounter == rc
 	}
 	acks, err := protoutil.RoundTrip(ctx, r.node, r.servers, req, r.cfg.Majority(), filter, r.tr)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"fastread/internal/quorum"
 	"fastread/internal/transport"
 	"fastread/internal/types"
+	"fastread/internal/wire"
 )
 
 type deployment struct {
@@ -284,5 +285,92 @@ func TestServerStateAdoptsGossipMaximum(t *testing.T) {
 	}
 	if count < cfg.Majority() {
 		t.Errorf("only %d servers adopted ts=1 after gossip, want ≥ %d", count, cfg.Majority())
+	}
+}
+
+// TestPendingReadsGarbageCollected verifies that the per-read gossip
+// bookkeeping does not leak: once every gossip for a read has been
+// delivered, no server retains a pending entry for it — including the
+// servers whose reply raced ahead of the late gossip, which must not
+// re-create the entry.
+func TestPendingReadsGarbageCollected(t *testing.T) {
+	cfg := quorum.Config{Servers: 5, Faulty: 2, Readers: 1}
+	d := newDeployment(t, cfg)
+	ctx := d.ctx()
+	w := d.writer()
+	r := d.reader(1)
+
+	if err := w.Write(ctx, types.Value("v1")); err != nil {
+		t.Fatal(err)
+	}
+	const reads = 20
+	for i := 0; i < reads; i++ {
+		if _, err := r.Read(ctx); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+
+	// All gossip is in flight or delivered; wait for the inboxes to drain,
+	// then every server's pending map for the default register must be empty.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		leaked := 0
+		for _, srv := range d.servers {
+			srv.states.Peek("", func(st *registerState) { leaked += len(st.pending) })
+		}
+		if leaked == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d pending read entries leaked across servers after %d reads", leaked, reads)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStrandedPendingReadSweptByWatermark pins the awkward interleaving: a
+// server holds gossip bookkeeping for read rc=1 that never reached a
+// majority there, then replies to the reader's NEXT read. Advancing the
+// replied watermark must sweep the stranded rc=1 entry — the reader is
+// serial, so that read has already returned and the entry can never be
+// replied to.
+func TestStrandedPendingReadSweptByWatermark(t *testing.T) {
+	cfg := quorum.Config{Servers: 5, Faulty: 2, Readers: 1}
+	net := transport.NewInMemNetwork()
+	t.Cleanup(func() { _ = net.Close() })
+	node, err := net.Join(types.Server(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{ID: types.Server(1), Quorum: cfg}, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the handlers directly (no Start): sends to processes that never
+	// joined are silently dropped, which is all this test needs.
+
+	gossip := func(rc int64) *wire.Message {
+		return &wire.Message{Op: wire.OpGossip, TS: 0, RCounter: rc, Phase: 1}
+	}
+	// Read rc=1: request arrives plus one peer gossip — 2 of the needed 3,
+	// so the server never replies and the entry lingers.
+	srv.handleRead(types.Reader(1), &wire.Message{Op: wire.OpRead, RCounter: 1})
+	srv.handleGossip(types.Server(2), gossip(1))
+	// Read rc=2 completes here: request plus two peer gossips reach the
+	// majority of 3, the server replies and its watermark advances to 2.
+	srv.handleRead(types.Reader(1), &wire.Message{Op: wire.OpRead, RCounter: 2})
+	srv.handleGossip(types.Server(2), gossip(2))
+	srv.handleGossip(types.Server(3), gossip(2))
+
+	leaked := -1
+	srv.states.Peek("", func(st *registerState) { leaked = len(st.pending) })
+	if leaked != 0 {
+		t.Fatalf("stranded pending entries after watermark advanced: %d", leaked)
+	}
+	// Late gossip for the swept read must not resurrect it.
+	srv.handleGossip(types.Server(4), gossip(1))
+	srv.states.Peek("", func(st *registerState) { leaked = len(st.pending) })
+	if leaked != 0 {
+		t.Fatalf("late gossip resurrected a swept read: %d entries", leaked)
 	}
 }

@@ -31,6 +31,19 @@ var (
 	ErrInboxClosed = errors.New("protoutil: transport inbox closed")
 )
 
+// WireKeyFunc is the transport.Demux routing function shared by every
+// multi-register client: it routes a delivered message by the register key
+// carried in its payload and drops undecodable payloads. Keeping the single
+// definition here guarantees the in-memory Store and the TCP clients route
+// identically.
+func WireKeyFunc(m transport.Message) (string, bool) {
+	key, err := wire.PeekKey(m.Payload)
+	if err != nil {
+		return "", false
+	}
+	return key, true
+}
+
 // Broadcast encodes the message once and sends it to every listed server.
 // Send errors (which only occur when the local node is closed) abort the
 // broadcast.

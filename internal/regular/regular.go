@@ -24,6 +24,7 @@ import (
 
 	"fastread/internal/protoutil"
 	"fastread/internal/quorum"
+	"fastread/internal/shard"
 	"fastread/internal/stats"
 	"fastread/internal/trace"
 	"fastread/internal/transport"
@@ -44,15 +45,22 @@ var (
 	ErrNotRegularizable = errors.New("regular: requires t < S/2")
 )
 
-// Server stores the highest-timestamped value it has received and answers
-// both writes and reads in a single step.
+// registerState is the per-register server state: the highest-timestamped
+// value received for that register.
+type registerState struct {
+	value types.TaggedValue
+}
+
+// Server stores, per register key, the highest-timestamped value it has
+// received and answers both writes and reads in a single step. State is kept
+// in a striped shard map, lazily instantiated on the first message that
+// names the key.
 type Server struct {
 	id   types.ProcessID
 	tr   *trace.Trace
 	node transport.Node
 
-	mu    sync.Mutex
-	value types.TaggedValue
+	states *shard.Map[*registerState]
 
 	stopOnce sync.Once
 	done     chan struct{}
@@ -67,11 +75,13 @@ func NewServer(id types.ProcessID, node transport.Node, tr *trace.Trace) (*Serve
 		return nil, fmt.Errorf("regular: server %v requires a transport node", id)
 	}
 	return &Server{
-		id:    id,
-		tr:    tr,
-		node:  node,
-		value: types.InitialTaggedValue(),
-		done:  make(chan struct{}),
+		id:   id,
+		tr:   tr,
+		node: node,
+		states: shard.NewMap(0, func(string) *registerState {
+			return &registerState{value: types.InitialTaggedValue()}
+		}),
+		done: make(chan struct{}),
 	}, nil
 }
 
@@ -93,11 +103,16 @@ func (s *Server) Stop() {
 // ID returns the server's identity.
 func (s *Server) ID() types.ProcessID { return s.id }
 
-// State returns the server's current value.
-func (s *Server) State() types.TaggedValue {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.value.Clone()
+// State returns the default register's current value; use StateOf for a
+// named register.
+func (s *Server) State() types.TaggedValue { return s.StateOf("") }
+
+// StateOf returns the named register's current value. An untouched register
+// reports its initial state without being instantiated.
+func (s *Server) StateOf(key string) types.TaggedValue {
+	out := types.InitialTaggedValue()
+	s.states.Peek(key, func(st *registerState) { out = st.value.Clone() })
+	return out
 }
 
 func (s *Server) handle(m transport.Message) {
@@ -122,18 +137,20 @@ func (s *Server) handle(m transport.Message) {
 		return
 	}
 
-	s.mu.Lock()
-	if req.Op == wire.OpWrite && req.TS > s.value.TS {
-		s.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
-	}
-	ack := &wire.Message{
-		Op:       ackOp,
-		TS:       s.value.TS,
-		Cur:      s.value.Cur.Clone(),
-		Prev:     s.value.Prev.Clone(),
-		RCounter: req.RCounter,
-	}
-	s.mu.Unlock()
+	var ack *wire.Message
+	s.states.Do(req.Key, func(st *registerState) {
+		if req.Op == wire.OpWrite && req.TS > st.value.TS {
+			st.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
+		}
+		ack = &wire.Message{
+			Op:       ackOp,
+			Key:      req.Key,
+			TS:       st.value.TS,
+			Cur:      st.value.Cur.Clone(),
+			Prev:     st.value.Prev.Clone(),
+			RCounter: req.RCounter,
+		}
+	})
 
 	if err := s.node.Send(m.From, ack.Kind(), wire.MustEncode(ack)); err != nil {
 		s.tr.Record(trace.KindDrop, s.id, m.From, "send ack: %v", err)
@@ -144,6 +161,7 @@ func (s *Server) handle(m transport.Message) {
 // write to a majority of servers.
 type Writer struct {
 	cfg     quorum.Config
+	key     string
 	tr      *trace.Trace
 	node    transport.Node
 	servers []types.ProcessID
@@ -155,8 +173,13 @@ type Writer struct {
 	writes int64
 }
 
-// NewWriter creates the regular-register writer.
+// NewWriter creates the regular-register writer for the default register.
 func NewWriter(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Writer, error) {
+	return NewKeyedWriter("", cfg, node, tr)
+}
+
+// NewKeyedWriter creates the regular-register writer for the named register.
+func NewKeyedWriter(key string, cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Writer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -171,6 +194,7 @@ func NewWriter(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Writer
 	}
 	return &Writer{
 		cfg:     cfg,
+		key:     key,
 		tr:      tr,
 		node:    node,
 		servers: protoutil.ServerIDs(cfg.Servers),
@@ -188,9 +212,9 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	defer w.mu.Unlock()
 
 	ts := w.ts
-	req := &wire.Message{Op: wire.OpWrite, TS: ts, Cur: v.Clone(), Prev: w.prev.Clone()}
+	req := &wire.Message{Op: wire.OpWrite, Key: w.key, TS: ts, Cur: v.Clone(), Prev: w.prev.Clone()}
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpWriteAck && m.TS >= ts
+		return m.Op == wire.OpWriteAck && m.Key == w.key && m.TS >= ts
 	}
 	if _, err := protoutil.RoundTrip(ctx, w.node, w.servers, req, w.cfg.Majority(), filter, w.tr); err != nil {
 		return fmt.Errorf("regular: write ts=%d: %w", ts, err)
@@ -223,6 +247,7 @@ type ReadResult struct {
 // with the highest timestamp. One round-trip, no write-back.
 type Reader struct {
 	cfg     quorum.Config
+	key     string
 	tr      *trace.Trace
 	node    transport.Node
 	id      types.ProcessID
@@ -234,9 +259,14 @@ type Reader struct {
 	reads    int64
 }
 
-// NewReader creates a regular-register reader. Any number of readers is
-// supported.
+// NewReader creates a regular-register reader for the default register. Any
+// number of readers is supported.
 func NewReader(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Reader, error) {
+	return NewKeyedReader("", cfg, node, tr)
+}
+
+// NewKeyedReader creates a regular-register reader for the named register.
+func NewKeyedReader(key string, cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Reader, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -252,6 +282,7 @@ func NewReader(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Reader
 	}
 	return &Reader{
 		cfg:     cfg,
+		key:     key,
 		tr:      tr,
 		node:    node,
 		id:      id,
@@ -266,9 +297,9 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 
 	r.rCounter++
 	rc := r.rCounter
-	req := &wire.Message{Op: wire.OpRead, RCounter: rc}
+	req := &wire.Message{Op: wire.OpRead, Key: r.key, RCounter: rc}
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpReadAck && m.RCounter == rc
+		return m.Op == wire.OpReadAck && m.Key == r.key && m.RCounter == rc
 	}
 	acks, err := protoutil.RoundTrip(ctx, r.node, r.servers, req, r.cfg.Majority(), filter, r.tr)
 	if err != nil {

@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+type counter struct {
+	key string
+	n   int
+}
+
+func newCounterMap(stripes int) *Map[*counter] {
+	return NewMap(stripes, func(key string) *counter { return &counter{key: key} })
+}
+
+func TestLazyInstantiation(t *testing.T) {
+	m := newCounterMap(8)
+	if m.Len() != 0 {
+		t.Fatalf("fresh map has %d keys", m.Len())
+	}
+	if m.Peek("a", func(*counter) { t.Error("Peek instantiated state") }) {
+		t.Error("Peek reported an untouched key as present")
+	}
+	m.Do("a", func(c *counter) {
+		if c.key != "a" {
+			t.Errorf("state created with key %q", c.key)
+		}
+		c.n++
+	})
+	if m.Len() != 1 {
+		t.Fatalf("after one Do, Len = %d", m.Len())
+	}
+	found := m.Peek("a", func(c *counter) {
+		if c.n != 1 {
+			t.Errorf("state not shared between Do and Peek: n=%d", c.n)
+		}
+	})
+	if !found {
+		t.Error("Peek missed a touched key")
+	}
+}
+
+func TestKeysAndRange(t *testing.T) {
+	m := newCounterMap(4)
+	want := map[string]bool{"": true, "alpha": true, "beta": true}
+	for k := range want {
+		m.Do(k, func(c *counter) { c.n = len(k) })
+	}
+	keys := m.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("Keys returned %d keys, want %d", len(keys), len(want))
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Errorf("unexpected key %q", k)
+		}
+	}
+	visited := 0
+	m.Range(func(k string, c *counter) {
+		visited++
+		if c.n != len(k) {
+			t.Errorf("key %q carries n=%d, want %d", k, c.n, len(k))
+		}
+	})
+	if visited != len(want) {
+		t.Errorf("Range visited %d keys, want %d", visited, len(want))
+	}
+}
+
+// TestConcurrentDoSerialisesPerKey hammers a small keyspace from many
+// goroutines; per-key mutual exclusion means every increment must survive.
+func TestConcurrentDoSerialisesPerKey(t *testing.T) {
+	m := newCounterMap(0) // default stripe count
+	const (
+		workers = 16
+		keys    = 37 // more keys than stripes is the interesting regime
+		incs    = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < incs; i++ {
+				key := fmt.Sprintf("k%d", i%keys)
+				m.Do(key, func(c *counter) { c.n++ })
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Len() != keys {
+		t.Fatalf("Len = %d, want %d", m.Len(), keys)
+	}
+	total := 0
+	m.Range(func(_ string, c *counter) { total += c.n })
+	if total != workers*incs {
+		t.Errorf("lost updates: total = %d, want %d", total, workers*incs)
+	}
+}
+
+func TestEmptyKeyIsOrdinary(t *testing.T) {
+	m := newCounterMap(2)
+	m.Do("", func(c *counter) { c.n = 7 })
+	if !m.Peek("", func(c *counter) {
+		if c.n != 7 {
+			t.Errorf("empty-key state n=%d", c.n)
+		}
+	}) {
+		t.Error("empty key not found after Do")
+	}
+}

@@ -95,13 +95,20 @@ func VerifierFromPublicKey(pub []byte) (Verifier, error) {
 	return Verifier{pub: key}, nil
 }
 
-// Sign produces the writer's signature over the (ts, cur, prev) triple using
-// the canonical byte encoding of wire.SignedBytes.
-func (s *Signer) Sign(ts types.Timestamp, cur, prev types.Value) ([]byte, error) {
+// SignKeyed produces the writer's signature over the (key, ts, cur, prev)
+// tuple using the canonical byte encoding of wire.KeyedSignedBytes. The
+// register key is part of the signed bytes so that values signed for one
+// register of a multi-register deployment cannot be replayed into another.
+func (s *Signer) SignKeyed(key string, ts types.Timestamp, cur, prev types.Value) ([]byte, error) {
 	if s == nil || len(s.priv) == 0 {
 		return nil, ErrNoSigner
 	}
-	return ed25519.Sign(s.priv, wire.SignedBytes(ts, cur, prev)), nil
+	return ed25519.Sign(s.priv, wire.KeyedSignedBytes(key, ts, cur, prev)), nil
+}
+
+// Sign is SignKeyed for the default register (empty key).
+func (s *Signer) Sign(ts types.Timestamp, cur, prev types.Value) ([]byte, error) {
+	return s.SignKeyed("", ts, cur, prev)
 }
 
 // MustSign is Sign with a panic on failure; signing can only fail if the
@@ -114,14 +121,24 @@ func (s *Signer) MustSign(ts types.Timestamp, cur, prev types.Value) []byte {
 	return sigBytes
 }
 
+// MustSignKeyed is SignKeyed with a panic on failure.
+func (s *Signer) MustSignKeyed(key string, ts types.Timestamp, cur, prev types.Value) []byte {
+	sigBytes, err := s.SignKeyed(key, ts, cur, prev)
+	if err != nil {
+		panic(err)
+	}
+	return sigBytes
+}
+
 // Verifier returns the verifier matching this signer's public key.
 func (s *Signer) Verifier() Verifier { return Verifier{pub: s.pub} }
 
-// Verify checks the writer's signature over the (ts, cur, prev) triple.
-// Timestamp 0 (the initial value ⊥) is accepted with an empty signature and
-// bottom values, mirroring the paper's convention that the initial value is
-// not signed by the writer.
-func (v Verifier) Verify(ts types.Timestamp, cur, prev types.Value, signature []byte) error {
+// VerifyKeyed checks the writer's signature over the (key, ts, cur, prev)
+// tuple. Timestamp 0 (the initial value ⊥) is accepted with an empty
+// signature and bottom values, mirroring the paper's convention that the
+// initial value is not signed by the writer; this holds for every register
+// key, since every register starts at ⊥.
+func (v Verifier) VerifyKeyed(key string, ts types.Timestamp, cur, prev types.Value, signature []byte) error {
 	if ts == types.InitialTimestamp {
 		if len(signature) == 0 && cur.IsBottom() && prev.IsBottom() {
 			return nil
@@ -134,14 +151,19 @@ func (v Verifier) Verify(ts types.Timestamp, cur, prev types.Value, signature []
 	if len(signature) != ed25519.SignatureSize {
 		return fmt.Errorf("%w: bad signature length %d", ErrBadSignature, len(signature))
 	}
-	if !ed25519.Verify(v.pub, wire.SignedBytes(ts, cur, prev), signature) {
+	if !ed25519.Verify(v.pub, wire.KeyedSignedBytes(key, ts, cur, prev), signature) {
 		return ErrBadSignature
 	}
 	return nil
 }
 
+// Verify is VerifyKeyed for the default register (empty key).
+func (v Verifier) Verify(ts types.Timestamp, cur, prev types.Value, signature []byte) error {
+	return v.VerifyKeyed("", ts, cur, prev, signature)
+}
+
 // VerifyMessage checks the WriterSig carried by a protocol message against
-// the (TS, Cur, Prev) triple it carries.
+// the (Key, TS, Cur, Prev) tuple it carries.
 func (v Verifier) VerifyMessage(m *wire.Message) error {
-	return v.Verify(m.TS, m.Cur, m.Prev, m.WriterSig)
+	return v.VerifyKeyed(m.Key, m.TS, m.Cur, m.Prev, m.WriterSig)
 }

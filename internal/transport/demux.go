@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"sync"
+
+	"fastread/internal/types"
+)
+
+// KeyFunc extracts the multiplexing key from a delivered message. Returning
+// ok=false drops the message (e.g. an undecodable payload); the demultiplexer
+// itself never inspects payloads.
+type KeyFunc func(Message) (key string, ok bool)
+
+// DefaultRouteBuffer is the per-route inbox capacity used when NewDemux is
+// given a non-positive one. A client has at most one operation in flight per
+// route (handles serialise their operations), and one operation solicits at
+// most S acknowledgements, so a route never holds more than a couple of
+// operations' worth of messages; 256 leaves a wide margin for any realistic
+// server count.
+const DefaultRouteBuffer = 256
+
+// Demux multiplexes one physical transport node into many virtual nodes, one
+// per register key. It is the client-side half of the multi-register store:
+// a single writer (or reader) process joins the network once, and its
+// per-register protocol clients each operate on a virtual node that sees
+// only the messages carrying their register's key.
+//
+// Outbound messages pass straight through to the physical node (the payload
+// already carries the key, stamped by the protocol client). Inbound messages
+// are routed by a single pump goroutine: it reads the physical inbox,
+// extracts the key with the KeyFunc, and delivers to the matching route's
+// buffered channel. Messages for keys with no active route are dropped,
+// which the asynchronous model permits (they are indistinguishable from
+// messages delayed forever).
+type Demux struct {
+	node  Node
+	keyOf KeyFunc
+	buf   int
+
+	mu     sync.Mutex
+	routes map[string]*demuxRoute
+	closed bool
+
+	done chan struct{}
+}
+
+// NewDemux wraps a physical node and starts the routing pump. buf is the
+// per-route inbox capacity (DefaultRouteBuffer if <= 0).
+func NewDemux(node Node, keyOf KeyFunc, buf int) *Demux {
+	if buf <= 0 {
+		buf = DefaultRouteBuffer
+	}
+	d := &Demux{
+		node:   node,
+		keyOf:  keyOf,
+		buf:    buf,
+		routes: make(map[string]*demuxRoute),
+		done:   make(chan struct{}),
+	}
+	go d.pump()
+	return d
+}
+
+// pump routes every delivered message to its key's route until the physical
+// node closes, then closes every route inbox.
+func (d *Demux) pump() {
+	defer close(d.done)
+	for msg := range d.node.Inbox() {
+		key, ok := d.keyOf(msg)
+		if !ok {
+			continue
+		}
+		// Delivery happens under the demux lock so a concurrent Route.Close
+		// cannot close the channel mid-send. The send itself is non-blocking:
+		// a full route (a client that stopped draining its inbox) must not
+		// stall every other register sharing the physical node, and dropping
+		// is safe in the asynchronous model.
+		d.mu.Lock()
+		if rt := d.routes[key]; rt != nil {
+			select {
+			case rt.inbox <- msg:
+			default:
+			}
+		}
+		d.mu.Unlock()
+	}
+	d.mu.Lock()
+	d.closed = true
+	routes := d.routes
+	d.routes = make(map[string]*demuxRoute)
+	d.mu.Unlock()
+	for _, rt := range routes {
+		rt.closeInbox()
+	}
+}
+
+// Node returns the underlying physical node.
+func (d *Demux) Node() Node { return d.node }
+
+// Route returns the virtual node for the given register key, creating it on
+// first use. Calling Route again with the same key returns the same virtual
+// node until that node is closed. After the demux (or physical node) closes,
+// Route returns a virtual node whose inbox is already closed.
+func (d *Demux) Route(key string) Node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if rt, ok := d.routes[key]; ok {
+		return rt
+	}
+	rt := &demuxRoute{demux: d, key: key, inbox: make(chan Message, d.buf)}
+	if d.closed {
+		rt.closeInbox()
+		return rt
+	}
+	d.routes[key] = rt
+	return rt
+}
+
+// Close closes the physical node; the pump then drains and closes every
+// route. It is idempotent.
+func (d *Demux) Close() error {
+	err := d.node.Close()
+	<-d.done
+	return err
+}
+
+// demuxRoute is the virtual per-key node handed to protocol clients.
+type demuxRoute struct {
+	demux *Demux
+	key   string
+	inbox chan Message
+	once  sync.Once
+}
+
+var _ Node = (*demuxRoute)(nil)
+
+// ID returns the identity of the underlying physical node: a virtual node is
+// the same process, talking about a different register.
+func (rt *demuxRoute) ID() types.ProcessID { return rt.demux.node.ID() }
+
+// Send transmits through the physical node.
+func (rt *demuxRoute) Send(to types.ProcessID, kind string, payload []byte) error {
+	return rt.demux.node.Send(to, kind, payload)
+}
+
+// Inbox returns this key's message stream.
+func (rt *demuxRoute) Inbox() <-chan Message { return rt.inbox }
+
+// Close detaches this key's route from the demux. The physical node and the
+// other keys' routes are unaffected. Closing the inbox happens under the
+// demux lock, which excludes the pump's in-flight delivery to this route.
+func (rt *demuxRoute) Close() error {
+	rt.demux.mu.Lock()
+	if rt.demux.routes[rt.key] == rt {
+		delete(rt.demux.routes, rt.key)
+	}
+	rt.closeInbox()
+	rt.demux.mu.Unlock()
+	return nil
+}
+
+// closeInbox closes the route's channel exactly once.
+func (rt *demuxRoute) closeInbox() {
+	rt.once.Do(func() { close(rt.inbox) })
+}

@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fastread/internal/types"
+)
+
+// demuxKeyFunc routes by the payload's leading byte count prefix: payloads
+// are "key|rest" and the key is everything before the '|'.
+func demuxKeyFunc(m Message) (string, bool) {
+	for i, b := range m.Payload {
+		if b == '|' {
+			return string(m.Payload[:i]), true
+		}
+	}
+	return "", false
+}
+
+func recvTimeout(t *testing.T, ch <-chan Message) Message {
+	t.Helper()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			t.Fatal("inbox closed unexpectedly")
+		}
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a routed message")
+		return Message{}
+	}
+}
+
+func TestDemuxRoutesByKey(t *testing.T) {
+	net := NewInMemNetwork()
+	defer net.Close()
+	server, err := net.Join(types.Server(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := net.Join(types.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDemux(client, demuxKeyFunc, 0)
+
+	routeA := d.Route("a")
+	routeB := d.Route("b")
+	if d.Route("a") != routeA {
+		t.Error("Route is not idempotent per key")
+	}
+	if routeA.ID() != client.ID() {
+		t.Errorf("virtual node id %v, want %v", routeA.ID(), client.ID())
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := server.Send(types.Writer(), "m", []byte(fmt.Sprintf("a|%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := server.Send(types.Writer(), "m", []byte(fmt.Sprintf("b|%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unroutable payloads and payloads for unregistered keys are dropped.
+	if err := server.Send(types.Writer(), "m", []byte("no separator")); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Send(types.Writer(), "m", []byte("c|orphan")); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		if got := string(recvTimeout(t, routeA.Inbox()).Payload); got != fmt.Sprintf("a|%d", i) {
+			t.Errorf("route a received %q", got)
+		}
+		if got := string(recvTimeout(t, routeB.Inbox()).Payload); got != fmt.Sprintf("b|%d", i) {
+			t.Errorf("route b received %q", got)
+		}
+	}
+}
+
+func TestDemuxSendPassesThrough(t *testing.T) {
+	net := NewInMemNetwork()
+	defer net.Close()
+	server, err := net.Join(types.Server(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := net.Join(types.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDemux(client, demuxKeyFunc, 0)
+	route := d.Route("k")
+	if err := route.Send(types.Server(1), "req", []byte("k|ping")); err != nil {
+		t.Fatal(err)
+	}
+	got := recvTimeout(t, server.Inbox())
+	if string(got.Payload) != "k|ping" || got.From != types.Writer() {
+		t.Errorf("server received %v payload %q", got.From, got.Payload)
+	}
+}
+
+func TestDemuxRouteCloseIsIndependent(t *testing.T) {
+	net := NewInMemNetwork()
+	defer net.Close()
+	server, err := net.Join(types.Server(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := net.Join(types.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDemux(client, demuxKeyFunc, 0)
+	routeA := d.Route("a")
+	routeB := d.Route("b")
+
+	if err := routeA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-routeA.Inbox(); ok {
+		t.Error("closed route still delivers")
+	}
+	// Route b (and the physical node) keep working.
+	if err := server.Send(types.Writer(), "m", []byte("b|still alive")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(recvTimeout(t, routeB.Inbox()).Payload); got != "b|still alive" {
+		t.Errorf("route b received %q", got)
+	}
+	// Closing a route and re-routing the key yields a fresh route.
+	fresh := d.Route("a")
+	if fresh == routeA {
+		t.Error("Route returned the closed route")
+	}
+	if err := server.Send(types.Writer(), "m", []byte("a|rejoined")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(recvTimeout(t, fresh.Inbox()).Payload); got != "a|rejoined" {
+		t.Errorf("fresh route received %q", got)
+	}
+}
+
+func TestDemuxCloseClosesRoutes(t *testing.T) {
+	net := NewInMemNetwork()
+	defer net.Close()
+	client, err := net.Join(types.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDemux(client, demuxKeyFunc, 0)
+	route := d.Route("a")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-route.Inbox():
+		if ok {
+			t.Error("route delivered a message after demux close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("route inbox not closed by demux close")
+	}
+	// Routes requested after close are born closed.
+	if _, ok := <-d.Route("late").Inbox(); ok {
+		t.Error("post-close route delivers")
+	}
+}
+
+// TestDemuxConcurrentCloseAndDeliver races route closes against the pump to
+// catch send-on-closed-channel panics.
+func TestDemuxConcurrentCloseAndDeliver(t *testing.T) {
+	net := NewInMemNetwork()
+	defer net.Close()
+	server, err := net.Join(types.Server(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := net.Join(types.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDemux(client, demuxKeyFunc, 4)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = server.Send(types.Writer(), "m", []byte(fmt.Sprintf("k%d|x", i%8)))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i%8)
+		rt := d.Route(key)
+		_ = rt.Close()
+	}
+	close(stop)
+	wg.Wait()
+}

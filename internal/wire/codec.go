@@ -9,13 +9,16 @@ import (
 )
 
 // formatVersion is bumped whenever the encoding changes incompatibly.
-const formatVersion = 1
+// Version 2 added the register key to every envelope.
+const formatVersion = 2
 
 // Field limits protect decoders from hostile inputs (a malicious server could
 // otherwise make a reader allocate gigabytes).
 const (
 	// MaxValueSize is the largest register value accepted on the wire.
 	MaxValueSize = 1 << 20 // 1 MiB
+	// MaxKeySize is the longest register key accepted on the wire.
+	MaxKeySize = 1 << 10 // 1 KiB
 	// MaxSeenSize is the largest seen set accepted on the wire. The honest
 	// bound is R+1 processes, far below this.
 	MaxSeenSize = 1 << 16
@@ -29,6 +32,7 @@ const (
 //
 //	byte    version
 //	byte    op
+//	bytes   key   (uvarint length prefix; placed early so PeekKey is cheap)
 //	uint64  ts
 //	int64   rCounter (as uint64)
 //	int32   writerRank
@@ -51,13 +55,15 @@ func Encode(m *Message) ([]byte, error) {
 		return nil, fmt.Errorf("%w: signature too large", ErrMalformed)
 	}
 
-	size := 1 + 1 + 8 + 8 + 4 + 4 +
+	size := 1 + 1 + binary.MaxVarintLen64 + len(m.Key) + 8 + 8 + 4 + 4 +
 		valueEncodedSize(m.Cur) + valueEncodedSize(m.Prev) +
 		4 + len(m.Seen)*5 +
 		binary.MaxVarintLen64 + len(m.WriterSig)
 	buf := make([]byte, 0, size)
 
 	buf = append(buf, formatVersion, byte(m.Op))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Key)))
+	buf = append(buf, m.Key...)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.TS))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.RCounter))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.WriterRank))
@@ -100,6 +106,21 @@ func Decode(data []byte) (*Message, error) {
 		return nil, err
 	}
 	m := &Message{Op: Op(opByte)}
+
+	keyLen, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if keyLen > MaxKeySize {
+		return nil, fmt.Errorf("%w: key too long (%d)", ErrMalformed, keyLen)
+	}
+	if keyLen > 0 {
+		keyBytes, err := d.bytes(int(keyLen))
+		if err != nil {
+			return nil, err
+		}
+		m.Key = string(keyBytes)
+	}
 
 	ts, err := d.uint64()
 	if err != nil {
@@ -283,14 +304,54 @@ func (d *decoder) value() (types.Value, error) {
 	}
 }
 
-// SignedBytes returns the canonical byte string the writer signs for the
-// arbitrary-failure algorithm: the (ts, cur, prev) triple. Both the writer
-// (when signing) and readers/servers (when verifying) must use this exact
-// encoding.
-func SignedBytes(ts types.Timestamp, cur, prev types.Value) []byte {
-	buf := make([]byte, 0, 8+valueEncodedSize(cur)+valueEncodedSize(prev))
+// PeekKey extracts the register key from an encoded message without decoding
+// the rest of the envelope. The transport demultiplexer calls it once per
+// delivered message, so it reads exactly the version byte, the op byte and
+// the key and touches nothing else.
+func PeekKey(data []byte) (string, error) {
+	if len(data) < 2 {
+		return "", fmt.Errorf("%w: truncated", ErrMalformed)
+	}
+	if data[0] != formatVersion {
+		return "", fmt.Errorf("%w: %d", ErrVersion, data[0])
+	}
+	d := decoder{buf: data, off: 2}
+	keyLen, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if keyLen > MaxKeySize {
+		return "", fmt.Errorf("%w: key too long (%d)", ErrMalformed, keyLen)
+	}
+	if keyLen == 0 {
+		return "", nil
+	}
+	keyBytes, err := d.bytes(int(keyLen))
+	if err != nil {
+		return "", err
+	}
+	return string(keyBytes), nil
+}
+
+// KeyedSignedBytes returns the canonical byte string the writer signs for the
+// arbitrary-failure algorithm: the register key followed by the (ts, cur,
+// prev) triple. Including the (length-prefixed) key domain-separates the
+// signatures of different registers sharing one writer key pair, so a
+// malicious server cannot replay a value signed for register "a" as the
+// content of register "b". Both the writer (when signing) and
+// readers/servers (when verifying) must use this exact encoding.
+func KeyedSignedBytes(key string, ts types.Timestamp, cur, prev types.Value) []byte {
+	buf := make([]byte, 0, binary.MaxVarintLen64+len(key)+8+valueEncodedSize(cur)+valueEncodedSize(prev))
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(ts))
 	buf = appendValue(buf, cur)
 	buf = appendValue(buf, prev)
 	return buf
+}
+
+// SignedBytes is KeyedSignedBytes for the default register (empty key),
+// retained for the single-register call sites.
+func SignedBytes(ts types.Timestamp, cur, prev types.Value) []byte {
+	return KeyedSignedBytes("", ts, cur, prev)
 }

@@ -31,6 +31,8 @@ func sampleMessages() []*Message {
 		{Op: OpQueryAck, TS: 99, Cur: types.Value("q"), WriterRank: 7, Phase: 1},
 		{Op: OpReadAck, TS: 5, Cur: types.Value{}, Prev: types.Bottom()},
 		{Op: OpWrite, TS: 2, Cur: types.Value("signed"), WriterSig: bytes.Repeat([]byte{0xAB}, 64)},
+		{Op: OpWrite, Key: "user/42/profile", TS: 3, Cur: types.Value("keyed")},
+		{Op: OpReadAck, Key: "κλειδί\x00with\xffbytes", TS: 1, Cur: types.Value("k"), RCounter: 2},
 	}
 }
 
@@ -54,7 +56,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 // WriterSig as distinct only when one side is nil and the other is not; the
 // codec preserves nil-ness for Value but normalises empty Seen to nil.
 func messagesEqual(a, b *Message) bool {
-	if a.Op != b.Op || a.TS != b.TS || a.RCounter != b.RCounter ||
+	if a.Op != b.Op || a.Key != b.Key || a.TS != b.TS || a.RCounter != b.RCounter ||
 		a.WriterRank != b.WriterRank || a.Phase != b.Phase {
 		return false
 	}
@@ -222,6 +224,92 @@ func TestSignedBytesDeterministicAndDistinct(t *testing.T) {
 	e := SignedBytes(1, types.Value("v"), types.Value(""))
 	if bytes.Equal(a, e) {
 		t.Error("⊥ and empty previous value produced identical signed bytes")
+	}
+}
+
+// TestKeyedEnvelopeRoundTrip exercises the register-key field of the keyed
+// envelope: the empty key (what legacy single-register deployments send),
+// short keys, a key at exactly the size limit, and keys just over it.
+func TestKeyedEnvelopeRoundTrip(t *testing.T) {
+	longKey := string(bytes.Repeat([]byte("k"), MaxKeySize))
+	keys := []string{"", "a", "user/42/profile", "\x00\xff", longKey}
+	for _, key := range keys {
+		m := &Message{Op: OpReadAck, Key: key, TS: 9, Cur: types.Value("v"), RCounter: 4}
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatalf("key %d bytes: Encode: %v", len(key), err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("key %d bytes: Decode: %v", len(key), err)
+		}
+		if got.Key != key {
+			t.Errorf("key %d bytes: round-tripped to %d bytes", len(key), len(got.Key))
+		}
+		peeked, err := PeekKey(data)
+		if err != nil {
+			t.Fatalf("key %d bytes: PeekKey: %v", len(key), err)
+		}
+		if peeked != key {
+			t.Errorf("key %d bytes: PeekKey returned %d bytes", len(key), len(peeked))
+		}
+	}
+}
+
+func TestKeyTooLongRejected(t *testing.T) {
+	tooLong := string(bytes.Repeat([]byte("k"), MaxKeySize+1))
+	if _, err := Encode(&Message{Op: OpRead, Key: tooLong, RCounter: 1}); err == nil {
+		t.Error("Encode accepted an oversized key")
+	}
+	// A hostile encoding claiming an oversized key must be rejected by both
+	// Decode and PeekKey without huge allocations.
+	data := MustEncode(&Message{Op: OpRead, RCounter: 1})
+	hostile := []byte{data[0], data[1], 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := Decode(hostile); err == nil {
+		t.Error("Decode accepted a hostile key length")
+	}
+	if _, err := PeekKey(hostile); err == nil {
+		t.Error("PeekKey accepted a hostile key length")
+	}
+}
+
+func TestPeekKeyMatchesDecode(t *testing.T) {
+	for i, m := range sampleMessages() {
+		data := MustEncode(m)
+		peeked, err := PeekKey(data)
+		if err != nil {
+			t.Fatalf("sample %d: PeekKey: %v", i, err)
+		}
+		if peeked != m.Key {
+			t.Errorf("sample %d: PeekKey = %q, Key = %q", i, peeked, m.Key)
+		}
+	}
+	if _, err := PeekKey(nil); err == nil {
+		t.Error("PeekKey on empty input succeeded")
+	}
+	if _, err := PeekKey([]byte{99, 1, 0}); err == nil {
+		t.Error("PeekKey accepted a bad version")
+	}
+}
+
+// TestKeyedSignedBytesDomainSeparation checks that the signed byte strings of
+// different registers can never collide, even when key bytes are crafted to
+// resemble another register's timestamp prefix.
+func TestKeyedSignedBytesDomainSeparation(t *testing.T) {
+	a := KeyedSignedBytes("k1", 1, types.Value("v"), types.Bottom())
+	if !bytes.Equal(a, KeyedSignedBytes("k1", 1, types.Value("v"), types.Bottom())) {
+		t.Error("KeyedSignedBytes not deterministic")
+	}
+	b := KeyedSignedBytes("k2", 1, types.Value("v"), types.Bottom())
+	if bytes.Equal(a, b) {
+		t.Error("different keys produced identical signed bytes")
+	}
+	legacy := KeyedSignedBytes("", 1, types.Value("v"), types.Bottom())
+	if bytes.Equal(a, legacy) {
+		t.Error("keyed and default-register signed bytes collide")
+	}
+	if !bytes.Equal(legacy, SignedBytes(1, types.Value("v"), types.Bottom())) {
+		t.Error("SignedBytes is not the empty-key KeyedSignedBytes")
 	}
 }
 

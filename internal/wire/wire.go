@@ -119,6 +119,13 @@ func AckFor(o Op) (Op, error) {
 type Message struct {
 	// Op is the message kind.
 	Op Op
+	// Key names the register the message belongs to. One deployment
+	// multiplexes many independent registers over the same server processes;
+	// every protocol message carries the key of the register it operates on,
+	// and servers keep fully separate state per key. The empty key is the
+	// deployment's default register and is what single-register (Cluster)
+	// deployments use, so legacy traffic is simply keyed traffic on "".
+	Key string
 	// TS is the logical timestamp carried by the message. For OpRead it is
 	// the highest timestamp previously returned/observed by the reader
 	// (Figure 2 line 13); for acks it is the server's current timestamp.
@@ -167,6 +174,9 @@ func (m *Message) Tagged() types.TaggedValue {
 func (m *Message) Validate() error {
 	if !m.Op.Valid() {
 		return fmt.Errorf("%w: bad op %d", ErrMalformed, m.Op)
+	}
+	if len(m.Key) > MaxKeySize {
+		return fmt.Errorf("%w: key too long (%d bytes)", ErrMalformed, len(m.Key))
 	}
 	if m.TS < 0 {
 		return fmt.Errorf("%w: negative timestamp %d", ErrMalformed, m.TS)

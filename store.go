@@ -1,0 +1,493 @@
+package fastread
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fastread/internal/abd"
+	"fastread/internal/core"
+	"fastread/internal/maxmin"
+	"fastread/internal/protoutil"
+	"fastread/internal/quorum"
+	"fastread/internal/regular"
+	"fastread/internal/sig"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// Errors returned by the Store API.
+var (
+	// ErrStoreClosed indicates an operation on a closed store.
+	ErrStoreClosed = errors.New("fastread: store is closed")
+	// ErrKeyTooLong indicates a register key exceeding the wire format's
+	// limit (wire.MaxKeySize bytes).
+	ErrKeyTooLong = errors.New("fastread: register key too long")
+)
+
+// MaxKeyLen is the longest register key a Store accepts, in bytes.
+const MaxKeyLen = wire.MaxKeySize
+
+// Store is a complete in-memory deployment serving MANY named registers from
+// ONE set of server processes: S servers, the single writer identity and R
+// reader identities, all attached to an in-memory asynchronous network.
+//
+// Each named register is an independent instance of the configured protocol:
+// servers keep fully separate per-key state (timestamps, seen sets, client
+// counters), so per-key atomicity is exactly the single-register guarantee
+// of the paper, multiplied across the keyspace. The writer and reader
+// processes join the network once; their traffic is demultiplexed by the
+// register key carried in every protocol message, so adding a register costs
+// a map entry per server and a handful of client-side state, not a new
+// process set.
+//
+// Register hands out the per-key write/read handles. A Cluster is a Store
+// serving only the default register (the empty key).
+type Store struct {
+	cfg  Config
+	qcfg quorum.Config
+	net  *transport.InMemNetwork
+	keys sig.KeyPair
+
+	stopServers []func()
+	mutations   func() int64
+
+	writerDemux   *transport.Demux
+	readerDemuxes []*transport.Demux
+
+	mu     sync.Mutex
+	regs   map[string]*Register
+	closed bool
+}
+
+// Register is the pair of per-key handles a Store serves for one named
+// register: the register's single writer and its R readers. Handles share
+// the deployment's transport processes with every other register's handles.
+type Register struct {
+	key    string
+	writer *writerHandle
+	reads  []*readerHandle
+}
+
+// NewStore builds and starts a multi-register deployment according to cfg.
+// The deployment serves an open-ended keyspace: call Register to obtain the
+// handles for any key.
+func NewStore(cfg Config) (*Store, error) {
+	if cfg.Protocol == 0 {
+		cfg.Protocol = ProtocolFast
+	}
+	if !cfg.Protocol.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownProtocol, cfg.Protocol)
+	}
+	qcfg := quorum.Config{
+		Servers:   cfg.Servers,
+		Faulty:    cfg.Faulty,
+		Malicious: cfg.Malicious,
+		Readers:   cfg.Readers,
+	}
+	if err := qcfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Protocol {
+	case ProtocolFast, ProtocolFastByzantine:
+		if !qcfg.FastReadPossible() {
+			return nil, fmt.Errorf("%w: %v (max fast readers = %d)",
+				ErrTooManyReaders, qcfg, quorum.MaxFastReaders(cfg.Servers, cfg.Faulty, cfg.Malicious))
+		}
+		if cfg.Readers+1 > core.MaxPredicateUnion {
+			return nil, fmt.Errorf("%w: predicate evaluator supports at most %d readers",
+				ErrTooManyReaders, core.MaxPredicateUnion-1)
+		}
+	case ProtocolABD, ProtocolMaxMin, ProtocolRegular:
+		if qcfg.Majority() > qcfg.AckQuorum() {
+			return nil, fmt.Errorf("fastread: %s requires t < S/2, got %v", cfg.Protocol, qcfg)
+		}
+	}
+
+	opts := []transport.InMemOption{transport.WithSeed(cfg.Seed)}
+	if cfg.NetworkDelay > 0 {
+		opts = append(opts, transport.WithDefaultDelay(cfg.NetworkDelay))
+	}
+	if cfg.Jitter > 0 {
+		opts = append(opts, transport.WithJitter(cfg.Jitter))
+	}
+
+	s := &Store{
+		cfg:  cfg,
+		qcfg: qcfg,
+		net:  transport.NewInMemNetwork(opts...),
+		keys: sig.MustKeyPair(),
+		regs: make(map[string]*Register),
+	}
+	if err := s.startServers(); err != nil {
+		_ = s.Close()
+		return nil, err
+	}
+	if err := s.joinClients(); err != nil {
+		_ = s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// startServers launches the protocol-appropriate keyed server on every
+// server identity. One server goroutine set handles every register.
+func (s *Store) startServers() error {
+	var stateFns []func() int64
+	for i := 1; i <= s.cfg.Servers; i++ {
+		id := types.Server(i)
+		node, err := s.net.Join(id)
+		if err != nil {
+			return fmt.Errorf("join %v: %w", id, err)
+		}
+		switch s.cfg.Protocol {
+		case ProtocolFast, ProtocolFastByzantine:
+			srv, err := core.NewServer(core.ServerConfig{
+				ID:        id,
+				Readers:   s.cfg.Readers,
+				Byzantine: s.cfg.Protocol == ProtocolFastByzantine,
+				Verifier:  s.keys.Verifier,
+			}, node)
+			if err != nil {
+				return err
+			}
+			srv.Start()
+			s.stopServers = append(s.stopServers, srv.Stop)
+			stateFns = append(stateFns, srv.TotalMutations)
+		case ProtocolABD:
+			srv, err := abd.NewServer(abd.ServerConfig{ID: id}, node)
+			if err != nil {
+				return err
+			}
+			srv.Start()
+			s.stopServers = append(s.stopServers, srv.Stop)
+			stateFns = append(stateFns, srv.TotalMutations)
+		case ProtocolMaxMin:
+			srv, err := maxmin.NewServer(maxmin.ServerConfig{ID: id, Quorum: s.qcfg}, node)
+			if err != nil {
+				return err
+			}
+			srv.Start()
+			s.stopServers = append(s.stopServers, srv.Stop)
+			stateFns = append(stateFns, func() int64 { return 0 })
+		case ProtocolRegular:
+			srv, err := regular.NewServer(id, node, nil)
+			if err != nil {
+				return err
+			}
+			srv.Start()
+			s.stopServers = append(s.stopServers, srv.Stop)
+			stateFns = append(stateFns, func() int64 { return 0 })
+		}
+	}
+	s.mutations = func() int64 {
+		var total int64
+		for _, fn := range stateFns {
+			total += fn()
+		}
+		return total
+	}
+	return nil
+}
+
+// joinClients attaches the writer and reader identities to the network once
+// and wraps each physical node in a register-key demultiplexer; per-key
+// protocol clients are then created on demand by Register.
+func (s *Store) joinClients() error {
+	wNode, err := s.net.Join(types.Writer())
+	if err != nil {
+		return err
+	}
+	s.writerDemux = transport.NewDemux(wNode, protoutil.WireKeyFunc, 0)
+	for i := 1; i <= s.cfg.Readers; i++ {
+		rNode, err := s.net.Join(types.Reader(i))
+		if err != nil {
+			return err
+		}
+		s.readerDemuxes = append(s.readerDemuxes, transport.NewDemux(rNode, protoutil.WireKeyFunc, 0))
+	}
+	return nil
+}
+
+// Register returns the handles for the named register, creating its per-key
+// clients on first use. Calling Register again with the same key returns the
+// SAME handles: each register has exactly one writer (the model's single
+// writer) and R readers, and the handles carry protocol state (the writer's
+// timestamp sequence, the readers' observed maxima) that must not be forked.
+func (s *Store) Register(key string) (*Register, error) {
+	if len(key) > MaxKeyLen {
+		return nil, fmt.Errorf("%w: %d bytes (max %d)", ErrKeyTooLong, len(key), MaxKeyLen)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrStoreClosed
+	}
+	if reg, ok := s.regs[key]; ok {
+		return reg, nil
+	}
+	reg, err := s.newRegister(key)
+	if err != nil {
+		return nil, err
+	}
+	s.regs[key] = reg
+	return reg, nil
+}
+
+// newRegister builds the per-key writer and reader clients over the shared
+// transport. Callers must hold s.mu.
+func (s *Store) newRegister(key string) (*Register, error) {
+	wNode := s.writerDemux.Route(key)
+	wh := &writerHandle{}
+	switch s.cfg.Protocol {
+	case ProtocolFast, ProtocolFastByzantine:
+		w, err := core.NewWriter(core.WriterConfig{
+			Quorum:    s.qcfg,
+			Key:       key,
+			Byzantine: s.cfg.Protocol == ProtocolFastByzantine,
+			Signer:    s.keys.Signer,
+		}, wNode)
+		if err != nil {
+			return nil, err
+		}
+		wh.write = func(ctx context.Context, v []byte) error { return w.Write(ctx, v) }
+		wh.stats = func() (int64, int64) { return w.Stats() }
+	case ProtocolABD:
+		w, err := abd.NewWriter(abd.ClientConfig{Quorum: s.qcfg, Key: key}, wNode)
+		if err != nil {
+			return nil, err
+		}
+		wh.write = func(ctx context.Context, v []byte) error { return w.Write(ctx, v) }
+		wh.stats = func() (int64, int64) { return w.Stats() }
+	case ProtocolMaxMin:
+		w, err := maxmin.NewKeyedWriter(key, s.qcfg, wNode, nil)
+		if err != nil {
+			return nil, err
+		}
+		wh.write = func(ctx context.Context, v []byte) error { return w.Write(ctx, v) }
+		wh.stats = func() (int64, int64) { return w.Stats() }
+	case ProtocolRegular:
+		w, err := regular.NewKeyedWriter(key, s.qcfg, wNode, nil)
+		if err != nil {
+			return nil, err
+		}
+		wh.write = func(ctx context.Context, v []byte) error { return w.Write(ctx, v) }
+		wh.stats = func() (int64, int64) { return w.Stats() }
+	}
+
+	reg := &Register{key: key, writer: wh}
+	for i := 1; i <= s.cfg.Readers; i++ {
+		rNode := s.readerDemuxes[i-1].Route(key)
+		rh := &readerHandle{index: i}
+		switch s.cfg.Protocol {
+		case ProtocolFast, ProtocolFastByzantine:
+			r, err := core.NewReader(core.ReaderConfig{
+				Quorum:    s.qcfg,
+				Key:       key,
+				Byzantine: s.cfg.Protocol == ProtocolFastByzantine,
+				Verifier:  s.keys.Verifier,
+			}, rNode)
+			if err != nil {
+				return nil, err
+			}
+			rh.read = func(ctx context.Context) (ReadResult, error) {
+				res, err := r.Read(ctx)
+				if err != nil {
+					return ReadResult{}, err
+				}
+				return ReadResult{
+					Value:        res.Value,
+					Version:      int64(res.Timestamp),
+					RoundTrips:   res.RoundTrips,
+					UsedFallback: !res.PredicateHeld,
+				}, nil
+			}
+			rh.stats = func() (int64, int64, int64) { return r.Stats() }
+		case ProtocolABD:
+			r, err := abd.NewReader(abd.ClientConfig{Quorum: s.qcfg, Key: key}, rNode)
+			if err != nil {
+				return nil, err
+			}
+			rh.read = func(ctx context.Context) (ReadResult, error) {
+				res, err := r.Read(ctx)
+				if err != nil {
+					return ReadResult{}, err
+				}
+				return ReadResult{Value: res.Value, Version: int64(res.Timestamp), RoundTrips: res.RoundTrips}, nil
+			}
+			rh.stats = func() (int64, int64, int64) { reads, rounds := r.Stats(); return reads, rounds, 0 }
+		case ProtocolMaxMin:
+			r, err := maxmin.NewKeyedReader(key, s.qcfg, rNode, nil)
+			if err != nil {
+				return nil, err
+			}
+			rh.read = func(ctx context.Context) (ReadResult, error) {
+				res, err := r.Read(ctx)
+				if err != nil {
+					return ReadResult{}, err
+				}
+				return ReadResult{Value: res.Value, Version: int64(res.Timestamp), RoundTrips: res.RoundTrips}, nil
+			}
+			rh.stats = func() (int64, int64, int64) { reads, rounds := r.Stats(); return reads, rounds, 0 }
+		case ProtocolRegular:
+			r, err := regular.NewKeyedReader(key, s.qcfg, rNode, nil)
+			if err != nil {
+				return nil, err
+			}
+			rh.read = func(ctx context.Context) (ReadResult, error) {
+				res, err := r.Read(ctx)
+				if err != nil {
+					return ReadResult{}, err
+				}
+				return ReadResult{Value: res.Value, Version: int64(res.Timestamp), RoundTrips: res.RoundTrips}, nil
+			}
+			rh.stats = func() (int64, int64, int64) { reads, rounds := r.Stats(); return reads, rounds, 0 }
+		}
+		reg.reads = append(reg.reads, rh)
+	}
+	return reg, nil
+}
+
+// Keys returns the keys of every register this store has handed out, in no
+// particular order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.regs))
+	for k := range s.regs {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Config returns the store's configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// CrashServer crash-stops server si (1-based) for EVERY register: it stops
+// receiving and sending messages permanently. Crashing more than Faulty
+// servers voids the deployment's guarantees, exactly as in the model.
+func (s *Store) CrashServer(i int) error {
+	if i < 1 || i > s.cfg.Servers {
+		return fmt.Errorf("%w: %d (S=%d)", ErrUnknownServer, i, s.cfg.Servers)
+	}
+	s.net.Crash(types.Server(i))
+	return nil
+}
+
+// Network exposes the underlying in-memory network for tests, fault
+// injection and the adversarial schedules.
+func (s *Store) Network() *transport.InMemNetwork { return s.net }
+
+// Stats aggregates client-side counters across every register, plus network
+// delivery counts and server state mutations.
+func (s *Store) Stats() Stats {
+	// Snapshot the registers under the lock, but aggregate after releasing
+	// it: a handle's stats share the mutex its operations hold across a full
+	// network round-trip, and blocking Register (and Close) on every other
+	// key for that long would couple independent registers together.
+	s.mu.Lock()
+	regs := make([]*Register, 0, len(s.regs))
+	for _, reg := range s.regs {
+		regs = append(regs, reg)
+	}
+	s.mu.Unlock()
+
+	var out Stats
+	for _, reg := range regs {
+		w, wr := reg.writer.stats()
+		out.Writes += w
+		out.WriteRoundTrips += wr
+		for _, r := range reg.reads {
+			reads, rounds, fallbacks := r.stats()
+			out.Reads += reads
+			out.ReadRoundTrips += rounds
+			out.FallbackReads += fallbacks
+		}
+	}
+	ns := s.net.Stats()
+	out.DeliveredMsgs = ns.Delivered
+	out.DroppedMsgs = ns.Dropped
+	if s.mutations != nil {
+		out.ServerMutations = s.mutations()
+	}
+	if out.Reads > 0 {
+		out.ReadRoundsPerOp = float64(out.ReadRoundTrips) / float64(out.Reads)
+	}
+	if out.Writes > 0 {
+		out.WriteRoundsPerOp = float64(out.WriteRoundTrips) / float64(out.Writes)
+	}
+	return out
+}
+
+// Close shuts the store down: all servers stop, the client demultiplexers
+// detach and the network is closed. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	for _, stop := range s.stopServers {
+		stop()
+	}
+	err := s.net.Close()
+	// Closing the network closes the physical client nodes, which terminates
+	// the demux pumps; waiting on them guarantees no goroutine outlives Close.
+	if s.writerDemux != nil {
+		_ = s.writerDemux.Close()
+	}
+	for _, d := range s.readerDemuxes {
+		_ = d.Close()
+	}
+	return err
+}
+
+// Key returns the register's name.
+func (r *Register) Key() string { return r.key }
+
+// Writer returns the register's single write handle.
+func (r *Register) Writer() Writer { return r.writer }
+
+// Reader returns the read handle of reader ri (1-based) for this register.
+func (r *Register) Reader(i int) (Reader, error) {
+	if i < 1 || i > len(r.reads) {
+		return nil, fmt.Errorf("%w: %d (R=%d)", ErrUnknownReader, i, len(r.reads))
+	}
+	return r.reads[i-1], nil
+}
+
+// Readers returns all of the register's read handles in index order.
+func (r *Register) Readers() []Reader {
+	out := make([]Reader, len(r.reads))
+	for i, rh := range r.reads {
+		out[i] = rh
+	}
+	return out
+}
+
+// writerHandle adapts a protocol-specific writer to the Writer interface.
+type writerHandle struct {
+	write func(context.Context, []byte) error
+	stats func() (int64, int64)
+}
+
+var _ Writer = (*writerHandle)(nil)
+
+// Write implements Writer.
+func (w *writerHandle) Write(ctx context.Context, value []byte) error {
+	return w.write(ctx, value)
+}
+
+// readerHandle adapts a protocol-specific reader to the Reader interface.
+type readerHandle struct {
+	index int
+	read  func(context.Context) (ReadResult, error)
+	stats func() (int64, int64, int64)
+}
+
+var _ Reader = (*readerHandle)(nil)
+
+// Read implements Reader.
+func (r *readerHandle) Read(ctx context.Context) (ReadResult, error) {
+	return r.read(ctx)
+}
