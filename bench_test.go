@@ -97,6 +97,19 @@ func benchmarkWrite(b *testing.B, proto Protocol, servers int) {
 	}
 }
 
+// BenchmarkFastRead is the canonical hot-path benchmark: one reader of the
+// paper's fast register issuing reads back to back over the in-memory
+// transport (S=4, t=1). Its allocs/op figure is the PR-over-PR budget for
+// the zero-copy codec and transport work; see BENCH_2.json.
+func BenchmarkFastRead(b *testing.B) {
+	benchmarkRead(b, ProtocolFast, 4)
+}
+
+// BenchmarkFastWrite is the matching writer-side hot-path benchmark.
+func BenchmarkFastWrite(b *testing.B) {
+	benchmarkWrite(b, ProtocolFast, 4)
+}
+
 func BenchmarkRead(b *testing.B) {
 	for _, proto := range readProtocols {
 		for _, servers := range []int{4, 8, 16} {
@@ -182,6 +195,31 @@ func BenchmarkByzantineFast(b *testing.B) {
 	})
 }
 
+// BenchmarkByzantineRead measures steady-state reads of the
+// arbitrary-failure register (Figure 5). Every ack carries the same writer
+// signature until the next write, so with the verified-signature cache the
+// asymmetric crypto drops out of the loop after the first round-trip — this
+// benchmark is the cache's acceptance gate (≥2× over the uncached baseline
+// recorded in BENCH_2.json).
+func BenchmarkByzantineRead(b *testing.B) {
+	cluster := benchCluster(b, Config{Servers: 8, Faulty: 1, Malicious: 1, Readers: 1, Protocol: ProtocolFastByzantine})
+	ctx := benchCtx(b)
+	if err := cluster.Writer().Write(ctx, []byte("signed-value")); err != nil {
+		b.Fatal(err)
+	}
+	reader, err := cluster.Reader(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reader.Read(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPredicate is the DESIGN.md §5 ablation of the exact seen-set
 // predicate evaluator: cost as a function of the number of readers and of
 // the maxTS message count.
@@ -243,6 +281,28 @@ func BenchmarkWireCodec(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := wire.Decode(encoded); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// AppendEncode into a reused buffer and DecodeInto into a reused message
+	// are the hot-path variants: steady state is allocation-free.
+	b.Run("AppendEncode", func(b *testing.B) {
+		buf := make([]byte, 0, wire.EncodedSize(msg))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := wire.AppendEncode(buf[:0], msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out[:0]
+		}
+	})
+	b.Run("DecodeInto", func(b *testing.B) {
+		var scratch wire.Message
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := wire.DecodeInto(&scratch, encoded); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -91,7 +91,12 @@ func run(args []string) error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	<-stop
-	fmt.Println("shutting down")
+	// Surface traffic that was silently discarded (full inbox, unreachable
+	// peers) so operators notice overload or partitions that the
+	// asynchronous protocols themselves tolerate without complaint.
+	stats := node.Stats()
+	fmt.Printf("shutting down: delivered=%d dropped_inbound=%d dropped_send=%d\n",
+		stats.Delivered, stats.DroppedInbound, stats.DroppedSend)
 	return nil
 }
 

@@ -57,4 +57,17 @@
 // (FastReadPossible, MaxFastReaders, MinServersForFast) expose the paper's
 // exact bounds; they are per-deployment properties and therefore hold for
 // every key of a Store at once.
+//
+// # Performance and buffer ownership
+//
+// The per-message hot path (decode request → mutate per-key state → encode
+// ack) is allocation-free in steady state: the codec exposes append-style
+// encoding and aliasing decodes backed by sync.Pool scratch, the in-memory
+// transport routes without a network-wide lock, the TCP transport batches
+// frames per peer connection, and Byzantine deployments memoise verified
+// writer signatures. Anyone writing protocol code must follow the codec's
+// buffer-ownership rules — encoded payloads are immutable, decoded views may
+// alias them, and retained data is cloned exactly at its retention point —
+// spelled out in internal/wire/pool.go. Benchmarks quantifying each layer
+// live in bench_test.go; BENCH_2.json records the measured trajectory.
 package fastread

@@ -92,12 +92,14 @@ func (w *MWWriter) Write(ctx context.Context, v types.Value) error {
 	// Phase 2: write (maxTS+1, ownRank).
 	w.rCounter++
 	wrc := w.rCounter
+	// Transient request: encoded during the broadcast, never retained, so it
+	// aliases the caller's value without cloning.
 	req := &wire.Message{
 		Op:         wire.OpWrite,
 		Key:        w.cfg.Key,
 		TS:         highest.TS.Next(),
 		WriterRank: w.rank,
-		Cur:        v.Clone(),
+		Cur:        v,
 		RCounter:   wrc,
 	}
 	wFilter := func(_ types.ProcessID, m *wire.Message) bool {
@@ -200,7 +202,7 @@ func (r *MWReader) Read(ctx context.Context) (MWReadResult, error) {
 		Key:        r.cfg.Key,
 		TS:         bestVV.TS,
 		WriterRank: bestVV.Rank,
-		Cur:        best.Msg.Cur.Clone(),
+		Cur:        best.Msg.Cur,
 		RCounter:   wrc,
 	}
 	wbFilter := func(_ types.ProcessID, m *wire.Message) bool {

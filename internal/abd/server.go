@@ -125,17 +125,29 @@ func (s *Server) TotalMutations() int64 {
 	return total
 }
 
+// handle processes one message on the per-message hot path: pooled zero-copy
+// decode, one clone at the adoption retention point, ack fields aliasing the
+// stored state (the handler goroutine is the only mutator, and the ack is
+// encoded before the next message is handled).
 func (s *Server) handle(m transport.Message) {
-	req, err := wire.Decode(m.Payload)
-	if err != nil {
-		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "malformed: %v", err)
+	tr := s.cfg.Trace
+	req := wire.GetMessage()
+	defer wire.PutMessage(req)
+	if err := wire.DecodeInto(req, m.Payload); err != nil {
+		if tr.Enabled() {
+			tr.Record(trace.KindDrop, s.cfg.ID, m.From, "malformed: %v", err)
+		}
 		return
 	}
 	if m.From.Role == types.RoleServer {
-		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "server-to-server message in ABD")
+		if tr.Enabled() {
+			tr.Record(trace.KindDrop, s.cfg.ID, m.From, "server-to-server message in ABD")
+		}
 		return
 	}
-	s.cfg.Trace.Record(trace.KindReceive, s.cfg.ID, m.From, "%s ts=%d.%d", req.Op, req.TS, req.WriterRank)
+	if tr.Enabled() {
+		tr.Record(trace.KindReceive, s.cfg.ID, m.From, "%s ts=%d.%d", req.Op, req.TS, req.WriterRank)
+	}
 
 	var ackOp wire.Op
 	switch req.Op {
@@ -148,15 +160,20 @@ func (s *Server) handle(m transport.Message) {
 	case wire.OpWriteBack:
 		ackOp = wire.OpWriteBackAck
 	default:
-		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "unexpected op %s", req.Op)
+		if tr.Enabled() {
+			tr.Record(trace.KindDrop, s.cfg.ID, m.From, "unexpected op %s", req.Op)
+		}
 		return
 	}
 
 	incoming := VersionedValue{TS: req.TS, Rank: req.WriterRank, Cur: req.Cur, Prev: req.Prev}
 
-	var ack *wire.Message
+	ack := wire.GetMessage()
+	defer wire.PutMessage(ack)
 	s.states.Do(req.Key, func(st *registerState) {
 		if (req.Op == wire.OpWrite || req.Op == wire.OpWriteBack) && st.value.Less(incoming) {
+			// Retention point: the request aliases the payload, the stored
+			// value must own its bytes.
 			st.value = VersionedValue{
 				TS:   incoming.TS,
 				Rank: incoming.Rank,
@@ -164,21 +181,27 @@ func (s *Server) handle(m transport.Message) {
 				Prev: incoming.Prev.Clone(),
 			}
 			st.mutations++
-			s.cfg.Trace.Record(trace.KindStateChange, s.cfg.ID, m.From, "adopt key=%q ts=%d.%d", req.Key, incoming.TS, incoming.Rank)
+			if tr.Enabled() {
+				tr.Record(trace.KindStateChange, s.cfg.ID, m.From, "adopt key=%q ts=%d.%d", req.Key, incoming.TS, incoming.Rank)
+			}
 		}
-		ack = &wire.Message{
+		*ack = wire.Message{
 			Op:         ackOp,
 			Key:        req.Key,
 			TS:         st.value.TS,
 			WriterRank: st.value.Rank,
-			Cur:        st.value.Cur.Clone(),
-			Prev:       st.value.Prev.Clone(),
+			Cur:        st.value.Cur,
+			Prev:       st.value.Prev,
 			RCounter:   req.RCounter,
 		}
 	})
 
-	s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, m.From, "%s ts=%d.%d", ack.Op, ack.TS, ack.WriterRank)
+	if tr.Enabled() {
+		tr.Record(trace.KindSend, s.cfg.ID, m.From, "%s ts=%d.%d", ack.Op, ack.TS, ack.WriterRank)
+	}
 	if err := s.node.Send(m.From, ack.Kind(), wire.MustEncode(ack)); err != nil {
-		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "send ack: %v", err)
+		if tr.Enabled() {
+			tr.Record(trace.KindDrop, s.cfg.ID, m.From, "send ack: %v", err)
+		}
 	}
 }

@@ -82,7 +82,10 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	defer w.mu.Unlock()
 
 	ts := w.ts
-	req := &wire.Message{Op: wire.OpWrite, Key: w.cfg.Key, TS: ts, Cur: v.Clone(), Prev: w.prev.Clone()}
+	// One owned copy: the request is transient (encoded during the
+	// broadcast), and the same copy becomes the remembered prev afterwards.
+	cur := v.Clone()
+	req := &wire.Message{Op: wire.OpWrite, Key: w.cfg.Key, TS: ts, Cur: cur, Prev: w.prev}
 	w.cfg.Trace.Record(trace.KindInvoke, types.Writer(), types.ProcessID{}, "abd write(key=%q ts=%d)", w.cfg.Key, ts)
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
 		return m.Op == wire.OpWriteAck && m.Key == w.cfg.Key && m.TS >= ts
@@ -93,7 +96,7 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	w.rounds.Add(1)
 	w.writes++
 	w.ts = ts.Next()
-	w.prev = v.Clone()
+	w.prev = cur
 	w.cfg.Trace.Record(trace.KindReturn, types.Writer(), types.ProcessID{}, "abd write(ts=%d) -> ok", ts)
 	return nil
 }
@@ -181,12 +184,14 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 	// so that no later read can return an older value.
 	r.rCounter++
 	wbRC := r.rCounter
+	// Transient write-back request: its fields alias the phase-1 ack (which
+	// aliases the delivered payload) and are copied by the encoder.
 	writeBack := &wire.Message{
 		Op:       wire.OpWriteBack,
 		Key:      r.cfg.Key,
 		TS:       maxTS,
-		Cur:      best.Msg.Cur.Clone(),
-		Prev:     best.Msg.Prev.Clone(),
+		Cur:      best.Msg.Cur,
+		Prev:     best.Msg.Prev,
 		RCounter: wbRC,
 	}
 	wbFilter := func(_ types.ProcessID, m *wire.Message) bool {

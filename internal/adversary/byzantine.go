@@ -165,7 +165,7 @@ func RunByzantineConstruction(cfg quorum.Config, kind ReaderKind) (ConstructionR
 		R+1, part.Primary[R], R+1, part.Shadow[R])
 
 	if err := waitForServers(part.Primary[R], func(id types.ProcessID) bool {
-		return honest[id].State().Value.TS >= 1
+		return honest[id].Timestamp() >= 1
 	}); err != nil {
 		return result, fmt.Errorf("waiting for write to reach T%d: %w", R+1, err)
 	}
@@ -217,7 +217,7 @@ func RunByzantineConstruction(cfg quorum.Config, kind ReaderKind) (ConstructionR
 		mustProcess = append(mustProcess, part.primaryUnion(R+1, R+2)...)
 		mustProcess = append(mustProcess, part.Extra...)
 		if err := waitForServers(mustProcess, func(id types.ProcessID) bool {
-			return honest[id].State().Counters[h] >= 1
+			return honest[id].CounterOf("", h) >= 1
 		}); err != nil {
 			return result, fmt.Errorf("waiting for r%d's read to be processed: %w", h, err)
 		}

@@ -222,7 +222,7 @@ func RunCrashConstruction(cfg quorum.Config, kind ReaderKind) (ConstructionResul
 	narrate("write(1) invoked; its messages reach only block B%d = %v", R+1, part.Primary[R])
 
 	if err := waitForServers(part.Primary[R], func(id types.ProcessID) bool {
-		return servers[id].State().Value.TS >= 1
+		return servers[id].Timestamp() >= 1
 	}); err != nil {
 		return result, fmt.Errorf("waiting for write to reach B%d: %w", R+1, err)
 	}
@@ -276,7 +276,7 @@ func RunCrashConstruction(cfg quorum.Config, kind ReaderKind) (ConstructionResul
 		mustProcess = append(mustProcess, part.primaryUnion(R+1, R+2)...)
 		mustProcess = append(mustProcess, part.Extra...)
 		if err := waitForServers(mustProcess, func(id types.ProcessID) bool {
-			return servers[id].State().Counters[h] >= 1
+			return servers[id].CounterOf("", h) >= 1
 		}); err != nil {
 			return result, fmt.Errorf("waiting for r%d's read to be processed: %w", h, err)
 		}

@@ -61,6 +61,12 @@ type Reader struct {
 	id      types.ProcessID
 	servers []types.ProcessID
 
+	// verify memoises writer-signature verifications in the Byzantine
+	// variant: every ack of a steady-state read carries the same signed
+	// tuple, so only its first sighting pays for asymmetric crypto. Nil in
+	// the crash model.
+	verify *sig.Cache
+
 	mu       sync.Mutex
 	rCounter int64
 	last     types.TaggedValue // highest observed timestamp and its tags
@@ -82,13 +88,17 @@ func NewReader(cfg ReaderConfig, node transport.Node) (*Reader, error) {
 	if id.Role != types.RoleReader || id.Index < 1 || id.Index > cfg.Quorum.Readers {
 		return nil, fmt.Errorf("%w: got %v with R=%d", ErrNotReader, id, cfg.Quorum.Readers)
 	}
-	return &Reader{
+	r := &Reader{
 		cfg:     cfg,
 		node:    node,
 		id:      id,
 		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
 		last:    types.InitialTaggedValue(),
-	}, nil
+	}
+	if cfg.Byzantine {
+		r.verify = sig.NewCache(cfg.Verifier, 0)
+	}
+	return r, nil
 }
 
 // ID returns the reader's process identity.
@@ -102,7 +112,9 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 	// Figure 2 line 13: rCounter ← rCounter+1; ts ← maxTS. The read request
 	// writes back the highest timestamp the reader has observed, together
 	// with its value tags (and the writer's signature in the
-	// arbitrary-failure variant) so servers can adopt it.
+	// arbitrary-failure variant) so servers can adopt it. The request is
+	// transient — encoded during the broadcast, never retained — so its
+	// fields alias the reader's own state without cloning.
 	r.rCounter++
 	rc := r.rCounter
 	writeBack := r.last
@@ -110,13 +122,15 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 		Op:        wire.OpRead,
 		Key:       r.cfg.Key,
 		TS:        writeBack.TS,
-		Cur:       writeBack.Cur.Clone(),
-		Prev:      writeBack.Prev.Clone(),
+		Cur:       writeBack.Cur,
+		Prev:      writeBack.Prev,
 		RCounter:  rc,
-		WriterSig: append([]byte(nil), r.lastSig...),
+		WriterSig: r.lastSig,
 	}
 
-	r.cfg.Trace.Record(trace.KindInvoke, r.id, types.ProcessID{}, "read(key=%q) rc=%d writeback ts=%d", r.cfg.Key, rc, writeBack.TS)
+	if r.cfg.Trace.Enabled() {
+		r.cfg.Trace.Record(trace.KindInvoke, r.id, types.ProcessID{}, "read(key=%q) rc=%d writeback ts=%d", r.cfg.Key, rc, writeBack.TS)
+	}
 
 	need := r.cfg.Quorum.AckQuorum()
 	filter := r.ackFilter(rc, writeBack.TS)
@@ -141,10 +155,12 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 	}
 
 	// Remember the highest observed timestamp (and its tags) for the next
-	// read's write-back, regardless of what this read returns.
+	// read's write-back, regardless of what this read returns. This is a
+	// retention point: the ack's fields alias the delivered payload, so the
+	// reader clones what it keeps (reusing its signature buffer).
 	tagged := maxAcks[0].Msg.Tagged()
 	r.last = tagged.Clone()
-	r.lastSig = append([]byte(nil), maxAcks[0].Msg.WriterSig...)
+	r.lastSig = append(r.lastSig[:0], maxAcks[0].Msg.WriterSig...)
 
 	result := ReadResult{
 		MaxTimestamp:   maxTS,
@@ -160,8 +176,10 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 		result.Value = tagged.Prev.Clone()
 		r.fallback++
 	}
-	r.cfg.Trace.Record(trace.KindReturn, r.id, types.ProcessID{},
-		"read rc=%d -> ts=%d (maxTS=%d predicate=%v a=%d)", rc, result.Timestamp, maxTS, pred.Holds, pred.Level)
+	if r.cfg.Trace.Enabled() {
+		r.cfg.Trace.Record(trace.KindReturn, r.id, types.ProcessID{},
+			"read rc=%d -> ts=%d (maxTS=%d predicate=%v a=%d)", rc, result.Timestamp, maxTS, pred.Holds, pred.Level)
+	}
 	return result, nil
 }
 
@@ -181,14 +199,26 @@ func (r *Reader) ackFilter(rc int64, writeBackTS types.Timestamp) protoutil.AckF
 		if m.TS < writeBackTS {
 			return false
 		}
-		if !m.SeenSet().Has(r.id) {
+		if !seenHas(m.Seen, r.id) {
 			return false
 		}
-		if err := r.cfg.Verifier.VerifyKeyed(r.cfg.Key, m.TS, m.Cur, m.Prev, m.WriterSig); err != nil {
+		if err := r.verify.VerifyKeyed(r.cfg.Key, m.TS, m.Cur, m.Prev, m.WriterSig); err != nil {
 			return false
 		}
 		return true
 	}
+}
+
+// seenHas reports whether the seen slice contains the process, without
+// building the intermediate set SeenSet allocates; ack filters run on every
+// delivered message.
+func seenHas(seen []types.ProcessID, id types.ProcessID) bool {
+	for _, p := range seen {
+		if p == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Stats reports the number of completed reads, the total round-trips they

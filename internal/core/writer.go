@@ -97,12 +97,17 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	defer w.mu.Unlock()
 
 	ts := w.ts
+	// One owned copy of the caller's value: it serves as the request's Cur
+	// (the request is transient — encoded during the broadcast, never
+	// retained) and, after the round-trip, becomes the writer's remembered
+	// prev. Cloning again for the request would be redundant.
+	cur := v.Clone()
 	req := &wire.Message{
 		Op:       wire.OpWrite,
 		Key:      w.cfg.Key,
 		TS:       ts,
-		Cur:      v.Clone(),
-		Prev:     w.prev.Clone(),
+		Cur:      cur,
+		Prev:     w.prev,
 		RCounter: 0, // the writer's counter is always 0 (Section 4).
 	}
 	if w.cfg.Byzantine {
@@ -113,7 +118,9 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 		req.WriterSig = signature
 	}
 
-	w.cfg.Trace.Record(trace.KindInvoke, types.Writer(), types.ProcessID{}, "write(key=%q, ts=%d, %s)", w.cfg.Key, ts, v)
+	if w.cfg.Trace.Enabled() {
+		w.cfg.Trace.Record(trace.KindInvoke, types.Writer(), types.ProcessID{}, "write(key=%q, ts=%d, %s)", w.cfg.Key, ts, v)
+	}
 	need := w.cfg.Quorum.AckQuorum()
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
 		return m.Op == wire.OpWriteAck && m.Key == w.cfg.Key && m.TS == ts && m.RCounter == 0
@@ -124,8 +131,10 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	w.rounds.Add(1)
 	w.writes++
 	w.ts = ts.Next() // Figure 2 line 7.
-	w.prev = v.Clone()
-	w.cfg.Trace.Record(trace.KindReturn, types.Writer(), types.ProcessID{}, "write(ts=%d) -> ok", ts)
+	w.prev = cur
+	if w.cfg.Trace.Enabled() {
+		w.cfg.Trace.Record(trace.KindReturn, types.Writer(), types.ProcessID{}, "write(ts=%d) -> ok", ts)
+	}
 	return nil
 }
 

@@ -172,9 +172,12 @@ func (s *Server) StateOf(key string) types.TaggedValue {
 }
 
 func (s *Server) handle(m transport.Message) {
-	req, err := wire.Decode(m.Payload)
-	if err != nil {
-		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "malformed: %v", err)
+	req := wire.GetMessage()
+	defer wire.PutMessage(req)
+	if err := wire.DecodeInto(req, m.Payload); err != nil {
+		if s.cfg.Trace.Enabled() {
+			s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "malformed: %v", err)
+		}
 		return
 	}
 	switch req.Op {
@@ -185,7 +188,9 @@ func (s *Server) handle(m transport.Message) {
 	case wire.OpGossip:
 		s.handleGossip(m.From, req)
 	default:
-		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "unexpected op %s", req.Op)
+		if s.cfg.Trace.Enabled() {
+			s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "unexpected op %s", req.Op)
+		}
 	}
 }
 
@@ -247,7 +252,9 @@ func (s *Server) handleRead(from types.ProcessID, req *wire.Message) {
 		if peer == s.cfg.ID {
 			continue
 		}
-		s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, peer, "gossip key=%q ts=%d for r%d/%d", req.Key, current.TS, from.Index, req.RCounter)
+		if s.cfg.Trace.Enabled() {
+			s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, peer, "gossip key=%q ts=%d for r%d/%d", req.Key, current.TS, from.Index, req.RCounter)
+		}
 		_ = s.node.Send(peer, gossip.Kind(), payload)
 	}
 
@@ -266,9 +273,10 @@ func (s *Server) handleGossip(from types.ProcessID, req *wire.Message) {
 
 	s.states.Do(req.Key, func(st *registerState) {
 		// Adopt the maximum timestamp seen while gossiping ("adopts the
-		// timestamp and its associated value").
+		// timestamp and its associated value"). incoming is already an owned
+		// clone, so adoption is a plain assignment.
 		if incoming.TS > st.value.TS {
-			st.value = incoming.Clone()
+			st.value = incoming
 		}
 		// Gossip for a read this server already answered must not re-create
 		// the read's bookkeeping: the entry would never be garbage-collected.
@@ -294,14 +302,17 @@ func (s *Server) maybeReply(key string, rkey readKey) {
 		if p.replied || !p.requested || len(p.gossips) < s.cfg.Quorum.Majority() {
 			return
 		}
-		// Select the maximum timestamp among the collected gossip and adopt it.
-		best := st.value.Clone()
+		// Select the maximum timestamp among the collected gossip and adopt
+		// it. Both the stored value and the gossip entries are already owned
+		// by this server (cloned when they were retained), so adoption is a
+		// plain assignment — values are immutable once stored.
+		best := st.value
 		for _, tv := range p.gossips {
 			if tv.TS > best.TS {
-				best = tv.Clone()
+				best = tv
 			}
 		}
-		st.value = best.Clone()
+		st.value = best
 		p.replied = true
 		// The reply carries the adopted maximum.
 		ack = &wire.Message{
@@ -335,7 +346,9 @@ func (s *Server) maybeReply(key string, rkey readKey) {
 	}
 
 	reader := types.Reader(rkey.Reader)
-	s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, reader, "readack key=%q ts=%d rc=%d", key, ack.TS, ack.RCounter)
+	if s.cfg.Trace.Enabled() {
+		s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, reader, "readack key=%q ts=%d rc=%d", key, ack.TS, ack.RCounter)
+	}
 	_ = s.node.Send(reader, ack.Kind(), wire.MustEncode(ack))
 }
 
@@ -390,7 +403,10 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	defer w.mu.Unlock()
 
 	ts := w.ts
-	req := &wire.Message{Op: wire.OpWrite, Key: w.key, TS: ts, Cur: v.Clone(), Prev: w.prev.Clone()}
+	// One owned copy serves as the transient request's Cur and then as the
+	// remembered prev.
+	cur := v.Clone()
+	req := &wire.Message{Op: wire.OpWrite, Key: w.key, TS: ts, Cur: cur, Prev: w.prev}
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
 		return m.Op == wire.OpWriteAck && m.Key == w.key && m.TS >= ts
 	}
@@ -400,7 +416,7 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	w.rounds.Add(1)
 	w.writes++
 	w.ts = ts.Next()
-	w.prev = v.Clone()
+	w.prev = cur
 	return nil
 }
 

@@ -46,14 +46,18 @@ func WireKeyFunc(m transport.Message) (string, bool) {
 
 // Broadcast encodes the message once and sends it to every listed server.
 // Send errors (which only occur when the local node is closed) abort the
-// broadcast.
+// broadcast. Ownership of the encoded payload passes to the transport (see
+// the codec's buffer-ownership rules); the message itself is not retained, so
+// callers may let its fields alias state they own.
 func Broadcast(node transport.Node, servers []types.ProcessID, msg *wire.Message, tr *trace.Trace) error {
 	payload, err := wire.Encode(msg)
 	if err != nil {
 		return fmt.Errorf("encode %s: %w", msg.Op, err)
 	}
 	for _, s := range servers {
-		tr.Record(trace.KindSend, node.ID(), s, "%s ts=%d rc=%d", msg.Op, msg.TS, msg.RCounter)
+		if tr.Enabled() {
+			tr.Record(trace.KindSend, node.ID(), s, "%s ts=%d rc=%d", msg.Op, msg.TS, msg.RCounter)
+		}
 		if err := node.Send(s, msg.Kind(), payload); err != nil {
 			return fmt.Errorf("send %s to %s: %w", msg.Op, s, err)
 		}
@@ -78,12 +82,19 @@ type AckFilter func(from types.ProcessID, msg *wire.Message) bool
 // processes, duplicate acks from the same server, undecodable payloads and
 // filter rejections are all ignored, mirroring the paper's convention that a
 // process detects and drops incomplete messages.
+//
+// Decoding uses a pooled scratch message, so rejected traffic costs no
+// allocations. Accepted acks are detached from the scratch but their Cur,
+// Prev and WriterSig fields still alias the delivered payload: callers must
+// Clone whatever they retain beyond the operation (the codec's rule 3).
 func CollectAcks(ctx context.Context, node transport.Node, need int, filter AckFilter, tr *trace.Trace) ([]Ack, error) {
 	acks := make([]Ack, 0, need)
 	seen := make(map[types.ProcessID]bool, need)
 	if need <= 0 {
 		return acks, nil
 	}
+	scratch := wire.GetMessage()
+	defer wire.PutMessage(scratch)
 	for {
 		select {
 		case <-ctx.Done():
@@ -98,18 +109,23 @@ func CollectAcks(ctx context.Context, node transport.Node, need int, filter AckF
 			if seen[m.From] {
 				continue
 			}
-			decoded, err := wire.Decode(m.Payload)
-			if err != nil {
-				tr.Record(trace.KindDrop, node.ID(), m.From, "malformed payload: %v", err)
+			if err := wire.DecodeInto(scratch, m.Payload); err != nil {
+				if tr.Enabled() {
+					tr.Record(trace.KindDrop, node.ID(), m.From, "malformed payload: %v", err)
+				}
 				continue
 			}
-			if filter != nil && !filter(m.From, decoded) {
-				tr.Record(trace.KindDrop, node.ID(), m.From, "filtered %s ts=%d rc=%d", decoded.Op, decoded.TS, decoded.RCounter)
+			if filter != nil && !filter(m.From, scratch) {
+				if tr.Enabled() {
+					tr.Record(trace.KindDrop, node.ID(), m.From, "filtered %s ts=%d rc=%d", scratch.Op, scratch.TS, scratch.RCounter)
+				}
 				continue
 			}
-			tr.Record(trace.KindReceive, node.ID(), m.From, "%s ts=%d rc=%d", decoded.Op, decoded.TS, decoded.RCounter)
+			if tr.Enabled() {
+				tr.Record(trace.KindReceive, node.ID(), m.From, "%s ts=%d rc=%d", scratch.Op, scratch.TS, scratch.RCounter)
+			}
 			seen[m.From] = true
-			acks = append(acks, Ack{From: m.From, Msg: decoded})
+			acks = append(acks, Ack{From: m.From, Msg: scratch.Detach()})
 			if len(acks) >= need {
 				return acks, nil
 			}

@@ -115,10 +115,17 @@ func (s *Server) StateOf(key string) types.TaggedValue {
 	return out
 }
 
+// handle processes one message on the per-message hot path: pooled zero-copy
+// decode, one clone at the adoption retention point, ack fields aliasing the
+// stored state (the handler goroutine is the only mutator, and the ack is
+// encoded before the next message is handled).
 func (s *Server) handle(m transport.Message) {
-	req, err := wire.Decode(m.Payload)
-	if err != nil {
-		s.tr.Record(trace.KindDrop, s.id, m.From, "malformed: %v", err)
+	req := wire.GetMessage()
+	defer wire.PutMessage(req)
+	if err := wire.DecodeInto(req, m.Payload); err != nil {
+		if s.tr.Enabled() {
+			s.tr.Record(trace.KindDrop, s.id, m.From, "malformed: %v", err)
+		}
 		return
 	}
 	var ackOp wire.Op
@@ -137,23 +144,27 @@ func (s *Server) handle(m transport.Message) {
 		return
 	}
 
-	var ack *wire.Message
+	ack := wire.GetMessage()
+	defer wire.PutMessage(ack)
 	s.states.Do(req.Key, func(st *registerState) {
 		if req.Op == wire.OpWrite && req.TS > st.value.TS {
+			// Retention point: the stored value must own its bytes.
 			st.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
 		}
-		ack = &wire.Message{
+		*ack = wire.Message{
 			Op:       ackOp,
 			Key:      req.Key,
 			TS:       st.value.TS,
-			Cur:      st.value.Cur.Clone(),
-			Prev:     st.value.Prev.Clone(),
+			Cur:      st.value.Cur,
+			Prev:     st.value.Prev,
 			RCounter: req.RCounter,
 		}
 	})
 
 	if err := s.node.Send(m.From, ack.Kind(), wire.MustEncode(ack)); err != nil {
-		s.tr.Record(trace.KindDrop, s.id, m.From, "send ack: %v", err)
+		if s.tr.Enabled() {
+			s.tr.Record(trace.KindDrop, s.id, m.From, "send ack: %v", err)
+		}
 	}
 }
 
@@ -212,7 +223,10 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	defer w.mu.Unlock()
 
 	ts := w.ts
-	req := &wire.Message{Op: wire.OpWrite, Key: w.key, TS: ts, Cur: v.Clone(), Prev: w.prev.Clone()}
+	// One owned copy serves as the transient request's Cur and then as the
+	// remembered prev.
+	cur := v.Clone()
+	req := &wire.Message{Op: wire.OpWrite, Key: w.key, TS: ts, Cur: cur, Prev: w.prev}
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
 		return m.Op == wire.OpWriteAck && m.Key == w.key && m.TS >= ts
 	}
@@ -222,7 +236,7 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	w.rounds.Add(1)
 	w.writes++
 	w.ts = ts.Next()
-	w.prev = v.Clone()
+	w.prev = cur
 	return nil
 }
 

@@ -1,0 +1,119 @@
+package sig
+
+import (
+	"sync"
+	"testing"
+
+	"fastread/internal/types"
+)
+
+func TestCacheVerifiesAndMemoises(t *testing.T) {
+	kp := MustKeyPair()
+	cur, prev := types.Value("v7"), types.Value("v6")
+	signature := kp.Signer.MustSignKeyed("k", 7, cur, prev)
+
+	c := NewCache(kp.Verifier, 8)
+	for i := 0; i < 5; i++ {
+		if err := c.VerifyKeyed("k", 7, cur, prev, signature); err != nil {
+			t.Fatalf("verify %d: %v", i, err)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != 4 {
+		t.Errorf("hits=%d misses=%d, want 4/1", hits, misses)
+	}
+}
+
+func TestCacheRejectsBadSignatures(t *testing.T) {
+	kp := MustKeyPair()
+	cur, prev := types.Value("v"), types.Bottom()
+	signature := kp.Signer.MustSignKeyed("k", 3, cur, prev)
+	c := NewCache(kp.Verifier, 8)
+
+	// Wrong tuple under a valid signature must fail, repeatedly (failures are
+	// never cached).
+	for i := 0; i < 3; i++ {
+		if err := c.VerifyKeyed("k", 4, cur, prev, signature); err == nil {
+			t.Fatal("accepted signature for the wrong timestamp")
+		}
+		if err := c.VerifyKeyed("other", 3, cur, prev, signature); err == nil {
+			t.Fatal("accepted signature for the wrong register key")
+		}
+	}
+	// Corrupted signature bytes must fail even after the valid tuple was
+	// cached (the digest covers the signature).
+	if err := c.VerifyKeyed("k", 3, cur, prev, signature); err != nil {
+		t.Fatalf("valid verify: %v", err)
+	}
+	bad := append([]byte(nil), signature...)
+	bad[0] ^= 0xFF
+	if err := c.VerifyKeyed("k", 3, cur, prev, bad); err == nil {
+		t.Fatal("accepted a corrupted signature")
+	}
+	if hits, _ := c.Stats(); hits != 0 {
+		t.Errorf("failed verifications produced %d cache hits", hits)
+	}
+}
+
+func TestCacheTimestampZeroBypass(t *testing.T) {
+	kp := MustKeyPair()
+	c := NewCache(kp.Verifier, 8)
+	if err := c.VerifyKeyed("k", types.InitialTimestamp, types.Bottom(), types.Bottom(), nil); err != nil {
+		t.Fatalf("ts=0 with empty signature: %v", err)
+	}
+	if err := c.VerifyKeyed("k", types.InitialTimestamp, types.Value("x"), types.Bottom(), nil); err == nil {
+		t.Fatal("ts=0 with a non-bottom value accepted")
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("ts=0 touched the cache: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCacheBoundedEviction(t *testing.T) {
+	kp := MustKeyPair()
+	c := NewCache(kp.Verifier, 4)
+	cur := types.Value("v")
+	for ts := types.Timestamp(1); ts <= 20; ts++ {
+		signature := kp.Signer.MustSignKeyed("k", ts, cur, types.Bottom())
+		if err := c.VerifyKeyed("k", ts, cur, types.Bottom(), signature); err != nil {
+			t.Fatalf("ts=%d: %v", ts, err)
+		}
+	}
+	if n := len(c.cur) + len(c.prev); n > 8 {
+		t.Errorf("cache holds %d entries, want <= 2x capacity (8)", n)
+	}
+	// The most recent entry must still hit.
+	signature := kp.Signer.MustSignKeyed("k", 20, cur, types.Bottom())
+	before, _ := c.Stats()
+	if err := c.VerifyKeyed("k", 20, cur, types.Bottom(), signature); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := c.Stats(); after != before+1 {
+		t.Error("most recent entry was evicted")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	kp := MustKeyPair()
+	c := NewCache(kp.Verifier, 64)
+	cur := types.Value("v")
+	sigs := make([][]byte, 8)
+	for i := range sigs {
+		sigs[i] = kp.Signer.MustSignKeyed("k", types.Timestamp(i+1), cur, types.Bottom())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ts := types.Timestamp(i%len(sigs) + 1)
+				if err := c.VerifyKeyed("k", ts, cur, types.Bottom(), sigs[ts-1]); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -96,6 +96,12 @@ func New() *Trace { return &Trace{} }
 // call Record without checking for nil.
 func Disabled() *Trace { return &Trace{disabled: true} }
 
+// Enabled reports whether Record would actually store an event. Hot paths
+// should guard Record calls with it: even a discarded Record boxes its
+// variadic arguments onto the heap, which dominates per-message allocation
+// counts when tracing is off.
+func (t *Trace) Enabled() bool { return t != nil && !t.disabled }
+
 // Record appends an event. A nil or disabled trace ignores the call.
 func (t *Trace) Record(kind Kind, process, peer types.ProcessID, format string, args ...any) {
 	if t == nil || t.disabled {

@@ -25,6 +25,7 @@ func (n *InMemNetwork) Hold(from, to types.ProcessID) {
 	if _, ok := n.held[link{from, to}]; !ok {
 		n.held[link{from, to}] = []Message{}
 	}
+	n.updateSlowLocked()
 }
 
 // HoldPair holds both directions between two processes.
@@ -42,24 +43,19 @@ func (n *InMemNetwork) Release(from, to types.ProcessID) {
 	delete(n.held, l)
 	var dst *inMemNode
 	if len(msgs) > 0 {
-		dst = n.nodes[to]
+		dst = (*n.nodes.Load())[to]
 	}
+	n.updateSlowLocked()
 	n.mu.Unlock()
 
 	if dst == nil {
 		return
 	}
+	c := n.countersFor(l)
 	for _, msg := range msgs {
-		n.mu.Lock()
-		n.stats.Delivered++
-		n.stats.InTransit++
-		ls := n.perLink[l]
-		if ls == nil {
-			ls = &LinkStats{}
-			n.perLink[l] = ls
-		}
-		ls.Delivered++
-		n.mu.Unlock()
+		n.delivered.Add(1)
+		n.inTransit.Add(1)
+		c.delivered.Add(1)
 		n.deliver(dst, msg, 0)
 	}
 }
@@ -68,16 +64,15 @@ func (n *InMemNetwork) Release(from, to types.ProcessID) {
 // dropped messages correspond to messages that remain in transit forever.
 func (n *InMemNetwork) DropHeld(from, to types.ProcessID) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	l := link{from, to}
 	dropped := len(n.held[l])
-	n.stats.Dropped += dropped
-	if ls := n.perLink[l]; ls != nil {
-		ls.Dropped += dropped
-	} else if dropped > 0 {
-		n.perLink[l] = &LinkStats{Dropped: dropped}
-	}
 	delete(n.held, l)
+	n.updateSlowLocked()
+	n.mu.Unlock()
+	if dropped > 0 {
+		n.dropped.Add(int64(dropped))
+		n.countersFor(l).dropped.Add(int64(dropped))
+	}
 }
 
 // HeldCount returns the number of messages currently held on the link.
@@ -88,8 +83,13 @@ func (n *InMemNetwork) HeldCount(from, to types.ProcessID) int {
 }
 
 // holdIfNeeded queues the message if its link is currently held. It reports
-// whether the message was captured. Callers must not hold n.mu.
+// whether the message was captured. Callers must not hold n.mu. The
+// slow-path flag check keeps this off the lock-free fast path: a network
+// with no holds configured never takes the lock here.
 func (n *InMemNetwork) holdIfNeeded(msg Message) bool {
+	if !n.slow.Load() {
+		return false
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	l := link{msg.From, msg.To}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastread/internal/types"
@@ -54,21 +55,63 @@ func WithMailboxObserver(fn func(Message)) InMemOption {
 	return func(n *InMemNetwork) { n.observer = fn }
 }
 
+// linkStripes is the number of stripes sharding the per-link counters. Links
+// are keyed by (from, to); 64 stripes keep cross-link contention negligible
+// for realistic process counts.
+const linkStripes = 64
+
+// linkCounters is one directed link's delivery counters, updated atomically.
+type linkCounters struct {
+	delivered atomic.Int64
+	dropped   atomic.Int64
+}
+
+// linkStripe is one shard of the per-link counter table. The stripe lock
+// only guards the map itself; the counters are atomic, so the lock is held
+// for a map lookup at most.
+type linkStripe struct {
+	mu sync.Mutex
+	m  map[link]*linkCounters
+}
+
+// nodeMap is the copy-on-write process→node table. Joins copy it; routing
+// reads it through an atomic pointer without locking.
+type nodeMap map[types.ProcessID]*inMemNode
+
 // InMemNetwork is the goroutine/channel implementation of Network.
+//
+// The per-message route/deliver path is designed for heavy multi-register
+// traffic: aggregate counters are atomics, per-link counters live in a
+// striped table (one short stripe-lock acquisition per message), and the
+// node table is copy-on-write — so concurrent senders never serialise on a
+// network-wide lock. Adversarial controls (blocks, crashes, holds, delays,
+// jitter, observers) flip the network onto a mutex-guarded slow path; a
+// network that never uses them (the common benchmark and production shape)
+// stays lock-free end to end.
 type InMemNetwork struct {
-	mu           sync.Mutex
-	nodes        map[types.ProcessID]*inMemNode
-	blocked      map[link]bool
-	crashed      map[types.ProcessID]bool
-	held         map[link][]Message
-	linkDelay    map[link]time.Duration
-	stats        LinkStats
-	perLink      map[link]*LinkStats
+	// mu guards the adversarial configuration, the hold queues and
+	// membership changes. The per-message fast path never takes it.
+	mu        sync.Mutex
+	nodes     atomic.Pointer[nodeMap]
+	blocked   map[link]bool
+	crashed   map[types.ProcessID]bool
+	held      map[link][]Message
+	linkDelay map[link]time.Duration
+
+	// slow is true whenever any adversarial feature (or closure) is active;
+	// route() and holdIfNeeded() consult it before touching mu.
+	slow   atomic.Bool
+	closed bool
+
+	delivered atomic.Int64
+	dropped   atomic.Int64
+	inTransit atomic.Int64
+	perLink   [linkStripes]linkStripe
+
 	defaultDelay time.Duration
 	jitter       time.Duration
 	rng          *rand.Rand
 	observer     func(Message)
-	closed       bool
 	wg           sync.WaitGroup
 }
 
@@ -78,17 +121,50 @@ var _ Network = (*InMemNetwork)(nil)
 // by any number of nodes.
 func NewInMemNetwork(opts ...InMemOption) *InMemNetwork {
 	n := &InMemNetwork{
-		nodes:     make(map[types.ProcessID]*inMemNode),
 		blocked:   make(map[link]bool),
 		crashed:   make(map[types.ProcessID]bool),
 		linkDelay: make(map[link]time.Duration),
-		perLink:   make(map[link]*LinkStats),
 		rng:       rand.New(rand.NewSource(1)),
+	}
+	empty := make(nodeMap)
+	n.nodes.Store(&empty)
+	for i := range n.perLink {
+		n.perLink[i].m = make(map[link]*linkCounters)
 	}
 	for _, opt := range opts {
 		opt(n)
 	}
+	n.updateSlowLocked()
 	return n
+}
+
+// updateSlowLocked recomputes the slow-path flag. Callers must hold n.mu
+// (or, during construction, have exclusive access).
+func (n *InMemNetwork) updateSlowLocked() {
+	n.slow.Store(n.closed ||
+		len(n.blocked) > 0 ||
+		len(n.crashed) > 0 ||
+		len(n.held) > 0 ||
+		len(n.linkDelay) > 0 ||
+		n.defaultDelay > 0 ||
+		n.jitter > 0 ||
+		n.observer != nil)
+}
+
+// countersFor returns the (lazily created) atomic counters of a link. Only
+// the owning stripe is locked, and only for the map access.
+func (n *InMemNetwork) countersFor(l link) *linkCounters {
+	h := uint64(l.from.Role)*0x9E3779B97F4A7C15 ^ uint64(uint32(l.from.Index))*0x85EBCA77C2B2AE63 ^
+		uint64(l.to.Role)*0xC2B2AE3D27D4EB4F ^ uint64(uint32(l.to.Index))*0x27D4EB2F165667C5
+	st := &n.perLink[h%linkStripes]
+	st.mu.Lock()
+	c, ok := st.m[l]
+	if !ok {
+		c = &linkCounters{}
+		st.m[l] = c
+	}
+	st.mu.Unlock()
+	return c
 }
 
 // Join implements Network.
@@ -101,7 +177,8 @@ func (n *InMemNetwork) Join(id types.ProcessID) (Node, error) {
 	if n.closed {
 		return nil, ErrClosed
 	}
-	if _, ok := n.nodes[id]; ok {
+	old := *n.nodes.Load()
+	if _, ok := old[id]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrAlreadyJoined, id)
 	}
 	node := &inMemNode{
@@ -111,7 +188,12 @@ func (n *InMemNetwork) Join(id types.ProcessID) (Node, error) {
 		inbox: make(chan Message),
 	}
 	node.startPump()
-	n.nodes[id] = node
+	next := make(nodeMap, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = node
+	n.nodes.Store(&next)
 	return node, nil
 }
 
@@ -123,10 +205,8 @@ func (n *InMemNetwork) Close() error {
 		return nil
 	}
 	n.closed = true
-	nodes := make([]*inMemNode, 0, len(n.nodes))
-	for _, node := range n.nodes {
-		nodes = append(nodes, node)
-	}
+	n.updateSlowLocked()
+	nodes := *n.nodes.Load()
 	n.mu.Unlock()
 
 	for _, node := range nodes {
@@ -145,6 +225,7 @@ func (n *InMemNetwork) Block(from, to types.ProcessID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.blocked[link{from, to}] = true
+	n.updateSlowLocked()
 }
 
 // Unblock re-enables delivery on the link.
@@ -152,6 +233,7 @@ func (n *InMemNetwork) Unblock(from, to types.ProcessID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.blocked, link{from, to})
+	n.updateSlowLocked()
 }
 
 // BlockPair blocks both directions between the two processes.
@@ -171,6 +253,7 @@ func (n *InMemNetwork) UnblockAll() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.blocked = make(map[link]bool)
+	n.updateSlowLocked()
 }
 
 // Crash marks a process as crashed: no message is delivered to it or from it
@@ -180,6 +263,7 @@ func (n *InMemNetwork) Crash(id types.ProcessID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.crashed[id] = true
+	n.updateSlowLocked()
 }
 
 // Crashed reports whether the process has been crashed via Crash.
@@ -195,78 +279,104 @@ func (n *InMemNetwork) SetLinkDelay(from, to types.ProcessID, d time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.linkDelay[link{from, to}] = d
+	n.updateSlowLocked()
 }
 
 // Stats returns a snapshot of the aggregate delivery counters.
 func (n *InMemNetwork) Stats() LinkStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return LinkStats{
+		Delivered: int(n.delivered.Load()),
+		Dropped:   int(n.dropped.Load()),
+		InTransit: int(n.inTransit.Load()),
+	}
 }
 
 // StatsFor returns the delivery counters of a single directed link.
 func (n *InMemNetwork) StatsFor(from, to types.ProcessID) LinkStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if s := n.perLink[link{from, to}]; s != nil {
-		return *s
+	c := n.countersFor(link{from, to})
+	return LinkStats{
+		Delivered: int(c.delivered.Load()),
+		Dropped:   int(c.dropped.Load()),
 	}
-	return LinkStats{}
+}
+
+// dropOn records a dropped message on the link.
+func (n *InMemNetwork) dropOn(l link) {
+	n.dropped.Add(1)
+	n.countersFor(l).dropped.Add(1)
 }
 
 // route decides the fate of a message: returns the destination node and delay
 // if it should be delivered, or nil if it must be dropped.
+//
+// The fast path — no blocks, crashes, holds, delays, jitter or observer
+// configured — reads the copy-on-write node table and bumps atomic counters
+// without taking any network-wide lock.
 func (n *InMemNetwork) route(msg Message) (*inMemNode, time.Duration, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ls := n.perLink[link{msg.From, msg.To}]
-	if ls == nil {
-		ls = &LinkStats{}
-		n.perLink[link{msg.From, msg.To}] = ls
+	l := link{msg.From, msg.To}
+	if n.slow.Load() {
+		return n.routeSlow(msg, l)
 	}
-	if n.closed || n.crashed[msg.From] || n.crashed[msg.To] || n.blocked[link{msg.From, msg.To}] {
-		n.stats.Dropped++
-		ls.Dropped++
+	dst, ok := (*n.nodes.Load())[msg.To]
+	if !ok {
+		n.dropOn(l)
 		return nil, 0, false
 	}
-	dst, ok := n.nodes[msg.To]
+	n.delivered.Add(1)
+	n.inTransit.Add(1)
+	n.countersFor(l).delivered.Add(1)
+	return dst, 0, true
+}
+
+// routeSlow is the mutex-guarded routing path used while any adversarial
+// control is active (or the network is closed).
+func (n *InMemNetwork) routeSlow(msg Message, l link) (*inMemNode, time.Duration, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.crashed[msg.From] || n.crashed[msg.To] || n.blocked[l] {
+		n.dropOn(l)
+		return nil, 0, false
+	}
+	dst, ok := (*n.nodes.Load())[msg.To]
 	if !ok {
-		n.stats.Dropped++
-		ls.Dropped++
+		n.dropOn(l)
 		return nil, 0, false
 	}
 	delay := n.defaultDelay
-	if d, ok := n.linkDelay[link{msg.From, msg.To}]; ok {
+	if d, ok := n.linkDelay[l]; ok {
 		delay = d
 	}
 	if n.jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(n.jitter)))
 	}
-	n.stats.Delivered++
-	n.stats.InTransit++
-	ls.Delivered++
+	n.delivered.Add(1)
+	n.inTransit.Add(1)
+	n.countersFor(l).delivered.Add(1)
 	return dst, delay, true
 }
 
 // deliver hands the message to the destination mailbox, possibly after a
-// delay, without ever blocking the sender.
+// delay, without ever blocking the sender. Immediate deliveries complete
+// inline — no goroutine, no closure; only delayed deliveries are tracked by
+// the wait group so Close can drain them.
 func (n *InMemNetwork) deliver(dst *inMemNode, msg Message, delay time.Duration) {
-	done := func() {
+	if delay <= 0 {
 		if n.observer != nil {
 			n.observer(msg)
 		}
 		dst.box.push(msg)
-		n.mu.Lock()
-		n.stats.InTransit--
-		n.mu.Unlock()
-		n.wg.Done()
-	}
-	n.wg.Add(1)
-	if delay <= 0 {
-		done()
+		n.inTransit.Add(-1)
 		return
 	}
-	time.AfterFunc(delay, done)
+	n.wg.Add(1)
+	time.AfterFunc(delay, func() {
+		if n.observer != nil {
+			n.observer(msg)
+		}
+		dst.box.push(msg)
+		n.inTransit.Add(-1)
+		n.wg.Done()
+	})
 }
 
 // inMemNode is a single process attachment.
@@ -276,8 +386,7 @@ type inMemNode struct {
 	box   *mailbox
 	inbox chan Message
 
-	mu     sync.Mutex
-	closed bool
+	closed atomic.Bool
 	done   chan struct{}
 }
 
@@ -305,10 +414,7 @@ func (nd *inMemNode) ID() types.ProcessID { return nd.id }
 
 // Send implements Node.
 func (nd *inMemNode) Send(to types.ProcessID, kind string, payload []byte) error {
-	nd.mu.Lock()
-	closed := nd.closed
-	nd.mu.Unlock()
-	if closed {
+	if nd.closed.Load() {
 		return ErrClosed
 	}
 	msg := Message{From: nd.id, To: to, Kind: kind, Payload: payload}
@@ -328,14 +434,9 @@ func (nd *inMemNode) Inbox() <-chan Message { return nd.inbox }
 
 // Close implements Node.
 func (nd *inMemNode) Close() error {
-	nd.mu.Lock()
-	if nd.closed {
-		nd.mu.Unlock()
+	if nd.closed.Swap(true) {
 		return nil
 	}
-	nd.closed = true
-	nd.mu.Unlock()
-
 	nd.box.close()
 	// Drain the delivery channel so the pump goroutine can exit even if the
 	// owner stopped reading.

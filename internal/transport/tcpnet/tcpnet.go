@@ -11,15 +11,27 @@
 // send and messages lost in between are simply "still in transit" from the
 // protocol's point of view (the algorithms only ever wait for S−t of S
 // replies, so this maps onto the paper's asynchronous model).
+//
+// Writes to one peer go through a dedicated per-peer writer: senders append
+// complete frames into a pending buffer under the peer's lock (which also
+// makes concurrent Sends to the same peer safe — partial writes can never
+// interleave on the stream) and a flusher goroutine swaps the buffer out and
+// writes it to the socket with the lock released. Under concurrent load many
+// frames coalesce into one syscall; an idle connection is flushed
+// immediately, so batching never adds latency; a slow socket never stalls
+// senders (a stalled peer's queue is bounded, overflow is dropped and
+// counted).
 package tcpnet
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastread/internal/transport"
@@ -49,7 +61,7 @@ type Config struct {
 	Book AddressBook
 	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
-	// WriteTimeout bounds a single frame write (default 2s).
+	// WriteTimeout bounds a single buffered-frame flush (default 2s).
 	WriteTimeout time.Duration
 }
 
@@ -64,6 +76,27 @@ var (
 // maxFrameSize bounds incoming frames to protect against corrupt peers.
 const maxFrameSize = 4 << 20
 
+// writeBufferSize is the per-peer coalescing buffer. Protocol messages are
+// small (tens to hundreds of bytes), so 64 KiB batches hundreds of frames
+// per syscall under load.
+const writeBufferSize = 64 << 10
+
+// NodeStats counts what happened on one TCP node so far, mirroring
+// transport.LinkStats for the socket transport. Drops that were invisible to
+// operators — a full inbox silently discarding a decoded frame, a send to an
+// unreachable or broken peer — are first-class counters here; cmd/regserver
+// logs them on shutdown.
+type NodeStats struct {
+	// Delivered counts frames decoded and handed to the inbox.
+	Delivered int64
+	// DroppedInbound counts frames discarded because the inbox was full.
+	DroppedInbound int64
+	// DroppedSend counts outbound messages discarded because the peer was
+	// unreachable, the connection broke mid-write, or the frame was
+	// oversized.
+	DroppedSend int64
+}
+
 // Node is one process attached to the TCP network.
 type Node struct {
 	cfg      Config
@@ -71,9 +104,13 @@ type Node struct {
 	box      chan transport.Message
 
 	mu      sync.Mutex
-	conns   map[types.ProcessID]net.Conn
+	peers   map[types.ProcessID]*peer
 	inbound map[net.Conn]struct{}
 	closed  bool
+
+	delivered      atomic.Int64
+	droppedInbound atomic.Int64
+	droppedSend    atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -92,27 +129,32 @@ func Listen(cfg Config) (*Node, error) {
 	if addr == "" {
 		return nil, fmt.Errorf("%w: %v (set ListenAddr or add a book entry)", ErrNoAddress, cfg.Self)
 	}
+	listener, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	return newNode(cfg, listener), nil
+}
+
+// newNode wraps a listener in a running Node.
+func newNode(cfg Config, listener net.Listener) *Node {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 2 * time.Second
 	}
 	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = 2 * time.Second
 	}
-	listener, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
-	}
+	cfg.Book = cfg.Book.Clone()
 	n := &Node{
 		cfg:      cfg,
 		listener: listener,
 		box:      make(chan transport.Message, 1024),
-		conns:    make(map[types.ProcessID]net.Conn),
+		peers:    make(map[types.ProcessID]*peer),
 		inbound:  make(map[net.Conn]struct{}),
 	}
-	n.cfg.Book = cfg.Book.Clone()
 	n.wg.Add(1)
 	go n.acceptLoop()
-	return n, nil
+	return n
 }
 
 // Addr returns the address the node is listening on (useful with ":0").
@@ -124,9 +166,25 @@ func (n *Node) ID() types.ProcessID { return n.cfg.Self }
 // Inbox implements transport.Node.
 func (n *Node) Inbox() <-chan transport.Message { return n.box }
 
+// Stats returns a snapshot of the node's delivery and drop counters.
+func (n *Node) Stats() NodeStats {
+	return NodeStats{
+		Delivered:      n.delivered.Load(),
+		DroppedInbound: n.droppedInbound.Load(),
+		DroppedSend:    n.droppedSend.Load(),
+	}
+}
+
 // Send implements transport.Node. Messages to unknown or unreachable peers
-// are dropped, matching the asynchronous model where they are simply never
-// delivered.
+// are dropped (and counted), matching the asynchronous model where they are
+// simply never delivered. Send is safe for concurrent use: frames to the
+// same peer are serialised whole, so concurrent senders can never interleave
+// partial frames on the stream.
+//
+// The payload is fully copied into the peer's write buffer before Send
+// returns; ownership is NOT retained (callers may reuse the slice), though
+// the uniform transport.Node contract still passes ownership for the benefit
+// of the in-memory transport.
 func (n *Node) Send(to types.ProcessID, kind string, payload []byte) error {
 	n.mu.Lock()
 	if n.closed {
@@ -135,20 +193,24 @@ func (n *Node) Send(to types.ProcessID, kind string, payload []byte) error {
 	}
 	n.mu.Unlock()
 
-	frame, err := encodeFrame(n.cfg.Self, kind, payload)
-	if err != nil {
-		return err
+	if len(payload) > maxFrameSize {
+		n.droppedSend.Add(1)
+		return fmt.Errorf("tcpnet: payload too large (%d bytes)", len(payload))
 	}
-	conn, err := n.connTo(to)
+	p, err := n.peerTo(to)
 	if err != nil {
 		// Unreachable peer: the message is lost in transit. Not an error for
 		// the sender in the asynchronous model.
+		n.droppedSend.Add(1)
 		return nil
 	}
-	_ = conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
-	if _, err := conn.Write(frame); err != nil {
-		n.dropConn(to, conn)
-		return nil
+	if err := p.writeFrame(n.cfg.Self, kind, payload); err != nil {
+		n.droppedSend.Add(1)
+		if !errors.Is(err, errPendingFull) {
+			// The connection is broken; forget it so the next send re-dials.
+			// A full write queue only drops this frame — the peer is healthy.
+			n.dropPeer(to, p)
+		}
 	}
 	return nil
 }
@@ -161,18 +223,23 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
-	conns := make([]net.Conn, 0, len(n.conns)+len(n.inbound))
-	for _, c := range n.conns {
-		conns = append(conns, c)
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
 	}
+	conns := make([]net.Conn, 0, len(n.inbound))
 	for c := range n.inbound {
 		conns = append(conns, c)
 	}
-	n.conns = map[types.ProcessID]net.Conn{}
+	n.peers = map[types.ProcessID]*peer{}
 	n.inbound = map[net.Conn]struct{}{}
 	n.mu.Unlock()
 
 	_ = n.listener.Close()
+	for _, p := range peers {
+		p.failPending(ErrClosed, 0)
+		p.close()
+	}
 	for _, c := range conns {
 		_ = c.Close()
 	}
@@ -181,12 +248,12 @@ func (n *Node) Close() error {
 	return nil
 }
 
-// connTo returns a cached or freshly dialled connection to the peer.
-func (n *Node) connTo(to types.ProcessID) (net.Conn, error) {
+// peerTo returns a cached or freshly dialled peer connection.
+func (n *Node) peerTo(to types.ProcessID) (*peer, error) {
 	n.mu.Lock()
-	if c, ok := n.conns[to]; ok {
+	if p, ok := n.peers[to]; ok {
 		n.mu.Unlock()
-		return c, nil
+		return p, nil
 	}
 	addr, ok := n.cfg.Book[to]
 	n.mu.Unlock()
@@ -198,27 +265,206 @@ func (n *Node) connTo(to types.ProcessID) (net.Conn, error) {
 		return nil, err
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.closed {
+		n.mu.Unlock()
 		_ = conn.Close()
 		return nil, ErrClosed
 	}
-	if existing, ok := n.conns[to]; ok {
+	if existing, ok := n.peers[to]; ok {
+		n.mu.Unlock()
 		_ = conn.Close()
 		return existing, nil
 	}
-	n.conns[to] = conn
-	return conn, nil
+	p := &peer{
+		node: n,
+		to:   to,
+		conn: conn,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	n.peers[to] = p
+	n.wg.Add(1)
+	go p.flushLoop()
+	n.mu.Unlock()
+	return p, nil
 }
 
-// dropConn forgets a broken connection.
-func (n *Node) dropConn(to types.ProcessID, conn net.Conn) {
-	_ = conn.Close()
+// dropPeer forgets a broken peer connection, counting any frames still
+// queued on it as send drops.
+func (n *Node) dropPeer(to types.ProcessID, p *peer) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.conns[to] == conn {
-		delete(n.conns, to)
+	if n.peers[to] == p {
+		delete(n.peers, to)
 	}
+	n.mu.Unlock()
+	p.failPending(ErrClosed, 0)
+	p.close()
+}
+
+// maxPendingBytes bounds a peer's unflushed write queue. Senders never block
+// on the socket, so a stalled peer would otherwise buffer without bound; once
+// the cap is hit, new frames are dropped whole (and counted) — "still in
+// transit" from the protocols' point of view, exactly like a lossy link.
+const maxPendingBytes = 8 << 20
+
+// errPendingFull reports a frame dropped because the peer's write queue is at
+// its cap. The peer itself is healthy; only this frame is lost.
+var errPendingFull = errors.New("tcpnet: peer write queue full")
+
+// peer is one outbound connection with its coalescing writer.
+type peer struct {
+	node *Node
+	to   types.ProcessID
+	conn net.Conn
+
+	mu            sync.Mutex
+	pending       []byte // complete frames awaiting the flusher
+	pendingFrames int    // frame count in pending (for drop accounting)
+	inFlightBytes int    // size of the buffer the flusher is writing
+	spare         []byte // flusher's swap buffer (double-buffering)
+	err           error  // sticky write error; once set the peer is dead
+
+	kick      chan struct{} // capacity 1: "bytes are buffered, please flush"
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// failPending marks the peer dead (if err is non-nil) and counts every frame
+// still queued — and, via extraFrames, any frames lost inside a failed
+// socket write — as send drops, so frames accepted into the queue but never
+// delivered stay visible to operators.
+func (p *peer) failPending(err error, extraFrames int) {
+	p.mu.Lock()
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	dropped := p.pendingFrames + extraFrames
+	p.pendingFrames = 0
+	p.pending = nil
+	p.mu.Unlock()
+	if dropped > 0 {
+		p.node.droppedSend.Add(int64(dropped))
+	}
+}
+
+// writeFrame appends one complete frame to the peer's pending buffer and
+// wakes the flusher. The frame layout is:
+//
+//	uint32  total length of the remainder
+//	byte    sender role
+//	uint32  sender index
+//	uint16  kind length, kind bytes
+//	uint32  payload length, payload bytes
+//
+// The header is assembled in a stack buffer and the payload copied once into
+// the pending buffer — no intermediate frame slice. Appending the whole
+// frame under p.mu is what guarantees frames from concurrent senders never
+// interleave; the lock is never held across a syscall (see flushLoop), so a
+// slow socket never stalls senders.
+func (p *peer) writeFrame(from types.ProcessID, kind string, payload []byte) error {
+	var hdr [15]byte // uint32 total + byte role + uint32 index + uint16 kindLen + uint32 payloadLen
+	total := 1 + 4 + 2 + len(kind) + 4 + len(payload)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(total))
+	hdr[4] = byte(from.Role)
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(from.Index))
+	binary.BigEndian.PutUint16(hdr[9:11], uint16(len(kind)))
+	binary.BigEndian.PutUint32(hdr[11:15], uint32(len(payload)))
+
+	p.mu.Lock()
+	if p.err != nil {
+		err := p.err
+		p.mu.Unlock()
+		return err
+	}
+	// The cap covers queued and in-flight bytes plus this frame, so a
+	// stalled peer holds at most maxPendingBytes — not double.
+	if len(p.pending)+p.inFlightBytes+4+total > maxPendingBytes {
+		p.mu.Unlock()
+		return errPendingFull
+	}
+	p.pending = append(p.pending, hdr[0:11]...)
+	p.pending = append(p.pending, kind...)
+	p.pending = append(p.pending, hdr[11:15]...)
+	p.pending = append(p.pending, payload...)
+	p.pendingFrames++
+	p.mu.Unlock()
+	// Wake the flusher; if a kick is already pending it will cover these
+	// bytes too.
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// flushLoop pushes buffered frames to the socket. Each wakeup swaps the
+// pending buffer out under the lock and writes it with the lock RELEASED —
+// that is the batching: while the write syscall is in flight, concurrent
+// senders keep appending frames to the fresh buffer, and the next wakeup
+// writes them all at once. An idle connection flushes immediately after its
+// lone frame, so coalescing never delays delivery.
+func (p *peer) flushLoop() {
+	defer p.node.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-p.kick:
+			for {
+				p.mu.Lock()
+				if p.err != nil || len(p.pending) == 0 {
+					broken := p.err != nil
+					p.mu.Unlock()
+					if broken {
+						p.node.dropPeer(p.to, p)
+						return
+					}
+					break
+				}
+				buf := p.pending
+				frames := p.pendingFrames
+				p.pending = p.spare[:0]
+				p.pendingFrames = 0
+				p.inFlightBytes = len(buf)
+				p.spare = nil
+				p.mu.Unlock()
+
+				_ = p.conn.SetWriteDeadline(time.Now().Add(p.node.cfg.WriteTimeout))
+				_, werr := p.conn.Write(buf)
+
+				p.mu.Lock()
+				p.inFlightBytes = 0
+				// Keep the buffer for reuse, but let a burst-sized high-water
+				// array go instead of pinning it for the peer's lifetime.
+				if cap(buf) <= writeBufferSize {
+					p.spare = buf[:0]
+				}
+				if werr != nil {
+					p.err = werr
+				}
+				broken := p.err != nil
+				p.mu.Unlock()
+				if broken {
+					// The failed write's frames (delivery unknown, assume
+					// lost) plus everything still queued are gone; count
+					// them before tearing the peer down.
+					p.failPending(werr, frames)
+					p.node.dropPeer(p.to, p)
+					return
+				}
+			}
+		}
+	}
+}
+
+// close tears the peer down: the flusher exits, the socket closes. Safe to
+// call multiple times and concurrently with writeFrame (which fails fast on
+// the closed socket's sticky error).
+func (p *peer) close() {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		_ = p.conn.Close()
+	})
 }
 
 // acceptLoop accepts inbound connections and spawns a reader per connection.
@@ -242,7 +488,10 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-// readLoop decodes frames from one inbound connection into the mailbox.
+// readLoop decodes frames from one inbound connection into the mailbox. The
+// connection is wrapped in a bufio.Reader and frames are read into a buffer
+// reused across frames; only the payload handed to the inbox is freshly
+// allocated (it must own its bytes — the codec's decoded views alias it).
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer func() {
@@ -251,8 +500,10 @@ func (n *Node) readLoop(conn net.Conn) {
 		delete(n.inbound, conn)
 		n.mu.Unlock()
 	}()
+	br := bufio.NewReaderSize(conn, writeBufferSize)
+	var scratch []byte
 	for {
-		from, kind, payload, err := readFrame(conn)
+		from, kind, payload, err := readFrameReusing(br, &scratch)
 		if err != nil {
 			return
 		}
@@ -265,41 +516,48 @@ func (n *Node) readLoop(conn net.Conn) {
 		}
 		select {
 		case n.box <- msg:
+			n.delivered.Add(1)
 		default:
 			// The mailbox is full; drop the message. The protocols tolerate
 			// message loss of this kind because they never wait for more
 			// than S−t replies, and clients retransmit by retrying the
-			// operation.
+			// operation. The drop is counted so operators can see it.
+			n.droppedInbound.Add(1)
 		}
 	}
 }
 
-// encodeFrame builds one wire frame:
-//
-//	uint32  total length of the remainder
-//	byte    sender role
-//	uint32  sender index
-//	uint16  kind length, kind bytes
-//	uint32  payload length, payload bytes
+// encodeFrame builds one wire frame as a standalone byte slice. The send
+// path streams frames straight into the peer's buffer via writeFrame and
+// never materialises them; this reference encoding is kept for tests and
+// fuzzing, and documents the layout readFrame expects.
 func encodeFrame(from types.ProcessID, kind string, payload []byte) ([]byte, error) {
 	if len(payload) > maxFrameSize {
 		return nil, fmt.Errorf("tcpnet: payload too large (%d bytes)", len(payload))
 	}
-	body := make([]byte, 0, 1+4+2+len(kind)+4+len(payload))
-	body = append(body, byte(from.Role))
-	body = binary.BigEndian.AppendUint32(body, uint32(from.Index))
-	body = binary.BigEndian.AppendUint16(body, uint16(len(kind)))
-	body = append(body, kind...)
-	body = binary.BigEndian.AppendUint32(body, uint32(len(payload)))
-	body = append(body, payload...)
-
-	frame := make([]byte, 0, 4+len(body))
-	frame = binary.BigEndian.AppendUint32(frame, uint32(len(body)))
-	return append(frame, body...), nil
+	total := 1 + 4 + 2 + len(kind) + 4 + len(payload)
+	frame := make([]byte, 0, 4+total)
+	frame = binary.BigEndian.AppendUint32(frame, uint32(total))
+	frame = append(frame, byte(from.Role))
+	frame = binary.BigEndian.AppendUint32(frame, uint32(from.Index))
+	frame = binary.BigEndian.AppendUint16(frame, uint16(len(kind)))
+	frame = append(frame, kind...)
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	return frame, nil
 }
 
-// readFrame reads and decodes one frame.
+// readFrame reads and decodes one frame from the reader. The returned
+// payload owns its bytes.
 func readFrame(r io.Reader) (types.ProcessID, string, []byte, error) {
+	var scratch []byte
+	return readFrameReusing(r, &scratch)
+}
+
+// readFrameReusing reads one frame using *scratch as the reusable frame
+// buffer (grown as needed and written back). Only the returned payload is
+// freshly allocated.
+func readFrameReusing(r io.Reader, scratch *[]byte) (types.ProcessID, string, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return types.ProcessID{}, "", nil, err
@@ -308,7 +566,10 @@ func readFrame(r io.Reader) (types.ProcessID, string, []byte, error) {
 	if total > maxFrameSize {
 		return types.ProcessID{}, "", nil, fmt.Errorf("tcpnet: frame too large (%d bytes)", total)
 	}
-	body := make([]byte, total)
+	if cap(*scratch) < int(total) {
+		*scratch = make([]byte, total)
+	}
+	body := (*scratch)[:total]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return types.ProcessID{}, "", nil, err
 	}
@@ -332,7 +593,9 @@ func readFrame(r io.Reader) (types.ProcessID, string, []byte, error) {
 	if off+payloadLen != len(body) {
 		return types.ProcessID{}, "", nil, errors.New("tcpnet: inconsistent payload length")
 	}
-	payload := body[off:]
+	// The frame buffer is reused for the next frame; the payload handed out
+	// must own its bytes.
+	payload := append([]byte(nil), body[off:]...)
 	return from, kind, payload, nil
 }
 
@@ -357,22 +620,7 @@ func LocalCluster(ids []types.ProcessID) (map[types.ProcessID]*Node, AddressBook
 	// Second pass: wrap each listener in a Node sharing the completed book.
 	nodes := make(map[types.ProcessID]*Node, len(ids))
 	for _, id := range ids {
-		l := listeners[id]
-		n := &Node{
-			cfg: Config{
-				Self:         id,
-				Book:         book.Clone(),
-				DialTimeout:  2 * time.Second,
-				WriteTimeout: 2 * time.Second,
-			},
-			listener: l,
-			box:      make(chan transport.Message, 1024),
-			conns:    make(map[types.ProcessID]net.Conn),
-			inbound:  make(map[net.Conn]struct{}),
-		}
-		n.wg.Add(1)
-		go n.acceptLoop()
-		nodes[id] = n
+		nodes[id] = newNode(Config{Self: id, Book: book}, listeners[id])
 	}
 	return nodes, book, nil
 }

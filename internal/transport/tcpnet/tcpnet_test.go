@@ -3,6 +3,7 @@ package tcpnet
 import (
 	"bytes"
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -179,5 +180,159 @@ func TestFastRegisterOverTCP(t *testing.T) {
 		if res.RoundTrips != 1 {
 			t.Fatalf("read %d used %d round trips", i, res.RoundTrips)
 		}
+	}
+}
+
+// TestConcurrentSendersDoNotInterleaveFrames is the regression test for the
+// frame-interleaving hazard: before the per-peer writer, two goroutines
+// calling Send to the same peer could interleave partial conn.Writes and
+// corrupt the stream. Large payloads force the old code's single conn.Write
+// into multiple TCP segments, making corruption near-certain; with the
+// per-peer serialised writer every frame must arrive intact and decodable.
+func TestConcurrentSendersDoNotInterleaveFrames(t *testing.T) {
+	nodes, _, err := LocalCluster([]types.ProcessID{types.Reader(1), types.Server(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	sender := nodes[types.Reader(1)]
+	receiver := nodes[types.Server(1)]
+
+	// 32 KiB payloads span many TCP segments (so the old unserialised code
+	// path would interleave partial writes) while the whole burst stays
+	// under the peer's bounded write queue — no frame may be dropped.
+	const (
+		senders     = 8
+		perSender   = 16
+		payloadSize = 32 << 10
+	)
+
+	// Each sender stamps its payload with (sender, seq) and fills the rest
+	// with a sender-specific byte so any interleaving is detectable.
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte('A' + g)}, payloadSize)
+			for i := 0; i < perSender; i++ {
+				payload[0], payload[1] = byte(g), byte(i)
+				if err := sender.Send(types.Server(1), "blob", payload); err != nil {
+					t.Errorf("sender %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	got := make(map[[2]byte]bool)
+	deadline := time.After(20 * time.Second)
+	for len(got) < senders*perSender {
+		select {
+		case msg := <-receiver.Inbox():
+			if msg.Kind != "blob" || len(msg.Payload) != payloadSize {
+				t.Fatalf("corrupted frame: kind=%q len=%d", msg.Kind, len(msg.Payload))
+			}
+			g, i := msg.Payload[0], msg.Payload[1]
+			fill := byte('A' + g)
+			for j := 2; j < payloadSize; j++ {
+				if msg.Payload[j] != fill {
+					t.Fatalf("payload of sender %d message %d corrupted at offset %d: %x != %x",
+						g, i, j, msg.Payload[j], fill)
+				}
+			}
+			got[[2]byte{g, i}] = true
+		case <-deadline:
+			t.Fatalf("received only %d of %d messages", len(got), senders*perSender)
+		}
+	}
+	if s := sender.Stats(); s.DroppedSend != 0 {
+		t.Errorf("sender dropped %d frames; burst should fit the write queue", s.DroppedSend)
+	}
+}
+
+// TestBatchedWritesCoalesceAndDeliverInOrder checks that the coalescing
+// writer preserves per-link FIFO order for back-to-back small frames.
+func TestBatchedWritesCoalesceAndDeliverInOrder(t *testing.T) {
+	nodes, _, err := LocalCluster([]types.ProcessID{types.Writer(), types.Server(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	const msgs = 500
+	for i := 0; i < msgs; i++ {
+		if err := nodes[types.Writer()].Send(types.Server(1), "seq", []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		select {
+		case msg := <-nodes[types.Server(1)].Inbox():
+			if got := int(msg.Payload[0]) | int(msg.Payload[1])<<8; got != i {
+				t.Fatalf("message %d arrived out of order (got seq %d)", i, got)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("message %d never delivered", i)
+		}
+	}
+	if s := nodes[types.Server(1)].Stats(); s.Delivered != msgs {
+		t.Errorf("receiver Delivered = %d, want %d", s.Delivered, msgs)
+	}
+}
+
+// TestDropCountersVisible checks that silently dropped traffic shows up in
+// NodeStats: sends to unreachable peers and inbound frames discarded because
+// the mailbox is full.
+func TestDropCountersVisible(t *testing.T) {
+	nodes, _, err := LocalCluster([]types.ProcessID{types.Reader(1), types.Server(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	client := nodes[types.Reader(1)]
+	receiver := nodes[types.Server(1)]
+
+	// Unreachable peer → DroppedSend.
+	if err := client.Send(types.Server(9), "x", []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if s := client.Stats(); s.DroppedSend != 1 {
+		t.Errorf("DroppedSend = %d, want 1", s.DroppedSend)
+	}
+
+	// Overflow the receiver's mailbox (capacity 1024, nobody draining) →
+	// DroppedInbound on the receiver.
+	const flood = 2000
+	for i := 0; i < flood; i++ {
+		if err := client.Send(types.Server(1), "flood", []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok := false
+	for wait := 0; wait < 200; wait++ {
+		s := receiver.Stats()
+		if s.Delivered+s.DroppedInbound == flood && s.DroppedInbound > 0 {
+			ok = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !ok {
+		s := receiver.Stats()
+		t.Errorf("flood not accounted for: delivered=%d droppedInbound=%d (want sum %d with drops > 0)",
+			s.Delivered, s.DroppedInbound, flood)
 	}
 }

@@ -26,6 +26,15 @@ const (
 	MaxSigSize = 1 << 12
 )
 
+// EncodedSize returns an upper bound on the number of bytes Encode /
+// AppendEncode will produce for the message.
+func EncodedSize(m *Message) int {
+	return 1 + 1 + binary.MaxVarintLen64 + len(m.Key) + 8 + 8 + 4 + 4 +
+		valueEncodedSize(m.Cur) + valueEncodedSize(m.Prev) +
+		4 + len(m.Seen)*5 +
+		binary.MaxVarintLen64 + len(m.WriterSig)
+}
+
 // Encode serialises the message into a fresh byte slice.
 //
 // Layout (all integers little-endian):
@@ -42,6 +51,14 @@ const (
 //	uint32  len(seen) then per entry: byte role, uint32 index
 //	bytes   writerSig (uvarint length prefix)
 func Encode(m *Message) ([]byte, error) {
+	return AppendEncode(make([]byte, 0, EncodedSize(m)), m)
+}
+
+// AppendEncode appends the encoding of m to buf and returns the extended
+// slice, growing it as needed. It is the append-style twin of Encode: callers
+// that own a scratch buffer (see GetBuffer/PutBuffer) can encode without
+// allocating.
+func AppendEncode(buf []byte, m *Message) ([]byte, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -54,12 +71,6 @@ func Encode(m *Message) ([]byte, error) {
 	if len(m.WriterSig) > MaxSigSize {
 		return nil, fmt.Errorf("%w: signature too large", ErrMalformed)
 	}
-
-	size := 1 + 1 + binary.MaxVarintLen64 + len(m.Key) + 8 + 8 + 4 + 4 +
-		valueEncodedSize(m.Cur) + valueEncodedSize(m.Prev) +
-		4 + len(m.Seen)*5 +
-		binary.MaxVarintLen64 + len(m.WriterSig)
-	buf := make([]byte, 0, size)
 
 	buf = append(buf, formatVersion, byte(m.Op))
 	buf = binary.AppendUvarint(buf, uint64(len(m.Key)))
@@ -91,120 +102,159 @@ func MustEncode(m *Message) []byte {
 }
 
 // Decode parses a message previously produced by Encode. It never panics on
-// arbitrary input and bounds all allocations.
+// arbitrary input and bounds all allocations. The returned message owns all
+// of its fields (nothing aliases data); use DecodeInto on hot paths that can
+// honour the aliasing ownership discipline.
 func Decode(data []byte) (*Message, error) {
-	d := decoder{buf: data}
-	version, err := d.byte()
-	if err != nil {
+	m := &Message{}
+	if err := decodeMessage(m, data, false); err != nil {
 		return nil, err
 	}
+	return m, nil
+}
+
+// DecodeInto parses a message into m, overwriting every field. It is the
+// reuse-oriented twin of Decode for hot paths:
+//
+//   - Cur, Prev and WriterSig ALIAS data — no bytes are copied. The caller
+//     must treat data as immutable for as long as any decoded field is
+//     referenced, and must Clone any field it retains beyond the scope of
+//     handling this one message (a "retention point": storing a value into
+//     server state, remembering a reader's last-observed tag, ...).
+//   - Seen reuses m's existing capacity where possible.
+//   - Key is a fresh string (Go strings cannot alias a []byte safely); the
+//     empty key — the default register — does not allocate.
+//
+// Combined with GetMessage/PutMessage this makes steady-state decoding of
+// default-register messages allocation-free.
+func DecodeInto(m *Message, data []byte) error {
+	return decodeMessage(m, data, true)
+}
+
+// decodeMessage is the shared decode core. When alias is true, byte fields
+// alias data and m's Seen capacity is reused; when false, every field is a
+// fresh copy and Seen is freshly allocated (or nil).
+func decodeMessage(m *Message, data []byte, alias bool) error {
+	d := decoder{buf: data, alias: alias}
+	version, err := d.byte()
+	if err != nil {
+		return err
+	}
 	if version != formatVersion {
-		return nil, fmt.Errorf("%w: %d", ErrVersion, version)
+		return fmt.Errorf("%w: %d", ErrVersion, version)
 	}
 	opByte, err := d.byte()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	m := &Message{Op: Op(opByte)}
+	seen := m.Seen[:0]
+	if !alias {
+		seen = nil
+	}
+	*m = Message{Op: Op(opByte)}
 
 	keyLen, err := d.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if keyLen > MaxKeySize {
-		return nil, fmt.Errorf("%w: key too long (%d)", ErrMalformed, keyLen)
+		return fmt.Errorf("%w: key too long (%d)", ErrMalformed, keyLen)
 	}
 	if keyLen > 0 {
 		keyBytes, err := d.bytes(int(keyLen))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.Key = string(keyBytes)
 	}
 
 	ts, err := d.uint64()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if ts > math.MaxInt64 {
-		return nil, fmt.Errorf("%w: timestamp overflow", ErrMalformed)
+		return fmt.Errorf("%w: timestamp overflow", ErrMalformed)
 	}
 	m.TS = types.Timestamp(ts)
 
 	rc, err := d.uint64()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if rc > math.MaxInt64 {
-		return nil, fmt.Errorf("%w: rCounter overflow", ErrMalformed)
+		return fmt.Errorf("%w: rCounter overflow", ErrMalformed)
 	}
 	m.RCounter = int64(rc)
 
 	wr, err := d.uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.WriterRank = int32(wr)
 	ph, err := d.uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.Phase = int32(ph)
 
 	if m.Cur, err = d.value(); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Prev, err = d.value(); err != nil {
-		return nil, err
+		return err
 	}
 
 	nSeen, err := d.uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if nSeen > MaxSeenSize {
-		return nil, fmt.Errorf("%w: seen set too large (%d)", ErrMalformed, nSeen)
+		return fmt.Errorf("%w: seen set too large (%d)", ErrMalformed, nSeen)
 	}
 	if nSeen > 0 {
-		m.Seen = make([]types.ProcessID, 0, nSeen)
+		if cap(seen) < int(nSeen) {
+			seen = make([]types.ProcessID, 0, nSeen)
+		}
 		for i := uint32(0); i < nSeen; i++ {
 			role, err := d.byte()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			idx, err := d.uint32()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if idx > math.MaxInt32 {
-				return nil, fmt.Errorf("%w: process index overflow", ErrMalformed)
+				return fmt.Errorf("%w: process index overflow", ErrMalformed)
 			}
-			m.Seen = append(m.Seen, types.ProcessID{Role: types.Role(role), Index: int(idx)})
+			seen = append(seen, types.ProcessID{Role: types.Role(role), Index: int(idx)})
 		}
+		m.Seen = seen
+	} else if alias {
+		// Keep the reused backing array so a scratch message alternating
+		// between seen-carrying and seen-free messages does not reallocate.
+		m.Seen = seen
 	}
 
 	sigLen, err := d.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if sigLen > MaxSigSize {
-		return nil, fmt.Errorf("%w: signature too large (%d)", ErrMalformed, sigLen)
+		return fmt.Errorf("%w: signature too large (%d)", ErrMalformed, sigLen)
 	}
 	if sigLen > 0 {
 		sig, err := d.bytes(int(sigLen))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.WriterSig = sig
 	}
 
 	if !d.empty() {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, d.remaining())
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, d.remaining())
 	}
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	return m, nil
+	return m.Validate()
 }
 
 // valueEncodedSize returns the number of bytes appendValue will use.
@@ -223,10 +273,12 @@ func appendValue(buf []byte, v types.Value) []byte {
 	return append(buf, v...)
 }
 
-// decoder is a bounds-checked cursor over an encoded message.
+// decoder is a bounds-checked cursor over an encoded message. When alias is
+// set, bytes() returns sub-slices of buf instead of copies.
 type decoder struct {
-	buf []byte
-	off int
+	buf   []byte
+	off   int
+	alias bool
 }
 
 func (d *decoder) remaining() int { return len(d.buf) - d.off }
@@ -271,6 +323,11 @@ func (d *decoder) uvarint() (uint64, error) {
 func (d *decoder) bytes(n int) ([]byte, error) {
 	if n < 0 || d.remaining() < n {
 		return nil, fmt.Errorf("%w: truncated", ErrMalformed)
+	}
+	if d.alias {
+		out := d.buf[d.off : d.off+n : d.off+n]
+		d.off += n
+		return out, nil
 	}
 	out := make([]byte, n)
 	copy(out, d.buf[d.off:d.off+n])
@@ -342,6 +399,14 @@ func PeekKey(data []byte) (string, error) {
 // readers/servers (when verifying) must use this exact encoding.
 func KeyedSignedBytes(key string, ts types.Timestamp, cur, prev types.Value) []byte {
 	buf := make([]byte, 0, binary.MaxVarintLen64+len(key)+8+valueEncodedSize(cur)+valueEncodedSize(prev))
+	return AppendSignedBytes(buf, key, ts, cur, prev)
+}
+
+// AppendSignedBytes appends the canonical signed byte string to buf and
+// returns the extended slice. It is the append-style twin of KeyedSignedBytes
+// for callers that own a scratch buffer (the verified-signature cache hashes
+// these bytes on every message and must not allocate per hit).
+func AppendSignedBytes(buf []byte, key string, ts types.Timestamp, cur, prev types.Value) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(key)))
 	buf = append(buf, key...)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(ts))

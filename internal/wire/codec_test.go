@@ -385,3 +385,108 @@ func TestTagged(t *testing.T) {
 		t.Errorf("Tagged = %v, want %v", tv, want)
 	}
 }
+
+// TestDecodeIntoAliasesPayload pins the ownership discipline: the aliasing
+// decode must NOT copy value bytes (mutating the payload shows through), and
+// the copying Decode must be unaffected by later payload mutation.
+func TestDecodeIntoAliasesPayload(t *testing.T) {
+	m := &Message{
+		Op:        OpReadAck,
+		TS:        3,
+		Cur:       types.Value("cur-bytes"),
+		Prev:      types.Value("prev-bytes"),
+		WriterSig: []byte{9, 9, 9},
+	}
+	data := MustEncode(m)
+
+	var aliased Message
+	if err := DecodeInto(&aliased, data); err != nil {
+		t.Fatal(err)
+	}
+	copied, err := Decode(append([]byte(nil), data...))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the payload in place: the aliasing view must change, proving
+	// it did not copy.
+	for i := range data {
+		data[i] = 0xFF
+	}
+	if string(aliased.Cur) == "cur-bytes" {
+		t.Error("DecodeInto copied Cur; expected it to alias the payload")
+	}
+	if string(copied.Cur) != "cur-bytes" || string(copied.Prev) != "prev-bytes" {
+		t.Error("Decode result aliases the payload; expected owned copies")
+	}
+}
+
+// TestDecodeIntoReusesSeenCapacity checks the scratch-reuse contract: after
+// a first decode, decoding a message with an equal-or-smaller seen set into
+// the same scratch must not reallocate the backing array.
+func TestDecodeIntoReusesSeenCapacity(t *testing.T) {
+	big := MustEncode(&Message{Op: OpReadAck, TS: 1, Seen: []types.ProcessID{
+		types.Writer(), types.Reader(1), types.Reader(2), types.Reader(3),
+	}})
+	small := MustEncode(&Message{Op: OpReadAck, TS: 2, Seen: []types.ProcessID{types.Writer()}})
+
+	var scratch Message
+	if err := DecodeInto(&scratch, big); err != nil {
+		t.Fatal(err)
+	}
+	firstCap := cap(scratch.Seen)
+	if err := DecodeInto(&scratch, small); err != nil {
+		t.Fatal(err)
+	}
+	if cap(scratch.Seen) != firstCap {
+		t.Errorf("scratch Seen reallocated: cap %d -> %d", firstCap, cap(scratch.Seen))
+	}
+	if len(scratch.Seen) != 1 || scratch.Seen[0] != types.Writer() {
+		t.Errorf("reused decode produced wrong seen set %v", scratch.Seen)
+	}
+}
+
+// TestDetachTransfersSeenOwnership checks that a detached message keeps its
+// seen set even after the scratch decodes something else.
+func TestDetachTransfersSeenOwnership(t *testing.T) {
+	a := MustEncode(&Message{Op: OpReadAck, TS: 1, Seen: []types.ProcessID{types.Reader(1), types.Reader(2)}})
+	b := MustEncode(&Message{Op: OpReadAck, TS: 2, Seen: []types.ProcessID{types.Server(9), types.Server(8)}})
+
+	scratch := GetMessage()
+	defer PutMessage(scratch)
+	if err := DecodeInto(scratch, a); err != nil {
+		t.Fatal(err)
+	}
+	detached := scratch.Detach()
+	if err := DecodeInto(scratch, b); err != nil {
+		t.Fatal(err)
+	}
+	if len(detached.Seen) != 2 || detached.Seen[0] != types.Reader(1) || detached.Seen[1] != types.Reader(2) {
+		t.Errorf("detached seen set corrupted by scratch reuse: %v", detached.Seen)
+	}
+}
+
+// TestAppendEncodeMatchesEncode checks byte-for-byte agreement of the two
+// encoders, including appending after an existing prefix.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	for i, m := range sampleMessages() {
+		want := MustEncode(m)
+		got, err := AppendEncode(nil, m)
+		if err != nil {
+			t.Fatalf("sample %d: AppendEncode: %v", i, err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("sample %d: AppendEncode differs from Encode", i)
+		}
+		prefixed, err := AppendEncode([]byte("abc"), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(prefixed, append([]byte("abc"), want...)) {
+			t.Errorf("sample %d: AppendEncode with prefix mangled output", i)
+		}
+	}
+	if _, err := AppendEncode(nil, &Message{Op: 0}); err == nil {
+		t.Error("AppendEncode accepted an invalid message")
+	}
+}

@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds returns the encodings of the codec test corpus, so the fuzzers
+// start from every message shape the protocols actually produce.
+func fuzzSeeds() [][]byte {
+	var seeds [][]byte
+	for _, m := range sampleMessages() {
+		seeds = append(seeds, MustEncode(m))
+	}
+	// Hand-crafted hostile prefixes: bad version, bad op, truncated varint,
+	// oversized key claim.
+	seeds = append(seeds,
+		nil,
+		[]byte{0},
+		[]byte{formatVersion},
+		[]byte{formatVersion, 200, 0},
+		[]byte{99, 1, 0},
+		[]byte{formatVersion, 1, 0xFF, 0xFF, 0xFF, 0x7F},
+	)
+	return seeds
+}
+
+// FuzzDecode asserts that Decode never panics on arbitrary input, that
+// DecodeInto agrees with Decode byte for byte, and that any successfully
+// decoded message re-encodes and re-decodes to the same message (round-trip
+// stability).
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+
+		var scratch Message
+		errInto := DecodeInto(&scratch, data)
+		if (err == nil) != (errInto == nil) {
+			t.Fatalf("Decode err=%v but DecodeInto err=%v", err, errInto)
+		}
+		if err != nil {
+			return
+		}
+		if !messagesEqual(m, &scratch) {
+			t.Fatalf("DecodeInto disagrees with Decode:\n copy: %+v\nalias: %+v", m, &scratch)
+		}
+
+		reencoded, encErr := Encode(m)
+		if encErr != nil {
+			t.Fatalf("decoded message failed to re-encode: %v (%+v)", encErr, m)
+		}
+		m2, err := Decode(reencoded)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if !messagesEqual(m, m2) {
+			t.Fatalf("round trip unstable:\n in: %+v\nout: %+v", m, m2)
+		}
+	})
+}
+
+// FuzzPeekKey asserts that PeekKey never panics and, whenever the full
+// decode succeeds, extracts exactly the key Decode sees (the transport demux
+// routes by PeekKey, so a disagreement would misroute messages).
+func FuzzPeekKey(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, peekErr := PeekKey(data)
+		m, decErr := Decode(data)
+		if decErr != nil {
+			return
+		}
+		if peekErr != nil {
+			t.Fatalf("Decode succeeded but PeekKey failed: %v", peekErr)
+		}
+		if key != m.Key {
+			t.Fatalf("PeekKey = %q, Decode key = %q", key, m.Key)
+		}
+	})
+}
+
+// FuzzAppendEncode asserts that AppendEncode into a dirty prefixed buffer
+// produces exactly the bytes Encode produces.
+func FuzzAppendEncode(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		canonical := MustEncode(m)
+		prefix := []byte("dirty-prefix")
+		buf, err := AppendEncode(append([]byte(nil), prefix...), m)
+		if err != nil {
+			t.Fatalf("AppendEncode: %v", err)
+		}
+		if !bytes.HasPrefix(buf, prefix) {
+			t.Fatal("AppendEncode clobbered the existing prefix")
+		}
+		if !bytes.Equal(buf[len(prefix):], canonical) {
+			t.Fatal("AppendEncode bytes differ from Encode")
+		}
+	})
+}

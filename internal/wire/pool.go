@@ -1,0 +1,89 @@
+package wire
+
+import "sync"
+
+// Buffer-ownership rules for the pooled, zero-copy codec
+// ======================================================
+//
+// The hot path of every protocol is: decode a request, mutate a little
+// per-register state, encode an acknowledgement, send it. The codec supports
+// doing that without per-message allocations, under three rules:
+//
+//  1. Encoded payloads are immutable. Once a []byte has been handed to
+//     transport.Node.Send, OWNERSHIP PASSES TO THE TRANSPORT (the in-memory
+//     network delivers the same slice to the receiver; the same payload may
+//     be broadcast to many receivers). Nobody — sender or receiver — may
+//     mutate an encoded payload, ever.
+//
+//  2. Decoded views may alias. DecodeInto makes Cur, Prev and WriterSig
+//     alias the payload. That is safe precisely because of rule 1. A decoded
+//     message (and anything aliasing it) is valid until the handler returns.
+//
+//  3. Clone at retention points. Any decoded field that outlives handling of
+//     the one message that carried it — a value adopted into server state, a
+//     reader's remembered last-observed tag — must be cloned at the point of
+//     retention. Transient uses (building an ack that is encoded before the
+//     handler returns, evaluating a predicate) must NOT clone.
+//
+// GetMessage/PutMessage recycle Message structs for rule-2 scratch decoding;
+// GetBuffer/PutBuffer recycle byte slices for encode/digest scratch that the
+// caller fully consumes before returning (never for payloads passed to Send —
+// rule 1 means those cannot be returned to a pool).
+
+// messagePool recycles Message structs used as decode scratch.
+var messagePool = sync.Pool{New: func() any { return new(Message) }}
+
+// GetMessage returns a scratch message from the pool. The message is zeroed
+// except for retained Seen capacity, which DecodeInto reuses.
+func GetMessage() *Message {
+	return messagePool.Get().(*Message)
+}
+
+// PutMessage resets the message and returns it to the pool. The caller must
+// not reference the message — or any field of it — afterwards.
+func PutMessage(m *Message) {
+	m.Reset()
+	messagePool.Put(m)
+}
+
+// Reset zeroes every field of the message, keeping the Seen backing array
+// (length 0) so a recycled message does not reallocate it.
+func (m *Message) Reset() {
+	seen := m.Seen[:0]
+	*m = Message{Seen: seen}
+}
+
+// Detach returns a heap copy of the scratch message that owns its Seen slice,
+// for handing an accepted message to a caller while the scratch keeps being
+// reused. Cur, Prev and WriterSig still alias the original payload (rule 2);
+// the scratch relinquishes its Seen backing array to the copy and will
+// reallocate one on its next decode.
+func (m *Message) Detach() *Message {
+	out := new(Message)
+	*out = *m
+	m.Seen = nil
+	return out
+}
+
+// bufferPool recycles encode/digest scratch buffers (rule 1 forbids pooling
+// payloads handed to Send; this pool is for buffers the caller fully consumes
+// before returning, such as signed-bytes digests).
+var bufferPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// GetBuffer returns a length-0 scratch buffer from the pool. It traffics in
+// *[]byte so the Get/Put cycle itself allocates nothing: write the grown
+// slice back through the pointer before returning it with PutBuffer.
+func GetBuffer() *[]byte {
+	b := bufferPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuffer returns a scratch buffer to the pool. The caller must not
+// reference the buffer (or the slice it points to) afterwards.
+func PutBuffer(b *[]byte) {
+	bufferPool.Put(b)
+}
