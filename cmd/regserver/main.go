@@ -49,6 +49,7 @@ func run(args []string) error {
 		byz      = fs.Bool("byz", false, "run the arbitrary-failure variant (requires -writer-pubkey)")
 		pubKey   = fs.String("writer-pubkey", "", "hex-encoded writer public key (Byzantine variant)")
 		listen   = fs.String("listen", "", "listen address override (defaults to the address book entry)")
+		workers  = fs.Int("workers", 0, "key-shard workers executing messages in parallel (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,7 +73,7 @@ func run(args []string) error {
 	}
 	defer node.Close()
 
-	serverCfg := core.ServerConfig{ID: id, Readers: *readers, Byzantine: *byz}
+	serverCfg := core.ServerConfig{ID: id, Readers: *readers, Byzantine: *byz, Workers: *workers}
 	if *byz {
 		verifier, err := ParseVerifier(*pubKey)
 		if err != nil {
@@ -87,7 +88,8 @@ func run(args []string) error {
 	server.Start()
 	defer server.Stop()
 
-	fmt.Printf("register server %s listening on %s (readers=%d byzantine=%v, serving all register keys)\n", id, node.Addr(), *readers, *byz)
+	fmt.Printf("register server %s listening on %s (readers=%d byzantine=%v workers=%d, serving all register keys)\n",
+		id, node.Addr(), *readers, *byz, server.Workers())
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	<-stop

@@ -65,9 +65,18 @@
 // encoding and aliasing decodes backed by sync.Pool scratch, the in-memory
 // transport routes without a network-wide lock, the TCP transport batches
 // frames per peer connection, and Byzantine deployments memoise verified
-// writer signatures. Anyone writing protocol code must follow the codec's
-// buffer-ownership rules — encoded payloads are immutable, decoded views may
-// alias them, and retained data is cloned exactly at its retention point —
-// spelled out in internal/wire/pool.go. Benchmarks quantifying each layer
-// live in bench_test.go; BENCH_2.json records the measured trajectory.
+// writer signatures. Each server process additionally executes its messages
+// on a key-sharded parallel executor: messages are dispatched by register
+// key across Config.ServerWorkers workers (GOMAXPROCS by default), so
+// distinct registers are served concurrently across cores while every
+// register keeps FIFO, single-goroutine handling.
+//
+// Anyone writing protocol code must follow the codec's buffer-ownership
+// rules — encoded payloads are immutable, decoded views may alias them, and
+// retained data is cloned exactly at its retention point — spelled out in
+// internal/wire/pool.go. The sole-mutator discipline those rules lean on is
+// per KEY-SHARD WORKER: all messages naming a register key are handled by
+// the same worker goroutine, which is therefore that key's only mutator.
+// Benchmarks quantifying each layer live in bench_test.go; BENCH_2.json and
+// BENCH_3.json record the measured trajectory.
 package fastread

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"fastread/internal/protoutil"
 	"fastread/internal/shard"
 	"fastread/internal/trace"
 	"fastread/internal/transport"
@@ -33,6 +34,10 @@ func (v VersionedValue) Less(other VersionedValue) bool {
 type ServerConfig struct {
 	// ID is the server's process identity.
 	ID types.ProcessID
+	// Workers is the number of key-shard workers executing this server's
+	// messages in parallel (a register key is always handled by the same
+	// worker). Zero or negative means GOMAXPROCS.
+	Workers int
 	// Trace, if non-nil, records protocol events.
 	Trace *trace.Trace
 }
@@ -53,6 +58,7 @@ type registerState struct {
 type Server struct {
 	cfg    ServerConfig
 	node   transport.Node
+	exec   *transport.Executor
 	states *shard.Map[*registerState]
 
 	stopOnce sync.Once
@@ -71,21 +77,25 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 	return &Server{
 		cfg:    cfg,
 		node:   node,
+		exec:   transport.NewExecutor(node, protoutil.WireKeyFunc, cfg.Workers),
 		states: shard.NewMap(0, func(string) *registerState { return &registerState{} }),
 		done:   make(chan struct{}),
 	}, nil
 }
 
-// Start launches the message-handling goroutine.
+// Start launches the server's key-sharded executor: messages are dispatched
+// by register key across the configured workers, so distinct registers are
+// served in parallel while each register keeps FIFO, single-goroutine
+// handling (see transport.Executor).
 func (s *Server) Start() {
 	go func() {
 		defer close(s.done)
-		transport.Serve(s.node, s.handle)
+		s.exec.Run(s.handle)
 	}()
 }
 
-// Stop detaches the server from the network and waits for the handler to
-// exit. Stop is idempotent.
+// Stop detaches the server from the network and waits for the executor to
+// drain every worker. Stop is idempotent.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { _ = s.node.Close() })
 	<-s.done
@@ -127,8 +137,9 @@ func (s *Server) TotalMutations() int64 {
 
 // handle processes one message on the per-message hot path: pooled zero-copy
 // decode, one clone at the adoption retention point, ack fields aliasing the
-// stored state (the handler goroutine is the only mutator, and the ack is
-// encoded before the next message is handled).
+// stored state (the key-shard worker handling this message is this key's
+// sole mutator, and the ack is encoded before the worker handles its next
+// message).
 func (s *Server) handle(m transport.Message) {
 	tr := s.cfg.Trace
 	req := wire.GetMessage()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"fastread/internal/protoutil"
 	"fastread/internal/shard"
 	"fastread/internal/sig"
 	"fastread/internal/trace"
@@ -25,6 +26,10 @@ type ServerConfig struct {
 	Byzantine bool
 	// Verifier is the writer's public key; required when Byzantine is true.
 	Verifier sig.Verifier
+	// Workers is the number of key-shard workers executing this server's
+	// messages in parallel (one goroutine per worker; a register key is
+	// always handled by the same worker). Zero or negative means GOMAXPROCS.
+	Workers int
 	// Trace, if non-nil, records protocol events.
 	Trace *trace.Trace
 }
@@ -62,6 +67,7 @@ type registerState struct {
 type Server struct {
 	cfg    ServerConfig
 	node   transport.Node
+	exec   *transport.Executor
 	states *shard.Map[*registerState]
 
 	// verify memoises successful writer-signature verifications in the
@@ -100,22 +106,26 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 		}),
 		done: make(chan struct{}),
 	}
+	s.exec = transport.NewExecutor(node, protoutil.WireKeyFunc, cfg.Workers)
 	if cfg.Byzantine {
 		s.verify = sig.NewCache(cfg.Verifier, 0)
 	}
 	return s, nil
 }
 
-// Start launches the message-handling goroutine.
+// Start launches the server's key-sharded executor: messages are dispatched
+// by register key across the configured workers, so distinct registers are
+// served in parallel while each register keeps FIFO, single-goroutine
+// handling (see transport.Executor).
 func (s *Server) Start() {
 	go func() {
 		defer close(s.done)
-		transport.Serve(s.node, s.handle)
+		s.exec.Run(s.handle)
 	}()
 }
 
-// Stop detaches the server from the network and waits for its handler
-// goroutine to exit. Stop is idempotent.
+// Stop detaches the server from the network and waits for the executor to
+// drain every worker. Stop is idempotent.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
 		_ = s.node.Close()
@@ -125,6 +135,10 @@ func (s *Server) Stop() {
 
 // ID returns the server's process identity.
 func (s *Server) ID() types.ProcessID { return s.cfg.ID }
+
+// Workers returns the number of key-shard workers executing this server's
+// messages.
+func (s *Server) Workers() int { return s.exec.Workers() }
 
 // snapshot deep-copies a register's state under the shard lock.
 func snapshot(st *registerState) ServerState {
@@ -199,9 +213,10 @@ func (s *Server) TotalMutations() int64 {
 // This is the per-message hot path. It decodes into a pooled scratch message
 // whose byte fields alias the payload (zero-copy), clones only at the one
 // retention point (adopting a newer value into register state), and builds
-// the acknowledgement aliasing the stored state — safe because the handler
-// goroutine is the only mutator of that state and the ack is encoded before
-// the next message is handled.
+// the acknowledgement aliasing the stored state — safe because the key-shard
+// worker handling this message is the only mutator of this key's state (the
+// executor routes every message naming a key to the same worker) and the ack
+// is encoded before the worker handles its next message.
 func (s *Server) handle(m transport.Message) {
 	tr := s.cfg.Trace
 	req := wire.GetMessage()

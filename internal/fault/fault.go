@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"fastread/internal/protoutil"
 	"fastread/internal/sig"
 	"fastread/internal/transport"
 	"fastread/internal/types"
@@ -67,6 +68,12 @@ func (b Behavior) String() string {
 type ByzantineConfig struct {
 	// ID is the malicious server's identity.
 	ID types.ProcessID
+	// Workers is the number of key-shard workers executing the server's
+	// messages (zero or negative means GOMAXPROCS). Malicious servers run on
+	// the same executor as honest ones so experiments exercise the same
+	// delivery machinery; the shared value/seen state is mutex-guarded, so
+	// parallel workers stay race-free.
+	Workers int
 	// Behavior selects what the server does.
 	Behavior Behavior
 	// Readers is R (used to fabricate seen sets).
@@ -85,6 +92,7 @@ type ByzantineConfig struct {
 type ByzantineServer struct {
 	cfg  ByzantineConfig
 	node transport.Node
+	exec *transport.Executor
 
 	mu    sync.Mutex
 	value types.TaggedValue
@@ -109,17 +117,18 @@ func NewByzantineServer(cfg ByzantineConfig, node transport.Node) (*ByzantineSer
 	return &ByzantineServer{
 		cfg:   cfg,
 		node:  node,
+		exec:  transport.NewExecutor(node, protoutil.WireKeyFunc, cfg.Workers),
 		value: types.InitialTaggedValue(),
 		seen:  types.NewProcessSet(),
 		done:  make(chan struct{}),
 	}, nil
 }
 
-// Start launches the malicious server's handler goroutine.
+// Start launches the malicious server's key-sharded executor.
 func (s *ByzantineServer) Start() {
 	go func() {
 		defer close(s.done)
-		transport.Serve(s.node, s.handle)
+		s.exec.Run(s.handle)
 	}()
 }
 

@@ -95,6 +95,11 @@ type ServerConfig struct {
 	// Quorum describes the deployment; the server waits for gossip from a
 	// majority of servers (including itself) before answering a read.
 	Quorum quorum.Config
+	// Workers is the number of key-shard workers executing this server's
+	// messages in parallel (a register key is always handled by the same
+	// worker, so a read's request and its gossip serialise per key). Zero or
+	// negative means GOMAXPROCS.
+	Workers int
 	// Trace, if non-nil, records protocol events.
 	Trace *trace.Trace
 }
@@ -107,6 +112,7 @@ type ServerConfig struct {
 type Server struct {
 	cfg     ServerConfig
 	node    transport.Node
+	exec    *transport.Executor
 	servers []types.ProcessID
 
 	states *shard.Map[*registerState]
@@ -129,6 +135,7 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 	return &Server{
 		cfg:     cfg,
 		node:    node,
+		exec:    transport.NewExecutor(node, protoutil.WireKeyFunc, cfg.Workers),
 		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
 		states: shard.NewMap(0, func(string) *registerState {
 			return &registerState{
@@ -141,16 +148,21 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 	}, nil
 }
 
-// Start launches the message-handling goroutine.
+// Start launches the server's key-sharded executor: messages are dispatched
+// by register key across the configured workers, so distinct registers are
+// served in parallel while each register keeps FIFO, single-goroutine
+// handling (see transport.Executor). A register's write, read and gossip
+// messages all carry its key, so the whole gossip exchange of a read
+// serialises on that key's worker.
 func (s *Server) Start() {
 	go func() {
 		defer close(s.done)
-		transport.Serve(s.node, s.handle)
+		s.exec.Run(s.handle)
 	}()
 }
 
-// Stop detaches the server from the network and waits for its handler to
-// exit.
+// Stop detaches the server from the network and waits for the executor to
+// drain every worker.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { _ = s.node.Close() })
 	<-s.done

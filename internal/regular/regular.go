@@ -59,6 +59,7 @@ type Server struct {
 	id   types.ProcessID
 	tr   *trace.Trace
 	node transport.Node
+	exec *transport.Executor
 
 	states *shard.Map[*registerState]
 
@@ -67,7 +68,10 @@ type Server struct {
 }
 
 // NewServer creates a regular-register server bound to the given node.
-func NewServer(id types.ProcessID, node transport.Node, tr *trace.Trace) (*Server, error) {
+// workers is the number of key-shard workers executing the server's messages
+// in parallel (a register key is always handled by the same worker); zero or
+// negative means GOMAXPROCS.
+func NewServer(id types.ProcessID, node transport.Node, tr *trace.Trace, workers int) (*Server, error) {
 	if id.Role != types.RoleServer || !id.Valid() {
 		return nil, fmt.Errorf("regular: server id %v is not a valid server identity", id)
 	}
@@ -78,6 +82,7 @@ func NewServer(id types.ProcessID, node transport.Node, tr *trace.Trace) (*Serve
 		id:   id,
 		tr:   tr,
 		node: node,
+		exec: transport.NewExecutor(node, protoutil.WireKeyFunc, workers),
 		states: shard.NewMap(0, func(string) *registerState {
 			return &registerState{value: types.InitialTaggedValue()}
 		}),
@@ -85,16 +90,19 @@ func NewServer(id types.ProcessID, node transport.Node, tr *trace.Trace) (*Serve
 	}, nil
 }
 
-// Start launches the message-handling goroutine.
+// Start launches the server's key-sharded executor: messages are dispatched
+// by register key across the configured workers, so distinct registers are
+// served in parallel while each register keeps FIFO, single-goroutine
+// handling (see transport.Executor).
 func (s *Server) Start() {
 	go func() {
 		defer close(s.done)
-		transport.Serve(s.node, s.handle)
+		s.exec.Run(s.handle)
 	}()
 }
 
-// Stop detaches the server from the network and waits for its handler to
-// exit.
+// Stop detaches the server from the network and waits for the executor to
+// drain every worker.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { _ = s.node.Close() })
 	<-s.done
@@ -117,8 +125,9 @@ func (s *Server) StateOf(key string) types.TaggedValue {
 
 // handle processes one message on the per-message hot path: pooled zero-copy
 // decode, one clone at the adoption retention point, ack fields aliasing the
-// stored state (the handler goroutine is the only mutator, and the ack is
-// encoded before the next message is handled).
+// stored state (the key-shard worker handling this message is this key's
+// sole mutator, and the ack is encoded before the worker handles its next
+// message).
 func (s *Server) handle(m transport.Message) {
 	req := wire.GetMessage()
 	defer wire.PutMessage(req)

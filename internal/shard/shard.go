@@ -52,9 +52,11 @@ func NewMap[S any](n int, newState func(key string) S) *Map[S] {
 	return m
 }
 
-// fnv1a is the 64-bit FNV-1a hash, inlined to keep key lookup
-// allocation-free (hash/fnv forces the key through an io.Writer).
-func fnv1a(key string) uint64 {
+// Hash is the 64-bit FNV-1a hash of a register key, inlined to keep key
+// lookup allocation-free (hash/fnv forces the key through an io.Writer).
+// Exported so every key-sharded component (this map's stripes, the
+// transport executor's workers) shards with the same function.
+func Hash(key string) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -68,7 +70,7 @@ func fnv1a(key string) uint64 {
 }
 
 func (m *Map[S]) stripeFor(key string) *stripe[S] {
-	return &m.stripes[fnv1a(key)%uint64(len(m.stripes))]
+	return &m.stripes[Hash(key)%uint64(len(m.stripes))]
 }
 
 // Do runs fn with the key's state while holding the key's stripe lock,

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"fastread/internal/types"
 )
@@ -11,13 +12,18 @@ import (
 // itself never inspects payloads.
 type KeyFunc func(Message) (key string, ok bool)
 
-// DefaultRouteBuffer is the per-route inbox capacity used when NewDemux is
-// given a non-positive one. A client has at most one operation in flight per
-// route (handles serialise their operations), and one operation solicits at
-// most S acknowledgements, so a route never holds more than a couple of
-// operations' worth of messages; 256 leaves a wide margin for any realistic
-// server count.
+// DefaultRouteBuffer is the capacity of the per-route delivery channel used
+// when NewDemux is given a non-positive one. The channel is only the handoff
+// between a route's forwarder and its consumer — the route's queue proper is
+// an unbounded mailbox — so the capacity merely smooths bursts; 256 covers
+// several operations' worth of acknowledgements for any realistic server
+// count.
 const DefaultRouteBuffer = 256
+
+// routeMap is the copy-on-write key→route table. Route open/close copies it
+// under the demux mutex; the pump reads it through an atomic pointer without
+// locking (mirroring the in-memory network's node table).
+type routeMap map[string]*demuxRoute
 
 // Demux multiplexes one physical transport node into many virtual nodes, one
 // per register key. It is the client-side half of the multi-register store:
@@ -28,41 +34,61 @@ const DefaultRouteBuffer = 256
 // Outbound messages pass straight through to the physical node (the payload
 // already carries the key, stamped by the protocol client). Inbound messages
 // are routed by a single pump goroutine: it reads the physical inbox,
-// extracts the key with the KeyFunc, and delivers to the matching route's
-// buffered channel. Messages for keys with no active route are dropped,
+// extracts the key with the KeyFunc, and pushes to the matching route's
+// unbounded mailbox. Messages for keys with no active route are dropped,
 // which the asynchronous model permits (they are indistinguishable from
 // messages delayed forever).
+//
+// Each route queues like a node: an UNBOUNDED mailbox drained by a forwarder
+// goroutine into the route's delivery channel. Unbounded is a correctness
+// requirement, not a convenience: a server lagging behind the quorum can
+// accumulate a long request backlog and then flush its acknowledgements in
+// one burst, and with a bounded route buffer that flood forced a drop policy
+// — either end of the queue — that could discard the in-flight operation's
+// quorum-completing acks and starve the client forever. With the mailbox,
+// the pump never blocks and never drops; a backlog costs memory briefly and
+// is reclaimed as the consumer drains.
+//
+// The per-message path takes no demux-wide lock: the route table is
+// copy-on-write (the Demux mutex is only taken when a route is opened or
+// closed), and the mailbox push is the same short per-route lock a node's
+// own inbox takes.
 type Demux struct {
 	node  Node
 	keyOf KeyFunc
 	buf   int
 
+	routes atomic.Pointer[routeMap]
+
+	// mu guards route open/close (table copy + swap) and the closed flag.
+	// The pump never takes it.
 	mu     sync.Mutex
-	routes map[string]*demuxRoute
 	closed bool
 
 	done chan struct{}
 }
 
 // NewDemux wraps a physical node and starts the routing pump. buf is the
-// per-route inbox capacity (DefaultRouteBuffer if <= 0).
+// per-route delivery channel capacity (DefaultRouteBuffer if <= 0).
 func NewDemux(node Node, keyOf KeyFunc, buf int) *Demux {
 	if buf <= 0 {
 		buf = DefaultRouteBuffer
 	}
 	d := &Demux{
-		node:   node,
-		keyOf:  keyOf,
-		buf:    buf,
-		routes: make(map[string]*demuxRoute),
-		done:   make(chan struct{}),
+		node:  node,
+		keyOf: keyOf,
+		buf:   buf,
+		done:  make(chan struct{}),
 	}
+	empty := make(routeMap)
+	d.routes.Store(&empty)
 	go d.pump()
 	return d
 }
 
 // pump routes every delivered message to its key's route until the physical
-// node closes, then closes every route inbox.
+// node closes, then closes every route. The table lookup is lock-free; see
+// Demux.
 func (d *Demux) pump() {
 	defer close(d.done)
 	for msg := range d.node.Inbox() {
@@ -70,27 +96,21 @@ func (d *Demux) pump() {
 		if !ok {
 			continue
 		}
-		// Delivery happens under the demux lock so a concurrent Route.Close
-		// cannot close the channel mid-send. The send itself is non-blocking:
-		// a full route (a client that stopped draining its inbox) must not
-		// stall every other register sharing the physical node, and dropping
-		// is safe in the asynchronous model.
-		d.mu.Lock()
-		if rt := d.routes[key]; rt != nil {
-			select {
-			case rt.inbox <- msg:
-			default:
-			}
+		if rt := (*d.routes.Load())[key]; rt != nil {
+			rt.box.push(msg)
 		}
-		d.mu.Unlock()
 	}
 	d.mu.Lock()
 	d.closed = true
-	routes := d.routes
-	d.routes = make(map[string]*demuxRoute)
+	routes := *d.routes.Load()
+	empty := make(routeMap)
+	d.routes.Store(&empty)
 	d.mu.Unlock()
 	for _, rt := range routes {
-		rt.closeInbox()
+		rt.shutdown()
+	}
+	for _, rt := range routes {
+		<-rt.done
 	}
 }
 
@@ -100,19 +120,26 @@ func (d *Demux) Node() Node { return d.node }
 // Route returns the virtual node for the given register key, creating it on
 // first use. Calling Route again with the same key returns the same virtual
 // node until that node is closed. After the demux (or physical node) closes,
-// Route returns a virtual node whose inbox is already closed.
+// Route returns a virtual node whose inbox is already closed (or about to
+// close: its forwarder exits as soon as it observes the closed mailbox).
 func (d *Demux) Route(key string) Node {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if rt, ok := d.routes[key]; ok {
+	old := *d.routes.Load()
+	if rt, ok := old[key]; ok {
 		return rt
 	}
-	rt := &demuxRoute{demux: d, key: key, inbox: make(chan Message, d.buf)}
+	rt := newDemuxRoute(d, key)
 	if d.closed {
-		rt.closeInbox()
+		rt.shutdown()
 		return rt
 	}
-	d.routes[key] = rt
+	next := make(routeMap, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = rt
+	d.routes.Store(&next)
 	return rt
 }
 
@@ -124,15 +151,56 @@ func (d *Demux) Close() error {
 	return err
 }
 
-// demuxRoute is the virtual per-key node handed to protocol clients.
+// demuxRoute is the virtual per-key node handed to protocol clients: an
+// unbounded mailbox filled by the demux pump, drained in batches by the
+// route's forwarder goroutine into the delivery channel.
 type demuxRoute struct {
 	demux *Demux
 	key   string
+	box   *mailbox
 	inbox chan Message
-	once  sync.Once
+
+	closeOnce sync.Once
+	done      chan struct{}
 }
 
 var _ Node = (*demuxRoute)(nil)
+
+// newDemuxRoute builds a route and starts its forwarder.
+func newDemuxRoute(d *Demux, key string) *demuxRoute {
+	rt := &demuxRoute{
+		demux: d,
+		key:   key,
+		box:   newMailbox(),
+		inbox: make(chan Message, d.buf),
+		done:  make(chan struct{}),
+	}
+	go rt.forward()
+	return rt
+}
+
+// forward moves messages from the route's mailbox to its delivery channel in
+// batches, exactly like a node's pump; it exits — closing the channel — once
+// the mailbox is closed and drained.
+func (rt *demuxRoute) forward() {
+	defer close(rt.done)
+	defer close(rt.inbox)
+	rt.box.drain(func(m Message) { rt.inbox <- m })
+}
+
+// shutdown closes the route's mailbox and unblocks its forwarder even if the
+// consumer stopped reading the delivery channel. Idempotent.
+func (rt *demuxRoute) shutdown() {
+	rt.closeOnce.Do(func() {
+		rt.box.close()
+		// Drain the delivery channel so the forwarder can exit even if the
+		// owner stopped reading (mirrors inMemNode.Close).
+		go func() {
+			for range rt.inbox {
+			}
+		}()
+	})
+}
 
 // ID returns the identity of the underlying physical node: a virtual node is
 // the same process, talking about a different register.
@@ -147,19 +215,22 @@ func (rt *demuxRoute) Send(to types.ProcessID, kind string, payload []byte) erro
 func (rt *demuxRoute) Inbox() <-chan Message { return rt.inbox }
 
 // Close detaches this key's route from the demux. The physical node and the
-// other keys' routes are unaffected. Closing the inbox happens under the
-// demux lock, which excludes the pump's in-flight delivery to this route.
+// other keys' routes are unaffected.
 func (rt *demuxRoute) Close() error {
-	rt.demux.mu.Lock()
-	if rt.demux.routes[rt.key] == rt {
-		delete(rt.demux.routes, rt.key)
+	d := rt.demux
+	d.mu.Lock()
+	old := *d.routes.Load()
+	if old[rt.key] == rt {
+		next := make(routeMap, len(old))
+		for k, v := range old {
+			if k != rt.key {
+				next[k] = v
+			}
+		}
+		d.routes.Store(&next)
 	}
-	rt.closeInbox()
-	rt.demux.mu.Unlock()
+	d.mu.Unlock()
+	rt.shutdown()
+	<-rt.done
 	return nil
-}
-
-// closeInbox closes the route's channel exactly once.
-func (rt *demuxRoute) closeInbox() {
-	rt.once.Do(func() { close(rt.inbox) })
 }

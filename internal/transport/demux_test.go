@@ -208,3 +208,43 @@ func TestDemuxConcurrentCloseAndDeliver(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestDemuxRouteSurvivesBurstBacklog regression-tests the unbounded route
+// queue: a server that lags behind the quorum can flush thousands of
+// acknowledgements at a client in one burst while the client is not draining.
+// With the old bounded route buffer the flood forced drops — including,
+// fatally, the in-flight operation's fresh acks — and permanently starved
+// the client. Every burst message must now survive until the consumer gets
+// around to draining, in order.
+func TestDemuxRouteSurvivesBurstBacklog(t *testing.T) {
+	const burst = 5000 // far beyond DefaultRouteBuffer
+
+	net := NewInMemNetwork()
+	defer net.Close()
+	client, err := net.Join(types.Reader(1))
+	if err != nil {
+		t.Fatalf("join client: %v", err)
+	}
+	server, err := net.Join(types.Server(1))
+	if err != nil {
+		t.Fatalf("join server: %v", err)
+	}
+
+	d := NewDemux(client, demuxKeyFunc, 0)
+	defer d.Close()
+	route := d.Route("k")
+
+	// Flood without draining: everything must queue in the route's mailbox.
+	for i := 0; i < burst; i++ {
+		if err := server.Send(types.Reader(1), "ack", []byte(fmt.Sprintf("k|%d", i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+
+	for i := 0; i < burst; i++ {
+		m := recvTimeout(t, route.Inbox())
+		if want := fmt.Sprintf("k|%d", i); string(m.Payload) != want {
+			t.Fatalf("message %d: got %q, want %q — burst reordered or dropped", i, m.Payload, want)
+		}
+	}
+}

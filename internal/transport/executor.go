@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"runtime"
+	"sync"
+
+	"fastread/internal/shard"
+)
+
+// Executor drains a node's inbox and executes a handler over N key-sharded
+// workers, so one server process scales across cores instead of serialising
+// every register's traffic through a single handler goroutine.
+//
+// Each delivered message is dispatched by the hash of its register key to a
+// fixed worker: the SAME key always lands on the SAME worker. That preserves,
+// at worker granularity, the two properties the protocol servers rely on:
+//
+//   - Per-key FIFO delivery. The dispatcher reads the inbox in delivery
+//     order and each worker's mailbox is FIFO, so two messages carrying the
+//     same key are handled in the order the transport delivered them.
+//     Messages for DIFFERENT keys may be handled in any order, which the
+//     asynchronous model already permits (they could have been delayed).
+//
+//   - Sole mutator. All messages naming a key are handled by one goroutine,
+//     so that key's server state has a single mutating goroutine and the
+//     hot-path aliasing discipline of internal/wire/pool.go carries over
+//     unchanged: an ack may alias the key's stored state because no other
+//     worker ever mutates it.
+//
+// Messages whose key cannot be extracted (keyOf reports ok=false, e.g. an
+// undecodable payload) are routed to worker 0 rather than dropped, so the
+// handler still observes them and can trace the drop itself — exactly what
+// the single-goroutine Serve loop did.
+//
+// Workers pull RUNS of messages per synchronisation: each worker drains its
+// whole mailbox in one batched pop (mailbox.popAll, an O(1) slice swap under
+// the lock), then handles the batch lock-free. Under load this amortises the
+// mutex/condvar traffic of the old one-pop-per-message loop across the whole
+// run.
+type Executor struct {
+	node    Node
+	keyOf   KeyFunc
+	workers []*mailbox
+	wg      sync.WaitGroup
+}
+
+// NewExecutor builds an executor over the node with the given number of
+// key-shard workers (GOMAXPROCS if workers <= 0). It does not start any
+// goroutine; call Run.
+func NewExecutor(node Node, keyOf KeyFunc, workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Executor{node: node, keyOf: keyOf}
+	for i := 0; i < workers; i++ {
+		e.workers = append(e.workers, newMailbox())
+	}
+	return e
+}
+
+// Workers returns the number of key-shard workers.
+func (e *Executor) Workers() int { return len(e.workers) }
+
+// Run dispatches the node's inbox across the workers and blocks until the
+// node is closed AND every worker has drained its mailbox, so a caller that
+// closes the node and then waits for Run to return observes every delivered
+// message handled. Run must be called at most once.
+//
+// With a single worker the dispatch hop would buy nothing, so Run degenerates
+// to the plain Serve loop: handler runs inline on the dispatcher goroutine,
+// with identical semantics and no added queueing.
+func (e *Executor) Run(handler func(Message)) {
+	if len(e.workers) == 1 {
+		Serve(e.node, handler)
+		return
+	}
+	e.wg.Add(len(e.workers))
+	for _, box := range e.workers {
+		go e.work(box, handler)
+	}
+	n := uint64(len(e.workers))
+	for msg := range e.node.Inbox() {
+		w := uint64(0)
+		if key, ok := e.keyOf(msg); ok {
+			// shard.Hash is the same FNV-1a the servers' state maps stripe
+			// with, so worker sharding and state striping cannot diverge.
+			w = shard.Hash(key) % n
+		}
+		e.workers[w].push(msg)
+	}
+	for _, box := range e.workers {
+		box.close()
+	}
+	e.wg.Wait()
+}
+
+// work is one key-shard worker: drain the mailbox in batched runs, handling
+// each message in order (see mailbox.drain for the buffer recycling rules).
+func (e *Executor) work(box *mailbox, handler func(Message)) {
+	defer e.wg.Done()
+	box.drain(handler)
+}

@@ -1,0 +1,304 @@
+package transport
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastread/internal/shard"
+	"fastread/internal/types"
+)
+
+// execKeyFunc routes by the payload prefix before '|' (payloads look like
+// "key|seq"), mirroring how the real servers route by the wire key.
+func execKeyFunc(m Message) (string, bool) {
+	s := string(m.Payload)
+	i := strings.IndexByte(s, '|')
+	if i < 0 {
+		return "", false
+	}
+	return s[:i], true
+}
+
+// execSeq extracts the per-key sequence number from a "key|seq" payload,
+// returning -1 on a malformed payload. It runs on executor goroutines where
+// t.Fatalf is invalid; the tests' ordering assertions flag the -1 sentinel
+// on the test goroutine instead.
+func execSeq(m Message) int {
+	s := string(m.Payload)
+	i := strings.IndexByte(s, '|')
+	if i < 0 {
+		return -1
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// waitUntil polls cond until it holds or the deadline passes. Closing a node
+// discards messages still in flight (exactly as under Serve), so tests wait
+// for full delivery before shutting the executor down.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// distinctShards returns keys from the candidates that land on pairwise
+// distinct workers, to guarantee the FIFO test actually crosses workers.
+func distinctShards(candidates []string, workers, want int) []string {
+	used := make(map[uint64]bool)
+	var out []string
+	for _, k := range candidates {
+		s := shard.Hash(k) % uint64(workers)
+		if used[s] {
+			continue
+		}
+		used[s] = true
+		out = append(out, k)
+		if len(out) == want {
+			break
+		}
+	}
+	return out
+}
+
+// TestExecutorPerKeyFIFO interleaves sends on several keys that hash to
+// different workers and asserts every key's messages are handled in send
+// order, while messages overall execute on multiple workers. Run under -race
+// this also checks the dispatch/worker handoff for data races.
+func TestExecutorPerKeyFIFO(t *testing.T) {
+	const workers = 4
+	const perKey = 500
+
+	candidates := make([]string, 64)
+	for i := range candidates {
+		candidates[i] = fmt.Sprintf("key-%d", i)
+	}
+	keys := distinctShards(candidates, workers, 3)
+	if len(keys) < 2 {
+		t.Fatalf("could not find keys on distinct workers (got %d)", len(keys))
+	}
+
+	net := NewInMemNetwork()
+	defer func() { _ = net.Close() }()
+	server := mustJoin(t, net, types.Server(1))
+	client := mustJoin(t, net, types.Writer())
+
+	var mu sync.Mutex
+	seqs := make(map[string][]int)
+	exec := NewExecutor(server, execKeyFunc, workers)
+	var execDone sync.WaitGroup
+	execDone.Add(1)
+	go func() {
+		defer execDone.Done()
+		exec.Run(func(m Message) {
+			key, _ := execKeyFunc(m)
+			mu.Lock()
+			seqs[key] = append(seqs[key], execSeq(m))
+			mu.Unlock()
+		})
+	}()
+
+	// One sender interleaves the keys round-robin, so consecutive messages
+	// for one key always have other keys' messages between them.
+	for seq := 0; seq < perKey; seq++ {
+		for _, key := range keys {
+			payload := []byte(fmt.Sprintf("%s|%d", key, seq))
+			if err := client.Send(types.Server(1), "op", payload); err != nil {
+				t.Fatalf("send %s/%d: %v", key, seq, err)
+			}
+		}
+	}
+
+	// The in-memory network delivers reliably, so every message is handled
+	// eventually; wait for that, then stop the executor.
+	waitUntil(t, "all messages handled", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, key := range keys {
+			if len(seqs[key]) != perKey {
+				return false
+			}
+		}
+		return true
+	})
+	if err := server.Close(); err != nil {
+		t.Fatalf("close server node: %v", err)
+	}
+	execDone.Wait()
+
+	for _, key := range keys {
+		got := seqs[key]
+		if len(got) != perKey {
+			t.Fatalf("key %s: handled %d messages, want %d", key, len(got), perKey)
+		}
+		for i, seq := range got {
+			if seq != i {
+				t.Fatalf("key %s: position %d got seq %d — per-key FIFO violated", key, i, seq)
+			}
+		}
+	}
+}
+
+// TestExecutorDrainsOnStop floods the executor across many keys and checks
+// that every message is handled exactly once and that Run returns after the
+// node closes with all workers drained.
+func TestExecutorDrainsOnStop(t *testing.T) {
+	const total = 2000
+	net := NewInMemNetwork()
+	defer func() { _ = net.Close() }()
+	server := mustJoin(t, net, types.Server(1))
+	client := mustJoin(t, net, types.Writer())
+
+	var handled atomic.Int64
+	exec := NewExecutor(server, execKeyFunc, 4)
+	var execDone sync.WaitGroup
+	execDone.Add(1)
+	go func() {
+		defer execDone.Done()
+		exec.Run(func(Message) { handled.Add(1) })
+	}()
+
+	for i := 0; i < total; i++ {
+		payload := []byte(fmt.Sprintf("key-%d|%d", i%17, i))
+		if err := client.Send(types.Server(1), "op", payload); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	waitUntil(t, "all messages handled", func() bool { return handled.Load() == total })
+	if err := server.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	execDone.Wait()
+	if n := handled.Load(); n != total {
+		t.Fatalf("handled %d messages, want %d", n, total)
+	}
+}
+
+// TestExecutorRoutesUnkeyedMessages checks that a message whose key cannot be
+// extracted still reaches the handler (on worker 0) instead of vanishing —
+// the handler owns the decision to drop, exactly as under Serve.
+func TestExecutorRoutesUnkeyedMessages(t *testing.T) {
+	net := NewInMemNetwork()
+	defer func() { _ = net.Close() }()
+	server := mustJoin(t, net, types.Server(1))
+	client := mustJoin(t, net, types.Writer())
+
+	var handled atomic.Int64
+	exec := NewExecutor(server, execKeyFunc, 4)
+	var execDone sync.WaitGroup
+	execDone.Add(1)
+	go func() {
+		defer execDone.Done()
+		exec.Run(func(Message) { handled.Add(1) })
+	}()
+
+	if err := client.Send(types.Server(1), "op", []byte("malformed-no-separator")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	waitUntil(t, "unkeyed message handled", func() bool { return handled.Load() == 1 })
+	if err := server.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	execDone.Wait()
+}
+
+// TestExecutorSingleWorkerInline checks the one-worker degenerate case (the
+// GOMAXPROCS=1 shape): handling still works and Run still drains on close.
+func TestExecutorSingleWorkerInline(t *testing.T) {
+	net := NewInMemNetwork()
+	defer func() { _ = net.Close() }()
+	server := mustJoin(t, net, types.Server(1))
+	client := mustJoin(t, net, types.Writer())
+
+	exec := NewExecutor(server, execKeyFunc, 1)
+	if exec.Workers() != 1 {
+		t.Fatalf("workers = %d, want 1", exec.Workers())
+	}
+	var mu sync.Mutex
+	var got []int
+	var execDone sync.WaitGroup
+	execDone.Add(1)
+	go func() {
+		defer execDone.Done()
+		exec.Run(func(m Message) {
+			mu.Lock()
+			got = append(got, execSeq(m))
+			mu.Unlock()
+		})
+	}()
+	for i := 0; i < 100; i++ {
+		if err := client.Send(types.Server(1), "op", []byte(fmt.Sprintf("k|%d", i))); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	waitUntil(t, "all messages handled", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 100
+	})
+	if err := server.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	execDone.Wait()
+	for i, seq := range got {
+		if seq != i {
+			t.Fatalf("position %d got seq %d — FIFO violated", i, seq)
+		}
+	}
+}
+
+// TestMailboxPopAll exercises the batched pop: it takes the whole queue in
+// one call, recycles the handed-back buffer, and reports closure only after
+// the queue is drained.
+func TestMailboxPopAll(t *testing.T) {
+	m := newMailbox()
+	for i := 0; i < 5; i++ {
+		if !m.push(Message{Kind: fmt.Sprintf("m%d", i)}) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	batch, ok := m.popAll(nil)
+	if !ok || len(batch) != 5 {
+		t.Fatalf("popAll = %d msgs, ok=%v; want 5, true", len(batch), ok)
+	}
+	for i := range batch {
+		if want := fmt.Sprintf("m%d", i); batch[i].Kind != want {
+			t.Fatalf("batch[%d] = %q, want %q", i, batch[i].Kind, want)
+		}
+		batch[i] = Message{}
+	}
+
+	// The cleared batch becomes the mailbox's next backing array: pushing
+	// fewer messages than its capacity must not allocate a fresh one.
+	if !m.push(Message{Kind: "again"}) {
+		t.Fatal("push after popAll rejected")
+	}
+	second, ok := m.popAll(batch)
+	if !ok || len(second) != 1 || second[0].Kind != "again" {
+		t.Fatalf("second popAll = %v, ok=%v", second, ok)
+	}
+
+	// Close with messages queued: they must still drain before ok=false.
+	m.push(Message{Kind: "last"})
+	m.close()
+	third, ok := m.popAll(nil)
+	if !ok || len(third) != 1 || third[0].Kind != "last" {
+		t.Fatalf("popAll after close = %v, ok=%v; want the queued message", third, ok)
+	}
+	if batch, ok := m.popAll(nil); ok {
+		t.Fatalf("popAll on closed drained mailbox returned %v, want ok=false", batch)
+	}
+}

@@ -393,19 +393,15 @@ type inMemNode struct {
 var _ Node = (*inMemNode)(nil)
 
 // startPump launches the goroutine that moves messages from the unbounded
-// mailbox to the delivery channel.
+// mailbox to the delivery channel. It drains the mailbox in batches (one
+// lock/condvar synchronisation per run of messages, not per message) and
+// forwards each message in order (see mailbox.drain).
 func (nd *inMemNode) startPump() {
 	nd.done = make(chan struct{})
 	go func() {
 		defer close(nd.done)
 		defer close(nd.inbox)
-		for {
-			msg, ok := nd.box.pop()
-			if !ok {
-				return
-			}
-			nd.inbox <- msg
-		}
+		nd.box.drain(func(m Message) { nd.inbox <- m })
 	}()
 }
 

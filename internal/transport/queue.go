@@ -2,6 +2,13 @@ package transport
 
 import "sync"
 
+// maxRetainedBatch bounds the capacity of the batch buffer a drain loop
+// recycles between popAll calls. A burst can grow a batch arbitrarily; once
+// processed, a buffer larger than this is dropped so the burst's memory is
+// returned to the allocator instead of being pinned for the consumer's
+// lifetime.
+const maxRetainedBatch = 1024
+
 // mailbox is an unbounded FIFO queue of messages with a channel-based
 // delivery side.
 //
@@ -57,6 +64,58 @@ func (m *mailbox) pop() (Message, bool) {
 		m.items = nil
 	}
 	return msg, true
+}
+
+// popAll blocks until at least one message is available (or the mailbox is
+// closed and drained), then takes the ENTIRE queue in one O(1) slice swap:
+// the caller receives the queued batch and the mailbox adopts buf (length 0)
+// as its new backing array. Callers hand back the previous batch — cleared —
+// as buf, so steady-state batching ping-pongs between two arrays and
+// allocates nothing. The second return value is false once the mailbox is
+// closed and drained.
+//
+// Compared with calling pop in a loop, one lock/condvar synchronisation is
+// paid per RUN of messages instead of per message. The caller owns the
+// returned batch outright; it must not retain it past the next popAll call
+// with the same buffer.
+func (m *mailbox) popAll(buf []Message) ([]Message, bool) {
+	m.mu.Lock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		m.mu.Unlock()
+		return nil, false
+	}
+	batch := m.items
+	m.items = buf[:0]
+	m.mu.Unlock()
+	return batch, true
+}
+
+// drain delivers the mailbox's messages in FIFO order, in batches, until the
+// mailbox is closed and empty. It owns the batch-buffer recycling
+// discipline shared by every consumer loop (node pumps, demux route
+// forwarders, executor workers): one popAll per run of messages, entries
+// zeroed after delivery so the recycled buffer does not pin payloads, and
+// oversized burst buffers dropped (maxRetainedBatch) so a burst's memory is
+// returned to the allocator.
+func (m *mailbox) drain(deliver func(Message)) {
+	var buf []Message
+	for {
+		batch, ok := m.popAll(buf)
+		if !ok {
+			return
+		}
+		for i := range batch {
+			deliver(batch[i])
+			batch[i] = Message{}
+		}
+		buf = batch
+		if cap(buf) > maxRetainedBatch {
+			buf = nil
+		}
+	}
 }
 
 // close marks the mailbox closed. Messages already queued are still

@@ -69,6 +69,14 @@ type Config struct {
 	// Protocol selects the implementation; the zero value means
 	// ProtocolFast.
 	Protocol Protocol
+	// ServerWorkers is the number of key-shard workers each server process
+	// runs: its messages are dispatched by register key across that many
+	// goroutines, so distinct keys execute in parallel while every key keeps
+	// FIFO, single-goroutine handling (see internal/transport.Executor).
+	// Zero or negative means GOMAXPROCS — except in NewCluster, which
+	// rewrites zero to 1 (a lone register's traffic all hashes to one shard;
+	// pass a negative value there to force GOMAXPROCS workers).
+	ServerWorkers int
 	// NetworkDelay, when non-zero, adds a uniform one-way delivery delay to
 	// every message of the in-memory network, which makes round-trip counts
 	// directly visible in operation latency.

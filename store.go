@@ -133,7 +133,9 @@ func NewStore(cfg Config) (*Store, error) {
 }
 
 // startServers launches the protocol-appropriate keyed server on every
-// server identity. One server goroutine set handles every register.
+// server identity. Each server executes its messages on a key-sharded
+// executor with cfg.ServerWorkers workers, so one server process serves
+// every register, in parallel across keys.
 func (s *Store) startServers() error {
 	var stateFns []func() int64
 	for i := 1; i <= s.cfg.Servers; i++ {
@@ -149,6 +151,7 @@ func (s *Store) startServers() error {
 				Readers:   s.cfg.Readers,
 				Byzantine: s.cfg.Protocol == ProtocolFastByzantine,
 				Verifier:  s.keys.Verifier,
+				Workers:   s.cfg.ServerWorkers,
 			}, node)
 			if err != nil {
 				return err
@@ -157,7 +160,7 @@ func (s *Store) startServers() error {
 			s.stopServers = append(s.stopServers, srv.Stop)
 			stateFns = append(stateFns, srv.TotalMutations)
 		case ProtocolABD:
-			srv, err := abd.NewServer(abd.ServerConfig{ID: id}, node)
+			srv, err := abd.NewServer(abd.ServerConfig{ID: id, Workers: s.cfg.ServerWorkers}, node)
 			if err != nil {
 				return err
 			}
@@ -165,7 +168,7 @@ func (s *Store) startServers() error {
 			s.stopServers = append(s.stopServers, srv.Stop)
 			stateFns = append(stateFns, srv.TotalMutations)
 		case ProtocolMaxMin:
-			srv, err := maxmin.NewServer(maxmin.ServerConfig{ID: id, Quorum: s.qcfg}, node)
+			srv, err := maxmin.NewServer(maxmin.ServerConfig{ID: id, Quorum: s.qcfg, Workers: s.cfg.ServerWorkers}, node)
 			if err != nil {
 				return err
 			}
@@ -173,7 +176,7 @@ func (s *Store) startServers() error {
 			s.stopServers = append(s.stopServers, srv.Stop)
 			stateFns = append(stateFns, func() int64 { return 0 })
 		case ProtocolRegular:
-			srv, err := regular.NewServer(id, node, nil)
+			srv, err := regular.NewServer(id, node, nil, s.cfg.ServerWorkers)
 			if err != nil {
 				return err
 			}
