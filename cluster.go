@@ -66,8 +66,9 @@ func (c *Cluster) Config() Config { return c.store.Config() }
 func (c *Cluster) Stats() Stats { return c.store.Stats() }
 
 // Network exposes the underlying in-memory network for tests, fault
-// injection and the adversarial schedules.
-func (c *Cluster) Network() *transport.InMemNetwork { return c.store.Network() }
+// injection and the adversarial schedules. On backends without an in-memory
+// network (TCP) it reports ErrUnsupported.
+func (c *Cluster) Network() (*transport.InMemNetwork, error) { return c.store.Network() }
 
 // Close shuts the cluster down: all servers stop and the network is closed.
 func (c *Cluster) Close() error { return c.store.Close() }

@@ -1,9 +1,12 @@
 // Command regclient is the client-side companion of cmd/regserver: it acts
-// as the deployment's writer or as one of its readers over TCP.
+// as the deployment's writer or as one of its readers over TCP. Like the
+// server it resolves the register implementation through the protocol driver
+// registry, so -protocol drives any of the repository's protocols against a
+// matching server deployment:
 //
 //	regclient -id w  -book "$BOOK" -S 4 -t 1 -R 1 write "hello"
 //	regclient -id r1 -book "$BOOK" -S 4 -t 1 -R 1 read
-//	regclient -id r1 -book "$BOOK" -S 4 -t 1 -R 1 bench -ops 1000
+//	regclient -id r1 -book "$BOOK" -S 4 -t 1 -R 1 -protocol abd bench -ops 1000
 //
 // One server deployment multiplexes many named registers; -key selects which
 // register to operate on (default: the deployment's default register), and
@@ -14,28 +17,36 @@
 //	regclient -id r1 -book "$BOOK" -key user/42 read
 //	regclient -id w  -book "$BOOK" -key bench- -keys 16 bench -ops 1000
 //
-// The deployment parameters (-S, -t, -b, -R) must match what the servers were
-// started with; the exact fast-read bound is checked locally before any
-// operation is attempted.
+// The bench subcommand reports throughput plus the latency distribution
+// (mean, p50, p95, p99, max).
+//
+// The deployment parameters (-S, -t, -b, -R) and -protocol must match what
+// the servers were started with; the protocol's deployment bound (the fast
+// protocols' reader bound, the majority protocols' t < S/2) is checked
+// locally before any operation is attempted.
 package main
 
 import (
 	"context"
-	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
-	"fastread/internal/core"
+	"fastread/internal/driver"
 	"fastread/internal/protoutil"
 	"fastread/internal/quorum"
-	"fastread/internal/sig"
 	"fastread/internal/stats"
 	"fastread/internal/transport"
 	"fastread/internal/transport/tcpnet"
 	"fastread/internal/types"
+
+	// Register every protocol driver this binary can drive.
+	_ "fastread/internal/abd"
+	_ "fastread/internal/core"
+	_ "fastread/internal/maxmin"
+	_ "fastread/internal/regular"
 )
 
 func main() {
@@ -50,12 +61,13 @@ func run(args []string) error {
 	var (
 		idFlag    = fs.String("id", "r1", "client identity: w for the writer, r1..rR for readers")
 		bookFlag  = fs.String("book", "", "address book: comma-separated id=host:port pairs")
+		protocol  = fs.String("protocol", "fast", "register protocol: "+strings.Join(driver.Names(), " | "))
 		servers   = fs.Int("S", 4, "number of servers")
 		faulty    = fs.Int("t", 1, "maximum faulty servers")
 		malicious = fs.Int("b", 0, "maximum malicious servers")
 		readers   = fs.Int("R", 1, "number of readers")
-		byz       = fs.Bool("byz", false, "use the arbitrary-failure variant")
-		keyHex    = fs.String("writer-key", "", "hex-encoded writer private seed (Byzantine writer) or public key (Byzantine reader)")
+		byz       = fs.Bool("byz", false, "deprecated: alias for -protocol fast-byz")
+		keyHex    = fs.String("writer-key", "", "hex-encoded writer private seed (signing writer) or public key (verifying reader)")
 		timeout   = fs.Duration("timeout", 5*time.Second, "per-operation timeout")
 		ops       = fs.Int("ops", 100, "operation count for the bench subcommand")
 		key       = fs.String("key", "", "register key to operate on (empty = default register)")
@@ -70,6 +82,19 @@ func run(args []string) error {
 	command := fs.Arg(0)
 	if *keysN < 1 {
 		return fmt.Errorf("-keys must be >= 1, got %d", *keysN)
+	}
+	if *byz {
+		switch *protocol {
+		case "fast", "fast-byz":
+			*protocol = "fast-byz"
+		default:
+			return fmt.Errorf("contradictory flags: -byz with -protocol %s", *protocol)
+		}
+	}
+
+	drv, ok := driver.Lookup(*protocol)
+	if !ok {
+		return fmt.Errorf("unknown -protocol %q (have: %s)", *protocol, strings.Join(driver.Names(), ", "))
 	}
 
 	keys := []string{*key}
@@ -88,13 +113,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := quorum.Config{Servers: *servers, Faulty: *faulty, Malicious: *malicious, Readers: *readers}
-	if err := cfg.Validate(); err != nil {
+	qcfg := quorum.Config{Servers: *servers, Faulty: *faulty, Malicious: *malicious, Readers: *readers}
+	if err := qcfg.Validate(); err != nil {
 		return err
 	}
-	if !cfg.FastReadPossible() {
-		return fmt.Errorf("configuration %v does not admit fast reads (max readers = %d)",
-			cfg, quorum.MaxFastReaders(*servers, *faulty, *malicious))
+	if err := drv.Validate(qcfg); err != nil {
+		return err
 	}
 
 	node, err := tcpnet.Listen(tcpnet.Config{Self: id, Book: book})
@@ -108,42 +132,44 @@ func run(args []string) error {
 	// in-memory Store does.
 	demux := transport.NewDemux(node, protoutil.WireKeyFunc, 0)
 
-	ctx := context.Background()
-	switch {
-	case id.Role == types.RoleWriter:
-		writerCfg := core.WriterConfig{Quorum: cfg, Byzantine: *byz}
-		if *byz {
+	clientCfg := driver.ClientConfig{Quorum: qcfg}
+	if drv.NeedsSignatures {
+		switch id.Role {
+		case types.RoleWriter:
 			signer, err := signerFromHex(*keyHex)
 			if err != nil {
 				return err
 			}
-			writerCfg.Signer = signer
+			clientCfg.Signer = signer
+		case types.RoleReader:
+			verifier, err := verifierFromHex(*keyHex)
+			if err != nil {
+				return err
+			}
+			clientCfg.Verifier = verifier
 		}
-		writers := make([]*core.Writer, len(keys))
+	}
+
+	ctx := context.Background()
+	switch id.Role {
+	case types.RoleWriter:
+		writers := make([]driver.Writer, len(keys))
 		for i, k := range keys {
-			kCfg := writerCfg
+			kCfg := clientCfg
 			kCfg.Key = k
-			w, err := core.NewWriter(kCfg, demux.Route(k))
+			w, err := drv.NewWriter(kCfg, demux.Route(k))
 			if err != nil {
 				return err
 			}
 			writers[i] = w
 		}
 		return runWriter(ctx, writers, command, fs.Args(), *timeout, *ops)
-	case id.Role == types.RoleReader:
-		readerCfg := core.ReaderConfig{Quorum: cfg, Byzantine: *byz}
-		if *byz {
-			verifier, err := verifierFromHex(*keyHex)
-			if err != nil {
-				return err
-			}
-			readerCfg.Verifier = verifier
-		}
-		readers := make([]*core.Reader, len(keys))
+	case types.RoleReader:
+		readers := make([]driver.Reader, len(keys))
 		for i, k := range keys {
-			kCfg := readerCfg
+			kCfg := clientCfg
 			kCfg.Key = k
-			r, err := core.NewReader(kCfg, demux.Route(k))
+			r, err := drv.NewReader(kCfg, demux.Route(k))
 			if err != nil {
 				return err
 			}
@@ -157,7 +183,7 @@ func run(args []string) error {
 
 // runWriter executes the writer-side subcommands. The bench subcommand
 // round-robins its operations over every per-key writer.
-func runWriter(ctx context.Context, writers []*core.Writer, command string, args []string, timeout time.Duration, ops int) error {
+func runWriter(ctx context.Context, writers []driver.Writer, command string, args []string, timeout time.Duration, ops int) error {
 	switch command {
 	case "write":
 		if len(args) < 2 {
@@ -169,10 +195,11 @@ func runWriter(ctx context.Context, writers []*core.Writer, command string, args
 		if err := writers[0].Write(opCtx, types.Value(args[1])); err != nil {
 			return err
 		}
-		fmt.Printf("ok in %v (one round-trip)\n", time.Since(start).Round(time.Microsecond))
+		fmt.Printf("ok in %v\n", time.Since(start).Round(time.Microsecond))
 		return nil
 	case "bench":
 		recorder := stats.NewLatencyRecorder(ops)
+		benchStart := time.Now()
 		for i := 0; i < ops; i++ {
 			opCtx, cancel := context.WithTimeout(ctx, timeout)
 			start := time.Now()
@@ -183,7 +210,7 @@ func runWriter(ctx context.Context, writers []*core.Writer, command string, args
 			}
 			recorder.Record(time.Since(start))
 		}
-		fmt.Printf("writes over %d key(s): %s\n", len(writers), recorder.Summary())
+		printBench("writes", len(writers), recorder, time.Since(benchStart))
 		return nil
 	default:
 		return fmt.Errorf("the writer supports: write <value> | bench")
@@ -192,7 +219,7 @@ func runWriter(ctx context.Context, writers []*core.Writer, command string, args
 
 // runReader executes the reader-side subcommands. The bench subcommand
 // round-robins its operations over every per-key reader.
-func runReader(ctx context.Context, readers []*core.Reader, command string, timeout time.Duration, ops int) error {
+func runReader(ctx context.Context, readers []driver.Reader, command string, timeout time.Duration, ops int) error {
 	switch command {
 	case "read":
 		opCtx, cancel := context.WithTimeout(ctx, timeout)
@@ -207,6 +234,7 @@ func runReader(ctx context.Context, readers []*core.Reader, command string, time
 		return nil
 	case "bench":
 		recorder := stats.NewLatencyRecorder(ops)
+		benchStart := time.Now()
 		for i := 0; i < ops; i++ {
 			opCtx, cancel := context.WithTimeout(ctx, timeout)
 			start := time.Now()
@@ -217,78 +245,22 @@ func runReader(ctx context.Context, readers []*core.Reader, command string, time
 			}
 			recorder.Record(time.Since(start))
 		}
-		fmt.Printf("reads over %d key(s): %s\n", len(readers), recorder.Summary())
+		printBench("reads", len(readers), recorder, time.Since(benchStart))
 		return nil
 	default:
 		return fmt.Errorf("readers support: read | bench")
 	}
 }
 
-// parseBook parses the id=addr,... address book flag.
-func parseBook(spec string) (tcpnet.AddressBook, error) {
-	if strings.TrimSpace(spec) == "" {
-		return nil, fmt.Errorf("an address book is required (-book id=host:port,...)")
-	}
-	book := make(tcpnet.AddressBook)
-	for _, entry := range strings.Split(spec, ",") {
-		entry = strings.TrimSpace(entry)
-		if entry == "" {
-			continue
-		}
-		parts := strings.SplitN(entry, "=", 2)
-		if len(parts) != 2 || parts[1] == "" {
-			return nil, fmt.Errorf("malformed address book entry %q", entry)
-		}
-		id, err := types.ParseProcessID(strings.TrimSpace(parts[0]))
-		if err != nil {
-			return nil, err
-		}
-		book[id] = strings.TrimSpace(parts[1])
-	}
-	return book, nil
-}
-
-// signerFromHex rebuilds the writer's signer from a hex-encoded ed25519 seed
-// produced by `regclient keygen` (not implemented here: any 32-byte seed).
-func signerFromHex(keyHex string) (*sig.Signer, error) {
-	if keyHex == "" {
-		return nil, fmt.Errorf("the Byzantine writer requires -writer-key (hex seed)")
-	}
-	// The Signer API is deliberately narrow; for the CLI we derive a key pair
-	// from the seed bytes via the deterministic reader in sig.NewKeyPair.
-	raw, err := hex.DecodeString(strings.TrimPrefix(keyHex, "0x"))
-	if err != nil {
-		return nil, err
-	}
-	kp, err := sig.NewKeyPair(seedReader(raw))
-	if err != nil {
-		return nil, err
-	}
-	return kp.Signer, nil
-}
-
-// verifierFromHex rebuilds a verifier from a hex-encoded public key.
-func verifierFromHex(keyHex string) (sig.Verifier, error) {
-	if keyHex == "" {
-		return sig.Verifier{}, fmt.Errorf("the Byzantine reader requires -writer-key (hex public key)")
-	}
-	raw, err := hex.DecodeString(strings.TrimPrefix(keyHex, "0x"))
-	if err != nil {
-		return sig.Verifier{}, err
-	}
-	return sig.VerifierFromPublicKey(raw)
-}
-
-// seedReader turns a byte slice into an io.Reader that repeats it, giving
-// ed25519.GenerateKey the 32 bytes of entropy it needs deterministically.
-type seedReader []byte
-
-func (s seedReader) Read(p []byte) (int, error) {
-	if len(s) == 0 {
-		return 0, fmt.Errorf("empty seed")
-	}
-	for i := range p {
-		p[i] = s[i%len(s)]
-	}
-	return len(p), nil
+// printBench reports a bench run: throughput plus the full latency
+// distribution (p50/p95/p99 rather than a bare mean — tail latency is what
+// an operator provisions for).
+func printBench(what string, keyCount int, recorder *stats.LatencyRecorder, elapsed time.Duration) {
+	summary := recorder.Summary()
+	fmt.Printf("%s over %d key(s): %d ops in %v (%.0f ops/s)\n",
+		what, keyCount, summary.Count, elapsed.Round(time.Millisecond), stats.Throughput(summary.Count, elapsed))
+	fmt.Printf("latency: mean=%v p50=%v p95=%v p99=%v max=%v\n",
+		summary.Mean.Round(time.Microsecond), summary.Median.Round(time.Microsecond),
+		summary.P95.Round(time.Microsecond), summary.P99.Round(time.Microsecond),
+		summary.Max.Round(time.Microsecond))
 }

@@ -1,10 +1,10 @@
 package main
 
 import (
-	"encoding/hex"
 	"fmt"
 	"strings"
 
+	"fastread/internal/sig"
 	"fastread/internal/transport/tcpnet"
 	"fastread/internal/types"
 )
@@ -40,8 +40,14 @@ func ParseAddressBook(spec string) (tcpnet.AddressBook, error) {
 	return book, nil
 }
 
-// decodeHex decodes a hex string, tolerating an optional 0x prefix.
-func decodeHex(s string) ([]byte, error) {
-	s = strings.TrimPrefix(strings.TrimSpace(s), "0x")
-	return hex.DecodeString(s)
+// ParseVerifier decodes a hex-encoded ed25519 public key.
+func ParseVerifier(hexKey string) (sig.Verifier, error) {
+	if hexKey == "" {
+		return sig.Verifier{}, fmt.Errorf("signature-verifying protocols require -writer-pubkey")
+	}
+	v, err := sig.VerifierFromHex(hexKey)
+	if err != nil {
+		return sig.Verifier{}, fmt.Errorf("-writer-pubkey: %w", err)
+	}
+	return v, nil
 }

@@ -43,21 +43,10 @@ func TestParseAddressBookErrors(t *testing.T) {
 	}
 }
 
-func TestDecodeHex(t *testing.T) {
-	got, err := decodeHex("0xdeadbeef")
-	if err != nil || len(got) != 4 || got[0] != 0xde {
-		t.Errorf("decodeHex with prefix: %v %v", got, err)
-	}
-	got, err = decodeHex("00ff")
-	if err != nil || len(got) != 2 || got[1] != 0xff {
-		t.Errorf("decodeHex without prefix: %v %v", got, err)
-	}
-	if _, err := decodeHex("zz"); err == nil {
+func TestParseVerifier(t *testing.T) {
+	if _, err := ParseVerifier("zz"); err == nil {
 		t.Error("invalid hex accepted")
 	}
-}
-
-func TestParseVerifier(t *testing.T) {
 	if _, err := ParseVerifier(""); err == nil {
 		t.Error("empty key accepted")
 	}

@@ -2,6 +2,13 @@
 // deployment consists of S regserver processes (one per server identity)
 // plus clients driven by cmd/regclient.
 //
+// The protocol is selected with -protocol and resolved through the protocol
+// driver registry, so one binary serves every register implementation in the
+// repository: the paper's fast register (default), its arbitrary-failure
+// variant, the ABD baseline, the max-min variant and the regular register.
+// The deployment parameters (-S, -t, -b, -R) must match what the clients are
+// started with.
+//
 // One deployment serves MANY named registers: every protocol message carries
 // a register key, and the server keeps fully separate state per key (lazily
 // instantiated on first use), so no per-register configuration or restart is
@@ -12,12 +19,12 @@
 //
 //	-book "s1=127.0.0.1:7101,s2=127.0.0.1:7102,s3=127.0.0.1:7103,s4=127.0.0.1:7104,w=127.0.0.1:7200,r1=127.0.0.1:7201"
 //
-// Example 4-server deployment (each in its own terminal):
+// Example 4-server ABD deployment (each in its own terminal):
 //
-//	regserver -id s1 -book "$BOOK" -readers 1
-//	regserver -id s2 -book "$BOOK" -readers 1
-//	regserver -id s3 -book "$BOOK" -readers 1
-//	regserver -id s4 -book "$BOOK" -readers 1
+//	regserver -id s1 -book "$BOOK" -protocol abd -S 4 -t 1 -R 1
+//	regserver -id s2 -book "$BOOK" -protocol abd -S 4 -t 1 -R 1
+//	regserver -id s3 -book "$BOOK" -protocol abd -S 4 -t 1 -R 1
+//	regserver -id s4 -book "$BOOK" -protocol abd -S 4 -t 1 -R 1
 package main
 
 import (
@@ -25,12 +32,19 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
-	"fastread/internal/core"
-	"fastread/internal/sig"
+	"fastread/internal/driver"
+	"fastread/internal/quorum"
 	"fastread/internal/transport/tcpnet"
 	"fastread/internal/types"
+
+	// Register every protocol driver this binary can serve.
+	_ "fastread/internal/abd"
+	_ "fastread/internal/core"
+	_ "fastread/internal/maxmin"
+	_ "fastread/internal/regular"
 )
 
 func main() {
@@ -45,16 +59,32 @@ func run(args []string) error {
 	var (
 		idFlag   = fs.String("id", "s1", "server identity (s1, s2, ...)")
 		bookFlag = fs.String("book", "", "address book: comma-separated id=host:port pairs")
-		readers  = fs.Int("readers", 1, "number of reader processes (R)")
-		byz      = fs.Bool("byz", false, "run the arbitrary-failure variant (requires -writer-pubkey)")
-		pubKey   = fs.String("writer-pubkey", "", "hex-encoded writer public key (Byzantine variant)")
+		protocol = fs.String("protocol", "fast", "register protocol: "+strings.Join(driver.Names(), " | "))
+		servers  = fs.Int("S", 4, "number of servers in the deployment")
+		faulty   = fs.Int("t", 1, "maximum faulty servers")
+		bad      = fs.Int("b", 0, "maximum malicious servers (fast-byz)")
+		readers  = fs.Int("R", 1, "number of reader processes")
+		byz      = fs.Bool("byz", false, "deprecated: alias for -protocol fast-byz")
+		pubKey   = fs.String("writer-pubkey", "", "hex-encoded writer public key (signature-verifying protocols)")
 		listen   = fs.String("listen", "", "listen address override (defaults to the address book entry)")
 		workers  = fs.Int("workers", 0, "key-shard workers executing messages in parallel (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *byz {
+		switch *protocol {
+		case "fast", "fast-byz":
+			*protocol = "fast-byz"
+		default:
+			return fmt.Errorf("contradictory flags: -byz with -protocol %s", *protocol)
+		}
+	}
 
+	drv, ok := driver.Lookup(*protocol)
+	if !ok {
+		return fmt.Errorf("unknown -protocol %q (have: %s)", *protocol, strings.Join(driver.Names(), ", "))
+	}
 	id, err := types.ParseProcessID(*idFlag)
 	if err != nil {
 		return err
@@ -66,6 +96,22 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	qcfg := quorum.Config{Servers: *servers, Faulty: *faulty, Malicious: *bad, Readers: *readers}
+	if err := qcfg.Validate(); err != nil {
+		return err
+	}
+	if err := drv.Validate(qcfg); err != nil {
+		return err
+	}
+
+	serverCfg := driver.ServerConfig{ID: id, Quorum: qcfg, Workers: *workers}
+	if drv.NeedsSignatures {
+		verifier, err := ParseVerifier(*pubKey)
+		if err != nil {
+			return err
+		}
+		serverCfg.Verifier = verifier
+	}
 
 	node, err := tcpnet.Listen(tcpnet.Config{Self: id, ListenAddr: *listen, Book: book})
 	if err != nil {
@@ -73,23 +119,15 @@ func run(args []string) error {
 	}
 	defer node.Close()
 
-	serverCfg := core.ServerConfig{ID: id, Readers: *readers, Byzantine: *byz, Workers: *workers}
-	if *byz {
-		verifier, err := ParseVerifier(*pubKey)
-		if err != nil {
-			return err
-		}
-		serverCfg.Verifier = verifier
-	}
-	server, err := core.NewServer(serverCfg, node)
+	server, err := drv.NewServer(serverCfg, node)
 	if err != nil {
 		return err
 	}
 	server.Start()
 	defer server.Stop()
 
-	fmt.Printf("register server %s listening on %s (readers=%d byzantine=%v workers=%d, serving all register keys)\n",
-		id, node.Addr(), *readers, *byz, server.Workers())
+	fmt.Printf("register server %s listening on %s (protocol=%s %v workers=%d, serving all register keys)\n",
+		id, node.Addr(), drv.Name, qcfg, server.Workers())
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	<-stop
@@ -100,16 +138,4 @@ func run(args []string) error {
 	fmt.Printf("shutting down: delivered=%d dropped_inbound=%d dropped_send=%d\n",
 		stats.Delivered, stats.DroppedInbound, stats.DroppedSend)
 	return nil
-}
-
-// ParseVerifier decodes a hex-encoded ed25519 public key.
-func ParseVerifier(hexKey string) (sig.Verifier, error) {
-	if hexKey == "" {
-		return sig.Verifier{}, fmt.Errorf("the Byzantine variant requires -writer-pubkey")
-	}
-	raw, err := decodeHex(hexKey)
-	if err != nil {
-		return sig.Verifier{}, fmt.Errorf("decode -writer-pubkey: %w", err)
-	}
-	return sig.VerifierFromPublicKey(raw)
 }

@@ -58,6 +58,43 @@
 // exact bounds; they are per-deployment properties and therefore hold for
 // every key of a Store at once.
 //
+// # Transports
+//
+// Config.Transport selects the message-passing backend the deployment runs
+// on; the protocols only ever see an abstract node, so every protocol runs
+// unchanged over every backend.
+//
+//	// Default: the in-memory asynchronous network (full fault injection).
+//	store, _ := fastread.NewStore(cfg)
+//
+//	// The same deployment over real TCP sockets on loopback.
+//	cfg.Transport = fastread.TCP(nil)
+//	store, _ = fastread.NewStore(cfg)
+//
+//	// Pinned local endpoints. NewStore starts the WHOLE deployment in this
+//	// process, so every book address must be bindable on this machine.
+//	cfg.Transport = fastread.TCP(map[string]string{
+//		"s1": "127.0.0.1:7101", "s2": "127.0.0.1:7102", "s3": "127.0.0.1:7103",
+//		"w": "127.0.0.1:7200", "r1": "127.0.0.1:7201",
+//	})
+//
+// Capabilities differ only in fault injection: CrashServer and Network are
+// in-memory capabilities and report ErrUnsupported on TCP, where the real
+// network is the fault injector (kill a process to crash it). InMemory
+// accepts WithDelay/WithJitter/WithSeed; TCP accepts
+// WithDialTimeout/WithWriteTimeout. Deployments spanning processes or
+// machines are driven by cmd/regserver and cmd/regclient, which serve the
+// same protocols via the same driver registry.
+//
+// # Protocol drivers
+//
+// The store resolves Config.Protocol through the internal/driver registry:
+// each protocol package registers uniform server/writer/reader factories,
+// and deployment code — the store, the cmd binaries — composes drivers with
+// transports without naming any protocol. Adding a protocol is one
+// registration file in its package plus a registry name; no switch
+// statements exist on the deployment path.
+//
 // # Performance and buffer ownership
 //
 // The per-message hot path (decode request → mutate per-key state → encode

@@ -1,8 +1,13 @@
-// Command tcpcluster runs the paper's fast atomic register over real TCP
-// sockets on the loopback interface: every server, the writer and the reader
-// is its own TCP endpoint, exactly as a distributed deployment would be laid
-// out, and the protocol code is byte-for-byte the same as in the in-memory
-// examples (it only ever sees the transport.Node interface).
+// Command tcpcluster runs the register protocols over real TCP sockets on
+// the loopback interface through the PUBLIC Store API: the only difference
+// from an in-memory deployment is Config.Transport. Every server, the writer
+// and the reader is its own TCP endpoint with an ephemeral port, exactly as
+// a distributed deployment would be laid out, and the protocol code is
+// byte-for-byte the same as in the in-memory examples.
+//
+// It deploys each protocol in turn, so the one-API-many-backends seam and
+// the protocol driver registry are both on display: the loop body never
+// mentions a protocol or a socket.
 package main
 
 import (
@@ -11,10 +16,7 @@ import (
 	"log"
 	"time"
 
-	"fastread/internal/core"
-	"fastread/internal/quorum"
-	"fastread/internal/transport/tcpnet"
-	"fastread/internal/types"
+	"fastread"
 )
 
 func main() {
@@ -24,69 +26,66 @@ func main() {
 }
 
 func run() error {
-	cfg := quorum.Config{Servers: 4, Faulty: 1, Readers: 1}
-
-	// One TCP endpoint per process, all on 127.0.0.1 with ephemeral ports.
-	ids := []types.ProcessID{types.Writer(), types.Reader(1)}
-	for i := 1; i <= cfg.Servers; i++ {
-		ids = append(ids, types.Server(i))
-	}
-	nodes, book, err := tcpnet.LocalCluster(ids)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		for _, n := range nodes {
-			_ = n.Close()
-		}
-	}()
-	fmt.Println("process endpoints:")
-	for _, id := range ids {
-		fmt.Printf("  %-3s listening on %s\n", id, book[id])
-	}
-	fmt.Println()
-
-	// Servers.
-	for i := 1; i <= cfg.Servers; i++ {
-		srv, err := core.NewServer(core.ServerConfig{ID: types.Server(i), Readers: cfg.Readers}, nodes[types.Server(i)])
-		if err != nil {
-			return err
-		}
-		srv.Start()
-		defer srv.Stop()
-	}
-
-	// Clients.
-	writer, err := core.NewWriter(core.WriterConfig{Quorum: cfg}, nodes[types.Writer()])
-	if err != nil {
-		return err
-	}
-	reader, err := core.NewReader(core.ReaderConfig{Quorum: cfg}, nodes[types.Reader(1)])
-	if err != nil {
-		return err
-	}
-
-	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 
-	for i := 1; i <= 5; i++ {
-		value := types.Value(fmt.Sprintf("payload-%d", i))
-		start := time.Now()
-		if err := writer.Write(ctx, value); err != nil {
-			return fmt.Errorf("write %d: %w", i, err)
-		}
-		writeLatency := time.Since(start)
-
-		start = time.Now()
-		res, err := reader.Read(ctx)
+	protocols := []fastread.Protocol{
+		fastread.ProtocolFast,
+		fastread.ProtocolABD,
+		fastread.ProtocolMaxMin,
+		fastread.ProtocolRegular,
+	}
+	for _, proto := range protocols {
+		store, err := fastread.NewStore(fastread.Config{
+			Servers:  4,
+			Faulty:   1,
+			Readers:  1,
+			Protocol: proto,
+			// The whole deployment on real loopback sockets; pass a non-nil
+			// address book to pin processes to fixed host:port endpoints.
+			Transport: fastread.TCP(nil),
+		})
 		if err != nil {
-			return fmt.Errorf("read %d: %w", i, err)
+			return fmt.Errorf("%s: %w", proto, err)
 		}
-		fmt.Printf("write #%d took %-10v  read returned %-12s ts=%d in %v (%d round-trip)\n",
-			i, writeLatency.Round(10*time.Microsecond), res.Value, res.Timestamp,
-			time.Since(start).Round(10*time.Microsecond), res.RoundTrips)
+
+		reg, err := store.Register("demo")
+		if err != nil {
+			_ = store.Close()
+			return err
+		}
+		reader, err := reg.Reader(1)
+		if err != nil {
+			_ = store.Close()
+			return err
+		}
+
+		fmt.Printf("%-8s", proto)
+		for i := 1; i <= 3; i++ {
+			value := fmt.Sprintf("payload-%d", i)
+			start := time.Now()
+			if err := reg.Writer().Write(ctx, []byte(value)); err != nil {
+				_ = store.Close()
+				return fmt.Errorf("%s write %d: %w", proto, i, err)
+			}
+			writeLatency := time.Since(start)
+
+			start = time.Now()
+			res, err := reader.Read(ctx)
+			if err != nil {
+				_ = store.Close()
+				return fmt.Errorf("%s read %d: %w", proto, i, err)
+			}
+			fmt.Printf("  w=%v r=%v(%dRT)", writeLatency.Round(10*time.Microsecond),
+				time.Since(start).Round(10*time.Microsecond), res.RoundTrips)
+		}
+		stats := store.Stats()
+		fmt.Printf("  [%d msgs over TCP]\n", stats.DeliveredMsgs)
+		if err := store.Close(); err != nil {
+			return err
+		}
 	}
 
-	fmt.Println("\nall operations completed over TCP in a single communication round-trip each")
+	fmt.Println("\nevery protocol served the same Store API over real sockets")
 	return nil
 }

@@ -8,9 +8,21 @@ import (
 
 	"fastread/internal/atomicity"
 	"fastread/internal/fault"
+	"fastread/internal/transport"
 	"fastread/internal/types"
 	"fastread/internal/workload"
 )
+
+// mustNetwork returns the cluster's in-memory network; these tests always
+// run on the in-memory backend, where the capability is present.
+func mustNetwork(t *testing.T, c *Cluster) *transport.InMemNetwork {
+	t.Helper()
+	net, err := c.Network()
+	if err != nil {
+		t.Fatalf("Network(): %v", err)
+	}
+	return net
+}
 
 // adaptClients exposes a cluster's clients to the workload driver.
 func adaptClients(c *Cluster) workload.Clients {
@@ -68,7 +80,7 @@ func TestWorkloadConsistencyPerProtocol(t *testing.T) {
 				Writes:         25,
 				ReadsPerReader: 30,
 				Crashes:        schedule,
-				CrashFn:        func(p types.ProcessID) { cluster.Network().Crash(p) },
+				CrashFn:        func(p types.ProcessID) { mustNetwork(t, cluster).Crash(p) },
 			}, adaptClients(cluster))
 			if err != nil {
 				t.Fatal(err)
@@ -123,7 +135,7 @@ func TestFallbackReadsReturnPreviousValue(t *testing.T) {
 	}
 	// Stall the next write: it reaches a single server only.
 	for i := 2; i <= 7; i++ {
-		cluster.Network().Block(types.Writer(), types.Server(i))
+		mustNetwork(t, cluster).Block(types.Writer(), types.Server(i))
 	}
 	stallCtx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
 	defer cancel()

@@ -1,0 +1,54 @@
+package abd
+
+import (
+	"context"
+
+	"fastread/internal/driver"
+	"fastread/internal/transport"
+)
+
+// init registers the classic two-round-read ABD register with the driver
+// registry.
+func init() {
+	driver.Register(driver.Driver{
+		Name:     "abd",
+		Validate: driver.MajorityValidate("abd"),
+		NewServer: func(cfg driver.ServerConfig, node transport.Node) (driver.Server, error) {
+			s, err := NewServer(ServerConfig{ID: cfg.ID, Workers: cfg.Workers}, node)
+			if err != nil {
+				return nil, err
+			}
+			return s, nil
+		},
+		NewWriter: func(cfg driver.ClientConfig, node transport.Node) (driver.Writer, error) {
+			w, err := NewWriter(ClientConfig{Quorum: cfg.Quorum, Key: cfg.Key}, node)
+			if err != nil {
+				return nil, err
+			}
+			return w, nil
+		},
+		NewReader: func(cfg driver.ClientConfig, node transport.Node) (driver.Reader, error) {
+			r, err := NewReader(ClientConfig{Quorum: cfg.Quorum, Key: cfg.Key}, node)
+			if err != nil {
+				return nil, err
+			}
+			return abdReaderHandle{r}, nil
+		},
+	})
+}
+
+// abdReaderHandle adapts the ABD reader to the uniform driver result.
+type abdReaderHandle struct{ r *Reader }
+
+func (h abdReaderHandle) Read(ctx context.Context) (driver.ReadResult, error) {
+	res, err := h.r.Read(ctx)
+	if err != nil {
+		return driver.ReadResult{}, err
+	}
+	return driver.ReadResult{Value: res.Value, Timestamp: res.Timestamp, RoundTrips: res.RoundTrips}, nil
+}
+
+func (h abdReaderHandle) Stats() (reads, roundTrips, fallbacks int64) {
+	r, t := h.r.Stats()
+	return r, t, 0
+}

@@ -104,6 +104,9 @@ func (s *Server) Stop() {
 // ID returns the server's process identity.
 func (s *Server) ID() types.ProcessID { return s.cfg.ID }
 
+// Workers reports the executor's key-shard worker count.
+func (s *Server) Workers() int { return s.exec.Workers() }
+
 // State returns a copy of the default register's current value and the
 // number of state mutations performed on it; use StateOf for a named
 // register.

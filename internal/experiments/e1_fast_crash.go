@@ -65,12 +65,21 @@ func RunE1(opts Options) ([]*stats.Table, error) {
 		}
 		schedule := fault.NewCrashSchedule(events...)
 
+		// The crash schedule needs the in-memory network; fail loudly rather
+		// than silently running a fault-free experiment on a backend without
+		// fault injection.
+		net, err := cluster.Network()
+		if err != nil {
+			_ = cluster.Close()
+			return nil, fmt.Errorf("e1: %w", err)
+		}
+
 		ctx, cancel := runContext()
 		result, err := workload.Run(ctx, workload.Config{
 			Writes:         writes,
 			ReadsPerReader: reads,
 			Crashes:        schedule,
-			CrashFn:        func(p types.ProcessID) { cluster.Network().Crash(p) },
+			CrashFn:        func(p types.ProcessID) { net.Crash(p) },
 		}, clusterClients(cluster))
 		cancel()
 		if err != nil {

@@ -1,0 +1,59 @@
+package maxmin
+
+import (
+	"context"
+
+	"fastread/internal/driver"
+	"fastread/internal/transport"
+)
+
+// init registers the decentralised max-min register with the driver registry.
+func init() {
+	driver.Register(driver.Driver{
+		Name:     "maxmin",
+		Validate: driver.MajorityValidate("maxmin"),
+		NewServer: func(cfg driver.ServerConfig, node transport.Node) (driver.Server, error) {
+			s, err := NewServer(ServerConfig{ID: cfg.ID, Quorum: cfg.Quorum, Workers: cfg.Workers}, node)
+			if err != nil {
+				return nil, err
+			}
+			return maxminServerHandle{s}, nil
+		},
+		NewWriter: func(cfg driver.ClientConfig, node transport.Node) (driver.Writer, error) {
+			w, err := NewKeyedWriter(cfg.Key, cfg.Quorum, node, nil)
+			if err != nil {
+				return nil, err
+			}
+			return w, nil
+		},
+		NewReader: func(cfg driver.ClientConfig, node transport.Node) (driver.Reader, error) {
+			r, err := NewKeyedReader(cfg.Key, cfg.Quorum, node, nil)
+			if err != nil {
+				return nil, err
+			}
+			return maxminReaderHandle{r}, nil
+		},
+	})
+}
+
+// maxminServerHandle adds the mutation counter the max-min server does not
+// track.
+type maxminServerHandle struct{ *Server }
+
+func (maxminServerHandle) TotalMutations() int64 { return 0 }
+
+// maxminReaderHandle adapts the max-min reader to the uniform driver result.
+type maxminReaderHandle struct{ r *Reader }
+
+func (h maxminReaderHandle) Read(ctx context.Context) (driver.ReadResult, error) {
+	res, err := h.r.Read(ctx)
+	if err != nil {
+		return driver.ReadResult{}, err
+	}
+	return driver.ReadResult{Value: res.Value, Timestamp: res.Timestamp, RoundTrips: res.RoundTrips}, nil
+}
+
+func (h maxminReaderHandle) Stats() (reads, roundTrips, fallbacks int64) {
+	r, t := h.r.Stats()
+	return r, t, 0
+}

@@ -1,0 +1,59 @@
+package regular
+
+import (
+	"context"
+
+	"fastread/internal/driver"
+	"fastread/internal/transport"
+)
+
+// init registers the fast SWMR regular register with the driver registry.
+func init() {
+	driver.Register(driver.Driver{
+		Name:     "regular",
+		Validate: driver.MajorityValidate("regular"),
+		NewServer: func(cfg driver.ServerConfig, node transport.Node) (driver.Server, error) {
+			s, err := NewServer(cfg.ID, node, nil, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			return regularServerHandle{s}, nil
+		},
+		NewWriter: func(cfg driver.ClientConfig, node transport.Node) (driver.Writer, error) {
+			w, err := NewKeyedWriter(cfg.Key, cfg.Quorum, node, nil)
+			if err != nil {
+				return nil, err
+			}
+			return w, nil
+		},
+		NewReader: func(cfg driver.ClientConfig, node transport.Node) (driver.Reader, error) {
+			r, err := NewKeyedReader(cfg.Key, cfg.Quorum, node, nil)
+			if err != nil {
+				return nil, err
+			}
+			return regularReaderHandle{r}, nil
+		},
+	})
+}
+
+// regularServerHandle adds the mutation counter the regular server does not
+// track.
+type regularServerHandle struct{ *Server }
+
+func (regularServerHandle) TotalMutations() int64 { return 0 }
+
+// regularReaderHandle adapts the regular reader to the uniform driver result.
+type regularReaderHandle struct{ r *Reader }
+
+func (h regularReaderHandle) Read(ctx context.Context) (driver.ReadResult, error) {
+	res, err := h.r.Read(ctx)
+	if err != nil {
+		return driver.ReadResult{}, err
+	}
+	return driver.ReadResult{Value: res.Value, Timestamp: res.Timestamp, RoundTrips: res.RoundTrips}, nil
+}
+
+func (h regularReaderHandle) Stats() (reads, roundTrips, fallbacks int64) {
+	r, t := h.r.Stats()
+	return r, t, 0
+}

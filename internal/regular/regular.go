@@ -111,6 +111,9 @@ func (s *Server) Stop() {
 // ID returns the server's identity.
 func (s *Server) ID() types.ProcessID { return s.id }
 
+// Workers reports the executor's key-shard worker count.
+func (s *Server) Workers() int { return s.exec.Workers() }
+
 // State returns the default register's current value; use StateOf for a
 // named register.
 func (s *Server) State() types.TaggedValue { return s.StateOf("") }

@@ -17,9 +17,11 @@ package sig
 import (
 	"crypto/ed25519"
 	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"fastread/internal/types"
 	"fastread/internal/wire"
@@ -93,6 +95,18 @@ func VerifierFromPublicKey(pub []byte) (Verifier, error) {
 	key := make(ed25519.PublicKey, ed25519.PublicKeySize)
 	copy(key, pub)
 	return Verifier{pub: key}, nil
+}
+
+// VerifierFromHex rebuilds a verifier from a hex-encoded public key,
+// tolerating surrounding whitespace and an optional 0x prefix. It is the
+// single parser behind every CLI key flag, so the accepted formats cannot
+// drift between binaries.
+func VerifierFromHex(hexKey string) (Verifier, error) {
+	raw, err := hex.DecodeString(strings.TrimPrefix(strings.TrimSpace(hexKey), "0x"))
+	if err != nil {
+		return Verifier{}, fmt.Errorf("sig: decode hex public key: %w", err)
+	}
+	return VerifierFromPublicKey(raw)
 }
 
 // SignKeyed produces the writer's signature over the (key, ts, cur, prev)

@@ -1,6 +1,7 @@
 package sig
 
 import (
+	"encoding/hex"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -156,5 +157,26 @@ func TestForgedTripleNeverVerifies(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestVerifierFromHex(t *testing.T) {
+	kp := MustKeyPair()
+	hexKey := hex.EncodeToString(kp.Verifier.PublicKey())
+	for _, form := range []string{hexKey, "0x" + hexKey, "  " + hexKey + "\n"} {
+		v, err := VerifierFromHex(form)
+		if err != nil {
+			t.Fatalf("VerifierFromHex(%q): %v", form, err)
+		}
+		signature := kp.Signer.MustSign(1, types.Value("x"), nil)
+		if err := v.Verify(1, types.Value("x"), nil, signature); err != nil {
+			t.Errorf("round-tripped verifier rejected a valid signature: %v", err)
+		}
+	}
+	if _, err := VerifierFromHex("zz"); err == nil {
+		t.Error("invalid hex accepted")
+	}
+	if _, err := VerifierFromHex("abcd"); err == nil {
+		t.Error("short key accepted")
 	}
 }

@@ -59,6 +59,13 @@ type Config struct {
 	ListenAddr string
 	// Book maps every peer (and usually Self) to its address.
 	Book AddressBook
+	// Resolve, when non-nil, is consulted for destinations the Book does not
+	// cover. It lets a deployment whose processes listen on ephemeral ports
+	// (":0") share a live address table that fills in as processes come up:
+	// the public fastread TCP transport uses it to run whole deployments on
+	// loopback without pre-assigning ports. Resolve must be safe for
+	// concurrent use.
+	Resolve func(types.ProcessID) (string, bool)
 	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
 	// WriteTimeout bounds a single buffered-frame flush (default 2s).
@@ -106,7 +113,18 @@ type Node struct {
 	mu      sync.Mutex
 	peers   map[types.ProcessID]*peer
 	inbound map[net.Conn]struct{}
-	closed  bool
+	// inboundFrom counts the live inbound connections attributed to each
+	// sender, and deadInbound remembers senders whose last inbound
+	// connection has closed; together they distinguish a peer's FIRST
+	// connection (normal: do not touch the cached outbound side) from a
+	// reconnect or restart (evict the now-stale cached connection).
+	// pendingRefresh holds the specific outbound peer whose eviction was
+	// declined (busy, restart not yet proven) so the old connection's EOF
+	// can finish the job. See noteInboundSender / noteInboundGone.
+	inboundFrom    map[types.ProcessID]int
+	deadInbound    map[types.ProcessID]bool
+	pendingRefresh map[types.ProcessID]*peer
+	closed         bool
 
 	delivered      atomic.Int64
 	droppedInbound atomic.Int64
@@ -146,11 +164,14 @@ func newNode(cfg Config, listener net.Listener) *Node {
 	}
 	cfg.Book = cfg.Book.Clone()
 	n := &Node{
-		cfg:      cfg,
-		listener: listener,
-		box:      make(chan transport.Message, 1024),
-		peers:    make(map[types.ProcessID]*peer),
-		inbound:  make(map[net.Conn]struct{}),
+		cfg:            cfg,
+		listener:       listener,
+		box:            make(chan transport.Message, 1024),
+		peers:          make(map[types.ProcessID]*peer),
+		inbound:        make(map[net.Conn]struct{}),
+		inboundFrom:    make(map[types.ProcessID]int),
+		deadInbound:    make(map[types.ProcessID]bool),
+		pendingRefresh: make(map[types.ProcessID]*peer),
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -257,6 +278,9 @@ func (n *Node) peerTo(to types.ProcessID) (*peer, error) {
 	}
 	addr, ok := n.cfg.Book[to]
 	n.mu.Unlock()
+	if !ok && n.cfg.Resolve != nil {
+		addr, ok = n.cfg.Resolve(to)
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrNoAddress, to)
 	}
@@ -287,6 +311,135 @@ func (n *Node) peerTo(to types.ProcessID) (*peer, error) {
 	go p.flushLoop()
 	n.mu.Unlock()
 	return p, nil
+}
+
+// errPeerRefreshed is the sticky error set on an evicted idle peer so a Send
+// racing the eviction fails fast (and is counted as a drop) instead of
+// appending frames nobody will ever flush.
+var errPeerRefreshed = errors.New("tcpnet: peer connection refreshed")
+
+// noteInboundSender records that a NEW inbound connection's first frame came
+// from the given sender, and decides whether the cached outbound connection
+// to that sender is stale. A peer's first-ever inbound connection is normal
+// operation (its reply dial) and must not touch the outbound side — evicting
+// there would tear both directions down on every round-trip. But a SECOND
+// connection while one is live (the peer re-dialled: its old outbound
+// connection broke) or a connection arriving after the previous one died
+// (the peer process restarted on its address book entry — writes to the
+// stale socket can vanish into the kernel buffer without an error) means the
+// cached connection points at a previous incarnation: evict it so replies
+// ride a fresh dial. After a proven restart even a busy cached connection is
+// evicted (its frames address a dead incarnation and surface as drops); on a
+// concurrent re-dial the outbound side may still be healthy, so a busy
+// connection is left in place but REMEMBERED — if the older inbound
+// connection's EOF then proves the restart, noteInboundGone finishes the
+// eviction. Every ordering of the restart race (old connection's EOF
+// processed before or after the new connection's first frame, cached
+// connection idle or busy) therefore converges on a fresh dial.
+func (n *Node) noteInboundSender(from types.ProcessID) {
+	n.mu.Lock()
+	restarted := n.deadInbound[from]
+	redialled := n.inboundFrom[from] > 0
+	n.inboundFrom[from]++
+	delete(n.deadInbound, from)
+	n.mu.Unlock()
+	if !restarted && !redialled {
+		return
+	}
+	declined := n.refreshPeer(from, restarted, nil)
+	if declined == nil {
+		return
+	}
+	// Remember the declined eviction only while the older connection is
+	// still counted live; if its EOF raced past between the count snapshot
+	// above and here, nobody is left to finish the deferred eviction — but
+	// that EOF also proves the restart, so evict right now instead.
+	n.mu.Lock()
+	olderStillLive := n.inboundFrom[from] > 1
+	if olderStillLive {
+		n.pendingRefresh[from] = declined
+	}
+	n.mu.Unlock()
+	if !olderStillLive {
+		n.refreshPeer(from, true, declined)
+	}
+}
+
+// noteInboundGone records that an inbound connection attributed to the given
+// sender has closed. If a newer connection from the sender is still live and
+// an eviction was declined while this one lived, the close proves the
+// declined connection addressed a dead incarnation: evict it now, by
+// identity, so a replacement dialled in the meantime is left untouched.
+func (n *Node) noteInboundGone(from types.ProcessID) {
+	n.mu.Lock()
+	if n.inboundFrom[from] > 0 {
+		n.inboundFrom[from]--
+	}
+	var deferred *peer
+	if n.inboundFrom[from] == 0 {
+		delete(n.inboundFrom, from)
+		// No live connection remains: the next one takes the restart path
+		// directly, no deferred eviction needed.
+		delete(n.pendingRefresh, from)
+		if !n.closed {
+			n.deadInbound[from] = true
+		}
+	} else {
+		deferred = n.pendingRefresh[from]
+		delete(n.pendingRefresh, from)
+	}
+	n.mu.Unlock()
+	if deferred != nil {
+		n.refreshPeer(from, true, deferred)
+	}
+}
+
+// refreshPeer discards the cached outbound connection to a peer. Unless
+// force is set, only a completely idle connection is evicted: an idle
+// connection can be dropped without losing frames (the next send re-dials),
+// while a busy one may still be healthy — if it is genuinely broken its
+// flush will fail and dropPeer will clear it. With force (the peer provably
+// restarted) a busy connection is evicted too, its queued frames counted as
+// send drops — they were addressed to a dead incarnation and can never
+// arrive. When only is non-nil the eviction applies to that specific peer
+// value alone, so a deferred eviction cannot hit a replacement connection
+// dialled in the meantime. The check atomically marks the peer dead under
+// its own mutex, so a Send racing the eviction fails fast on the sticky
+// error (and counts a drop) rather than enqueueing a frame the departing
+// flusher would silently abandon.
+//
+// It returns the still-live peer whose eviction was declined (nil
+// otherwise), for the caller to remember for a deferred retry.
+func (n *Node) refreshPeer(from types.ProcessID, force bool, only *peer) *peer {
+	n.mu.Lock()
+	p, ok := n.peers[from]
+	n.mu.Unlock()
+	if !ok || (only != nil && p != only) {
+		return nil
+	}
+	p.mu.Lock()
+	evict := p.err == nil && (force || (len(p.pending) == 0 && p.inFlightBytes == 0))
+	if evict {
+		p.err = errPeerRefreshed
+	}
+	declined := !evict && p.err == nil
+	p.mu.Unlock()
+	if !evict {
+		if declined {
+			return p
+		}
+		return nil
+	}
+	n.mu.Lock()
+	if n.peers[from] == p {
+		delete(n.peers, from)
+	}
+	n.mu.Unlock()
+	// Surface any frames still queued to the dead incarnation as drops
+	// (a no-op in the idle case).
+	p.failPending(errPeerRefreshed, 0)
+	p.close()
+	return nil
 }
 
 // dropPeer forgets a broken peer connection, counting any frames still
@@ -502,10 +655,25 @@ func (n *Node) readLoop(conn net.Conn) {
 	}()
 	br := bufio.NewReaderSize(conn, writeBufferSize)
 	var scratch []byte
+	var sender types.ProcessID
+	announced := false
+	defer func() {
+		if announced {
+			n.noteInboundGone(sender)
+		}
+	}()
 	for {
 		from, kind, payload, err := readFrameReusing(br, &scratch)
 		if err != nil {
 			return
+		}
+		if !announced {
+			// The first frame names the connection's sender; record it so a
+			// reconnect or restart of that peer can evict our stale cached
+			// outbound connection to its previous incarnation.
+			announced = true
+			sender = from
+			n.noteInboundSender(from)
 		}
 		msg := transport.Message{From: from, To: n.cfg.Self, Kind: kind, Payload: payload}
 		n.mu.Lock()

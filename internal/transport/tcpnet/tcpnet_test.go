@@ -3,6 +3,7 @@ package tcpnet
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -334,5 +335,278 @@ func TestDropCountersVisible(t *testing.T) {
 		s := receiver.Stats()
 		t.Errorf("flood not accounted for: delivered=%d droppedInbound=%d (want sum %d with drops > 0)",
 			s.Delivered, s.DroppedInbound, flood)
+	}
+}
+
+// TestRestartedPeerReachableOnFirstOperation is the regression test for the
+// stale-connection refresh: when a process dies and a new incarnation comes
+// up on the same address book entry, the first request it sends must get a
+// reply — the receiving node evicts the idle cached connection to the old
+// incarnation when the new one's first frame arrives, instead of writing the
+// reply into a dead socket and leaving the client to time out.
+func TestRestartedPeerReachableOnFirstOperation(t *testing.T) {
+	nodes, book, err := LocalCluster([]types.ProcessID{types.Server(1), types.Writer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := nodes[types.Server(1)]
+	defer server.Close()
+
+	// The server echoes every request back to its sender, like a protocol
+	// server acking.
+	go func() {
+		for msg := range server.Inbox() {
+			_ = server.Send(msg.From, "ack", msg.Payload)
+		}
+	}()
+
+	roundTrip := func(client *Node, payload string) error {
+		if err := client.Send(types.Server(1), "req", []byte(payload)); err != nil {
+			return err
+		}
+		select {
+		case msg := <-client.Inbox():
+			if msg.Kind != "ack" || string(msg.Payload) != payload {
+				return fmt.Errorf("unexpected reply %v", msg)
+			}
+			return nil
+		case <-time.After(3 * time.Second):
+			return fmt.Errorf("no ack for %q", payload)
+		}
+	}
+
+	client := nodes[types.Writer()]
+	if err := roundTrip(client, "first-incarnation"); err != nil {
+		t.Fatal(err)
+	}
+	// The first incarnation dies; the server now holds a cached outbound
+	// connection to a dead process.
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new incarnation binds the SAME address book entry.
+	client2, err := Listen(Config{Self: types.Writer(), ListenAddr: book[types.Writer()], Book: book})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	if err := roundTrip(client2, "second-incarnation"); err != nil {
+		t.Fatalf("restarted peer not reachable on first operation: %v", err)
+	}
+}
+
+// TestSerialRoundTripsReuseConnections guards the eviction heuristic from
+// the other side: a peer's FIRST inbound connection is normal reply traffic
+// and must NOT evict the cached outbound connection, otherwise every serial
+// round-trip tears down and re-dials both directions forever (connection
+// churn + TIME_WAIT buildup).
+func TestSerialRoundTripsReuseConnections(t *testing.T) {
+	nodes, _, err := LocalCluster([]types.ProcessID{types.Server(1), types.Writer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := nodes[types.Server(1)]
+	client := nodes[types.Writer()]
+	defer server.Close()
+	defer client.Close()
+
+	go func() {
+		for msg := range server.Inbox() {
+			_ = server.Send(msg.From, "ack", msg.Payload)
+		}
+	}()
+
+	roundTrip := func(i int) {
+		t.Helper()
+		if err := client.Send(types.Server(1), "req", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-client.Inbox():
+		case <-time.After(3 * time.Second):
+			t.Fatalf("no ack for round-trip %d", i)
+		}
+	}
+
+	roundTrip(0)
+	client.mu.Lock()
+	firstOutbound := client.peers[types.Server(1)]
+	client.mu.Unlock()
+	if firstOutbound == nil {
+		t.Fatal("no cached outbound peer after first round-trip")
+	}
+	server.mu.Lock()
+	firstReply := server.peers[types.Writer()]
+	server.mu.Unlock()
+	if firstReply == nil {
+		t.Fatal("no cached reply peer after first round-trip")
+	}
+
+	for i := 1; i <= 10; i++ {
+		roundTrip(i)
+	}
+
+	client.mu.Lock()
+	lastOutbound := client.peers[types.Server(1)]
+	client.mu.Unlock()
+	server.mu.Lock()
+	lastReply := server.peers[types.Writer()]
+	server.mu.Unlock()
+	if lastOutbound != firstOutbound {
+		t.Error("client re-dialled the server during serial round-trips (connection churn)")
+	}
+	if lastReply != firstReply {
+		t.Error("server re-dialled the client during serial round-trips (connection churn)")
+	}
+}
+
+// TestRestartedPeerEvictsBusyConnection covers the force path of the
+// eviction: when the previous incarnation's inbound connection has died, the
+// cached outbound connection is evicted even if frames are still queued on
+// it — they are addressed to a dead process and must surface as send drops,
+// and the restarted peer's first operation must still get its reply.
+func TestRestartedPeerEvictsBusyConnection(t *testing.T) {
+	nodes, book, err := LocalCluster([]types.ProcessID{types.Server(1), types.Writer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := nodes[types.Server(1)]
+	defer server.Close()
+	go func() {
+		for msg := range server.Inbox() {
+			_ = server.Send(msg.From, "ack", msg.Payload)
+		}
+	}()
+
+	client := nodes[types.Writer()]
+	if err := client.Send(types.Server(1), "req", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-client.Inbox():
+	case <-time.After(3 * time.Second):
+		t.Fatal("no ack in warm-up round-trip")
+	}
+	_ = client.Close()
+
+	// Wait until the server has processed the old incarnation's EOF, so the
+	// new connection deterministically takes the restart (force) path.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		server.mu.Lock()
+		dead := server.deadInbound[types.Writer()]
+		server.mu.Unlock()
+		if dead {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never noticed the old incarnation's EOF")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Make the cached (now dead) connection BUSY: queue frames on it without
+	// kicking the flusher, as a mid-burst failure would.
+	server.mu.Lock()
+	stale := server.peers[types.Writer()]
+	server.mu.Unlock()
+	if stale == nil {
+		t.Fatal("no cached outbound peer to the old incarnation")
+	}
+	stale.mu.Lock()
+	stale.pending = append(stale.pending, make([]byte, 64)...)
+	stale.pendingFrames = 3
+	stale.mu.Unlock()
+	dropsBefore := server.Stats().DroppedSend
+
+	client2, err := Listen(Config{Self: types.Writer(), ListenAddr: book[types.Writer()], Book: book})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	if err := client2.Send(types.Server(1), "req", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-client2.Inbox():
+		if msg.Kind != "ack" || string(msg.Payload) != "y" {
+			t.Fatalf("unexpected reply %v", msg)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("restarted peer with busy stale connection got no reply on first operation")
+	}
+	if drops := server.Stats().DroppedSend; drops < dropsBefore+3 {
+		t.Errorf("queued frames to the dead incarnation not surfaced as drops: %d -> %d", dropsBefore, drops)
+	}
+}
+
+// TestDeferredEvictionAfterLateEOF drives the remaining ordering of the
+// restart race directly through the attribution state machine: the restarted
+// peer's new connection arrives BEFORE the old connection's EOF is processed
+// and the cached outbound connection is busy, so the eviction is declined
+// and remembered; the old EOF must then finish it (and surface the queued
+// frames as drops), rather than losing the restart signal.
+func TestDeferredEvictionAfterLateEOF(t *testing.T) {
+	nodes, _, err := LocalCluster([]types.ProcessID{types.Server(1), types.Writer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := nodes[types.Server(1)]
+	client := nodes[types.Writer()]
+	defer server.Close()
+	defer client.Close()
+
+	// Establish the server's cached outbound connection to the writer.
+	go func() {
+		for msg := range server.Inbox() {
+			_ = server.Send(msg.From, "ack", msg.Payload)
+		}
+	}()
+	if err := client.Send(types.Server(1), "req", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-client.Inbox():
+	case <-time.After(3 * time.Second):
+		t.Fatal("no ack in warm-up round-trip")
+	}
+
+	server.mu.Lock()
+	stale := server.peers[types.Writer()]
+	server.mu.Unlock()
+	if stale == nil {
+		t.Fatal("no cached outbound peer")
+	}
+	// Busy: frames queued, flusher not kicked (as mid-burst).
+	stale.mu.Lock()
+	stale.pending = append(stale.pending, make([]byte, 64)...)
+	stale.pendingFrames = 3
+	stale.mu.Unlock()
+	dropsBefore := server.Stats().DroppedSend
+
+	// The real warm-up already counted one live inbound connection from the
+	// writer. Simulate the restarted incarnation's connection announcing
+	// itself FIRST (EOF of the old one not yet seen): busy + redialled →
+	// eviction declined but remembered.
+	server.noteInboundSender(types.Writer())
+	server.mu.Lock()
+	stillCached := server.peers[types.Writer()] == stale
+	remembered := server.pendingRefresh[types.Writer()] == stale
+	server.mu.Unlock()
+	if !stillCached || !remembered {
+		t.Fatalf("declined eviction not remembered: cached=%v remembered=%v", stillCached, remembered)
+	}
+
+	// The old connection's EOF arrives late and must finish the eviction.
+	server.noteInboundGone(types.Writer())
+	server.mu.Lock()
+	evicted := server.peers[types.Writer()] == nil
+	server.mu.Unlock()
+	if !evicted {
+		t.Fatal("late EOF did not evict the remembered stale connection")
+	}
+	if drops := server.Stats().DroppedSend; drops < dropsBefore+3 {
+		t.Errorf("queued frames not surfaced as drops: %d -> %d", dropsBefore, drops)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"fastread/internal/driver"
 )
 
 // Protocol selects which register implementation a Cluster runs.
@@ -67,8 +69,12 @@ type Config struct {
 	// Readers is R, the number of reader processes.
 	Readers int
 	// Protocol selects the implementation; the zero value means
-	// ProtocolFast.
+	// ProtocolFast. The implementation is resolved through the protocol
+	// driver registry, so every protocol runs over every transport backend.
 	Protocol Protocol
+	// Transport selects the message-passing backend the deployment runs on;
+	// nil means InMemory(). See Transport, InMemory and TCP.
+	Transport Transport
 	// ServerWorkers is the number of key-shard workers each server process
 	// runs: its messages are dispatched by register key across that many
 	// goroutines, so distinct keys execute in parallel while every key keeps
@@ -79,12 +85,14 @@ type Config struct {
 	ServerWorkers int
 	// NetworkDelay, when non-zero, adds a uniform one-way delivery delay to
 	// every message of the in-memory network, which makes round-trip counts
-	// directly visible in operation latency.
+	// directly visible in operation latency. In-memory backend only; the
+	// WithDelay transport option is the equivalent on InMemory().
 	NetworkDelay time.Duration
 	// Jitter adds a random extra delay in [0, Jitter) to each delivery.
+	// In-memory backend only (see WithJitter).
 	Jitter time.Duration
 	// Seed seeds the network's randomness; runs with equal seeds and
-	// schedules see equal jitter.
+	// schedules see equal jitter. In-memory backend only (see WithSeed).
 	Seed int64
 }
 
@@ -92,7 +100,9 @@ type Config struct {
 var (
 	// ErrTooManyReaders indicates a fast-register configuration that
 	// violates the paper's bound (R ≥ S/t − 2, or its Byzantine analogue).
-	ErrTooManyReaders = errors.New("fastread: too many readers for a fast implementation")
+	// It is the driver registry's sentinel, re-exported so callers match it
+	// on the public package.
+	ErrTooManyReaders = driver.ErrTooManyReaders
 	// ErrUnknownProtocol indicates an invalid Protocol value.
 	ErrUnknownProtocol = errors.New("fastread: unknown protocol")
 	// ErrUnknownReader indicates a reader index outside [1, R].

@@ -5,13 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
-	"fastread/internal/abd"
-	"fastread/internal/core"
-	"fastread/internal/maxmin"
+	"fastread/internal/driver"
 	"fastread/internal/protoutil"
 	"fastread/internal/quorum"
-	"fastread/internal/regular"
 	"fastread/internal/sig"
 	"fastread/internal/transport"
 	"fastread/internal/types"
@@ -30,9 +28,11 @@ var (
 // MaxKeyLen is the longest register key a Store accepts, in bytes.
 const MaxKeyLen = wire.MaxKeySize
 
-// Store is a complete in-memory deployment serving MANY named registers from
+// Store is a complete register deployment serving MANY named registers from
 // ONE set of server processes: S servers, the single writer identity and R
-// reader identities, all attached to an in-memory asynchronous network.
+// reader identities, all attached to the same transport backend — the
+// in-memory asynchronous network by default, or real TCP sockets when
+// Config.Transport is fastread.TCP (see Transport).
 //
 // Each named register is an independent instance of the configured protocol:
 // servers keep fully separate per-key state (timestamps, seen sets, client
@@ -43,23 +43,34 @@ const MaxKeyLen = wire.MaxKeySize
 // a map entry per server and a handful of client-side state, not a new
 // process set.
 //
+// The protocol implementation itself is resolved through the driver
+// registry: every protocol registers uniform server/writer/reader factories,
+// and the store composes them with the transport — no per-protocol code
+// lives here.
+//
 // Register hands out the per-key write/read handles. A Cluster is a Store
 // serving only the default register (the empty key).
 type Store struct {
-	cfg  Config
-	qcfg quorum.Config
-	net  *transport.InMemNetwork
-	keys sig.KeyPair
+	cfg     Config
+	qcfg    quorum.Config
+	drv     driver.Driver
+	session transportSession
+	keys    sig.KeyPair
 
-	stopServers []func()
-	mutations   func() int64
+	servers []driver.Server
 
 	writerDemux   *transport.Demux
 	readerDemuxes []*transport.Demux
 
-	mu     sync.Mutex
-	regs   map[string]*Register
-	closed bool
+	// closed flips before shutdown begins so handle operations issued after
+	// Close fail fast with ErrStoreClosed instead of waiting out their
+	// contexts against a dead network. (The flag is checked at operation
+	// entry: an operation already inside its quorum wait when Close runs
+	// still observes its own context.)
+	closed atomic.Bool
+
+	mu   sync.Mutex
+	regs map[string]*Register
 }
 
 // Register is the pair of per-key handles a Store serves for one named
@@ -81,6 +92,10 @@ func NewStore(cfg Config) (*Store, error) {
 	if !cfg.Protocol.Valid() {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownProtocol, cfg.Protocol)
 	}
+	drv, ok := driver.Lookup(cfg.Protocol.String())
+	if !ok {
+		return nil, fmt.Errorf("%w: no driver registered for %q", ErrUnknownProtocol, cfg.Protocol)
+	}
 	qcfg := quorum.Config{
 		Servers:   cfg.Servers,
 		Faulty:    cfg.Faulty,
@@ -90,36 +105,26 @@ func NewStore(cfg Config) (*Store, error) {
 	if err := qcfg.Validate(); err != nil {
 		return nil, err
 	}
-	switch cfg.Protocol {
-	case ProtocolFast, ProtocolFastByzantine:
-		if !qcfg.FastReadPossible() {
-			return nil, fmt.Errorf("%w: %v (max fast readers = %d)",
-				ErrTooManyReaders, qcfg, quorum.MaxFastReaders(cfg.Servers, cfg.Faulty, cfg.Malicious))
-		}
-		if cfg.Readers+1 > core.MaxPredicateUnion {
-			return nil, fmt.Errorf("%w: predicate evaluator supports at most %d readers",
-				ErrTooManyReaders, core.MaxPredicateUnion-1)
-		}
-	case ProtocolABD, ProtocolMaxMin, ProtocolRegular:
-		if qcfg.Majority() > qcfg.AckQuorum() {
-			return nil, fmt.Errorf("fastread: %s requires t < S/2, got %v", cfg.Protocol, qcfg)
-		}
+	if err := drv.Validate(qcfg); err != nil {
+		return nil, err
 	}
 
-	opts := []transport.InMemOption{transport.WithSeed(cfg.Seed)}
-	if cfg.NetworkDelay > 0 {
-		opts = append(opts, transport.WithDefaultDelay(cfg.NetworkDelay))
+	tr := cfg.Transport
+	if tr == nil {
+		tr = InMemory()
 	}
-	if cfg.Jitter > 0 {
-		opts = append(opts, transport.WithJitter(cfg.Jitter))
+	session, err := tr.connect(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	s := &Store{
-		cfg:  cfg,
-		qcfg: qcfg,
-		net:  transport.NewInMemNetwork(opts...),
-		keys: sig.MustKeyPair(),
-		regs: make(map[string]*Register),
+		cfg:     cfg,
+		qcfg:    qcfg,
+		drv:     drv,
+		session: session,
+		keys:    sig.MustKeyPair(),
+		regs:    make(map[string]*Register),
 	}
 	if err := s.startServers(); err != nil {
 		_ = s.Close()
@@ -132,65 +137,28 @@ func NewStore(cfg Config) (*Store, error) {
 	return s, nil
 }
 
-// startServers launches the protocol-appropriate keyed server on every
-// server identity. Each server executes its messages on a key-sharded
-// executor with cfg.ServerWorkers workers, so one server process serves
-// every register, in parallel across keys.
+// startServers launches the driver's keyed server on every server identity.
+// Each server executes its messages on a key-sharded executor with
+// cfg.ServerWorkers workers, so one server process serves every register, in
+// parallel across keys.
 func (s *Store) startServers() error {
-	var stateFns []func() int64
 	for i := 1; i <= s.cfg.Servers; i++ {
 		id := types.Server(i)
-		node, err := s.net.Join(id)
+		node, err := s.session.join(id)
 		if err != nil {
 			return fmt.Errorf("join %v: %w", id, err)
 		}
-		switch s.cfg.Protocol {
-		case ProtocolFast, ProtocolFastByzantine:
-			srv, err := core.NewServer(core.ServerConfig{
-				ID:        id,
-				Readers:   s.cfg.Readers,
-				Byzantine: s.cfg.Protocol == ProtocolFastByzantine,
-				Verifier:  s.keys.Verifier,
-				Workers:   s.cfg.ServerWorkers,
-			}, node)
-			if err != nil {
-				return err
-			}
-			srv.Start()
-			s.stopServers = append(s.stopServers, srv.Stop)
-			stateFns = append(stateFns, srv.TotalMutations)
-		case ProtocolABD:
-			srv, err := abd.NewServer(abd.ServerConfig{ID: id, Workers: s.cfg.ServerWorkers}, node)
-			if err != nil {
-				return err
-			}
-			srv.Start()
-			s.stopServers = append(s.stopServers, srv.Stop)
-			stateFns = append(stateFns, srv.TotalMutations)
-		case ProtocolMaxMin:
-			srv, err := maxmin.NewServer(maxmin.ServerConfig{ID: id, Quorum: s.qcfg, Workers: s.cfg.ServerWorkers}, node)
-			if err != nil {
-				return err
-			}
-			srv.Start()
-			s.stopServers = append(s.stopServers, srv.Stop)
-			stateFns = append(stateFns, func() int64 { return 0 })
-		case ProtocolRegular:
-			srv, err := regular.NewServer(id, node, nil, s.cfg.ServerWorkers)
-			if err != nil {
-				return err
-			}
-			srv.Start()
-			s.stopServers = append(s.stopServers, srv.Stop)
-			stateFns = append(stateFns, func() int64 { return 0 })
+		srv, err := s.drv.NewServer(driver.ServerConfig{
+			ID:       id,
+			Quorum:   s.qcfg,
+			Verifier: s.keys.Verifier,
+			Workers:  s.cfg.ServerWorkers,
+		}, node)
+		if err != nil {
+			return err
 		}
-	}
-	s.mutations = func() int64 {
-		var total int64
-		for _, fn := range stateFns {
-			total += fn()
-		}
-		return total
+		srv.Start()
+		s.servers = append(s.servers, srv)
 	}
 	return nil
 }
@@ -199,13 +167,13 @@ func (s *Store) startServers() error {
 // and wraps each physical node in a register-key demultiplexer; per-key
 // protocol clients are then created on demand by Register.
 func (s *Store) joinClients() error {
-	wNode, err := s.net.Join(types.Writer())
+	wNode, err := s.session.join(types.Writer())
 	if err != nil {
 		return err
 	}
 	s.writerDemux = transport.NewDemux(wNode, protoutil.WireKeyFunc, 0)
 	for i := 1; i <= s.cfg.Readers; i++ {
-		rNode, err := s.net.Join(types.Reader(i))
+		rNode, err := s.session.join(types.Reader(i))
 		if err != nil {
 			return err
 		}
@@ -225,7 +193,7 @@ func (s *Store) Register(key string) (*Register, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrStoreClosed
 	}
 	if reg, ok := s.regs[key]; ok {
@@ -240,115 +208,26 @@ func (s *Store) Register(key string) (*Register, error) {
 }
 
 // newRegister builds the per-key writer and reader clients over the shared
-// transport. Callers must hold s.mu.
+// transport, through the protocol driver's uniform factories. Callers must
+// hold s.mu.
 func (s *Store) newRegister(key string) (*Register, error) {
-	wNode := s.writerDemux.Route(key)
-	wh := &writerHandle{}
-	switch s.cfg.Protocol {
-	case ProtocolFast, ProtocolFastByzantine:
-		w, err := core.NewWriter(core.WriterConfig{
-			Quorum:    s.qcfg,
-			Key:       key,
-			Byzantine: s.cfg.Protocol == ProtocolFastByzantine,
-			Signer:    s.keys.Signer,
-		}, wNode)
-		if err != nil {
-			return nil, err
-		}
-		wh.write = func(ctx context.Context, v []byte) error { return w.Write(ctx, v) }
-		wh.stats = func() (int64, int64) { return w.Stats() }
-	case ProtocolABD:
-		w, err := abd.NewWriter(abd.ClientConfig{Quorum: s.qcfg, Key: key}, wNode)
-		if err != nil {
-			return nil, err
-		}
-		wh.write = func(ctx context.Context, v []byte) error { return w.Write(ctx, v) }
-		wh.stats = func() (int64, int64) { return w.Stats() }
-	case ProtocolMaxMin:
-		w, err := maxmin.NewKeyedWriter(key, s.qcfg, wNode, nil)
-		if err != nil {
-			return nil, err
-		}
-		wh.write = func(ctx context.Context, v []byte) error { return w.Write(ctx, v) }
-		wh.stats = func() (int64, int64) { return w.Stats() }
-	case ProtocolRegular:
-		w, err := regular.NewKeyedWriter(key, s.qcfg, wNode, nil)
-		if err != nil {
-			return nil, err
-		}
-		wh.write = func(ctx context.Context, v []byte) error { return w.Write(ctx, v) }
-		wh.stats = func() (int64, int64) { return w.Stats() }
+	clientCfg := driver.ClientConfig{
+		Key:      key,
+		Quorum:   s.qcfg,
+		Signer:   s.keys.Signer,
+		Verifier: s.keys.Verifier,
 	}
-
-	reg := &Register{key: key, writer: wh}
+	w, err := s.drv.NewWriter(clientCfg, s.writerDemux.Route(key))
+	if err != nil {
+		return nil, err
+	}
+	reg := &Register{key: key, writer: &writerHandle{store: s, w: w}}
 	for i := 1; i <= s.cfg.Readers; i++ {
-		rNode := s.readerDemuxes[i-1].Route(key)
-		rh := &readerHandle{index: i}
-		switch s.cfg.Protocol {
-		case ProtocolFast, ProtocolFastByzantine:
-			r, err := core.NewReader(core.ReaderConfig{
-				Quorum:    s.qcfg,
-				Key:       key,
-				Byzantine: s.cfg.Protocol == ProtocolFastByzantine,
-				Verifier:  s.keys.Verifier,
-			}, rNode)
-			if err != nil {
-				return nil, err
-			}
-			rh.read = func(ctx context.Context) (ReadResult, error) {
-				res, err := r.Read(ctx)
-				if err != nil {
-					return ReadResult{}, err
-				}
-				return ReadResult{
-					Value:        res.Value,
-					Version:      int64(res.Timestamp),
-					RoundTrips:   res.RoundTrips,
-					UsedFallback: !res.PredicateHeld,
-				}, nil
-			}
-			rh.stats = func() (int64, int64, int64) { return r.Stats() }
-		case ProtocolABD:
-			r, err := abd.NewReader(abd.ClientConfig{Quorum: s.qcfg, Key: key}, rNode)
-			if err != nil {
-				return nil, err
-			}
-			rh.read = func(ctx context.Context) (ReadResult, error) {
-				res, err := r.Read(ctx)
-				if err != nil {
-					return ReadResult{}, err
-				}
-				return ReadResult{Value: res.Value, Version: int64(res.Timestamp), RoundTrips: res.RoundTrips}, nil
-			}
-			rh.stats = func() (int64, int64, int64) { reads, rounds := r.Stats(); return reads, rounds, 0 }
-		case ProtocolMaxMin:
-			r, err := maxmin.NewKeyedReader(key, s.qcfg, rNode, nil)
-			if err != nil {
-				return nil, err
-			}
-			rh.read = func(ctx context.Context) (ReadResult, error) {
-				res, err := r.Read(ctx)
-				if err != nil {
-					return ReadResult{}, err
-				}
-				return ReadResult{Value: res.Value, Version: int64(res.Timestamp), RoundTrips: res.RoundTrips}, nil
-			}
-			rh.stats = func() (int64, int64, int64) { reads, rounds := r.Stats(); return reads, rounds, 0 }
-		case ProtocolRegular:
-			r, err := regular.NewKeyedReader(key, s.qcfg, rNode, nil)
-			if err != nil {
-				return nil, err
-			}
-			rh.read = func(ctx context.Context) (ReadResult, error) {
-				res, err := r.Read(ctx)
-				if err != nil {
-					return ReadResult{}, err
-				}
-				return ReadResult{Value: res.Value, Version: int64(res.Timestamp), RoundTrips: res.RoundTrips}, nil
-			}
-			rh.stats = func() (int64, int64, int64) { reads, rounds := r.Stats(); return reads, rounds, 0 }
+		r, err := s.drv.NewReader(clientCfg, s.readerDemuxes[i-1].Route(key))
+		if err != nil {
+			return nil, err
 		}
-		reg.reads = append(reg.reads, rh)
+		reg.reads = append(reg.reads, &readerHandle{store: s, index: i, r: r})
 	}
 	return reg, nil
 }
@@ -371,17 +250,25 @@ func (s *Store) Config() Config { return s.cfg }
 // CrashServer crash-stops server si (1-based) for EVERY register: it stops
 // receiving and sending messages permanently. Crashing more than Faulty
 // servers voids the deployment's guarantees, exactly as in the model.
+//
+// Crash injection is a capability of the in-memory backend; on other
+// transports CrashServer reports ErrUnsupported.
 func (s *Store) CrashServer(i int) error {
 	if i < 1 || i > s.cfg.Servers {
 		return fmt.Errorf("%w: %d (S=%d)", ErrUnknownServer, i, s.cfg.Servers)
 	}
-	s.net.Crash(types.Server(i))
-	return nil
+	return s.session.crash(types.Server(i))
 }
 
 // Network exposes the underlying in-memory network for tests, fault
-// injection and the adversarial schedules.
-func (s *Store) Network() *transport.InMemNetwork { return s.net }
+// injection and the adversarial schedules. On backends without an in-memory
+// network (TCP) it reports ErrUnsupported.
+func (s *Store) Network() (*transport.InMemNetwork, error) {
+	if net := s.session.inMem(); net != nil {
+		return net, nil
+	}
+	return nil, fmt.Errorf("%w: no in-memory network on the %s transport", ErrUnsupported, s.cfg.Transport)
+}
 
 // Stats aggregates client-side counters across every register, plus network
 // delivery counts and server state mutations.
@@ -399,21 +286,19 @@ func (s *Store) Stats() Stats {
 
 	var out Stats
 	for _, reg := range regs {
-		w, wr := reg.writer.stats()
+		w, wr := reg.writer.w.Stats()
 		out.Writes += w
 		out.WriteRoundTrips += wr
 		for _, r := range reg.reads {
-			reads, rounds, fallbacks := r.stats()
+			reads, rounds, fallbacks := r.r.Stats()
 			out.Reads += reads
 			out.ReadRoundTrips += rounds
 			out.FallbackReads += fallbacks
 		}
 	}
-	ns := s.net.Stats()
-	out.DeliveredMsgs = ns.Delivered
-	out.DroppedMsgs = ns.Dropped
-	if s.mutations != nil {
-		out.ServerMutations = s.mutations()
+	out.DeliveredMsgs, out.DroppedMsgs = s.session.stats()
+	for _, srv := range s.servers {
+		out.ServerMutations += srv.TotalMutations()
 	}
 	if out.Reads > 0 {
 		out.ReadRoundsPerOp = float64(out.ReadRoundTrips) / float64(out.Reads)
@@ -425,17 +310,17 @@ func (s *Store) Stats() Stats {
 }
 
 // Close shuts the store down: all servers stop, the client demultiplexers
-// detach and the network is closed. Close is idempotent.
+// detach and the transport is closed. Handle operations issued after Close
+// fail fast with ErrStoreClosed. Close is idempotent.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	for _, stop := range s.stopServers {
-		stop()
+	s.closed.Store(true)
+	for _, srv := range s.servers {
+		srv.Stop()
 	}
-	err := s.net.Close()
-	// Closing the network closes the physical client nodes, which terminates
-	// the demux pumps; waiting on them guarantees no goroutine outlives Close.
+	err := s.session.close()
+	// Closing the transport closes the physical client nodes, which
+	// terminates the demux pumps; waiting on them guarantees no goroutine
+	// outlives Close.
 	if s.writerDemux != nil {
 		_ = s.writerDemux.Close()
 	}
@@ -468,29 +353,49 @@ func (r *Register) Readers() []Reader {
 	return out
 }
 
-// writerHandle adapts a protocol-specific writer to the Writer interface.
+// writerHandle adapts a protocol driver's writer to the public Writer
+// interface, adding the store-closed fast path.
 type writerHandle struct {
-	write func(context.Context, []byte) error
-	stats func() (int64, int64)
+	store *Store
+	w     driver.Writer
 }
 
 var _ Writer = (*writerHandle)(nil)
 
-// Write implements Writer.
+// Write implements Writer. A Write issued after Store.Close fails fast with
+// ErrStoreClosed: the servers are gone, so without the check the operation
+// would wait out its entire context against a network that can never answer.
 func (w *writerHandle) Write(ctx context.Context, value []byte) error {
-	return w.write(ctx, value)
+	if w.store.closed.Load() {
+		return ErrStoreClosed
+	}
+	return w.w.Write(ctx, value)
 }
 
-// readerHandle adapts a protocol-specific reader to the Reader interface.
+// readerHandle adapts a protocol driver's reader to the public Reader
+// interface, adding the store-closed fast path.
 type readerHandle struct {
+	store *Store
 	index int
-	read  func(context.Context) (ReadResult, error)
-	stats func() (int64, int64, int64)
+	r     driver.Reader
 }
 
 var _ Reader = (*readerHandle)(nil)
 
-// Read implements Reader.
+// Read implements Reader. After Store.Close it fails fast with
+// ErrStoreClosed (see writerHandle.Write).
 func (r *readerHandle) Read(ctx context.Context) (ReadResult, error) {
-	return r.read(ctx)
+	if r.store.closed.Load() {
+		return ReadResult{}, ErrStoreClosed
+	}
+	res, err := r.r.Read(ctx)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	return ReadResult{
+		Value:        res.Value,
+		Version:      int64(res.Timestamp),
+		RoundTrips:   res.RoundTrips,
+		UsedFallback: res.UsedFallback,
+	}, nil
 }

@@ -1,0 +1,292 @@
+package fastread
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fastread/internal/transport"
+	"fastread/internal/transport/tcpnet"
+	"fastread/internal/types"
+)
+
+// ErrUnsupported indicates a capability the store's transport backend does
+// not provide: fault injection (CrashServer, Network) exists only on the
+// in-memory network, where the adversary controls every delivery. Match it
+// with errors.Is.
+var ErrUnsupported = errors.New("fastread: operation not supported by this transport backend")
+
+// Transport selects the message-passing backend a Store (or Cluster) runs
+// on. The protocols themselves are transport-agnostic — they only ever see
+// the node interface — so the same deployment configuration runs unchanged
+// over either backend:
+//
+//   - InMemory (the default): the paper's asynchronous network as a
+//     simulator, with full fault-injection capabilities (crashes, per-link
+//     blocking, delays, adversarial schedules).
+//   - TCP: every process is a real socket endpoint; delivery is as reliable
+//     as the connections, and fault injection degrades to ErrUnsupported
+//     (crash a process by killing it, partition by firewalling — the real
+//     world is the fault injector).
+//
+// A Transport value is a reusable factory: each NewStore call opens an
+// independent deployment from it. Implementations are provided by this
+// package only.
+type Transport interface {
+	// String names the backend ("inmem", "tcp").
+	String() string
+
+	// connect opens one deployment's network session. Sealed: transports are
+	// constructed with InMemory or TCP.
+	connect(cfg Config) (transportSession, error)
+}
+
+// transportSession is one store's private view of its backend: a way to
+// attach processes, the capability hooks, and shutdown.
+type transportSession interface {
+	join(id types.ProcessID) (transport.Node, error)
+	close() error
+	// crash crash-stops a process, or reports ErrUnsupported.
+	crash(id types.ProcessID) error
+	// inMem exposes the underlying in-memory network, or nil when the
+	// backend is not the in-memory one.
+	inMem() *transport.InMemNetwork
+	// stats reports messages delivered to and dropped by the backend so far.
+	stats() (delivered, dropped int)
+}
+
+// InMemoryOption tweaks the in-memory backend.
+type InMemoryOption func(*inMemTransport)
+
+// WithDelay adds a uniform one-way delivery delay to every message, which
+// makes round-trip counts directly visible in operation latency. It is the
+// transport-level equivalent of Config.NetworkDelay.
+func WithDelay(d time.Duration) InMemoryOption {
+	return func(t *inMemTransport) {
+		t.opts = append(t.opts, transport.WithDefaultDelay(d))
+	}
+}
+
+// WithJitter adds a random extra delay in [0, j) to each delivery. It is the
+// transport-level equivalent of Config.Jitter.
+func WithJitter(j time.Duration) InMemoryOption {
+	return func(t *inMemTransport) {
+		t.opts = append(t.opts, transport.WithJitter(j))
+	}
+}
+
+// WithSeed seeds the network's randomness; runs with equal seeds and
+// schedules see equal jitter. It is the transport-level equivalent of
+// Config.Seed.
+func WithSeed(seed int64) InMemoryOption {
+	return func(t *inMemTransport) {
+		t.opts = append(t.opts, transport.WithSeed(seed))
+	}
+}
+
+// InMemory returns the in-memory transport backend: the paper's asynchronous
+// reliable network as a single-process simulator, with every fault-injection
+// capability available. It is the default when Config.Transport is nil.
+//
+// Options given here take precedence over the equivalent Config fields
+// (NetworkDelay, Jitter, Seed), which remain supported for the common case.
+func InMemory(opts ...InMemoryOption) Transport {
+	t := &inMemTransport{}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// inMemTransport builds one in-memory network per store.
+type inMemTransport struct {
+	opts []transport.InMemOption
+}
+
+func (t *inMemTransport) String() string { return "inmem" }
+
+func (t *inMemTransport) connect(cfg Config) (transportSession, error) {
+	// Config-level knobs first, transport-level options after so the
+	// explicit transport construction wins.
+	opts := []transport.InMemOption{transport.WithSeed(cfg.Seed)}
+	if cfg.NetworkDelay > 0 {
+		opts = append(opts, transport.WithDefaultDelay(cfg.NetworkDelay))
+	}
+	if cfg.Jitter > 0 {
+		opts = append(opts, transport.WithJitter(cfg.Jitter))
+	}
+	opts = append(opts, t.opts...)
+	return &inMemSession{net: transport.NewInMemNetwork(opts...)}, nil
+}
+
+// inMemSession is the in-memory backend's session: a thin veneer over
+// InMemNetwork with every capability present.
+type inMemSession struct {
+	net *transport.InMemNetwork
+}
+
+func (s *inMemSession) join(id types.ProcessID) (transport.Node, error) { return s.net.Join(id) }
+func (s *inMemSession) close() error                                    { return s.net.Close() }
+func (s *inMemSession) inMem() *transport.InMemNetwork                  { return s.net }
+
+func (s *inMemSession) crash(id types.ProcessID) error {
+	s.net.Crash(id)
+	return nil
+}
+
+func (s *inMemSession) stats() (delivered, dropped int) {
+	ns := s.net.Stats()
+	return ns.Delivered, ns.Dropped
+}
+
+// TCPOption tweaks the TCP backend.
+type TCPOption func(*tcpTransport)
+
+// WithDialTimeout bounds connection establishment to a peer (default 2s).
+func WithDialTimeout(d time.Duration) TCPOption {
+	return func(t *tcpTransport) { t.dialTimeout = d }
+}
+
+// WithWriteTimeout bounds a single buffered-frame flush to a peer's socket
+// (default 2s).
+func WithWriteTimeout(d time.Duration) TCPOption {
+	return func(t *tcpTransport) { t.writeTimeout = d }
+}
+
+// TCP returns a transport backend that attaches every process of the
+// deployment to a real TCP socket. The deployment then behaves exactly as a
+// distributed one — length-prefixed frames over per-peer connections, lazy
+// dialling, per-peer write batching — while the Store API stays unchanged.
+//
+// NewStore starts the WHOLE deployment (servers, writer, readers) in the
+// calling process, each identity on its own listening socket, so every book
+// address must be bindable on the local machine. Deployments spanning
+// processes or machines run the same protocols through cmd/regserver and
+// cmd/regclient instead.
+//
+// book maps process identities to "host:port" listen addresses using the
+// textual identity form: "w" for the writer, "r1".."rR" for the readers and
+// "s1".."sS" for the servers (the identity encodes the role). Identities
+// missing from the book listen on an ephemeral loopback port and publish the
+// chosen address to the deployment's shared live address table; passing a
+// nil or empty book therefore runs the entire deployment over real sockets
+// on 127.0.0.1 with no port assignment at all — the loopback mode the
+// integration tests and examples use.
+//
+// Fault-injection capabilities (CrashServer, Network) report ErrUnsupported
+// on this backend.
+func TCP(book map[string]string, opts ...TCPOption) Transport {
+	t := &tcpTransport{book: make(map[string]string, len(book))}
+	for id, addr := range book {
+		t.book[id] = addr
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// tcpTransport holds the deployment-independent TCP parameters.
+type tcpTransport struct {
+	book         map[string]string
+	dialTimeout  time.Duration
+	writeTimeout time.Duration
+}
+
+func (t *tcpTransport) String() string { return "tcp" }
+
+func (t *tcpTransport) connect(cfg Config) (transportSession, error) {
+	static := make(tcpnet.AddressBook, len(t.book))
+	for idStr, addr := range t.book {
+		id, err := types.ParseProcessID(idStr)
+		if err != nil {
+			return nil, fmt.Errorf("fastread: TCP address book entry %q: %w", idStr, err)
+		}
+		if addr == "" {
+			return nil, fmt.Errorf("fastread: TCP address book entry %q has an empty address", idStr)
+		}
+		static[id] = addr
+	}
+	return &tcpSession{
+		transport: t,
+		static:    static,
+		live:      make(tcpnet.AddressBook),
+	}, nil
+}
+
+// tcpSession is one store's TCP deployment: each joined process owns a
+// listening socket, and processes the static book does not cover are
+// resolved through the live table filled in at join time.
+type tcpSession struct {
+	transport *tcpTransport
+	static    tcpnet.AddressBook
+
+	mu    sync.Mutex
+	live  tcpnet.AddressBook
+	nodes []*tcpnet.Node
+}
+
+func (s *tcpSession) join(id types.ProcessID) (transport.Node, error) {
+	listenAddr := s.static[id]
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	node, err := tcpnet.Listen(tcpnet.Config{
+		Self:         id,
+		ListenAddr:   listenAddr,
+		Book:         s.static,
+		Resolve:      s.resolve,
+		DialTimeout:  s.transport.dialTimeout,
+		WriteTimeout: s.transport.writeTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.live[id] = node.Addr()
+	s.nodes = append(s.nodes, node)
+	s.mu.Unlock()
+	return node, nil
+}
+
+// resolve serves the live address table to every node of the session; it
+// covers the ephemeral-port processes the static book cannot name up front.
+func (s *tcpSession) resolve(id types.ProcessID) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addr, ok := s.live[id]
+	return addr, ok
+}
+
+func (s *tcpSession) close() error {
+	// Keep the node list so stats() stays meaningful after close; Node.Close
+	// is idempotent.
+	s.mu.Lock()
+	nodes := append([]*tcpnet.Node(nil), s.nodes...)
+	s.mu.Unlock()
+	var first error
+	for _, n := range nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *tcpSession) crash(id types.ProcessID) error {
+	return fmt.Errorf("%w: crash injection requires the in-memory network (kill the process instead)", ErrUnsupported)
+}
+
+func (s *tcpSession) inMem() *transport.InMemNetwork { return nil }
+
+func (s *tcpSession) stats() (delivered, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range s.nodes {
+		ns := n.Stats()
+		delivered += int(ns.Delivered)
+		dropped += int(ns.DroppedInbound + ns.DroppedSend)
+	}
+	return delivered, dropped
+}
