@@ -403,6 +403,135 @@ func BenchmarkStoreParallelKeys(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelinedRead measures one reader handle driving the async read
+// API with a fixed window of in-flight operations over the in-memory
+// transport. depth=1 is the serial baseline (ReadAsync+Result degenerates to
+// Read).
+//
+// The latency=0 variants isolate the per-operation CPU cost: round trips on
+// the zero-delay in-memory network are nearly free, so the depth-16 multiple
+// over depth-1 there is bounded by how much scheduling/batching overhead
+// pipelining can amortise (and by the host's core count — on a single-core
+// container the two depths compete for the same CPU). The latency=200µs
+// variants model a real network round trip, the regime pipelining exists
+// for: a serial reader pays the full delay per operation while a depth-16
+// pipeline overlaps sixteen of them, so ops/sec scale by roughly the depth
+// (BENCH_5.json records both ratios; ≥3× at depth ≥ 8 is the acceptance
+// gate).
+func BenchmarkPipelinedRead(b *testing.B) {
+	for _, lat := range []time.Duration{0, 200 * time.Microsecond} {
+		for _, depth := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("latency=%s/depth=%d", lat, depth), func(b *testing.B) {
+				benchmarkPipelinedRead(b, depth, lat)
+			})
+		}
+	}
+}
+
+func benchmarkPipelinedRead(b *testing.B, depth int, delay time.Duration) {
+	store, err := NewStore(Config{
+		Servers: 4, Faulty: 1, Readers: 1, Protocol: ProtocolFast,
+		PipelineDepth: depth, NetworkDelay: delay,
+	})
+	if err != nil {
+		b.Fatalf("NewStore: %v", err)
+	}
+	b.Cleanup(func() { _ = store.Close() })
+	reg, err := store.Register("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := benchCtx(b)
+	if err := reg.Writer().Write(ctx, []byte("bench-value")); err != nil {
+		b.Fatalf("seed write: %v", err)
+	}
+	reader, err := reg.Reader(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	window := make([]*ReadFuture, 0, depth)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(window) == depth {
+			if _, err := window[0].Result(ctx); err != nil {
+				b.Fatalf("read: %v", err)
+			}
+			window = window[1:]
+		}
+		f, err := reader.ReadAsync(ctx)
+		if err != nil {
+			b.Fatalf("ReadAsync: %v", err)
+		}
+		window = append(window, f)
+	}
+	for _, f := range window {
+		if _, err := f.Result(ctx); err != nil {
+			b.Fatalf("drain: %v", err)
+		}
+	}
+	b.StopTimer()
+	stats := store.Stats()
+	if ops := stats.Reads + stats.Writes; ops > 0 {
+		b.ReportMetric(float64(stats.DeliveredMsgs)/float64(ops), "msgs/op")
+		b.ReportMetric(float64(stats.FramesDelivered)/float64(ops), "frames/op")
+	}
+}
+
+// BenchmarkPipelinedReadTCP is BenchmarkPipelinedRead over real loopback
+// sockets, where the frames/op metric shows the wire-level batching: at
+// depth 16 many operations share each length-prefixed frame.
+func BenchmarkPipelinedReadTCP(b *testing.B) {
+	for _, depth := range []int{1, 16} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			store, err := NewStore(Config{Servers: 4, Faulty: 1, Readers: 1, Protocol: ProtocolFast, PipelineDepth: depth, Transport: TCP(nil)})
+			if err != nil {
+				b.Fatalf("NewStore: %v", err)
+			}
+			b.Cleanup(func() { _ = store.Close() })
+			reg, err := store.Register("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := benchCtx(b)
+			if err := reg.Writer().Write(ctx, []byte("bench-value")); err != nil {
+				b.Fatalf("seed write: %v", err)
+			}
+			reader, err := reg.Reader(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			window := make([]*ReadFuture, 0, depth)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(window) == depth {
+					if _, err := window[0].Result(ctx); err != nil {
+						b.Fatalf("read: %v", err)
+					}
+					window = window[1:]
+				}
+				f, err := reader.ReadAsync(ctx)
+				if err != nil {
+					b.Fatalf("ReadAsync: %v", err)
+				}
+				window = append(window, f)
+			}
+			for _, f := range window {
+				if _, err := f.Result(ctx); err != nil {
+					b.Fatalf("drain: %v", err)
+				}
+			}
+			b.StopTimer()
+			stats := store.Stats()
+			if ops := stats.Reads + stats.Writes; ops > 0 {
+				b.ReportMetric(float64(stats.FramesDelivered)/float64(ops), "frames/op")
+			}
+		})
+	}
+}
+
 // BenchmarkConcurrentReaders measures aggregate read throughput with several
 // readers sharing the register, the regime where the paper's bound on R
 // matters.

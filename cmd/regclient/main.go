@@ -18,7 +18,12 @@
 //	regclient -id w  -book "$BOOK" -key bench- -keys 16 bench -ops 1000
 //
 // The bench subcommand reports throughput plus the latency distribution
-// (mean, p50, p95, p99, max).
+// (mean, p50, p95, p99, max). With -pipeline N it keeps up to N operations
+// in flight through the async API (requests and acknowledgements then ride
+// batched wire frames), reporting the same distribution plus an in-flight
+// depth histogram:
+//
+//	regclient -id r1 -book "$BOOK" -pipeline 16 bench -ops 10000
 //
 // The deployment parameters (-S, -t, -b, -R) and -protocol must match what
 // the servers were started with; the protocol's deployment bound (the fast
@@ -72,6 +77,7 @@ func run(args []string) error {
 		ops       = fs.Int("ops", 100, "operation count for the bench subcommand")
 		key       = fs.String("key", "", "register key to operate on (empty = default register)")
 		keysN     = fs.Int("keys", 1, "bench only: spread operations over N registers named <key>0..<key>N-1")
+		pipeline  = fs.Int("pipeline", 1, "bench only: operations kept in flight per handle (1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,8 +86,17 @@ func run(args []string) error {
 		return fmt.Errorf("usage: regclient [flags] read | write <value> | bench")
 	}
 	command := fs.Arg(0)
+	// Flags may also follow the subcommand (`bench -ops 1000 -pipeline 16`),
+	// as the examples above show: parse the remainder through the same set,
+	// leaving fs.Args() holding the subcommand's operands.
+	if err := fs.Parse(fs.Args()[1:]); err != nil {
+		return err
+	}
 	if *keysN < 1 {
 		return fmt.Errorf("-keys must be >= 1, got %d", *keysN)
+	}
+	if *pipeline < 1 {
+		return fmt.Errorf("-pipeline must be >= 1, got %d", *pipeline)
 	}
 	if *byz {
 		switch *protocol {
@@ -132,7 +147,7 @@ func run(args []string) error {
 	// in-memory Store does.
 	demux := transport.NewDemux(node, protoutil.WireKeyFunc, 0)
 
-	clientCfg := driver.ClientConfig{Quorum: qcfg}
+	clientCfg := driver.ClientConfig{Quorum: qcfg, Depth: *pipeline}
 	if drv.NeedsSignatures {
 		switch id.Role {
 		case types.RoleWriter:
@@ -163,7 +178,7 @@ func run(args []string) error {
 			}
 			writers[i] = w
 		}
-		return runWriter(ctx, writers, command, fs.Args(), *timeout, *ops)
+		return runWriter(ctx, writers, command, fs.Args(), *timeout, *ops, *pipeline)
 	case types.RoleReader:
 		readers := make([]driver.Reader, len(keys))
 		for i, k := range keys {
@@ -175,42 +190,44 @@ func run(args []string) error {
 			}
 			readers[i] = r
 		}
-		return runReader(ctx, readers, command, *timeout, *ops)
+		return runReader(ctx, readers, command, *timeout, *ops, *pipeline)
 	default:
 		return fmt.Errorf("-id must be the writer (w) or a reader (r1..rR)")
 	}
 }
 
 // runWriter executes the writer-side subcommands. The bench subcommand
-// round-robins its operations over every per-key writer.
-func runWriter(ctx context.Context, writers []driver.Writer, command string, args []string, timeout time.Duration, ops int) error {
+// round-robins its operations over every per-key writer, keeping up to
+// depth writes in flight.
+func runWriter(ctx context.Context, writers []driver.Writer, command string, args []string, timeout time.Duration, ops, depth int) error {
 	switch command {
 	case "write":
-		if len(args) < 2 {
+		if len(args) < 1 {
 			return fmt.Errorf("usage: regclient ... write <value>")
 		}
 		opCtx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 		start := time.Now()
-		if err := writers[0].Write(opCtx, types.Value(args[1])); err != nil {
+		if err := writers[0].Write(opCtx, types.Value(args[0])); err != nil {
 			return err
 		}
 		fmt.Printf("ok in %v\n", time.Since(start).Round(time.Microsecond))
 		return nil
 	case "bench":
-		recorder := stats.NewLatencyRecorder(ops)
 		benchStart := time.Now()
-		for i := 0; i < ops; i++ {
-			opCtx, cancel := context.WithTimeout(ctx, timeout)
-			start := time.Now()
-			err := writers[i%len(writers)].Write(opCtx, types.Value(fmt.Sprintf("bench-%d", i)))
-			cancel()
-			if err != nil {
-				return fmt.Errorf("write %d: %w", i, err)
-			}
-			recorder.Record(time.Since(start))
+		recorder, inflight, err := pipelinedBench(ctx, ops, depth, timeout,
+			func(opCtx context.Context, i int) (func(context.Context) error, error) {
+				f, err := writers[i%len(writers)].WriteAsync(opCtx, types.Value(fmt.Sprintf("bench-%d", i)))
+				if err != nil {
+					return nil, err
+				}
+				return f.Result, nil
+			})
+		if err != nil {
+			return err
 		}
 		printBench("writes", len(writers), recorder, time.Since(benchStart))
+		printPipeline(depth, inflight)
 		return nil
 	default:
 		return fmt.Errorf("the writer supports: write <value> | bench")
@@ -218,8 +235,9 @@ func runWriter(ctx context.Context, writers []driver.Writer, command string, arg
 }
 
 // runReader executes the reader-side subcommands. The bench subcommand
-// round-robins its operations over every per-key reader.
-func runReader(ctx context.Context, readers []driver.Reader, command string, timeout time.Duration, ops int) error {
+// round-robins its operations over every per-key reader, keeping up to
+// depth reads in flight.
+func runReader(ctx context.Context, readers []driver.Reader, command string, timeout time.Duration, ops, depth int) error {
 	switch command {
 	case "read":
 		opCtx, cancel := context.WithTimeout(ctx, timeout)
@@ -233,23 +251,87 @@ func runReader(ctx context.Context, readers []driver.Reader, command string, tim
 			res.Value, res.Timestamp, res.RoundTrips, time.Since(start).Round(time.Microsecond))
 		return nil
 	case "bench":
-		recorder := stats.NewLatencyRecorder(ops)
 		benchStart := time.Now()
-		for i := 0; i < ops; i++ {
-			opCtx, cancel := context.WithTimeout(ctx, timeout)
-			start := time.Now()
-			_, err := readers[i%len(readers)].Read(opCtx)
-			cancel()
-			if err != nil {
-				return fmt.Errorf("read %d: %w", i, err)
-			}
-			recorder.Record(time.Since(start))
+		recorder, inflight, err := pipelinedBench(ctx, ops, depth, timeout,
+			func(opCtx context.Context, i int) (func(context.Context) error, error) {
+				f, err := readers[i%len(readers)].ReadAsync(opCtx)
+				if err != nil {
+					return nil, err
+				}
+				return func(c context.Context) error {
+					_, rerr := f.Result(c)
+					return rerr
+				}, nil
+			})
+		if err != nil {
+			return err
 		}
 		printBench("reads", len(readers), recorder, time.Since(benchStart))
+		printPipeline(depth, inflight)
 		return nil
 	default:
 		return fmt.Errorf("readers support: read | bench")
 	}
+}
+
+// pipelinedBench drives ops operations with up to depth in flight: submit
+// returns a wait function resolving operation i, and the window harvests the
+// oldest operation whenever it is full. Latency is measured submit-to-
+// resolve (a submission blocked by a full per-handle pipeline counts against
+// the operation, exactly what a closed-loop caller would see); the in-flight
+// histogram samples the window occupancy at each submission.
+func pipelinedBench(ctx context.Context, ops, depth int, timeout time.Duration,
+	submit func(opCtx context.Context, i int) (func(context.Context) error, error)) (*stats.LatencyRecorder, *stats.IntHistogram, error) {
+
+	recorder := stats.NewLatencyRecorder(ops)
+	inflight := &stats.IntHistogram{}
+	type pending struct {
+		wait   func(context.Context) error
+		cancel context.CancelFunc
+		start  time.Time
+		idx    int
+	}
+	window := make([]pending, 0, depth)
+	harvest := func(p pending) error {
+		// The operation's own context carries the timeout; the wait itself
+		// needs no second deadline.
+		err := p.wait(context.Background())
+		p.cancel()
+		if err != nil {
+			return fmt.Errorf("op %d: %w", p.idx, err)
+		}
+		recorder.Record(time.Since(p.start))
+		return nil
+	}
+	for i := 0; i < ops; i++ {
+		if len(window) == depth {
+			if err := harvest(window[0]); err != nil {
+				return nil, nil, err
+			}
+			window = window[1:]
+		}
+		inflight.Observe(len(window))
+		opCtx, cancel := context.WithTimeout(ctx, timeout)
+		start := time.Now()
+		wait, err := submit(opCtx, i)
+		if err != nil {
+			cancel()
+			return nil, nil, fmt.Errorf("submit op %d: %w", i, err)
+		}
+		window = append(window, pending{wait: wait, cancel: cancel, start: start, idx: i})
+	}
+	for _, p := range window {
+		if err := harvest(p); err != nil {
+			return nil, nil, err
+		}
+	}
+	return recorder, inflight, nil
+}
+
+// printPipeline reports the pipelining shape of a bench run.
+func printPipeline(depth int, inflight *stats.IntHistogram) {
+	fmt.Printf("pipeline: depth=%d in-flight at submit: mean=%.1f max=%d histogram: %s\n",
+		depth, inflight.Mean(), inflight.Max(), inflight)
 }
 
 // printBench reports a bench run: throughput plus the full latency

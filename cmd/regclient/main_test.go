@@ -1,7 +1,11 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
+	"time"
 
 	"fastread/internal/sig"
 	"fastread/internal/types"
@@ -71,5 +75,58 @@ func TestSeedReaderEmptySeed(t *testing.T) {
 	var r seedReader
 	if _, err := r.Read(make([]byte, 8)); err == nil {
 		t.Error("empty seed should error")
+	}
+}
+
+func TestPipelinedBenchWindow(t *testing.T) {
+	const ops, depth = 20, 4
+	resolved := make([]chan struct{}, ops)
+	for i := range resolved {
+		resolved[i] = make(chan struct{})
+		close(resolved[i]) // resolve immediately; the window still fills to depth
+	}
+	inFlight := 0
+	maxInFlight := 0
+	recorder, hist, err := pipelinedBench(context.Background(), ops, depth, time.Second,
+		func(_ context.Context, i int) (func(context.Context) error, error) {
+			inFlight++
+			if inFlight > maxInFlight {
+				maxInFlight = inFlight
+			}
+			ch := resolved[i]
+			return func(context.Context) error {
+				<-ch
+				inFlight--
+				return nil
+			}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorder.Count() != ops {
+		t.Errorf("recorded %d latencies, want %d", recorder.Count(), ops)
+	}
+	if maxInFlight > depth {
+		t.Errorf("window grew to %d, depth is %d", maxInFlight, depth)
+	}
+	if hist.Count() != ops {
+		t.Errorf("histogram has %d samples, want %d", hist.Count(), ops)
+	}
+	if hist.Max() > depth-1 {
+		t.Errorf("histogram max %d; at submit at most depth-1=%d ops can be in flight", hist.Max(), depth-1)
+	}
+
+	// A failing operation surfaces with its index.
+	_, _, err = pipelinedBench(context.Background(), 3, 2, time.Second,
+		func(_ context.Context, i int) (func(context.Context) error, error) {
+			return func(context.Context) error {
+				if i == 1 {
+					return errors.New("boom")
+				}
+				return nil
+			}, nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "op 1") {
+		t.Errorf("err = %v, want op 1 failure", err)
 	}
 }

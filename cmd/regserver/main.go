@@ -135,7 +135,7 @@ func run(args []string) error {
 	// peers) so operators notice overload or partitions that the
 	// asynchronous protocols themselves tolerate without complaint.
 	stats := node.Stats()
-	fmt.Printf("shutting down: delivered=%d dropped_inbound=%d dropped_send=%d\n",
-		stats.Delivered, stats.DroppedInbound, stats.DroppedSend)
+	fmt.Printf("shutting down: delivered=%d frames=%d dropped_inbound=%d dropped_send=%d\n",
+		stats.Delivered, stats.Frames, stats.DroppedInbound, stats.DroppedSend)
 	return nil
 }

@@ -86,6 +86,39 @@
 // machines are driven by cmd/regserver and cmd/regclient, which serve the
 // same protocols via the same driver registry.
 //
+// # Pipelined operations
+//
+// Every handle also exposes an asynchronous API: Writer.WriteAsync and
+// Reader.ReadAsync submit an operation and return a future without waiting
+// for its quorum, keeping up to Config.PipelineDepth operations of that
+// handle in flight (submissions beyond the depth block until one completes).
+// The blocking Read/Write are exactly the depth-one case. Pipelining is a
+// THROUGHPUT feature: a serial client pays a full round trip per operation,
+// while a pipeline overlaps them — and underneath, the transports coalesce
+// the overlapped traffic into batched wire frames (one frame per peer per
+// flush on TCP) and servers answer each burst with one batched send per
+// client, so the per-operation wire cost falls with depth too.
+//
+//	f1, _ := r.ReadAsync(ctx)
+//	f2, _ := r.ReadAsync(ctx)        // in flight concurrently with f1
+//	res1, _ := f1.Result(ctx)
+//	res2, _ := f2.Result(ctx)
+//
+// Semantics under pipelining: writes are applied in submission order (each
+// WriteAsync takes the next timestamp and broadcasts before returning, and
+// transports deliver each link FIFO), so the single-writer regime of the
+// model is preserved; each in-flight read is an independent operation
+// matched to its acknowledgements by its own nonce, and cancelling one
+// (through the ctx given to ReadAsync or Result) never disturbs siblings.
+// Futures severed by Store.Close resolve with ErrStoreClosed.
+//
+// Depth guidance: the default (16) suits most workloads. Raise it when the
+// network round trip dominates (high-latency links — throughput scales
+// roughly with depth until it saturates) and keep it small when operation
+// LATENCY matters more than throughput, since queued submissions wait behind
+// their siblings. Depth bounds memory per handle: each in-flight operation
+// holds its request and collected acknowledgements.
+//
 // # Protocol drivers
 //
 // The store resolves Config.Protocol through the internal/driver registry:
@@ -114,6 +147,12 @@
 // internal/wire/pool.go. The sole-mutator discipline those rules lean on is
 // per KEY-SHARD WORKER: all messages naming a register key are handled by
 // the same worker goroutine, which is therefore that key's only mutator.
-// Benchmarks quantifying each layer live in bench_test.go; BENCH_2.json and
-// BENCH_3.json record the measured trajectory.
+//
+// Batch frames extend the same rules end to end: a wire.Batch envelope packs
+// many messages into one transport payload, the per-message views produced
+// when it is expanded ALIAS the one batch buffer, and a flushed batch buffer
+// is never reused by its sender (receivers may retain views indefinitely).
+// Retaining any view pins the whole buffer, which is the intended trade.
+// Benchmarks quantifying each layer live in bench_test.go; BENCH_2.json,
+// BENCH_3.json and BENCH_5.json record the measured trajectory.
 package fastread

@@ -21,14 +21,14 @@ func init() {
 			return s, nil
 		},
 		NewWriter: func(cfg driver.ClientConfig, node transport.Node) (driver.Writer, error) {
-			w, err := NewWriter(ClientConfig{Quorum: cfg.Quorum, Key: cfg.Key}, node)
+			w, err := NewWriter(ClientConfig{Quorum: cfg.Quorum, Key: cfg.Key, Depth: cfg.Depth}, node)
 			if err != nil {
 				return nil, err
 			}
-			return w, nil
+			return driver.AdaptWriter(w), nil
 		},
 		NewReader: func(cfg driver.ClientConfig, node transport.Node) (driver.Reader, error) {
-			r, err := NewReader(ClientConfig{Quorum: cfg.Quorum, Key: cfg.Key}, node)
+			r, err := NewReader(ClientConfig{Quorum: cfg.Quorum, Key: cfg.Key, Depth: cfg.Depth}, node)
 			if err != nil {
 				return nil, err
 			}
@@ -45,7 +45,20 @@ func (h abdReaderHandle) Read(ctx context.Context) (driver.ReadResult, error) {
 	if err != nil {
 		return driver.ReadResult{}, err
 	}
-	return driver.ReadResult{Value: res.Value, Timestamp: res.Timestamp, RoundTrips: res.RoundTrips}, nil
+	return abdResult(res), nil
+}
+
+func (h abdReaderHandle) ReadAsync(ctx context.Context) (driver.ReadFuture, error) {
+	f, err := h.r.ReadAsync(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return driver.ReadFutureOf(f, abdResult), nil
+}
+
+// abdResult adapts the ABD reader's result to the uniform driver result.
+func abdResult(res ReadResult) driver.ReadResult {
+	return driver.ReadResult{Value: res.Value, Timestamp: res.Timestamp, RoundTrips: res.RoundTrips}
 }
 
 func (h abdReaderHandle) Stats() (reads, roundTrips, fallbacks int64) {

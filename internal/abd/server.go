@@ -90,7 +90,7 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 func (s *Server) Start() {
 	go func() {
 		defer close(s.done)
-		s.exec.Run(s.handle)
+		s.exec.RunCoalescing(s.handle)
 	}()
 }
 
@@ -142,8 +142,10 @@ func (s *Server) TotalMutations() int64 {
 // decode, one clone at the adoption retention point, ack fields aliasing the
 // stored state (the key-shard worker handling this message is this key's
 // sole mutator, and the ack is encoded before the worker handles its next
-// message).
-func (s *Server) handle(m transport.Message) {
+// message). Acknowledgements go through the executor's run-scoped coalescer,
+// so a run of pipelined requests from one client is answered with ONE
+// batched send.
+func (s *Server) handle(m transport.Message, out transport.Sender) {
 	tr := s.cfg.Trace
 	req := wire.GetMessage()
 	defer wire.PutMessage(req)
@@ -213,7 +215,7 @@ func (s *Server) handle(m transport.Message) {
 	if tr.Enabled() {
 		tr.Record(trace.KindSend, s.cfg.ID, m.From, "%s ts=%d.%d", ack.Op, ack.TS, ack.WriterRank)
 	}
-	if err := s.node.Send(m.From, ack.Kind(), wire.MustEncode(ack)); err != nil {
+	if err := transport.SendEncoded(out, m.From, ack); err != nil {
 		if tr.Enabled() {
 			tr.Record(trace.KindDrop, s.cfg.ID, m.From, "send ack: %v", err)
 		}

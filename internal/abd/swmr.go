@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"fastread/internal/protoutil"
 	"fastread/internal/quorum"
@@ -34,16 +35,29 @@ type ClientConfig struct {
 	// deployment's default register. Requests are stamped with the key and
 	// only acknowledgements carrying it are accepted.
 	Key string
+	// Depth bounds the number of operations this client keeps in flight at
+	// once (ReadAsync/WriteAsync); non-positive means
+	// protoutil.DefaultPipelineDepth.
+	Depth int
 	// Trace, if non-nil, records protocol events.
 	Trace *trace.Trace
 }
 
 // Writer is the single-writer ABD writer: one round-trip per write, exactly
-// as in the paper's description of [Attiya et al. 1995].
+// as in the paper's description of [Attiya et al. 1995]. WriteAsync keeps up
+// to cfg.Depth writes in flight; timestamps are taken and broadcast in
+// submission order, so servers apply pipelined writes in order.
 type Writer struct {
 	cfg     ClientConfig
 	node    transport.Node
 	servers []types.ProcessID
+	pl      *protoutil.Pipeline
+
+	// submitted is the highest timestamp this incarnation has broadcast;
+	// the ack filter caps accepted timestamps at it so a restarted writer
+	// times out visibly instead of "completing" against a previous
+	// incarnation's newer server state (see core.Writer.WriteAsync).
+	submitted atomic.Int64
 
 	mu     sync.Mutex
 	ts     types.Timestamp
@@ -67,38 +81,74 @@ func NewWriter(cfg ClientConfig, node transport.Node) (*Writer, error) {
 		cfg:     cfg,
 		node:    node,
 		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
+		pl:      protoutil.NewPipeline(node, cfg.Depth, cfg.Trace),
 		ts:      1,
 		prev:    types.Bottom(),
 	}, nil
 }
 
 // Write stores v in the register using a single round-trip to a majority of
-// servers.
+// servers. It is WriteAsync at depth one: submit, then wait.
 func (w *Writer) Write(ctx context.Context, v types.Value) error {
-	if v.IsBottom() {
-		return ErrBottomWrite
+	f, err := w.WriteAsync(ctx, v)
+	if err != nil {
+		return err
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	_, rerr := f.Result(ctx)
+	return rerr
+}
 
+// WriteAsync submits one write and returns its future without waiting for
+// the majority. Timestamps are taken and requests broadcast under the
+// writer's mutex, so pipelined writes reach every server in submission
+// order; a write completes when a majority acknowledges a timestamp at
+// least as new as its own.
+func (w *Writer) WriteAsync(ctx context.Context, v types.Value) (*protoutil.Future[struct{}], error) {
+	if v.IsBottom() {
+		return nil, ErrBottomWrite
+	}
+	if err := w.pl.Acquire(ctx); err != nil {
+		return nil, fmt.Errorf("abd: write: %w", err)
+	}
+	f := protoutil.NewFuture[struct{}]()
+
+	w.mu.Lock()
 	ts := w.ts
 	// One owned copy: the request is transient (encoded during the
-	// broadcast), and the same copy becomes the remembered prev afterwards.
+	// broadcast), and the same copy becomes the remembered prev for the next
+	// submission.
 	cur := v.Clone()
 	req := &wire.Message{Op: wire.OpWrite, Key: w.cfg.Key, TS: ts, Cur: cur, Prev: w.prev}
 	w.cfg.Trace.Record(trace.KindInvoke, types.Writer(), types.ProcessID{}, "abd write(key=%q ts=%d)", w.cfg.Key, ts)
+	w.submitted.Store(int64(ts))
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpWriteAck && m.Key == w.cfg.Key && m.TS >= ts
+		return m.Op == wire.OpWriteAck && m.Key == w.cfg.Key &&
+			m.TS >= ts && int64(m.TS) <= w.submitted.Load()
 	}
-	if _, err := protoutil.RoundTrip(ctx, w.node, w.servers, req, w.cfg.Quorum.Majority(), filter, w.cfg.Trace); err != nil {
-		return fmt.Errorf("abd: write ts=%d: %w", ts, err)
+	op := w.pl.Register(w.cfg.Quorum.Majority(), filter, func(_ []protoutil.Ack, err error) {
+		if err != nil {
+			f.Resolve(struct{}{}, fmt.Errorf("abd: write ts=%d: %w", ts, err))
+			return
+		}
+		w.mu.Lock()
+		w.rounds.Add(1)
+		w.writes++
+		w.mu.Unlock()
+		w.cfg.Trace.Record(trace.KindReturn, types.Writer(), types.ProcessID{}, "abd write(ts=%d) -> ok", ts)
+		f.Resolve(struct{}{}, nil)
+	})
+	err := protoutil.Broadcast(w.node, w.servers, req, w.cfg.Trace)
+	if err == nil {
+		w.ts = ts.Next()
+		w.prev = cur
 	}
-	w.rounds.Add(1)
-	w.writes++
-	w.ts = ts.Next()
-	w.prev = cur
-	w.cfg.Trace.Record(trace.KindReturn, types.Writer(), types.ProcessID{}, "abd write(ts=%d) -> ok", ts)
-	return nil
+	w.mu.Unlock()
+	if err != nil {
+		op.Abort(err)
+		return nil, fmt.Errorf("abd: write ts=%d: %w", ts, err)
+	}
+	f.Bind(ctx, op)
+	return f, nil
 }
 
 // Stats reports completed writes and total round-trips (equal: SWMR ABD
@@ -121,12 +171,15 @@ type ReadResult struct {
 }
 
 // Reader is the SWMR ABD reader: query a majority, select the highest
-// timestamp, write it back to a majority, then return.
+// timestamp, write it back to a majority, then return. ReadAsync keeps up to
+// cfg.Depth reads in flight; each read is a two-phase state machine whose
+// phases are matched to their acknowledgements by rCounter nonces.
 type Reader struct {
 	cfg     ClientConfig
 	node    transport.Node
 	id      types.ProcessID
 	servers []types.ProcessID
+	pl      *protoutil.Pipeline
 
 	mu       sync.Mutex
 	rCounter int64
@@ -148,24 +201,42 @@ func NewReader(cfg ClientConfig, node transport.Node) (*Reader, error) {
 		return nil, fmt.Errorf("%w: got %v", ErrNotReader, id)
 	}
 	return &Reader{
-		cfg:     cfg,
-		node:    node,
-		id:      id,
-		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
+		cfg:      cfg,
+		node:     node,
+		id:       id,
+		servers:  protoutil.ServerIDs(cfg.Quorum.Servers),
+		pl:       protoutil.NewPipeline(node, cfg.Depth, cfg.Trace),
+		rCounter: protoutil.InitialNonce(),
 	}, nil
 }
 
 // ID returns the reader's process identity.
 func (r *Reader) ID() types.ProcessID { return r.id }
 
-// Read returns the current register value using two round-trips.
+// Read returns the current register value using two round-trips. It is
+// ReadAsync at depth one: submit, then wait.
 func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	f, err := r.ReadAsync(ctx)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	return f.Result(ctx)
+}
+
+// ReadAsync submits one two-phase read and returns its future. One slot
+// covers both phases, so cfg.Depth bounds whole reads in flight, not
+// round-trips; the phase-2 write-back is launched from phase 1's completion
+// callback and the future follows the operation across the phase boundary.
+func (r *Reader) ReadAsync(ctx context.Context) (*protoutil.Future[ReadResult], error) {
+	if err := r.pl.Acquire(ctx); err != nil {
+		return nil, fmt.Errorf("abd: read: %w", err)
+	}
+	f := protoutil.NewFuture[ReadResult]()
 
 	majority := r.cfg.Quorum.Majority()
 
 	// Phase 1: query a majority for their current (ts, value).
+	r.mu.Lock()
 	r.rCounter++
 	rc := r.rCounter
 	r.cfg.Trace.Record(trace.KindInvoke, r.id, types.ProcessID{}, "abd read(key=%q) rc=%d", r.cfg.Key, rc)
@@ -173,15 +244,36 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
 		return m.Op == wire.OpReadAck && m.Key == r.cfg.Key && m.RCounter == rc
 	}
-	acks, err := protoutil.RoundTrip(ctx, r.node, r.servers, query, majority, filter, r.cfg.Trace)
+	op := r.pl.RegisterPhase(majority, filter, func(acks []protoutil.Ack, err error) {
+		if err != nil {
+			f.Resolve(ReadResult{}, fmt.Errorf("abd: read phase 1: %w", err))
+			// Phase 1 held the slot for the whole read; it dies here.
+			r.pl.Release()
+			return
+		}
+		r.writeBackPhase(f, rc, acks)
+	})
+	err := protoutil.Broadcast(r.node, r.servers, query, r.cfg.Trace)
+	r.mu.Unlock()
 	if err != nil {
-		return ReadResult{}, fmt.Errorf("abd: read phase 1: %w", err)
+		op.Abort(err)
+		return nil, fmt.Errorf("abd: read phase 1: %w", err)
 	}
-	r.rounds.Add(1)
-	maxTS, best, _ := protoutil.MaxTimestamp(acks)
+	f.Bind(ctx, op)
+	return f, nil
+}
 
-	// Phase 2: write the selected value back to a majority before returning,
-	// so that no later read can return an older value.
+// writeBackPhase is phase 2 of one read, run from phase 1's completion:
+// write the selected value back to a majority before resolving, so that no
+// later read can return an older value.
+func (r *Reader) writeBackPhase(f *protoutil.Future[ReadResult], rc int64, acks []protoutil.Ack) {
+	maxTS, best, _ := protoutil.MaxTimestamp(acks)
+	// The result value must survive past this operation: clone it now, while
+	// the phase-1 payloads are certainly alive.
+	value := best.Msg.Cur.Clone()
+
+	r.mu.Lock()
+	r.rounds.Add(1)
 	r.rCounter++
 	wbRC := r.rCounter
 	// Transient write-back request: its fields alias the phase-1 ack (which
@@ -197,18 +289,25 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 	wbFilter := func(_ types.ProcessID, m *wire.Message) bool {
 		return m.Op == wire.OpWriteBackAck && m.Key == r.cfg.Key && m.RCounter == wbRC
 	}
-	if _, err := protoutil.RoundTrip(ctx, r.node, r.servers, writeBack, majority, wbFilter, r.cfg.Trace); err != nil {
-		return ReadResult{}, fmt.Errorf("abd: read phase 2 (write-back): %w", err)
+	op := r.pl.Register(r.cfg.Quorum.Majority(), wbFilter, func(_ []protoutil.Ack, err error) {
+		if err != nil {
+			f.Resolve(ReadResult{}, fmt.Errorf("abd: read phase 2 (write-back): %w", err))
+			return
+		}
+		r.mu.Lock()
+		r.rounds.Add(1)
+		r.reads++
+		r.mu.Unlock()
+		r.cfg.Trace.Record(trace.KindReturn, r.id, types.ProcessID{}, "abd read rc=%d -> ts=%d", rc, maxTS)
+		f.Resolve(ReadResult{Value: value, Timestamp: maxTS, RoundTrips: 2}, nil)
+	})
+	err := protoutil.Broadcast(r.node, r.servers, writeBack, r.cfg.Trace)
+	r.mu.Unlock()
+	if err != nil {
+		op.Abort(err)
+		return
 	}
-	r.rounds.Add(1)
-	r.reads++
-
-	r.cfg.Trace.Record(trace.KindReturn, r.id, types.ProcessID{}, "abd read rc=%d -> ts=%d", rc, maxTS)
-	return ReadResult{
-		Value:      best.Msg.Cur.Clone(),
-		Timestamp:  maxTS,
-		RoundTrips: 2,
-	}, nil
+	f.Rebind(op)
 }
 
 // Stats reports completed reads and total round-trips (2 per read).

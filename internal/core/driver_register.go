@@ -53,11 +53,12 @@ func fastDriver(name string, byzantine bool) driver.Driver {
 				Key:       cfg.Key,
 				Byzantine: byzantine,
 				Signer:    cfg.Signer,
+				Depth:     cfg.Depth,
 			}, node)
 			if err != nil {
 				return nil, err
 			}
-			return w, nil
+			return driver.AdaptWriter(w), nil
 		},
 		NewReader: func(cfg driver.ClientConfig, node transport.Node) (driver.Reader, error) {
 			r, err := NewReader(ReaderConfig{
@@ -65,6 +66,7 @@ func fastDriver(name string, byzantine bool) driver.Driver {
 				Key:       cfg.Key,
 				Byzantine: byzantine,
 				Verifier:  cfg.Verifier,
+				Depth:     cfg.Depth,
 			}, node)
 			if err != nil {
 				return nil, err
@@ -83,12 +85,26 @@ func (h fastReaderHandle) Read(ctx context.Context) (driver.ReadResult, error) {
 	if err != nil {
 		return driver.ReadResult{}, err
 	}
+	return fastResult(res), nil
+}
+
+func (h fastReaderHandle) ReadAsync(ctx context.Context) (driver.ReadFuture, error) {
+	f, err := h.r.ReadAsync(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return driver.ReadFutureOf(f, fastResult), nil
+}
+
+// fastResult adapts the fast reader's rich result to the uniform driver
+// result.
+func fastResult(res ReadResult) driver.ReadResult {
 	return driver.ReadResult{
 		Value:        res.Value,
 		Timestamp:    res.Timestamp,
 		RoundTrips:   res.RoundTrips,
 		UsedFallback: !res.PredicateHeld,
-	}, nil
+	}
 }
 
 func (h fastReaderHandle) Stats() (reads, roundTrips, fallbacks int64) { return h.r.Stats() }

@@ -413,3 +413,62 @@ func TestReadInterruptedByContext(t *testing.T) {
 		t.Error("read should fail when no server is reachable")
 	}
 }
+
+// TestRestartedWriterFailsVisibly pins the writer's incarnation guard: the
+// model's single writer does not restart, so a writer process that comes
+// back with reset timestamps against servers holding a previous
+// incarnation's newer value must TIME OUT (its values are discarded — the
+// servers' acks carry timestamps this incarnation never issued) rather than
+// report success for writes that never took effect.
+func TestRestartedWriterFailsVisibly(t *testing.T) {
+	cfg := quorum.Config{Servers: 1, Faulty: 0, Readers: 1}
+	net := transport.NewInMemNetwork()
+	t.Cleanup(func() { _ = net.Close() })
+	sNode, err := net.Join(types.Server(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{ID: types.Server(1), Readers: 1}, sNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+
+	wNode, err := net.Join(types.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Previous incarnation: drive the server to ts=5 with a raw request on
+	// the writer identity, consuming the ack so the restarted writer's
+	// engine never sees it.
+	raw := wire.MustEncode(&wire.Message{Op: wire.OpWrite, TS: 5, Cur: types.Value("old-incarnation")})
+	if err := wNode.Send(types.Server(1), "write", raw); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-wNode.Inbox():
+	case <-time.After(5 * time.Second):
+		t.Fatal("no ack for the previous incarnation's write")
+	}
+
+	// "Restarted" writer: fresh client state (ts resets to 1) on the same
+	// identity. Its write must fail by timeout — the server acks with ts=5,
+	// which this incarnation never submitted — not silently succeed.
+	w, err := NewWriter(WriterConfig{Quorum: cfg}, wNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	err = w.Write(ctx, types.Value("new-incarnation"))
+	if err == nil {
+		t.Fatal("restarted writer's write reported success against newer server state")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("restarted writer's write = %v, want deadline exceeded", err)
+	}
+	if got := srv.State().Value.Cur; !got.Equal(types.Value("old-incarnation")) {
+		t.Fatalf("server adopted the stale incarnation's value: %s", got)
+	}
+}

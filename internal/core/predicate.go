@@ -141,6 +141,102 @@ func EvaluatePredicate(cfg quorum.Config, acks []SeenAck) (PredicateResult, erro
 	return best, nil
 }
 
+// predicateScratch is the reusable-buffer twin of EvaluatePredicate for the
+// reader's per-read hot path: seen sets are consumed straight off the
+// decoded acknowledgements (no ProcessSet maps are built), the union index
+// is a linear scan over a recycled slice (u ≤ R+1, tiny), the subset-count
+// table is recycled, and the witness set — which the reader never uses — is
+// not materialised. The algorithm is otherwise EXACTLY EvaluatePredicate's
+// (the equivalence is pinned by TestPredicateScratchMatchesEvaluate); the
+// deployment shape is validated once at reader construction, not per read.
+// A scratch is owned by one reader and guarded by its mutex.
+type predicateScratch struct {
+	union []types.ProcessID
+	count []int
+}
+
+// evaluate runs the fast-read predicate over the maxTS acknowledgements'
+// seen slices, returning whether it holds and the witnessing level a.
+func (s *predicateScratch) evaluate(cfg quorum.Config, seens [][]types.ProcessID) (holds bool, level int, err error) {
+	if len(seens) == 0 {
+		return false, 0, nil
+	}
+	union := s.union[:0]
+	for _, seen := range seens {
+		for _, p := range seen {
+			if !isLegitimateClient(p, cfg.Readers) {
+				continue
+			}
+			known := false
+			for _, q := range union {
+				if q == p {
+					known = true
+					break
+				}
+			}
+			if !known {
+				union = append(union, p)
+			}
+		}
+	}
+	s.union = union
+	if len(union) == 0 {
+		return false, 0, nil
+	}
+	if len(union) > MaxPredicateUnion {
+		return false, 0, fmt.Errorf("%w: %d clients", ErrPredicateTooLarge, len(union))
+	}
+
+	u := len(union)
+	size := 1 << u
+	if cap(s.count) < size {
+		s.count = make([]int, size)
+	}
+	count := s.count[:size]
+	for i := range count {
+		count[i] = 0
+	}
+	for _, seen := range seens {
+		mask := 0
+		for _, p := range seen {
+			for i, q := range union {
+				if q == p {
+					mask |= 1 << i
+					break
+				}
+			}
+		}
+		count[mask]++
+	}
+	for bit := 0; bit < u; bit++ {
+		for mask := 0; mask < size; mask++ {
+			if mask&(1<<bit) == 0 {
+				count[mask] += count[mask|1<<bit]
+			}
+		}
+	}
+
+	maxLevel := cfg.MaxPredicateLevel()
+	bestLevel := 0
+	for mask := 1; mask < size; mask++ {
+		a := bits.OnesCount(uint(mask))
+		if a > maxLevel {
+			continue
+		}
+		if bestLevel != 0 && a >= bestLevel {
+			continue
+		}
+		threshold := cfg.PredicateThreshold(a)
+		if threshold < 1 {
+			threshold = 1
+		}
+		if count[mask] >= threshold {
+			bestLevel = a
+		}
+	}
+	return bestLevel != 0, bestLevel, nil
+}
+
 // isLegitimateClient reports whether p is the writer or one of the readers
 // r1..rR.
 func isLegitimateClient(p types.ProcessID, readers int) bool {

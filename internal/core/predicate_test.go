@@ -307,3 +307,62 @@ func TestPredicateWitnessIsSound(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPredicateScratchMatchesEvaluate pins the equivalence of the reader's
+// reusable-buffer evaluator (predicateScratch.evaluate, the per-read hot
+// path) against the reference EvaluatePredicate on randomized instances:
+// same Holds decision and same witnessing level, including inputs with
+// duplicate seen entries and illegitimate clients, and across scratch reuse.
+func TestPredicateScratchMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var scratch predicateScratch // reused across all cases, like a reader's
+	for trial := 0; trial < 2000; trial++ {
+		cfg := quorum.Config{
+			Servers: 4 + rng.Intn(10),
+			Faulty:  1 + rng.Intn(2),
+			Readers: 1 + rng.Intn(4),
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Malicious = rng.Intn(cfg.Faulty + 1)
+		}
+		if cfg.Validate() != nil {
+			continue
+		}
+		nAcks := 1 + rng.Intn(cfg.Servers)
+		acks := make([]SeenAck, nAcks)
+		seens := make([][]types.ProcessID, nAcks)
+		for i := range acks {
+			var seen []types.ProcessID
+			if rng.Intn(2) == 0 {
+				seen = append(seen, types.Writer())
+			}
+			for r := 1; r <= cfg.Readers+1; r++ { // +1: sometimes illegitimate
+				if rng.Intn(2) == 0 {
+					seen = append(seen, types.Reader(r))
+				}
+			}
+			if len(seen) > 0 && rng.Intn(3) == 0 {
+				seen = append(seen, seen[0]) // duplicate entry
+			}
+			if rng.Intn(5) == 0 {
+				seen = append(seen, types.Server(1)) // never legitimate
+			}
+			acks[i] = SeenAck{Server: types.Server(i + 1), Seen: types.NewProcessSet(seen...)}
+			// The scratch path consumes raw (possibly duplicated) slices.
+			seens[i] = seen
+		}
+
+		want, err := EvaluatePredicate(cfg, acks)
+		if err != nil {
+			t.Fatalf("EvaluatePredicate: %v", err)
+		}
+		holds, level, err := scratch.evaluate(cfg, seens)
+		if err != nil {
+			t.Fatalf("scratch.evaluate: %v", err)
+		}
+		if holds != want.Holds || level != want.Level {
+			t.Fatalf("trial %d (%+v): scratch = (%v, %d), reference = (%v, %d)\nacks: %v",
+				trial, cfg, holds, level, want.Holds, want.Level, acks)
+		}
+	}
+}

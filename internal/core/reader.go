@@ -31,6 +31,10 @@ type ReaderConfig struct {
 	Byzantine bool
 	// Verifier is the writer's public key; required when Byzantine is true.
 	Verifier sig.Verifier
+	// Depth bounds the number of reads this reader keeps in flight at once
+	// (ReadAsync); non-positive means protoutil.DefaultPipelineDepth. A
+	// serial Read is a pipelined read at depth one.
+	Depth int
 	// Trace, if non-nil, records protocol events.
 	Trace *trace.Trace
 }
@@ -53,13 +57,16 @@ type ReadResult struct {
 }
 
 // Reader is the reader-side of the fast algorithms (Figure 2 / Figure 5
-// lines 9-22). A Reader performs one read at a time; Read is not safe for
-// concurrent use by multiple goroutines.
+// lines 9-22). A Reader keeps up to cfg.Depth reads in flight at once:
+// ReadAsync submits a read and returns a future, and the blocking Read is
+// exactly ReadAsync at depth one. Both are safe for concurrent use — every
+// in-flight read is matched to its acknowledgements by its rCounter nonce.
 type Reader struct {
 	cfg     ReaderConfig
 	node    transport.Node
 	id      types.ProcessID
 	servers []types.ProcessID
+	pl      *protoutil.Pipeline
 
 	// verify memoises writer-signature verifications in the Byzantine
 	// variant: every ack of a steady-state read carries the same signed
@@ -74,6 +81,13 @@ type Reader struct {
 	rounds   stats.Counter
 	reads    int64
 	fallback int64 // reads that returned maxTS−1
+
+	// Per-read scratch, guarded by mu: completion runs one at a time per
+	// reader, so the predicate evaluator's buffers and the maxTS/seen
+	// staging slices recycle across reads instead of allocating per read.
+	pred       predicateScratch
+	maxScratch []protoutil.Ack
+	seenStage  [][]types.ProcessID
 }
 
 // NewReader creates reader client ri bound to the given transport node.
@@ -89,11 +103,13 @@ func NewReader(cfg ReaderConfig, node transport.Node) (*Reader, error) {
 		return nil, fmt.Errorf("%w: got %v with R=%d", ErrNotReader, id, cfg.Quorum.Readers)
 	}
 	r := &Reader{
-		cfg:     cfg,
-		node:    node,
-		id:      id,
-		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
-		last:    types.InitialTaggedValue(),
+		cfg:      cfg,
+		node:     node,
+		id:       id,
+		servers:  protoutil.ServerIDs(cfg.Quorum.Servers),
+		pl:       protoutil.NewPipeline(node, cfg.Depth, cfg.Trace),
+		last:     types.InitialTaggedValue(),
+		rCounter: protoutil.InitialNonce(),
 	}
 	if cfg.Byzantine {
 		r.verify = sig.NewCache(cfg.Verifier, 0)
@@ -104,17 +120,34 @@ func NewReader(cfg ReaderConfig, node transport.Node) (*Reader, error) {
 // ID returns the reader's process identity.
 func (r *Reader) ID() types.ProcessID { return r.id }
 
-// Read returns the current register value in a single round-trip.
+// Read returns the current register value in a single round-trip. It is the
+// depth-one degenerate case of ReadAsync: submit, then wait.
 func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	f, err := r.ReadAsync(ctx)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	return f.Result(ctx)
+}
 
+// ReadAsync submits one read operation and returns its future without
+// waiting for the quorum, keeping up to cfg.Depth reads of this handle in
+// flight. Each in-flight read is an independent state machine keyed by its
+// rCounter nonce; cancelling ctx (or the ctx passed to Result) aborts only
+// this read. At depth the call blocks until an in-flight read completes.
+func (r *Reader) ReadAsync(ctx context.Context) (*protoutil.Future[ReadResult], error) {
+	if err := r.pl.Acquire(ctx); err != nil {
+		return nil, fmt.Errorf("core: read: %w", err)
+	}
+	f := protoutil.NewFuture[ReadResult]()
+
+	r.mu.Lock()
 	// Figure 2 line 13: rCounter ← rCounter+1; ts ← maxTS. The read request
 	// writes back the highest timestamp the reader has observed, together
 	// with its value tags (and the writer's signature in the
 	// arbitrary-failure variant) so servers can adopt it. The request is
-	// transient — encoded during the broadcast, never retained — so its
-	// fields alias the reader's own state without cloning.
+	// transient — encoded during the broadcast, still under r.mu, never
+	// retained — so its fields alias the reader's own state without cloning.
 	r.rCounter++
 	rc := r.rCounter
 	writeBack := r.last
@@ -133,34 +166,72 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 	}
 
 	need := r.cfg.Quorum.AckQuorum()
-	filter := r.ackFilter(rc, writeBack.TS)
-	acks, err := protoutil.RoundTrip(ctx, r.node, r.servers, req, need, filter, r.cfg.Trace)
+	op := r.pl.Register(need, r.ackFilter(rc, writeBack.TS), func(acks []protoutil.Ack, err error) {
+		if err != nil {
+			f.Resolve(ReadResult{}, fmt.Errorf("core: read rc=%d: %w", rc, err))
+			return
+		}
+		f.Resolve(r.finishRead(rc, acks))
+	})
+	err := protoutil.Broadcast(r.node, r.servers, req, r.cfg.Trace)
+	r.mu.Unlock()
 	if err != nil {
-		return ReadResult{}, fmt.Errorf("core: read rc=%d: %w", rc, err)
+		op.Abort(err)
+		return nil, fmt.Errorf("core: read rc=%d: %w", rc, err)
 	}
+	f.Bind(ctx, op)
+	return f, nil
+}
+
+// finishRead turns a completed quorum into the read's result: Figure 2
+// lines 16-22, run from the engine's completion callback.
+func (r *Reader) finishRead(rc int64, acks []protoutil.Ack) (ReadResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.rounds.Add(1)
 	r.reads++
 
-	// Figure 2 lines 16-18: find maxTS and the messages carrying it.
+	// Figure 2 lines 16-18: find maxTS and the messages carrying it. Both
+	// staging slices alias the delivered acks and are cleared before return
+	// so the recycled scratch never pins payloads.
 	maxTS, _, _ := protoutil.MaxTimestamp(acks)
-	maxAcks := protoutil.FilterByTimestamp(acks, maxTS)
-
-	seenAcks := make([]SeenAck, len(maxAcks))
-	for i, a := range maxAcks {
-		seenAcks[i] = SeenAck{Server: a.From, Seen: a.Msg.SeenSet()}
+	maxAcks := r.maxScratch[:0]
+	seens := r.seenStage[:0]
+	for _, a := range acks {
+		if a.Msg.TS == maxTS {
+			maxAcks = append(maxAcks, a)
+			seens = append(seens, a.Msg.Seen)
+		}
 	}
-	pred, err := EvaluatePredicate(r.cfg.Quorum, seenAcks)
+	holds, level, err := r.pred.evaluate(r.cfg.Quorum, seens)
+	releaseScratch := func() {
+		for i := range maxAcks {
+			maxAcks[i] = protoutil.Ack{}
+		}
+		for i := range seens {
+			seens[i] = nil
+		}
+		r.maxScratch = maxAcks[:0]
+		r.seenStage = seens[:0]
+	}
 	if err != nil {
+		releaseScratch()
 		return ReadResult{}, fmt.Errorf("core: read rc=%d: evaluate predicate: %w", rc, err)
 	}
+	pred := PredicateResult{Holds: holds, Level: level}
 
-	// Remember the highest observed timestamp (and its tags) for the next
-	// read's write-back, regardless of what this read returns. This is a
-	// retention point: the ack's fields alias the delivered payload, so the
-	// reader clones what it keeps (reusing its signature buffer).
+	// Remember the highest observed timestamp (and its tags) for later
+	// reads' write-backs, regardless of what this read returns. Pipelined
+	// reads complete in any order, so only a strictly newer observation is
+	// adopted — a slow sibling must not roll the write-back window back.
+	// This is a retention point: the ack's fields alias the delivered
+	// payload, so the reader clones what it keeps (reusing its signature
+	// buffer).
 	tagged := maxAcks[0].Msg.Tagged()
-	r.last = tagged.Clone()
-	r.lastSig = append(r.lastSig[:0], maxAcks[0].Msg.WriterSig...)
+	if tagged.TS > r.last.TS {
+		r.last = tagged.Clone()
+		r.lastSig = append(r.lastSig[:0], maxAcks[0].Msg.WriterSig...)
+	}
 
 	result := ReadResult{
 		MaxTimestamp:   maxTS,
@@ -180,6 +251,7 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 		r.cfg.Trace.Record(trace.KindReturn, r.id, types.ProcessID{},
 			"read rc=%d -> ts=%d (maxTS=%d predicate=%v a=%d)", rc, result.Timestamp, maxTS, pred.Holds, pred.Level)
 	}
+	releaseScratch()
 	return result, nil
 }
 

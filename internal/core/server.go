@@ -51,11 +51,16 @@ type ServerState struct {
 // the seen set and the per-client operation counters. One server hosts many
 // registers, each with fully independent state.
 type registerState struct {
-	value     types.TaggedValue
-	valueSig  []byte
-	seen      types.ProcessSet
-	counters  map[int]int64
-	mutations int64
+	value    types.TaggedValue
+	valueSig []byte
+	seen     types.ProcessSet
+	// seenMembers mirrors seen as a slice, maintained on every mutation, so
+	// acknowledgements can carry the seen set without materialising it per
+	// message (acks alias it under the usual sole-mutator discipline: the
+	// ack is encoded before this key's worker handles its next message).
+	seenMembers []types.ProcessID
+	counters    map[int]int64
+	mutations   int64
 }
 
 // Server is the server-side state machine of the fast algorithms
@@ -120,7 +125,7 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 func (s *Server) Start() {
 	go func() {
 		defer close(s.done)
-		s.exec.Run(s.handle)
+		s.exec.RunCoalescing(s.handle)
 	}()
 }
 
@@ -208,7 +213,9 @@ func (s *Server) TotalMutations() int64 {
 }
 
 // handle processes one incoming message: Figure 2 / Figure 5 lines 26-35,
-// applied to the register named by the message's key.
+// applied to the register named by the message's key. Acknowledgements go
+// through the executor's run-scoped coalescer, so a run of pipelined
+// requests from one client is answered with ONE batched send.
 //
 // This is the per-message hot path. It decodes into a pooled scratch message
 // whose byte fields alias the payload (zero-copy), clones only at the one
@@ -217,7 +224,7 @@ func (s *Server) TotalMutations() int64 {
 // worker handling this message is the only mutator of this key's state (the
 // executor routes every message naming a key to the same worker) and the ack
 // is encoded before the worker handles its next message.
-func (s *Server) handle(m transport.Message) {
+func (s *Server) handle(m transport.Message, out transport.Sender) {
 	tr := s.cfg.Trace
 	req := wire.GetMessage()
 	defer wire.PutMessage(req)
@@ -279,6 +286,13 @@ func (s *Server) handle(m transport.Message) {
 	defer wire.PutMessage(ack)
 	ok := false
 	s.states.Do(req.Key, func(st *registerState) {
+		// Figure 2 line 26: only requests with rCounter ≥ cnt[q] are
+		// processed (Lemma 4 depends on it). Pipelined clients stay
+		// compatible because every provided transport delivers each link
+		// FIFO — a client's requests arrive in rCounter order — and clients
+		// submit in nonce order under their own mutex. (Adversarial delivery
+		// jitter can reorder a link and starve a pipelined operation; such
+		// operations end through their contexts, like any stalled op.)
 		if req.RCounter < st.counters[pid] {
 			if tr.Enabled() {
 				tr.Record(trace.KindDrop, s.cfg.ID, m.From, "stale rCounter %d < %d", req.RCounter, st.counters[pid])
@@ -291,8 +305,10 @@ func (s *Server) handle(m transport.Message) {
 			st.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
 			st.valueSig = append(st.valueSig[:0], req.WriterSig...)
 			st.seen = types.NewProcessSet(m.From)
-		} else {
+			st.seenMembers = append(st.seenMembers[:0], m.From)
+		} else if !st.seen.Has(m.From) {
 			st.seen.Add(m.From)
+			st.seenMembers = append(st.seenMembers, m.From)
 		}
 		st.counters[pid] = req.RCounter
 		st.mutations++
@@ -307,7 +323,7 @@ func (s *Server) handle(m transport.Message) {
 			TS:        st.value.TS,
 			Cur:       st.value.Cur,
 			Prev:      st.value.Prev,
-			Seen:      st.seen.Members(),
+			Seen:      st.seenMembers,
 			RCounter:  req.RCounter,
 			WriterSig: st.valueSig,
 		}
@@ -321,9 +337,13 @@ func (s *Server) handle(m transport.Message) {
 		tr.Record(trace.KindStateChange, s.cfg.ID, m.From, "key=%q ts=%d seen=%s", ack.Key, ack.TS, types.NewProcessSet(ack.Seen...))
 		tr.Record(trace.KindSend, s.cfg.ID, m.From, "%s ts=%d rc=%d", ack.Op, ack.TS, ack.RCounter)
 	}
-	if err := s.node.Send(m.From, ack.Kind(), wire.MustEncode(ack)); err != nil {
+	if err := transport.SendEncoded(out, m.From, ack); err != nil {
 		if tr.Enabled() {
 			tr.Record(trace.KindDrop, s.cfg.ID, m.From, "send ack: %v", err)
 		}
 	}
+	// The ack's Seen aliases the register's long-lived seenMembers slice;
+	// shed it before the deferred PutMessage, or the pool would recycle the
+	// server's live state as another goroutine's decode scratch.
+	ack.Seen = nil
 }

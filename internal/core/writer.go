@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"fastread/internal/protoutil"
 	"fastread/internal/quorum"
@@ -44,18 +45,31 @@ type WriterConfig struct {
 	// Byzantine enables the arbitrary-failure variant (Figure 5): each
 	// written timestamp/value pair is signed.
 	Byzantine bool
+	// Depth bounds the number of writes this writer keeps in flight at once
+	// (WriteAsync); non-positive means protoutil.DefaultPipelineDepth. A
+	// serial Write is a pipelined write at depth one.
+	Depth int
 	// Trace, if non-nil, records protocol events.
 	Trace *trace.Trace
 }
 
 // Writer is the writer-side of the fast algorithms (Figure 2 / Figure 5
-// lines 1-8). A Writer performs one write at a time; Write is not safe for
-// concurrent use, matching the model's assumption that a process invokes at
-// most one operation at a time.
+// lines 1-8). A Writer keeps up to cfg.Depth writes in flight: WriteAsync
+// submits a write and returns a future, and the blocking Write is exactly
+// WriteAsync at depth one. Writes are APPLIED in submission order no matter
+// how deep the pipeline: each submission takes the next timestamp and
+// broadcasts under the writer's mutex, and the transports preserve per-link
+// FIFO, so servers adopt the values in timestamp order — the single-writer
+// regime of the model is preserved.
 type Writer struct {
 	cfg     WriterConfig
 	node    transport.Node
 	servers []types.ProcessID
+	pl      *protoutil.Pipeline
+
+	// submitted is the highest timestamp THIS writer incarnation has
+	// broadcast; ack filters read it without the mutex. See WriteAsync.
+	submitted atomic.Int64
 
 	mu     sync.Mutex
 	ts     types.Timestamp
@@ -82,25 +96,46 @@ func NewWriter(cfg WriterConfig, node transport.Node) (*Writer, error) {
 		cfg:     cfg,
 		node:    node,
 		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
+		pl:      protoutil.NewPipeline(node, cfg.Depth, cfg.Trace),
 		ts:      1, // Figure 2 line 3: ts ← 1.
 		prev:    types.Bottom(),
 	}, nil
 }
 
 // Write stores v in the register. It completes after a single round-trip:
-// broadcast (write, ts, v, prev) and wait for S−t acknowledgements.
+// broadcast (write, ts, v, prev) and wait for S−t acknowledgements. It is
+// the depth-one degenerate case of WriteAsync: submit, then wait.
 func (w *Writer) Write(ctx context.Context, v types.Value) error {
-	if v.IsBottom() {
-		return ErrBottomWrite
+	f, err := w.WriteAsync(ctx, v)
+	if err != nil {
+		return err
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	_, rerr := f.Result(ctx)
+	return rerr
+}
 
+// WriteAsync submits one write and returns its future without waiting for
+// the quorum, keeping up to cfg.Depth writes in flight. The timestamp is
+// taken and the request broadcast before WriteAsync returns, so writes hit
+// the wire — and are applied by servers — in submission order regardless of
+// completion order; a write's future resolves once S−t servers acknowledged
+// its timestamp. Cancelling one write's ctx abandons only that write's wait
+// (the value may still take effect, exactly as any interrupted write).
+func (w *Writer) WriteAsync(ctx context.Context, v types.Value) (*protoutil.Future[struct{}], error) {
+	if v.IsBottom() {
+		return nil, ErrBottomWrite
+	}
+	if err := w.pl.Acquire(ctx); err != nil {
+		return nil, fmt.Errorf("core: write: %w", err)
+	}
+	f := protoutil.NewFuture[struct{}]()
+
+	w.mu.Lock()
 	ts := w.ts
 	// One owned copy of the caller's value: it serves as the request's Cur
 	// (the request is transient — encoded during the broadcast, never
-	// retained) and, after the round-trip, becomes the writer's remembered
-	// prev. Cloning again for the request would be redundant.
+	// retained) and becomes the writer's remembered prev for the NEXT
+	// submission. Cloning again for the request would be redundant.
 	cur := v.Clone()
 	req := &wire.Message{
 		Op:       wire.OpWrite,
@@ -113,7 +148,9 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	if w.cfg.Byzantine {
 		signature, err := w.cfg.Signer.SignKeyed(w.cfg.Key, ts, req.Cur, req.Prev)
 		if err != nil {
-			return fmt.Errorf("core: sign write ts=%d: %w", ts, err)
+			w.mu.Unlock()
+			w.pl.Release()
+			return nil, fmt.Errorf("core: sign write ts=%d: %w", ts, err)
 		}
 		req.WriterSig = signature
 	}
@@ -121,21 +158,57 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	if w.cfg.Trace.Enabled() {
 		w.cfg.Trace.Record(trace.KindInvoke, types.Writer(), types.ProcessID{}, "write(key=%q, ts=%d, %s)", w.cfg.Key, ts, v)
 	}
+	w.submitted.Store(int64(ts))
 	need := w.cfg.Quorum.AckQuorum()
+	// Accept ts' in [ts, submitted] rather than the serial writer's exact
+	// match. ts' ≥ ts: a reader's write-back of a LATER pipelined write can
+	// reach a server before this request does, and the server then
+	// acknowledges with the newer adopted timestamp — which still proves
+	// this write's value is superseded-or-stored there (the superseding
+	// value is this writer's own later submission). ts' ≤ submitted: a
+	// timestamp this incarnation never issued means the servers hold a
+	// PREVIOUS incarnation's newer value — the model's single writer does
+	// not restart, and a restarted writer process (timestamps reset to 1)
+	// must time out visibly instead of reporting success for values the
+	// servers discarded. (An EQUAL-timestamp collision — both incarnations
+	// at the same write count — is indistinguishable in the wire vocabulary
+	// and remains a silent no-op, as it always was: recovering the writer's
+	// timestamp state is the operator's job in the SWMR model.)
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpWriteAck && m.Key == w.cfg.Key && m.TS == ts && m.RCounter == 0
+		return m.Op == wire.OpWriteAck && m.Key == w.cfg.Key &&
+			m.TS >= ts && int64(m.TS) <= w.submitted.Load() && m.RCounter == 0
 	}
-	if _, err := protoutil.RoundTrip(ctx, w.node, w.servers, req, need, filter, w.cfg.Trace); err != nil {
-		return fmt.Errorf("core: write ts=%d: %w", ts, err)
+	op := w.pl.Register(need, filter, func(_ []protoutil.Ack, err error) {
+		if err != nil {
+			f.Resolve(struct{}{}, fmt.Errorf("core: write ts=%d: %w", ts, err))
+			return
+		}
+		w.mu.Lock()
+		w.rounds.Add(1)
+		w.writes++
+		w.mu.Unlock()
+		if w.cfg.Trace.Enabled() {
+			w.cfg.Trace.Record(trace.KindReturn, types.Writer(), types.ProcessID{}, "write(ts=%d) -> ok", ts)
+		}
+		f.Resolve(struct{}{}, nil)
+	})
+	err := protoutil.Broadcast(w.node, w.servers, req, w.cfg.Trace)
+	if err == nil {
+		// Figure 2 line 7, moved to submission time: the next write takes the
+		// next timestamp whether or not this one has completed, preserving
+		// the single-writer timestamp order under pipelining. (A failed write
+		// leaves a timestamp gap, which servers tolerate: they adopt any
+		// strictly newer timestamp.)
+		w.ts = ts.Next()
+		w.prev = cur
 	}
-	w.rounds.Add(1)
-	w.writes++
-	w.ts = ts.Next() // Figure 2 line 7.
-	w.prev = cur
-	if w.cfg.Trace.Enabled() {
-		w.cfg.Trace.Record(trace.KindReturn, types.Writer(), types.ProcessID{}, "write(ts=%d) -> ok", ts)
+	w.mu.Unlock()
+	if err != nil {
+		op.Abort(err)
+		return nil, fmt.Errorf("core: write ts=%d: %w", ts, err)
 	}
-	return nil
+	f.Bind(ctx, op)
+	return f, nil
 }
 
 // NextTimestamp returns the timestamp the next write will use.

@@ -1,0 +1,68 @@
+// Async adapters: the protocol packages implement their pipelined operations
+// on protoutil's generic Future, each with its own rich result type; the
+// helpers here fold those into the registry's uniform WriteFuture/ReadFuture
+// so every driver adapts identically.
+package driver
+
+import (
+	"context"
+
+	"fastread/internal/protoutil"
+	"fastread/internal/types"
+)
+
+// ProtocolWriter is the shape every protocol package's writer shares; Adapt
+// it to the registry's Writer interface with AdaptWriter.
+type ProtocolWriter interface {
+	Write(ctx context.Context, v types.Value) error
+	WriteAsync(ctx context.Context, v types.Value) (*protoutil.Future[struct{}], error)
+	Stats() (writes, roundTrips int64)
+}
+
+// AdaptWriter wraps a protocol writer into the uniform Writer interface.
+func AdaptWriter(w ProtocolWriter) Writer { return writerAdapter{w} }
+
+type writerAdapter struct{ w ProtocolWriter }
+
+func (a writerAdapter) Write(ctx context.Context, v types.Value) error { return a.w.Write(ctx, v) }
+
+func (a writerAdapter) WriteAsync(ctx context.Context, v types.Value) (WriteFuture, error) {
+	f, err := a.w.WriteAsync(ctx, v)
+	if err != nil {
+		return nil, err
+	}
+	return writeFuture{f}, nil
+}
+
+func (a writerAdapter) Stats() (int64, int64) { return a.w.Stats() }
+
+// writeFuture folds the engine's error-only future into WriteFuture.
+type writeFuture struct{ f *protoutil.Future[struct{}] }
+
+func (w writeFuture) Done() <-chan struct{} { return w.f.Done() }
+
+func (w writeFuture) Result(ctx context.Context) error {
+	_, err := w.f.Result(ctx)
+	return err
+}
+
+// ReadFutureOf folds a protocol-specific read future into the uniform
+// ReadFuture by converting its result with conv once resolved.
+func ReadFutureOf[T any](f *protoutil.Future[T], conv func(T) ReadResult) ReadFuture {
+	return readFuture[T]{f: f, conv: conv}
+}
+
+type readFuture[T any] struct {
+	f    *protoutil.Future[T]
+	conv func(T) ReadResult
+}
+
+func (r readFuture[T]) Done() <-chan struct{} { return r.f.Done() }
+
+func (r readFuture[T]) Result(ctx context.Context) (ReadResult, error) {
+	res, err := r.f.Result(ctx)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	return r.conv(res), nil
+}

@@ -66,16 +66,44 @@ type Server interface {
 	TotalMutations() int64
 }
 
-// Writer is a register's single write handle.
+// WriteFuture is one submitted write's pending resolution.
+type WriteFuture interface {
+	// Done closes when the write resolves.
+	Done() <-chan struct{}
+	// Result blocks until the write resolves and returns its outcome. If ctx
+	// ends first the write's wait is abandoned (sibling in-flight operations
+	// on the handle are untouched) and the context error returned.
+	Result(ctx context.Context) error
+}
+
+// ReadFuture is one submitted read's pending resolution.
+type ReadFuture interface {
+	// Done closes when the read resolves.
+	Done() <-chan struct{}
+	// Result blocks until the read resolves and returns its outcome. If ctx
+	// ends first the read is aborted (sibling in-flight operations on the
+	// handle are untouched) and the context error returned.
+	Result(ctx context.Context) (ReadResult, error)
+}
+
+// Writer is a register's single write handle. WriteAsync pipelines: up to
+// the configured depth of writes stay in flight per handle, applied by
+// servers in submission order (the SWMR regime survives pipelining). Write
+// is WriteAsync at depth one.
 type Writer interface {
 	Write(ctx context.Context, v types.Value) error
+	WriteAsync(ctx context.Context, v types.Value) (WriteFuture, error)
 	// Stats reports completed writes and the round-trips they used.
 	Stats() (writes, roundTrips int64)
 }
 
-// Reader is one of a register's read handles.
+// Reader is one of a register's read handles. ReadAsync pipelines: up to the
+// configured depth of reads stay in flight per handle, each an independent
+// state machine keyed by the protocol's per-operation nonce. Read is
+// ReadAsync at depth one.
 type Reader interface {
 	Read(ctx context.Context) (ReadResult, error)
+	ReadAsync(ctx context.Context) (ReadFuture, error)
 	// Stats reports completed reads, the round-trips they used, and how many
 	// reads fell back to the previous value (0 for non-fast protocols).
 	Stats() (reads, roundTrips, fallbacks int64)
@@ -110,6 +138,11 @@ type ClientConfig struct {
 	// Verifier is the writer's public key, used by signature-verifying
 	// drivers and ignored by the crash-model drivers.
 	Verifier sig.Verifier
+	// Depth bounds the operations one handle keeps in flight through the
+	// async API (WriteAsync/ReadAsync); non-positive selects the engine
+	// default. Serial handles are unaffected: a blocking operation is the
+	// depth-one case.
+	Depth int
 }
 
 // Driver is one register protocol's factory set. All fields are required.

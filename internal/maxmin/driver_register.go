@@ -20,14 +20,14 @@ func init() {
 			return maxminServerHandle{s}, nil
 		},
 		NewWriter: func(cfg driver.ClientConfig, node transport.Node) (driver.Writer, error) {
-			w, err := NewKeyedWriter(cfg.Key, cfg.Quorum, node, nil)
+			w, err := NewKeyedWriter(cfg.Key, cfg.Quorum, cfg.Depth, node, nil)
 			if err != nil {
 				return nil, err
 			}
-			return w, nil
+			return driver.AdaptWriter(w), nil
 		},
 		NewReader: func(cfg driver.ClientConfig, node transport.Node) (driver.Reader, error) {
-			r, err := NewKeyedReader(cfg.Key, cfg.Quorum, node, nil)
+			r, err := NewKeyedReader(cfg.Key, cfg.Quorum, cfg.Depth, node, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -50,7 +50,21 @@ func (h maxminReaderHandle) Read(ctx context.Context) (driver.ReadResult, error)
 	if err != nil {
 		return driver.ReadResult{}, err
 	}
-	return driver.ReadResult{Value: res.Value, Timestamp: res.Timestamp, RoundTrips: res.RoundTrips}, nil
+	return maxminResult(res), nil
+}
+
+func (h maxminReaderHandle) ReadAsync(ctx context.Context) (driver.ReadFuture, error) {
+	f, err := h.r.ReadAsync(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return driver.ReadFutureOf(f, maxminResult), nil
+}
+
+// maxminResult adapts the max-min reader's result to the uniform driver
+// result.
+func maxminResult(res ReadResult) driver.ReadResult {
+	return driver.ReadResult{Value: res.Value, Timestamp: res.Timestamp, RoundTrips: res.RoundTrips}
 }
 
 func (h maxminReaderHandle) Stats() (reads, roundTrips, fallbacks int64) {

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"fastread/internal/protoutil"
 	"fastread/internal/quorum"
@@ -59,22 +60,106 @@ type pendingRead struct {
 	replied   bool
 }
 
+// readerProgress tracks which of one reader's reads this server has already
+// answered. Pipelined readers keep several reads in flight, and their gossip
+// rounds can complete out of submission order ACROSS servers, so a plain
+// high-watermark would mark a still-live older read as done and starve it.
+// Instead the server keeps an exact frontier: a watermark below which every
+// read is answered, plus the set of answered rCounters above it. The set is
+// bounded by the reader's pipeline depth in normal operation; maxReplyLag
+// bounds it against abandoned reads (a cancelled read's rCounter never gets
+// answered, which would otherwise pin the watermark forever).
+type readerProgress struct {
+	watermark int64 // every rCounter <= watermark has been answered
+	above     map[int64]struct{}
+}
+
+// maxReplyLag bounds readerProgress.above: once a reader's unanswered gap is
+// this far behind its newest answered read, the gap is presumed abandoned
+// (the reader cancelled it) and the watermark is forced past it. The
+// presumption is sound because client pipelines are capped well below this
+// window (protoutil.MaxPipelineDepth = 512): a LIVE read can never trail
+// the newest answered read by more than the pipeline depth.
+const maxReplyLag = 1024
+
 // registerState is the per-register max-min server state: the current value,
-// the gossip collected for that register's in-flight reads, and the highest
-// rCounter already answered per reader. The latter lets the server drop late
-// gossip for finished reads instead of re-creating (and leaking) their
-// bookkeeping: readers issue strictly increasing rCounters, so anything at
-// or below the replied watermark belongs to a read that already returned.
+// the gossip collected for that register's in-flight reads, and the
+// per-reader reply frontier. The frontier lets the server drop late gossip
+// for finished reads instead of re-creating (and leaking) their bookkeeping,
+// without ever classifying a live pipelined read as finished.
 type registerState struct {
 	value   types.TaggedValue
 	pending map[readKey]*pendingRead
-	replied map[int]int64 // reader index → highest rCounter replied to
+	replied map[int]*readerProgress // reader index → reply frontier
 }
 
 // done reports whether the identified read has already been answered.
 // Callers must hold the register's shard lock (i.e. run inside Map.Do).
 func (st *registerState) done(key readKey) bool {
-	return key.RCounter <= st.replied[key.Reader]
+	p := st.replied[key.Reader]
+	if p == nil {
+		return false
+	}
+	if key.RCounter <= p.watermark {
+		return true
+	}
+	_, ok := p.above[key.RCounter]
+	return ok
+}
+
+// markReplied records that the identified read has been answered, advances
+// the reader's frontier, and garbage-collects bookkeeping the frontier has
+// passed. Callers must hold the register's shard lock.
+func (st *registerState) markReplied(rkey readKey) {
+	p := st.replied[rkey.Reader]
+	if p == nil {
+		// First contact with this reader: its counters start at a fresh
+		// incarnation nonce (protoutil.InitialNonce), so seed the watermark
+		// maxReplyLag below it — anything older belongs to a previous
+		// incarnation and can never be answered — instead of accumulating
+		// the gap down to zero in the answered-set.
+		wm := rkey.RCounter - maxReplyLag
+		if wm < 0 {
+			wm = 0
+		}
+		p = &readerProgress{watermark: wm, above: make(map[int64]struct{})}
+		st.replied[rkey.Reader] = p
+	}
+	p.above[rkey.RCounter] = struct{}{}
+	p.advance()
+	for len(p.above) > maxReplyLag {
+		// The oldest unanswered gap is presumed abandoned: force the
+		// watermark onto the lowest answered rCounter and re-advance.
+		lowest := int64(-1)
+		for rc := range p.above {
+			if lowest < 0 || rc < lowest {
+				lowest = rc
+			}
+		}
+		p.watermark = lowest
+		delete(p.above, lowest)
+		p.advance()
+	}
+	// Sweep gossip bookkeeping the frontier has passed: those reads were
+	// answered here (their entries were removed on reply) or presumed
+	// abandoned — either way the entries can never be answered and would
+	// leak.
+	for k := range st.pending {
+		if k.Reader == rkey.Reader && k.RCounter <= p.watermark {
+			delete(st.pending, k)
+		}
+	}
+}
+
+// advance folds contiguously answered rCounters into the watermark.
+func (p *readerProgress) advance() {
+	for {
+		if _, ok := p.above[p.watermark+1]; !ok {
+			return
+		}
+		p.watermark++
+		delete(p.above, p.watermark)
+	}
 }
 
 // pendingState returns (creating if necessary) the gossip state for a read.
@@ -141,7 +226,7 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 			return &registerState{
 				value:   types.InitialTaggedValue(),
 				pending: make(map[readKey]*pendingRead),
-				replied: make(map[int]int64),
+				replied: make(map[int]*readerProgress),
 			}
 		}),
 		done: make(chan struct{}),
@@ -157,7 +242,7 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 func (s *Server) Start() {
 	go func() {
 		defer close(s.done)
-		s.exec.Run(s.handle)
+		s.exec.RunCoalescing(s.handle)
 	}()
 }
 
@@ -186,7 +271,7 @@ func (s *Server) StateOf(key string) types.TaggedValue {
 	return out
 }
 
-func (s *Server) handle(m transport.Message) {
+func (s *Server) handle(m transport.Message, out transport.Sender) {
 	req := wire.GetMessage()
 	defer wire.PutMessage(req)
 	if err := wire.DecodeInto(req, m.Payload); err != nil {
@@ -197,11 +282,11 @@ func (s *Server) handle(m transport.Message) {
 	}
 	switch req.Op {
 	case wire.OpWrite:
-		s.handleWrite(m.From, req)
+		s.handleWrite(m.From, req, out)
 	case wire.OpRead:
-		s.handleRead(m.From, req)
+		s.handleRead(m.From, req, out)
 	case wire.OpGossip:
-		s.handleGossip(m.From, req)
+		s.handleGossip(m.From, req, out)
 	default:
 		if s.cfg.Trace.Enabled() {
 			s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, m.From, "unexpected op %s", req.Op)
@@ -211,7 +296,7 @@ func (s *Server) handle(m transport.Message) {
 
 // handleWrite adopts a newer value and acknowledges the writer, exactly as in
 // ABD.
-func (s *Server) handleWrite(from types.ProcessID, req *wire.Message) {
+func (s *Server) handleWrite(from types.ProcessID, req *wire.Message, out transport.Sender) {
 	if from.Role != types.RoleWriter {
 		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, from, "write from non-writer")
 		return
@@ -223,13 +308,13 @@ func (s *Server) handleWrite(from types.ProcessID, req *wire.Message) {
 		}
 		ack = &wire.Message{Op: wire.OpWriteAck, Key: req.Key, TS: st.value.TS, RCounter: req.RCounter}
 	})
-	_ = s.node.Send(from, ack.Kind(), wire.MustEncode(ack))
+	_ = transport.SendEncoded(out, from, ack)
 }
 
 // handleRead starts the gossip round for this read: broadcast the server's
 // current timestamp tagged with the read's identity (and register key) to
 // every server (including itself, handled locally).
-func (s *Server) handleRead(from types.ProcessID, req *wire.Message) {
+func (s *Server) handleRead(from types.ProcessID, req *wire.Message, out transport.Sender) {
 	if from.Role != types.RoleReader {
 		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, from, "read from non-reader")
 		return
@@ -270,15 +355,15 @@ func (s *Server) handleRead(from types.ProcessID, req *wire.Message) {
 		if s.cfg.Trace.Enabled() {
 			s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, peer, "gossip key=%q ts=%d for r%d/%d", req.Key, current.TS, from.Index, req.RCounter)
 		}
-		_ = s.node.Send(peer, gossip.Kind(), payload)
+		_ = out.Send(peer, gossip.Kind(), payload)
 	}
 
-	s.maybeReply(req.Key, rkey)
+	s.maybeReply(req.Key, rkey, out)
 }
 
 // handleGossip records a peer server's timestamp for the identified read and
 // adopts it if newer.
-func (s *Server) handleGossip(from types.ProcessID, req *wire.Message) {
+func (s *Server) handleGossip(from types.ProcessID, req *wire.Message, out transport.Sender) {
 	if from.Role != types.RoleServer {
 		s.cfg.Trace.Record(trace.KindDrop, s.cfg.ID, from, "gossip from non-server")
 		return
@@ -302,12 +387,12 @@ func (s *Server) handleGossip(from types.ProcessID, req *wire.Message) {
 		p.gossips[from] = incoming
 	})
 
-	s.maybeReply(req.Key, rkey)
+	s.maybeReply(req.Key, rkey, out)
 }
 
 // maybeReply answers the reader once the server has both received the read
 // request and collected gossip from a majority of servers.
-func (s *Server) maybeReply(key string, rkey readKey) {
+func (s *Server) maybeReply(key string, rkey readKey, out transport.Sender) {
 	var ack *wire.Message
 	s.states.Do(key, func(st *registerState) {
 		if st.done(rkey) {
@@ -338,23 +423,13 @@ func (s *Server) maybeReply(key string, rkey readKey) {
 			Prev:     best.Prev,
 			RCounter: rkey.RCounter,
 		}
-		// Garbage-collect finished reads to keep the map bounded; the replied
-		// watermark stops late gossip from re-creating the entry.
+		// Garbage-collect the finished read and advance the reader's reply
+		// frontier, which stops late gossip from re-creating the entry. An
+		// older read still in flight (pipelined readers overlap their reads)
+		// keeps its bookkeeping: only reads the contiguous frontier has
+		// passed are swept.
 		delete(st.pending, rkey)
-		if rkey.RCounter > st.replied[rkey.Reader] {
-			st.replied[rkey.Reader] = rkey.RCounter
-			// Sweep this reader's older entries too: the reader is serial, so
-			// replying to rCounter k proves every read below k has already
-			// returned at the reader. An entry stranded below the watermark
-			// (e.g. this server replied to a later read before the older
-			// read's gossip reached a majority here) can never be replied to
-			// and would otherwise leak.
-			for k := range st.pending {
-				if k.Reader == rkey.Reader && k.RCounter < rkey.RCounter {
-					delete(st.pending, k)
-				}
-			}
-		}
+		st.markReplied(rkey)
 	})
 	if ack == nil {
 		return
@@ -364,16 +439,25 @@ func (s *Server) maybeReply(key string, rkey readKey) {
 	if s.cfg.Trace.Enabled() {
 		s.cfg.Trace.Record(trace.KindSend, s.cfg.ID, reader, "readack key=%q ts=%d rc=%d", key, ack.TS, ack.RCounter)
 	}
-	_ = s.node.Send(reader, ack.Kind(), wire.MustEncode(ack))
+	_ = transport.SendEncoded(out, reader, ack)
 }
 
 // Writer is the max-min writer: identical to the single-round ABD writer.
+// WriteAsync keeps up to depth writes in flight, applied in submission
+// (timestamp) order.
 type Writer struct {
 	cfg     quorum.Config
 	key     string
 	tr      *trace.Trace
 	node    transport.Node
 	servers []types.ProcessID
+	pl      *protoutil.Pipeline
+
+	// submitted is the highest timestamp this incarnation has broadcast;
+	// the ack filter caps accepted timestamps at it so a restarted writer
+	// times out visibly instead of "completing" against a previous
+	// incarnation's newer server state (see core.Writer.WriteAsync).
+	submitted atomic.Int64
 
 	mu     sync.Mutex
 	ts     types.Timestamp
@@ -384,11 +468,13 @@ type Writer struct {
 
 // NewWriter creates the max-min writer for the default register.
 func NewWriter(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Writer, error) {
-	return NewKeyedWriter("", cfg, node, tr)
+	return NewKeyedWriter("", cfg, 0, node, tr)
 }
 
-// NewKeyedWriter creates the max-min writer for the named register.
-func NewKeyedWriter(key string, cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Writer, error) {
+// NewKeyedWriter creates the max-min writer for the named register. depth
+// bounds the writes kept in flight by WriteAsync (non-positive means
+// protoutil.DefaultPipelineDepth).
+func NewKeyedWriter(key string, cfg quorum.Config, depth int, node transport.Node, tr *trace.Trace) (*Writer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -404,35 +490,68 @@ func NewKeyedWriter(key string, cfg quorum.Config, node transport.Node, tr *trac
 		tr:      tr,
 		node:    node,
 		servers: protoutil.ServerIDs(cfg.Servers),
+		pl:      protoutil.NewPipeline(node, depth, tr),
 		ts:      1,
 		prev:    types.Bottom(),
 	}, nil
 }
 
-// Write stores v using one round-trip to a majority of servers.
+// Write stores v using one round-trip to a majority of servers (WriteAsync
+// at depth one).
 func (w *Writer) Write(ctx context.Context, v types.Value) error {
-	if v.IsBottom() {
-		return ErrBottomWrite
+	f, err := w.WriteAsync(ctx, v)
+	if err != nil {
+		return err
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	_, rerr := f.Result(ctx)
+	return rerr
+}
 
+// WriteAsync submits one write and returns its future without waiting for
+// the majority; timestamps are taken and broadcast in submission order.
+func (w *Writer) WriteAsync(ctx context.Context, v types.Value) (*protoutil.Future[struct{}], error) {
+	if v.IsBottom() {
+		return nil, ErrBottomWrite
+	}
+	if err := w.pl.Acquire(ctx); err != nil {
+		return nil, fmt.Errorf("maxmin: write: %w", err)
+	}
+	f := protoutil.NewFuture[struct{}]()
+
+	w.mu.Lock()
 	ts := w.ts
 	// One owned copy serves as the transient request's Cur and then as the
-	// remembered prev.
+	// remembered prev for the next submission.
 	cur := v.Clone()
 	req := &wire.Message{Op: wire.OpWrite, Key: w.key, TS: ts, Cur: cur, Prev: w.prev}
+	w.submitted.Store(int64(ts))
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpWriteAck && m.Key == w.key && m.TS >= ts
+		return m.Op == wire.OpWriteAck && m.Key == w.key &&
+			m.TS >= ts && int64(m.TS) <= w.submitted.Load()
 	}
-	if _, err := protoutil.RoundTrip(ctx, w.node, w.servers, req, w.cfg.Majority(), filter, w.tr); err != nil {
-		return fmt.Errorf("maxmin: write ts=%d: %w", ts, err)
+	op := w.pl.Register(w.cfg.Majority(), filter, func(_ []protoutil.Ack, err error) {
+		if err != nil {
+			f.Resolve(struct{}{}, fmt.Errorf("maxmin: write ts=%d: %w", ts, err))
+			return
+		}
+		w.mu.Lock()
+		w.rounds.Add(1)
+		w.writes++
+		w.mu.Unlock()
+		f.Resolve(struct{}{}, nil)
+	})
+	err := protoutil.Broadcast(w.node, w.servers, req, w.tr)
+	if err == nil {
+		w.ts = ts.Next()
+		w.prev = cur
 	}
-	w.rounds.Add(1)
-	w.writes++
-	w.ts = ts.Next()
-	w.prev = cur
-	return nil
+	w.mu.Unlock()
+	if err != nil {
+		op.Abort(err)
+		return nil, fmt.Errorf("maxmin: write ts=%d: %w", ts, err)
+	}
+	f.Bind(ctx, op)
+	return f, nil
 }
 
 // Stats reports completed writes and total round-trips.
@@ -454,7 +573,10 @@ type ReadResult struct {
 
 // Reader is the max-min reader: a single request/response exchange with a
 // majority of servers, returning the value with the MINIMUM timestamp among
-// the replies (each of which is itself a majority-maximum).
+// the replies (each of which is itself a majority-maximum). ReadAsync keeps
+// up to depth reads in flight, matched to their gossip rounds and
+// acknowledgements by rCounter nonces (the servers' per-reader reply
+// bookkeeping tolerates out-of-order completion; see registerState).
 type Reader struct {
 	cfg     quorum.Config
 	key     string
@@ -462,6 +584,7 @@ type Reader struct {
 	node    transport.Node
 	id      types.ProcessID
 	servers []types.ProcessID
+	pl      *protoutil.Pipeline
 
 	mu       sync.Mutex
 	rCounter int64
@@ -471,11 +594,13 @@ type Reader struct {
 
 // NewReader creates a max-min reader for the default register.
 func NewReader(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Reader, error) {
-	return NewKeyedReader("", cfg, node, tr)
+	return NewKeyedReader("", cfg, 0, node, tr)
 }
 
-// NewKeyedReader creates a max-min reader for the named register.
-func NewKeyedReader(key string, cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Reader, error) {
+// NewKeyedReader creates a max-min reader for the named register. depth
+// bounds the reads kept in flight by ReadAsync (non-positive means
+// protoutil.DefaultPipelineDepth).
+func NewKeyedReader(key string, cfg quorum.Config, depth int, node transport.Node, tr *trace.Trace) (*Reader, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -487,46 +612,72 @@ func NewKeyedReader(key string, cfg quorum.Config, node transport.Node, tr *trac
 		return nil, fmt.Errorf("%w: got %v", ErrNotReader, id)
 	}
 	return &Reader{
-		cfg:     cfg,
-		key:     key,
-		tr:      tr,
-		node:    node,
-		id:      id,
-		servers: protoutil.ServerIDs(cfg.Servers),
+		cfg:      cfg,
+		key:      key,
+		tr:       tr,
+		node:     node,
+		id:       id,
+		servers:  protoutil.ServerIDs(cfg.Servers),
+		pl:       protoutil.NewPipeline(node, depth, tr),
+		rCounter: protoutil.InitialNonce(),
 	}, nil
 }
 
 // Read returns the register value. One client round-trip, but servers gossip
-// among themselves before replying.
+// among themselves before replying (ReadAsync at depth one).
 func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	f, err := r.ReadAsync(ctx)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	return f.Result(ctx)
+}
 
+// ReadAsync submits one read and returns its future without waiting for the
+// majority of replies.
+func (r *Reader) ReadAsync(ctx context.Context) (*protoutil.Future[ReadResult], error) {
+	if err := r.pl.Acquire(ctx); err != nil {
+		return nil, fmt.Errorf("maxmin: read: %w", err)
+	}
+	f := protoutil.NewFuture[ReadResult]()
+
+	r.mu.Lock()
 	r.rCounter++
 	rc := r.rCounter
 	req := &wire.Message{Op: wire.OpRead, Key: r.key, RCounter: rc}
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
 		return m.Op == wire.OpReadAck && m.Key == r.key && m.RCounter == rc
 	}
-	acks, err := protoutil.RoundTrip(ctx, r.node, r.servers, req, r.cfg.Majority(), filter, r.tr)
-	if err != nil {
-		return ReadResult{}, fmt.Errorf("maxmin: read rc=%d: %w", rc, err)
-	}
-	r.rounds.Add(1)
-	r.reads++
-
-	// Return the value with the minimum timestamp among the replies.
-	min := acks[0].Msg
-	for _, a := range acks[1:] {
-		if a.Msg.TS < min.TS {
-			min = a.Msg
+	op := r.pl.Register(r.cfg.Majority(), filter, func(acks []protoutil.Ack, err error) {
+		if err != nil {
+			f.Resolve(ReadResult{}, fmt.Errorf("maxmin: read rc=%d: %w", rc, err))
+			return
 		}
+		r.mu.Lock()
+		r.rounds.Add(1)
+		r.reads++
+		r.mu.Unlock()
+		// Return the value with the minimum timestamp among the replies.
+		min := acks[0].Msg
+		for _, a := range acks[1:] {
+			if a.Msg.TS < min.TS {
+				min = a.Msg
+			}
+		}
+		f.Resolve(ReadResult{
+			Value:      min.Cur.Clone(),
+			Timestamp:  min.TS,
+			RoundTrips: 1,
+		}, nil)
+	})
+	err := protoutil.Broadcast(r.node, r.servers, req, r.tr)
+	r.mu.Unlock()
+	if err != nil {
+		op.Abort(err)
+		return nil, fmt.Errorf("maxmin: read rc=%d: %w", rc, err)
 	}
-	return ReadResult{
-		Value:      min.Cur.Clone(),
-		Timestamp:  min.TS,
-		RoundTrips: 1,
-	}, nil
+	f.Bind(ctx, op)
+	return f, nil
 }
 
 // Stats reports completed reads and total client round-trips.

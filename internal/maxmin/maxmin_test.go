@@ -328,13 +328,14 @@ func TestPendingReadsGarbageCollected(t *testing.T) {
 	}
 }
 
-// TestStrandedPendingReadSweptByWatermark pins the awkward interleaving: a
-// server holds gossip bookkeeping for read rc=1 that never reached a
-// majority there, then replies to the reader's NEXT read. Advancing the
-// replied watermark must sweep the stranded rc=1 entry — the reader is
-// serial, so that read has already returned and the entry can never be
-// replied to.
-func TestStrandedPendingReadSweptByWatermark(t *testing.T) {
+// TestOlderInFlightReadSurvivesNewerReply pins the pipelined-reader
+// interleaving the old serial watermark got wrong: a server holds gossip
+// bookkeeping for read rc=1 that has not reached a majority there yet, then
+// replies to the reader's rc=2. With a pipelining reader both reads can be
+// live at once, so rc=1's bookkeeping must SURVIVE the newer reply — its
+// late gossip then completes it — while gossip arriving after its completion
+// must not resurrect it.
+func TestOlderInFlightReadSurvivesNewerReply(t *testing.T) {
 	cfg := quorum.Config{Servers: 5, Faulty: 2, Readers: 1}
 	net := transport.NewInMemNetwork()
 	t.Cleanup(func() { _ = net.Close() })
@@ -353,24 +354,78 @@ func TestStrandedPendingReadSweptByWatermark(t *testing.T) {
 		return &wire.Message{Op: wire.OpGossip, TS: 0, RCounter: rc, Phase: 1}
 	}
 	// Read rc=1: request arrives plus one peer gossip — 2 of the needed 3,
-	// so the server never replies and the entry lingers.
-	srv.handleRead(types.Reader(1), &wire.Message{Op: wire.OpRead, RCounter: 1})
-	srv.handleGossip(types.Server(2), gossip(1))
+	// so the server cannot reply yet and the entry lingers.
+	srv.handleRead(types.Reader(1), &wire.Message{Op: wire.OpRead, RCounter: 1}, srv.node)
+	srv.handleGossip(types.Server(2), gossip(1), srv.node)
 	// Read rc=2 completes here: request plus two peer gossips reach the
-	// majority of 3, the server replies and its watermark advances to 2.
-	srv.handleRead(types.Reader(1), &wire.Message{Op: wire.OpRead, RCounter: 2})
-	srv.handleGossip(types.Server(2), gossip(2))
-	srv.handleGossip(types.Server(3), gossip(2))
+	// majority of 3 and the server replies. The reply frontier records rc=2
+	// above the watermark; rc=1 is still open.
+	srv.handleRead(types.Reader(1), &wire.Message{Op: wire.OpRead, RCounter: 2}, srv.node)
+	srv.handleGossip(types.Server(2), gossip(2), srv.node)
+	srv.handleGossip(types.Server(3), gossip(2), srv.node)
 
-	leaked := -1
-	srv.states.Peek("", func(st *registerState) { leaked = len(st.pending) })
-	if leaked != 0 {
-		t.Fatalf("stranded pending entries after watermark advanced: %d", leaked)
+	pending := -1
+	srv.states.Peek("", func(st *registerState) {
+		pending = len(st.pending)
+		if st.done(readKey{Reader: 1, RCounter: 1}) {
+			t.Error("live rc=1 classified as done after rc=2 replied")
+		}
+	})
+	if pending != 1 {
+		t.Fatalf("in-flight rc=1 bookkeeping not retained: %d pending entries", pending)
 	}
-	// Late gossip for the swept read must not resurrect it.
-	srv.handleGossip(types.Server(4), gossip(1))
-	srv.states.Peek("", func(st *registerState) { leaked = len(st.pending) })
-	if leaked != 0 {
-		t.Fatalf("late gossip resurrected a swept read: %d entries", leaked)
+	// Its late gossip completes rc=1: majority reached, reply sent, entry
+	// gone, frontier contiguous through rc=2.
+	srv.handleGossip(types.Server(4), gossip(1), srv.node)
+	srv.states.Peek("", func(st *registerState) {
+		pending = len(st.pending)
+		p := st.replied[1]
+		if p == nil || p.watermark != 2 || len(p.above) != 0 {
+			t.Errorf("frontier did not fold contiguously: %+v", p)
+		}
+	})
+	if pending != 0 {
+		t.Fatalf("completed rc=1 bookkeeping leaked: %d entries", pending)
+	}
+	// Gossip arriving after completion must not resurrect either read.
+	srv.handleGossip(types.Server(5), gossip(1), srv.node)
+	srv.handleGossip(types.Server(5), gossip(2), srv.node)
+	srv.states.Peek("", func(st *registerState) { pending = len(st.pending) })
+	if pending != 0 {
+		t.Fatalf("late gossip resurrected a finished read: %d entries", pending)
+	}
+}
+
+// TestAbandonedReadForcedPastByReplyLag pins the frontier's memory bound: a
+// read whose rCounter is never answered (the reader cancelled it) must not
+// pin the watermark — and with it the answered-set and its gossip
+// bookkeeping — forever. Once the gap falls maxReplyLag behind, it is
+// presumed abandoned, the watermark forced past it, and its bookkeeping
+// swept.
+func TestAbandonedReadForcedPastByReplyLag(t *testing.T) {
+	st := &registerState{
+		pending: make(map[readKey]*pendingRead),
+		replied: make(map[int]*readerProgress),
+	}
+	// rc=1 is abandoned: gossip state exists, no reply ever happens.
+	st.pending[readKey{Reader: 1, RCounter: 1}] = &pendingRead{gossips: map[types.ProcessID]types.TaggedValue{}}
+	// rc=2..maxReplyLag+2 all reply; the watermark cannot pass the rc=1 gap
+	// until the lag bound trips.
+	for rc := int64(2); rc <= maxReplyLag+2; rc++ {
+		st.markReplied(readKey{Reader: 1, RCounter: rc})
+	}
+	p := st.replied[1]
+	if p.watermark < 2 {
+		t.Fatalf("watermark %d never forced past the abandoned gap", p.watermark)
+	}
+	if len(p.above) > maxReplyLag {
+		t.Fatalf("answered-set unbounded: %d entries", len(p.above))
+	}
+	if len(st.pending) != 0 {
+		t.Fatalf("abandoned read's bookkeeping not swept: %d entries", len(st.pending))
+	}
+	// The abandoned read is now (and stays) done: late traffic is dropped.
+	if !st.done(readKey{Reader: 1, RCounter: 1}) {
+		t.Fatal("abandoned read below the forced watermark not classified done")
 	}
 }

@@ -1,0 +1,435 @@
+// Pipelined operation engine.
+//
+// The blocking RoundTrip/CollectAcks helpers serve one operation at a time:
+// the client broadcasts, then owns the inbox until its quorum assembles. The
+// Pipeline generalises that to N concurrent in-flight operations per client
+// handle: a single dispatcher goroutine drains the node's inbox and offers
+// every acknowledgement to every pending operation's filter, so operations
+// complete independently, in whatever order their quorums assemble. The
+// protocols' existing per-operation nonces (read counters, write timestamps)
+// are what keep concurrent operations' acknowledgements apart — the engine
+// adds no wire state of its own, and a serial operation is exactly a
+// pipeline of depth one.
+package protoutil
+
+import (
+	"context"
+	"sync"
+
+	"fastread/internal/trace"
+	"fastread/internal/transport"
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// DefaultPipelineDepth is the per-handle in-flight bound used when a client
+// is configured with a non-positive depth.
+const DefaultPipelineDepth = 16
+
+// MaxPipelineDepth caps the configured depth. The bound exists for
+// correctness, not taste: servers bound their per-client bookkeeping by
+// assuming a client's live operations span a limited nonce window (the
+// maxmin reply frontier's maxReplyLag presumes gaps more than 1024 nonces
+// behind the newest answered operation are abandoned), so a pipeline deeper
+// than that window could see a slow live operation classified as abandoned
+// and starved. 512 keeps a 2x margin below the tightest server-side lag.
+const MaxPipelineDepth = 512
+
+// Pipeline demultiplexes acknowledgements for up to `depth` concurrent
+// in-flight operations over one client node. It is shared by every protocol
+// client; one Pipeline owns one node's inbox.
+//
+// Lifecycle: the dispatcher goroutine starts lazily on the first Acquire and
+// exits when the node's inbox closes (the node, its demux route, or the whole
+// store shut down), failing every still-pending operation with
+// ErrInboxClosed.
+//
+// Locking: p.mu orders registration, matching and completion. Completion
+// callbacks are ALWAYS invoked outside p.mu (a callback takes its protocol
+// client's own mutex, and the submission path holds that mutex while calling
+// Register — invoking callbacks under p.mu would invert that order).
+type Pipeline struct {
+	node transport.Node
+	tr   *trace.Trace
+
+	// slots is the in-flight depth semaphore: Acquire fills, completion
+	// (or abort) drains.
+	slots chan struct{}
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	ops     []*Op
+
+	// done closes when the dispatcher exits; Acquire uses it to fail fast on
+	// a dead pipeline instead of blocking on a slot forever.
+	done chan struct{}
+}
+
+// NewPipeline builds an engine over the node with the given in-flight depth
+// (DefaultPipelineDepth if depth <= 0). No goroutine starts until the first
+// operation.
+func NewPipeline(node transport.Node, depth int, tr *trace.Trace) *Pipeline {
+	if depth <= 0 {
+		depth = DefaultPipelineDepth
+	}
+	if depth > MaxPipelineDepth {
+		depth = MaxPipelineDepth
+	}
+	return &Pipeline{
+		node:  node,
+		tr:    tr,
+		slots: make(chan struct{}, depth),
+		done:  make(chan struct{}),
+	}
+}
+
+// Depth returns the configured in-flight bound.
+func (p *Pipeline) Depth() int { return cap(p.slots) }
+
+// Op is one in-flight operation's state machine: the acknowledgements
+// collected so far, keyed off the servers that sent them, and the completion
+// to run when the quorum assembles (or the operation dies).
+type Op struct {
+	p      *Pipeline
+	need   int
+	filter AckFilter
+	// complete runs exactly once, outside the engine mutex: with the quorum
+	// acknowledgements on success, or with a nil slice and the fatal error.
+	complete func(acks []Ack, err error)
+	// keepSlot marks an intermediate phase of a multi-phase operation: its
+	// completion hands the in-flight slot to the next phase instead of
+	// releasing it (see RegisterPhase).
+	keepSlot bool
+
+	// Guarded by p.mu.
+	seen []types.ProcessID
+	acks []Ack
+	done bool
+}
+
+// Acquire reserves one in-flight slot, blocking while the pipeline is at
+// depth. It fails with the context's error, or with ErrInboxClosed once the
+// node is gone.
+func (p *Pipeline) Acquire(ctx context.Context) error {
+	p.ensureStarted()
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.done:
+		return ErrInboxClosed
+	}
+}
+
+// release frees one in-flight slot.
+func (p *Pipeline) release() {
+	<-p.slots
+}
+
+// Release frees a slot acquired with Acquire when submission fails BEFORE an
+// operation was registered; registered operations release their slot through
+// completion or Abort instead.
+func (p *Pipeline) Release() { p.release() }
+
+// Register adds an operation waiting for `need` acknowledgements accepted by
+// the filter. The caller must hold a slot from Acquire and should register
+// BEFORE broadcasting its request, so no acknowledgement can race past the
+// dispatcher unmatched. If the pipeline is already dead the operation fails
+// asynchronously (the completion still runs exactly once, with
+// ErrInboxClosed).
+func (p *Pipeline) Register(need int, filter AckFilter, complete func(acks []Ack, err error)) *Op {
+	return p.register(need, filter, complete, false)
+}
+
+// RegisterPhase is Register for an INTERMEDIATE phase of a multi-phase
+// operation (the ABD read's query before its write-back): completing it does
+// NOT free the in-flight slot — the slot stays held for the next phase,
+// whose final Register (or an explicit Release on the error path) frees it.
+// One Acquire therefore bounds whole operations, not round-trips.
+func (p *Pipeline) RegisterPhase(need int, filter AckFilter, complete func(acks []Ack, err error)) *Op {
+	return p.register(need, filter, complete, true)
+}
+
+func (p *Pipeline) register(need int, filter AckFilter, complete func(acks []Ack, err error), keepSlot bool) *Op {
+	op := &Op{
+		p: p, need: need, filter: filter, complete: complete, keepSlot: keepSlot,
+		// Quorum sizes are known up front: one allocation each, no growth.
+		seen: make([]types.ProcessID, 0, need),
+		acks: make([]Ack, 0, need),
+	}
+	p.mu.Lock()
+	if p.closed {
+		op.done = true
+		p.mu.Unlock()
+		// Asynchronously: the caller typically holds its protocol mutex here
+		// and the completion will want it too.
+		go op.finish(nil, ErrInboxClosed)
+		return op
+	}
+	p.ops = append(p.ops, op)
+	p.mu.Unlock()
+	return op
+}
+
+// Abort fails the operation with the given error if it has not completed
+// yet: it is deregistered, its completion runs with err, and its slot frees.
+// Aborting one operation never disturbs its siblings — their
+// acknowledgements keep flowing through the dispatcher. Abort after
+// completion is a no-op, so racing a quorum is safe.
+func (op *Op) Abort(err error) {
+	p := op.p
+	p.mu.Lock()
+	if op.done {
+		p.mu.Unlock()
+		return
+	}
+	op.done = true
+	p.removeLocked(op)
+	p.mu.Unlock()
+	op.finish(nil, err)
+}
+
+// finish runs the completion exactly once (the caller has already claimed
+// op.done under p.mu) and frees the slot, unless an intermediate phase keeps
+// it for its successor.
+func (op *Op) finish(acks []Ack, err error) {
+	op.complete(acks, err)
+	if !op.keepSlot {
+		op.p.release()
+	}
+}
+
+// removeLocked drops the operation from the pending set. Callers hold p.mu.
+func (p *Pipeline) removeLocked(op *Op) {
+	for i, o := range p.ops {
+		if o == op {
+			last := len(p.ops) - 1
+			p.ops[i] = p.ops[last]
+			p.ops[last] = nil
+			p.ops = p.ops[:last]
+			return
+		}
+	}
+}
+
+// ensureStarted launches the dispatcher on first use.
+func (p *Pipeline) ensureStarted() {
+	p.mu.Lock()
+	if !p.started {
+		p.started = true
+		go p.dispatch()
+	}
+	p.mu.Unlock()
+}
+
+// dispatch drains the inbox until the node closes, routing every delivered
+// acknowledgement to the operations it satisfies. Batch envelopes are
+// expanded inline; decoding reuses one pooled scratch message, so traffic
+// that matches no operation costs no allocations (exactly like the serial
+// collector).
+func (p *Pipeline) dispatch() {
+	defer close(p.done)
+	scratch := wire.GetMessage()
+	defer wire.PutMessage(scratch)
+	for m := range p.node.Inbox() {
+		if wire.IsBatch(m.Payload) {
+			from := m.From
+			_ = wire.ForEachInBatch(m.Payload, func(sub []byte) error {
+				p.handlePayload(from, sub, scratch)
+				return nil
+			})
+			continue
+		}
+		p.handlePayload(m.From, m.Payload, scratch)
+	}
+
+	// Inbox closed: every pending operation dies with ErrInboxClosed.
+	p.mu.Lock()
+	p.closed = true
+	pending := p.ops
+	p.ops = nil
+	for _, op := range pending {
+		op.done = true
+	}
+	p.mu.Unlock()
+	for _, op := range pending {
+		op.finish(nil, ErrInboxClosed)
+	}
+}
+
+// handlePayload offers one delivered payload to every pending operation. A
+// message may satisfy SEVERAL operations at once (the majority protocols'
+// write filters accept any acknowledgement with ts' ≥ ts, so one ack can
+// complete two pipelined writes); each accepting operation records the same
+// detached message, which is safe because collected acknowledgements are
+// read-only. Completions fire after the engine lock is released.
+func (p *Pipeline) handlePayload(from types.ProcessID, payload []byte, scratch *wire.Message) {
+	if from.Role != types.RoleServer {
+		return
+	}
+	if err := wire.DecodeInto(scratch, payload); err != nil {
+		if p.tr.Enabled() {
+			p.tr.Record(trace.KindDrop, p.node.ID(), from, "malformed payload: %v", err)
+		}
+		return
+	}
+
+	var detached *wire.Message
+	var completed []*Op
+	p.mu.Lock()
+	for i := 0; i < len(p.ops); i++ {
+		op := p.ops[i]
+		if op.done || op.hasSeen(from) {
+			continue
+		}
+		if op.filter != nil && !op.filter(from, scratch) {
+			continue
+		}
+		if detached == nil {
+			detached = scratch.Detach()
+		}
+		op.seen = append(op.seen, from)
+		op.acks = append(op.acks, Ack{From: from, Msg: detached})
+		if len(op.acks) >= op.need {
+			op.done = true
+			completed = append(completed, op)
+			p.removeLocked(op)
+			i-- // removeLocked swapped the last op into slot i
+		}
+	}
+	p.mu.Unlock()
+
+	if p.tr.Enabled() {
+		if detached != nil {
+			p.tr.Record(trace.KindReceive, p.node.ID(), from, "%s ts=%d rc=%d", detached.Op, detached.TS, detached.RCounter)
+		} else {
+			p.tr.Record(trace.KindDrop, p.node.ID(), from, "unmatched %s ts=%d rc=%d", scratch.Op, scratch.TS, scratch.RCounter)
+		}
+	}
+	for _, op := range completed {
+		op.finish(op.acks, nil)
+	}
+}
+
+// hasSeen reports whether the operation already accepted an acknowledgement
+// from the server. Linear scan: quorums are small.
+func (op *Op) hasSeen(from types.ProcessID) bool {
+	for _, s := range op.seen {
+		if s == from {
+			return true
+		}
+	}
+	return false
+}
+
+// Future is the resolution of one asynchronous operation: the protocol
+// client resolves it from the operation's completion callback, and the
+// caller waits on Done or Result. A Future tracks the operation currently
+// backing it (Rebind moves it between a multi-phase protocol's phases), so
+// cancelling the wait aborts exactly that operation.
+type Future[T any] struct {
+	done chan struct{}
+
+	mu        sync.Mutex
+	op        *Op
+	stop      func() bool // releases the bound context's AfterFunc
+	cancelErr error       // sticky abort intent, applied to later rebinds
+	resolved  bool
+
+	val T
+	err error
+}
+
+// NewFuture returns an unresolved future.
+func NewFuture[T any]() *Future[T] {
+	return &Future[T]{done: make(chan struct{})}
+}
+
+// Bind attaches the future to its operation and arms the context: if ctx
+// ends first, the CURRENT operation aborts with the context's error (and the
+// abort intent sticks to operations bound later). Bind is called once per
+// phase via Rebind; the AfterFunc registration costs nothing until the
+// context actually fires.
+func (f *Future[T]) Bind(ctx context.Context, op *Op) {
+	f.mu.Lock()
+	f.op = op
+	cancelled := f.cancelErr
+	if f.stop == nil && !f.resolved {
+		f.stop = context.AfterFunc(ctx, func() {
+			f.abort(ctx.Err())
+		})
+	}
+	f.mu.Unlock()
+	if cancelled != nil {
+		op.Abort(cancelled)
+	}
+}
+
+// Rebind moves the future onto the next phase's operation, honouring any
+// abort that raced the phase boundary.
+func (f *Future[T]) Rebind(op *Op) {
+	f.mu.Lock()
+	f.op = op
+	cancelled := f.cancelErr
+	f.mu.Unlock()
+	if cancelled != nil {
+		op.Abort(cancelled)
+	}
+}
+
+// abort records the cancellation intent and aborts the currently bound
+// operation (whose completion resolves the future).
+func (f *Future[T]) abort(err error) {
+	f.mu.Lock()
+	if f.resolved {
+		f.mu.Unlock()
+		return
+	}
+	if f.cancelErr == nil {
+		f.cancelErr = err
+	}
+	op := f.op
+	f.mu.Unlock()
+	if op != nil {
+		op.Abort(err)
+	}
+}
+
+// Resolve settles the future. Exactly one Resolve wins; later calls are
+// ignored (a context abort racing a quorum completion is benign either way).
+func (f *Future[T]) Resolve(val T, err error) {
+	f.mu.Lock()
+	if f.resolved {
+		f.mu.Unlock()
+		return
+	}
+	f.resolved = true
+	f.val = val
+	f.err = err
+	stop := f.stop
+	f.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	close(f.done)
+}
+
+// Done closes when the future resolves.
+func (f *Future[T]) Done() <-chan struct{} { return f.done }
+
+// Result blocks until the future resolves and returns its outcome. If ctx
+// ends first the backing operation is aborted — resolving the future with
+// the context's error — while sibling in-flight operations on the same
+// handle are untouched.
+func (f *Future[T]) Result(ctx context.Context) (T, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		f.abort(ctx.Err())
+		<-f.done
+		return f.val, f.err
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"fastread/internal/trace"
 	"fastread/internal/transport"
@@ -33,16 +34,28 @@ var (
 
 // WireKeyFunc is the transport.Demux routing function shared by every
 // multi-register client: it routes a delivered message by the register key
-// carried in its payload and drops undecodable payloads. Keeping the single
-// definition here guarantees the in-memory Store and the TCP clients route
-// identically.
-func WireKeyFunc(m transport.Message) (string, bool) {
-	key, err := wire.PeekKey(m.Payload)
+// carried in its payload (as an aliasing byte view — routing allocates
+// nothing) and drops undecodable payloads. Keeping the single definition
+// here guarantees the in-memory Store and the TCP clients route identically.
+func WireKeyFunc(m transport.Message) ([]byte, bool) {
+	key, err := wire.PeekKeyView(m.Payload)
 	if err != nil {
-		return "", false
+		return nil, false
 	}
 	return key, true
 }
+
+// InitialNonce returns the starting operation counter for a fresh client
+// handle. Servers remember the highest counter each client identity used
+// (the stale-request guard of Figure 2 line 26 persists across that
+// client's restarts), so a restarted process reusing its identity — a
+// redeployed cmd/regclient reader, say — must resume ABOVE its previous
+// incarnation's counters or every operation it submits is classified stale
+// and starves. Wall-clock microseconds are monotone across restarts on any
+// sanely-timed host, strictly below any later incarnation's clock, and
+// leave the int64 range ~292k years of headroom; within one incarnation
+// the handle increments from here as before.
+func InitialNonce() int64 { return time.Now().UnixMicro() }
 
 // Broadcast encodes the message once and sends it to every listed server.
 // Send errors (which only occur when the local node is closed) abort the
@@ -81,7 +94,9 @@ type AckFilter func(from types.ProcessID, msg *wire.Message) bool
 // been accepted by the filter, then returns them. Messages from non-server
 // processes, duplicate acks from the same server, undecodable payloads and
 // filter rejections are all ignored, mirroring the paper's convention that a
-// process detects and drops incomplete messages.
+// process detects and drops incomplete messages. Batch envelopes (a server's
+// coalesced acknowledgement run, or a batching transport's coalesced
+// delivery) are expanded inline.
 //
 // Decoding uses a pooled scratch message, so rejected traffic costs no
 // allocations. Accepted acks are detached from the scratch but their Cur,
@@ -95,6 +110,31 @@ func CollectAcks(ctx context.Context, node transport.Node, need int, filter AckF
 	}
 	scratch := wire.GetMessage()
 	defer wire.PutMessage(scratch)
+
+	// accept examines one delivered payload, appending the ack if it counts.
+	accept := func(from types.ProcessID, payload []byte) {
+		if seen[from] {
+			return
+		}
+		if err := wire.DecodeInto(scratch, payload); err != nil {
+			if tr.Enabled() {
+				tr.Record(trace.KindDrop, node.ID(), from, "malformed payload: %v", err)
+			}
+			return
+		}
+		if filter != nil && !filter(from, scratch) {
+			if tr.Enabled() {
+				tr.Record(trace.KindDrop, node.ID(), from, "filtered %s ts=%d rc=%d", scratch.Op, scratch.TS, scratch.RCounter)
+			}
+			return
+		}
+		if tr.Enabled() {
+			tr.Record(trace.KindReceive, node.ID(), from, "%s ts=%d rc=%d", scratch.Op, scratch.TS, scratch.RCounter)
+		}
+		seen[from] = true
+		acks = append(acks, Ack{From: from, Msg: scratch.Detach()})
+	}
+
 	for {
 		select {
 		case <-ctx.Done():
@@ -106,26 +146,14 @@ func CollectAcks(ctx context.Context, node transport.Node, need int, filter AckF
 			if m.From.Role != types.RoleServer {
 				continue
 			}
-			if seen[m.From] {
-				continue
+			if wire.IsBatch(m.Payload) {
+				_ = wire.ForEachInBatch(m.Payload, func(sub []byte) error {
+					accept(m.From, sub)
+					return nil
+				})
+			} else {
+				accept(m.From, m.Payload)
 			}
-			if err := wire.DecodeInto(scratch, m.Payload); err != nil {
-				if tr.Enabled() {
-					tr.Record(trace.KindDrop, node.ID(), m.From, "malformed payload: %v", err)
-				}
-				continue
-			}
-			if filter != nil && !filter(m.From, scratch) {
-				if tr.Enabled() {
-					tr.Record(trace.KindDrop, node.ID(), m.From, "filtered %s ts=%d rc=%d", scratch.Op, scratch.TS, scratch.RCounter)
-				}
-				continue
-			}
-			if tr.Enabled() {
-				tr.Record(trace.KindReceive, node.ID(), m.From, "%s ts=%d rc=%d", scratch.Op, scratch.TS, scratch.RCounter)
-			}
-			seen[m.From] = true
-			acks = append(acks, Ack{From: m.From, Msg: scratch.Detach()})
 			if len(acks) >= need {
 				return acks, nil
 			}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"fastread/internal/protoutil"
 	"fastread/internal/quorum"
@@ -97,7 +98,7 @@ func NewServer(id types.ProcessID, node transport.Node, tr *trace.Trace, workers
 func (s *Server) Start() {
 	go func() {
 		defer close(s.done)
-		s.exec.Run(s.handle)
+		s.exec.RunCoalescing(s.handle)
 	}()
 }
 
@@ -131,7 +132,7 @@ func (s *Server) StateOf(key string) types.TaggedValue {
 // stored state (the key-shard worker handling this message is this key's
 // sole mutator, and the ack is encoded before the worker handles its next
 // message).
-func (s *Server) handle(m transport.Message) {
+func (s *Server) handle(m transport.Message, out transport.Sender) {
 	req := wire.GetMessage()
 	defer wire.PutMessage(req)
 	if err := wire.DecodeInto(req, m.Payload); err != nil {
@@ -173,7 +174,7 @@ func (s *Server) handle(m transport.Message) {
 		}
 	})
 
-	if err := s.node.Send(m.From, ack.Kind(), wire.MustEncode(ack)); err != nil {
+	if err := transport.SendEncoded(out, m.From, ack); err != nil {
 		if s.tr.Enabled() {
 			s.tr.Record(trace.KindDrop, s.id, m.From, "send ack: %v", err)
 		}
@@ -181,13 +182,21 @@ func (s *Server) handle(m transport.Message) {
 }
 
 // Writer is the single writer of the regular register: one round-trip per
-// write to a majority of servers.
+// write to a majority of servers. WriteAsync keeps up to depth writes in
+// flight, applied in submission (timestamp) order.
 type Writer struct {
 	cfg     quorum.Config
 	key     string
 	tr      *trace.Trace
 	node    transport.Node
 	servers []types.ProcessID
+	pl      *protoutil.Pipeline
+
+	// submitted is the highest timestamp this incarnation has broadcast;
+	// the ack filter caps accepted timestamps at it so a restarted writer
+	// times out visibly instead of "completing" against a previous
+	// incarnation's newer server state (see core.Writer.WriteAsync).
+	submitted atomic.Int64
 
 	mu     sync.Mutex
 	ts     types.Timestamp
@@ -198,11 +207,13 @@ type Writer struct {
 
 // NewWriter creates the regular-register writer for the default register.
 func NewWriter(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Writer, error) {
-	return NewKeyedWriter("", cfg, node, tr)
+	return NewKeyedWriter("", cfg, 0, node, tr)
 }
 
 // NewKeyedWriter creates the regular-register writer for the named register.
-func NewKeyedWriter(key string, cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Writer, error) {
+// depth bounds the writes kept in flight by WriteAsync (non-positive means
+// protoutil.DefaultPipelineDepth).
+func NewKeyedWriter(key string, cfg quorum.Config, depth int, node transport.Node, tr *trace.Trace) (*Writer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -221,35 +232,68 @@ func NewKeyedWriter(key string, cfg quorum.Config, node transport.Node, tr *trac
 		tr:      tr,
 		node:    node,
 		servers: protoutil.ServerIDs(cfg.Servers),
+		pl:      protoutil.NewPipeline(node, depth, tr),
 		ts:      1,
 		prev:    types.Bottom(),
 	}, nil
 }
 
-// Write stores v in the register in one round-trip.
+// Write stores v in the register in one round-trip (WriteAsync at depth
+// one).
 func (w *Writer) Write(ctx context.Context, v types.Value) error {
-	if v.IsBottom() {
-		return ErrBottomWrite
+	f, err := w.WriteAsync(ctx, v)
+	if err != nil {
+		return err
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	_, rerr := f.Result(ctx)
+	return rerr
+}
 
+// WriteAsync submits one write and returns its future without waiting for
+// the majority; timestamps are taken and broadcast in submission order.
+func (w *Writer) WriteAsync(ctx context.Context, v types.Value) (*protoutil.Future[struct{}], error) {
+	if v.IsBottom() {
+		return nil, ErrBottomWrite
+	}
+	if err := w.pl.Acquire(ctx); err != nil {
+		return nil, fmt.Errorf("regular: write: %w", err)
+	}
+	f := protoutil.NewFuture[struct{}]()
+
+	w.mu.Lock()
 	ts := w.ts
 	// One owned copy serves as the transient request's Cur and then as the
-	// remembered prev.
+	// remembered prev for the next submission.
 	cur := v.Clone()
 	req := &wire.Message{Op: wire.OpWrite, Key: w.key, TS: ts, Cur: cur, Prev: w.prev}
+	w.submitted.Store(int64(ts))
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
-		return m.Op == wire.OpWriteAck && m.Key == w.key && m.TS >= ts
+		return m.Op == wire.OpWriteAck && m.Key == w.key &&
+			m.TS >= ts && int64(m.TS) <= w.submitted.Load()
 	}
-	if _, err := protoutil.RoundTrip(ctx, w.node, w.servers, req, w.cfg.Majority(), filter, w.tr); err != nil {
-		return fmt.Errorf("regular: write ts=%d: %w", ts, err)
+	op := w.pl.Register(w.cfg.Majority(), filter, func(_ []protoutil.Ack, err error) {
+		if err != nil {
+			f.Resolve(struct{}{}, fmt.Errorf("regular: write ts=%d: %w", ts, err))
+			return
+		}
+		w.mu.Lock()
+		w.rounds.Add(1)
+		w.writes++
+		w.mu.Unlock()
+		f.Resolve(struct{}{}, nil)
+	})
+	err := protoutil.Broadcast(w.node, w.servers, req, w.tr)
+	if err == nil {
+		w.ts = ts.Next()
+		w.prev = cur
 	}
-	w.rounds.Add(1)
-	w.writes++
-	w.ts = ts.Next()
-	w.prev = cur
-	return nil
+	w.mu.Unlock()
+	if err != nil {
+		op.Abort(err)
+		return nil, fmt.Errorf("regular: write ts=%d: %w", ts, err)
+	}
+	f.Bind(ctx, op)
+	return f, nil
 }
 
 // Stats reports completed writes and total round-trips.
@@ -270,7 +314,9 @@ type ReadResult struct {
 }
 
 // Reader is a regular-register reader: query a majority, return the value
-// with the highest timestamp. One round-trip, no write-back.
+// with the highest timestamp. One round-trip, no write-back. ReadAsync keeps
+// up to depth reads in flight, matched to their acknowledgements by rCounter
+// nonces.
 type Reader struct {
 	cfg     quorum.Config
 	key     string
@@ -278,6 +324,7 @@ type Reader struct {
 	node    transport.Node
 	id      types.ProcessID
 	servers []types.ProcessID
+	pl      *protoutil.Pipeline
 
 	mu       sync.Mutex
 	rCounter int64
@@ -288,11 +335,13 @@ type Reader struct {
 // NewReader creates a regular-register reader for the default register. Any
 // number of readers is supported.
 func NewReader(cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Reader, error) {
-	return NewKeyedReader("", cfg, node, tr)
+	return NewKeyedReader("", cfg, 0, node, tr)
 }
 
 // NewKeyedReader creates a regular-register reader for the named register.
-func NewKeyedReader(key string, cfg quorum.Config, node transport.Node, tr *trace.Trace) (*Reader, error) {
+// depth bounds the reads kept in flight by ReadAsync (non-positive means
+// protoutil.DefaultPipelineDepth).
+func NewKeyedReader(key string, cfg quorum.Config, depth int, node transport.Node, tr *trace.Trace) (*Reader, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -307,39 +356,66 @@ func NewKeyedReader(key string, cfg quorum.Config, node transport.Node, tr *trac
 		return nil, fmt.Errorf("%w: got %v", ErrNotReader, id)
 	}
 	return &Reader{
-		cfg:     cfg,
-		key:     key,
-		tr:      tr,
-		node:    node,
-		id:      id,
-		servers: protoutil.ServerIDs(cfg.Servers),
+		cfg:      cfg,
+		key:      key,
+		tr:       tr,
+		node:     node,
+		id:       id,
+		servers:  protoutil.ServerIDs(cfg.Servers),
+		pl:       protoutil.NewPipeline(node, depth, tr),
+		rCounter: protoutil.InitialNonce(),
 	}, nil
 }
 
-// Read returns a regular-register value in one round-trip.
+// Read returns a regular-register value in one round-trip (ReadAsync at
+// depth one).
 func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	f, err := r.ReadAsync(ctx)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	return f.Result(ctx)
+}
 
+// ReadAsync submits one read and returns its future without waiting for the
+// majority.
+func (r *Reader) ReadAsync(ctx context.Context) (*protoutil.Future[ReadResult], error) {
+	if err := r.pl.Acquire(ctx); err != nil {
+		return nil, fmt.Errorf("regular: read: %w", err)
+	}
+	f := protoutil.NewFuture[ReadResult]()
+
+	r.mu.Lock()
 	r.rCounter++
 	rc := r.rCounter
 	req := &wire.Message{Op: wire.OpRead, Key: r.key, RCounter: rc}
 	filter := func(_ types.ProcessID, m *wire.Message) bool {
 		return m.Op == wire.OpReadAck && m.Key == r.key && m.RCounter == rc
 	}
-	acks, err := protoutil.RoundTrip(ctx, r.node, r.servers, req, r.cfg.Majority(), filter, r.tr)
+	op := r.pl.Register(r.cfg.Majority(), filter, func(acks []protoutil.Ack, err error) {
+		if err != nil {
+			f.Resolve(ReadResult{}, fmt.Errorf("regular: read rc=%d: %w", rc, err))
+			return
+		}
+		r.mu.Lock()
+		r.rounds.Add(1)
+		r.reads++
+		r.mu.Unlock()
+		_, best, _ := protoutil.MaxTimestamp(acks)
+		f.Resolve(ReadResult{
+			Value:      best.Msg.Cur.Clone(),
+			Timestamp:  best.Msg.TS,
+			RoundTrips: 1,
+		}, nil)
+	})
+	err := protoutil.Broadcast(r.node, r.servers, req, r.tr)
+	r.mu.Unlock()
 	if err != nil {
-		return ReadResult{}, fmt.Errorf("regular: read rc=%d: %w", rc, err)
+		op.Abort(err)
+		return nil, fmt.Errorf("regular: read rc=%d: %w", rc, err)
 	}
-	r.rounds.Add(1)
-	r.reads++
-
-	_, best, _ := protoutil.MaxTimestamp(acks)
-	return ReadResult{
-		Value:      best.Msg.Cur.Clone(),
-		Timestamp:  best.Msg.TS,
-		RoundTrips: 1,
-	}, nil
+	f.Bind(ctx, op)
+	return f, nil
 }
 
 // Stats reports completed reads and total round-trips (equal: regular reads

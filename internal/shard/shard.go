@@ -69,6 +69,21 @@ func Hash(key string) uint64 {
 	return h
 }
 
+// HashBytes is Hash over a byte-slice key view (the executor dispatches on
+// wire.PeekKeyView results without materialising strings).
+func HashBytes(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
 func (m *Map[S]) stripeFor(key string) *stripe[S] {
 	return &m.stripes[Hash(key)%uint64(len(m.stripes))]
 }

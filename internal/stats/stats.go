@@ -273,6 +273,89 @@ func (t *Table) Markdown() string {
 	return b.String()
 }
 
+// IntHistogram tallies small non-negative integer observations — in-flight
+// operation counts, batch sizes — exactly, one bucket per value. It is not
+// safe for concurrent use; like LatencyRecorder, each worker records into
+// its own histogram and the results are merged.
+type IntHistogram struct {
+	counts []int64
+	total  int64
+}
+
+// Observe tallies one observation (negative values are clamped to 0).
+func (h *IntHistogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	for len(h.counts) <= v {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// Merge adds all of other's tallies.
+func (h *IntHistogram) Merge(other *IntHistogram) {
+	if other == nil {
+		return
+	}
+	for v, c := range other.counts {
+		if c == 0 {
+			continue
+		}
+		for len(h.counts) <= v {
+			h.counts = append(h.counts, 0)
+		}
+		h.counts[v] += c
+		h.total += c
+	}
+}
+
+// Count returns the number of observations.
+func (h *IntHistogram) Count() int64 { return h.total }
+
+// Mean returns the average observed value, or 0 with no observations.
+func (h *IntHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum int64
+	for v, c := range h.counts {
+		sum += int64(v) * c
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// Max returns the largest observed value.
+func (h *IntHistogram) Max() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// String renders the non-empty buckets compactly: "0:3 1:12 2:40 ...".
+func (h *IntHistogram) String() string {
+	if h.total == 0 {
+		return "empty"
+	}
+	var b strings.Builder
+	first := true
+	for v, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d:%d", v, c)
+	}
+	return b.String()
+}
+
 // Throughput converts an operation count and elapsed duration to ops/sec.
 func Throughput(ops int, elapsed time.Duration) float64 {
 	if elapsed <= 0 {

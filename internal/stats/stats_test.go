@@ -186,3 +186,33 @@ func TestThroughput(t *testing.T) {
 		t.Errorf("Throughput = %f, want 100", got)
 	}
 }
+
+func TestIntHistogram(t *testing.T) {
+	var h IntHistogram
+	if h.String() != "empty" || h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("zero histogram misbehaves: %q count=%d", h.String(), h.Count())
+	}
+	for _, v := range []int{0, 1, 1, 3, -2} { // -2 clamps to 0
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if h.Max() != 3 {
+		t.Errorf("Max = %d, want 3", h.Max())
+	}
+	if got, want := h.Mean(), 1.0; got != want { // (0+1+1+3+0)/5
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got := h.String(); got != "0:2 1:2 3:1" {
+		t.Errorf("String = %q", got)
+	}
+
+	var other IntHistogram
+	other.Observe(5)
+	h.Merge(&other)
+	h.Merge(nil)
+	if h.Count() != 6 || h.Max() != 5 {
+		t.Errorf("after merge: count=%d max=%d", h.Count(), h.Max())
+	}
+}

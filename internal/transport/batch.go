@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// Batch-aware delivery
+// ====================
+//
+// A delivered transport.Message may carry either a single encoded protocol
+// message or a wire.Batch envelope packing several of them (produced by the
+// tcpnet per-peer flusher, the in-memory node pump's coalescer, or a server's
+// per-run acknowledgement Coalescer). Every consumer that interprets payloads
+// — the executor's dispatcher, the demux pump, the client-side ack collectors
+// — expands batches through Expand, so the code handling one message never
+// sees the envelope.
+//
+// The per-message views of a batch ALIAS the batch buffer (wire's rule 2);
+// since the buffer is owned by the receiving side and immutable, the views
+// stay valid for as long as any consumer retains them.
+
+// Expand invokes fn once per protocol message carried by the delivered
+// message: once with msg itself when the payload is a single message, once
+// per aliasing sub-message when it is a batch envelope. Malformed envelopes
+// are dropped silently (exactly like any other undecodable payload: the
+// asynchronous model lets them be "in transit forever").
+func Expand(msg Message, fn func(Message)) {
+	if !wire.IsBatch(msg.Payload) {
+		fn(msg)
+		return
+	}
+	_ = wire.ForEachInBatch(msg.Payload, func(payload []byte) error {
+		fn(Message{From: msg.From, To: msg.To, Kind: msg.Kind, Payload: payload})
+		return nil
+	})
+}
+
+// Sender is the outbound half of a Node: what a message handler needs to
+// answer its clients. Handlers running under an executor receive a run-scoped
+// Coalescer instead of the raw node, so acknowledgements produced while
+// draining one run of messages batch into one send per destination.
+type Sender interface {
+	Send(to types.ProcessID, kind string, payload []byte) error
+}
+
+// coalesced is one destination's pending traffic within a run: the first
+// payload is remembered as-is (the overwhelmingly common one-ack-per-run case
+// must stay identical to a direct send — no envelope, no copy), and a batch
+// is materialised only when a second payload shows up.
+type coalesced struct {
+	kind  string
+	first []byte
+	batch *wire.Batch
+}
+
+// Coalescer buffers outbound messages during one executor run and flushes
+// them as ONE send per destination: a bare payload when the run produced a
+// single message for that destination, a wire.Batch envelope otherwise. It is
+// owned by a single worker goroutine and is not safe for concurrent use.
+//
+// Ownership: payloads handed to Send pass to the Coalescer exactly as they
+// would to a Node (rule 1 — senders must not reuse them); batch buffers are
+// freshly allocated per flush and abandoned to the transport, so receivers
+// may alias them indefinitely.
+type Coalescer struct {
+	node Node
+
+	byDest map[types.ProcessID]*coalesced
+	order  []types.ProcessID
+}
+
+var _ Sender = (*Coalescer)(nil)
+
+// NewCoalescer returns an empty coalescer sending through the node.
+func NewCoalescer(node Node) *Coalescer {
+	return &Coalescer{node: node, byDest: make(map[types.ProcessID]*coalesced)}
+}
+
+// Send buffers one message for the destination and always reports success:
+// the only error the eventual flush can produce is "local node closed",
+// which handlers ignore on direct sends too (the executor is about to shut
+// down anyway), so the Coalescer swallows it at Flush rather than surfacing
+// it on an unrelated later call.
+func (c *Coalescer) Send(to types.ProcessID, kind string, payload []byte) error {
+	e, ok := c.byDest[to]
+	if !ok {
+		e = &coalesced{kind: kind, first: payload}
+		c.byDest[to] = e
+		c.order = append(c.order, to)
+		return nil
+	}
+	if e.batch == nil {
+		e.batch = wire.NewBatch(0)
+		c.appendPayload(e.batch, e.first)
+		e.first = nil
+		e.kind = wire.BatchKind
+	}
+	c.appendPayload(e.batch, payload)
+	return nil
+}
+
+// appendPayload adds one payload to a batch, flattening payloads that are
+// themselves envelopes (a handler may legitimately forward a batch).
+func (c *Coalescer) appendPayload(b *wire.Batch, payload []byte) {
+	if wire.IsBatch(payload) {
+		_ = b.Splice(payload)
+		return
+	}
+	b.Append(payload)
+}
+
+// SendMessage buffers one not-yet-encoded message for the destination. The
+// first message of a run is encoded standalone (a lone message must leave
+// exactly as a direct send would); every further message APPEND-ENCODES
+// straight into the destination's batch, skipping the intermediate payload
+// allocation — the server hot path under pipelined load. The message is
+// consumed before SendMessage returns (its fields may alias caller state,
+// per the codec's aliasing discipline).
+func (c *Coalescer) SendMessage(to types.ProcessID, m *wire.Message) error {
+	e, ok := c.byDest[to]
+	if !ok {
+		e = &coalesced{kind: m.Kind(), first: wire.MustEncode(m)}
+		c.byDest[to] = e
+		c.order = append(c.order, to)
+		return nil
+	}
+	if e.batch == nil {
+		e.batch = wire.NewBatch(0)
+		c.appendPayload(e.batch, e.first)
+		e.first = nil
+		e.kind = wire.BatchKind
+	}
+	return e.batch.AppendMessage(m)
+}
+
+// SendEncoded routes an acknowledgement through the coalescer's direct
+// append-encoding when the sender supports it, and through a plain
+// encode-then-Send otherwise. Handlers call it so they run unchanged under
+// RunCoalescing (batched) and Run / direct nodes (unbatched).
+func SendEncoded(out Sender, to types.ProcessID, m *wire.Message) error {
+	if c, ok := out.(*Coalescer); ok {
+		return c.SendMessage(to, m)
+	}
+	return out.Send(to, m.Kind(), wire.MustEncode(m))
+}
+
+// Flush sends every destination's pending traffic — one Send per destination,
+// in first-touch order — and resets the coalescer for the next run.
+func (c *Coalescer) Flush() {
+	for _, to := range c.order {
+		e := c.byDest[to]
+		if e.batch == nil {
+			_ = c.node.Send(to, e.kind, e.first)
+		} else {
+			_ = c.node.Send(to, wire.BatchKind, e.batch.Bytes())
+			// The buffer now belongs to the transport; never reuse it.
+			e.batch.Detach()
+		}
+		delete(c.byDest, to)
+	}
+	c.order = c.order[:0]
+}
+
+// Pending reports the number of destinations with unflushed traffic.
+func (c *Coalescer) Pending() int { return len(c.order) }

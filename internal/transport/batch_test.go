@@ -1,0 +1,374 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// encodedMsg builds a distinct encoded protocol message for batching tests.
+func encodedMsg(op wire.Op, key string, rc int64) []byte {
+	return wire.MustEncode(&wire.Message{Op: op, Key: key, RCounter: rc})
+}
+
+func TestExpandSingleAndBatch(t *testing.T) {
+	single := Message{From: types.Server(1), To: types.Reader(1), Kind: "readack", Payload: encodedMsg(wire.OpReadAck, "", 1)}
+	var got []Message
+	Expand(single, func(m Message) { got = append(got, m) })
+	if len(got) != 1 || &got[0].Payload[0] != &single.Payload[0] {
+		t.Fatalf("single message not passed through untouched: %v", got)
+	}
+
+	b := wire.NewBatch(0)
+	p1 := encodedMsg(wire.OpReadAck, "a", 1)
+	p2 := encodedMsg(wire.OpReadAck, "b", 2)
+	b.Append(p1)
+	b.Append(p2)
+	batched := Message{From: types.Server(2), To: types.Reader(1), Kind: wire.BatchKind, Payload: b.Bytes()}
+	got = nil
+	Expand(batched, func(m Message) { got = append(got, m) })
+	if len(got) != 2 {
+		t.Fatalf("batch expanded to %d messages, want 2", len(got))
+	}
+	for i, m := range got {
+		if m.From != batched.From || m.To != batched.To {
+			t.Errorf("sub-message %d lost its addressing: %v", i, m)
+		}
+	}
+	k1, _ := wire.PeekKey(got[0].Payload)
+	k2, _ := wire.PeekKey(got[1].Payload)
+	if k1 != "a" || k2 != "b" {
+		t.Errorf("sub-message order/content wrong: keys %q %q", k1, k2)
+	}
+
+	// A malformed envelope expands to nothing (dropped, like any
+	// undecodable payload).
+	bad := Message{Payload: []byte{0xB7, 9, 0, 0, 0}}
+	got = nil
+	Expand(bad, func(m Message) { got = append(got, m) })
+	if len(got) != 0 {
+		t.Errorf("malformed envelope yielded %d messages", len(got))
+	}
+}
+
+// recordingNode captures Sends for coalescer tests.
+type recordingNode struct {
+	mu    sync.Mutex
+	sends []Message
+}
+
+func (r *recordingNode) ID() types.ProcessID { return types.Server(1) }
+func (r *recordingNode) Send(to types.ProcessID, kind string, payload []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sends = append(r.sends, Message{To: to, Kind: kind, Payload: payload})
+	return nil
+}
+func (r *recordingNode) Inbox() <-chan Message { return nil }
+func (r *recordingNode) Close() error          { return nil }
+
+func TestCoalescerSingleMessagePassesThrough(t *testing.T) {
+	node := &recordingNode{}
+	co := NewCoalescer(node)
+	payload := encodedMsg(wire.OpReadAck, "", 7)
+	if err := co.Send(types.Reader(1), "readack", payload); err != nil {
+		t.Fatal(err)
+	}
+	co.Flush()
+	if len(node.sends) != 1 {
+		t.Fatalf("%d sends, want 1", len(node.sends))
+	}
+	s := node.sends[0]
+	// The lone message of a run must leave EXACTLY as a direct send would:
+	// same kind, same payload slice, no envelope.
+	if s.Kind != "readack" || wire.IsBatch(s.Payload) || &s.Payload[0] != &payload[0] {
+		t.Fatalf("single message was wrapped or copied: kind=%q batch=%v", s.Kind, wire.IsBatch(s.Payload))
+	}
+	if co.Pending() != 0 {
+		t.Fatalf("coalescer not reset after flush: %d pending", co.Pending())
+	}
+}
+
+func TestCoalescerBatchesPerDestination(t *testing.T) {
+	node := &recordingNode{}
+	co := NewCoalescer(node)
+	// Three messages to reader 1, one to reader 2, interleaved.
+	_ = co.Send(types.Reader(1), "readack", encodedMsg(wire.OpReadAck, "", 1))
+	_ = co.Send(types.Reader(2), "readack", encodedMsg(wire.OpReadAck, "", 9))
+	_ = co.Send(types.Reader(1), "readack", encodedMsg(wire.OpReadAck, "", 2))
+	_ = co.Send(types.Reader(1), "readack", encodedMsg(wire.OpReadAck, "", 3))
+	co.Flush()
+
+	if len(node.sends) != 2 {
+		t.Fatalf("%d sends, want 2 (one per destination)", len(node.sends))
+	}
+	// First-touch order: reader 1 first.
+	first, second := node.sends[0], node.sends[1]
+	if first.To != types.Reader(1) || second.To != types.Reader(2) {
+		t.Fatalf("destinations out of first-touch order: %v then %v", first.To, second.To)
+	}
+	if !wire.IsBatch(first.Payload) || first.Kind != wire.BatchKind {
+		t.Fatal("multi-message destination not batched")
+	}
+	var rcs []int64
+	_ = wire.ForEachInBatch(first.Payload, func(p []byte) error {
+		m, err := wire.Decode(p)
+		if err != nil {
+			return err
+		}
+		rcs = append(rcs, m.RCounter)
+		return nil
+	})
+	if len(rcs) != 3 || rcs[0] != 1 || rcs[1] != 2 || rcs[2] != 3 {
+		t.Fatalf("batched order wrong: %v", rcs)
+	}
+	if wire.IsBatch(second.Payload) {
+		t.Fatal("lone message to reader 2 was wrapped")
+	}
+
+	// A payload that is itself a batch splices flat.
+	inner := wire.NewBatch(0)
+	inner.Append(encodedMsg(wire.OpReadAck, "", 4))
+	inner.Append(encodedMsg(wire.OpReadAck, "", 5))
+	_ = co.Send(types.Reader(1), "readack", encodedMsg(wire.OpReadAck, "", 6))
+	_ = co.Send(types.Reader(1), wire.BatchKind, inner.Bytes())
+	co.Flush()
+	last := node.sends[len(node.sends)-1]
+	n, err := wire.BatchCount(last.Payload)
+	if err != nil || n != 3 {
+		t.Fatalf("splice produced count %d (%v), want 3 flat messages", n, err)
+	}
+}
+
+func TestExecutorRunCoalescingFlushesPerRun(t *testing.T) {
+	net := NewInMemNetwork()
+	t.Cleanup(func() { _ = net.Close() })
+	srvNode, err := net.Join(types.Server(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := net.Join(types.Reader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keyOf := func(m Message) ([]byte, bool) {
+		k, err := wire.PeekKeyView(m.Payload)
+		return k, err == nil
+	}
+	// Echo server: acks every request through the run-scoped sender.
+	exec := NewExecutor(srvNode, keyOf, 4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		exec.RunCoalescing(func(m Message, out Sender) {
+			req, err := wire.Decode(m.Payload)
+			if err != nil {
+				return
+			}
+			ack := &wire.Message{Op: wire.OpReadAck, Key: req.Key, RCounter: req.RCounter}
+			_ = out.Send(m.From, ack.Kind(), wire.MustEncode(ack))
+		})
+	}()
+
+	const msgs = 200
+	for i := 0; i < msgs; i++ {
+		// One key so every message lands on one worker and acks coalesce.
+		if err := client.Send(types.Server(1), "read", encodedMsg(wire.OpRead, "k", int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Collect all acks (client side expands batches like every consumer).
+	got := make(map[int64]bool)
+	timeout := time.After(10 * time.Second)
+	for len(got) < msgs {
+		select {
+		case m, ok := <-client.Inbox():
+			if !ok {
+				t.Fatal("client inbox closed early")
+			}
+			Expand(m, func(sub Message) {
+				ack, err := wire.Decode(sub.Payload)
+				if err != nil {
+					t.Errorf("undecodable ack: %v", err)
+					return
+				}
+				if got[ack.RCounter] {
+					t.Errorf("duplicate ack rc=%d", ack.RCounter)
+				}
+				got[ack.RCounter] = true
+			})
+		case <-timeout:
+			t.Fatalf("received %d of %d acks", len(got), msgs)
+		}
+	}
+	_ = srvNode.Close()
+	<-done
+}
+
+// TestInMemBatchingPumpCoalesces checks the WithBatching pump: a backlog of
+// same-sender messages drains as one batch delivery, per-link order intact,
+// while interleaved senders split groups.
+func TestInMemBatchingPumpCoalesces(t *testing.T) {
+	net := NewInMemNetwork(WithBatching())
+	t.Cleanup(func() { _ = net.Close() })
+	dst, err := net.Join(types.Reader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := net.Join(types.Server(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stuff a backlog while the consumer is not reading: the pump's first
+	// handoff blocks on the unread channel, so everything behind it piles up
+	// in the mailbox and the NEXT handoff must be a coalesced run.
+	const burst = 50
+	for i := 1; i <= burst; i++ {
+		if err := s1.Send(types.Reader(1), "m", encodedMsg(wire.OpReadAck, "", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var rcs []int64
+	deliveries := 0
+	deadline := time.After(10 * time.Second)
+	for len(rcs) < burst {
+		select {
+		case m, ok := <-dst.Inbox():
+			if !ok {
+				t.Fatal("inbox closed early")
+			}
+			deliveries++
+			Expand(m, func(sub Message) {
+				msg, err := wire.Decode(sub.Payload)
+				if err != nil {
+					t.Fatalf("undecodable delivery: %v", err)
+				}
+				rcs = append(rcs, msg.RCounter)
+			})
+		case <-deadline:
+			t.Fatalf("got %d of %d messages", len(rcs), burst)
+		}
+	}
+	for i, rc := range rcs {
+		if rc != int64(i+1) {
+			t.Fatalf("order broken at %d: got rc=%d", i, rc)
+		}
+	}
+	if deliveries >= burst {
+		t.Errorf("pump made %d deliveries for %d messages; backlog did not coalesce", deliveries, burst)
+	}
+}
+
+// TestInMemBatchingPreservesCrossSenderOrder: grouping is only ever of
+// CONSECUTIVE same-sender messages, so deliveries from different senders
+// keep their arrival interleaving.
+func TestInMemBatchingPreservesCrossSenderOrder(t *testing.T) {
+	net := NewInMemNetwork(WithBatching())
+	t.Cleanup(func() { _ = net.Close() })
+	dst, err := net.Join(types.Reader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	senders := make([]Node, 3)
+	for i := range senders {
+		n, err := net.Join(types.Server(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		senders[i] = n
+	}
+	// Strict alternation: s1,s2,s3,s1,s2,s3,... sent from one goroutine so
+	// arrival order is the send order.
+	const rounds = 30
+	for r := 0; r < rounds; r++ {
+		for i, s := range senders {
+			rc := int64(r*len(senders) + i + 1)
+			if err := s.Send(types.Reader(1), "m", encodedMsg(wire.OpReadAck, fmt.Sprintf("s%d", i+1), rc)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var rcs []int64
+	deadline := time.After(10 * time.Second)
+	for len(rcs) < rounds*len(senders) {
+		select {
+		case m, ok := <-dst.Inbox():
+			if !ok {
+				t.Fatal("inbox closed early")
+			}
+			Expand(m, func(sub Message) {
+				msg, err := wire.Decode(sub.Payload)
+				if err != nil {
+					t.Fatalf("undecodable delivery: %v", err)
+				}
+				rcs = append(rcs, msg.RCounter)
+			})
+		case <-deadline:
+			t.Fatalf("got %d of %d", len(rcs), rounds*len(senders))
+		}
+	}
+	for i, rc := range rcs {
+		if rc != int64(i+1) {
+			t.Fatalf("global arrival order broken at %d: got rc=%d", i, rc)
+		}
+	}
+}
+
+// TestDemuxRoutesBatchedAcksPerKey: a batch whose messages name DIFFERENT
+// registers must be split and routed each to its own key's route.
+func TestDemuxRoutesBatchedAcksPerKey(t *testing.T) {
+	net := NewInMemNetwork()
+	t.Cleanup(func() { _ = net.Close() })
+	client, err := net.Join(types.Reader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := net.Join(types.Server(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keyOf := func(m Message) ([]byte, bool) {
+		k, err := wire.PeekKeyView(m.Payload)
+		return k, err == nil
+	}
+	d := NewDemux(client, keyOf, 0)
+	t.Cleanup(func() { _ = d.Close() })
+	routeA := d.Route("a")
+	routeB := d.Route("b")
+
+	b := wire.NewBatch(0)
+	b.Append(encodedMsg(wire.OpReadAck, "a", 1))
+	b.Append(encodedMsg(wire.OpReadAck, "b", 2))
+	b.Append(encodedMsg(wire.OpReadAck, "a", 3))
+	if err := srv.Send(types.Reader(1), wire.BatchKind, b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	expect := func(route Node, wantRCs ...int64) {
+		t.Helper()
+		for _, want := range wantRCs {
+			select {
+			case m := <-route.Inbox():
+				msg, err := wire.Decode(m.Payload)
+				if err != nil {
+					t.Fatalf("undecodable routed message: %v", err)
+				}
+				if msg.RCounter != want {
+					t.Fatalf("route got rc=%d, want %d", msg.RCounter, want)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("route starved waiting for rc=%d", want)
+			}
+		}
+	}
+	expect(routeA, 1, 3)
+	expect(routeB, 2)
+}

@@ -7,10 +7,13 @@ import (
 	"fastread/internal/types"
 )
 
-// KeyFunc extracts the multiplexing key from a delivered message. Returning
-// ok=false drops the message (e.g. an undecodable payload); the demultiplexer
-// itself never inspects payloads.
-type KeyFunc func(Message) (key string, ok bool)
+// KeyFunc extracts the multiplexing key from a delivered message. The
+// returned bytes may ALIAS the message payload (consumers only ever hash
+// them or use them for map lookups, so routing stays allocation-free); a nil
+// key with ok=true is the empty key. Returning ok=false drops the message
+// (e.g. an undecodable payload); the demultiplexer itself never inspects
+// payloads.
+type KeyFunc func(Message) (key []byte, ok bool)
 
 // DefaultRouteBuffer is the capacity of the per-route delivery channel used
 // when NewDemux is given a non-positive one. The channel is only the handoff
@@ -87,18 +90,25 @@ func NewDemux(node Node, keyOf KeyFunc, buf int) *Demux {
 }
 
 // pump routes every delivered message to its key's route until the physical
-// node closes, then closes every route. The table lookup is lock-free; see
+// node closes, then closes every route. Batch envelopes are expanded first
+// (a server's coalesced acknowledgement burst may span registers, so each
+// carried message is routed by ITS key). The table lookup is lock-free; see
 // Demux.
 func (d *Demux) pump() {
 	defer close(d.done)
-	for msg := range d.node.Inbox() {
-		key, ok := d.keyOf(msg)
+	route := func(m Message) {
+		key, ok := d.keyOf(m)
 		if !ok {
-			continue
+			return
 		}
-		if rt := (*d.routes.Load())[key]; rt != nil {
-			rt.box.push(msg)
+		// map[string]-lookup on a byte key compiles to a zero-allocation
+		// access; the string is never materialised.
+		if rt := (*d.routes.Load())[string(key)]; rt != nil {
+			rt.box.push(m)
 		}
+	}
+	for msg := range d.node.Inbox() {
+		Expand(msg, route)
 	}
 	d.mu.Lock()
 	d.closed = true

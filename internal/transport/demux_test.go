@@ -11,13 +11,13 @@ import (
 
 // demuxKeyFunc routes by the payload's leading byte count prefix: payloads
 // are "key|rest" and the key is everything before the '|'.
-func demuxKeyFunc(m Message) (string, bool) {
+func demuxKeyFunc(m Message) ([]byte, bool) {
 	for i, b := range m.Payload {
 		if b == '|' {
-			return string(m.Payload[:i]), true
+			return m.Payload[:i], true
 		}
 	}
-	return "", false
+	return nil, false
 }
 
 func recvTimeout(t *testing.T, ch <-chan Message) Message {

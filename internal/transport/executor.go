@@ -27,6 +27,13 @@ import (
 //     unchanged: an ack may alias the key's stored state because no other
 //     worker ever mutates it.
 //
+// Batch envelopes (wire.Batch, produced by the transports' flush coalescing
+// and by clients pipelining over batched links) are expanded BEFORE dispatch,
+// so each carried message is routed by its own key — one envelope may fan out
+// across workers — and handlers only ever see single protocol messages.
+// Per-key FIFO survives expansion: a batch's messages are pushed in envelope
+// order, and envelope order is the sender's send order.
+//
 // Messages whose key cannot be extracted (keyOf reports ok=false, e.g. an
 // undecodable payload) are routed to worker 0 rather than dropped, so the
 // handler still observes them and can trace the drop itself — exactly what
@@ -36,7 +43,9 @@ import (
 // whole mailbox in one batched pop (mailbox.popAll, an O(1) slice swap under
 // the lock), then handles the batch lock-free. Under load this amortises the
 // mutex/condvar traffic of the old one-pop-per-message loop across the whole
-// run.
+// run. RunCoalescing exposes the same run boundary to the handler's OUTPUT: a
+// run-scoped Coalescer batches the run's acknowledgements into one send per
+// destination, flushed when the run ends.
 type Executor struct {
 	node    Node
 	keyOf   KeyFunc
@@ -46,7 +55,7 @@ type Executor struct {
 
 // NewExecutor builds an executor over the node with the given number of
 // key-shard workers (GOMAXPROCS if workers <= 0). It does not start any
-// goroutine; call Run.
+// goroutine; call Run or RunCoalescing.
 func NewExecutor(node Node, keyOf KeyFunc, workers int) *Executor {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -64,29 +73,64 @@ func (e *Executor) Workers() int { return len(e.workers) }
 // Run dispatches the node's inbox across the workers and blocks until the
 // node is closed AND every worker has drained its mailbox, so a caller that
 // closes the node and then waits for Run to return observes every delivered
-// message handled. Run must be called at most once.
+// message handled. At most one of Run / RunCoalescing may be called, once.
 //
 // With a single worker the dispatch hop would buy nothing, so Run degenerates
 // to the plain Serve loop: handler runs inline on the dispatcher goroutine,
 // with identical semantics and no added queueing.
+//
+// Handlers that reply through the node should prefer RunCoalescing, which
+// batches a run's replies into one send per destination.
 func (e *Executor) Run(handler func(Message)) {
 	if len(e.workers) == 1 {
 		Serve(e.node, handler)
 		return
 	}
+	e.dispatch(func(box *mailbox) { box.drain(handler) })
+}
+
+// RunCoalescing is Run with run-scoped output batching: the handler receives
+// a Sender alongside each message, and everything sent through it during one
+// RUN of messages (one batched mailbox pop — or, with a single worker, one
+// burst of the inbox channel) is flushed as one send per destination when the
+// run ends. An idle server handling a lone message flushes immediately after
+// it, so coalescing never delays a reply; under pipelined load a run of k
+// requests from one client costs ONE acknowledgement send instead of k.
+func (e *Executor) RunCoalescing(handler func(Message, Sender)) {
+	if len(e.workers) == 1 {
+		e.serveCoalescingInline(handler)
+		return
+	}
+	e.dispatch(func(box *mailbox) {
+		co := NewCoalescer(e.node)
+		box.drainRuns(func(m Message) { handler(m, co) }, co.Flush)
+	})
+}
+
+// dispatch owns the multi-worker topology shared by Run and RunCoalescing:
+// expand each delivered message, route by key hash into per-worker mailboxes,
+// and on inbox close drain every worker before returning.
+func (e *Executor) dispatch(work func(*mailbox)) {
 	e.wg.Add(len(e.workers))
 	for _, box := range e.workers {
-		go e.work(box, handler)
+		go func(b *mailbox) {
+			defer e.wg.Done()
+			work(b)
+		}(box)
 	}
 	n := uint64(len(e.workers))
-	for msg := range e.node.Inbox() {
+	route := func(m Message) {
 		w := uint64(0)
-		if key, ok := e.keyOf(msg); ok {
-			// shard.Hash is the same FNV-1a the servers' state maps stripe
-			// with, so worker sharding and state striping cannot diverge.
-			w = shard.Hash(key) % n
+		if key, ok := e.keyOf(m); ok {
+			// shard.HashBytes is the same FNV-1a the servers' state maps
+			// stripe with, so worker sharding and state striping cannot
+			// diverge.
+			w = shard.HashBytes(key) % n
 		}
-		e.workers[w].push(msg)
+		e.workers[w].push(m)
+	}
+	for msg := range e.node.Inbox() {
+		Expand(msg, route)
 	}
 	for _, box := range e.workers {
 		box.close()
@@ -94,9 +138,31 @@ func (e *Executor) Run(handler func(Message)) {
 	e.wg.Wait()
 }
 
-// work is one key-shard worker: drain the mailbox in batched runs, handling
-// each message in order (see mailbox.drain for the buffer recycling rules).
-func (e *Executor) work(box *mailbox, handler func(Message)) {
-	defer e.wg.Done()
-	box.drain(handler)
+// serveCoalescingInline is the single-worker RunCoalescing loop: handle
+// inline on the dispatcher goroutine (no dispatch hop, like Serve), with run
+// boundaries recovered opportunistically from the inbox channel — after a
+// blocking receive, drain whatever else is immediately available before
+// flushing. An uncontended inbox therefore flushes after every message
+// (reply latency identical to the direct path) while a burst flushes once.
+func (e *Executor) serveCoalescingInline(handler func(Message, Sender)) {
+	co := NewCoalescer(e.node)
+	handleOne := func(m Message) { handler(m, co) }
+	inbox := e.node.Inbox()
+	for msg := range inbox {
+		Expand(msg, handleOne)
+	burst:
+		for {
+			select {
+			case more, ok := <-inbox:
+				if !ok {
+					co.Flush()
+					return
+				}
+				Expand(more, handleOne)
+			default:
+				break burst
+			}
+		}
+		co.Flush()
+	}
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"strings"
@@ -15,13 +16,12 @@ import (
 
 // execKeyFunc routes by the payload prefix before '|' (payloads look like
 // "key|seq"), mirroring how the real servers route by the wire key.
-func execKeyFunc(m Message) (string, bool) {
-	s := string(m.Payload)
-	i := strings.IndexByte(s, '|')
+func execKeyFunc(m Message) ([]byte, bool) {
+	i := bytes.IndexByte(m.Payload, '|')
 	if i < 0 {
-		return "", false
+		return nil, false
 	}
-	return s[:i], true
+	return m.Payload[:i], true
 }
 
 // execSeq extracts the per-key sequence number from a "key|seq" payload,
@@ -106,7 +106,7 @@ func TestExecutorPerKeyFIFO(t *testing.T) {
 		exec.Run(func(m Message) {
 			key, _ := execKeyFunc(m)
 			mu.Lock()
-			seqs[key] = append(seqs[key], execSeq(m))
+			seqs[string(key)] = append(seqs[string(key)], execSeq(m))
 			mu.Unlock()
 		})
 	}()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fastread/internal/types"
+	"fastread/internal/wire"
 )
 
 // link identifies a directed sender→receiver channel.
@@ -53,6 +54,23 @@ func WithSeed(seed int64) InMemOption {
 // trace package.
 func WithMailboxObserver(fn func(Message)) InMemOption {
 	return func(n *InMemNetwork) { n.observer = fn }
+}
+
+// WithBatching makes every node's pump coalesce its queued backlog: when a
+// drain run contains CONSECUTIVE messages from the same sender, they are
+// delivered as one wire.Batch envelope — one channel handoff per run per
+// sender instead of one per message, the in-memory analogue of the TCP
+// transport's one-frame-per-peer-per-flush batching. An uncontended node
+// (runs of one) delivers exactly as without the option, so batching never
+// adds latency.
+//
+// Consumers of a batching network's inboxes must be batch-aware (Executor,
+// Demux, Serve and the protoutil collectors all are); raw inbox loops that
+// decode payloads directly would drop the envelopes as malformed. Observers
+// and link counters see the individual messages — coalescing happens after
+// delivery accounting, on the receiving node's own queue.
+func WithBatching() InMemOption {
+	return func(n *InMemNetwork) { n.batching = true }
 }
 
 // linkStripes is the number of stripes sharding the per-link counters. Links
@@ -112,7 +130,78 @@ type InMemNetwork struct {
 	jitter       time.Duration
 	rng          *rand.Rand
 	observer     func(Message)
+	batching     bool
 	wg           sync.WaitGroup
+
+	// Delayed deliveries are sequenced through one min-heap ordered by
+	// (due time, send sequence) and drained by a single dispatcher
+	// goroutine, so equal-delay messages — in particular all messages of one
+	// link — deliver in SEND order. The old one-timer-per-message scheme let
+	// the runtime fire near-simultaneous timers in either order, silently
+	// reordering a link under load; serial clients never noticed, pipelined
+	// clients starved on it. (Jitter deliberately varies due times, so it
+	// still reorders — that is its job.)
+	delayMu     sync.Mutex
+	delayHeap   delayHeap
+	delaySeq    uint64
+	delayClosed bool
+	delayKick   chan struct{}
+	delayStart  sync.Once
+}
+
+// delayedMsg is one in-flight delayed delivery.
+type delayedMsg struct {
+	dst *inMemNode
+	msg Message
+	at  time.Time
+	seq uint64
+}
+
+// delayHeap orders delayed deliveries by (due time, send sequence).
+type delayHeap []delayedMsg
+
+func (h delayHeap) before(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *delayHeap) push(m delayedMsg) {
+	*h = append(*h, m)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).before(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *delayHeap) pop() delayedMsg {
+	out := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	(*h)[last] = delayedMsg{}
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(*h) && (*h).before(l, smallest) {
+			smallest = l
+		}
+		if r < len(*h) && (*h).before(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return out
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
 }
 
 var _ Network = (*InMemNetwork)(nil)
@@ -125,6 +214,7 @@ func NewInMemNetwork(opts ...InMemOption) *InMemNetwork {
 		crashed:   make(map[types.ProcessID]bool),
 		linkDelay: make(map[link]time.Duration),
 		rng:       rand.New(rand.NewSource(1)),
+		delayKick: make(chan struct{}, 1),
 	}
 	empty := make(nodeMap)
 	n.nodes.Store(&empty)
@@ -209,6 +299,12 @@ func (n *InMemNetwork) Close() error {
 	nodes := *n.nodes.Load()
 	n.mu.Unlock()
 
+	// Wake the delay dispatcher (if any) so it observes the closure and
+	// drains instead of sleeping out its earliest due time.
+	select {
+	case n.delayKick <- struct{}{}:
+	default:
+	}
 	for _, node := range nodes {
 		_ = node.Close()
 	}
@@ -357,8 +453,9 @@ func (n *InMemNetwork) routeSlow(msg Message, l link) (*inMemNode, time.Duration
 
 // deliver hands the message to the destination mailbox, possibly after a
 // delay, without ever blocking the sender. Immediate deliveries complete
-// inline — no goroutine, no closure; only delayed deliveries are tracked by
-// the wait group so Close can drain them.
+// inline — no goroutine, no closure; delayed deliveries are sequenced
+// through the network's delay dispatcher (see delayHeap) so equal delays
+// keep send order, and tracked by the wait group so Close can drain them.
 func (n *InMemNetwork) deliver(dst *inMemNode, msg Message, delay time.Duration) {
 	if delay <= 0 {
 		if n.observer != nil {
@@ -369,14 +466,87 @@ func (n *InMemNetwork) deliver(dst *inMemNode, msg Message, delay time.Duration)
 		return
 	}
 	n.wg.Add(1)
-	time.AfterFunc(delay, func() {
-		if n.observer != nil {
-			n.observer(msg)
-		}
-		dst.box.push(msg)
+	n.delayStart.Do(func() {
+		n.wg.Add(1)
+		go n.dispatchDelayed()
+	})
+	n.delayMu.Lock()
+	if n.delayClosed {
+		// The dispatcher already drained and exited (a send racing Close):
+		// the message is dropped as in-transit-forever, accounted here.
+		n.delayMu.Unlock()
 		n.inTransit.Add(-1)
 		n.wg.Done()
-	})
+		return
+	}
+	n.delaySeq++
+	n.delayHeap.push(delayedMsg{dst: dst, msg: msg, at: time.Now().Add(delay), seq: n.delaySeq})
+	n.delayMu.Unlock()
+	select {
+	case n.delayKick <- struct{}{}:
+	default:
+	}
+}
+
+// dispatchDelayed is the delay dispatcher: it sleeps until the earliest due
+// delivery, then hands everything due over in (due, send-sequence) order. It
+// runs only on networks that actually delay, and exits when the network
+// closes (Close counts undelivered messages off the wait group).
+func (n *InMemNetwork) dispatchDelayed() {
+	defer n.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		n.delayMu.Lock()
+		now := time.Now()
+		for len(n.delayHeap) > 0 && !n.delayHeap[0].at.After(now) {
+			d := n.delayHeap.pop()
+			n.delayMu.Unlock()
+			if n.observer != nil {
+				n.observer(d.msg)
+			}
+			d.dst.box.push(d.msg)
+			n.inTransit.Add(-1)
+			n.wg.Done()
+			n.delayMu.Lock()
+		}
+		var wait time.Duration = time.Hour
+		if len(n.delayHeap) > 0 {
+			wait = time.Until(n.delayHeap[0].at)
+		}
+		n.delayMu.Unlock()
+
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			// Drop whatever is still pending: the network is gone, the
+			// messages are "in transit forever". delayClosed hands any
+			// send still racing this shutdown its own cleanup.
+			n.delayMu.Lock()
+			pending := len(n.delayHeap)
+			n.delayHeap = nil
+			n.delayClosed = true
+			n.delayMu.Unlock()
+			for i := 0; i < pending; i++ {
+				n.inTransit.Add(-1)
+				n.wg.Done()
+			}
+			return
+		}
+
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-timer.C:
+		case <-n.delayKick:
+		}
+	}
 }
 
 // inMemNode is a single process attachment.
@@ -385,6 +555,10 @@ type inMemNode struct {
 	net   *InMemNetwork
 	box   *mailbox
 	inbox chan Message
+
+	// run is the pump goroutine's private coalescing stage (batching
+	// networks only); see stage/flushRun.
+	run []Message
 
 	closed atomic.Bool
 	done   chan struct{}
@@ -395,14 +569,61 @@ var _ Node = (*inMemNode)(nil)
 // startPump launches the goroutine that moves messages from the unbounded
 // mailbox to the delivery channel. It drains the mailbox in batches (one
 // lock/condvar synchronisation per run of messages, not per message) and
-// forwards each message in order (see mailbox.drain).
+// forwards each message in order (see mailbox.drain). On a batching network
+// (WithBatching) consecutive same-sender messages of a run are coalesced
+// into one wire.Batch delivery.
 func (nd *inMemNode) startPump() {
 	nd.done = make(chan struct{})
 	go func() {
 		defer close(nd.done)
 		defer close(nd.inbox)
+		if nd.net.batching {
+			nd.box.drainRuns(func(m Message) { nd.stage(m) }, nd.flushRun)
+			return
+		}
 		nd.box.drain(func(m Message) { nd.inbox <- m })
 	}()
+}
+
+// stage buffers one drained message for the pump's run coalescer: messages
+// are flushed the moment the sender changes, so per-link FIFO and cross-link
+// arrival order are both preserved exactly.
+func (nd *inMemNode) stage(m Message) {
+	if len(nd.run) > 0 && nd.run[0].From != m.From {
+		nd.flushRun()
+	}
+	nd.run = append(nd.run, m)
+}
+
+// flushRun delivers the staged group: a single message passes through
+// untouched (and unallocated); two or more coalesce into one batch envelope.
+// Payloads that already are envelopes (a peer server's coalesced acks) are
+// spliced flat rather than nested.
+func (nd *inMemNode) flushRun() {
+	switch len(nd.run) {
+	case 0:
+		return
+	case 1:
+		nd.inbox <- nd.run[0]
+	default:
+		b := wire.NewBatch(0)
+		for _, m := range nd.run {
+			if wire.IsBatch(m.Payload) {
+				_ = b.Splice(m.Payload)
+			} else {
+				b.Append(m.Payload)
+			}
+		}
+		nd.inbox <- Message{From: nd.run[0].From, To: nd.id, Kind: wire.BatchKind, Payload: b.Bytes()}
+	}
+	for i := range nd.run {
+		nd.run[i] = Message{}
+	}
+	if cap(nd.run) > maxRetainedBatch {
+		nd.run = nil
+		return
+	}
+	nd.run = nd.run[:0]
 }
 
 // ID implements Node.

@@ -118,6 +118,28 @@ func (m *mailbox) drain(deliver func(Message)) {
 	}
 }
 
+// drainRuns is drain with a run boundary: after every batched pop's messages
+// have been delivered, runEnd is invoked once before the next blocking pop.
+// Executor workers use it to flush their run-scoped ack coalescer.
+func (m *mailbox) drainRuns(deliver func(Message), runEnd func()) {
+	var buf []Message
+	for {
+		batch, ok := m.popAll(buf)
+		if !ok {
+			return
+		}
+		for i := range batch {
+			deliver(batch[i])
+			batch[i] = Message{}
+		}
+		runEnd()
+		buf = batch
+		if cap(buf) > maxRetainedBatch {
+			buf = nil
+		}
+	}
+}
+
 // close marks the mailbox closed. Messages already queued are still
 // delivered; subsequent pushes are dropped.
 func (m *mailbox) close() {

@@ -13,14 +13,17 @@
 // replies, so this maps onto the paper's asynchronous model).
 //
 // Writes to one peer go through a dedicated per-peer writer: senders append
-// complete frames into a pending buffer under the peer's lock (which also
-// makes concurrent Sends to the same peer safe — partial writes can never
-// interleave on the stream) and a flusher goroutine swaps the buffer out and
-// writes it to the socket with the lock released. Under concurrent load many
-// frames coalesce into one syscall; an idle connection is flushed
-// immediately, so batching never adds latency; a slow socket never stalls
-// senders (a stalled peer's queue is bounded, overflow is dropped and
-// counted).
+// messages into a pending wire.Batch under the peer's lock (which also makes
+// concurrent Sends to the same peer safe — partial writes can never
+// interleave on the stream) and a flusher goroutine swaps the batch out and
+// writes it to the socket as ONE frame with the lock released. Under
+// concurrent load many messages coalesce into one frame and one syscall; an
+// idle connection is flushed immediately, so batching never adds latency; a
+// slow socket never stalls senders (a stalled peer's queue is bounded,
+// overflow is dropped and counted). The receiving side expands batch frames
+// back into individual messages before they reach the inbox, so consumers
+// are oblivious; NodeStats counts both frames and messages, which is what
+// makes the frames-per-operation amortisation measurable.
 package tcpnet
 
 import (
@@ -36,6 +39,7 @@ import (
 
 	"fastread/internal/transport"
 	"fastread/internal/types"
+	"fastread/internal/wire"
 )
 
 // AddressBook maps process identities to their "host:port" addresses.
@@ -83,6 +87,11 @@ var (
 // maxFrameSize bounds incoming frames to protect against corrupt peers.
 const maxFrameSize = 4 << 20
 
+// maxPayloadSize bounds a single outbound payload so that even a payload
+// framed alone (solo batch entry + envelope + frame header) stays inside the
+// receiver's maxFrameSize guard.
+const maxPayloadSize = maxFrameSize - 64
+
 // writeBufferSize is the per-peer coalescing buffer. Protocol messages are
 // small (tens to hundreds of bytes), so 64 KiB batches hundreds of frames
 // per syscall under load.
@@ -94,9 +103,16 @@ const writeBufferSize = 64 << 10
 // unreachable or broken peer — are first-class counters here; cmd/regserver
 // logs them on shutdown.
 type NodeStats struct {
-	// Delivered counts frames decoded and handed to the inbox.
+	// Delivered counts protocol messages decoded and handed to the inbox. A
+	// batch frame contributes one count per message it carries.
 	Delivered int64
-	// DroppedInbound counts frames discarded because the inbox was full.
+	// Frames counts wire frames read off sockets. Under pipelined load the
+	// per-peer flusher packs many messages into one frame, so Frames ≪
+	// Delivered; frames-per-operation (Frames summed over a deployment's
+	// nodes, divided by completed operations) is the batching efficiency
+	// metric BENCH_5 reports.
+	Frames int64
+	// DroppedInbound counts messages discarded because the inbox was full.
 	DroppedInbound int64
 	// DroppedSend counts outbound messages discarded because the peer was
 	// unreachable, the connection broke mid-write, or the frame was
@@ -127,6 +143,7 @@ type Node struct {
 	closed         bool
 
 	delivered      atomic.Int64
+	frames         atomic.Int64
 	droppedInbound atomic.Int64
 	droppedSend    atomic.Int64
 
@@ -191,6 +208,7 @@ func (n *Node) Inbox() <-chan transport.Message { return n.box }
 func (n *Node) Stats() NodeStats {
 	return NodeStats{
 		Delivered:      n.delivered.Load(),
+		Frames:         n.frames.Load(),
 		DroppedInbound: n.droppedInbound.Load(),
 		DroppedSend:    n.droppedSend.Load(),
 	}
@@ -214,7 +232,7 @@ func (n *Node) Send(to types.ProcessID, kind string, payload []byte) error {
 	}
 	n.mu.Unlock()
 
-	if len(payload) > maxFrameSize {
+	if len(payload) > maxPayloadSize {
 		n.droppedSend.Add(1)
 		return fmt.Errorf("tcpnet: payload too large (%d bytes)", len(payload))
 	}
@@ -418,7 +436,7 @@ func (n *Node) refreshPeer(from types.ProcessID, force bool, only *peer) *peer {
 		return nil
 	}
 	p.mu.Lock()
-	evict := p.err == nil && (force || (len(p.pending) == 0 && p.inFlightBytes == 0))
+	evict := p.err == nil && (force || (p.pendingMsgs == 0 && p.inFlightBytes == 0))
 	if evict {
 		p.err = errPeerRefreshed
 	}
@@ -456,13 +474,25 @@ func (n *Node) dropPeer(to types.ProcessID, p *peer) {
 
 // maxPendingBytes bounds a peer's unflushed write queue. Senders never block
 // on the socket, so a stalled peer would otherwise buffer without bound; once
-// the cap is hit, new frames are dropped whole (and counted) — "still in
+// the cap is hit, new messages are dropped whole (and counted) — "still in
 // transit" from the protocols' point of view, exactly like a lossy link.
 const maxPendingBytes = 8 << 20
 
-// errPendingFull reports a frame dropped because the peer's write queue is at
-// its cap. The peer itself is healthy; only this frame is lost.
+// errPendingFull reports a message dropped because the peer's write queue is
+// at its cap. The peer itself is healthy; only this message is lost.
 var errPendingFull = errors.New("tcpnet: peer write queue full")
+
+// batchFrameHeaderSize is the byte length of a batch frame's header: uint32
+// total + byte role + uint32 index + uint16 kindLen + len("batch") + uint32
+// payloadLen. Each pending wire.Batch reserves exactly this prefix so a
+// flush writes header+envelope as one contiguous slice with no copy.
+const batchFrameHeaderSize = 4 + 1 + 4 + 2 + len(wire.BatchKind) + 4
+
+// maxBatchPayload caps one batch frame's envelope: a burst larger than this
+// leaves as several frames, so a coalesced frame always stays comfortably
+// inside the receiver's maxFrameSize guard no matter how much queued while
+// the socket was busy.
+const maxBatchPayload = 1 << 20
 
 // peer is one outbound connection with its coalescing writer.
 type peer struct {
@@ -471,75 +501,92 @@ type peer struct {
 	conn net.Conn
 
 	mu            sync.Mutex
-	pending       []byte // complete frames awaiting the flusher
-	pendingFrames int    // frame count in pending (for drop accounting)
-	inFlightBytes int    // size of the buffer the flusher is writing
-	spare         []byte // flusher's swap buffer (double-buffering)
-	err           error  // sticky write error; once set the peer is dead
+	queue         []*wire.Batch // frames-to-be awaiting the flusher, in order
+	pendingBytes  int           // total encoded bytes across queue
+	pendingMsgs   int           // total messages across queue (drop accounting)
+	inFlightBytes int           // size of the buffer the flusher is writing
+	spare         *wire.Batch   // flusher's recycled batch (double-buffering)
+	err           error         // sticky write error; once set the peer is dead
 
 	kick      chan struct{} // capacity 1: "bytes are buffered, please flush"
 	done      chan struct{}
 	closeOnce sync.Once
 }
 
-// failPending marks the peer dead (if err is non-nil) and counts every frame
-// still queued — and, via extraFrames, any frames lost inside a failed
-// socket write — as send drops, so frames accepted into the queue but never
-// delivered stay visible to operators.
-func (p *peer) failPending(err error, extraFrames int) {
+// failPending marks the peer dead (if err is non-nil) and counts every
+// message still queued — and, via extraMsgs, any messages lost inside a
+// failed socket write — as send drops, so messages accepted into the queue
+// but never delivered stay visible to operators.
+func (p *peer) failPending(err error, extraMsgs int) {
 	p.mu.Lock()
 	if err != nil && p.err == nil {
 		p.err = err
 	}
-	dropped := p.pendingFrames + extraFrames
-	p.pendingFrames = 0
-	p.pending = nil
+	dropped := p.pendingMsgs + extraMsgs
+	p.pendingMsgs = 0
+	p.pendingBytes = 0
+	p.queue = nil
 	p.mu.Unlock()
 	if dropped > 0 {
 		p.node.droppedSend.Add(int64(dropped))
 	}
 }
 
-// writeFrame appends one complete frame to the peer's pending buffer and
-// wakes the flusher. The frame layout is:
-//
-//	uint32  total length of the remainder
-//	byte    sender role
-//	uint32  sender index
-//	uint16  kind length, kind bytes
-//	uint32  payload length, payload bytes
-//
-// The header is assembled in a stack buffer and the payload copied once into
-// the pending buffer — no intermediate frame slice. Appending the whole
-// frame under p.mu is what guarantees frames from concurrent senders never
-// interleave; the lock is never held across a syscall (see flushLoop), so a
-// slow socket never stalls senders.
+// writeFrame appends one message to the peer's tail batch and wakes the
+// flusher. All messages batched together leave as ONE frame whose payload is
+// a wire.Batch envelope (the receiver expands it); a payload that is already
+// an envelope — a server's coalesced acknowledgement run — is spliced flat
+// rather than nested, and a batch that would outgrow maxBatchPayload is
+// sealed so the burst continues in the next frame. Appending under p.mu is
+// what guarantees messages from concurrent senders never interleave; the
+// lock is never held across a syscall (see flushLoop), so a slow socket
+// never stalls senders.
 func (p *peer) writeFrame(from types.ProcessID, kind string, payload []byte) error {
-	var hdr [15]byte // uint32 total + byte role + uint32 index + uint16 kindLen + uint32 payloadLen
-	total := 1 + 4 + 2 + len(kind) + 4 + len(payload)
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(total))
-	hdr[4] = byte(from.Role)
-	binary.BigEndian.PutUint32(hdr[5:9], uint32(from.Index))
-	binary.BigEndian.PutUint16(hdr[9:11], uint16(len(kind)))
-	binary.BigEndian.PutUint32(hdr[11:15], uint32(len(payload)))
-
 	p.mu.Lock()
 	if p.err != nil {
 		err := p.err
 		p.mu.Unlock()
 		return err
 	}
-	// The cap covers queued and in-flight bytes plus this frame, so a
-	// stalled peer holds at most maxPendingBytes — not double.
-	if len(p.pending)+p.inFlightBytes+4+total > maxPendingBytes {
+	// The cap covers queued and in-flight bytes plus this message (with its
+	// 4-byte entry prefix), so a stalled peer holds at most maxPendingBytes —
+	// not double.
+	if p.pendingBytes+p.inFlightBytes+4+len(payload) > maxPendingBytes {
 		p.mu.Unlock()
 		return errPendingFull
 	}
-	p.pending = append(p.pending, hdr[0:11]...)
-	p.pending = append(p.pending, kind...)
-	p.pending = append(p.pending, hdr[11:15]...)
-	p.pending = append(p.pending, payload...)
-	p.pendingFrames++
+	// Validate envelope payloads BEFORE touching the queue: a failed Splice
+	// after appending a fresh tail would leave an empty batch for the
+	// flusher.
+	spliceable := wire.IsBatch(payload)
+	if spliceable {
+		if _, err := wire.BatchCount(payload); err != nil {
+			p.mu.Unlock()
+			return err
+		}
+	}
+	var tail *wire.Batch
+	if n := len(p.queue); n > 0 && p.queue[n-1].Size()+4+len(payload) <= maxBatchPayload {
+		tail = p.queue[n-1]
+	} else {
+		if p.spare != nil {
+			tail, p.spare = p.spare, nil
+		} else {
+			tail = wire.NewBatch(batchFrameHeaderSize)
+		}
+		p.queue = append(p.queue, tail)
+	}
+	sizeBefore, countBefore := tail.Size(), tail.Count()
+	if spliceable {
+		if err := tail.Splice(payload); err != nil {
+			p.mu.Unlock()
+			return err
+		}
+	} else {
+		tail.Append(payload)
+	}
+	p.pendingBytes += tail.Size() - sizeBefore
+	p.pendingMsgs += tail.Count() - countBefore
 	p.mu.Unlock()
 	// Wake the flusher; if a kick is already pending it will cover these
 	// bytes too.
@@ -550,12 +597,27 @@ func (p *peer) writeFrame(from types.ProcessID, kind string, payload []byte) err
 	return nil
 }
 
-// flushLoop pushes buffered frames to the socket. Each wakeup swaps the
-// pending buffer out under the lock and writes it with the lock RELEASED —
-// that is the batching: while the write syscall is in flight, concurrent
-// senders keep appending frames to the fresh buffer, and the next wakeup
-// writes them all at once. An idle connection flushes immediately after its
-// lone frame, so coalescing never delays delivery.
+// frameBytes patches the frame header into the batch's reserved prefix and
+// returns the complete frame (header + envelope) ready for one Write call.
+func frameBytes(b *wire.Batch, from types.ProcessID) []byte {
+	buf := b.PrefixedBytes()
+	envLen := len(buf) - batchFrameHeaderSize
+	total := 1 + 4 + 2 + len(wire.BatchKind) + 4 + envLen
+	binary.BigEndian.PutUint32(buf[0:4], uint32(total))
+	buf[4] = byte(from.Role)
+	binary.BigEndian.PutUint32(buf[5:9], uint32(from.Index))
+	binary.BigEndian.PutUint16(buf[9:11], uint16(len(wire.BatchKind)))
+	copy(buf[11:], wire.BatchKind)
+	binary.BigEndian.PutUint32(buf[11+len(wire.BatchKind):], uint32(envLen))
+	return buf
+}
+
+// flushLoop pushes buffered messages to the socket. Each wakeup swaps the
+// pending batch out under the lock and writes it as ONE frame with the lock
+// RELEASED — that is the batching: while the write syscall is in flight,
+// concurrent senders keep appending messages to the fresh batch, and the
+// next wakeup writes them all in the next frame. An idle connection flushes
+// immediately after its lone message, so coalescing never delays delivery.
 func (p *peer) flushLoop() {
 	defer p.node.wg.Done()
 	for {
@@ -565,7 +627,7 @@ func (p *peer) flushLoop() {
 		case <-p.kick:
 			for {
 				p.mu.Lock()
-				if p.err != nil || len(p.pending) == 0 {
+				if p.err != nil || len(p.queue) == 0 {
 					broken := p.err != nil
 					p.mu.Unlock()
 					if broken {
@@ -574,12 +636,22 @@ func (p *peer) flushLoop() {
 					}
 					break
 				}
-				buf := p.pending
-				frames := p.pendingFrames
-				p.pending = p.spare[:0]
-				p.pendingFrames = 0
+				batch := p.queue[0]
+				p.queue = p.queue[1:]
+				if len(p.queue) == 0 {
+					p.queue = nil
+				}
+				if batch.Count() == 0 {
+					// Defensive: an empty batch has no frame to write (and
+					// PrefixedBytes is nil); nothing can enqueue one today,
+					// but a panic in the flusher kills the peer.
+					continue
+				}
+				msgs := batch.Count()
+				buf := frameBytes(batch, p.node.cfg.Self)
+				p.pendingBytes -= batch.Size()
+				p.pendingMsgs -= msgs
 				p.inFlightBytes = len(buf)
-				p.spare = nil
 				p.mu.Unlock()
 
 				_ = p.conn.SetWriteDeadline(time.Now().Add(p.node.cfg.WriteTimeout))
@@ -587,10 +659,13 @@ func (p *peer) flushLoop() {
 
 				p.mu.Lock()
 				p.inFlightBytes = 0
-				// Keep the buffer for reuse, but let a burst-sized high-water
-				// array go instead of pinning it for the peer's lifetime.
-				if cap(buf) <= writeBufferSize {
-					p.spare = buf[:0]
+				// Keep the batch for reuse — the socket consumed its bytes, so
+				// unlike payloads handed to a receiver it is safely recyclable —
+				// but let a burst-sized high-water buffer go instead of pinning
+				// it for the peer's lifetime.
+				if p.spare == nil && cap(buf) <= writeBufferSize {
+					batch.Reset()
+					p.spare = batch
 				}
 				if werr != nil {
 					p.err = werr
@@ -598,10 +673,10 @@ func (p *peer) flushLoop() {
 				broken := p.err != nil
 				p.mu.Unlock()
 				if broken {
-					// The failed write's frames (delivery unknown, assume
+					// The failed write's messages (delivery unknown, assume
 					// lost) plus everything still queued are gone; count
 					// them before tearing the peer down.
-					p.failPending(werr, frames)
+					p.failPending(werr, msgs)
 					p.node.dropPeer(p.to, p)
 					return
 				}
@@ -667,6 +742,7 @@ func (n *Node) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		n.frames.Add(1)
 		if !announced {
 			// The first frame names the connection's sender; record it so a
 			// reconnect or restart of that peer can evict our stale cached
@@ -675,23 +751,40 @@ func (n *Node) readLoop(conn net.Conn) {
 			sender = from
 			n.noteInboundSender(from)
 		}
-		msg := transport.Message{From: from, To: n.cfg.Self, Kind: kind, Payload: payload}
 		n.mu.Lock()
 		closed := n.closed
 		n.mu.Unlock()
 		if closed {
 			return
 		}
-		select {
-		case n.box <- msg:
-			n.delivered.Add(1)
-		default:
-			// The mailbox is full; drop the message. The protocols tolerate
-			// message loss of this kind because they never wait for more
-			// than S−t replies, and clients retransmit by retrying the
-			// operation. The drop is counted so operators can see it.
-			n.droppedInbound.Add(1)
+		// A batch frame (the flusher's coalesced output) is expanded here, so
+		// inbox consumers see exactly the per-message stream they always did;
+		// the sub-payloads alias the frame's payload buffer, which is freshly
+		// allocated per frame and therefore safe to retain. Frames written by
+		// older tools or tests with a non-batch kind pass through unchanged.
+		if kind == wire.BatchKind && wire.IsBatch(payload) {
+			_ = wire.ForEachInBatch(payload, func(sub []byte) error {
+				n.deliverInbound(transport.Message{From: from, To: n.cfg.Self, Kind: kind, Payload: sub})
+				return nil
+			})
+			continue
 		}
+		n.deliverInbound(transport.Message{From: from, To: n.cfg.Self, Kind: kind, Payload: payload})
+	}
+}
+
+// deliverInbound hands one decoded message to the inbox, counting it either
+// way.
+func (n *Node) deliverInbound(msg transport.Message) {
+	select {
+	case n.box <- msg:
+		n.delivered.Add(1)
+	default:
+		// The mailbox is full; drop the message. The protocols tolerate
+		// message loss of this kind because they never wait for more than
+		// S−t replies, and clients retransmit by retrying the operation.
+		// The drop is counted so operators can see it.
+		n.droppedInbound.Add(1)
 	}
 }
 

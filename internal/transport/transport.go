@@ -74,13 +74,15 @@ var (
 	ErrUnknownProcess = errors.New("transport: unknown process")
 )
 
-// Serve invokes handler for every message delivered to node, in delivery
-// order on a single goroutine, until the node is closed. It returns after
-// the inbox is drained. It is the degenerate (one-worker) case of Executor
-// and remains the right tool for client-side helpers and tests; the protocol
-// servers run on a key-sharded Executor instead.
+// Serve invokes handler for every protocol message delivered to node, in
+// delivery order on a single goroutine, until the node is closed. Batch
+// envelopes are expanded (see Expand), so the handler only ever sees single
+// messages. It returns after the inbox is drained. It is the degenerate
+// (one-worker) case of Executor and remains the right tool for client-side
+// helpers and tests; the protocol servers run on a key-sharded Executor
+// instead.
 func Serve(node Node, handler func(Message)) {
 	for msg := range node.Inbox() {
-		handler(msg)
+		Expand(msg, handler)
 	}
 }

@@ -148,10 +148,12 @@ func decodeMessage(m *Message, data []byte, alias bool) error {
 		return err
 	}
 	seen := m.Seen[:0]
+	keyMemo := m.keyMemo
 	if !alias {
 		seen = nil
+		keyMemo = ""
 	}
-	*m = Message{Op: Op(opByte)}
+	*m = Message{Op: Op(opByte), keyMemo: keyMemo}
 
 	keyLen, err := d.uvarint()
 	if err != nil {
@@ -165,7 +167,16 @@ func decodeMessage(m *Message, data []byte, alias bool) error {
 		if err != nil {
 			return err
 		}
-		m.Key = string(keyBytes)
+		// The comparison against the memo compiles without materialising a
+		// string; only a key CHANGE allocates (see Message.keyMemo).
+		if alias && string(keyBytes) == m.keyMemo {
+			m.Key = m.keyMemo
+		} else {
+			m.Key = string(keyBytes)
+			if alias {
+				m.keyMemo = m.Key
+			}
+		}
 	}
 
 	ts, err := d.uint64()
@@ -362,32 +373,42 @@ func (d *decoder) value() (types.Value, error) {
 }
 
 // PeekKey extracts the register key from an encoded message without decoding
-// the rest of the envelope. The transport demultiplexer calls it once per
-// delivered message, so it reads exactly the version byte, the op byte and
-// the key and touches nothing else.
+// the rest of the envelope.
 func PeekKey(data []byte) (string, error) {
+	kb, err := PeekKeyView(data)
+	if err != nil {
+		return "", err
+	}
+	return string(kb), nil
+}
+
+// PeekKeyView is PeekKey without the string materialisation: the returned
+// bytes ALIAS data, which rule 1 of the ownership discipline keeps immutable
+// for as long as the view could be used. The transport demultiplexer and the
+// executor's key-shard dispatcher call it once per delivered message — their
+// map lookups and hashes consume the bytes directly, so routing a message
+// allocates nothing. It reads exactly the version byte, the op byte and the
+// key and touches nothing else. A nil view with a nil error is the empty
+// (default-register) key.
+func PeekKeyView(data []byte) ([]byte, error) {
 	if len(data) < 2 {
-		return "", fmt.Errorf("%w: truncated", ErrMalformed)
+		return nil, fmt.Errorf("%w: truncated", ErrMalformed)
 	}
 	if data[0] != formatVersion {
-		return "", fmt.Errorf("%w: %d", ErrVersion, data[0])
+		return nil, fmt.Errorf("%w: %d", ErrVersion, data[0])
 	}
-	d := decoder{buf: data, off: 2}
+	d := decoder{buf: data, off: 2, alias: true}
 	keyLen, err := d.uvarint()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	if keyLen > MaxKeySize {
-		return "", fmt.Errorf("%w: key too long (%d)", ErrMalformed, keyLen)
+		return nil, fmt.Errorf("%w: key too long (%d)", ErrMalformed, keyLen)
 	}
 	if keyLen == 0 {
-		return "", nil
+		return nil, nil
 	}
-	keyBytes, err := d.bytes(int(keyLen))
-	if err != nil {
-		return "", err
-	}
-	return string(keyBytes), nil
+	return d.bytes(int(keyLen))
 }
 
 // KeyedSignedBytes returns the canonical byte string the writer signs for the

@@ -62,6 +62,68 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzDecodeBatch asserts that batch iteration never panics on arbitrary
+// input, that every view it yields stays inside the input buffer, and that a
+// round trip through the builder reproduces the views byte for byte. Seeds
+// cover the codec corpus packed into batches plus hostile envelopes:
+// truncated counts, overlapping/overrunning length prefixes and zero-message
+// batches.
+func FuzzDecodeBatch(f *testing.F) {
+	// Well-formed batches built from the codec corpus: singletons and the
+	// whole corpus in one envelope.
+	whole := NewBatch(0)
+	for _, s := range fuzzSeeds() {
+		one := NewBatch(0)
+		one.Append(s)
+		f.Add(one.Bytes())
+		whole.Append(s)
+	}
+	f.Add(whole.Bytes())
+	// Hostile envelopes.
+	f.Add([]byte{batchMarker})                              // truncated header
+	f.Add([]byte{batchMarker, 0, 0, 0, 0})                  // zero messages
+	f.Add([]byte{batchMarker, 0, 0, 0, 0, 1})               // zero messages + trailing
+	f.Add([]byte{batchMarker, 2, 0, 0, 0, 1, 0, 0, 0, 'x'}) // count claims more than present
+	f.Add([]byte{batchMarker, 1, 0, 0, 0, 0xFF, 0, 0, 0})   // entry length overruns
+	f.Add([]byte{batchMarker, 0xFF, 0xFF, 0xFF, 0xFF})      // absurd count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var views [][]byte
+		err := ForEachInBatch(data, func(p []byte) error {
+			views = append(views, p)
+			return nil
+		})
+		if err != nil {
+			return
+		}
+		count, countErr := BatchCount(data)
+		if countErr != nil || count != len(views) {
+			t.Fatalf("BatchCount = %d (%v), iteration yielded %d", count, countErr, len(views))
+		}
+		// Rebuild and re-iterate: the envelope must round-trip.
+		rebuilt := NewBatch(0)
+		for _, v := range views {
+			rebuilt.Append(v)
+		}
+		var again [][]byte
+		if len(views) > 0 {
+			if err := ForEachInBatch(rebuilt.Bytes(), func(p []byte) error {
+				again = append(again, p)
+				return nil
+			}); err != nil {
+				t.Fatalf("rebuilt batch failed to decode: %v", err)
+			}
+		}
+		if len(again) != len(views) {
+			t.Fatalf("round trip yielded %d messages, want %d", len(again), len(views))
+		}
+		for i := range views {
+			if !bytes.Equal(again[i], views[i]) {
+				t.Fatalf("message %d differs after batch round trip", i)
+			}
+		}
+	})
+}
+
 // FuzzPeekKey asserts that PeekKey never panics and, whenever the full
 // decode succeeds, extracts exactly the key Decode sees (the transport demux
 // routes by PeekKey, so a disagreement would misroute messages).

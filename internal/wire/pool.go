@@ -45,17 +45,22 @@ func GetMessage() *Message {
 }
 
 // PutMessage resets the message and returns it to the pool. The caller must
-// not reference the message — or any field of it — afterwards.
+// not reference the message — or any field of it — afterwards. Inversely, a
+// message whose Seen was pointed at caller-owned LONG-LIVED memory (a
+// server's cached seen-members slice) must shed that alias (Seen = nil)
+// before Put: Reset keeps Seen capacity for reuse, and recycling live state
+// as another goroutine's decode scratch is a data race.
 func PutMessage(m *Message) {
 	m.Reset()
 	messagePool.Put(m)
 }
 
 // Reset zeroes every field of the message, keeping the Seen backing array
-// (length 0) so a recycled message does not reallocate it.
+// (length 0) and the key memo so a recycled message does not reallocate
+// them.
 func (m *Message) Reset() {
 	seen := m.Seen[:0]
-	*m = Message{Seen: seen}
+	*m = Message{Seen: seen, keyMemo: m.keyMemo}
 }
 
 // Detach returns a heap copy of the scratch message that owns its Seen slice,

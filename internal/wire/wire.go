@@ -152,6 +152,14 @@ type Message struct {
 	// in different roles (unused by the paper's algorithms; reserved for the
 	// baselines).
 	Phase int32
+
+	// keyMemo caches the most recent non-empty Key this message decoded
+	// (alias mode only): almost all of a scratch message's traffic names the
+	// same register back to back, so re-materialising the key string per
+	// message would be the hot path's dominant allocation. Strings are
+	// immutable, so sharing the memo through Detach/Clone copies is safe;
+	// Reset and DecodeInto preserve it across reuse.
+	keyMemo string
 }
 
 // Kind returns the transport-level message kind string for this message.

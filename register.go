@@ -83,6 +83,22 @@ type Config struct {
 	// rewrites zero to 1 (a lone register's traffic all hashes to one shard;
 	// pass a negative value there to force GOMAXPROCS workers).
 	ServerWorkers int
+	// PipelineDepth bounds the operations ONE handle keeps in flight through
+	// the async API (Writer.WriteAsync / Reader.ReadAsync): a submission
+	// beyond the depth blocks until an in-flight operation completes. Zero
+	// or negative selects the default (16); values above 512 are clamped —
+	// servers bound their per-client bookkeeping assuming live operations
+	// span a limited nonce window. Serial Read/Write are the depth-one case
+	// and are unaffected by the setting.
+	PipelineDepth int
+	// DisableBatching turns off the in-memory transport's delivery batching
+	// (the node pumps' coalescing of consecutive same-sender messages into
+	// one wire.Batch handoff). Batching is on by default and is purely a
+	// throughput optimisation — per-link FIFO order and delivery accounting
+	// are identical either way; the switch exists for A/B measurement. The
+	// TCP backend's frame batching and the servers' per-run acknowledgement
+	// coalescing are always on. In-memory backend only.
+	DisableBatching bool
 	// NetworkDelay, when non-zero, adds a uniform one-way delivery delay to
 	// every message of the in-memory network, which makes round-trip counts
 	// directly visible in operation latency. In-memory backend only; the
@@ -129,25 +145,96 @@ type ReadResult struct {
 // Writer is the write handle of a register.
 type Writer interface {
 	// Write stores value in the register. The value must be non-nil (nil is
-	// reserved for the initial value ⊥).
+	// reserved for the initial value ⊥). Write is WriteAsync at depth one:
+	// submit, then wait.
 	Write(ctx context.Context, value []byte) error
+	// WriteAsync submits a write and returns its future without waiting for
+	// the quorum, keeping up to Config.PipelineDepth writes of this handle
+	// in flight. Writes are APPLIED in submission order regardless of
+	// pipeline depth — each submission takes the next timestamp and is
+	// broadcast before WriteAsync returns — so the register's single-writer
+	// semantics survive pipelining. At depth, the call blocks until an
+	// in-flight write completes.
+	WriteAsync(ctx context.Context, value []byte) (*WriteFuture, error)
 }
 
 // Reader is the read handle of a register.
 type Reader interface {
-	// Read returns the current register value.
+	// Read returns the current register value. Read is ReadAsync at depth
+	// one: submit, then wait.
 	Read(ctx context.Context) (ReadResult, error)
+	// ReadAsync submits a read and returns its future without waiting for
+	// the quorum, keeping up to Config.PipelineDepth reads of this handle in
+	// flight. Each in-flight read is an independent operation: cancelling
+	// one (via the ctx given here or to Result) never disturbs its siblings.
+	// At depth, the call blocks until an in-flight read completes.
+	ReadAsync(ctx context.Context) (*ReadFuture, error)
+}
+
+// WriteFuture is one submitted write's pending resolution.
+type WriteFuture struct {
+	store *Store
+	f     driver.WriteFuture
+}
+
+// Done closes when the write resolves; Result then returns immediately.
+func (w *WriteFuture) Done() <-chan struct{} { return w.f.Done() }
+
+// Result blocks until the write resolves and returns its outcome. If ctx
+// ends first, the write's wait is abandoned (the value may still take
+// effect, like any interrupted write) and the context's error returned. A
+// future severed by Store.Close resolves with ErrStoreClosed.
+func (w *WriteFuture) Result(ctx context.Context) error {
+	return w.store.mapHandleErr(w.f.Result(ctx))
+}
+
+// ReadFuture is one submitted read's pending resolution.
+type ReadFuture struct {
+	store *Store
+	f     driver.ReadFuture
+}
+
+// Done closes when the read resolves; Result then returns immediately.
+func (r *ReadFuture) Done() <-chan struct{} { return r.f.Done() }
+
+// Result blocks until the read resolves and returns its outcome. If ctx
+// ends first, the read is aborted (sibling in-flight reads are untouched)
+// and the context's error returned. A future severed by Store.Close
+// resolves with ErrStoreClosed.
+func (r *ReadFuture) Result(ctx context.Context) (ReadResult, error) {
+	res, err := r.f.Result(ctx)
+	if err != nil {
+		return ReadResult{}, r.store.mapHandleErr(err)
+	}
+	return publicReadResult(res), nil
+}
+
+// publicReadResult converts a driver result to the public shape.
+func publicReadResult(res driver.ReadResult) ReadResult {
+	return ReadResult{
+		Value:        res.Value,
+		Version:      int64(res.Timestamp),
+		RoundTrips:   res.RoundTrips,
+		UsedFallback: res.UsedFallback,
+	}
 }
 
 // Stats summarises the work performed through a cluster's clients.
 type Stats struct {
-	Writes           int64
-	Reads            int64
-	WriteRoundTrips  int64
-	ReadRoundTrips   int64
-	FallbackReads    int64
-	DeliveredMsgs    int
-	DroppedMsgs      int
+	Writes          int64
+	Reads           int64
+	WriteRoundTrips int64
+	ReadRoundTrips  int64
+	FallbackReads   int64
+	DeliveredMsgs   int
+	DroppedMsgs     int
+	// FramesDelivered counts transport frames: on the TCP backend, wire
+	// frames read off sockets (a batch frame carries many protocol
+	// messages, so under pipelined load FramesDelivered ≪ DeliveredMsgs —
+	// frames per operation below 1 is the batching working); on the
+	// in-memory backend there is no frame concept and it equals
+	// DeliveredMsgs.
+	FramesDelivered  int
 	ServerMutations  int64
 	ReadRoundsPerOp  float64
 	WriteRoundsPerOp float64

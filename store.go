@@ -216,6 +216,7 @@ func (s *Store) newRegister(key string) (*Register, error) {
 		Quorum:   s.qcfg,
 		Signer:   s.keys.Signer,
 		Verifier: s.keys.Verifier,
+		Depth:    s.cfg.PipelineDepth,
 	}
 	w, err := s.drv.NewWriter(clientCfg, s.writerDemux.Route(key))
 	if err != nil {
@@ -296,7 +297,7 @@ func (s *Store) Stats() Stats {
 			out.FallbackReads += fallbacks
 		}
 	}
-	out.DeliveredMsgs, out.DroppedMsgs = s.session.stats()
+	out.DeliveredMsgs, out.DroppedMsgs, out.FramesDelivered = s.session.stats()
 	for _, srv := range s.servers {
 		out.ServerMutations += srv.TotalMutations()
 	}
@@ -353,6 +354,21 @@ func (r *Register) Readers() []Reader {
 	return out
 }
 
+// mapHandleErr translates a handle operation's failure into the public
+// error vocabulary: once the store is closed, the transport-level failure
+// modes (closed inboxes, severed routes) all mean the same thing to a
+// caller — the store is gone — so they surface as ErrStoreClosed. Context
+// errors stay themselves: the CALLER ended those operations.
+func (s *Store) mapHandleErr(err error) error {
+	if err == nil || !s.closed.Load() {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrStoreClosed, err)
+}
+
 // writerHandle adapts a protocol driver's writer to the public Writer
 // interface, adding the store-closed fast path.
 type writerHandle struct {
@@ -369,7 +385,19 @@ func (w *writerHandle) Write(ctx context.Context, value []byte) error {
 	if w.store.closed.Load() {
 		return ErrStoreClosed
 	}
-	return w.w.Write(ctx, value)
+	return w.store.mapHandleErr(w.w.Write(ctx, value))
+}
+
+// WriteAsync implements Writer.
+func (w *writerHandle) WriteAsync(ctx context.Context, value []byte) (*WriteFuture, error) {
+	if w.store.closed.Load() {
+		return nil, ErrStoreClosed
+	}
+	f, err := w.w.WriteAsync(ctx, value)
+	if err != nil {
+		return nil, w.store.mapHandleErr(err)
+	}
+	return &WriteFuture{store: w.store, f: f}, nil
 }
 
 // readerHandle adapts a protocol driver's reader to the public Reader
@@ -390,12 +418,19 @@ func (r *readerHandle) Read(ctx context.Context) (ReadResult, error) {
 	}
 	res, err := r.r.Read(ctx)
 	if err != nil {
-		return ReadResult{}, err
+		return ReadResult{}, r.store.mapHandleErr(err)
 	}
-	return ReadResult{
-		Value:        res.Value,
-		Version:      int64(res.Timestamp),
-		RoundTrips:   res.RoundTrips,
-		UsedFallback: res.UsedFallback,
-	}, nil
+	return publicReadResult(res), nil
+}
+
+// ReadAsync implements Reader.
+func (r *readerHandle) ReadAsync(ctx context.Context) (*ReadFuture, error) {
+	if r.store.closed.Load() {
+		return nil, ErrStoreClosed
+	}
+	f, err := r.r.ReadAsync(ctx)
+	if err != nil {
+		return nil, r.store.mapHandleErr(err)
+	}
+	return &ReadFuture{store: r.store, f: f}, nil
 }

@@ -187,6 +187,70 @@ func TestTCPBookRejectsBadIdentity(t *testing.T) {
 	}
 }
 
+// TestTCPPipelinedFramesPerOp is the batching acceptance test on real
+// sockets: with a deep read pipeline, requests and coalesced
+// acknowledgements ride shared batch frames, so the deployment-wide frame
+// count per operation must drop BELOW one — against ~8 frames per serial
+// read on this topology (one request and one ack frame per server).
+func TestTCPPipelinedFramesPerOp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets in -short mode")
+	}
+	const depth = 64
+	store, err := NewStore(Config{Servers: 4, Faulty: 1, Readers: 1, Protocol: ProtocolFast, PipelineDepth: depth, Transport: TCP(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	reg, err := store.Register("frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := reg.Reader(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := reg.Writer().Write(ctx, []byte("seed")); err != nil {
+		t.Fatal(err)
+	}
+
+	const ops = 4000
+	window := make([]*ReadFuture, 0, depth)
+	for i := 0; i < ops; i++ {
+		if len(window) == depth {
+			if _, err := window[0].Result(ctx); err != nil {
+				t.Fatalf("read %d: %v", i-depth, err)
+			}
+			window = window[1:]
+		}
+		f, err := reader.ReadAsync(ctx)
+		if err != nil {
+			t.Fatalf("ReadAsync %d: %v", i, err)
+		}
+		window = append(window, f)
+	}
+	for _, f := range window {
+		if _, err := f.Result(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stats := store.Stats()
+	totalOps := stats.Reads + stats.Writes
+	if totalOps < ops {
+		t.Fatalf("only %d ops completed", totalOps)
+	}
+	framesPerOp := float64(stats.FramesDelivered) / float64(totalOps)
+	t.Logf("frames=%d msgs=%d ops=%d frames/op=%.3f msgs/frame=%.1f",
+		stats.FramesDelivered, stats.DeliveredMsgs, totalOps,
+		framesPerOp, float64(stats.DeliveredMsgs)/float64(stats.FramesDelivered))
+	if framesPerOp >= 1 {
+		t.Errorf("frames/op = %.3f, want < 1 (batching not amortising)", framesPerOp)
+	}
+}
+
 // TestHandlesFailFastAfterClose is the regression test for operations on
 // handles outliving their store: they must fail immediately with
 // ErrStoreClosed rather than waiting out the caller's context against a

@@ -52,8 +52,9 @@ type transportSession interface {
 	// inMem exposes the underlying in-memory network, or nil when the
 	// backend is not the in-memory one.
 	inMem() *transport.InMemNetwork
-	// stats reports messages delivered to and dropped by the backend so far.
-	stats() (delivered, dropped int)
+	// stats reports messages delivered to and dropped by the backend so
+	// far, plus the frame count (== delivered on backends without frames).
+	stats() (delivered, dropped, frames int)
 }
 
 // InMemoryOption tweaks the in-memory backend.
@@ -110,6 +111,12 @@ func (t *inMemTransport) connect(cfg Config) (transportSession, error) {
 	// Config-level knobs first, transport-level options after so the
 	// explicit transport construction wins.
 	opts := []transport.InMemOption{transport.WithSeed(cfg.Seed)}
+	if !cfg.DisableBatching {
+		// Delivery batching: node pumps coalesce consecutive same-sender
+		// backlog into one wire.Batch handoff. Every consumer a Store wires
+		// up (executors, demuxes, the client pipelines) is batch-aware.
+		opts = append(opts, transport.WithBatching())
+	}
 	if cfg.NetworkDelay > 0 {
 		opts = append(opts, transport.WithDefaultDelay(cfg.NetworkDelay))
 	}
@@ -135,9 +142,10 @@ func (s *inMemSession) crash(id types.ProcessID) error {
 	return nil
 }
 
-func (s *inMemSession) stats() (delivered, dropped int) {
+func (s *inMemSession) stats() (delivered, dropped, frames int) {
 	ns := s.net.Stats()
-	return ns.Delivered, ns.Dropped
+	// No frame concept in memory: a delivery is its own frame.
+	return ns.Delivered, ns.Dropped, ns.Delivered
 }
 
 // TCPOption tweaks the TCP backend.
@@ -280,13 +288,14 @@ func (s *tcpSession) crash(id types.ProcessID) error {
 
 func (s *tcpSession) inMem() *transport.InMemNetwork { return nil }
 
-func (s *tcpSession) stats() (delivered, dropped int) {
+func (s *tcpSession) stats() (delivered, dropped, frames int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, n := range s.nodes {
 		ns := n.Stats()
 		delivered += int(ns.Delivered)
 		dropped += int(ns.DroppedInbound + ns.DroppedSend)
+		frames += int(ns.Frames)
 	}
-	return delivered, dropped
+	return delivered, dropped, frames
 }
