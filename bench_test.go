@@ -2,7 +2,9 @@ package fastread
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -485,48 +487,188 @@ func benchmarkPipelinedRead(b *testing.B, depth int, delay time.Duration) {
 func BenchmarkPipelinedReadTCP(b *testing.B) {
 	for _, depth := range []int{1, 16} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
-			store, err := NewStore(Config{Servers: 4, Faulty: 1, Readers: 1, Protocol: ProtocolFast, PipelineDepth: depth, Transport: TCP(nil)})
+			benchmarkPipelinedReadSocket(b, depth, TCP(nil))
+		})
+	}
+}
+
+// BenchmarkPipelinedReadUDP is the same workload over the batched-syscall
+// datagram transport: every request and acknowledgement rides sendmmsg/
+// recvmmsg batches through per-sender dedup windows, so at depth 16 the
+// frames/op metric shows datagram-level batching just as TCP shows frame
+// batching.
+func BenchmarkPipelinedReadUDP(b *testing.B) {
+	for _, depth := range []int{1, 16} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			benchmarkPipelinedReadSocket(b, depth, UDP(nil))
+		})
+	}
+}
+
+// benchmarkPipelinedReadSocket drives one reader's pipelined reads over a
+// real socket backend on loopback.
+func benchmarkPipelinedReadSocket(b *testing.B, depth int, tr Transport) {
+	store, err := NewStore(Config{Servers: 4, Faulty: 1, Readers: 1, Protocol: ProtocolFast, PipelineDepth: depth, Transport: tr})
+	if err != nil {
+		b.Fatalf("NewStore: %v", err)
+	}
+	b.Cleanup(func() { _ = store.Close() })
+	reg, err := store.Register("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := benchCtx(b)
+	if err := reg.Writer().Write(ctx, []byte("bench-value")); err != nil {
+		b.Fatalf("seed write: %v", err)
+	}
+	reader, err := reg.Reader(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := make([]*ReadFuture, 0, depth)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(window) == depth {
+			if _, err := window[0].Result(ctx); err != nil {
+				b.Fatalf("read: %v", err)
+			}
+			window = window[1:]
+		}
+		f, err := reader.ReadAsync(ctx)
+		if err != nil {
+			b.Fatalf("ReadAsync: %v", err)
+		}
+		window = append(window, f)
+	}
+	for _, f := range window {
+		if _, err := f.Result(ctx); err != nil {
+			b.Fatalf("drain: %v", err)
+		}
+	}
+	b.StopTimer()
+	stats := store.Stats()
+	if ops := stats.Reads + stats.Writes; ops > 0 {
+		b.ReportMetric(float64(stats.FramesDelivered)/float64(ops), "frames/op")
+	}
+}
+
+// BenchmarkSaturation measures sustained read throughput at a fixed 4-core
+// budget: GOMAXPROCS is pinned to 4, each server runs 4 key-shard workers,
+// and one reader per key keeps a deep pipeline full over 4 registers at
+// once. The reported ops/sec is what each backend sustains when the CPU —
+// not a single operation's round-trip — is the bottleneck, which is the
+// regime the raw-speed transport tier exists for. (On machines with fewer
+// than 4 CPUs the pin is a no-op upper bound; compare backends within one
+// run, not across machines.)
+func BenchmarkSaturation(b *testing.B) {
+	backends := []struct {
+		name string
+		tr   Transport
+	}{
+		{"inmem", nil},
+		{"tcp", TCP(nil)},
+		{"udp", UDP(nil)},
+	}
+	const keyCount = 4
+	const depth = 32
+	for _, be := range backends {
+		b.Run(be.name, func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(4)
+			defer runtime.GOMAXPROCS(prev)
+			store, err := NewStore(Config{
+				Servers: 4, Faulty: 1, Readers: 1, Protocol: ProtocolFast,
+				ServerWorkers: 4, PipelineDepth: depth, Transport: be.tr,
+			})
 			if err != nil {
 				b.Fatalf("NewStore: %v", err)
 			}
 			b.Cleanup(func() { _ = store.Close() })
-			reg, err := store.Register("bench")
-			if err != nil {
-				b.Fatal(err)
-			}
 			ctx := benchCtx(b)
-			if err := reg.Writer().Write(ctx, []byte("bench-value")); err != nil {
-				b.Fatalf("seed write: %v", err)
+			readers := make([]Reader, keyCount)
+			for k := 0; k < keyCount; k++ {
+				reg, err := store.Register(fmt.Sprintf("sat-%d", k))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := reg.Writer().Write(ctx, []byte("bench-value")); err != nil {
+					b.Fatalf("seed write: %v", err)
+				}
+				if readers[k], err = reg.Reader(1); err != nil {
+					b.Fatal(err)
+				}
 			}
-			reader, err := reg.Reader(1)
-			if err != nil {
-				b.Fatal(err)
+			// Round-robin submission keeps every handle at most depth deep
+			// while the combined window holds keyCount*depth operations in
+			// flight — enough concurrency to saturate the 4 worker shards.
+			type inflightRead struct {
+				f   *ReadFuture
+				key int
 			}
-			window := make([]*ReadFuture, 0, depth)
+			var retries int
+			// stall is reused across harvests (a per-op context.WithTimeout
+			// would dominate the allocs/op the bench exists to measure);
+			// aborted is a pre-cancelled context for abandoning stalled reads.
+			stall := time.NewTimer(time.Hour)
+			stall.Stop()
+			defer stall.Stop()
+			aborted, abort := context.WithCancel(context.Background())
+			abort()
+			// harvest resolves one in-flight read. The lossy backends can
+			// strand an operation outright — the protocols never retransmit,
+			// so an op that loses more datagrams than its quorum slack waits
+			// forever — in which case the bench does what a real client on a
+			// lossy network does: abandon the stalled read (freeing its
+			// pipeline slot) and submit a replacement, counted in retries.
+			harvest := func(p inflightRead) {
+				for {
+					stall.Reset(5 * time.Second)
+					select {
+					case <-p.f.Done():
+						if !stall.Stop() {
+							<-stall.C
+						}
+						if _, err := p.f.Result(ctx); err != nil {
+							b.Fatalf("read: %v", err)
+						}
+						return
+					case <-stall.C:
+						retries++
+						_, err := p.f.Result(aborted) // aborts the stalled read
+						if !errors.Is(err, context.Canceled) && err != nil {
+							b.Fatalf("abandoning stalled read: %v", err)
+						}
+						f, err := readers[p.key].ReadAsync(ctx)
+						if err != nil {
+							b.Fatalf("retry ReadAsync: %v", err)
+						}
+						p.f = f
+					}
+				}
+			}
+			window := make([]inflightRead, 0, keyCount*depth)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if len(window) == depth {
-					if _, err := window[0].Result(ctx); err != nil {
-						b.Fatalf("read: %v", err)
-					}
+				if len(window) >= keyCount*depth {
+					harvest(window[0])
 					window = window[1:]
 				}
-				f, err := reader.ReadAsync(ctx)
+				f, err := readers[i%keyCount].ReadAsync(ctx)
 				if err != nil {
 					b.Fatalf("ReadAsync: %v", err)
 				}
-				window = append(window, f)
+				window = append(window, inflightRead{f: f, key: i % keyCount})
 			}
-			for _, f := range window {
-				if _, err := f.Result(ctx); err != nil {
-					b.Fatalf("drain: %v", err)
-				}
+			for _, p := range window {
+				harvest(p)
 			}
 			b.StopTimer()
-			stats := store.Stats()
-			if ops := stats.Reads + stats.Writes; ops > 0 {
-				b.ReportMetric(float64(stats.FramesDelivered)/float64(ops), "frames/op")
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(b.N)/s, "ops/sec")
+			}
+			if retries > 0 {
+				b.ReportMetric(float64(retries), "retries")
 			}
 		})
 	}

@@ -1,8 +1,9 @@
 // Command regclient is the client-side companion of cmd/regserver: it acts
-// as the deployment's writer or as one of its readers over TCP. Like the
-// server it resolves the register implementation through the protocol driver
-// registry, so -protocol drives any of the repository's protocols against a
-// matching server deployment:
+// as the deployment's writer or as one of its readers over real sockets —
+// TCP by default, or the batched-syscall UDP transport with -transport udp
+// (which must match the servers). Like the server it resolves the register
+// implementation through the protocol driver registry, so -protocol drives
+// any of the repository's protocols against a matching server deployment:
 //
 //	regclient -id w  -book "$BOOK" -S 4 -t 1 -R 1 write "hello"
 //	regclient -id r1 -book "$BOOK" -S 4 -t 1 -R 1 read
@@ -45,6 +46,7 @@ import (
 	"fastread/internal/stats"
 	"fastread/internal/transport"
 	"fastread/internal/transport/tcpnet"
+	"fastread/internal/transport/udpnet"
 	"fastread/internal/types"
 
 	// Register every protocol driver this binary can drive.
@@ -78,6 +80,7 @@ func run(args []string) error {
 		key       = fs.String("key", "", "register key to operate on (empty = default register)")
 		keysN     = fs.Int("keys", 1, "bench only: spread operations over N registers named <key>0..<key>N-1")
 		pipeline  = fs.Int("pipeline", 1, "bench only: operations kept in flight per handle (1 = serial)")
+		trans     = fs.String("transport", "tcp", "socket transport: tcp | udp (must match the servers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,14 +139,14 @@ func run(args []string) error {
 		return err
 	}
 
-	node, err := tcpnet.Listen(tcpnet.Config{Self: id, Book: book})
+	node, err := listenNode(*trans, id, book)
 	if err != nil {
 		return err
 	}
 	defer node.Close()
 
 	// The physical node is demultiplexed by register key so one process can
-	// drive many registers over a single TCP identity, exactly as the
+	// drive many registers over a single socket identity, exactly as the
 	// in-memory Store does.
 	demux := transport.NewDemux(node, protoutil.WireKeyFunc, 0)
 
@@ -193,6 +196,24 @@ func run(args []string) error {
 		return runReader(ctx, readers, command, *timeout, *ops, *pipeline)
 	default:
 		return fmt.Errorf("-id must be the writer (w) or a reader (r1..rR)")
+	}
+}
+
+// listenNode binds the client's socket on the chosen transport. Clients
+// always listen on the address-book entry for their identity, so a plain
+// book swap switches an entire deployment between TCP and UDP.
+func listenNode(kind string, id types.ProcessID, book tcpnet.AddressBook) (transport.Node, error) {
+	switch kind {
+	case "tcp":
+		return tcpnet.Listen(tcpnet.Config{Self: id, Book: book})
+	case "udp":
+		ub := make(udpnet.AddressBook, len(book))
+		for k, v := range book {
+			ub[k] = v
+		}
+		return udpnet.Listen(udpnet.Config{Self: id, Book: ub})
+	default:
+		return nil, fmt.Errorf("unknown -transport %q (want tcp or udp)", kind)
 	}
 }
 

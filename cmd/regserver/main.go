@@ -1,4 +1,6 @@
-// Command regserver runs one register server process over TCP. A full
+// Command regserver runs one register server process over real sockets —
+// TCP by default, or the batched-syscall UDP transport with -transport udp
+// (every process in a deployment must use the same transport). A full
 // deployment consists of S regserver processes (one per server identity)
 // plus clients driven by cmd/regclient.
 //
@@ -37,7 +39,9 @@ import (
 
 	"fastread/internal/driver"
 	"fastread/internal/quorum"
+	"fastread/internal/transport"
 	"fastread/internal/transport/tcpnet"
+	"fastread/internal/transport/udpnet"
 	"fastread/internal/types"
 
 	// Register every protocol driver this binary can serve.
@@ -68,6 +72,7 @@ func run(args []string) error {
 		pubKey   = fs.String("writer-pubkey", "", "hex-encoded writer public key (signature-verifying protocols)")
 		listen   = fs.String("listen", "", "listen address override (defaults to the address book entry)")
 		workers  = fs.Int("workers", 0, "key-shard workers executing messages in parallel (0 = GOMAXPROCS)")
+		trans    = fs.String("transport", "tcp", "socket transport: tcp | udp (must match the clients)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,7 +118,7 @@ func run(args []string) error {
 		serverCfg.Verifier = verifier
 	}
 
-	node, err := tcpnet.Listen(tcpnet.Config{Self: id, ListenAddr: *listen, Book: book})
+	node, nodeAddr, nodeStats, err := listenNode(*trans, id, *listen, book)
 	if err != nil {
 		return err
 	}
@@ -126,16 +131,54 @@ func run(args []string) error {
 	server.Start()
 	defer server.Stop()
 
-	fmt.Printf("register server %s listening on %s (protocol=%s %v workers=%d, serving all register keys)\n",
-		id, node.Addr(), drv.Name, qcfg, server.Workers())
+	fmt.Printf("register server %s listening on %s/%s (protocol=%s %v workers=%d, serving all register keys)\n",
+		id, *trans, nodeAddr(), drv.Name, qcfg, server.Workers())
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	<-stop
-	// Surface traffic that was silently discarded (full inbox, unreachable
-	// peers) so operators notice overload or partitions that the
-	// asynchronous protocols themselves tolerate without complaint.
-	stats := node.Stats()
-	fmt.Printf("shutting down: delivered=%d frames=%d dropped_inbound=%d dropped_send=%d\n",
-		stats.Delivered, stats.Frames, stats.DroppedInbound, stats.DroppedSend)
+	// Surface traffic that was silently discarded (full inbox, bounded
+	// write-queue overflow, unreachable peers, duplicate datagrams) so
+	// operators notice overload or partitions the asynchronous protocols
+	// themselves tolerate without complaint.
+	stats := nodeStats()
+	fmt.Printf("shutting down: transport=%s delivered=%d frames=%d dropped_inbound=%d dropped_send=%d dedup_drops=%d\n",
+		*trans, stats.delivered, stats.frames, stats.droppedInbound, stats.droppedSend, stats.dedupDrops)
 	return nil
+}
+
+// nodeCounters is the transport-neutral view of a socket node's drop and
+// delivery counters, for the shutdown log.
+type nodeCounters struct {
+	delivered, frames, droppedInbound, droppedSend, dedupDrops int64
+}
+
+// listenNode binds the server's socket on the chosen transport, returning the
+// node together with accessors for its bound address and counters.
+func listenNode(kind string, id types.ProcessID, listen string, book tcpnet.AddressBook) (transport.Node, func() string, func() nodeCounters, error) {
+	switch kind {
+	case "tcp":
+		n, err := tcpnet.Listen(tcpnet.Config{Self: id, ListenAddr: listen, Book: book})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return n, n.Addr, func() nodeCounters {
+			s := n.Stats()
+			return nodeCounters{s.Delivered, s.Frames, s.DroppedInbound, s.DroppedSend, 0}
+		}, nil
+	case "udp":
+		ub := make(udpnet.AddressBook, len(book))
+		for k, v := range book {
+			ub[k] = v
+		}
+		n, err := udpnet.Listen(udpnet.Config{Self: id, ListenAddr: listen, Book: ub})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return n, n.Addr, func() nodeCounters {
+			s := n.Stats()
+			return nodeCounters{s.Delivered, s.Frames, s.DroppedInbound, s.DroppedSend, s.DedupDrops}
+		}, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown -transport %q (want tcp or udp)", kind)
+	}
 }

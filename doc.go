@@ -71,6 +71,11 @@
 //	cfg.Transport = fastread.TCP(nil)
 //	store, _ = fastread.NewStore(cfg)
 //
+//	// The raw-speed tier: UDP datagrams with batched send/receive syscalls
+//	// and per-sender at-most-once delivery windows.
+//	cfg.Transport = fastread.UDP(nil)
+//	store, _ = fastread.NewStore(cfg)
+//
 //	// Pinned local endpoints. NewStore starts the WHOLE deployment in this
 //	// process, so every book address must be bindable on this machine.
 //	cfg.Transport = fastread.TCP(map[string]string{
@@ -79,12 +84,15 @@
 //	})
 //
 // Capabilities differ only in fault injection: CrashServer and Network are
-// in-memory capabilities and report ErrUnsupported on TCP, where the real
-// network is the fault injector (kill a process to crash it). InMemory
-// accepts WithDelay/WithJitter/WithSeed; TCP accepts
-// WithDialTimeout/WithWriteTimeout. Deployments spanning processes or
-// machines are driven by cmd/regserver and cmd/regclient, which serve the
-// same protocols via the same driver registry.
+// in-memory capabilities and report ErrUnsupported on TCP and UDP, where the
+// real network is the fault injector (kill a process to crash it; on UDP,
+// WithReceiveFilter drops datagrams deterministically for loss testing —
+// the protocols never retransmit, tolerating loss through quorum slack
+// exactly as the paper's asynchronous lossy model intends). InMemory accepts
+// WithDelay/WithJitter/WithSeed; TCP accepts WithDialTimeout/
+// WithWriteTimeout. Deployments spanning processes or machines are driven by
+// cmd/regserver and cmd/regclient (-transport tcp|udp), which serve the same
+// protocols via the same driver registry.
 //
 // # Pipelined operations
 //
@@ -153,6 +161,22 @@
 // when it is expanded ALIAS the one batch buffer, and a flushed batch buffer
 // is never reused by its sender (receivers may retain views indefinitely).
 // Retaining any view pins the whole buffer, which is the intended trade.
+//
+// On the socket receive paths the batch buffer itself is recyclable: each
+// inbound frame is decoded into a REFERENCE-COUNTED arena (wire.Arena)
+// rather than a garbage-collected allocation. The discipline is small and
+// strict. Every delivered message carries exactly one reference to its
+// frame's arena; a consumer that retains bytes beyond the handler's return —
+// a server adopting a written value into register state, a pipelined client
+// detaching an acknowledgement — takes its own reference with Ref at that
+// retention point; every owner calls Release exactly once when done, and the
+// last Release recycles the buffer for the next frame. The failure modes are
+// deliberately asymmetric: a missing Release only leaks the buffer to the GC
+// (views stay valid forever, the pre-arena behaviour), while a Release too
+// many would hand live bytes to the next frame and therefore PANICS
+// immediately. See internal/wire/arena.go for the full rules.
+//
 // Benchmarks quantifying each layer live in bench_test.go; BENCH_2.json,
-// BENCH_3.json and BENCH_5.json record the measured trajectory.
+// BENCH_3.json, BENCH_5.json and BENCH_6.json record the measured
+// trajectory.
 package fastread

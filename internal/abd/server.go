@@ -47,6 +47,11 @@ type ServerConfig struct {
 type registerState struct {
 	value     VersionedValue
 	mutations int64
+	// arena, when non-nil, is the frame buffer value currently aliases:
+	// adoption from an arena-backed frame retains by reference (one Arena.Ref)
+	// instead of cloning, released when the next value displaces it. At most
+	// one arena is pinned per register.
+	arena *wire.Arena
 }
 
 // Server is the quorum server used by both the SWMR and MWMR ABD registers.
@@ -188,20 +193,34 @@ func (s *Server) handle(m transport.Message, out transport.Sender) {
 	defer wire.PutMessage(ack)
 	s.states.Do(req.Key, func(st *registerState) {
 		if (req.Op == wire.OpWrite || req.Op == wire.OpWriteBack) && st.value.Less(incoming) {
-			// Retention point: the request aliases the payload, the stored
-			// value must own its bytes.
-			st.value = VersionedValue{
-				TS:   incoming.TS,
-				Rank: incoming.Rank,
-				Cur:  incoming.Cur.Clone(),
-				Prev: incoming.Prev.Clone(),
+			// Retention point: the request aliases the payload. An arena-backed
+			// frame is retained by reference (wire's rule 4); otherwise the
+			// stored value must own its bytes.
+			if m.Arena != nil {
+				m.Arena.Ref()
+				if st.arena != nil {
+					st.arena.Release()
+				}
+				st.arena = m.Arena
+				st.value = incoming
+			} else {
+				if st.arena != nil {
+					st.arena.Release()
+					st.arena = nil
+				}
+				st.value = VersionedValue{
+					TS:   incoming.TS,
+					Rank: incoming.Rank,
+					Cur:  incoming.Cur.Clone(),
+					Prev: incoming.Prev.Clone(),
+				}
 			}
 			st.mutations++
 			if tr.Enabled() {
 				tr.Record(trace.KindStateChange, s.cfg.ID, m.From, "adopt key=%q ts=%d.%d", req.Key, incoming.TS, incoming.Rank)
 			}
 		}
-		*ack = wire.Message{
+		ack.Fill(wire.Message{
 			Op:         ackOp,
 			Key:        req.Key,
 			TS:         st.value.TS,
@@ -209,7 +228,7 @@ func (s *Server) handle(m transport.Message, out transport.Sender) {
 			Cur:        st.value.Cur,
 			Prev:       st.value.Prev,
 			RCounter:   req.RCounter,
-		}
+		})
 	})
 
 	if tr.Enabled() {

@@ -130,6 +130,65 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 	return f.Result(ctx)
 }
 
+// readOp is the pooled per-operation state of one in-flight read: the
+// acceptance predicate's inputs, the future to resolve, and the request
+// message itself. It implements protoutil.OpHandler, so registering a read
+// costs one pool fetch instead of two closure allocations plus a heap
+// request; Complete returns it to the pool after resolving the future.
+type readOp struct {
+	r           *Reader
+	rc          int64
+	writeBackTS types.Timestamp
+	f           *protoutil.Future[ReadResult]
+	req         wire.Message
+}
+
+var readOpPool = sync.Pool{New: func() any { return new(readOp) }}
+
+// Accept implements the Figure 2 / Figure 5 line 15 acknowledgement check
+// (see the ackFilter doc); it runs under the pipeline mutex.
+func (ro *readOp) Accept(from types.ProcessID, m *wire.Message) bool {
+	r := ro.r
+	if m.Op != wire.OpReadAck || m.Key != r.cfg.Key || m.RCounter != ro.rc {
+		return false
+	}
+	if !r.cfg.Byzantine {
+		return true
+	}
+	// Figure 5 line 15: accept only valid acknowledgements with ts' ≥ ts and
+	// ri ∈ seen'. Anything else is necessarily from a malicious server.
+	if m.TS < ro.writeBackTS {
+		return false
+	}
+	if !seenHas(m.Seen, r.id) {
+		return false
+	}
+	return r.verify.VerifyKeyed(r.cfg.Key, m.TS, m.Cur, m.Prev, m.WriterSig) == nil
+}
+
+// Complete resolves the read's future and recycles the operation state. The
+// acks are released by the engine when this returns; finishRead clones
+// everything it retains.
+func (ro *readOp) Complete(acks []protoutil.Ack, err error) {
+	r, rc, f := ro.r, ro.rc, ro.f
+	var res ReadResult
+	if err != nil {
+		err = fmt.Errorf("core: read rc=%d: %w", rc, err)
+	} else {
+		res, err = r.finishRead(rc, acks)
+	}
+	// Recycle ONLY after taking r.mu: the submitting goroutine encodes
+	// ro.req during its broadcast while holding r.mu, and a (Byzantine)
+	// server that guessed the operation's nonce could otherwise complete the
+	// operation while that encode is still reading the request. Taking the
+	// mutex orders the recycle after the broadcast.
+	r.mu.Lock()
+	*ro = readOp{}
+	readOpPool.Put(ro)
+	r.mu.Unlock()
+	f.Resolve(res, err)
+}
+
 // ReadAsync submits one read operation and returns its future without
 // waiting for the quorum, keeping up to cfg.Depth reads of this handle in
 // flight. Each in-flight read is an independent state machine keyed by its
@@ -151,7 +210,9 @@ func (r *Reader) ReadAsync(ctx context.Context) (*protoutil.Future[ReadResult], 
 	r.rCounter++
 	rc := r.rCounter
 	writeBack := r.last
-	req := &wire.Message{
+	ro := readOpPool.Get().(*readOp)
+	ro.r, ro.rc, ro.writeBackTS, ro.f = r, rc, writeBack.TS, f
+	ro.req = wire.Message{
 		Op:        wire.OpRead,
 		Key:       r.cfg.Key,
 		TS:        writeBack.TS,
@@ -166,14 +227,8 @@ func (r *Reader) ReadAsync(ctx context.Context) (*protoutil.Future[ReadResult], 
 	}
 
 	need := r.cfg.Quorum.AckQuorum()
-	op := r.pl.Register(need, r.ackFilter(rc, writeBack.TS), func(acks []protoutil.Ack, err error) {
-		if err != nil {
-			f.Resolve(ReadResult{}, fmt.Errorf("core: read rc=%d: %w", rc, err))
-			return
-		}
-		f.Resolve(r.finishRead(rc, acks))
-	})
-	err := protoutil.Broadcast(r.node, r.servers, req, r.cfg.Trace)
+	op := r.pl.RegisterHandler(need, ro)
+	err := protoutil.Broadcast(r.node, r.servers, &ro.req, r.cfg.Trace)
 	r.mu.Unlock()
 	if err != nil {
 		op.Abort(err)
@@ -253,32 +308,6 @@ func (r *Reader) finishRead(rc int64, acks []protoutil.Ack) (ReadResult, error) 
 	}
 	releaseScratch()
 	return result, nil
-}
-
-// ackFilter builds the acceptance predicate for readack messages of the
-// current operation.
-func (r *Reader) ackFilter(rc int64, writeBackTS types.Timestamp) protoutil.AckFilter {
-	return func(from types.ProcessID, m *wire.Message) bool {
-		if m.Op != wire.OpReadAck || m.Key != r.cfg.Key || m.RCounter != rc {
-			return false
-		}
-		if !r.cfg.Byzantine {
-			return true
-		}
-		// Figure 5 line 15: accept only valid acknowledgements with
-		// ts' ≥ ts and ri ∈ seen'. Anything else is necessarily from a
-		// malicious server.
-		if m.TS < writeBackTS {
-			return false
-		}
-		if !seenHas(m.Seen, r.id) {
-			return false
-		}
-		if err := r.verify.VerifyKeyed(r.cfg.Key, m.TS, m.Cur, m.Prev, m.WriterSig); err != nil {
-			return false
-		}
-		return true
-	}
 }
 
 // seenHas reports whether the seen slice contains the process, without

@@ -61,6 +61,12 @@ type registerState struct {
 	seenMembers []types.ProcessID
 	counters    map[int]int64
 	mutations   int64
+	// arena, when non-nil, is the frame buffer value and valueSig currently
+	// alias: adopting a value delivered in an arena-backed frame retains it BY
+	// REFERENCE (one Arena.Ref) instead of cloning the bytes, and adopting the
+	// next value releases it. At most one arena is pinned per register — the
+	// one carrying the newest adopted value.
+	arena *wire.Arena
 }
 
 // Server is the server-side state machine of the fast algorithms
@@ -300,10 +306,31 @@ func (s *Server) handle(m transport.Message, out transport.Sender) {
 			return
 		}
 		if req.TS > st.value.TS {
-			// Retention point: the request's fields alias the payload, the
-			// stored value must own its bytes.
-			st.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
-			st.valueSig = append(st.valueSig[:0], req.WriterSig...)
+			// Retention point: the request's fields alias the payload. With an
+			// arena-backed frame the state retains the aliases and pins the
+			// frame with its own reference (wire's rule 4 — the REF branch of
+			// rule 3); otherwise the stored value must own its bytes.
+			if m.Arena != nil {
+				m.Arena.Ref()
+				if st.arena != nil {
+					st.arena.Release()
+				}
+				st.arena = m.Arena
+				st.value = types.TaggedValue{TS: req.TS, Cur: req.Cur, Prev: req.Prev}
+				st.valueSig = req.WriterSig
+			} else {
+				if st.arena != nil {
+					// The outgoing value's bytes live in an arena this state is
+					// about to unpin: shed the aliases BEFORE releasing, and
+					// never append into them (the recycled buffer would be
+					// corrupted under the next frame's views).
+					st.valueSig = nil
+					st.arena.Release()
+					st.arena = nil
+				}
+				st.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
+				st.valueSig = append(st.valueSig[:0], req.WriterSig...)
+			}
 			st.seen = types.NewProcessSet(m.From)
 			st.seenMembers = append(st.seenMembers[:0], m.From)
 		} else if !st.seen.Has(m.From) {
@@ -317,7 +344,7 @@ func (s *Server) handle(m transport.Message, out transport.Sender) {
 		if req.Op == wire.OpRead {
 			ackOp = wire.OpReadAck
 		}
-		*ack = wire.Message{
+		ack.Fill(wire.Message{
 			Op:        ackOp,
 			Key:       req.Key,
 			TS:        st.value.TS,
@@ -326,7 +353,7 @@ func (s *Server) handle(m transport.Message, out transport.Sender) {
 			Seen:      st.seenMembers,
 			RCounter:  req.RCounter,
 			WriterSig: st.valueSig,
-		}
+		})
 		ok = true
 	})
 	if !ok {

@@ -97,6 +97,9 @@ type Op struct {
 	// complete runs exactly once, outside the engine mutex: with the quorum
 	// acknowledgements on success, or with a nil slice and the fatal error.
 	complete func(acks []Ack, err error)
+	// handler, when non-nil, replaces the filter/complete pair (see
+	// OpHandler and RegisterHandler).
+	handler OpHandler
 	// keepSlot marks an intermediate phase of a multi-phase operation: its
 	// completion hands the in-flight slot to the next phase instead of
 	// releasing it (see RegisterPhase).
@@ -106,6 +109,12 @@ type Op struct {
 	seen []types.ProcessID
 	acks []Ack
 	done bool
+
+	// seenBuf and acksBuf are the inline backing arrays used when the quorum
+	// fits (it almost always does: quorums are S-t of a handful of servers),
+	// so registering an operation allocates only the Op itself.
+	seenBuf [8]types.ProcessID
+	acksBuf [8]Ack
 }
 
 // Acquire reserves one in-flight slot, blocking while the pipeline is at
@@ -140,7 +149,28 @@ func (p *Pipeline) Release() { p.release() }
 // asynchronously (the completion still runs exactly once, with
 // ErrInboxClosed).
 func (p *Pipeline) Register(need int, filter AckFilter, complete func(acks []Ack, err error)) *Op {
-	return p.register(need, filter, complete, false)
+	return p.register(need, filter, complete, nil, false)
+}
+
+// OpHandler bundles an operation's acceptance predicate and completion in
+// one value: the allocation-conscious alternative to Register's closure pair.
+// A protocol client keeps one pooled per-operation struct implementing
+// OpHandler, and registering its pointer converts to the interface without
+// allocating — where the closure pair costs two allocations per operation.
+type OpHandler interface {
+	// Accept reports whether the acknowledgement belongs to this operation
+	// (same contract as AckFilter). It runs under the engine mutex.
+	Accept(from types.ProcessID, m *wire.Message) bool
+	// Complete runs exactly once, outside the engine mutex: with the quorum
+	// acknowledgements on success, or with nil acks and the fatal error. The
+	// acks (and everything they alias) are released when Complete returns.
+	Complete(acks []Ack, err error)
+}
+
+// RegisterHandler is Register with the filter and completion folded into one
+// OpHandler value.
+func (p *Pipeline) RegisterHandler(need int, h OpHandler) *Op {
+	return p.register(need, nil, nil, h, false)
 }
 
 // RegisterPhase is Register for an INTERMEDIATE phase of a multi-phase
@@ -149,15 +179,20 @@ func (p *Pipeline) Register(need int, filter AckFilter, complete func(acks []Ack
 // whose final Register (or an explicit Release on the error path) frees it.
 // One Acquire therefore bounds whole operations, not round-trips.
 func (p *Pipeline) RegisterPhase(need int, filter AckFilter, complete func(acks []Ack, err error)) *Op {
-	return p.register(need, filter, complete, true)
+	return p.register(need, filter, complete, nil, true)
 }
 
-func (p *Pipeline) register(need int, filter AckFilter, complete func(acks []Ack, err error), keepSlot bool) *Op {
+func (p *Pipeline) register(need int, filter AckFilter, complete func(acks []Ack, err error), handler OpHandler, keepSlot bool) *Op {
 	op := &Op{
-		p: p, need: need, filter: filter, complete: complete, keepSlot: keepSlot,
+		p: p, need: need, filter: filter, complete: complete, handler: handler, keepSlot: keepSlot,
+	}
+	if need <= len(op.seenBuf) {
+		op.seen = op.seenBuf[:0]
+		op.acks = op.acksBuf[:0]
+	} else {
 		// Quorum sizes are known up front: one allocation each, no growth.
-		seen: make([]types.ProcessID, 0, need),
-		acks: make([]Ack, 0, need),
+		op.seen = make([]types.ProcessID, 0, need)
+		op.acks = make([]Ack, 0, need)
 	}
 	p.mu.Lock()
 	if p.closed {
@@ -193,9 +228,21 @@ func (op *Op) Abort(err error) {
 
 // finish runs the completion exactly once (the caller has already claimed
 // op.done under p.mu) and frees the slot, unless an intermediate phase keeps
-// it for its successor.
+// it for its successor. After the completion returns, every acknowledgement
+// the operation collected — including partial collections on abort and
+// inbox-closed paths — returns to the pools: the completion is the last code
+// to see the acks, and the protocols' completions clone whatever they retain
+// (rule 3) before returning.
 func (op *Op) finish(acks []Ack, err error) {
-	op.complete(acks, err)
+	if op.handler != nil {
+		op.handler.Complete(acks, err)
+	} else {
+		op.complete(acks, err)
+	}
+	for i := range op.acks {
+		op.acks[i].release()
+	}
+	op.acks = op.acks[:0]
 	if !op.keepSlot {
 		op.p.release()
 	}
@@ -235,14 +282,17 @@ func (p *Pipeline) dispatch() {
 	defer wire.PutMessage(scratch)
 	for m := range p.node.Inbox() {
 		if wire.IsBatch(m.Payload) {
-			from := m.From
+			from, arena := m.From, m.Arena
 			_ = wire.ForEachInBatch(m.Payload, func(sub []byte) error {
-				p.handlePayload(from, sub, scratch)
+				p.handlePayload(from, sub, arena, scratch)
 				return nil
 			})
-			continue
+		} else {
+			p.handlePayload(m.From, m.Payload, m.Arena, scratch)
 		}
-		p.handlePayload(m.From, m.Payload, scratch)
+		// The delivered message's own arena reference; accepted acks took
+		// their own in handlePayload.
+		m.ReleaseArena()
 	}
 
 	// Inbox closed: every pending operation dies with ErrInboxClosed.
@@ -262,10 +312,14 @@ func (p *Pipeline) dispatch() {
 // handlePayload offers one delivered payload to every pending operation. A
 // message may satisfy SEVERAL operations at once (the majority protocols'
 // write filters accept any acknowledgement with ts' ≥ ts, so one ack can
-// complete two pipelined writes); each accepting operation records the same
-// detached message, which is safe because collected acknowledgements are
-// read-only. Completions fire after the engine lock is released.
-func (p *Pipeline) handlePayload(from types.ProcessID, payload []byte, scratch *wire.Message) {
+// complete two pipelined writes); each accepting operation records its OWN
+// pooled copy of the message — exclusive ownership is what lets finish return
+// each ack to the pool without coordinating with sibling operations. The
+// copies' byte fields alias the delivered payload, so each ack also takes one
+// reference on the frame's arena (nil for the in-memory transport, where the
+// payload is GC-owned and may be aliased forever). Completions fire after the
+// engine lock is released.
+func (p *Pipeline) handlePayload(from types.ProcessID, payload []byte, arena *wire.Arena, scratch *wire.Message) {
 	if from.Role != types.RoleServer {
 		return
 	}
@@ -276,7 +330,7 @@ func (p *Pipeline) handlePayload(from types.ProcessID, payload []byte, scratch *
 		return
 	}
 
-	var detached *wire.Message
+	matched := false
 	var completed []*Op
 	p.mu.Lock()
 	for i := 0; i < len(p.ops); i++ {
@@ -284,14 +338,17 @@ func (p *Pipeline) handlePayload(from types.ProcessID, payload []byte, scratch *
 		if op.done || op.hasSeen(from) {
 			continue
 		}
-		if op.filter != nil && !op.filter(from, scratch) {
+		if !op.accepts(from, scratch) {
 			continue
 		}
-		if detached == nil {
-			detached = scratch.Detach()
+		matched = true
+		d := wire.GetMessage()
+		scratch.CopyAliasInto(d)
+		if arena != nil {
+			arena.Ref()
 		}
 		op.seen = append(op.seen, from)
-		op.acks = append(op.acks, Ack{From: from, Msg: detached})
+		op.acks = append(op.acks, Ack{From: from, Msg: d, Arena: arena})
 		if len(op.acks) >= op.need {
 			op.done = true
 			completed = append(completed, op)
@@ -302,8 +359,8 @@ func (p *Pipeline) handlePayload(from types.ProcessID, payload []byte, scratch *
 	p.mu.Unlock()
 
 	if p.tr.Enabled() {
-		if detached != nil {
-			p.tr.Record(trace.KindReceive, p.node.ID(), from, "%s ts=%d rc=%d", detached.Op, detached.TS, detached.RCounter)
+		if matched {
+			p.tr.Record(trace.KindReceive, p.node.ID(), from, "%s ts=%d rc=%d", scratch.Op, scratch.TS, scratch.RCounter)
 		} else {
 			p.tr.Record(trace.KindDrop, p.node.ID(), from, "unmatched %s ts=%d rc=%d", scratch.Op, scratch.TS, scratch.RCounter)
 		}
@@ -311,6 +368,14 @@ func (p *Pipeline) handlePayload(from types.ProcessID, payload []byte, scratch *
 	for _, op := range completed {
 		op.finish(op.acks, nil)
 	}
+}
+
+// accepts routes the acceptance decision to the handler or the filter.
+func (op *Op) accepts(from types.ProcessID, m *wire.Message) bool {
+	if op.handler != nil {
+		return op.handler.Accept(from, m)
+	}
+	return op.filter == nil || op.filter(from, m)
 }
 
 // hasSeen reports whether the operation already accepted an acknowledgement

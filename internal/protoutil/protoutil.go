@@ -79,9 +79,32 @@ func Broadcast(node transport.Node, servers []types.ProcessID, msg *wire.Message
 }
 
 // Ack couples a decoded acknowledgement with the server that sent it.
+//
+// Acks collected by the Pipeline are POOLED: Msg is a pooled wire.Message and
+// Arena (when the transport decodes frames into refcounted arenas) holds one
+// reference keeping the aliased payload alive. The engine releases both after
+// the operation's completion returns, which is why completions must clone
+// anything they retain (the codec's rule 3). Acks from the serial CollectAcks
+// carry a nil Arena and a heap-detached Msg; they are never released and
+// simply fall to the garbage collector.
 type Ack struct {
-	From types.ProcessID
-	Msg  *wire.Message
+	From  types.ProcessID
+	Msg   *wire.Message
+	Arena *wire.Arena
+}
+
+// release returns the ack's pooled resources: the message to the message pool
+// and the arena reference it held. Only the pipelined engine calls it (on acks
+// IT created); serial acks are GC-managed.
+func (a *Ack) release() {
+	if a.Msg != nil {
+		wire.PutMessage(a.Msg)
+		a.Msg = nil
+	}
+	if a.Arena != nil {
+		a.Arena.Release()
+		a.Arena = nil
+	}
 }
 
 // AckFilter decides whether an incoming message is a valid acknowledgement
@@ -102,6 +125,11 @@ type AckFilter func(from types.ProcessID, msg *wire.Message) bool
 // allocations. Accepted acks are detached from the scratch but their Cur,
 // Prev and WriterSig fields still alias the delivered payload: callers must
 // Clone whatever they retain beyond the operation (the codec's rule 3).
+// Delivered arena references are deliberately NOT released here — the serial
+// collector hands heap-detached acks to callers with unbounded lifetimes, so
+// it leans on the arena discipline's fail-safe direction (the frame buffer
+// falls to the GC, every view stays valid). The pipelined engine is the
+// recycling path.
 func CollectAcks(ctx context.Context, node transport.Node, need int, filter AckFilter, tr *trace.Trace) ([]Ack, error) {
 	acks := make([]Ack, 0, need)
 	seen := make(map[types.ProcessID]bool, need)

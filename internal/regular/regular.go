@@ -164,14 +164,14 @@ func (s *Server) handle(m transport.Message, out transport.Sender) {
 			// Retention point: the stored value must own its bytes.
 			st.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
 		}
-		*ack = wire.Message{
+		ack.Fill(wire.Message{
 			Op:       ackOp,
 			Key:      req.Key,
 			TS:       st.value.TS,
 			Cur:      st.value.Cur,
 			Prev:     st.value.Prev,
 			RCounter: req.RCounter,
-		}
+		})
 	})
 
 	if err := transport.SendEncoded(out, m.From, ack); err != nil {

@@ -24,14 +24,17 @@ import (
 // message: once with msg itself when the payload is a single message, once
 // per aliasing sub-message when it is a batch envelope. Malformed envelopes
 // are dropped silently (exactly like any other undecodable payload: the
-// asynchronous model lets them be "in transit forever").
+// asynchronous model lets them be "in transit forever"). Sub-messages carry
+// the envelope's arena (their payloads alias the same frame buffer); the
+// caller keeps owning the envelope's single reference — fn takes its own
+// Ref (RetainArena) for any sub-message it forwards to another consumer.
 func Expand(msg Message, fn func(Message)) {
 	if !wire.IsBatch(msg.Payload) {
 		fn(msg)
 		return
 	}
 	_ = wire.ForEachInBatch(msg.Payload, func(payload []byte) error {
-		fn(Message{From: msg.From, To: msg.To, Kind: msg.Kind, Payload: payload})
+		fn(Message{From: msg.From, To: msg.To, Kind: msg.Kind, Payload: payload, Arena: msg.Arena})
 		return nil
 	})
 }
@@ -68,6 +71,9 @@ type Coalescer struct {
 
 	byDest map[types.ProcessID]*coalesced
 	order  []types.ProcessID
+	// free recycles coalesced structs across runs (one per destination per
+	// run otherwise — a steady allocation on the server ack path).
+	free []*coalesced
 }
 
 var _ Sender = (*Coalescer)(nil)
@@ -82,10 +88,22 @@ func NewCoalescer(node Node) *Coalescer {
 // which handlers ignore on direct sends too (the executor is about to shut
 // down anyway), so the Coalescer swallows it at Flush rather than surfacing
 // it on an unrelated later call.
+// get pops a recycled coalesced struct, or allocates the run's first ones.
+func (c *Coalescer) get() *coalesced {
+	if n := len(c.free); n > 0 {
+		e := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return e
+	}
+	return new(coalesced)
+}
+
 func (c *Coalescer) Send(to types.ProcessID, kind string, payload []byte) error {
 	e, ok := c.byDest[to]
 	if !ok {
-		e = &coalesced{kind: kind, first: payload}
+		e = c.get()
+		e.kind, e.first = kind, payload
 		c.byDest[to] = e
 		c.order = append(c.order, to)
 		return nil
@@ -120,7 +138,8 @@ func (c *Coalescer) appendPayload(b *wire.Batch, payload []byte) {
 func (c *Coalescer) SendMessage(to types.ProcessID, m *wire.Message) error {
 	e, ok := c.byDest[to]
 	if !ok {
-		e = &coalesced{kind: m.Kind(), first: wire.MustEncode(m)}
+		e = c.get()
+		e.kind, e.first = m.Kind(), wire.MustEncode(m)
 		c.byDest[to] = e
 		c.order = append(c.order, to)
 		return nil
@@ -158,6 +177,8 @@ func (c *Coalescer) Flush() {
 			e.batch.Detach()
 		}
 		delete(c.byDest, to)
+		*e = coalesced{}
+		c.free = append(c.free, e)
 	}
 	c.order = c.order[:0]
 }

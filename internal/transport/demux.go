@@ -42,15 +42,16 @@ type routeMap map[string]*demuxRoute
 // which the asynchronous model permits (they are indistinguishable from
 // messages delayed forever).
 //
-// Each route queues like a node: an UNBOUNDED mailbox drained by a forwarder
-// goroutine into the route's delivery channel. Unbounded is a correctness
-// requirement, not a convenience: a server lagging behind the quorum can
-// accumulate a long request backlog and then flush its acknowledgements in
-// one burst, and with a bounded route buffer that flood forced a drop policy
-// — either end of the queue — that could discard the in-flight operation's
-// quorum-completing acks and starve the client forever. With the mailbox,
-// the pump never blocks and never drops; a backlog costs memory briefly and
-// is reclaimed as the consumer drains.
+// Each route queues through an SPSC handoff (ring.go): a lock-free bounded
+// ring for the steady state, spilling to an UNBOUNDED mailbox on overflow.
+// Unbounded queueing remains a correctness requirement, not a convenience: a
+// server lagging behind the quorum can accumulate a long request backlog and
+// then flush its acknowledgements in one burst, and with a purely bounded
+// route buffer that flood forced a drop policy — either end of the queue —
+// that could discard the in-flight operation's quorum-completing acks and
+// starve the client forever. With the ring+spill handoff, the pump never
+// blocks and never drops; a backlog costs memory briefly and is reclaimed as
+// the consumer drains.
 //
 // The per-message path takes no demux-wide lock: the route table is
 // copy-on-write (the Demux mutex is only taken when a route is opened or
@@ -104,11 +105,19 @@ func (d *Demux) pump() {
 		// map[string]-lookup on a byte key compiles to a zero-allocation
 		// access; the string is never materialised.
 		if rt := (*d.routes.Load())[string(key)]; rt != nil {
-			rt.box.push(m)
+			// The queued copy carries its own arena reference (several routes
+			// may hold views of one envelope's frame); the route's consumer
+			// releases it. A rejected push (route already closed) gives the
+			// reference straight back.
+			m.RetainArena()
+			if !rt.box.push(m) {
+				m.ReleaseArena()
+			}
 		}
 	}
 	for msg := range d.node.Inbox() {
 		Expand(msg, route)
+		msg.ReleaseArena()
 	}
 	d.mu.Lock()
 	d.closed = true
@@ -161,13 +170,15 @@ func (d *Demux) Close() error {
 	return err
 }
 
-// demuxRoute is the virtual per-key node handed to protocol clients: an
-// unbounded mailbox filled by the demux pump, drained in batches by the
-// route's forwarder goroutine into the delivery channel.
+// demuxRoute is the virtual per-key node handed to protocol clients: a
+// lock-free SPSC handoff (the pump is its single producer, the forwarder its
+// single consumer; bursts spill to an unbounded mailbox so nothing is ever
+// dropped — see ring.go) drained by the route's forwarder goroutine into the
+// delivery channel.
 type demuxRoute struct {
 	demux *Demux
 	key   string
-	box   *mailbox
+	box   *handoff
 	inbox chan Message
 
 	closeOnce sync.Once
@@ -181,7 +192,7 @@ func newDemuxRoute(d *Demux, key string) *demuxRoute {
 	rt := &demuxRoute{
 		demux: d,
 		key:   key,
-		box:   newMailbox(),
+		box:   newHandoff(),
 		inbox: make(chan Message, d.buf),
 		done:  make(chan struct{}),
 	}
@@ -204,9 +215,11 @@ func (rt *demuxRoute) shutdown() {
 	rt.closeOnce.Do(func() {
 		rt.box.close()
 		// Drain the delivery channel so the forwarder can exit even if the
-		// owner stopped reading (mirrors inMemNode.Close).
+		// owner stopped reading (mirrors inMemNode.Close); undelivered
+		// messages give back their arena references here.
 		go func() {
-			for range rt.inbox {
+			for m := range rt.inbox {
+				m.ReleaseArena()
 			}
 		}()
 	})

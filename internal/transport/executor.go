@@ -39,17 +39,19 @@ import (
 // handler still observes them and can trace the drop itself — exactly what
 // the single-goroutine Serve loop did.
 //
-// Workers pull RUNS of messages per synchronisation: each worker drains its
-// whole mailbox in one batched pop (mailbox.popAll, an O(1) slice swap under
-// the lock), then handles the batch lock-free. Under load this amortises the
-// mutex/condvar traffic of the old one-pop-per-message loop across the whole
-// run. RunCoalescing exposes the same run boundary to the handler's OUTPUT: a
+// The dispatcher→worker handoff is a lock-free SPSC ring (see ring.go): the
+// dispatcher is each worker queue's single producer and the worker its single
+// consumer, so steady-state dispatch is wait-free on both sides, with the
+// unbounded mailbox kept as the burst spill path (order-preserving, never
+// dropping — the PR 3/PR 5 starvation guarantees are unchanged). Workers
+// still handle RUNS of messages between blocking waits, and RunCoalescing
+// exposes the same run boundary to the handler's OUTPUT: a
 // run-scoped Coalescer batches the run's acknowledgements into one send per
 // destination, flushed when the run ends.
 type Executor struct {
 	node    Node
 	keyOf   KeyFunc
-	workers []*mailbox
+	workers []*handoff
 	wg      sync.WaitGroup
 }
 
@@ -62,7 +64,7 @@ func NewExecutor(node Node, keyOf KeyFunc, workers int) *Executor {
 	}
 	e := &Executor{node: node, keyOf: keyOf}
 	for i := 0; i < workers; i++ {
-		e.workers = append(e.workers, newMailbox())
+		e.workers = append(e.workers, newHandoff())
 	}
 	return e
 }
@@ -86,7 +88,12 @@ func (e *Executor) Run(handler func(Message)) {
 		Serve(e.node, handler)
 		return
 	}
-	e.dispatch(func(box *mailbox) { box.drain(handler) })
+	e.dispatch(func(box *handoff) {
+		box.drain(func(m Message) {
+			handler(m)
+			m.ReleaseArena()
+		})
+	})
 }
 
 // RunCoalescing is Run with run-scoped output batching: the handler receives
@@ -101,19 +108,27 @@ func (e *Executor) RunCoalescing(handler func(Message, Sender)) {
 		e.serveCoalescingInline(handler)
 		return
 	}
-	e.dispatch(func(box *mailbox) {
+	e.dispatch(func(box *handoff) {
 		co := NewCoalescer(e.node)
-		box.drainRuns(func(m Message) { handler(m, co) }, co.Flush)
+		box.drainRuns(func(m Message) {
+			handler(m, co)
+			m.ReleaseArena()
+		}, co.Flush)
 	})
 }
 
 // dispatch owns the multi-worker topology shared by Run and RunCoalescing:
 // expand each delivered message, route by key hash into per-worker mailboxes,
 // and on inbox close drain every worker before returning.
-func (e *Executor) dispatch(work func(*mailbox)) {
+//
+// Arena accounting: each queued sub-message takes its own reference (several
+// workers may hold views of one frame concurrently), the worker releases it
+// after handling, and the dispatcher releases the delivered envelope's
+// reference once expansion is done.
+func (e *Executor) dispatch(work func(*handoff)) {
 	e.wg.Add(len(e.workers))
 	for _, box := range e.workers {
-		go func(b *mailbox) {
+		go func(b *handoff) {
 			defer e.wg.Done()
 			work(b)
 		}(box)
@@ -127,10 +142,14 @@ func (e *Executor) dispatch(work func(*mailbox)) {
 			// diverge.
 			w = shard.HashBytes(key) % n
 		}
-		e.workers[w].push(m)
+		m.RetainArena()
+		if !e.workers[w].push(m) {
+			m.ReleaseArena()
+		}
 	}
 	for msg := range e.node.Inbox() {
 		Expand(msg, route)
+		msg.ReleaseArena()
 	}
 	for _, box := range e.workers {
 		box.close()
@@ -150,6 +169,7 @@ func (e *Executor) serveCoalescingInline(handler func(Message, Sender)) {
 	inbox := e.node.Inbox()
 	for msg := range inbox {
 		Expand(msg, handleOne)
+		msg.ReleaseArena()
 	burst:
 		for {
 			select {
@@ -159,6 +179,7 @@ func (e *Executor) serveCoalescingInline(handler func(Message, Sender)) {
 					return
 				}
 				Expand(more, handleOne)
+				more.ReleaseArena()
 			default:
 				break burst
 			}

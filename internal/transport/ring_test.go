@@ -1,0 +1,239 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fastread/internal/types"
+)
+
+// seqMsg builds a message whose Kind encodes a sequence number, so order
+// checks need no payload decoding.
+func seqMsg(i int) Message {
+	return Message{From: types.Writer(), To: types.Server(1), Kind: fmt.Sprintf("m%d", i)}
+}
+
+// TestSPSCRingFullEmptyWraparound drives the bare ring through its boundary
+// conditions: empty pop, fill to capacity, push-on-full, and repeated
+// wraparound of the power-of-two index space.
+func TestSPSCRingFullEmptyWraparound(t *testing.T) {
+	const cap = 8
+	r := newSPSCRing(cap)
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop on empty ring reported ok")
+	}
+	if !r.empty() {
+		t.Fatal("fresh ring not empty")
+	}
+	for i := 0; i < cap; i++ {
+		if !r.push(seqMsg(i)) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if r.push(seqMsg(cap)) {
+		t.Fatal("push accepted on a full ring")
+	}
+	// Drain half, refill, and repeat enough times to wrap the indices
+	// several times over; order must stay exact throughout.
+	next := 0
+	pushed := cap
+	for round := 0; round < 10; round++ {
+		for i := 0; i < cap/2; i++ {
+			m, ok := r.pop()
+			if !ok {
+				t.Fatalf("round %d: pop %d failed on non-empty ring", round, next)
+			}
+			if want := fmt.Sprintf("m%d", next); m.Kind != want {
+				t.Fatalf("round %d: popped %q, want %q", round, m.Kind, want)
+			}
+			next++
+		}
+		for i := 0; i < cap/2; i++ {
+			if !r.push(seqMsg(pushed)) {
+				t.Fatalf("round %d: refill push %d rejected", round, pushed)
+			}
+			pushed++
+		}
+	}
+	for next < pushed {
+		m, ok := r.pop()
+		if !ok {
+			t.Fatalf("final drain: pop %d failed", next)
+		}
+		if want := fmt.Sprintf("m%d", next); m.Kind != want {
+			t.Fatalf("final drain: popped %q, want %q", m.Kind, want)
+		}
+		next++
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("drained ring still popped a message")
+	}
+}
+
+// TestSPSCRingPopReleasesSlot verifies a popped slot is zeroed so the ring
+// does not pin message payloads until the slot is overwritten.
+func TestSPSCRingPopReleasesSlot(t *testing.T) {
+	r := newSPSCRing(4)
+	m := seqMsg(0)
+	m.Payload = []byte("retained")
+	r.push(m)
+	if _, ok := r.pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if r.slots[0].Payload != nil {
+		t.Fatal("popped slot still references the payload")
+	}
+}
+
+// TestHandoffFIFOSingleProducer streams far more messages than the ring
+// capacity through a handoff with one producer and one consumer, asserting
+// exact FIFO order end to end. Run under -race this also exercises the
+// atomic publication of ring slots between the two goroutines.
+func TestHandoffFIFOSingleProducer(t *testing.T) {
+	const total = 50000
+	h := newHandoff()
+	var got []string
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.drain(func(m Message) { got = append(got, m.Kind) })
+	}()
+	for i := 0; i < total; i++ {
+		if !h.push(seqMsg(i)) {
+			t.Errorf("push %d rejected on open handoff", i)
+			break
+		}
+	}
+	h.close()
+	wg.Wait()
+	if len(got) != total {
+		t.Fatalf("delivered %d messages, want %d", len(got), total)
+	}
+	for i, kind := range got {
+		if want := fmt.Sprintf("m%d", i); kind != want {
+			t.Fatalf("message %d out of order: got %q, want %q", i, kind, want)
+		}
+	}
+}
+
+// TestHandoffSpillPath blocks the consumer until the producer has pushed far
+// past the ring capacity, forcing the overflow onto the mailbox spill path,
+// then verifies nothing was lost or reordered across the ring/spill boundary
+// — including messages pushed while the spill is draining (which must keep
+// spilling, not overtake through the ring).
+func TestHandoffSpillPath(t *testing.T) {
+	const total = ringCapacity * 5
+	h := newHandoff()
+	for i := 0; i < total; i++ {
+		if !h.push(seqMsg(i)) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if h.spills.Load() == 0 {
+		t.Fatalf("pushing %d messages into a %d-slot ring never spilled", total, ringCapacity)
+	}
+	if want := int64(total - ringCapacity); h.spills.Load() != want {
+		t.Fatalf("spilled %d messages, want %d", h.spills.Load(), want)
+	}
+	// While the spill is non-empty the producer must stay diverted even
+	// though the consumer has not started (ring has free slots only after
+	// draining; here the ring is still full, but the flag alone must pin).
+	if !h.spilling.Load() {
+		t.Fatal("handoff not in spilling state with a non-empty spill")
+	}
+	var got []string
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.drain(func(m Message) { got = append(got, m.Kind) })
+	}()
+	h.close()
+	<-done
+	if len(got) != total {
+		t.Fatalf("delivered %d messages, want %d (burst backlog lost)", len(got), total)
+	}
+	for i, kind := range got {
+		if want := fmt.Sprintf("m%d", i); kind != want {
+			t.Fatalf("message %d out of order across spill boundary: got %q, want %q", i, kind, want)
+		}
+	}
+}
+
+// TestHandoffSpillInterleaved alternates overflow and drain concurrently: the
+// consumer runs throughout while the producer pushes bursts large enough to
+// spill repeatedly. FIFO must hold across every ring→spill→ring transition.
+func TestHandoffSpillInterleaved(t *testing.T) {
+	const bursts, perBurst = 40, ringCapacity * 2
+	h := newHandoff()
+	var got []string
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.drainRuns(func(m Message) { got = append(got, m.Kind) }, func() {})
+	}()
+	n := 0
+	for b := 0; b < bursts; b++ {
+		for i := 0; i < perBurst; i++ {
+			if !h.push(seqMsg(n)) {
+				t.Errorf("push %d rejected", n)
+			}
+			n++
+		}
+	}
+	h.close()
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("delivered %d messages, want %d", len(got), n)
+	}
+	for i, kind := range got {
+		if want := fmt.Sprintf("m%d", i); kind != want {
+			t.Fatalf("message %d out of order: got %q, want %q", i, kind, want)
+		}
+	}
+}
+
+// TestHandoffCloseDeliversQueued verifies the mailbox contract carries over:
+// messages pushed before close are still delivered, pushes after close are
+// rejected.
+func TestHandoffCloseDeliversQueued(t *testing.T) {
+	h := newHandoff()
+	for i := 0; i < 10; i++ {
+		h.push(seqMsg(i))
+	}
+	h.close()
+	if h.push(seqMsg(99)) {
+		t.Fatal("push accepted after close")
+	}
+	var got []string
+	h.drain(func(m Message) { got = append(got, m.Kind) })
+	if len(got) != 10 {
+		t.Fatalf("delivered %d queued messages after close, want 10", len(got))
+	}
+}
+
+// TestHandoffRunBoundaries checks drainRuns invokes runEnd after every run of
+// messages and not while blocking idle: one lone message is one run (the
+// coalescer flush that keeps an idle server's reply latency unchanged).
+func TestHandoffRunBoundaries(t *testing.T) {
+	h := newHandoff()
+	delivered := make(chan string, 16)
+	runs := make(chan struct{}, 16)
+	go h.drainRuns(
+		func(m Message) { delivered <- m.Kind },
+		func() { runs <- struct{}{} },
+	)
+	h.push(seqMsg(0))
+	if got := <-delivered; got != "m0" {
+		t.Fatalf("got %q", got)
+	}
+	<-runs
+	h.push(seqMsg(1))
+	if got := <-delivered; got != "m1" {
+		t.Fatalf("got %q", got)
+	}
+	<-runs
+	h.close()
+}

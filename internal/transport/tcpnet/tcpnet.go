@@ -717,9 +717,11 @@ func (n *Node) acceptLoop() {
 }
 
 // readLoop decodes frames from one inbound connection into the mailbox. The
-// connection is wrapped in a bufio.Reader and frames are read into a buffer
-// reused across frames; only the payload handed to the inbox is freshly
-// allocated (it must own its bytes — the codec's decoded views alias it).
+// connection is wrapped in a bufio.Reader and each frame body is read into a
+// pooled refcounted arena (wire.GetArena): delivered payloads ALIAS the arena
+// buffer instead of being freshly allocated per frame, and the arena is
+// recycled once every consumer has released its reference (the codec's
+// ownership rule 4).
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer func() {
@@ -729,7 +731,6 @@ func (n *Node) readLoop(conn net.Conn) {
 		n.mu.Unlock()
 	}()
 	br := bufio.NewReaderSize(conn, writeBufferSize)
-	var scratch []byte
 	var sender types.ProcessID
 	announced := false
 	defer func() {
@@ -738,7 +739,7 @@ func (n *Node) readLoop(conn net.Conn) {
 		}
 	}()
 	for {
-		from, kind, payload, err := readFrameReusing(br, &scratch)
+		from, kind, payload, arena, err := readFrameArena(br)
 		if err != nil {
 			return
 		}
@@ -755,26 +756,33 @@ func (n *Node) readLoop(conn net.Conn) {
 		closed := n.closed
 		n.mu.Unlock()
 		if closed {
+			arena.Release()
 			return
 		}
 		// A batch frame (the flusher's coalesced output) is expanded here, so
 		// inbox consumers see exactly the per-message stream they always did;
-		// the sub-payloads alias the frame's payload buffer, which is freshly
-		// allocated per frame and therefore safe to retain. Frames written by
-		// older tools or tests with a non-batch kind pass through unchanged.
+		// the sub-payloads alias the frame's arena buffer, with one arena
+		// reference handed to each delivered message (the reader's own
+		// reference drops once expansion is done). Frames written by older
+		// tools or tests with a non-batch kind pass through unchanged.
 		if kind == wire.BatchKind && wire.IsBatch(payload) {
 			_ = wire.ForEachInBatch(payload, func(sub []byte) error {
-				n.deliverInbound(transport.Message{From: from, To: n.cfg.Self, Kind: kind, Payload: sub})
+				arena.Ref()
+				n.deliverInbound(transport.Message{From: from, To: n.cfg.Self, Kind: kind, Payload: sub, Arena: arena})
 				return nil
 			})
+			arena.Release()
 			continue
 		}
-		n.deliverInbound(transport.Message{From: from, To: n.cfg.Self, Kind: kind, Payload: payload})
+		// A single-message frame transfers the reader's reference to the
+		// delivered message.
+		n.deliverInbound(transport.Message{From: from, To: n.cfg.Self, Kind: kind, Payload: payload, Arena: arena})
 	}
 }
 
 // deliverInbound hands one decoded message to the inbox, counting it either
-// way.
+// way. The message's arena reference travels with it; a dropped message gives
+// the reference back immediately.
 func (n *Node) deliverInbound(msg transport.Message) {
 	select {
 	case n.box <- msg:
@@ -784,6 +792,7 @@ func (n *Node) deliverInbound(msg transport.Message) {
 		// message loss of this kind because they never wait for more than
 		// S−t replies, and clients retransmit by retrying the operation.
 		// The drop is counted so operators can see it.
+		msg.ReleaseArena()
 		n.droppedInbound.Add(1)
 	}
 }
@@ -831,6 +840,43 @@ func readFrameReusing(r io.Reader, scratch *[]byte) (types.ProcessID, string, []
 		*scratch = make([]byte, total)
 	}
 	body := (*scratch)[:total]
+	from, kind, view, err := parseFrameBody(r, body)
+	if err != nil {
+		return types.ProcessID{}, "", nil, err
+	}
+	// The frame buffer is reused for the next frame; the payload handed out
+	// must own its bytes.
+	payload := append([]byte(nil), view...)
+	return from, kind, payload, nil
+}
+
+// readFrameArena reads one frame with its body in a pooled refcounted arena.
+// The returned payload ALIASES the arena buffer; the caller owns the arena's
+// initial reference (released internally on every error path). This is the
+// hot-path variant of readFrameReusing: same layout, same validation, but the
+// per-frame payload copy is replaced by arena recycling.
+func readFrameArena(r io.Reader) (types.ProcessID, string, []byte, *wire.Arena, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return types.ProcessID{}, "", nil, nil, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total > maxFrameSize {
+		return types.ProcessID{}, "", nil, nil, fmt.Errorf("tcpnet: frame too large (%d bytes)", total)
+	}
+	arena := wire.GetArena(int(total))
+	body := arena.Bytes()
+	from, kind, payload, err := parseFrameBody(r, body)
+	if err != nil {
+		arena.Release()
+		return types.ProcessID{}, "", nil, nil, err
+	}
+	return from, kind, payload, arena, nil
+}
+
+// parseFrameBody fills body from the reader and decodes the frame fields; the
+// returned kind and payload alias body.
+func parseFrameBody(r io.Reader, body []byte) (types.ProcessID, string, []byte, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return types.ProcessID{}, "", nil, err
 	}
@@ -847,17 +893,22 @@ func readFrameReusing(r io.Reader, scratch *[]byte) (types.ProcessID, string, []
 	if off+kindLen+4 > len(body) {
 		return types.ProcessID{}, "", nil, errors.New("tcpnet: truncated kind")
 	}
-	kind := string(body[off : off+kindLen])
+	// Nearly every frame is the flusher's coalesced batch; comparing against
+	// the constant first avoids materialising a kind string per frame (the
+	// comparison itself does not allocate).
+	var kind string
+	if kindBytes := body[off : off+kindLen]; string(kindBytes) == wire.BatchKind {
+		kind = wire.BatchKind
+	} else {
+		kind = string(kindBytes)
+	}
 	off += kindLen
 	payloadLen := int(binary.BigEndian.Uint32(body[off : off+4]))
 	off += 4
 	if off+payloadLen != len(body) {
 		return types.ProcessID{}, "", nil, errors.New("tcpnet: inconsistent payload length")
 	}
-	// The frame buffer is reused for the next frame; the payload handed out
-	// must own its bytes.
-	payload := append([]byte(nil), body[off:]...)
-	return from, kind, payload, nil
+	return from, kind, body[off:], nil
 }
 
 // LocalCluster starts one TCP node per identity, all listening on loopback

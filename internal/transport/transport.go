@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"fastread/internal/types"
+	"fastread/internal/wire"
 )
 
 // Message is a single protocol message travelling between two processes. The
@@ -28,6 +29,33 @@ type Message struct {
 	To      types.ProcessID
 	Kind    string
 	Payload []byte
+	// Arena, when non-nil, is the refcounted frame buffer Payload aliases
+	// (socket transports decode each inbound frame into one pooled arena; the
+	// in-memory network leaves it nil). The message carries ONE reference:
+	// whoever consumes the message calls ReleaseArena when done with the
+	// payload and everything decoded from it, and anything retaining an
+	// aliasing view longer takes its own Arena.Ref first. See wire's
+	// buffer-ownership rule 4.
+	Arena *wire.Arena
+}
+
+// RetainArena takes one additional reference on the message's arena, if any:
+// call it before handing a COPY of the message to an additional independent
+// consumer (the executor's dispatcher queueing to a worker, the demux pump
+// queueing to a route).
+func (m Message) RetainArena() {
+	if m.Arena != nil {
+		m.Arena.Ref()
+	}
+}
+
+// ReleaseArena drops the message's arena reference, if any. Consumers call it
+// exactly once per delivered message, after the payload (and every transient
+// view decoded from it) is no longer referenced.
+func (m Message) ReleaseArena() {
+	if m.Arena != nil {
+		m.Arena.Release()
+	}
 }
 
 // String renders the message for traces and test failures.
@@ -81,8 +109,14 @@ var (
 // (one-worker) case of Executor and remains the right tool for client-side
 // helpers and tests; the protocol servers run on a key-sharded Executor
 // instead.
+//
+// Serve owns each delivered message's arena reference and releases it after
+// the handler returns: handlers retain decoded views past their own return
+// only by cloning or taking an Arena.Ref of their own (wire's ownership
+// rules 3 and 4).
 func Serve(node Node, handler func(Message)) {
 	for msg := range node.Inbox() {
 		Expand(msg, handler)
+		msg.ReleaseArena()
 	}
 }

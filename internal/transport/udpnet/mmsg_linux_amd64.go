@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package udpnet
+
+// The mmsg syscall numbers for linux/amd64; sendmmsg postdates the stdlib
+// syscall package's frozen sysnum table.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

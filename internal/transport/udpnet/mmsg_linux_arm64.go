@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package udpnet
+
+// The mmsg syscall numbers for linux/arm64.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -1,0 +1,23 @@
+//go:build !linux || !(amd64 || arm64)
+
+// Portable datagram paths for platforms without the batched mmsg syscalls:
+// identical semantics, one syscall per datagram.
+
+package udpnet
+
+import "net"
+
+// batchState is empty without the batch syscalls.
+type batchState struct{}
+
+// newBatchState reports no batch-syscall support.
+func newBatchState(conn *net.UDPConn) *batchState { return nil }
+
+// writeBatch ships each datagram with its own write syscall.
+func (n *Node) writeBatch(pkts []*packet) { n.writeBatchPortable(pkts) }
+
+// readLoop reads one datagram per syscall.
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	n.readLoopPortable()
+}

@@ -1,0 +1,626 @@
+// Package udpnet implements the transport.Node interface over UDP datagrams
+// — the raw-speed tier of the socket transports. Where tcpnet spends syscalls
+// on connection management and in-order byte streams the protocols never
+// asked for, udpnet maps the paper's asynchronous lossy network directly onto
+// datagrams: a message either arrives whole or it does not, and the register
+// protocols already tolerate loss by construction (they only ever wait for
+// S−t of S replies and never retransmit).
+//
+// What UDP does NOT give us — and the transport must add — is at-most-once
+// delivery: datagrams can be duplicated in flight, and a duplicated WRITE ack
+// is indistinguishable from a fresh one to the quorum counters. Every
+// datagram therefore carries a 64-bit sequence number and receivers keep a
+// per-sender dedup window (highest sequence seen plus a 64-bit bitmap of the
+// recent past); duplicates and stale replays are dropped and counted. The
+// sequence counter is seeded from the wall clock at start-up so a restarted
+// process never replays sequence numbers its peers have already seen.
+//
+// Syscall batching replaces tcpnet's stream coalescing: outbound datagrams
+// from all senders funnel through one bounded queue drained by a single
+// sender goroutine that ships up to sendBatchSize datagrams per sendmmsg(2)
+// call; the receive side reads up to recvBatchSize datagrams per recvmmsg(2)
+// call. On platforms without the mmsg syscalls (or when the kernel rejects
+// them) both paths degrade to one-datagram-per-syscall loops with identical
+// semantics. Senders never block: a full outbound queue drops the datagram
+// whole (counted), exactly like a lossy link.
+//
+// The frame layout inside a datagram is tcpnet's, minus the length prefix
+// (datagram boundaries are self-delimiting) and plus the sequence number, so
+// the batch-envelope framing the executor coalescers emit travels unchanged:
+// a datagram whose kind is wire.BatchKind expands into per-message views
+// aliasing one shared refcounted arena, exactly as on TCP.
+package udpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastread/internal/transport"
+	"fastread/internal/types"
+	"fastread/internal/wire"
+)
+
+// AddressBook maps process identities to their "host:port" UDP addresses.
+type AddressBook map[types.ProcessID]string
+
+// Clone returns a copy of the address book.
+func (b AddressBook) Clone() AddressBook {
+	out := make(AddressBook, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Config configures one UDP-attached process.
+type Config struct {
+	// Self is the identity of this process.
+	Self types.ProcessID
+	// ListenAddr is the address to bind; when empty, the address book entry
+	// for Self is used.
+	ListenAddr string
+	// Book maps every peer (and usually Self) to its address.
+	Book AddressBook
+	// Resolve, when non-nil, is consulted for destinations the Book does not
+	// cover, serving the same live-address-table role as tcpnet's Resolve
+	// (deployments on ephemeral ports). Must be safe for concurrent use.
+	Resolve func(types.ProcessID) (string, bool)
+	// ReceiveFilter, when non-nil, is consulted for every inbound datagram
+	// with the claimed sender identity; returning false drops the datagram
+	// before dedup and delivery, exactly as if the network had lost it. It
+	// exists for packet-loss injection in tests (the protocols must complete
+	// through the surviving quorum) and must be safe for concurrent use.
+	ReceiveFilter func(from types.ProcessID) bool
+}
+
+// Errors returned by the UDP transport.
+var (
+	// ErrNoAddress indicates a destination without an address book entry.
+	ErrNoAddress = errors.New("udpnet: no address for destination")
+	// ErrClosed indicates the node has been closed.
+	ErrClosed = errors.New("udpnet: node closed")
+)
+
+// maxDatagramSize bounds one datagram, comfortably under UDP's 65,507-byte
+// payload ceiling. Inbound reads use buffers of exactly this size; anything
+// longer is truncated by the kernel and then rejected by the parser.
+const maxDatagramSize = 60 << 10
+
+// packetOverhead is the per-datagram header: uint64 seq + byte role + uint32
+// index + uint16 kindLen + kind + uint32 payloadLen.
+const packetOverhead = 8 + 1 + 4 + 2 + 4
+
+// maxPayloadSize bounds a single outbound payload so the full datagram
+// (header + longest kind string) stays inside maxDatagramSize.
+const maxPayloadSize = maxDatagramSize - packetOverhead - 64
+
+// sendBatchSize is the number of datagrams shipped per sendmmsg call, and
+// recvBatchSize the number read per recvmmsg call.
+const (
+	sendBatchSize = 32
+	recvBatchSize = 32
+)
+
+// outboundQueueLen bounds datagrams awaiting the sender goroutine. Senders
+// never block on the socket; overflow is dropped whole and counted.
+const outboundQueueLen = 1024
+
+// NodeStats counts what happened on one UDP node so far. It extends tcpnet's
+// counter set with DedupDrops, the datagrams discarded by the at-most-once
+// window.
+type NodeStats struct {
+	// Delivered counts protocol messages decoded and handed to the inbox. A
+	// batch datagram contributes one count per message it carries.
+	Delivered int64
+	// Frames counts datagrams read off the socket (the UDP analogue of
+	// tcpnet's wire frames; the batching-efficiency denominator).
+	Frames int64
+	// DroppedInbound counts messages discarded because the inbox was full.
+	DroppedInbound int64
+	// DroppedSend counts outbound messages discarded because the destination
+	// was unresolvable, the outbound queue was full, the datagram was
+	// oversized, or the send syscall failed.
+	DroppedSend int64
+	// DedupDrops counts inbound datagrams discarded by the per-sender
+	// at-most-once window: duplicates, replays and datagrams older than the
+	// 64-entry window.
+	DedupDrops int64
+}
+
+// packet is one encoded outbound datagram queued for the sender goroutine.
+type packet struct {
+	buf  []byte // complete datagram (seq + frame), pooled
+	addr *net.UDPAddr
+	msgs int // protocol messages inside, for drop accounting
+}
+
+var packetPool = sync.Pool{New: func() any { return &packet{buf: make([]byte, 0, 2048)} }}
+
+func putPacket(p *packet) {
+	p.buf = p.buf[:0]
+	p.addr = nil
+	p.msgs = 0
+	packetPool.Put(p)
+}
+
+// Node is one process attached to the UDP network.
+type Node struct {
+	cfg  Config
+	conn *net.UDPConn
+	box  chan transport.Message
+	out  chan *packet
+	done chan struct{}
+
+	mu     sync.Mutex
+	peers  map[types.ProcessID]*net.UDPAddr
+	closed bool
+
+	// seq is the node-wide outbound sequence counter, seeded from the wall
+	// clock so a restart never reuses sequence numbers already seen by
+	// peers' dedup windows. One counter covers all destinations: receivers
+	// key their windows by sender, and gaps (sequences spent on other
+	// destinations) are indistinguishable from loss, which the window
+	// tolerates by design.
+	seq atomic.Uint64
+
+	// dedup is owned by the read loop goroutine; no lock needed.
+	dedup map[types.ProcessID]*dedupWindow
+
+	delivered      atomic.Int64
+	frames         atomic.Int64
+	droppedInbound atomic.Int64
+	droppedSend    atomic.Int64
+	dedupDrops     atomic.Int64
+
+	// bs holds the platform batch-syscall state (nil when unavailable).
+	bs *batchState
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Node = (*Node)(nil)
+
+// Listen binds a UDP node for the given process.
+func Listen(cfg Config) (*Node, error) {
+	if !cfg.Self.Valid() {
+		return nil, fmt.Errorf("udpnet: invalid self identity %v", cfg.Self)
+	}
+	addr := cfg.ListenAddr
+	if addr == "" {
+		addr = cfg.Book[cfg.Self]
+	}
+	if addr == "" {
+		return nil, fmt.Errorf("%w: %v (set ListenAddr or add a book entry)", ErrNoAddress, cfg.Self)
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: listen %s: %w", addr, err)
+	}
+	return newNode(cfg, conn), nil
+}
+
+// newNode wraps a bound socket in a running Node.
+func newNode(cfg Config, conn *net.UDPConn) *Node {
+	cfg.Book = cfg.Book.Clone()
+	// Generous kernel buffers absorb bursts the batched syscalls have not
+	// drained yet; loss past that point is the lossy-link model at work.
+	_ = conn.SetReadBuffer(4 << 20)
+	_ = conn.SetWriteBuffer(4 << 20)
+	n := &Node{
+		cfg:   cfg,
+		conn:  conn,
+		box:   make(chan transport.Message, 1024),
+		out:   make(chan *packet, outboundQueueLen),
+		done:  make(chan struct{}),
+		peers: make(map[types.ProcessID]*net.UDPAddr),
+		dedup: make(map[types.ProcessID]*dedupWindow),
+		bs:    newBatchState(conn),
+	}
+	n.seq.Store(uint64(time.Now().UnixMicro()))
+	n.wg.Add(2)
+	go n.readLoop()
+	go n.sendLoop()
+	return n
+}
+
+// Addr returns the address the node is bound to (useful with ":0").
+func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
+
+// ID implements transport.Node.
+func (n *Node) ID() types.ProcessID { return n.cfg.Self }
+
+// Inbox implements transport.Node.
+func (n *Node) Inbox() <-chan transport.Message { return n.box }
+
+// Stats returns a snapshot of the node's delivery and drop counters.
+func (n *Node) Stats() NodeStats {
+	return NodeStats{
+		Delivered:      n.delivered.Load(),
+		Frames:         n.frames.Load(),
+		DroppedInbound: n.droppedInbound.Load(),
+		DroppedSend:    n.droppedSend.Load(),
+		DedupDrops:     n.dedupDrops.Load(),
+	}
+}
+
+// Send implements transport.Node. The payload is fully copied into a pooled
+// datagram buffer before Send returns; ownership is NOT retained. Messages to
+// unknown destinations, oversized single messages and messages arriving at a
+// full outbound queue are dropped (and counted) — never blocking the sender,
+// which is the datagram analogue of tcpnet's bounded write queue. A batch
+// envelope too large for one datagram is split into several full datagrams
+// rather than dropped.
+func (n *Node) Send(to types.ProcessID, kind string, payload []byte) error {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if len(payload) > maxPayloadSize {
+		if kind == wire.BatchKind && wire.IsBatch(payload) {
+			return n.sendChunked(to, payload)
+		}
+		n.droppedSend.Add(1)
+		return fmt.Errorf("udpnet: payload too large (%d bytes)", len(payload))
+	}
+	return n.sendOne(to, kind, payload)
+}
+
+// sendOne encodes one datagram and hands it to the sender goroutine.
+func (n *Node) sendOne(to types.ProcessID, kind string, payload []byte) error {
+	msgs := 1
+	if kind == wire.BatchKind && wire.IsBatch(payload) {
+		if c, err := wire.BatchCount(payload); err == nil {
+			msgs = c
+		}
+	}
+	addr, err := n.addrOf(to)
+	if err != nil {
+		// Unresolvable peer: the message is lost in transit. Not an error
+		// for the sender in the asynchronous model.
+		n.droppedSend.Add(int64(msgs))
+		return nil
+	}
+	p := packetPool.Get().(*packet)
+	p.buf = appendPacket(p.buf[:0], n.seq.Add(1), n.cfg.Self, kind, payload)
+	p.addr = addr
+	p.msgs = msgs
+	select {
+	case n.out <- p:
+	default:
+		n.droppedSend.Add(int64(msgs))
+		putPacket(p)
+	}
+	return nil
+}
+
+// sendChunked splits a batch envelope that cannot fit one datagram into
+// several smaller envelopes, each sent as its own datagram. Coalescers bound
+// their runs well below a datagram in practice; this path keeps correctness
+// when they do not. Entries too large even alone are dropped and counted.
+func (n *Node) sendChunked(to types.ProcessID, envelope []byte) error {
+	chunk := wire.NewBatch(0)
+	flush := func() error {
+		if chunk.Count() == 0 {
+			return nil
+		}
+		err := n.sendOne(to, wire.BatchKind, chunk.Bytes())
+		// sendOne copied the bytes into a pooled datagram buffer, so the
+		// chunk buffer is safely reusable (no receiver ever aliases it).
+		chunk.Reset()
+		return err
+	}
+	_ = wire.ForEachInBatch(envelope, func(sub []byte) error {
+		if len(sub)+8 > maxPayloadSize {
+			n.droppedSend.Add(1)
+			return nil
+		}
+		if chunk.Count() > 0 && chunk.Size()+4+len(sub) > maxPayloadSize {
+			_ = flush()
+		}
+		chunk.Append(sub)
+		return nil
+	})
+	return flush()
+}
+
+// addrOf resolves and caches a destination's UDP address.
+func (n *Node) addrOf(to types.ProcessID) (*net.UDPAddr, error) {
+	n.mu.Lock()
+	if a, ok := n.peers[to]; ok {
+		n.mu.Unlock()
+		return a, nil
+	}
+	addr, ok := n.cfg.Book[to]
+	n.mu.Unlock()
+	if !ok && n.cfg.Resolve != nil {
+		addr, ok = n.cfg.Resolve(to)
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoAddress, to)
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.peers[to] = ua
+	n.mu.Unlock()
+	return ua, nil
+}
+
+// Close implements transport.Node.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.done)      // stops the sender goroutine
+	_ = n.conn.Close() // unblocks the read loop
+	n.wg.Wait()
+	// Count datagrams the sender never got to as send drops; they were
+	// accepted into the queue but can no longer leave.
+	for {
+		select {
+		case p := <-n.out:
+			n.droppedSend.Add(int64(p.msgs))
+			putPacket(p)
+		default:
+			close(n.box)
+			return nil
+		}
+	}
+}
+
+// sendLoop drains the outbound queue, shipping up to sendBatchSize datagrams
+// per writeBatch call (one sendmmsg syscall on Linux). The queue decouples
+// senders from syscalls the way tcpnet's per-peer flusher does, except
+// batching is across destinations: sendmmsg carries a per-datagram
+// destination address, so one syscall fans a quorum broadcast out to every
+// server.
+func (n *Node) sendLoop() {
+	defer n.wg.Done()
+	batch := make([]*packet, 0, sendBatchSize)
+	for {
+		select {
+		case <-n.done:
+			return
+		case p := <-n.out:
+			batch = append(batch[:0], p)
+		fill:
+			for len(batch) < sendBatchSize {
+				select {
+				case q := <-n.out:
+					batch = append(batch, q)
+				default:
+					break fill
+				}
+			}
+			n.writeBatch(batch)
+			for _, q := range batch {
+				putPacket(q)
+			}
+		}
+	}
+}
+
+// writeBatchPortable ships each datagram with its own write syscall: the
+// semantics-preserving fallback for platforms (or kernels) without sendmmsg.
+func (n *Node) writeBatchPortable(pkts []*packet) {
+	for _, p := range pkts {
+		if _, err := n.conn.WriteToUDP(p.buf, p.addr); err != nil {
+			n.droppedSend.Add(int64(p.msgs))
+		}
+	}
+}
+
+// readLoopPortable reads one datagram per syscall: the fallback receive path.
+func (n *Node) readLoopPortable() {
+	buf := make([]byte, maxDatagramSize)
+	for {
+		m, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		n.handleDatagram(buf[:m])
+	}
+}
+
+// handleDatagram validates, dedups and delivers one inbound datagram. The
+// frame body is copied once into a right-sized pooled refcounted arena so
+// every delivered view — including each message of a batch envelope — aliases
+// recycled memory rather than a fresh per-datagram allocation (wire's
+// ownership rule 4), while the fixed-size read buffer returns to the
+// recvmmsg ring immediately. Right-sizing matters here: server retention
+// points pin a delivered message's arena for as long as the adopted value
+// lives, and pinning a 60 KiB read buffer per register would defeat the pool.
+func (n *Node) handleDatagram(pkt []byte) {
+	n.frames.Add(1)
+	seq, from, kind, payload, err := parsePacket(pkt)
+	if err != nil {
+		// Malformed datagrams (hostile or truncated) vanish silently, like
+		// any other undecodable traffic in the asynchronous model.
+		return
+	}
+	if f := n.cfg.ReceiveFilter; f != nil && !f(from) {
+		return
+	}
+	w := n.dedup[from]
+	if w == nil {
+		w = &dedupWindow{}
+		n.dedup[from] = w
+	}
+	if w.observe(seq) {
+		n.dedupDrops.Add(1)
+		return
+	}
+
+	body := pkt[8:]
+	arena := wire.GetArena(len(body))
+	abody := arena.Bytes()
+	copy(abody, body)
+	apayload := abody[len(body)-len(payload):]
+
+	// Batch expansion mirrors tcpnet's readLoop: one arena reference per
+	// delivered message, the creator's reference dropped after expansion.
+	if kind == wire.BatchKind && wire.IsBatch(apayload) {
+		_ = wire.ForEachInBatch(apayload, func(sub []byte) error {
+			arena.Ref()
+			n.deliverInbound(transport.Message{From: from, To: n.cfg.Self, Kind: kind, Payload: sub, Arena: arena})
+			return nil
+		})
+		arena.Release()
+		return
+	}
+	n.deliverInbound(transport.Message{From: from, To: n.cfg.Self, Kind: kind, Payload: apayload, Arena: arena})
+}
+
+// deliverInbound hands one decoded message to the inbox, counting it either
+// way. A dropped message gives its arena reference back immediately.
+func (n *Node) deliverInbound(msg transport.Message) {
+	select {
+	case n.box <- msg:
+		n.delivered.Add(1)
+	default:
+		msg.ReleaseArena()
+		n.droppedInbound.Add(1)
+	}
+}
+
+// dedupWindow is one sender's at-most-once state: the highest sequence seen
+// and a bitmap of the 64 sequences just below it (bit i marks hi-1-i). A
+// datagram above the window advances it; one inside the window is accepted
+// exactly once; one below the window is treated as a replay and dropped —
+// with sequences seeded from the wall clock, anything 64 sequences stale is
+// either a duplicate or a previous incarnation's traffic.
+type dedupWindow struct {
+	seen bool
+	hi   uint64
+	bits uint64
+}
+
+// observe records a sequence number, reporting true when the datagram must be
+// dropped as a duplicate or stale replay.
+func (w *dedupWindow) observe(s uint64) bool {
+	if !w.seen {
+		w.seen, w.hi = true, s
+		return false
+	}
+	switch {
+	case s > w.hi:
+		d := s - w.hi
+		if d >= 64 {
+			w.bits = 0
+		} else {
+			// The old highest moves to distance d inside the window.
+			w.bits = w.bits<<d | 1<<(d-1)
+		}
+		w.hi = s
+		return false
+	case s == w.hi:
+		return true
+	default:
+		d := w.hi - s
+		if d > 64 {
+			return true
+		}
+		mask := uint64(1) << (d - 1)
+		if w.bits&mask != 0 {
+			return true
+		}
+		w.bits |= mask
+		return false
+	}
+}
+
+// appendPacket encodes one datagram: the sequence number followed by the
+// tcpnet frame body (sender identity, kind, payload) — no length prefix, the
+// datagram boundary is the frame boundary.
+func appendPacket(buf []byte, seq uint64, from types.ProcessID, kind string, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	buf = append(buf, byte(from.Role))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(from.Index))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(kind)))
+	buf = append(buf, kind...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return buf
+}
+
+// parsePacket decodes one datagram. The returned kind and payload ALIAS pkt;
+// every view is bounds-checked against the datagram length (the fuzz target
+// FuzzParsePacket holds parsePacket to "never panic, views in bounds" on
+// arbitrary input).
+func parsePacket(pkt []byte) (seq uint64, from types.ProcessID, kind string, payload []byte, err error) {
+	if len(pkt) < packetOverhead {
+		err = errors.New("udpnet: truncated datagram")
+		return
+	}
+	seq = binary.BigEndian.Uint64(pkt)
+	body := pkt[8:]
+	from = types.ProcessID{Role: types.Role(body[0]), Index: int(binary.BigEndian.Uint32(body[1:5]))}
+	if !from.Valid() {
+		err = fmt.Errorf("udpnet: invalid sender %v", from)
+		return
+	}
+	off := 5
+	kindLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2
+	if off+kindLen+4 > len(body) {
+		err = errors.New("udpnet: truncated kind")
+		return
+	}
+	// Nearly every datagram under load is a coalesced batch; comparing
+	// against the constant avoids materialising a kind string per datagram.
+	if kindBytes := body[off : off+kindLen]; string(kindBytes) == wire.BatchKind {
+		kind = wire.BatchKind
+	} else {
+		kind = string(kindBytes)
+	}
+	off += kindLen
+	payloadLen := int(binary.BigEndian.Uint32(body[off : off+4]))
+	off += 4
+	if payloadLen < 0 || off+payloadLen != len(body) {
+		err = errors.New("udpnet: inconsistent payload length")
+		kind = ""
+		return
+	}
+	payload = body[off:]
+	return
+}
+
+// LocalCluster binds one UDP node per identity, all on loopback with
+// ephemeral ports, and returns them along with the shared address book.
+func LocalCluster(ids []types.ProcessID) (map[types.ProcessID]*Node, AddressBook, error) {
+	conns := make(map[types.ProcessID]*net.UDPConn, len(ids))
+	book := make(AddressBook, len(ids))
+	for _, id := range ids {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			for _, prev := range conns {
+				_ = prev.Close()
+			}
+			return nil, nil, err
+		}
+		conns[id] = conn
+		book[id] = conn.LocalAddr().String()
+	}
+	nodes := make(map[types.ProcessID]*Node, len(ids))
+	for _, id := range ids {
+		nodes[id] = newNode(Config{Self: id, Book: book}, conns[id])
+	}
+	return nodes, book, nil
+}

@@ -24,11 +24,25 @@ import "sync"
 //     alias the payload. That is safe precisely because of rule 1. A decoded
 //     message (and anything aliasing it) is valid until the handler returns.
 //
-//  3. Clone at retention points. Any decoded field that outlives handling of
-//     the one message that carried it — a value adopted into server state, a
-//     reader's remembered last-observed tag — must be cloned at the point of
-//     retention. Transient uses (building an ack that is encoded before the
-//     handler returns, evaluating a predicate) must NOT clone.
+//  3. Clone OR REF at retention points. Any decoded field that outlives
+//     handling of the one message that carried it — a value adopted into
+//     server state, a reader's remembered last-observed tag, a pipelined
+//     client's detached acknowledgement — must either be cloned at the point
+//     of retention, or keep aliasing while holding a REFERENCE on the frame's
+//     Arena (see rule 4). Transient uses (building an ack that is encoded
+//     before the handler returns, evaluating a predicate) must NOT clone.
+//
+//  4. Arena frames are refcounted. A socket transport decodes each inbound
+//     frame into a pooled, refcounted Arena (arena.go); every view decoded
+//     from the frame aliases that buffer. The delivered transport message
+//     carries one reference; whoever drains the inbox releases it after
+//     handling, and anything that retains an aliasing view past that point
+//     must take its own Arena.Ref first and Release when done. A missing
+//     Release degrades to rule-1 behaviour (the buffer leaks to the GC, views
+//     stay valid); a double Release panics, because recycling a live frame
+//     buffer corrupts every surviving view. Messages without an arena (the
+//     in-memory transport, hand-built tests) follow rule 3's clone branch
+//     unchanged.
 //
 // GetMessage/PutMessage recycle Message structs for rule-2 scratch decoding;
 // GetBuffer/PutBuffer recycle byte slices for encode/digest scratch that the
@@ -67,12 +81,37 @@ func (m *Message) Reset() {
 // for handing an accepted message to a caller while the scratch keeps being
 // reused. Cur, Prev and WriterSig still alias the original payload (rule 2);
 // the scratch relinquishes its Seen backing array to the copy and will
-// reallocate one on its next decode.
+// reallocate one on its next decode. The serial collectors use it; the
+// pipelined engine detaches into pooled messages with CopyAliasInto instead,
+// which keeps BOTH sides' Seen capacity alive.
 func (m *Message) Detach() *Message {
 	out := new(Message)
 	*out = *m
 	m.Seen = nil
 	return out
+}
+
+// Fill overwrites the pooled message with v while keeping the key memo. An
+// ack-building scratch that did a plain `*ack = wire.Message{...}` wiped the
+// memo, so the NEXT decode into that pooled struct re-allocated the key string
+// (see decodeMessage's memo comparison) — under a steady single-key workload
+// that was one hidden allocation per handled message.
+func (m *Message) Fill(v Message) {
+	memo := m.keyMemo
+	*m = v
+	m.keyMemo = memo
+}
+
+// CopyAliasInto copies the message into dst, reusing dst's Seen capacity
+// instead of stealing m's (contrast Detach). Byte fields still ALIAS m's
+// payload (rule 2), so dst lives exactly as long as the payload — under an
+// arena regime the caller must pair the copy with an Arena.Ref (rule 4). The
+// intended cycle is dst := GetMessage(); scratch.CopyAliasInto(dst); ...;
+// PutMessage(dst) — steady state allocates nothing on either message.
+func (m *Message) CopyAliasInto(dst *Message) {
+	seen := append(dst.Seen[:0], m.Seen...)
+	*dst = *m
+	dst.Seen = seen
 }
 
 // bufferPool recycles encode/digest scratch buffers (rule 1 forbids pooling

@@ -234,7 +234,20 @@ type Stats struct {
 	// frames per operation below 1 is the batching working); on the
 	// in-memory backend there is no frame concept and it equals
 	// DeliveredMsgs.
-	FramesDelivered  int
+	FramesDelivered int
+	// SendDrops counts outbound messages the transport discarded: a peer's
+	// bounded write queue overflowing (TCP), the outbound datagram queue
+	// overflowing or an unreachable destination (UDP). The protocols tolerate
+	// these as in-transit losses; the counter makes overload visible.
+	SendDrops int
+	// InboundDrops counts messages discarded at a full inbox on the
+	// receiving side. DroppedMsgs is the sum of SendDrops, InboundDrops and
+	// DedupDrops.
+	InboundDrops int
+	// DedupDrops counts datagrams the UDP backend's per-sender at-most-once
+	// windows rejected as duplicates or stale replays; always zero on the
+	// other backends.
+	DedupDrops       int
 	ServerMutations  int64
 	ReadRoundsPerOp  float64
 	WriteRoundsPerOp float64

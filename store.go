@@ -297,7 +297,13 @@ func (s *Store) Stats() Stats {
 			out.FallbackReads += fallbacks
 		}
 	}
-	out.DeliveredMsgs, out.DroppedMsgs, out.FramesDelivered = s.session.stats()
+	ts := s.session.stats()
+	out.DeliveredMsgs = ts.delivered
+	out.FramesDelivered = ts.frames
+	out.DroppedMsgs = ts.dropped()
+	out.SendDrops = ts.sendDrops
+	out.InboundDrops = ts.inboundDrops
+	out.DedupDrops = ts.dedupDrops
 	for _, srv := range s.servers {
 		out.ServerMutations += srv.TotalMutations()
 	}

@@ -8,6 +8,7 @@ import (
 
 	"fastread/internal/transport"
 	"fastread/internal/transport/tcpnet"
+	"fastread/internal/transport/udpnet"
 	"fastread/internal/types"
 )
 
@@ -29,12 +30,15 @@ var ErrUnsupported = errors.New("fastread: operation not supported by this trans
 //     as the connections, and fault injection degrades to ErrUnsupported
 //     (crash a process by killing it, partition by firewalling — the real
 //     world is the fault injector).
+//   - UDP: the raw-speed tier; real datagram sockets with batched syscalls,
+//     loss mapped directly onto the paper's asynchronous model, and receive
+//     filters for packet-loss injection.
 //
 // A Transport value is a reusable factory: each NewStore call opens an
 // independent deployment from it. Implementations are provided by this
 // package only.
 type Transport interface {
-	// String names the backend ("inmem", "tcp").
+	// String names the backend ("inmem", "tcp", "udp").
 	String() string
 
 	// connect opens one deployment's network session. Sealed: transports are
@@ -52,10 +56,26 @@ type transportSession interface {
 	// inMem exposes the underlying in-memory network, or nil when the
 	// backend is not the in-memory one.
 	inMem() *transport.InMemNetwork
-	// stats reports messages delivered to and dropped by the backend so
-	// far, plus the frame count (== delivered on backends without frames).
-	stats() (delivered, dropped, frames int)
+	// stats reports the backend's delivery and drop counters so far.
+	stats() sessionStats
 }
+
+// sessionStats is a backend-neutral counter snapshot summed over a session's
+// nodes; Store.Stats surfaces it field by field.
+type sessionStats struct {
+	// delivered counts protocol messages handed to inboxes, and frames the
+	// transport frames that carried them (== delivered on backends without
+	// a frame concept).
+	delivered, frames int
+	// sendDrops counts outbound messages discarded before leaving (bounded
+	// write/datagram queues, unreachable peers); inboundDrops messages
+	// discarded at full inboxes; dedupDrops datagrams rejected by the UDP
+	// at-most-once windows.
+	sendDrops, inboundDrops, dedupDrops int
+}
+
+// dropped sums every way the backend lost a message.
+func (s sessionStats) dropped() int { return s.sendDrops + s.inboundDrops + s.dedupDrops }
 
 // InMemoryOption tweaks the in-memory backend.
 type InMemoryOption func(*inMemTransport)
@@ -142,10 +162,11 @@ func (s *inMemSession) crash(id types.ProcessID) error {
 	return nil
 }
 
-func (s *inMemSession) stats() (delivered, dropped, frames int) {
+func (s *inMemSession) stats() sessionStats {
 	ns := s.net.Stats()
-	// No frame concept in memory: a delivery is its own frame.
-	return ns.Delivered, ns.Dropped, ns.Delivered
+	// No frame concept in memory: a delivery is its own frame. Every
+	// in-memory drop happens on the delivery side (full inbox, adversary).
+	return sessionStats{delivered: ns.Delivered, frames: ns.Delivered, inboundDrops: ns.Dropped}
 }
 
 // TCPOption tweaks the TCP backend.
@@ -288,14 +309,167 @@ func (s *tcpSession) crash(id types.ProcessID) error {
 
 func (s *tcpSession) inMem() *transport.InMemNetwork { return nil }
 
-func (s *tcpSession) stats() (delivered, dropped, frames int) {
+func (s *tcpSession) stats() sessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var out sessionStats
 	for _, n := range s.nodes {
 		ns := n.Stats()
-		delivered += int(ns.Delivered)
-		dropped += int(ns.DroppedInbound + ns.DroppedSend)
-		frames += int(ns.Frames)
+		out.delivered += int(ns.Delivered)
+		out.frames += int(ns.Frames)
+		out.sendDrops += int(ns.DroppedSend)
+		out.inboundDrops += int(ns.DroppedInbound)
 	}
-	return delivered, dropped, frames
+	return out
+}
+
+// UDPOption tweaks the UDP backend.
+type UDPOption func(*udpTransport)
+
+// WithReceiveFilter installs a receive-side datagram filter on every process
+// of the deployment: keep is called with the textual identity of each
+// datagram's claimed sender ("w", "r1", "s3", ...) and returning false drops
+// the datagram exactly as if the network had lost it. It exists for
+// packet-loss injection in tests — the protocols must complete through the
+// surviving quorum — and must be safe for concurrent use.
+func WithReceiveFilter(keep func(from string) bool) UDPOption {
+	return func(t *udpTransport) { t.filter = keep }
+}
+
+// UDP returns the raw-speed transport backend: every process of the
+// deployment is a UDP socket endpoint exchanging datagrams with batched
+// syscalls (sendmmsg/recvmmsg on Linux, falling back to per-datagram I/O
+// elsewhere). Where the TCP backend layers the protocols over reliable
+// streams, UDP maps the paper's asynchronous lossy network directly onto the
+// wire: a datagram either arrives whole or never, senders never block or
+// retransmit, and the protocols tolerate loss by construction (they only
+// ever wait for S−t of S replies). Per-sender sequence windows restore
+// at-most-once delivery, which UDP alone does not guarantee and the quorum
+// counters require.
+//
+// book follows the same conventions as TCP's: textual identities mapped to
+// "host:port" addresses, with missing identities bound to ephemeral loopback
+// ports published through the deployment's live address table; a nil book
+// runs the whole deployment over real datagram sockets on 127.0.0.1.
+//
+// Fault-injection capabilities (CrashServer, Network) report ErrUnsupported
+// on this backend; packet loss is injected with WithReceiveFilter instead.
+func UDP(book map[string]string, opts ...UDPOption) Transport {
+	t := &udpTransport{book: make(map[string]string, len(book))}
+	for id, addr := range book {
+		t.book[id] = addr
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// udpTransport holds the deployment-independent UDP parameters.
+type udpTransport struct {
+	book   map[string]string
+	filter func(from string) bool
+}
+
+func (t *udpTransport) String() string { return "udp" }
+
+func (t *udpTransport) connect(cfg Config) (transportSession, error) {
+	static := make(udpnet.AddressBook, len(t.book))
+	for idStr, addr := range t.book {
+		id, err := types.ParseProcessID(idStr)
+		if err != nil {
+			return nil, fmt.Errorf("fastread: UDP address book entry %q: %w", idStr, err)
+		}
+		if addr == "" {
+			return nil, fmt.Errorf("fastread: UDP address book entry %q has an empty address", idStr)
+		}
+		static[id] = addr
+	}
+	s := &udpSession{
+		transport: t,
+		static:    static,
+		live:      make(udpnet.AddressBook),
+	}
+	if t.filter != nil {
+		keep := t.filter
+		s.filter = func(from types.ProcessID) bool { return keep(from.String()) }
+	}
+	return s, nil
+}
+
+// udpSession is one store's UDP deployment: each joined process owns a bound
+// datagram socket, and processes the static book does not cover are resolved
+// through the live table filled in at join time.
+type udpSession struct {
+	transport *udpTransport
+	static    udpnet.AddressBook
+	filter    func(types.ProcessID) bool
+
+	mu    sync.Mutex
+	live  udpnet.AddressBook
+	nodes []*udpnet.Node
+}
+
+func (s *udpSession) join(id types.ProcessID) (transport.Node, error) {
+	listenAddr := s.static[id]
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	node, err := udpnet.Listen(udpnet.Config{
+		Self:          id,
+		ListenAddr:    listenAddr,
+		Book:          s.static,
+		Resolve:       s.resolve,
+		ReceiveFilter: s.filter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.live[id] = node.Addr()
+	s.nodes = append(s.nodes, node)
+	s.mu.Unlock()
+	return node, nil
+}
+
+// resolve serves the live address table to every node of the session.
+func (s *udpSession) resolve(id types.ProcessID) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addr, ok := s.live[id]
+	return addr, ok
+}
+
+func (s *udpSession) close() error {
+	s.mu.Lock()
+	nodes := append([]*udpnet.Node(nil), s.nodes...)
+	s.mu.Unlock()
+	var first error
+	for _, n := range nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *udpSession) crash(id types.ProcessID) error {
+	return fmt.Errorf("%w: crash injection requires the in-memory network (kill the process instead)", ErrUnsupported)
+}
+
+func (s *udpSession) inMem() *transport.InMemNetwork { return nil }
+
+func (s *udpSession) stats() sessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out sessionStats
+	for _, n := range s.nodes {
+		ns := n.Stats()
+		out.delivered += int(ns.Delivered)
+		out.frames += int(ns.Frames)
+		out.sendDrops += int(ns.DroppedSend)
+		out.inboundDrops += int(ns.DroppedInbound)
+		out.dedupDrops += int(ns.DedupDrops)
+	}
+	return out
 }
