@@ -606,9 +606,14 @@ func BenchmarkSaturation(b *testing.B) {
 				key int
 			}
 			var retries int
-			// stall is reused across harvests (a per-op context.WithTimeout
-			// would dominate the allocs/op the bench exists to measure);
-			// aborted is a pre-cancelled context for abandoning stalled reads.
+			// The stall deadline and resubmission bound come from the public
+			// RetryPolicy — the same discipline ReadWithRetry applies to
+			// blocking callers, replayed here at the future level so the
+			// pipelined window keeps its depth. stall is reused across
+			// harvests (a per-op context.WithTimeout would dominate the
+			// allocs/op the bench exists to measure); aborted is a
+			// pre-cancelled context for abandoning stalled reads.
+			policy := RetryPolicy{Attempts: 8, Timeout: 5 * time.Second}.withDefaults()
 			stall := time.NewTimer(time.Hour)
 			stall.Stop()
 			defer stall.Stop()
@@ -619,10 +624,12 @@ func BenchmarkSaturation(b *testing.B) {
 			// so an op that loses more datagrams than its quorum slack waits
 			// forever — in which case the bench does what a real client on a
 			// lossy network does: abandon the stalled read (freeing its
-			// pipeline slot) and submit a replacement, counted in retries.
+			// pipeline slot) and submit a replacement, counted in retries. A
+			// loss streak outlasting the policy's attempts fails the bench
+			// instead of hanging it.
 			harvest := func(p inflightRead) {
-				for {
-					stall.Reset(5 * time.Second)
+				for attempt := 1; ; attempt++ {
+					stall.Reset(policy.Timeout)
 					select {
 					case <-p.f.Done():
 						if !stall.Stop() {
@@ -633,6 +640,9 @@ func BenchmarkSaturation(b *testing.B) {
 						}
 						return
 					case <-stall.C:
+						if attempt >= policy.Attempts {
+							b.Fatalf("read stranded after %d attempts of %v each", policy.Attempts, policy.Timeout)
+						}
 						retries++
 						_, err := p.f.Result(aborted) // aborts the stalled read
 						if !errors.Is(err, context.Canceled) && err != nil {

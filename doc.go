@@ -176,6 +176,19 @@
 // many would hand live bytes to the next frame and therefore PANICS
 // immediately. See internal/wire/arena.go for the full rules.
 //
+// # Virtual time and deterministic simulation
+//
+// The in-memory transport can be placed on a virtual clock
+// (transport.NewVirtualClock, wired in with transport.WithVirtualClock):
+// deliveries, timeouts and injected faults become events in a priority
+// queue, and the clock advances to the next event only when the system is
+// quiescent — every in-flight message accounted for, every handler
+// returned. Under the virtual clock a deployment must not consult wall
+// time: timers must be scheduled through the clock, and nonce sources must
+// derive from clock.Now() rather than time.Now(), or runs stop being
+// reproducible. The scenario DSL, the seed-sweeping explorer and the trace
+// shrinker built on this live in internal/sim and cmd/simexplore.
+//
 // Benchmarks quantifying each layer live in bench_test.go; BENCH_2.json,
 // BENCH_3.json, BENCH_5.json and BENCH_6.json record the measured
 // trajectory.

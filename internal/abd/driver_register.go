@@ -28,7 +28,7 @@ func init() {
 			return driver.AdaptWriter(w), nil
 		},
 		NewReader: func(cfg driver.ClientConfig, node transport.Node) (driver.Reader, error) {
-			r, err := NewReader(ClientConfig{Quorum: cfg.Quorum, Key: cfg.Key, Depth: cfg.Depth}, node)
+			r, err := NewReader(ClientConfig{Quorum: cfg.Quorum, Key: cfg.Key, Depth: cfg.Depth, Nonce: cfg.Nonce}, node)
 			if err != nil {
 				return nil, err
 			}

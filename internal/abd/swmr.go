@@ -39,6 +39,10 @@ type ClientConfig struct {
 	// once (ReadAsync/WriteAsync); non-positive means
 	// protoutil.DefaultPipelineDepth.
 	Depth int
+	// Nonce, when positive, overrides a reader's initial operation counter
+	// (see protoutil.StartNonce; deterministic simulation). Writers ignore
+	// it — the write timestamp sequence is quorum-recovered, not clocked.
+	Nonce int64
 	// Trace, if non-nil, records protocol events.
 	Trace *trace.Trace
 }
@@ -206,7 +210,7 @@ func NewReader(cfg ClientConfig, node transport.Node) (*Reader, error) {
 		id:       id,
 		servers:  protoutil.ServerIDs(cfg.Quorum.Servers),
 		pl:       protoutil.NewPipeline(node, cfg.Depth, cfg.Trace),
-		rCounter: protoutil.InitialNonce(),
+		rCounter: protoutil.StartNonce(cfg.Nonce),
 	}, nil
 }
 

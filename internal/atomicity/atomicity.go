@@ -19,6 +19,8 @@ package atomicity
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"time"
 
 	"fastread/internal/history"
 )
@@ -147,15 +149,41 @@ func checkSW(h history.History, requireMonotoneReads bool) (Report, error) {
 	}
 
 	// Condition (2): a read that succeeds write_k returns val_l, l ≥ k.
+	//
+	// The naive check scans every write per read (O(R·W)). Instead, sort the
+	// completed writes by return time and take a running maximum of their
+	// 1-based indices; "latest write completed before rd was invoked" is then
+	// one binary search per read. The running maximum makes the result
+	// identical to the scan even if completion order ever diverged from
+	// invocation order.
+	type doneWrite struct {
+		ret time.Time
+		idx int // 1-based write index
+	}
+	done := make([]doneWrite, 0, len(writes))
+	for k, wr := range writes {
+		if wr.Completed && !wr.Failed {
+			done = append(done, doneWrite{ret: wr.Returned, idx: k + 1})
+		}
+	}
+	sort.Slice(done, func(a, b int) bool { return done[a].ret.Before(done[b].ret) })
+	prefixMax := make([]int, len(done))
+	for i, dw := range done {
+		prefixMax[i] = dw.idx
+		if i > 0 && prefixMax[i-1] > dw.idx {
+			prefixMax[i] = prefixMax[i-1]
+		}
+	}
 	for i, rd := range reads {
 		if readIndex[i] < 0 {
 			continue
 		}
+		// First completed write NOT strictly before rd.Invoked; everything
+		// left of it precedes the read.
+		pos := sort.Search(len(done), func(p int) bool { return !done[p].ret.Before(rd.Invoked) })
 		lastCompleted := 0
-		for k, wr := range writes {
-			if wr.Completed && !wr.Failed && wr.Precedes(rd) {
-				lastCompleted = k + 1
-			}
+		if pos > 0 {
+			lastCompleted = prefixMax[pos-1]
 		}
 		if readIndex[i] < lastCompleted {
 			addViolation(CondReadAfterWrite,
@@ -178,8 +206,14 @@ func checkSW(h history.History, requireMonotoneReads bool) (Report, error) {
 		}
 	}
 
-	// Condition (4): reads never go back in time.
-	if requireMonotoneReads {
+	// Condition (4): reads never go back in time. An O(R log R) sweep first
+	// decides whether ANY violating pair exists: a pair (rd1 → rd2) violates
+	// iff some read returning a higher index returned strictly before rd2 was
+	// invoked, so it suffices to compare each read against the running-max
+	// index of reads sorted by return time. Only when the sweep finds a
+	// violation does the quadratic pass run, so that the reported pairs (and
+	// their order) are identical to the naive pairwise check.
+	if requireMonotoneReads && readsGoBackInTime(reads, readIndex) {
 		for i, rd1 := range reads {
 			if readIndex[i] < 0 {
 				continue
@@ -197,6 +231,40 @@ func checkSW(h history.History, requireMonotoneReads bool) (Report, error) {
 		}
 	}
 	return report, nil
+}
+
+// readsGoBackInTime reports whether some pair of reads violates condition
+// (4): rd1 precedes rd2 yet rd2 returned an older value. It is the existence
+// pre-check for checkSW's monotone-reads pass.
+func readsGoBackInTime(reads []history.Operation, readIndex []int) bool {
+	type retRead struct {
+		ret time.Time
+		idx int
+	}
+	byReturn := make([]retRead, 0, len(reads))
+	for i, rd := range reads {
+		if readIndex[i] >= 0 {
+			byReturn = append(byReturn, retRead{ret: rd.Returned, idx: readIndex[i]})
+		}
+	}
+	sort.Slice(byReturn, func(a, b int) bool { return byReturn[a].ret.Before(byReturn[b].ret) })
+	prefixMax := make([]int, len(byReturn))
+	for i, rr := range byReturn {
+		prefixMax[i] = rr.idx
+		if i > 0 && prefixMax[i-1] > rr.idx {
+			prefixMax[i] = prefixMax[i-1]
+		}
+	}
+	for j, rd := range reads {
+		if readIndex[j] < 0 {
+			continue
+		}
+		pos := sort.Search(len(byReturn), func(p int) bool { return !byReturn[p].ret.Before(rd.Invoked) })
+		if pos > 0 && prefixMax[pos-1] > readIndex[j] {
+			return true
+		}
+	}
+	return false
 }
 
 // CheckLinearizable searches for a legal linearization of a (possibly

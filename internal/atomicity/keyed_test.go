@@ -1,0 +1,285 @@
+package atomicity
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"fastread/internal/history"
+	"fastread/internal/types"
+)
+
+// checkSWQuadratic is the naive reference implementation of the
+// single-writer checks: a full write scan per read for condition (2) and an
+// unconditional pairwise pass for condition (4). The optimized checkSW must
+// produce byte-identical reports.
+func checkSWQuadratic(h history.History, requireMonotoneReads bool) (Report, error) {
+	writes := h.Writes()
+	reads := h.Reads()
+	valueToIndex, err := writeIndex(writes)
+	if err != nil {
+		return Report{}, err
+	}
+
+	report := Report{OK: true, Reads: len(reads), Writes: len(writes)}
+	addViolation := func(c Condition, format string, args ...any) {
+		report.OK = false
+		report.Violations = append(report.Violations, Violation{Condition: c, Message: fmt.Sprintf(format, args...)})
+	}
+
+	readIndex := make([]int, len(reads))
+	for i, rd := range reads {
+		if rd.Result.IsBottom() {
+			readIndex[i] = 0
+			continue
+		}
+		idx, ok := valueToIndex[string(rd.Result)]
+		if !ok {
+			readIndex[i] = -1
+			addViolation(CondValidValue, "read %s returned a value that was never written", rd)
+			continue
+		}
+		readIndex[i] = idx
+	}
+
+	for i, rd := range reads {
+		if readIndex[i] < 0 {
+			continue
+		}
+		lastCompleted := 0
+		for k, wr := range writes {
+			if wr.Completed && !wr.Failed && wr.Precedes(rd) {
+				lastCompleted = k + 1
+			}
+		}
+		if readIndex[i] < lastCompleted {
+			addViolation(CondReadAfterWrite,
+				"read %s returned val_%d although write %d (%s) completed before it was invoked",
+				rd, readIndex[i], lastCompleted, writes[lastCompleted-1].Argument)
+		}
+	}
+
+	for i, rd := range reads {
+		k := readIndex[i]
+		if k <= 0 {
+			continue
+		}
+		wr := writes[k-1]
+		if rd.Precedes(wr) {
+			addViolation(CondNoFutureRead,
+				"read %s returned val_%d but preceded its write %s", rd, k, wr)
+		}
+	}
+
+	if requireMonotoneReads {
+		for i, rd1 := range reads {
+			if readIndex[i] < 0 {
+				continue
+			}
+			for j, rd2 := range reads {
+				if i == j || readIndex[j] < 0 {
+					continue
+				}
+				if rd1.Precedes(rd2) && readIndex[j] < readIndex[i] {
+					addViolation(CondReadMonotone,
+						"read %s returned val_%d after read %s had returned val_%d",
+						rd2, readIndex[j], rd1, readIndex[i])
+				}
+			}
+		}
+	}
+	return report, nil
+}
+
+// randomHistory generates a seeded single-writer history with writes issued
+// sequentially and reads scattered across the timeline. chaos∈[0,1] controls
+// how often a read deliberately misbehaves (stale value, future value, never
+// written, ⊥ late), which exercises every violation path of the checker.
+func randomHistory(seed int64, writesN, readsN int, chaos float64) history.History {
+	rng := rand.New(rand.NewSource(seed))
+	origin := time.Unix(0, 0)
+	at := func(tick int) time.Time { return origin.Add(time.Duration(tick) * time.Millisecond) }
+
+	var h history.History
+	var id int64
+	writeStart := make([]int, writesN)
+	writeEnd := make([]int, writesN)
+	tick := 0
+	for k := 0; k < writesN; k++ {
+		dur := 1 + rng.Intn(5)
+		writeStart[k] = tick
+		writeEnd[k] = tick + dur
+		completed := rng.Float64() > 0.05
+		id++
+		h = append(h, history.Operation{
+			ID:        id,
+			Process:   types.Writer(),
+			Kind:      history.OpWrite,
+			Argument:  types.Value(fmt.Sprintf("v%d", k+1)),
+			Invoked:   at(writeStart[k]),
+			Returned:  at(writeEnd[k]),
+			Completed: completed,
+		})
+		tick += dur + rng.Intn(3)
+	}
+	span := tick + 10
+
+	for r := 0; r < readsN; r++ {
+		invoke := rng.Intn(span)
+		ret := invoke + 1 + rng.Intn(6)
+		// Pick the latest write completed before the read as the honest
+		// answer, then maybe distort it.
+		honest := 0
+		for k := 0; k < writesN; k++ {
+			if h[k].Completed && writeEnd[k] < invoke {
+				honest = k + 1
+			}
+		}
+		var result types.Value
+		switch {
+		case rng.Float64() < chaos:
+			switch rng.Intn(4) {
+			case 0: // stale
+				if honest > 1 {
+					result = types.Value(fmt.Sprintf("v%d", 1+rng.Intn(honest-1)))
+				}
+			case 1: // from the future
+				result = types.Value(fmt.Sprintf("v%d", 1+rng.Intn(writesN)))
+			case 2: // never written
+				result = types.Value(fmt.Sprintf("ghost%d", rng.Intn(8)))
+			case 3: // ⊥ regardless of completed writes
+			}
+		case honest > 0:
+			result = types.Value(fmt.Sprintf("v%d", honest))
+		}
+		id++
+		h = append(h, history.Operation{
+			ID:        id,
+			Process:   types.Reader(1 + rng.Intn(4)),
+			Kind:      history.OpRead,
+			Result:    result,
+			Invoked:   at(invoke),
+			Returned:  at(ret),
+			Completed: true,
+		})
+	}
+	return h
+}
+
+func TestCheckSWMatchesQuadraticReference(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		chaos := 0.0
+		if seed%2 == 0 {
+			chaos = 0.15
+		}
+		h := randomHistory(seed, 20, 120, chaos)
+		for _, monotone := range []bool{true, false} {
+			fast, errFast := checkSW(h, monotone)
+			ref, errRef := checkSWQuadratic(h, monotone)
+			if (errFast == nil) != (errRef == nil) {
+				t.Fatalf("seed %d: err fast=%v ref=%v", seed, errFast, errRef)
+			}
+			if !reflect.DeepEqual(fast, ref) {
+				t.Fatalf("seed %d monotone=%v: reports diverge\nfast: %s\nref:  %s", seed, monotone, fast, ref)
+			}
+		}
+	}
+}
+
+func multiKeyHistories(seed int64, keys, writesN, readsN int, chaos float64) map[string]history.History {
+	out := make(map[string]history.History, keys)
+	for k := 0; k < keys; k++ {
+		out[fmt.Sprintf("key-%02d", k)] = randomHistory(seed+int64(k)*1000, writesN, readsN, chaos)
+	}
+	return out
+}
+
+func TestCheckKeyedMatchesSerialLoop(t *testing.T) {
+	hs := multiKeyHistories(7, 9, 15, 80, 0.1)
+
+	got, err := CheckKeyed(hs, CheckSWMR, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := KeyedReport{OK: true, Reports: make(map[string]Report, len(hs))}
+	for k, h := range hs {
+		r, err := CheckSWMR(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Reports[k] = r
+		want.Reads += r.Reads
+		want.Writes += r.Writes
+		if !r.OK {
+			want.OK = false
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CheckKeyed diverges from serial loop:\ngot:  %+v\nwant: %+v", got, want)
+	}
+	if got.OK {
+		t.Fatal("chaotic multi-key histories should contain at least one violation")
+	}
+	if len(got.FailedKeys()) == 0 {
+		t.Fatal("FailedKeys empty despite !OK")
+	}
+}
+
+func TestCheckKeyedEmptyAndErrors(t *testing.T) {
+	kr, err := CheckKeyed(nil, CheckSWMR, 0)
+	if err != nil || !kr.OK || len(kr.Reports) != 0 {
+		t.Fatalf("empty input: %+v, %v", kr, err)
+	}
+
+	dup := history.History{
+		{ID: 1, Process: types.Writer(), Kind: history.OpWrite, Argument: types.Value("same"), Completed: true},
+		{ID: 2, Process: types.Writer(), Kind: history.OpWrite, Argument: types.Value("same"), Completed: true},
+	}
+	hs := map[string]history.History{
+		"a": randomHistory(1, 3, 5, 0),
+		"b": dup,
+	}
+	if _, err := CheckKeyed(hs, CheckSWMR, 2); !errors.Is(err, ErrDuplicateWrites) {
+		t.Fatalf("err = %v, want ErrDuplicateWrites", err)
+	}
+}
+
+func BenchmarkCheckSWMRLongHistory(b *testing.B) {
+	h := randomHistory(42, 500, 4000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checkSW(h, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckSWMRQuadraticReference(b *testing.B) {
+	h := randomHistory(42, 500, 4000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checkSWQuadratic(h, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckKeyed(b *testing.B) {
+	hs := multiKeyHistories(42, 8, 200, 1600, 0)
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := CheckKeyed(hs, CheckSWMR, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -67,6 +67,7 @@ func fastDriver(name string, byzantine bool) driver.Driver {
 				Byzantine: byzantine,
 				Verifier:  cfg.Verifier,
 				Depth:     cfg.Depth,
+				Nonce:     cfg.Nonce,
 			}, node)
 			if err != nil {
 				return nil, err

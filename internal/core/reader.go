@@ -35,6 +35,9 @@ type ReaderConfig struct {
 	// (ReadAsync); non-positive means protoutil.DefaultPipelineDepth. A
 	// serial Read is a pipelined read at depth one.
 	Depth int
+	// Nonce, when positive, overrides the reader's initial operation
+	// counter (see protoutil.StartNonce; deterministic simulation).
+	Nonce int64
 	// Trace, if non-nil, records protocol events.
 	Trace *trace.Trace
 }
@@ -109,7 +112,7 @@ func NewReader(cfg ReaderConfig, node transport.Node) (*Reader, error) {
 		servers:  protoutil.ServerIDs(cfg.Quorum.Servers),
 		pl:       protoutil.NewPipeline(node, cfg.Depth, cfg.Trace),
 		last:     types.InitialTaggedValue(),
-		rCounter: protoutil.InitialNonce(),
+		rCounter: protoutil.StartNonce(cfg.Nonce),
 	}
 	if cfg.Byzantine {
 		r.verify = sig.NewCache(cfg.Verifier, 0)

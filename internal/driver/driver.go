@@ -143,6 +143,11 @@ type ClientConfig struct {
 	// default. Serial handles are unaffected: a blocking operation is the
 	// depth-one case.
 	Depth int
+	// Nonce, when positive, fixes a reader's initial operation counter
+	// instead of the wall-clock default (protoutil.InitialNonce).
+	// Deterministic simulation injects virtual-clock microseconds here so
+	// identical seeds produce identical wire traffic; writers ignore it.
+	Nonce int64
 }
 
 // Driver is one register protocol's factory set. All fields are required.

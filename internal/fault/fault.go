@@ -44,7 +44,18 @@ const (
 	// BehaviorMute receives messages but never replies (distinct from a
 	// crash only in that the process is still "running").
 	BehaviorMute
+	// BehaviorFlood answers every request with a burst of fabricated stale
+	// acknowledgements followed by one honest reply. The fabrications carry
+	// the right rCounter, so they reach the client's ack filters (which
+	// dedup per server — a safety test of the filters), and the burst
+	// itself stresses the receive path: demux route backlogs, mailbox
+	// growth, batch expansion under load.
+	BehaviorFlood
 )
+
+// floodBurst is the number of fabricated acks BehaviorFlood sends per
+// request, before the honest reply.
+const floodBurst = 8
 
 // String names the behaviour.
 func (b Behavior) String() string {
@@ -59,6 +70,8 @@ func (b Behavior) String() string {
 		return "inflate-seen"
 	case BehaviorMute:
 		return "mute"
+	case BehaviorFlood:
+		return "flood"
 	default:
 		return "unknown"
 	}
@@ -111,7 +124,7 @@ func NewByzantineServer(cfg ByzantineConfig, node transport.Node) (*ByzantineSer
 	if node == nil {
 		return nil, fmt.Errorf("fault: byzantine server %v requires a transport node", cfg.ID)
 	}
-	if cfg.Behavior < BehaviorForgeTimestamp || cfg.Behavior > BehaviorMute {
+	if cfg.Behavior < BehaviorForgeTimestamp || cfg.Behavior > BehaviorFlood {
 		return nil, fmt.Errorf("fault: unknown behaviour %d", cfg.Behavior)
 	}
 	return &ByzantineServer{
@@ -142,6 +155,16 @@ func (s *ByzantineServer) Stop() {
 // ID returns the malicious server's identity.
 func (s *ByzantineServer) ID() types.ProcessID { return s.cfg.ID }
 
+// Workers reports the number of key-shard workers the server's executor
+// runs. With Stop and TotalMutations it lets a ByzantineServer stand in for
+// a protocol server behind the driver registry's Server interface, so a
+// Store can swap a malicious implementation into a deployment.
+func (s *ByzantineServer) Workers() int { return s.exec.Workers() }
+
+// TotalMutations reports 0: the malicious server does not track mutations
+// (its "state" is whatever its behaviour needs, not protocol state).
+func (s *ByzantineServer) TotalMutations() int64 { return 0 }
+
 func (s *ByzantineServer) handle(m transport.Message) {
 	req, err := wire.Decode(m.Payload)
 	if err != nil {
@@ -165,6 +188,7 @@ func (s *ByzantineServer) handle(m transport.Message) {
 		prev := types.Value("forged-prev")
 		ack := &wire.Message{
 			Op:       ackOp,
+			Key:      req.Key,
 			TS:       forgedTS,
 			Cur:      cur,
 			Prev:     prev,
@@ -179,6 +203,7 @@ func (s *ByzantineServer) handle(m transport.Message) {
 	case BehaviorStaleReplay:
 		ack := &wire.Message{
 			Op:       ackOp,
+			Key:      req.Key,
 			TS:       0,
 			Seen:     []types.ProcessID{m.From},
 			RCounter: req.RCounter,
@@ -196,6 +221,7 @@ func (s *ByzantineServer) handle(m transport.Message) {
 			s.mu.Unlock()
 			ack := &wire.Message{
 				Op:       ackOp,
+				Key:      req.Key,
 				TS:       0,
 				Seen:     []types.ProcessID{m.From},
 				RCounter: req.RCounter,
@@ -210,6 +236,7 @@ func (s *ByzantineServer) handle(m transport.Message) {
 		s.adopt(req, m.From)
 		ack := &wire.Message{
 			Op:        ackOp,
+			Key:       req.Key,
 			TS:        s.value.TS,
 			Cur:       s.value.Cur.Clone(),
 			Prev:      s.value.Prev.Clone(),
@@ -219,6 +246,19 @@ func (s *ByzantineServer) handle(m transport.Message) {
 		}
 		s.mu.Unlock()
 		s.reply(m.From, ack)
+
+	case BehaviorFlood:
+		for i := 0; i < floodBurst; i++ {
+			ack := &wire.Message{
+				Op:       ackOp,
+				Key:      req.Key,
+				TS:       0,
+				Seen:     []types.ProcessID{m.From},
+				RCounter: req.RCounter,
+			}
+			s.reply(m.From, ack)
+		}
+		s.honestReply(m.From, req, ackOp)
 	}
 }
 
@@ -228,6 +268,7 @@ func (s *ByzantineServer) honestReply(from types.ProcessID, req *wire.Message, a
 	s.adopt(req, from)
 	ack := &wire.Message{
 		Op:        ackOp,
+		Key:       req.Key,
 		TS:        s.value.TS,
 		Cur:       s.value.Cur.Clone(),
 		Prev:      s.value.Prev.Clone(),

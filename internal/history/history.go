@@ -101,11 +101,19 @@ type Recorder struct {
 	mu     sync.Mutex
 	nextID int64
 	ops    map[int64]*Operation
+	now    func() time.Time
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty recorder stamping operations with wall time.
 func NewRecorder() *Recorder {
-	return &Recorder{ops: make(map[int64]*Operation)}
+	return NewRecorderWithClock(time.Now)
+}
+
+// NewRecorderWithClock returns an empty recorder stamping operations with
+// the given clock. Deterministic simulation passes the virtual clock's Now
+// so that identical seeds produce byte-identical histories.
+func NewRecorderWithClock(now func() time.Time) *Recorder {
+	return &Recorder{ops: make(map[int64]*Operation), now: now}
 }
 
 // Invoke records the start of an operation and returns its id.
@@ -119,7 +127,7 @@ func (r *Recorder) Invoke(process types.ProcessID, kind OpKind, argument types.V
 		Process:  process,
 		Kind:     kind,
 		Argument: argument.Clone(),
-		Invoked:  time.Now(),
+		Invoked:  r.now(),
 	}
 	return id
 }
@@ -132,7 +140,7 @@ func (r *Recorder) Return(id int64, result types.Value, ts types.Timestamp) {
 	if !ok {
 		return
 	}
-	op.Returned = time.Now()
+	op.Returned = r.now()
 	op.Completed = true
 	op.Result = result.Clone()
 	op.ResultTS = ts
@@ -148,7 +156,7 @@ func (r *Recorder) Fail(id int64) {
 	if !ok {
 		return
 	}
-	op.Returned = time.Now()
+	op.Returned = r.now()
 	op.Failed = true
 }
 

@@ -39,9 +39,10 @@ const MaxPipelineDepth = 512
 // in-flight operations over one client node. It is shared by every protocol
 // client; one Pipeline owns one node's inbox.
 //
-// Lifecycle: the dispatcher goroutine starts lazily on the first Acquire and
-// exits when the node's inbox closes (the node, its demux route, or the whole
-// store shut down), failing every still-pending operation with
+// Lifecycle: the dispatcher goroutine starts with the pipeline (it must
+// drain the inbox even before the first operation — see NewPipeline) and
+// exits when the node's inbox closes (the node, its demux route, or the
+// whole store shut down), failing every still-pending operation with
 // ErrInboxClosed.
 //
 // Locking: p.mu orders registration, matching and completion. Completion
@@ -56,10 +57,9 @@ type Pipeline struct {
 	// (or abort) drains.
 	slots chan struct{}
 
-	mu      sync.Mutex
-	started bool
-	closed  bool
-	ops     []*Op
+	mu     sync.Mutex
+	closed bool
+	ops    []*Op
 
 	// done closes when the dispatcher exits; Acquire uses it to fail fast on
 	// a dead pipeline instead of blocking on a slot forever.
@@ -67,8 +67,13 @@ type Pipeline struct {
 }
 
 // NewPipeline builds an engine over the node with the given in-flight depth
-// (DefaultPipelineDepth if depth <= 0). No goroutine starts until the first
-// operation.
+// (DefaultPipelineDepth if depth <= 0) and starts its dispatcher. The
+// dispatcher must run from construction, not lazily on first use: a handle
+// that has not submitted anything yet can still RECEIVE traffic — a reader
+// incarnation created by a restart inherits the acknowledgements its
+// predecessor's aborted operations left in flight — and an unconsumed inbox
+// queues forever (and, under the virtual clock, holds an activity token
+// that stalls the event loop outright).
 func NewPipeline(node transport.Node, depth int, tr *trace.Trace) *Pipeline {
 	if depth <= 0 {
 		depth = DefaultPipelineDepth
@@ -76,12 +81,14 @@ func NewPipeline(node transport.Node, depth int, tr *trace.Trace) *Pipeline {
 	if depth > MaxPipelineDepth {
 		depth = MaxPipelineDepth
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		node:  node,
 		tr:    tr,
 		slots: make(chan struct{}, depth),
 		done:  make(chan struct{}),
 	}
+	go p.dispatch()
+	return p
 }
 
 // Depth returns the configured in-flight bound.
@@ -121,7 +128,6 @@ type Op struct {
 // depth. It fails with the context's error, or with ErrInboxClosed once the
 // node is gone.
 func (p *Pipeline) Acquire(ctx context.Context) error {
-	p.ensureStarted()
 	select {
 	case p.slots <- struct{}{}:
 		return nil
@@ -259,16 +265,6 @@ func (p *Pipeline) removeLocked(op *Op) {
 			return
 		}
 	}
-}
-
-// ensureStarted launches the dispatcher on first use.
-func (p *Pipeline) ensureStarted() {
-	p.mu.Lock()
-	if !p.started {
-		p.started = true
-		go p.dispatch()
-	}
-	p.mu.Unlock()
 }
 
 // dispatch drains the inbox until the node closes, routing every delivered

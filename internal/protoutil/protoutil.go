@@ -57,6 +57,20 @@ func WireKeyFunc(m transport.Message) ([]byte, bool) {
 // the handle increments from here as before.
 func InitialNonce() int64 { return time.Now().UnixMicro() }
 
+// StartNonce resolves a client's initial operation counter: the configured
+// value when positive, a fresh wall-clock InitialNonce otherwise. The
+// override exists for deterministic simulation, where wall-clock nonces
+// would make every run unique; the simulator injects virtual-clock
+// microseconds instead, which preserve the restart-incarnation ordering
+// InitialNonce provides (a handle restarted later in virtual time resumes
+// above its predecessor) while being identical across runs of one seed.
+func StartNonce(n int64) int64 {
+	if n > 0 {
+		return n
+	}
+	return InitialNonce()
+}
+
 // Broadcast encodes the message once and sends it to every listed server.
 // Send errors (which only occur when the local node is closed) abort the
 // broadcast. Ownership of the encoded payload passes to the transport (see

@@ -31,6 +31,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
+			r.SeedNonce(cfg.Nonce)
 			return regularReaderHandle{r}, nil
 		},
 	})

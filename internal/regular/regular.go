@@ -367,6 +367,15 @@ func NewKeyedReader(key string, cfg quorum.Config, depth int, node transport.Nod
 	}, nil
 }
 
+// SeedNonce overrides the reader's initial operation counter (see
+// protoutil.StartNonce; deterministic simulation). It must be called before
+// the first read; non-positive values are ignored.
+func (r *Reader) SeedNonce(n int64) {
+	if n > 0 {
+		r.rCounter = n
+	}
+}
+
 // Read returns a regular-register value in one round-trip (ReadAsync at
 // depth one).
 func (r *Reader) Read(ctx context.Context) (ReadResult, error) {

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one (scenario, seed) cell of a sweep.
+type Job struct {
+	// Template is the generating template's name ("" for ad-hoc scenarios).
+	Template string
+	// Scenario is the concrete scenario (already generated for Seed).
+	Scenario Scenario
+	// Seed seeds the run.
+	Seed int64
+}
+
+// Jobs expands templates × seeds into the sweep's job list: seeds
+// seedBase, seedBase+1, … for every template, each generating its own
+// fault schedule from its seed.
+func Jobs(templates []Template, seeds int, seedBase int64) []Job {
+	out := make([]Job, 0, len(templates)*seeds)
+	for _, t := range templates {
+		for s := 0; s < seeds; s++ {
+			seed := seedBase + int64(s)
+			out = append(out, Job{Template: t.Name, Scenario: t.Gen(seed), Seed: seed})
+		}
+	}
+	return out
+}
+
+// SweepOptions tunes a sweep.
+type SweepOptions struct {
+	// Parallel is the number of worker goroutines; ≤0 means GOMAXPROCS.
+	// Runs themselves are single-threaded event loops, so workers scale
+	// near-linearly with cores.
+	Parallel int
+	// MaxFailures stops claiming new jobs once this many failures were
+	// found; 0 means run everything regardless.
+	MaxFailures int
+	// Progress, when non-nil, is called after every finished run with the
+	// counts so far. It may be called concurrently.
+	Progress func(done, total, failures int)
+}
+
+// SweepResult aggregates a sweep.
+type SweepResult struct {
+	// Jobs is how many cells ran (may be fewer than requested when
+	// MaxFailures stopped the sweep early).
+	Jobs int
+	// Ops and CheckedKeys total the work verified across all runs.
+	Ops, CheckedKeys int
+	// Failures holds every failed run, in job order.
+	Failures []*Result
+	// Wall is the sweep's real duration.
+	Wall time.Duration
+}
+
+// Sweep runs every job across a worker pool and checks every history. The
+// result list is aggregated in deterministic job order regardless of which
+// worker ran what.
+func Sweep(jobs []Job, opts SweepOptions) SweepResult {
+	start := time.Now()
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]*Result, len(jobs))
+	var next, done, failures atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if opts.MaxFailures > 0 && failures.Load() >= int64(opts.MaxFailures) {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				res := Run(jobs[i].Scenario, jobs[i].Seed)
+				results[i] = res
+				if res.Failed() {
+					failures.Add(1)
+				}
+				d := int(done.Add(1))
+				if opts.Progress != nil {
+					opts.Progress(d, len(jobs), int(failures.Load()))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := SweepResult{Wall: time.Since(start)}
+	for _, res := range results {
+		if res == nil {
+			continue // unclaimed after an early stop
+		}
+		out.Jobs++
+		out.Ops += res.Ops
+		out.CheckedKeys += len(res.Check.Reports)
+		if res.Failed() {
+			out.Failures = append(out.Failures, res)
+		}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package sim
+
+import "time"
+
+// FixtureSeed is the pinned seed the regression fixtures run at. The
+// fixtures re-encode, as declarative scenarios, the three latent bugs the
+// pipelined-operations work surfaced and fixed; the exact seed is part of
+// the regression — it pins the adversarial schedule that used to trigger
+// each bug.
+const FixtureSeed int64 = 0x5EED
+
+// Fixtures returns the pinned regression scenarios. All three must pass at
+// FixtureSeed on a correct build:
+//
+//   - fixture-demux-burst-backlog: deep pipelines into hold/release bursts,
+//     the schedule that used to overflow a demux route's backlog when a
+//     released burst replayed a whole window of acknowledgements at once.
+//   - fixture-delayed-reordering: jitter far above the base delay with deep
+//     pipelines, the schedule that used to let a delayed delivery complete
+//     quorums out of submission order.
+//   - fixture-restarted-incarnation: restart storms, the schedule that used
+//     to starve a restarted reader whose fresh incarnation reused a nonce
+//     the servers' stale-request guard had already seen. Its FrozenNonce
+//     variant (see RestartedIncarnationFrozen) reintroduces exactly that
+//     mistake and must FAIL — proving the fixture still has teeth.
+func Fixtures() []Scenario {
+	demux := genHoldReleaseBurst(7)
+	demux.Name = "fixture-demux-burst-backlog"
+	demux.Depth = 8
+
+	reorder := genJitterChaos(11)
+	reorder.Name = "fixture-delayed-reordering"
+	reorder.Jitter = 5 * time.Millisecond
+
+	restart := restartStorm(13, 3*time.Second)
+	restart.Name = "fixture-restarted-incarnation"
+
+	return []Scenario{demux, reorder, restart}
+}
+
+// RestartedIncarnationFrozen is the deliberately-wrong twin of
+// fixture-restarted-incarnation: the nonce source is frozen, so every
+// restarted reader incarnation reuses its predecessor's initial counter and
+// the servers' stale-request guard starves it. Running it must produce
+// operation timeouts (and therefore a failed Result) — if it ever passes,
+// either the guard or the fixture has gone soft.
+func RestartedIncarnationFrozen() Scenario {
+	sc := restartStorm(13, 3*time.Second)
+	sc.Name = "fixture-restarted-incarnation-frozen"
+	sc.FrozenNonce = true
+	return sc
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+)
+
+// ShrinkResult is a minimized failing run.
+type ShrinkResult struct {
+	// Original and Minimal are the scenario before and after shrinking; the
+	// seed is unchanged (it is part of the reproducer, not a variable).
+	Original, Minimal Scenario
+	Seed              int64
+	// Runs is how many simulation runs the shrinker spent.
+	Runs int
+	// Final is the minimal scenario's (still failing) result.
+	Final *Result
+}
+
+// ReplayCommand renders the one-line command that reproduces the minimal
+// failure.
+func (s ShrinkResult) ReplayCommand() string { return ReplayCommand(s.Minimal, s.Seed) }
+
+// ReplayCommand renders the simexplore invocation that reruns exactly this
+// (scenario, seed) pair: by template name when the scenario is an
+// unmodified template expansion, as inline JSON otherwise (shrunken
+// scenarios always are).
+func ReplayCommand(sc Scenario, seed int64) string {
+	if t, ok := TemplateByName(sc.Name); ok && reflect.DeepEqual(t.Gen(seed).WithDefaults(), sc.WithDefaults()) {
+		return fmt.Sprintf("go run ./cmd/simexplore -scenario %s -seed %d", sc.Name, seed)
+	}
+	return fmt.Sprintf("go run ./cmd/simexplore -seed %d -scenario-json '%s'", seed, sc.MarshalJSONCompact())
+}
+
+// Shrink reduces a failing (scenario, seed) pair to a smaller scenario that
+// still fails, spending at most budget simulation runs (≤0 means 64). The
+// reduction is greedy and deterministic: ddmin over the fault script first
+// (usually the bulk of a scenario's accidental complexity), then duration
+// halving, then key, reader and depth reduction. Every candidate is
+// re-verified by an actual run — the shrinker never assumes, it replays.
+func Shrink(sc Scenario, seed int64, budget int) ShrinkResult {
+	sc = sc.WithDefaults()
+	if budget <= 0 {
+		budget = 64
+	}
+	out := ShrinkResult{Original: sc, Minimal: sc, Seed: seed}
+
+	fails := func(cand Scenario) bool {
+		if out.Runs >= budget {
+			return false // out of budget: treat as "didn't reproduce"
+		}
+		out.Runs++
+		res := Run(cand, seed)
+		if res.Failed() {
+			out.Final = res
+			return true
+		}
+		return false
+	}
+
+	// Confirm the starting point actually fails (and capture its result).
+	if !fails(sc) {
+		out.Final = nil
+		return out
+	}
+	cur := sc
+
+	// Quick win: does the failure need the fault script at all? (A broken
+	// protocol — the canary — fails on a quiet network too.)
+	if len(cur.Faults) > 0 {
+		cand := cur
+		cand.Faults = nil
+		if fails(cand) {
+			cur = cand
+		} else {
+			cur.Faults = ddminFaults(cur, fails)
+		}
+	}
+
+	// Duration halving: shorter runs shrink the history a human must read.
+	// Never cut below the last remaining fault (plus slack for its effect).
+	floor := 100 * time.Millisecond
+	for _, f := range cur.Faults {
+		if f.At+200*time.Millisecond > floor {
+			floor = f.At + 200*time.Millisecond
+		}
+	}
+	for cur.Duration/2 >= floor {
+		cand := cur
+		cand.Duration = cur.Duration / 2
+		if !fails(cand) {
+			break
+		}
+		cur = cand
+	}
+
+	// Structural reduction: fewer keys, fewer readers, shallower pipelines.
+	if cur.Keys > 1 {
+		cand := cur
+		cand.Keys = 1
+		if !faultsNeedKeys(cand) && fails(cand) {
+			cur = cand
+		}
+	}
+	for cur.Readers > 1 {
+		cand := cur
+		cand.Readers = cur.Readers - 1
+		if faultsNeedReader(cand, cur.Readers) || !fails(cand) {
+			break
+		}
+		cur = cand
+	}
+	if cur.Depth > 1 {
+		cand := cur
+		cand.Depth = 1
+		if fails(cand) {
+			cur = cand
+		}
+	}
+
+	out.Minimal = cur
+	return out
+}
+
+// ddminFaults is Zeller's ddmin over the fault script: try dropping chunks
+// (complements) of the event list, refining the granularity until no single
+// event can be removed.
+func ddminFaults(sc Scenario, fails func(Scenario) bool) []FaultEvent {
+	faults := sc.Faults
+	n := 2
+	for len(faults) >= 2 && n <= len(faults) {
+		chunk := (len(faults) + n - 1) / n
+		reduced := false
+		for i := 0; i < n && i*chunk < len(faults); i++ {
+			complement := make([]FaultEvent, 0, len(faults)-chunk)
+			complement = append(complement, faults[:i*chunk]...)
+			if end := (i + 1) * chunk; end < len(faults) {
+				complement = append(complement, faults[end:]...)
+			}
+			cand := sc
+			cand.Faults = complement
+			if fails(cand) {
+				faults = complement
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(faults) {
+				break
+			}
+			n = min(2*n, len(faults))
+		}
+	}
+	return faults
+}
+
+// faultsNeedKeys reports whether the script names a key a reduced keyspace
+// no longer has.
+func faultsNeedKeys(sc Scenario) bool {
+	for _, f := range sc.Faults {
+		if f.Key != "" && f.Key != KeyName(0) {
+			return true
+		}
+	}
+	return false
+}
+
+// faultsNeedReader reports whether the script targets reader index ri.
+func faultsNeedReader(sc Scenario, ri int) bool {
+	for _, f := range sc.Faults {
+		if f.Reader == ri {
+			return true
+		}
+	}
+	return false
+}

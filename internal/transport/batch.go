@@ -34,7 +34,11 @@ func Expand(msg Message, fn func(Message)) {
 		return
 	}
 	_ = wire.ForEachInBatch(msg.Payload, func(payload []byte) error {
-		fn(Message{From: msg.From, To: msg.To, Kind: msg.Kind, Payload: payload, Arena: msg.Arena})
+		// Sub-messages inherit the envelope's virtual-clock handle too: a
+		// consumer that retains a sub-message past the envelope's release
+		// (executor dispatch, demux routing) must keep holding an activity
+		// token, or the simulation clock would advance with work queued.
+		fn(Message{From: msg.From, To: msg.To, Kind: msg.Kind, Payload: payload, Arena: msg.Arena, vt: msg.vt})
 		return nil
 	})
 }
@@ -74,13 +78,40 @@ type Coalescer struct {
 	// free recycles coalesced structs across runs (one per destination per
 	// run otherwise — a steady allocation on the server ack path).
 	free []*coalesced
+
+	// clock/holding make buffered-but-unflushed output count as activity
+	// under a virtual clock: a worker releases the inbound message's token
+	// before the run's Flush fires, and without this hold the clock could
+	// advance in that gap with acknowledgements still sitting here.
+	clock   *VirtualClock
+	holding bool
 }
 
 var _ Sender = (*Coalescer)(nil)
 
+// virtualClocked is implemented by nodes attached to a virtual-clock
+// network; the Coalescer probes for it so buffered output participates in
+// quiescence detection.
+type virtualClocked interface {
+	virtualClock() *VirtualClock
+}
+
 // NewCoalescer returns an empty coalescer sending through the node.
 func NewCoalescer(node Node) *Coalescer {
-	return &Coalescer{node: node, byDest: make(map[types.ProcessID]*coalesced)}
+	c := &Coalescer{node: node, byDest: make(map[types.ProcessID]*coalesced)}
+	if vc, ok := node.(virtualClocked); ok {
+		c.clock = vc.virtualClock()
+	}
+	return c
+}
+
+// hold takes the coalescer's activity token on the run's first buffered
+// message; released releases it after Flush.
+func (c *Coalescer) hold() {
+	if c.clock != nil && !c.holding {
+		c.holding = true
+		c.clock.begin()
+	}
 }
 
 // Send buffers one message for the destination and always reports success:
@@ -100,6 +131,7 @@ func (c *Coalescer) get() *coalesced {
 }
 
 func (c *Coalescer) Send(to types.ProcessID, kind string, payload []byte) error {
+	c.hold()
 	e, ok := c.byDest[to]
 	if !ok {
 		e = c.get()
@@ -136,6 +168,7 @@ func (c *Coalescer) appendPayload(b *wire.Batch, payload []byte) {
 // consumed before SendMessage returns (its fields may alias caller state,
 // per the codec's aliasing discipline).
 func (c *Coalescer) SendMessage(to types.ProcessID, m *wire.Message) error {
+	c.hold()
 	e, ok := c.byDest[to]
 	if !ok {
 		e = c.get()
@@ -181,6 +214,10 @@ func (c *Coalescer) Flush() {
 		c.free = append(c.free, e)
 	}
 	c.order = c.order[:0]
+	if c.holding {
+		c.holding = false
+		c.clock.end()
+	}
 }
 
 // Pending reports the number of destinations with unflushed traffic.

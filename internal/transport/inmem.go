@@ -56,6 +56,21 @@ func WithMailboxObserver(fn func(Message)) InMemOption {
 	return func(n *InMemNetwork) { n.observer = fn }
 }
 
+// WithClock runs the network on a virtual clock (simulation mode). Every
+// delivery — including zero-delay ones — becomes a scheduled clock event, so
+// messages are processed strictly one at a time in (due time, send sequence)
+// order and the whole network is deterministic for a given seed: the clock
+// only fires the next event once the previous one's entire causal cascade
+// has quiesced. Delays and jitter advance virtual time instead of sleeping.
+//
+// A virtual-clock network disables pump batching (WithBatching): under
+// one-event-at-a-time delivery every drain run has length one, so batching
+// could never coalesce anything — it would only complicate activity
+// accounting.
+func WithClock(c *VirtualClock) InMemOption {
+	return func(n *InMemNetwork) { n.clock = c }
+}
+
 // WithBatching makes every node's pump coalesce its queued backlog: when a
 // drain run contains CONSECUTIVE messages from the same sender, they are
 // delivered as one wire.Batch envelope — one channel handoff per run per
@@ -113,8 +128,13 @@ type InMemNetwork struct {
 	nodes     atomic.Pointer[nodeMap]
 	blocked   map[link]bool
 	crashed   map[types.ProcessID]bool
+	downed    map[types.ProcessID]bool
 	held      map[link][]Message
 	linkDelay map[link]time.Duration
+
+	// clock, when non-nil, puts the network in virtual-time simulation mode
+	// (see WithClock).
+	clock *VirtualClock
 
 	// slow is true whenever any adversarial feature (or closure) is active;
 	// route() and holdIfNeeded() consult it before touching mu.
@@ -212,6 +232,7 @@ func NewInMemNetwork(opts ...InMemOption) *InMemNetwork {
 	n := &InMemNetwork{
 		blocked:   make(map[link]bool),
 		crashed:   make(map[types.ProcessID]bool),
+		downed:    make(map[types.ProcessID]bool),
 		linkDelay: make(map[link]time.Duration),
 		rng:       rand.New(rand.NewSource(1)),
 		delayKick: make(chan struct{}, 1),
@@ -224,9 +245,16 @@ func NewInMemNetwork(opts ...InMemOption) *InMemNetwork {
 	for _, opt := range opts {
 		opt(n)
 	}
+	if n.clock != nil {
+		n.batching = false
+	}
 	n.updateSlowLocked()
 	return n
 }
+
+// Clock returns the network's virtual clock, or nil when the network runs on
+// wall time.
+func (n *InMemNetwork) Clock() *VirtualClock { return n.clock }
 
 // updateSlowLocked recomputes the slow-path flag. Callers must hold n.mu
 // (or, during construction, have exclusive access).
@@ -234,11 +262,13 @@ func (n *InMemNetwork) updateSlowLocked() {
 	n.slow.Store(n.closed ||
 		len(n.blocked) > 0 ||
 		len(n.crashed) > 0 ||
+		len(n.downed) > 0 ||
 		len(n.held) > 0 ||
 		len(n.linkDelay) > 0 ||
 		n.defaultDelay > 0 ||
 		n.jitter > 0 ||
-		n.observer != nil)
+		n.observer != nil ||
+		n.clock != nil)
 }
 
 // countersFor returns the (lazily created) atomic counters of a link. Only
@@ -362,6 +392,34 @@ func (n *InMemNetwork) Crash(id types.ProcessID) {
 	n.updateSlowLocked()
 }
 
+// Isolate cuts a process off the network: every message to or from it is
+// dropped until Reconnect. Unlike Crash it is reversible — the process keeps
+// running and keeps its state, so an Isolate/Reconnect window models a
+// restart (the servers in this repository have no persistence, so a restart
+// is exactly an outage with state retained). Like Block, isolation applies
+// at SEND time: messages already routed when the window opens still deliver.
+func (n *InMemNetwork) Isolate(id types.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.downed[id] = true
+	n.updateSlowLocked()
+}
+
+// Reconnect ends an isolation window started by Isolate.
+func (n *InMemNetwork) Reconnect(id types.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.downed, id)
+	n.updateSlowLocked()
+}
+
+// Isolated reports whether the process is currently isolated.
+func (n *InMemNetwork) Isolated(id types.ProcessID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.downed[id]
+}
+
 // Crashed reports whether the process has been crashed via Crash.
 func (n *InMemNetwork) Crashed(id types.ProcessID) bool {
 	n.mu.Lock()
@@ -429,7 +487,8 @@ func (n *InMemNetwork) route(msg Message) (*inMemNode, time.Duration, bool) {
 func (n *InMemNetwork) routeSlow(msg Message, l link) (*inMemNode, time.Duration, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.closed || n.crashed[msg.From] || n.crashed[msg.To] || n.blocked[l] {
+	if n.closed || n.crashed[msg.From] || n.crashed[msg.To] ||
+		n.downed[msg.From] || n.downed[msg.To] || n.blocked[l] {
 		n.dropOn(l)
 		return nil, 0, false
 	}
@@ -457,6 +516,10 @@ func (n *InMemNetwork) routeSlow(msg Message, l link) (*inMemNode, time.Duration
 // through the network's delay dispatcher (see delayHeap) so equal delays
 // keep send order, and tracked by the wait group so Close can drain them.
 func (n *InMemNetwork) deliver(dst *inMemNode, msg Message, delay time.Duration) {
+	if n.clock != nil {
+		n.deliverVirtual(dst, msg, delay)
+		return
+	}
 	if delay <= 0 {
 		if n.observer != nil {
 			n.observer(msg)
@@ -486,6 +549,39 @@ func (n *InMemNetwork) deliver(dst *inMemNode, msg Message, delay time.Duration)
 	case n.delayKick <- struct{}{}:
 	default:
 	}
+}
+
+// deliverVirtual schedules the delivery as a virtual-clock event — even at
+// zero delay, so that under simulation every message passes through the
+// clock's single total order and at most one delivery cascade runs at a
+// time. The event attaches the clock's activity token to the message before
+// it reaches the mailbox: from that push until the consumer's ReleaseArena
+// (tokens splitting and rejoining with RetainArena/ReleaseArena at every
+// hand-off) the clock cannot fire the next event.
+//
+// Events left unexecuted when the simulation stops simply never run; their
+// messages stay counted as in-transit, the virtual analogue of "delayed
+// forever".
+func (n *InMemNetwork) deliverVirtual(dst *inMemNode, msg Message, delay time.Duration) {
+	c := n.clock
+	c.Schedule(delay, func() {
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			n.inTransit.Add(-1)
+			return
+		}
+		if n.observer != nil {
+			n.observer(msg)
+		}
+		msg.vt = c
+		c.begin()
+		if !dst.box.push(msg) {
+			c.end()
+		}
+		n.inTransit.Add(-1)
+	})
 }
 
 // dispatchDelayed is the delay dispatcher: it sleeps until the earliest due
@@ -656,9 +752,11 @@ func (nd *inMemNode) Close() error {
 	}
 	nd.box.close()
 	// Drain the delivery channel so the pump goroutine can exit even if the
-	// owner stopped reading.
+	// owner stopped reading, releasing each undelivered message's reference
+	// (arena and, under a virtual clock, activity token).
 	go func() {
-		for range nd.inbox {
+		for m := range nd.inbox {
+			m.ReleaseArena()
 		}
 	}()
 	<-nd.done
@@ -668,3 +766,21 @@ func (nd *inMemNode) Close() error {
 // Pending returns the number of messages queued but not yet consumed by the
 // node's owner. Used in tests.
 func (nd *inMemNode) Pending() int { return nd.box.len() }
+
+// virtualClock implements the virtualClocked probe used by Coalescer so
+// buffered-but-unflushed acknowledgements count as simulation activity.
+func (nd *inMemNode) virtualClock() *VirtualClock { return nd.net.clock }
+
+// MailboxHighWater returns the deepest any node's mailbox has ever been —
+// the network-wide overload high-water mark. Mailboxes are unbounded by
+// design (the asynchronous model forbids blocking a sender on a slow
+// receiver), so depth, not drops, is where overload shows up.
+func (n *InMemNetwork) MailboxHighWater() int {
+	hw := 0
+	for _, nd := range *n.nodes.Load() {
+		if h := nd.box.highWater(); h > hw {
+			hw = h
+		}
+	}
+	return hw
+}

@@ -22,6 +22,13 @@ type mailbox struct {
 	cond   *sync.Cond
 	items  []Message
 	closed bool
+
+	// hw is the high-water mark of queued-but-undrained messages. Overload
+	// on an unbounded mailbox is otherwise silent: the queue grows, nothing
+	// drops, latency just disappears into it. The mark is the cheapest
+	// honest signal (one comparison per push) and is surfaced through
+	// Store.Stats as MailboxHighWater.
+	hw int
 }
 
 // newMailbox returns an empty, open mailbox.
@@ -39,8 +46,18 @@ func (m *mailbox) push(msg Message) bool {
 		return false
 	}
 	m.items = append(m.items, msg)
+	if len(m.items) > m.hw {
+		m.hw = len(m.items)
+	}
 	m.cond.Signal()
 	return true
+}
+
+// highWater returns the deepest the queue has ever been.
+func (m *mailbox) highWater() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hw
 }
 
 // pop blocks until a message is available or the mailbox is closed. The

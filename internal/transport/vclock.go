@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// VirtualEpoch is the instant a VirtualClock starts at. It is a fixed,
+// arbitrary date so that two simulations of the same scenario produce
+// byte-identical timestamps (histories are compared and fingerprinted on
+// them) regardless of when or where they run.
+var VirtualEpoch = time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// VirtualClock is a deterministic logical clock for simulation. Instead of
+// sleeping, components schedule callbacks at virtual instants; a single
+// driver goroutine repeatedly calls Step, which waits for the system to
+// quiesce (no in-flight work) and then executes the earliest scheduled event,
+// advancing virtual time instantly to its due instant. A "60-second" scenario
+// therefore runs in milliseconds of wall time, and because exactly one event
+// fires at a time — in a total (due time, schedule sequence) order — the
+// delivery schedule is identical on every run with the same seed.
+//
+// Quiescence is tracked by an activity counter: every undelivered or
+// unprocessed message holds one activity token from the moment the network
+// hands it to a mailbox until its consumer calls Message.ReleaseArena (the
+// token rides the existing arena retain/release discipline, which already
+// marks exactly the hand-off points where a message changes hands). The
+// clock never advances while a token is outstanding, so an event's entire
+// causal cascade — handler runs, replies scheduled — finishes before the
+// next event fires.
+//
+// Wall-clock prohibitions: code running under a VirtualClock must never
+// consult time.Now for protocol-visible decisions, sleep, or arm wall
+// timers (time.After, context.WithTimeout, context.AfterFunc). Timeouts are
+// expressed as scheduled events that abort an operation via an
+// already-cancelled context, which the pipeline engine honours
+// synchronously.
+type VirtualClock struct {
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled when activity reaches zero
+	now      time.Time
+	seq      uint64
+	events   vcHeap
+	activity int
+}
+
+// vcEvent is one scheduled callback.
+type vcEvent struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+// vcHeap orders events by (due time, schedule sequence) — the same total
+// order the wall-clock delay dispatcher uses, so virtual and wall modes
+// deliver equal-delay messages identically.
+type vcHeap []vcEvent
+
+func (h vcHeap) before(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *vcHeap) push(e vcEvent) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).before(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *vcHeap) pop() vcEvent {
+	out := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	(*h)[last] = vcEvent{}
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(*h) && (*h).before(l, smallest) {
+			smallest = l
+		}
+		if r < len(*h) && (*h).before(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return out
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+}
+
+// NewVirtualClock returns a clock positioned at VirtualEpoch with no events.
+func NewVirtualClock() *VirtualClock {
+	c := &VirtualClock{now: VirtualEpoch}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Now returns the current virtual time. Safe for concurrent use.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Schedule queues fn to run d after the current virtual instant (a
+// non-positive d schedules it "now", still behind already-queued events for
+// the same instant). fn runs on the driver goroutine inside Step; it must
+// not block on work that itself needs the clock to advance.
+func (c *VirtualClock) Schedule(d time.Duration, fn func()) {
+	c.mu.Lock()
+	at := c.now
+	if d > 0 {
+		at = at.Add(d)
+	}
+	c.seq++
+	c.events.push(vcEvent{at: at, seq: c.seq, fn: fn})
+	c.mu.Unlock()
+}
+
+// PendingEvents returns the number of scheduled events not yet executed.
+func (c *VirtualClock) PendingEvents() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// begin takes one activity token; the clock will not fire further events
+// until it is returned with end.
+func (c *VirtualClock) begin() {
+	c.mu.Lock()
+	c.activity++
+	c.mu.Unlock()
+}
+
+// end returns an activity token taken with begin.
+func (c *VirtualClock) end() {
+	c.mu.Lock()
+	c.activity--
+	if c.activity == 0 {
+		c.cond.Broadcast()
+	}
+	if c.activity < 0 {
+		c.mu.Unlock()
+		panic("transport: virtual clock activity underflow")
+	}
+	c.mu.Unlock()
+}
+
+// Step waits (up to maxIdleWait of wall time) for activity to quiesce, then
+// executes the earliest scheduled event, advancing virtual time to its due
+// instant. It returns false when no events remain. A non-nil error means the
+// system failed to quiesce — some component is stuck holding an activity
+// token, which under a virtual clock indicates a genuine deadlock or a
+// wall-clock sleep that must not exist in simulation.
+//
+// Step must only ever be called from one goroutine (the simulation driver).
+func (c *VirtualClock) Step(maxIdleWait time.Duration) (bool, error) {
+	timedOut := false
+	var watchdog *time.Timer
+	if maxIdleWait > 0 {
+		watchdog = time.AfterFunc(maxIdleWait, func() {
+			c.mu.Lock()
+			timedOut = true
+			c.mu.Unlock()
+			c.cond.Broadcast()
+		})
+		defer watchdog.Stop()
+	}
+	c.mu.Lock()
+	for c.activity > 0 && !timedOut {
+		c.cond.Wait()
+	}
+	if c.activity > 0 {
+		n := c.activity
+		c.mu.Unlock()
+		return false, fmt.Errorf("transport: virtual clock stalled: %d activity tokens outstanding after %v", n, maxIdleWait)
+	}
+	if len(c.events) == 0 {
+		c.mu.Unlock()
+		return false, nil
+	}
+	ev := c.events.pop()
+	if ev.at.After(c.now) {
+		c.now = ev.at
+	}
+	c.mu.Unlock()
+	ev.fn()
+	return true, nil
+}
+
+// RunNext is Step without a watchdog: it blocks until quiescent, then fires
+// the next event. Intended for tests; simulations should use Step with a
+// wall-clock bound so a stall surfaces as an error instead of a hang.
+func (c *VirtualClock) RunNext() bool {
+	ran, _ := c.Step(0)
+	return ran
+}

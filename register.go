@@ -72,6 +72,13 @@ type Config struct {
 	// ProtocolFast. The implementation is resolved through the protocol
 	// driver registry, so every protocol runs over every transport backend.
 	Protocol Protocol
+	// ProtocolName, when non-empty, selects the implementation by registry
+	// name instead of Protocol — the escape hatch for drivers registered
+	// outside the enum (test instrumentation such as internal/sim's
+	// deliberately-buggy canary driver, or future external drivers). The
+	// named driver must already be registered or NewStore reports
+	// ErrUnknownProtocol.
+	ProtocolName string
 	// Transport selects the message-passing backend the deployment runs on;
 	// nil means InMemory(). See Transport, InMemory and TCP.
 	Transport Transport
@@ -110,7 +117,50 @@ type Config struct {
 	// Seed seeds the network's randomness; runs with equal seeds and
 	// schedules see equal jitter. In-memory backend only (see WithSeed).
 	Seed int64
+	// NonceSource, when non-nil, supplies the initial operation counter for
+	// each reader handle the store creates, replacing the wall-clock default
+	// (see internal/protoutil.InitialNonce). Deterministic simulation plugs
+	// in virtual-clock microseconds so identical seeds produce identical
+	// wire traffic; the source must preserve the restart-incarnation
+	// ordering (later handles get larger nonces) or restarted readers
+	// starve on the servers' stale-request guard.
+	NonceSource func() int64
+	// Byzantine replaces the listed servers (by 1-based index) with
+	// malicious implementations exhibiting the given behaviours, for
+	// adversarial testing. The replacements understand the fast protocols'
+	// message vocabulary; combine with ProtocolFastByzantine and a
+	// deployment satisfying its bound (b ≥ number of entries here) to
+	// assert safety holds, or with ProtocolFast to demonstrate where it
+	// breaks. In-memory backend recommended (the behaviours are
+	// transport-agnostic, but the adversarial schedules that make them
+	// interesting are not reproducible over sockets).
+	Byzantine map[int]ByzantineBehavior
 }
+
+// ByzantineBehavior selects what a server listed in Config.Byzantine does
+// instead of following the protocol. The behaviours mirror
+// internal/fault's library.
+type ByzantineBehavior int
+
+const (
+	// ByzantineForgeTimestamp replies with an enormous forged timestamp and
+	// a value the writer never wrote, signed with a non-writer key.
+	ByzantineForgeTimestamp ByzantineBehavior = iota + 1
+	// ByzantineStaleReplay always replies with the initial state (ts=0).
+	ByzantineStaleReplay
+	// ByzantineMemoryLoss behaves honestly except towards reader 1, to
+	// which it replies as if it had never received any message.
+	ByzantineMemoryLoss
+	// ByzantineInflateSeen claims every client is in its seen set, trying
+	// to trick the fast-read predicate into holding early.
+	ByzantineInflateSeen
+	// ByzantineMute receives but never replies.
+	ByzantineMute
+	// ByzantineFlood answers every request with a burst of fabricated stale
+	// acknowledgements followed by one honest reply, stressing the
+	// receive-path backlog machinery as well as the ack filters.
+	ByzantineFlood
+)
 
 // Errors returned by the façade.
 var (
@@ -247,7 +297,16 @@ type Stats struct {
 	// DedupDrops counts datagrams the UDP backend's per-sender at-most-once
 	// windows rejected as duplicates or stale replays; always zero on the
 	// other backends.
-	DedupDrops       int
+	DedupDrops int
+	// MailboxHighWater is the deepest any process's unbounded inbound queue
+	// has ever been. The in-memory transport never drops on overload — the
+	// asynchronous model forbids blocking a sender — so sustained overload
+	// shows up here (and only here) as unbounded growth; a bench or
+	// simulation that ends with a high-water mark far above PipelineDepth ×
+	// clients was queueing, not keeping up. In-memory backend only; socket
+	// backends report 0 (their bounded queues surface overload as
+	// SendDrops/InboundDrops instead).
+	MailboxHighWater int
 	ServerMutations  int64
 	ReadRoundsPerOp  float64
 	WriteRoundsPerOp float64

@@ -1,0 +1,140 @@
+package fastread
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// The register protocols never retransmit: every message is sent exactly
+// once, and an operation that loses more messages than its quorum slack
+// tolerates waits forever. On a reliable transport (inmem, TCP) that cannot
+// happen, but on a lossy one (UDP) — or across a partition that heals — a
+// caller that simply blocks on Read or Write can hang indefinitely.
+// RetryPolicy bounds that wait the way a real client would: give each
+// attempt a deadline, abandon the stalled operation (freeing its pipeline
+// slot; an abandoned write may still take effect, exactly like any
+// interrupted write), back off, and resubmit.
+//
+// The helpers use wall-clock deadlines and sleeps; they must not be used
+// inside a virtual-time simulation (internal/sim schedules its own timeout
+// events on the logical clock instead).
+type RetryPolicy struct {
+	// Attempts is the maximum number of submissions, including the first
+	// (zero means 4).
+	Attempts int
+	// Timeout is the per-attempt deadline (zero means 2s).
+	Timeout time.Duration
+	// Backoff is the delay before the second attempt, doubling each retry
+	// (zero means 50ms).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (zero means 1s).
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy returns the policy used when a zero RetryPolicy is
+// passed: 4 attempts, 2s per attempt, backoff 50ms doubling to at most 1s.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 4, Timeout: 2 * time.Second, Backoff: 50 * time.Millisecond, MaxBackoff: time.Second}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.Attempts <= 0 {
+		p.Attempts = def.Attempts
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = def.Timeout
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = def.Backoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = def.MaxBackoff
+	}
+	return p
+}
+
+// ErrRetriesExhausted is returned (wrapped) when every attempt of a retrying
+// helper timed out.
+var ErrRetriesExhausted = errors.New("fastread: retries exhausted")
+
+// WriteWithRetry writes value through w, giving each attempt p.Timeout and
+// resubmitting with exponential backoff when an attempt times out. Only
+// per-attempt timeouts are retried; protocol errors and the parent ctx
+// ending abort immediately. Resubmitting a write is safe for the register's
+// semantics: the single writer issues it with a fresh, higher timestamp.
+func WriteWithRetry(ctx context.Context, w Writer, value []byte, p RetryPolicy) error {
+	p = p.withDefaults()
+	backoff := p.Backoff
+	for attempt := 1; ; attempt++ {
+		attemptCtx, cancel := context.WithTimeout(ctx, p.Timeout)
+		err := w.Write(attemptCtx, value)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if retry, stop := retryDecision(ctx, err, attempt, p); !retry {
+			return stop
+		}
+		if err := backoffWait(ctx, &backoff, p.MaxBackoff); err != nil {
+			return err
+		}
+	}
+}
+
+// ReadWithRetry reads through r with the same bounded-retry discipline as
+// WriteWithRetry. Abandoned attempts free their pipeline slot, so the
+// helper never accumulates stranded in-flight reads.
+func ReadWithRetry(ctx context.Context, r Reader, p RetryPolicy) (ReadResult, error) {
+	p = p.withDefaults()
+	backoff := p.Backoff
+	for attempt := 1; ; attempt++ {
+		attemptCtx, cancel := context.WithTimeout(ctx, p.Timeout)
+		res, err := r.Read(attemptCtx)
+		cancel()
+		if err == nil {
+			return res, nil
+		}
+		if retry, stop := retryDecision(ctx, err, attempt, p); !retry {
+			return ReadResult{}, stop
+		}
+		if err := backoffWait(ctx, &backoff, p.MaxBackoff); err != nil {
+			return ReadResult{}, err
+		}
+	}
+}
+
+// retryDecision classifies an attempt's failure: (true, nil) means try
+// again, (false, err) means surface err to the caller.
+func retryDecision(ctx context.Context, err error, attempt int, p RetryPolicy) (bool, error) {
+	if ctx.Err() != nil {
+		// The caller's context ended; its error, not the attempt's, is the
+		// meaningful outcome.
+		return false, ctx.Err()
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		return false, err // protocol or lifecycle error: retrying cannot help
+	}
+	if attempt >= p.Attempts {
+		return false, fmt.Errorf("%w: %d attempts of %v each timed out", ErrRetriesExhausted, p.Attempts, p.Timeout)
+	}
+	return true, nil
+}
+
+// backoffWait sleeps for *backoff (doubling it, capped at max) unless ctx
+// ends first.
+func backoffWait(ctx context.Context, backoff *time.Duration, max time.Duration) error {
+	t := time.NewTimer(*backoff)
+	defer t.Stop()
+	if *backoff *= 2; *backoff > max {
+		*backoff = max
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -86,15 +86,27 @@ type Register struct {
 // The deployment serves an open-ended keyspace: call Register to obtain the
 // handles for any key.
 func NewStore(cfg Config) (*Store, error) {
-	if cfg.Protocol == 0 {
-		cfg.Protocol = ProtocolFast
+	name := cfg.ProtocolName
+	if name == "" {
+		if cfg.Protocol == 0 {
+			cfg.Protocol = ProtocolFast
+		}
+		if !cfg.Protocol.Valid() {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownProtocol, cfg.Protocol)
+		}
+		name = cfg.Protocol.String()
 	}
-	if !cfg.Protocol.Valid() {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownProtocol, cfg.Protocol)
-	}
-	drv, ok := driver.Lookup(cfg.Protocol.String())
+	drv, ok := driver.Lookup(name)
 	if !ok {
-		return nil, fmt.Errorf("%w: no driver registered for %q", ErrUnknownProtocol, cfg.Protocol)
+		return nil, fmt.Errorf("%w: no driver registered for %q", ErrUnknownProtocol, name)
+	}
+	for i, b := range cfg.Byzantine {
+		if i < 1 || i > cfg.Servers {
+			return nil, fmt.Errorf("%w: Byzantine index %d (S=%d)", ErrUnknownServer, i, cfg.Servers)
+		}
+		if b < ByzantineForgeTimestamp || b > ByzantineFlood {
+			return nil, fmt.Errorf("fastread: unknown byzantine behaviour %d for server %d", b, i)
+		}
 	}
 	qcfg := quorum.Config{
 		Servers:   cfg.Servers,
@@ -147,6 +159,15 @@ func (s *Store) startServers() error {
 		node, err := s.session.join(id)
 		if err != nil {
 			return fmt.Errorf("join %v: %w", id, err)
+		}
+		if b, ok := s.cfg.Byzantine[i]; ok {
+			srv, err := newByzantineServer(s.cfg, b, id, node)
+			if err != nil {
+				return err
+			}
+			srv.Start()
+			s.servers = append(s.servers, srv)
+			continue
 		}
 		srv, err := s.drv.NewServer(driver.ServerConfig{
 			ID:       id,
@@ -211,26 +232,38 @@ func (s *Store) Register(key string) (*Register, error) {
 // transport, through the protocol driver's uniform factories. Callers must
 // hold s.mu.
 func (s *Store) newRegister(key string) (*Register, error) {
-	clientCfg := driver.ClientConfig{
+	w, err := s.drv.NewWriter(s.clientConfig(key), s.writerDemux.Route(key))
+	if err != nil {
+		return nil, err
+	}
+	reg := &Register{key: key, writer: &writerHandle{store: s, w: w}}
+	for i := 1; i <= s.cfg.Readers; i++ {
+		r, err := s.drv.NewReader(s.clientConfig(key), s.readerDemuxes[i-1].Route(key))
+		if err != nil {
+			return nil, err
+		}
+		rh := &readerHandle{store: s, index: i}
+		rh.setReader(r)
+		reg.reads = append(reg.reads, rh)
+	}
+	return reg, nil
+}
+
+// clientConfig assembles one per-key client's driver configuration. Each
+// call draws a fresh nonce from NonceSource (when configured) so every
+// handle — including a restarted reader incarnation — gets its own.
+func (s *Store) clientConfig(key string) driver.ClientConfig {
+	cfg := driver.ClientConfig{
 		Key:      key,
 		Quorum:   s.qcfg,
 		Signer:   s.keys.Signer,
 		Verifier: s.keys.Verifier,
 		Depth:    s.cfg.PipelineDepth,
 	}
-	w, err := s.drv.NewWriter(clientCfg, s.writerDemux.Route(key))
-	if err != nil {
-		return nil, err
+	if s.cfg.NonceSource != nil {
+		cfg.Nonce = s.cfg.NonceSource()
 	}
-	reg := &Register{key: key, writer: &writerHandle{store: s, w: w}}
-	for i := 1; i <= s.cfg.Readers; i++ {
-		r, err := s.drv.NewReader(clientCfg, s.readerDemuxes[i-1].Route(key))
-		if err != nil {
-			return nil, err
-		}
-		reg.reads = append(reg.reads, &readerHandle{store: s, index: i, r: r})
-	}
-	return reg, nil
+	return cfg
 }
 
 // Keys returns the keys of every register this store has handed out, in no
@@ -259,6 +292,45 @@ func (s *Store) CrashServer(i int) error {
 		return fmt.Errorf("%w: %d (S=%d)", ErrUnknownServer, i, s.cfg.Servers)
 	}
 	return s.session.crash(types.Server(i))
+}
+
+// RestartReader tears down reader ri's client for the named register and
+// builds a fresh one over a new demux route, modelling a reader process
+// restart: in-flight reads of the old incarnation fail (their inbox is
+// severed — the operation dies with the process), client-side protocol state
+// is lost, and the new incarnation resumes with a fresh initial nonce. The
+// register must already exist (see Register); the reader's other keys and
+// all other handles are untouched.
+//
+// Servers remember the highest operation counter each reader identity used
+// (the stale-request guard), so the restart exercises the nonce/incarnation
+// machinery: a NonceSource that fails to move forward starves the new
+// incarnation, which is exactly the PR 5 latent bug internal/sim pins as a
+// fixture.
+func (s *Store) RestartReader(key string, i int) error {
+	if i < 1 || i > s.cfg.Readers {
+		return fmt.Errorf("%w: %d (R=%d)", ErrUnknownReader, i, s.cfg.Readers)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return ErrStoreClosed
+	}
+	reg, ok := s.regs[key]
+	if !ok {
+		return fmt.Errorf("fastread: no register %q (Register it before restarting its readers)", key)
+	}
+	d := s.readerDemuxes[i-1]
+	// Sever the old incarnation: closing the route fails its pending
+	// operations with the pipeline's inbox-closed error. A later Route call
+	// for the same key creates a fresh route.
+	_ = d.Route(key).Close()
+	r, err := s.drv.NewReader(s.clientConfig(key), d.Route(key))
+	if err != nil {
+		return err
+	}
+	reg.reads[i-1].setReader(r)
+	return nil
 }
 
 // Network exposes the underlying in-memory network for tests, fault
@@ -291,7 +363,7 @@ func (s *Store) Stats() Stats {
 		out.Writes += w
 		out.WriteRoundTrips += wr
 		for _, r := range reg.reads {
-			reads, rounds, fallbacks := r.r.Stats()
+			reads, rounds, fallbacks := r.reader().Stats()
 			out.Reads += reads
 			out.ReadRoundTrips += rounds
 			out.FallbackReads += fallbacks
@@ -304,6 +376,7 @@ func (s *Store) Stats() Stats {
 	out.SendDrops = ts.sendDrops
 	out.InboundDrops = ts.inboundDrops
 	out.DedupDrops = ts.dedupDrops
+	out.MailboxHighWater = ts.mailboxHighWater
 	for _, srv := range s.servers {
 		out.ServerMutations += srv.TotalMutations()
 	}
@@ -407,14 +480,23 @@ func (w *writerHandle) WriteAsync(ctx context.Context, value []byte) (*WriteFutu
 }
 
 // readerHandle adapts a protocol driver's reader to the public Reader
-// interface, adding the store-closed fast path.
+// interface, adding the store-closed fast path. The underlying driver
+// reader is swapped atomically by Store.RestartReader, so operations in
+// flight on the old incarnation keep their reader while new operations go
+// to the new one.
 type readerHandle struct {
 	store *Store
 	index int
-	r     driver.Reader
+	cur   atomic.Pointer[driver.Reader]
 }
 
 var _ Reader = (*readerHandle)(nil)
+
+// reader returns the current driver reader incarnation.
+func (r *readerHandle) reader() driver.Reader { return *r.cur.Load() }
+
+// setReader installs a new driver reader incarnation.
+func (r *readerHandle) setReader(d driver.Reader) { r.cur.Store(&d) }
 
 // Read implements Reader. After Store.Close it fails fast with
 // ErrStoreClosed (see writerHandle.Write).
@@ -422,7 +504,7 @@ func (r *readerHandle) Read(ctx context.Context) (ReadResult, error) {
 	if r.store.closed.Load() {
 		return ReadResult{}, ErrStoreClosed
 	}
-	res, err := r.r.Read(ctx)
+	res, err := r.reader().Read(ctx)
 	if err != nil {
 		return ReadResult{}, r.store.mapHandleErr(err)
 	}
@@ -434,7 +516,7 @@ func (r *readerHandle) ReadAsync(ctx context.Context) (*ReadFuture, error) {
 	if r.store.closed.Load() {
 		return nil, ErrStoreClosed
 	}
-	f, err := r.r.ReadAsync(ctx)
+	f, err := r.reader().ReadAsync(ctx)
 	if err != nil {
 		return nil, r.store.mapHandleErr(err)
 	}

@@ -72,6 +72,11 @@ type sessionStats struct {
 	// discarded at full inboxes; dedupDrops datagrams rejected by the UDP
 	// at-most-once windows.
 	sendDrops, inboundDrops, dedupDrops int
+	// mailboxHighWater is the deepest any process's unbounded inbound queue
+	// has ever been (in-memory backend only; socket backends report 0 —
+	// their inbound queues are bounded and overflow shows up as
+	// inboundDrops instead).
+	mailboxHighWater int
 }
 
 // dropped sums every way the backend lost a message.
@@ -103,6 +108,20 @@ func WithJitter(j time.Duration) InMemoryOption {
 func WithSeed(seed int64) InMemoryOption {
 	return func(t *inMemTransport) {
 		t.opts = append(t.opts, transport.WithSeed(seed))
+	}
+}
+
+// WithVirtualClock runs the deployment on a virtual clock: every delivery,
+// delay and jitter draw becomes a scheduled logical-clock event, executed
+// one at a time in a deterministic total order, so a multi-minute chaos
+// scenario runs in milliseconds of wall time and identical seeds produce
+// identical message schedules. The caller owns the event loop — the clock
+// only advances through VirtualClock.Step — which is what internal/sim's
+// scenario runner does. Implies DisableBatching (under one-event-at-a-time
+// delivery there is never a backlog to coalesce).
+func WithVirtualClock(c *transport.VirtualClock) InMemoryOption {
+	return func(t *inMemTransport) {
+		t.opts = append(t.opts, transport.WithClock(c))
 	}
 }
 
@@ -166,7 +185,12 @@ func (s *inMemSession) stats() sessionStats {
 	ns := s.net.Stats()
 	// No frame concept in memory: a delivery is its own frame. Every
 	// in-memory drop happens on the delivery side (full inbox, adversary).
-	return sessionStats{delivered: ns.Delivered, frames: ns.Delivered, inboundDrops: ns.Dropped}
+	return sessionStats{
+		delivered:        ns.Delivered,
+		frames:           ns.Delivered,
+		inboundDrops:     ns.Dropped,
+		mailboxHighWater: s.net.MailboxHighWater(),
+	}
 }
 
 // TCPOption tweaks the TCP backend.
