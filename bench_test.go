@@ -405,6 +405,88 @@ func BenchmarkStoreParallelKeys(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreGroups measures horizontal scale-out: the SAME 64-key
+// closed-loop workload under the SAME CPU budget (GOMAXPROCS pinned to 4, 16
+// client workers), served by 1, 2 or 4 consistent-hash replica groups.
+// Every server runs ONE executor worker — the "smallest server" whose
+// capacity caps an unpartitioned replica set — so a single group's execution
+// and its per-process mailbox pumps are a fixed-size bottleneck no matter
+// how many keys it serves, while each added group brings its own servers,
+// its own client identities and its own network. On multi-core hardware
+// aggregate ops/sec should therefore scale with the group count instead of
+// flattening; on a single hardware core the groups only add goroutines to
+// overcommit (compare ratios on CI's multi-core runners, as with
+// BenchmarkStoreParallelKeys).
+func BenchmarkStoreGroups(b *testing.B) {
+	const (
+		keyCount = 64
+		workers  = 16
+	)
+	for _, groupCount := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("groups=%d", groupCount), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(4)
+			defer runtime.GOMAXPROCS(prev)
+			specs := make([]GroupSpec, groupCount)
+			for i := range specs {
+				specs[i] = GroupSpec{Name: fmt.Sprintf("g%d", i)}
+			}
+			store, err := NewStore(Config{
+				Servers: 4, Faulty: 1, Readers: 1, Protocol: ProtocolFast,
+				ServerWorkers: 1, Groups: specs,
+			})
+			if err != nil {
+				b.Fatalf("NewStore: %v", err)
+			}
+			b.Cleanup(func() { _ = store.Close() })
+			ctx := benchCtx(b)
+
+			regs := make([]*Register, keyCount)
+			for i := range regs {
+				reg, err := store.Register(fmt.Sprintf("bench-key-%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				regs[i] = reg
+				if err := reg.Writer().Write(ctx, []byte("seed")); err != nil {
+					b.Fatalf("seed write key %d: %v", i, err)
+				}
+			}
+
+			// Fix the offered concurrency at `workers` regardless of the
+			// GOMAXPROCS pin: RunParallel spawns GOMAXPROCS×p goroutines.
+			b.SetParallelism((workers + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Each worker claims one key (as in StoreParallelKeys), so
+				// handles keep their one-op-at-a-time contract and the key
+				// set — hence the group load mix — is identical across
+				// group counts.
+				idx := int(next.Add(1)-1) % keyCount
+				reg := regs[idx]
+				reader, err := reg.Reader(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				i := 0
+				for pb.Next() {
+					if i%2 == 0 {
+						if err := reg.Writer().Write(ctx, []byte("v")); err != nil {
+							b.Fatalf("write: %v", err)
+						}
+					} else {
+						if _, err := reader.Read(ctx); err != nil {
+							b.Fatalf("read: %v", err)
+						}
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkPipelinedRead measures one reader handle driving the async read
 // API with a fixed window of in-flight operations over the in-memory
 // transport. depth=1 is the serial baseline (ReadAsync+Result degenerates to

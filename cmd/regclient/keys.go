@@ -34,6 +34,26 @@ func parseBook(spec string) (tcpnet.AddressBook, error) {
 	return book, nil
 }
 
+// bookFromMembers converts a topology group's member map (textual process
+// ids to host:port addresses) into an address book.
+func bookFromMembers(members map[string]string) (tcpnet.AddressBook, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("the topology group has no members (socket transports need a per-group address book)")
+	}
+	book := make(tcpnet.AddressBook, len(members))
+	for name, addr := range members {
+		id, err := types.ParseProcessID(name)
+		if err != nil {
+			return nil, fmt.Errorf("member %q: %w", name, err)
+		}
+		if strings.TrimSpace(addr) == "" {
+			return nil, fmt.Errorf("member %q has an empty address", name)
+		}
+		book[id] = strings.TrimSpace(addr)
+	}
+	return book, nil
+}
+
 // signerFromHex rebuilds the writer's signer from a hex-encoded ed25519 seed
 // (any 32-byte seed).
 func signerFromHex(keyHex string) (*sig.Signer, error) {

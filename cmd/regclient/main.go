@@ -30,6 +30,19 @@
 // the servers were started with; the protocol's deployment bound (the fast
 // protocols' reader bound, the majority protocols' t < S/2) is checked
 // locally before any operation is attempted.
+//
+// A partitioned deployment (see internal/topology) replaces -book with
+// -groups topology.json: the client builds the same consistent-hash ring as
+// every server, resolves each key's owning replica group, and binds one
+// socket per group it actually talks to, using that group's member book and
+// quorum parameters (give the client identity a distinct port in each
+// group's members — one socket cannot serve two groups). The route
+// subcommand prints the placement without touching the network:
+//
+//	regclient -groups topo.json -key user/42 route
+//	regclient -groups topo.json -key bench- -keys 16 route
+//	regclient -id w  -groups topo.json -key user/42 write "hello"
+//	regclient -id r1 -groups topo.json -key bench- -keys 64 bench -ops 5000
 package main
 
 import (
@@ -44,6 +57,7 @@ import (
 	"fastread/internal/protoutil"
 	"fastread/internal/quorum"
 	"fastread/internal/stats"
+	"fastread/internal/topology"
 	"fastread/internal/transport"
 	"fastread/internal/transport/tcpnet"
 	"fastread/internal/transport/udpnet"
@@ -68,6 +82,7 @@ func run(args []string) error {
 	var (
 		idFlag    = fs.String("id", "r1", "client identity: w for the writer, r1..rR for readers")
 		bookFlag  = fs.String("book", "", "address book: comma-separated id=host:port pairs")
+		groupsArg = fs.String("groups", "", "topology file (JSON) describing a partitioned deployment (replaces -book)")
 		protocol  = fs.String("protocol", "fast", "register protocol: "+strings.Join(driver.Names(), " | "))
 		servers   = fs.Int("S", 4, "number of servers")
 		faulty    = fs.Int("t", 1, "maximum faulty servers")
@@ -86,7 +101,7 @@ func run(args []string) error {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("usage: regclient [flags] read | write <value> | bench")
+		return fmt.Errorf("usage: regclient [flags] read | write <value> | bench | route [key ...]")
 	}
 	command := fs.Arg(0)
 	// Flags may also follow the subcommand (`bench -ops 1000 -pipeline 16`),
@@ -116,18 +131,59 @@ func run(args []string) error {
 	}
 
 	keys := []string{*key}
-	if command == "bench" && *keysN > 1 {
+	if (command == "bench" || command == "route") && *keysN > 1 {
 		keys = make([]string, *keysN)
 		for i := range keys {
 			keys[i] = fmt.Sprintf("%s%d", *key, i)
 		}
 	}
 
-	id, err := types.ParseProcessID(*idFlag)
-	if err != nil {
-		return err
+	// A topology file turns the client into a router: every key is placed on
+	// the deployment-wide consistent-hash ring before any handle is built,
+	// and only the groups that actually own one of this run's keys get a
+	// socket.
+	var (
+		topo topology.Topology
+		ring *topology.Ring
+		err  error
+	)
+	if *groupsArg != "" {
+		if *bookFlag != "" {
+			return fmt.Errorf("-groups and -book are mutually exclusive: the topology carries each group's address book")
+		}
+		if topo, err = topology.Load(*groupsArg); err != nil {
+			return err
+		}
+		if ring, err = topo.Ring(); err != nil {
+			return err
+		}
 	}
-	book, err := parseBook(*bookFlag)
+	groupOf := func(k string) int {
+		if ring == nil {
+			return 0
+		}
+		return ring.Lookup(k)
+	}
+
+	if command == "route" {
+		if ring == nil {
+			return fmt.Errorf("route requires -groups: placement is defined by the topology's ring")
+		}
+		targets := fs.Args()
+		if len(targets) == 0 {
+			targets = keys
+		}
+		for _, k := range targets {
+			label := k
+			if label == "" {
+				label = "(default register)"
+			}
+			fmt.Printf("%s\t%s\n", label, topo.Groups[ring.Lookup(k)].Name)
+		}
+		return nil
+	}
+
+	id, err := types.ParseProcessID(*idFlag)
 	if err != nil {
 		return err
 	}
@@ -139,16 +195,60 @@ func run(args []string) error {
 		return err
 	}
 
-	node, err := listenNode(*trans, id, book)
-	if err != nil {
-		return err
+	// One socket + demux per replica group this run touches, opened lazily.
+	// Groups are disjoint deployments with their own address books and quorum
+	// shapes, so each connection carries its own quorum config for the
+	// handles routed through it.
+	type groupConn struct {
+		qcfg  quorum.Config
+		demux *transport.Demux
 	}
-	defer node.Close()
-
-	// The physical node is demultiplexed by register key so one process can
-	// drive many registers over a single socket identity, exactly as the
-	// in-memory Store does.
-	demux := transport.NewDemux(node, protoutil.WireKeyFunc, 0)
+	conns := make(map[int]*groupConn)
+	var nodes []transport.Node
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	connFor := func(gi int) (*groupConn, error) {
+		if c, ok := conns[gi]; ok {
+			return c, nil
+		}
+		gq := qcfg
+		var book tcpnet.AddressBook
+		var err error
+		if ring != nil {
+			g := topo.Groups[gi]
+			if g.Servers != 0 {
+				gq.Servers, gq.Faulty, gq.Malicious = g.Servers, g.Faulty, g.Malicious
+			}
+			if book, err = bookFromMembers(g.Members); err != nil {
+				return nil, fmt.Errorf("group %q: %w", g.Name, err)
+			}
+			if err = gq.Validate(); err != nil {
+				return nil, fmt.Errorf("group %q: %w", g.Name, err)
+			}
+			if err = drv.Validate(gq); err != nil {
+				return nil, fmt.Errorf("group %q: %w", g.Name, err)
+			}
+		} else if book, err = parseBook(*bookFlag); err != nil {
+			return nil, err
+		}
+		node, err := listenNode(*trans, id, book)
+		if err != nil {
+			if ring != nil {
+				return nil, fmt.Errorf("group %q: %w", topo.Groups[gi].Name, err)
+			}
+			return nil, err
+		}
+		nodes = append(nodes, node)
+		// The physical node is demultiplexed by register key so one process
+		// can drive many registers over a single socket identity, exactly as
+		// the in-memory Store does.
+		c := &groupConn{qcfg: gq, demux: transport.NewDemux(node, protoutil.WireKeyFunc, 0)}
+		conns[gi] = c
+		return c, nil
+	}
 
 	clientCfg := driver.ClientConfig{Quorum: qcfg, Depth: *pipeline}
 	if drv.NeedsSignatures {
@@ -173,9 +273,14 @@ func run(args []string) error {
 	case types.RoleWriter:
 		writers := make([]driver.Writer, len(keys))
 		for i, k := range keys {
+			c, err := connFor(groupOf(k))
+			if err != nil {
+				return err
+			}
 			kCfg := clientCfg
+			kCfg.Quorum = c.qcfg
 			kCfg.Key = k
-			w, err := drv.NewWriter(kCfg, demux.Route(k))
+			w, err := drv.NewWriter(kCfg, c.demux.Route(k))
 			if err != nil {
 				return err
 			}
@@ -185,9 +290,14 @@ func run(args []string) error {
 	case types.RoleReader:
 		readers := make([]driver.Reader, len(keys))
 		for i, k := range keys {
+			c, err := connFor(groupOf(k))
+			if err != nil {
+				return err
+			}
 			kCfg := clientCfg
+			kCfg.Quorum = c.qcfg
 			kCfg.Key = k
-			r, err := drv.NewReader(kCfg, demux.Route(k))
+			r, err := drv.NewReader(kCfg, c.demux.Route(k))
 			if err != nil {
 				return err
 			}

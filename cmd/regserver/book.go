@@ -40,6 +40,26 @@ func ParseAddressBook(spec string) (tcpnet.AddressBook, error) {
 	return book, nil
 }
 
+// BookFromMembers converts a topology group's member map (textual process
+// ids to host:port addresses) into an address book.
+func BookFromMembers(members map[string]string) (tcpnet.AddressBook, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("the topology group has no members (socket transports need a per-group address book)")
+	}
+	book := make(tcpnet.AddressBook, len(members))
+	for name, addr := range members {
+		id, err := types.ParseProcessID(name)
+		if err != nil {
+			return nil, fmt.Errorf("member %q: %w", name, err)
+		}
+		if strings.TrimSpace(addr) == "" {
+			return nil, fmt.Errorf("member %q has an empty address", name)
+		}
+		book[id] = strings.TrimSpace(addr)
+	}
+	return book, nil
+}
+
 // ParseVerifier decodes a hex-encoded ed25519 public key.
 func ParseVerifier(hexKey string) (sig.Verifier, error) {
 	if hexKey == "" {

@@ -27,6 +27,19 @@
 //	regserver -id s2 -book "$BOOK" -protocol abd -S 4 -t 1 -R 1
 //	regserver -id s3 -book "$BOOK" -protocol abd -S 4 -t 1 -R 1
 //	regserver -id s4 -book "$BOOK" -protocol abd -S 4 -t 1 -R 1
+//
+// A partitioned deployment (see internal/topology) replaces -book with a
+// shared topology file plus the name of the replica group this process
+// belongs to:
+//
+//	regserver -id s1 -groups topo.json -group g2 -protocol abd -R 1
+//
+// The group's quorum parameters (S, t, b) and address book then come from
+// its topology entry, so the only per-process variation inside a group is
+// -id; -S/-t/-b act as fallbacks for topology entries that omit them.
+// Groups are fully disjoint deployments — a server only ever exchanges
+// messages with its own group's members — and clients route each key to its
+// owning group with the same consistent-hash ring this file describes.
 package main
 
 import (
@@ -39,6 +52,7 @@ import (
 
 	"fastread/internal/driver"
 	"fastread/internal/quorum"
+	"fastread/internal/topology"
 	"fastread/internal/transport"
 	"fastread/internal/transport/tcpnet"
 	"fastread/internal/transport/udpnet"
@@ -61,18 +75,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("regserver", flag.ContinueOnError)
 	var (
-		idFlag   = fs.String("id", "s1", "server identity (s1, s2, ...)")
-		bookFlag = fs.String("book", "", "address book: comma-separated id=host:port pairs")
-		protocol = fs.String("protocol", "fast", "register protocol: "+strings.Join(driver.Names(), " | "))
-		servers  = fs.Int("S", 4, "number of servers in the deployment")
-		faulty   = fs.Int("t", 1, "maximum faulty servers")
-		bad      = fs.Int("b", 0, "maximum malicious servers (fast-byz)")
-		readers  = fs.Int("R", 1, "number of reader processes")
-		byz      = fs.Bool("byz", false, "deprecated: alias for -protocol fast-byz")
-		pubKey   = fs.String("writer-pubkey", "", "hex-encoded writer public key (signature-verifying protocols)")
-		listen   = fs.String("listen", "", "listen address override (defaults to the address book entry)")
-		workers  = fs.Int("workers", 0, "key-shard workers executing messages in parallel (0 = GOMAXPROCS)")
-		trans    = fs.String("transport", "tcp", "socket transport: tcp | udp (must match the clients)")
+		idFlag    = fs.String("id", "s1", "server identity (s1, s2, ...)")
+		bookFlag  = fs.String("book", "", "address book: comma-separated id=host:port pairs")
+		groupsArg = fs.String("groups", "", "topology file (JSON) describing a partitioned deployment (replaces -book, requires -group)")
+		groupArg  = fs.String("group", "", "replica group this server belongs to (requires -groups)")
+		protocol  = fs.String("protocol", "fast", "register protocol: "+strings.Join(driver.Names(), " | "))
+		servers   = fs.Int("S", 4, "number of servers in the deployment")
+		faulty    = fs.Int("t", 1, "maximum faulty servers")
+		bad       = fs.Int("b", 0, "maximum malicious servers (fast-byz)")
+		readers   = fs.Int("R", 1, "number of reader processes")
+		byz       = fs.Bool("byz", false, "deprecated: alias for -protocol fast-byz")
+		pubKey    = fs.String("writer-pubkey", "", "hex-encoded writer public key (signature-verifying protocols)")
+		listen    = fs.String("listen", "", "listen address override (defaults to the address book entry)")
+		workers   = fs.Int("workers", 0, "key-shard workers executing messages in parallel (0 = GOMAXPROCS)")
+		trans     = fs.String("transport", "tcp", "socket transport: tcp | udp (must match the clients)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,9 +113,45 @@ func run(args []string) error {
 	if id.Role != types.RoleServer {
 		return fmt.Errorf("-id must name a server (s1, s2, ...), got %q", *idFlag)
 	}
-	book, err := ParseAddressBook(*bookFlag)
-	if err != nil {
-		return err
+	var (
+		book       tcpnet.AddressBook
+		groupLabel string
+	)
+	switch {
+	case *groupsArg != "":
+		if *groupArg == "" {
+			return fmt.Errorf("-groups requires -group: name the replica group this server serves")
+		}
+		if *bookFlag != "" {
+			return fmt.Errorf("-groups and -book are mutually exclusive: the topology carries each group's address book")
+		}
+		topo, err := topology.Load(*groupsArg)
+		if err != nil {
+			return err
+		}
+		gi, err := topo.GroupIndex(*groupArg)
+		if err != nil {
+			return err
+		}
+		g := topo.Groups[gi]
+		if book, err = BookFromMembers(g.Members); err != nil {
+			return fmt.Errorf("group %q: %w", g.Name, err)
+		}
+		// A topology entry that spells out its quorum shape wins over the
+		// -S/-t/-b fallbacks: inside a group the only per-process flag is -id.
+		if g.Servers != 0 {
+			*servers, *faulty, *bad = g.Servers, g.Faulty, g.Malicious
+		}
+		if id.Index > *servers {
+			return fmt.Errorf("-id %s exceeds group %q (S=%d)", id, g.Name, *servers)
+		}
+		groupLabel = g.Name
+	case *groupArg != "":
+		return fmt.Errorf("-group requires -groups: point it at the deployment's topology file")
+	default:
+		if book, err = ParseAddressBook(*bookFlag); err != nil {
+			return err
+		}
 	}
 	qcfg := quorum.Config{Servers: *servers, Faulty: *faulty, Malicious: *bad, Readers: *readers}
 	if err := qcfg.Validate(); err != nil {
@@ -131,8 +183,15 @@ func run(args []string) error {
 	server.Start()
 	defer server.Stop()
 
-	fmt.Printf("register server %s listening on %s/%s (protocol=%s %v workers=%d, serving all register keys)\n",
-		id, *trans, nodeAddr(), drv.Name, qcfg, server.Workers())
+	// The group id rides both the startup and shutdown lines so an operator
+	// tailing sixteen process logs can attribute every line to its quorum
+	// group without cross-referencing the topology file.
+	groupNote := ""
+	if groupLabel != "" {
+		groupNote = " group=" + groupLabel
+	}
+	fmt.Printf("register server %s%s listening on %s/%s (protocol=%s %v workers=%d, serving all register keys)\n",
+		id, groupNote, *trans, nodeAddr(), drv.Name, qcfg, server.Workers())
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	<-stop
@@ -141,8 +200,8 @@ func run(args []string) error {
 	// operators notice overload or partitions the asynchronous protocols
 	// themselves tolerate without complaint.
 	stats := nodeStats()
-	fmt.Printf("shutting down: transport=%s delivered=%d frames=%d dropped_inbound=%d dropped_send=%d dedup_drops=%d\n",
-		*trans, stats.delivered, stats.frames, stats.droppedInbound, stats.droppedSend, stats.dedupDrops)
+	fmt.Printf("shutting down %s%s: transport=%s delivered=%d frames=%d dropped_inbound=%d dropped_send=%d dedup_drops=%d\n",
+		id, groupNote, *trans, stats.delivered, stats.frames, stats.droppedInbound, stats.droppedSend, stats.dedupDrops)
 	return nil
 }
 

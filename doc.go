@@ -94,6 +94,45 @@
 // cmd/regserver and cmd/regclient (-transport tcp|udp), which serve the same
 // protocols via the same driver registry.
 //
+// # Scaling out: partitioned deployments
+//
+// Config.Groups partitions the keyspace across independent replica groups,
+// turning the Store into a router. Placement is a consistent-hash ring over
+// the ordered group names (internal/topology — the topology seam shared by
+// this package and the cmd binaries): Register resolves a key's owning group
+// before any handle exists, so routing is one hash plus a binary search at
+// Register time and the per-operation path is untouched — same round trips,
+// same zero steady-state allocations.
+//
+//	store, _ := fastread.NewStore(fastread.Config{
+//		Servers: 4, Faulty: 1, Readers: 1, // inherited by groups that omit them
+//		Groups: []fastread.GroupSpec{
+//			{Name: "g0"}, {Name: "g1"},
+//			{Name: "wide", Servers: 7, Faulty: 3}, // groups may differ
+//		},
+//	})
+//	reg, _ := store.Register("user/42")
+//	reg.Group()                          // the owning group's name
+//
+// The correctness argument rests on one invariant: groups are fully
+// DISJOINT deployments. Each group has its own transport session, server
+// set, quorum configuration and writer key pair, and no message ever
+// crosses groups — so each group is exactly the single-deployment model the
+// paper's proofs are about, and per-register atomicity composes across the
+// partition with nothing to prove. Anything that would couple groups
+// (a cross-group read, a shared server identity, a transaction) is outside
+// the model. The ring is a pure function of the ordered group names:
+// renaming or reordering groups re-routes the keyspace, so both are part of
+// a deployment's identity.
+//
+// Groups instantiate lazily on first Register, Stats reports a per-group
+// breakdown (Stats.Groups), and multi-process deployments ship the same
+// group list as a JSON topology file consumed by regserver/regclient
+// (-groups), which build the identical ring. Fault-injection seams stay
+// per-group: CrashServer(i) crashes server i of every instantiated group,
+// and Network — a single-deployment control surface — reports
+// ErrUnsupported on partitioned stores.
+//
 // # Pipelined operations
 //
 // Every handle also exposes an asynchronous API: Writer.WriteAsync and

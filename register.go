@@ -80,8 +80,25 @@ type Config struct {
 	// ErrUnknownProtocol.
 	ProtocolName string
 	// Transport selects the message-passing backend the deployment runs on;
-	// nil means InMemory(). See Transport, InMemory and TCP.
+	// nil means InMemory(). See Transport, InMemory and TCP. In a partitioned
+	// deployment (Groups non-empty) this is the default backend FACTORY for
+	// every group: each group still connects its own independent session from
+	// it, so groups never share sockets, networks or failure domains.
 	Transport Transport
+	// Groups, when non-empty, partitions the keyspace across that many
+	// independent replica groups instead of keeping every key on one server
+	// set: a consistent-hash ring over the group names assigns each register
+	// key an owning group (Store.GroupOf), Register routes to it before the
+	// protocol driver is involved, and each group is a complete deployment of
+	// its own — own transport session, own S servers, own writer/reader
+	// identities, own quorum math — instantiated lazily on the first Register
+	// of a key it owns. Per-register atomicity composes across groups because
+	// they are disjoint: a key's operations only ever touch its group's
+	// servers, so each group is exactly the single-group deployment the
+	// paper's proofs cover. Group names are part of the placement function —
+	// every process of a deployment must use the same ordered list (see
+	// internal/topology). Empty means the classic single-group deployment.
+	Groups []GroupSpec
 	// ServerWorkers is the number of key-shard workers each server process
 	// runs: its messages are dispatched by register key across that many
 	// goroutines, so distinct keys execute in parallel while every key keeps
@@ -135,6 +152,33 @@ type Config struct {
 	// transport-agnostic, but the adversarial schedules that make them
 	// interesting are not reproducible over sockets).
 	Byzantine map[int]ByzantineBehavior
+}
+
+// GroupSpec describes one replica group of a partitioned deployment (see
+// Config.Groups). The zero values of the quorum fields inherit the
+// deployment-level Config, so a homogeneous fleet is just a list of names:
+//
+//	Groups: []GroupSpec{{Name: "g0"}, {Name: "g1"}, {Name: "g2"}, {Name: "g3"}}
+type GroupSpec struct {
+	// Name identifies the group on the placement ring; required, and unique
+	// within the deployment. Renaming a group moves its keys.
+	Name string
+	// Servers (S), Faulty (t) and Malicious (b) are the group's quorum
+	// parameters; zero inherits the deployment-level value. Groups may
+	// differ — a hot slice of the keyspace can run wider than a cold one —
+	// and each group's shape is validated against the protocol's bound at
+	// NewStore.
+	Servers   int
+	Faulty    int
+	Malicious int
+	// Transport gives the group its own backend; nil inherits
+	// Config.Transport (and ultimately InMemory()). Socket deployments with
+	// STATIC address books need a per-group Transport here — every group
+	// binds the same process identities (s1..sS, w, r1..rR), so sharing one
+	// pinned book would collide. Ephemeral-port books (nil/partial) and the
+	// in-memory backend share fine: each group's session allocates its own
+	// endpoints.
+	Transport Transport
 }
 
 // ByzantineBehavior selects what a server listed in Config.Byzantine does
@@ -310,4 +354,29 @@ type Stats struct {
 	ServerMutations  int64
 	ReadRoundsPerOp  float64
 	WriteRoundsPerOp float64
+	// Groups breaks the deployment's traffic down per replica group, one
+	// entry per group in configuration order (a single-group deployment
+	// reports one "default" entry). Groups not yet instantiated report zero
+	// counters.
+	Groups []GroupStats
+}
+
+// GroupStats is one replica group's share of a partitioned deployment's
+// Stats: how many keys the ring has routed to it so far, its operation
+// counts, and its transport session's drop and queueing counters (the
+// deployment-wide fields of Stats are the aggregates of these).
+type GroupStats struct {
+	// Group is the replica group's name.
+	Group string
+	// Keys counts the registers this store has handed out that the ring
+	// placed on this group.
+	Keys int
+	// Writes, Reads and Ops (their sum) count completed operations on the
+	// group's registers.
+	Writes, Reads, Ops int64
+	// SendDrops, InboundDrops and DedupDrops are the group session's drop
+	// counters; MailboxHighWater its deepest inbound queue (in-memory
+	// backend only). See the same-named Stats fields.
+	SendDrops, InboundDrops, DedupDrops int
+	MailboxHighWater                    int
 }

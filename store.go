@@ -11,6 +11,7 @@ import (
 	"fastread/internal/protoutil"
 	"fastread/internal/quorum"
 	"fastread/internal/sig"
+	"fastread/internal/topology"
 	"fastread/internal/transport"
 	"fastread/internal/types"
 	"fastread/internal/wire"
@@ -28,17 +29,33 @@ var (
 // MaxKeyLen is the longest register key a Store accepts, in bytes.
 const MaxKeyLen = wire.MaxKeySize
 
-// Store is a complete register deployment serving MANY named registers from
-// ONE set of server processes: S servers, the single writer identity and R
-// reader identities, all attached to the same transport backend — the
-// in-memory asynchronous network by default, or real TCP sockets when
-// Config.Transport is fastread.TCP (see Transport).
+// defaultGroupName labels the implicit replica group of an unpartitioned
+// deployment (Config.Groups empty) in GroupOf, Register.Group and the
+// per-group Stats breakdown.
+const defaultGroupName = "default"
+
+// Store is a complete register deployment serving MANY named registers. In
+// its simplest shape it is ONE replica group: S servers, the single writer
+// identity and R reader identities, all attached to the same transport
+// backend — the in-memory asynchronous network by default, or real sockets
+// when Config.Transport is fastread.TCP or fastread.UDP (see Transport).
+//
+// With Config.Groups set, the store instead PARTITIONS the keyspace across
+// several independent replica groups: a consistent-hash ring over the group
+// names (internal/topology) assigns every key an owning group, and each
+// group is its own complete deployment — its own transport session, servers,
+// writer and reader identities, and its own quorum parameters. Register
+// resolves the owning group BEFORE any protocol driver is involved, so a
+// key's operations only ever touch its group's S servers: groups exchange no
+// messages, which is exactly why per-key atomicity composes — each group is
+// the single-group deployment the paper's proofs are about. Groups are
+// instantiated lazily, on the first Register of a key they own.
 //
 // Each named register is an independent instance of the configured protocol:
 // servers keep fully separate per-key state (timestamps, seen sets, client
 // counters), so per-key atomicity is exactly the single-register guarantee
-// of the paper, multiplied across the keyspace. The writer and reader
-// processes join the network once; their traffic is demultiplexed by the
+// of the paper, multiplied across the keyspace. A group's writer and reader
+// processes join its network once; their traffic is demultiplexed by the
 // register key carried in every protocol message, so adding a register costs
 // a map entry per server and a handful of client-side state, not a new
 // process set.
@@ -51,16 +68,17 @@ const MaxKeyLen = wire.MaxKeySize
 // Register hands out the per-key write/read handles. A Cluster is a Store
 // serving only the default register (the empty key).
 type Store struct {
-	cfg     Config
-	qcfg    quorum.Config
-	drv     driver.Driver
-	session transportSession
-	keys    sig.KeyPair
+	cfg Config
+	drv driver.Driver
 
-	servers []driver.Server
+	// ring maps keys onto spec indexes; nil for single-group deployments,
+	// where every key trivially belongs to group 0.
+	ring  *topology.Ring
+	specs []groupSpec
 
-	writerDemux   *transport.Demux
-	readerDemuxes []*transport.Demux
+	// groups is index-aligned with specs; entries stay nil until the group
+	// is instantiated by the first Register of a key it owns. Guarded by mu.
+	groups []*storeGroup
 
 	// closed flips before shutdown begins so handle operations issued after
 	// Close fail fast with ErrStoreClosed instead of waiting out their
@@ -73,11 +91,38 @@ type Store struct {
 	regs map[string]*Register
 }
 
+// groupSpec is one replica group's resolved configuration: what it takes to
+// instantiate the group, without instantiating it.
+type groupSpec struct {
+	name string
+	qcfg quorum.Config
+	tr   Transport // nil means the deployment default
+}
+
+// storeGroup is one instantiated replica group: a complete independent
+// deployment (transport session, servers, client demultiplexers, signing
+// keys). Groups share nothing — not even a signature keypair — so the
+// failure and capacity envelope of one group never touches another.
+type storeGroup struct {
+	name    string
+	qcfg    quorum.Config
+	session transportSession
+	keys    sig.KeyPair
+
+	servers []driver.Server
+
+	writerDemux   *transport.Demux
+	readerDemuxes []*transport.Demux
+}
+
 // Register is the pair of per-key handles a Store serves for one named
 // register: the register's single writer and its R readers. Handles share
-// the deployment's transport processes with every other register's handles.
+// the owning replica group's transport processes with every other register
+// of that group.
 type Register struct {
 	key    string
+	gi     int
+	g      *storeGroup
 	writer *writerHandle
 	reads  []*readerHandle
 }
@@ -100,107 +145,225 @@ func NewStore(cfg Config) (*Store, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: no driver registered for %q", ErrUnknownProtocol, name)
 	}
-	for i, b := range cfg.Byzantine {
-		if i < 1 || i > cfg.Servers {
-			return nil, fmt.Errorf("%w: Byzantine index %d (S=%d)", ErrUnknownServer, i, cfg.Servers)
-		}
+	for _, b := range cfg.Byzantine {
 		if b < ByzantineForgeTimestamp || b > ByzantineFlood {
-			return nil, fmt.Errorf("fastread: unknown byzantine behaviour %d for server %d", b, i)
+			return nil, fmt.Errorf("fastread: unknown byzantine behaviour %d", b)
 		}
 	}
-	qcfg := quorum.Config{
-		Servers:   cfg.Servers,
-		Faulty:    cfg.Faulty,
-		Malicious: cfg.Malicious,
-		Readers:   cfg.Readers,
-	}
-	if err := qcfg.Validate(); err != nil {
-		return nil, err
-	}
-	if err := drv.Validate(qcfg); err != nil {
-		return nil, err
-	}
-
-	tr := cfg.Transport
-	if tr == nil {
-		tr = InMemory()
-	}
-	session, err := tr.connect(cfg)
+	specs, ring, err := resolveGroups(cfg, drv)
 	if err != nil {
 		return nil, err
 	}
 
 	s := &Store{
-		cfg:     cfg,
-		qcfg:    qcfg,
-		drv:     drv,
-		session: session,
-		keys:    sig.MustKeyPair(),
-		regs:    make(map[string]*Register),
+		cfg:    cfg,
+		drv:    drv,
+		ring:   ring,
+		specs:  specs,
+		groups: make([]*storeGroup, len(specs)),
+		regs:   make(map[string]*Register),
 	}
-	if err := s.startServers(); err != nil {
-		_ = s.Close()
-		return nil, err
-	}
-	if err := s.joinClients(); err != nil {
-		_ = s.Close()
-		return nil, err
+	if len(cfg.Groups) == 0 {
+		// An unpartitioned deployment starts its single group eagerly: the
+		// servers exist as soon as NewStore returns, exactly as they always
+		// have. Partitioned deployments instantiate each group on the first
+		// Register of a key it owns.
+		s.mu.Lock()
+		_, err := s.groupLocked(0)
+		s.mu.Unlock()
+		if err != nil {
+			_ = s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }
 
-// startServers launches the driver's keyed server on every server identity.
-// Each server executes its messages on a key-sharded executor with
-// cfg.ServerWorkers workers, so one server process serves every register, in
-// parallel across keys.
-func (s *Store) startServers() error {
-	for i := 1; i <= s.cfg.Servers; i++ {
+// resolveGroups turns the deployment configuration into the ordered group
+// spec list and, for partitioned deployments, the placement ring. Every
+// group's quorum shape is validated here — including against the driver's
+// protocol bound — so a partitioned deployment fails at NewStore, not at the
+// first Register that happens to land on a misshapen group.
+func resolveGroups(cfg Config, drv driver.Driver) ([]groupSpec, *topology.Ring, error) {
+	validate := func(name string, q quorum.Config) error {
+		if err := q.Validate(); err != nil {
+			if name != "" {
+				return fmt.Errorf("fastread: group %q: %w", name, err)
+			}
+			return err
+		}
+		if err := drv.Validate(q); err != nil {
+			if name != "" {
+				return fmt.Errorf("fastread: group %q: %w", name, err)
+			}
+			return err
+		}
+		for i := range cfg.Byzantine {
+			if i < 1 || i > q.Servers {
+				return fmt.Errorf("%w: Byzantine index %d (S=%d)", ErrUnknownServer, i, q.Servers)
+			}
+		}
+		return nil
+	}
+
+	if len(cfg.Groups) == 0 {
+		q := quorum.Config{
+			Servers:   cfg.Servers,
+			Faulty:    cfg.Faulty,
+			Malicious: cfg.Malicious,
+			Readers:   cfg.Readers,
+		}
+		if err := validate("", q); err != nil {
+			return nil, nil, err
+		}
+		return []groupSpec{{name: defaultGroupName, qcfg: q, tr: cfg.Transport}}, nil, nil
+	}
+
+	specs := make([]groupSpec, len(cfg.Groups))
+	names := make([]string, len(cfg.Groups))
+	for i, g := range cfg.Groups {
+		if g.Name == "" {
+			return nil, nil, fmt.Errorf("fastread: group %d has an empty name (the ring places keys by name)", i)
+		}
+		q := quorum.Config{
+			Servers:   g.Servers,
+			Faulty:    g.Faulty,
+			Malicious: g.Malicious,
+			Readers:   cfg.Readers,
+		}
+		// Zero-valued per-group parameters inherit the deployment level, so
+		// a homogeneous fleet is just a list of names.
+		if q.Servers == 0 {
+			q.Servers = cfg.Servers
+		}
+		if q.Faulty == 0 {
+			q.Faulty = cfg.Faulty
+		}
+		if q.Malicious == 0 {
+			q.Malicious = cfg.Malicious
+		}
+		if err := validate(g.Name, q); err != nil {
+			return nil, nil, err
+		}
+		tr := g.Transport
+		if tr == nil {
+			tr = cfg.Transport
+		}
+		specs[i] = groupSpec{name: g.Name, qcfg: q, tr: tr}
+		names[i] = g.Name
+	}
+	ring, err := topology.NewRing(names, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fastread: %w", err)
+	}
+	return specs, ring, nil
+}
+
+// groupIndex resolves a key's owning group: one ring lookup — one hash plus
+// one binary search, no allocation — or nothing at all for the single-group
+// deployment every pre-partitioning caller still runs.
+func (s *Store) groupIndex(key string) int {
+	if s.ring == nil {
+		return 0
+	}
+	return s.ring.Lookup(key)
+}
+
+// groupLocked returns the instantiated group gi, building it on first use.
+// Callers must hold s.mu.
+func (s *Store) groupLocked(gi int) (*storeGroup, error) {
+	if g := s.groups[gi]; g != nil {
+		return g, nil
+	}
+	spec := s.specs[gi]
+	tr := spec.tr
+	if tr == nil {
+		tr = InMemory()
+	}
+	session, err := tr.connect(s.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fastread: group %q: %w", spec.name, err)
+	}
+	g := &storeGroup{
+		name:    spec.name,
+		qcfg:    spec.qcfg,
+		session: session,
+		keys:    sig.MustKeyPair(),
+	}
+	if err := s.startGroup(g); err != nil {
+		_ = g.close()
+		return nil, err
+	}
+	s.groups[gi] = g
+	return g, nil
+}
+
+// startGroup launches the group's servers and attaches its writer and reader
+// identities. Each server executes its messages on a key-sharded executor
+// with cfg.ServerWorkers workers, so one server process serves every
+// register the group owns, in parallel across keys.
+func (s *Store) startGroup(g *storeGroup) error {
+	for i := 1; i <= g.qcfg.Servers; i++ {
 		id := types.Server(i)
-		node, err := s.session.join(id)
+		node, err := g.session.join(id)
 		if err != nil {
-			return fmt.Errorf("join %v: %w", id, err)
+			return fmt.Errorf("group %q: join %v: %w", g.name, id, err)
 		}
 		if b, ok := s.cfg.Byzantine[i]; ok {
+			// Byzantine behaviours apply per group: each group's server i
+			// misbehaves, and each group's b bound is validated against it.
 			srv, err := newByzantineServer(s.cfg, b, id, node)
 			if err != nil {
 				return err
 			}
 			srv.Start()
-			s.servers = append(s.servers, srv)
+			g.servers = append(g.servers, srv)
 			continue
 		}
 		srv, err := s.drv.NewServer(driver.ServerConfig{
 			ID:       id,
-			Quorum:   s.qcfg,
-			Verifier: s.keys.Verifier,
+			Quorum:   g.qcfg,
+			Verifier: g.keys.Verifier,
 			Workers:  s.cfg.ServerWorkers,
 		}, node)
 		if err != nil {
 			return err
 		}
 		srv.Start()
-		s.servers = append(s.servers, srv)
+		g.servers = append(g.servers, srv)
+	}
+	wNode, err := g.session.join(types.Writer())
+	if err != nil {
+		return err
+	}
+	g.writerDemux = transport.NewDemux(wNode, protoutil.WireKeyFunc, 0)
+	for i := 1; i <= s.cfg.Readers; i++ {
+		rNode, err := g.session.join(types.Reader(i))
+		if err != nil {
+			return err
+		}
+		g.readerDemuxes = append(g.readerDemuxes, transport.NewDemux(rNode, protoutil.WireKeyFunc, 0))
 	}
 	return nil
 }
 
-// joinClients attaches the writer and reader identities to the network once
-// and wraps each physical node in a register-key demultiplexer; per-key
-// protocol clients are then created on demand by Register.
-func (s *Store) joinClients() error {
-	wNode, err := s.session.join(types.Writer())
-	if err != nil {
-		return err
+// close shuts one group down: servers stop, the transport session closes,
+// and the demux pumps are drained.
+func (g *storeGroup) close() error {
+	for _, srv := range g.servers {
+		srv.Stop()
 	}
-	s.writerDemux = transport.NewDemux(wNode, protoutil.WireKeyFunc, 0)
-	for i := 1; i <= s.cfg.Readers; i++ {
-		rNode, err := s.session.join(types.Reader(i))
-		if err != nil {
-			return err
-		}
-		s.readerDemuxes = append(s.readerDemuxes, transport.NewDemux(rNode, protoutil.WireKeyFunc, 0))
+	err := g.session.close()
+	// Closing the transport closes the physical client nodes, which
+	// terminates the demux pumps; waiting on them guarantees no goroutine
+	// outlives Close.
+	if g.writerDemux != nil {
+		_ = g.writerDemux.Close()
 	}
-	return nil
+	for _, d := range g.readerDemuxes {
+		_ = d.Close()
+	}
+	return err
 }
 
 // Register returns the handles for the named register, creating its per-key
@@ -208,6 +371,11 @@ func (s *Store) joinClients() error {
 // SAME handles: each register has exactly one writer (the model's single
 // writer) and R readers, and the handles carry protocol state (the writer's
 // timestamp sequence, the readers' observed maxima) that must not be forked.
+//
+// In a partitioned deployment, Register is also where routing happens: the
+// key's owning replica group is resolved on the ring — before any protocol
+// driver sees the key — and the handles are built over that group's
+// transport, instantiating the group if this is the first of its keys.
 func (s *Store) Register(key string) (*Register, error) {
 	if len(key) > MaxKeyLen {
 		return nil, fmt.Errorf("%w: %d bytes (max %d)", ErrKeyTooLong, len(key), MaxKeyLen)
@@ -220,7 +388,12 @@ func (s *Store) Register(key string) (*Register, error) {
 	if reg, ok := s.regs[key]; ok {
 		return reg, nil
 	}
-	reg, err := s.newRegister(key)
+	gi := s.groupIndex(key)
+	g, err := s.groupLocked(gi)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := s.newRegister(g, gi, key)
 	if err != nil {
 		return nil, err
 	}
@@ -228,17 +401,17 @@ func (s *Store) Register(key string) (*Register, error) {
 	return reg, nil
 }
 
-// newRegister builds the per-key writer and reader clients over the shared
-// transport, through the protocol driver's uniform factories. Callers must
-// hold s.mu.
-func (s *Store) newRegister(key string) (*Register, error) {
-	w, err := s.drv.NewWriter(s.clientConfig(key), s.writerDemux.Route(key))
+// newRegister builds the per-key writer and reader clients over the owning
+// group's transport, through the protocol driver's uniform factories.
+// Callers must hold s.mu.
+func (s *Store) newRegister(g *storeGroup, gi int, key string) (*Register, error) {
+	w, err := s.drv.NewWriter(s.clientConfig(g, key), g.writerDemux.Route(key))
 	if err != nil {
 		return nil, err
 	}
-	reg := &Register{key: key, writer: &writerHandle{store: s, w: w}}
+	reg := &Register{key: key, gi: gi, g: g, writer: &writerHandle{store: s, w: w}}
 	for i := 1; i <= s.cfg.Readers; i++ {
-		r, err := s.drv.NewReader(s.clientConfig(key), s.readerDemuxes[i-1].Route(key))
+		r, err := s.drv.NewReader(s.clientConfig(g, key), g.readerDemuxes[i-1].Route(key))
 		if err != nil {
 			return nil, err
 		}
@@ -249,15 +422,16 @@ func (s *Store) newRegister(key string) (*Register, error) {
 	return reg, nil
 }
 
-// clientConfig assembles one per-key client's driver configuration. Each
-// call draws a fresh nonce from NonceSource (when configured) so every
-// handle — including a restarted reader incarnation — gets its own.
-func (s *Store) clientConfig(key string) driver.ClientConfig {
+// clientConfig assembles one per-key client's driver configuration against
+// its owning group's quorum shape and signing keys. Each call draws a fresh
+// nonce from NonceSource (when configured) so every handle — including a
+// restarted reader incarnation — gets its own.
+func (s *Store) clientConfig(g *storeGroup, key string) driver.ClientConfig {
 	cfg := driver.ClientConfig{
 		Key:      key,
-		Quorum:   s.qcfg,
-		Signer:   s.keys.Signer,
-		Verifier: s.keys.Verifier,
+		Quorum:   g.qcfg,
+		Signer:   g.keys.Signer,
+		Verifier: g.keys.Verifier,
 		Depth:    s.cfg.PipelineDepth,
 	}
 	if s.cfg.NonceSource != nil {
@@ -278,20 +452,70 @@ func (s *Store) Keys() []string {
 	return out
 }
 
+// Groups returns the ordered replica group names of the deployment. An
+// unpartitioned store reports its single implicit group.
+func (s *Store) Groups() []string {
+	out := make([]string, len(s.specs))
+	for i, spec := range s.specs {
+		out[i] = spec.name
+	}
+	return out
+}
+
+// GroupOf reports which replica group owns key: a pure ring computation —
+// no group is instantiated, no message sent — so any process sharing the
+// deployment's configuration computes the same answer.
+func (s *Store) GroupOf(key string) string {
+	return s.specs[s.groupIndex(key)].name
+}
+
 // Config returns the store's configuration.
 func (s *Store) Config() Config { return s.cfg }
 
-// CrashServer crash-stops server si (1-based) for EVERY register: it stops
-// receiving and sending messages permanently. Crashing more than Faulty
-// servers voids the deployment's guarantees, exactly as in the model.
+// CrashServer crash-stops server si (1-based): it stops receiving and
+// sending messages permanently. In a partitioned deployment the crash
+// applies to server si of EVERY instantiated replica group whose size covers
+// the index — each group runs its own failure budget, so crashing more than
+// a group's Faulty servers voids that group's guarantees, exactly as in the
+// model. Groups instantiated after the call start with all servers healthy.
 //
 // Crash injection is a capability of the in-memory backend; on other
 // transports CrashServer reports ErrUnsupported.
 func (s *Store) CrashServer(i int) error {
-	if i < 1 || i > s.cfg.Servers {
-		return fmt.Errorf("%w: %d (S=%d)", ErrUnknownServer, i, s.cfg.Servers)
+	if i < 1 {
+		return fmt.Errorf("%w: %d", ErrUnknownServer, i)
 	}
-	return s.session.crash(types.Server(i))
+	s.mu.Lock()
+	groups := append([]*storeGroup(nil), s.groups...)
+	s.mu.Unlock()
+	inRange := false
+	var first error
+	for gi, spec := range s.specs {
+		if i > spec.qcfg.Servers {
+			continue
+		}
+		inRange = true
+		if g := groups[gi]; g != nil {
+			if err := g.session.crash(types.Server(i)); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if !inRange {
+		return fmt.Errorf("%w: %d (S=%d)", ErrUnknownServer, i, s.maxServers())
+	}
+	return first
+}
+
+// maxServers is the widest group's size, for error messages.
+func (s *Store) maxServers() int {
+	max := 0
+	for _, spec := range s.specs {
+		if spec.qcfg.Servers > max {
+			max = spec.qcfg.Servers
+		}
+	}
+	return max
 }
 
 // RestartReader tears down reader ri's client for the named register and
@@ -320,12 +544,12 @@ func (s *Store) RestartReader(key string, i int) error {
 	if !ok {
 		return fmt.Errorf("fastread: no register %q (Register it before restarting its readers)", key)
 	}
-	d := s.readerDemuxes[i-1]
+	d := reg.g.readerDemuxes[i-1]
 	// Sever the old incarnation: closing the route fails its pending
 	// operations with the pipeline's inbox-closed error. A later Route call
 	// for the same key creates a fresh route.
 	_ = d.Route(key).Close()
-	r, err := s.drv.NewReader(s.clientConfig(key), d.Route(key))
+	r, err := s.drv.NewReader(s.clientConfig(reg.g, key), d.Route(key))
 	if err != nil {
 		return err
 	}
@@ -335,50 +559,91 @@ func (s *Store) RestartReader(key string, i int) error {
 
 // Network exposes the underlying in-memory network for tests, fault
 // injection and the adversarial schedules. On backends without an in-memory
-// network (TCP) it reports ErrUnsupported.
+// network (TCP, UDP) it reports ErrUnsupported, as it does on partitioned
+// deployments — each replica group there runs its own independent network,
+// so there is no single network to expose.
 func (s *Store) Network() (*transport.InMemNetwork, error) {
-	if net := s.session.inMem(); net != nil {
+	if len(s.specs) > 1 {
+		return nil, fmt.Errorf("%w: a partitioned deployment has one network per replica group", ErrUnsupported)
+	}
+	s.mu.Lock()
+	g, err := s.groupLocked(0)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if net := g.session.inMem(); net != nil {
 		return net, nil
 	}
 	return nil, fmt.Errorf("%w: no in-memory network on the %s transport", ErrUnsupported, s.cfg.Transport)
 }
 
 // Stats aggregates client-side counters across every register, plus network
-// delivery counts and server state mutations.
+// delivery counts and server state mutations. The Groups breakdown
+// attributes the same counters to each replica group — one entry per group
+// in configuration order, zero-valued for groups not yet instantiated.
 func (s *Store) Stats() Stats {
-	// Snapshot the registers under the lock, but aggregate after releasing
-	// it: a handle's stats share the mutex its operations hold across a full
-	// network round-trip, and blocking Register (and Close) on every other
-	// key for that long would couple independent registers together.
+	// Snapshot registers and groups under the lock, but aggregate after
+	// releasing it: a handle's stats share the mutex its operations hold
+	// across a full network round-trip, and blocking Register (and Close) on
+	// every other key for that long would couple independent registers
+	// together.
 	s.mu.Lock()
 	regs := make([]*Register, 0, len(s.regs))
 	for _, reg := range s.regs {
 		regs = append(regs, reg)
 	}
+	groups := append([]*storeGroup(nil), s.groups...)
 	s.mu.Unlock()
 
 	var out Stats
+	out.Groups = make([]GroupStats, len(s.specs))
+	for i, spec := range s.specs {
+		out.Groups[i].Group = spec.name
+	}
 	for _, reg := range regs {
+		gs := &out.Groups[reg.gi]
+		gs.Keys++
 		w, wr := reg.writer.w.Stats()
-		out.Writes += w
+		gs.Writes += w
 		out.WriteRoundTrips += wr
 		for _, r := range reg.reads {
 			reads, rounds, fallbacks := r.reader().Stats()
-			out.Reads += reads
+			gs.Reads += reads
 			out.ReadRoundTrips += rounds
 			out.FallbackReads += fallbacks
 		}
 	}
-	ts := s.session.stats()
-	out.DeliveredMsgs = ts.delivered
-	out.FramesDelivered = ts.frames
-	out.DroppedMsgs = ts.dropped()
-	out.SendDrops = ts.sendDrops
-	out.InboundDrops = ts.inboundDrops
-	out.DedupDrops = ts.dedupDrops
-	out.MailboxHighWater = ts.mailboxHighWater
-	for _, srv := range s.servers {
-		out.ServerMutations += srv.TotalMutations()
+	for gi, g := range groups {
+		if g == nil {
+			continue
+		}
+		gs := &out.Groups[gi]
+		ts := g.session.stats()
+		gs.SendDrops = ts.sendDrops
+		gs.InboundDrops = ts.inboundDrops
+		gs.DedupDrops = ts.dedupDrops
+		gs.MailboxHighWater = ts.mailboxHighWater
+		out.DeliveredMsgs += ts.delivered
+		out.FramesDelivered += ts.frames
+		out.DroppedMsgs += ts.dropped()
+		out.SendDrops += ts.sendDrops
+		out.InboundDrops += ts.inboundDrops
+		out.DedupDrops += ts.dedupDrops
+		if ts.mailboxHighWater > out.MailboxHighWater {
+			// A high-water mark aggregates as a maximum: the deepest any
+			// process of any group has ever queued.
+			out.MailboxHighWater = ts.mailboxHighWater
+		}
+		for _, srv := range g.servers {
+			out.ServerMutations += srv.TotalMutations()
+		}
+	}
+	for i := range out.Groups {
+		gs := &out.Groups[i]
+		gs.Ops = gs.Writes + gs.Reads
+		out.Writes += gs.Writes
+		out.Reads += gs.Reads
 	}
 	if out.Reads > 0 {
 		out.ReadRoundsPerOp = float64(out.ReadRoundTrips) / float64(out.Reads)
@@ -389,29 +654,32 @@ func (s *Store) Stats() Stats {
 	return out
 }
 
-// Close shuts the store down: all servers stop, the client demultiplexers
-// detach and the transport is closed. Handle operations issued after Close
-// fail fast with ErrStoreClosed. Close is idempotent.
+// Close shuts the store down: every instantiated replica group's servers
+// stop, its client demultiplexers detach and its transport session is
+// closed. Handle operations issued after Close fail fast with
+// ErrStoreClosed. Close is idempotent.
 func (s *Store) Close() error {
 	s.closed.Store(true)
-	for _, srv := range s.servers {
-		srv.Stop()
+	s.mu.Lock()
+	groups := append([]*storeGroup(nil), s.groups...)
+	s.mu.Unlock()
+	var first error
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		if err := g.close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	err := s.session.close()
-	// Closing the transport closes the physical client nodes, which
-	// terminates the demux pumps; waiting on them guarantees no goroutine
-	// outlives Close.
-	if s.writerDemux != nil {
-		_ = s.writerDemux.Close()
-	}
-	for _, d := range s.readerDemuxes {
-		_ = d.Close()
-	}
-	return err
+	return first
 }
 
 // Key returns the register's name.
 func (r *Register) Key() string { return r.key }
+
+// Group returns the name of the replica group serving this register.
+func (r *Register) Group() string { return r.g.name }
 
 // Writer returns the register's single write handle.
 func (r *Register) Writer() Writer { return r.writer }
