@@ -16,6 +16,14 @@
 // instantiated on first use), so no per-register configuration or restart is
 // needed — point regclient at any -key and the register exists.
 //
+// With -data-dir the server is durable: every mutation is write-ahead logged
+// to the given private directory before it is acknowledged (flush policy per
+// -fsync), state is periodically snapshotted, and a restarted process recovers
+// its registers and incarnation counter from disk — a kill -9 loses at most
+// what the fsync policy permits. In a -groups deployment the topology's epoch
+// is stamped into the log so recovery refuses state from a reconfigured
+// keyspace layout.
+//
 // The address book is a comma-separated list of id=host:port pairs covering
 // every process in the deployment, e.g.:
 //
@@ -51,6 +59,7 @@ import (
 	"syscall"
 
 	"fastread/internal/driver"
+	"fastread/internal/durable"
 	"fastread/internal/quorum"
 	"fastread/internal/topology"
 	"fastread/internal/transport"
@@ -89,6 +98,8 @@ func run(args []string) error {
 		listen    = fs.String("listen", "", "listen address override (defaults to the address book entry)")
 		workers   = fs.Int("workers", 0, "key-shard workers executing messages in parallel (0 = GOMAXPROCS)")
 		trans     = fs.String("transport", "tcp", "socket transport: tcp | udp (must match the clients)")
+		dataDir   = fs.String("data-dir", "", "private durable-state directory for THIS server process: mutations are write-ahead logged there before acknowledgement and recovered on restart (empty = in-memory only)")
+		fsyncArg  = fs.String("fsync", "interval", "durable log flush policy with -data-dir: always | interval | never")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,6 +127,7 @@ func run(args []string) error {
 	var (
 		book       tcpnet.AddressBook
 		groupLabel string
+		epoch      uint64
 	)
 	switch {
 	case *groupsArg != "":
@@ -146,6 +158,10 @@ func run(args []string) error {
 			return fmt.Errorf("-id %s exceeds group %q (S=%d)", id, g.Name, *servers)
 		}
 		groupLabel = g.Name
+		// The topology's epoch is stamped into this server's durable log: a
+		// restart under a RECONFIGURED topology (different epoch) refuses to
+		// resurrect state persisted under the old keyspace layout.
+		epoch = topo.Epoch
 	case *groupArg != "":
 		return fmt.Errorf("-group requires -groups: point it at the deployment's topology file")
 	default:
@@ -162,6 +178,16 @@ func run(args []string) error {
 	}
 
 	serverCfg := driver.ServerConfig{ID: id, Quorum: qcfg, Workers: *workers}
+	var durCounters *durable.Counters
+	if *dataDir != "" {
+		durCounters = &durable.Counters{}
+		serverCfg.Durable = &durable.Options{
+			Dir:      *dataDir,
+			Fsync:    durable.Policy(*fsyncArg),
+			Epoch:    epoch,
+			Counters: durCounters,
+		}
+	}
 	if drv.NeedsSignatures {
 		verifier, err := ParseVerifier(*pubKey)
 		if err != nil {
@@ -192,9 +218,20 @@ func run(args []string) error {
 	}
 	fmt.Printf("register server %s%s listening on %s/%s (protocol=%s %v workers=%d, serving all register keys)\n",
 		id, groupNote, *trans, nodeAddr(), drv.Name, qcfg, server.Workers())
+	if durCounters != nil {
+		// Recovery already ran inside NewServer; say what came back so an
+		// operator restarting a crashed server sees its state survived.
+		ds := durCounters.Snapshot()
+		fmt.Printf("durable %s%s: dir=%s fsync=%s epoch=%d incarnation=%d segments_replayed=%d records_recovered=%d torn_tail_trims=%d\n",
+			id, groupNote, *dataDir, *fsyncArg, epoch, ds.Incarnation, ds.SegmentsReplayed, ds.RecordsRecovered, ds.TornTailTrims)
+	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	<-stop
+	// A graceful shutdown flushes and snapshots the durable log before the
+	// final stats print; Stop is idempotent, so the deferred call becomes a
+	// no-op.
+	server.Stop()
 	// Surface traffic that was silently discarded (full inbox, bounded
 	// write-queue overflow, unreachable peers, duplicate datagrams) so
 	// operators notice overload or partitions the asynchronous protocols
@@ -202,6 +239,11 @@ func run(args []string) error {
 	stats := nodeStats()
 	fmt.Printf("shutting down %s%s: transport=%s delivered=%d frames=%d dropped_inbound=%d dropped_send=%d dedup_drops=%d\n",
 		id, groupNote, *trans, stats.delivered, stats.frames, stats.droppedInbound, stats.droppedSend, stats.dedupDrops)
+	if durCounters != nil {
+		ds := durCounters.Snapshot()
+		fmt.Printf("durable shutdown %s%s: incarnation=%d appends=%d fsyncs=%d snapshots=%d snapshot_records=%d append_errors=%d\n",
+			id, groupNote, ds.Incarnation, ds.Appends, ds.Fsyncs, ds.Snapshots, ds.SnapshotRecords, ds.AppendErrors)
+	}
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"fastread/internal/durable"
 	"fastread/internal/protoutil"
 	"fastread/internal/shard"
 	"fastread/internal/trace"
@@ -40,6 +41,10 @@ type ServerConfig struct {
 	Workers int
 	// Trace, if non-nil, records protocol events.
 	Trace *trace.Trace
+	// Durable, if non-nil, gives the server a write-ahead log: every adoption
+	// is appended before the ack is sent, and NewServer recovers whatever a
+	// previous incarnation persisted in the directory.
+	Durable *durable.Options
 }
 
 // registerState is the per-register ABD server state: the highest versioned
@@ -47,6 +52,10 @@ type ServerConfig struct {
 type registerState struct {
 	value     VersionedValue
 	mutations int64
+	// lsn is the log sequence number of the last durable record applied to
+	// this register; deltas at or below it are already reflected and must not
+	// replay. Zero when not durable.
+	lsn int64
 	// arena, when non-nil, is the frame buffer value currently aliases:
 	// adoption from an arena-backed frame retains by reference (one Arena.Ref)
 	// instead of cloning, released when the next value displaces it. At most
@@ -65,6 +74,8 @@ type Server struct {
 	node   transport.Node
 	exec   *transport.Executor
 	states *shard.Map[*registerState]
+	// dlog is the server's durable log; nil when persistence is off.
+	dlog *durable.Log
 
 	stopOnce sync.Once
 	done     chan struct{}
@@ -79,13 +90,74 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 	if node == nil {
 		return nil, fmt.Errorf("abd: server %v requires a transport node", cfg.ID)
 	}
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		node:   node,
-		exec:   transport.NewExecutor(node, protoutil.WireKeyFunc, cfg.Workers),
 		states: shard.NewMap(0, func(string) *registerState { return &registerState{} }),
 		done:   make(chan struct{}),
-	}, nil
+	}
+	if cfg.Durable != nil {
+		dl, err := durable.Open(*cfg.Durable, durable.Hooks{Apply: s.applyRecord, Dump: s.dumpRecords})
+		if err != nil {
+			return nil, fmt.Errorf("abd: server %v durable log: %w", cfg.ID, err)
+		}
+		s.dlog = dl
+	}
+	s.exec = transport.NewExecutor(node, protoutil.WireKeyFunc, cfg.Workers)
+	return s, nil
+}
+
+// applyRecord replays one recovered log record. Deltas re-run the adoption
+// comparison the live path used ((TS, Rank) order), guarded by the per-key
+// LSN so records a restored snapshot already covers are skipped. Record bytes
+// alias the replay buffer and are cloned at the retention point.
+func (s *Server) applyRecord(r *durable.Record) error {
+	s.states.Do(r.Key, func(st *registerState) {
+		switch r.Kind {
+		case durable.KindState:
+			st.value = VersionedValue{
+				TS:   types.Timestamp(r.TS),
+				Rank: r.Rank,
+				Cur:  types.Value(r.Cur).Clone(),
+				Prev: types.Value(r.Prev).Clone(),
+			}
+			st.lsn = r.LSN
+		case durable.KindDelta:
+			if r.LSN <= st.lsn {
+				return
+			}
+			incoming := VersionedValue{TS: types.Timestamp(r.TS), Rank: r.Rank}
+			if st.value.Less(incoming) {
+				incoming.Cur = types.Value(r.Cur).Clone()
+				incoming.Prev = types.Value(r.Prev).Clone()
+				st.value = incoming
+			}
+			st.lsn = r.LSN
+		}
+	})
+	return nil
+}
+
+// dumpRecords emits one KindState record per instantiated register for a
+// snapshot, aliasing live state under the register's stripe lock (the
+// durable layer encodes before emit returns).
+func (s *Server) dumpRecords(emit func(*durable.Record) error) error {
+	var err error
+	s.states.Range(func(key string, st *registerState) {
+		if err != nil {
+			return
+		}
+		err = emit(&durable.Record{
+			Kind: durable.KindState,
+			LSN:  st.lsn,
+			Key:  key,
+			TS:   int64(st.value.TS),
+			Rank: st.value.Rank,
+			Cur:  st.value.Cur,
+			Prev: st.value.Prev,
+		})
+	})
+	return err
 }
 
 // Start launches the server's key-sharded executor: messages are dispatched
@@ -99,11 +171,14 @@ func (s *Server) Start() {
 	}()
 }
 
-// Stop detaches the server from the network and waits for the executor to
-// drain every worker. Stop is idempotent.
+// Stop detaches the server from the network, waits for the executor to drain
+// every worker, then closes the durable log. Stop is idempotent.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { _ = s.node.Close() })
 	<-s.done
+	if s.dlog != nil {
+		_ = s.dlog.Close()
+	}
 }
 
 // ID returns the server's process identity.
@@ -216,6 +291,21 @@ func (s *Server) handle(m transport.Message, out transport.Sender) {
 				}
 			}
 			st.mutations++
+			if s.dlog != nil {
+				// Only adoptions change durable state; queries and reads are
+				// not logged. Under fsync "always" the append blocks on
+				// stable storage before the ack below is built.
+				lsn, _ := s.dlog.Append(&durable.Record{
+					Kind: durable.KindDelta,
+					Key:  req.Key,
+					TS:   int64(incoming.TS),
+					Rank: incoming.Rank,
+					Cur:  incoming.Cur,
+					Prev: incoming.Prev,
+					From: m.From,
+				})
+				st.lsn = lsn
+			}
 			if tr.Enabled() {
 				tr.Record(trace.KindStateChange, s.cfg.ID, m.From, "adopt key=%q ts=%d.%d", req.Key, incoming.TS, incoming.Rank)
 			}

@@ -41,6 +41,7 @@ func fastDriver(name string, byzantine bool) driver.Driver {
 				Byzantine: byzantine,
 				Verifier:  cfg.Verifier,
 				Workers:   cfg.Workers,
+				Durable:   cfg.Durable,
 			}, node)
 			if err != nil {
 				return nil, err

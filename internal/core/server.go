@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"fastread/internal/durable"
 	"fastread/internal/protoutil"
 	"fastread/internal/shard"
 	"fastread/internal/sig"
@@ -32,6 +33,10 @@ type ServerConfig struct {
 	Workers int
 	// Trace, if non-nil, records protocol events.
 	Trace *trace.Trace
+	// Durable, if non-nil, gives the server a write-ahead log in the given
+	// directory: every state mutation is appended before the ack is sent, and
+	// NewServer recovers whatever a previous incarnation persisted there.
+	Durable *durable.Options
 }
 
 // ServerState is a snapshot of one register's protocol state on a server,
@@ -61,6 +66,10 @@ type registerState struct {
 	seenMembers []types.ProcessID
 	counters    map[int]int64
 	mutations   int64
+	// lsn is the log sequence number of the last durable record applied to
+	// this register (live append or recovery replay); deltas at or below it
+	// are already reflected and must not replay. Zero when not durable.
+	lsn int64
 	// arena, when non-nil, is the frame buffer value and valueSig currently
 	// alias: adopting a value delivered in an arena-backed frame retains it BY
 	// REFERENCE (one Arena.Ref) instead of cloning the bytes, and adopting the
@@ -80,6 +89,8 @@ type Server struct {
 	node   transport.Node
 	exec   *transport.Executor
 	states *shard.Map[*registerState]
+	// dlog is the server's durable log; nil when persistence is off.
+	dlog *durable.Log
 
 	// verify memoises successful writer-signature verifications in the
 	// Byzantine variant: steady-state reads re-present the same signed
@@ -117,11 +128,91 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 		}),
 		done: make(chan struct{}),
 	}
+	if cfg.Durable != nil {
+		dl, err := durable.Open(*cfg.Durable, durable.Hooks{Apply: s.applyRecord, Dump: s.dumpRecords})
+		if err != nil {
+			return nil, fmt.Errorf("core: server %v durable log: %w", cfg.ID, err)
+		}
+		s.dlog = dl
+	}
 	s.exec = transport.NewExecutor(node, protoutil.WireKeyFunc, cfg.Workers)
 	if cfg.Byzantine {
 		s.verify = sig.NewCache(cfg.Verifier, 0)
 	}
 	return s, nil
+}
+
+// applyRecord replays one recovered log record into register state. A
+// KindState record restores a register wholesale; a KindDelta re-runs the
+// exact mutation branch the live path took (the LSN guard skips deltas a
+// restored snapshot already reflects — see the durable package's replay
+// discipline). Record bytes alias the replay buffer, so everything retained
+// is cloned, mirroring the live path's retention point.
+func (s *Server) applyRecord(r *durable.Record) error {
+	s.states.Do(r.Key, func(st *registerState) {
+		switch r.Kind {
+		case durable.KindState:
+			st.value = types.TaggedValue{
+				TS:   types.Timestamp(r.TS),
+				Cur:  types.Value(r.Cur).Clone(),
+				Prev: types.Value(r.Prev).Clone(),
+			}
+			st.valueSig = append(st.valueSig[:0], r.Sig...)
+			st.seen = types.NewProcessSet(r.Seen...)
+			st.seenMembers = append(st.seenMembers[:0], r.Seen...)
+			for _, c := range r.Counters {
+				st.counters[int(c.PID)] = c.N
+			}
+			st.lsn = r.LSN
+		case durable.KindDelta:
+			if r.LSN <= st.lsn {
+				return
+			}
+			if types.Timestamp(r.TS) > st.value.TS {
+				st.value = types.TaggedValue{
+					TS:   types.Timestamp(r.TS),
+					Cur:  types.Value(r.Cur).Clone(),
+					Prev: types.Value(r.Prev).Clone(),
+				}
+				st.valueSig = append(st.valueSig[:0], r.Sig...)
+				st.seen = types.NewProcessSet(r.From)
+				st.seenMembers = append(st.seenMembers[:0], r.From)
+			} else if !st.seen.Has(r.From) {
+				st.seen.Add(r.From)
+				st.seenMembers = append(st.seenMembers, r.From)
+			}
+			st.counters[r.From.ClientPID()] = r.RCounter
+			st.lsn = r.LSN
+		}
+	})
+	return nil
+}
+
+// dumpRecords emits one KindState record per instantiated register for a
+// snapshot. Each record aliases live state under the register's stripe lock;
+// the durable layer encodes it before emit returns.
+func (s *Server) dumpRecords(emit func(*durable.Record) error) error {
+	var err error
+	s.states.Range(func(key string, st *registerState) {
+		if err != nil {
+			return
+		}
+		rec := durable.Record{
+			Kind: durable.KindState,
+			LSN:  st.lsn,
+			Key:  key,
+			TS:   int64(st.value.TS),
+			Cur:  st.value.Cur,
+			Prev: st.value.Prev,
+			Sig:  st.valueSig,
+			Seen: st.seenMembers,
+		}
+		for pid, n := range st.counters {
+			rec.Counters = append(rec.Counters, durable.CounterEntry{PID: int32(pid), N: n})
+		}
+		err = emit(&rec)
+	})
+	return err
 }
 
 // Start launches the server's key-sharded executor: messages are dispatched
@@ -135,13 +226,18 @@ func (s *Server) Start() {
 	}()
 }
 
-// Stop detaches the server from the network and waits for the executor to
-// drain every worker. Stop is idempotent.
+// Stop detaches the server from the network, waits for the executor to
+// drain every worker, then closes the durable log (a graceful close flushes
+// and snapshots; under Options.SimulateCrash it models a machine crash
+// instead). Stop is idempotent.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
 		_ = s.node.Close()
 	})
 	<-s.done
+	if s.dlog != nil {
+		_ = s.dlog.Close()
+	}
 }
 
 // ID returns the server's process identity.
@@ -339,6 +435,26 @@ func (s *Server) handle(m transport.Message, out transport.Sender) {
 		}
 		st.counters[pid] = req.RCounter
 		st.mutations++
+		if s.dlog != nil {
+			// Log the mutation before the ack is even built ("atomic reads
+			// must write" extends to "must log" — read requests mutate the
+			// seen set and counters, so they are logged too). Under fsync
+			// "always" the append blocks on stable storage here, which is
+			// what makes the ack durable-before-sent. Append errors are
+			// sticky in the log (surfaced via its counters and Close); the
+			// hot path cannot propagate them.
+			lsn, _ := s.dlog.Append(&durable.Record{
+				Kind:     durable.KindDelta,
+				Key:      req.Key,
+				TS:       int64(req.TS),
+				Cur:      req.Cur,
+				Prev:     req.Prev,
+				Sig:      req.WriterSig,
+				From:     m.From,
+				RCounter: req.RCounter,
+			})
+			st.lsn = lsn
+		}
 
 		ackOp := wire.OpWriteAck
 		if req.Op == wire.OpRead {

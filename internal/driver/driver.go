@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync"
 
+	"fastread/internal/durable"
 	"fastread/internal/quorum"
 	"fastread/internal/sig"
 	"fastread/internal/transport"
@@ -122,6 +123,11 @@ type ServerConfig struct {
 	// Workers is the number of key-shard workers executing the server's
 	// messages in parallel; zero or negative means GOMAXPROCS.
 	Workers int
+	// Durable, if non-nil, gives the server a write-ahead log in the given
+	// directory (see internal/durable): mutations are logged before acks,
+	// and server construction recovers whatever a previous incarnation
+	// persisted there. Drivers that keep no durable state ignore it.
+	Durable *durable.Options
 }
 
 // ClientConfig is the uniform client-side configuration handed to every

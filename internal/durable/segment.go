@@ -1,0 +1,106 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk layout. A segment file is a fixed header followed by a sequence of
+// length+CRC32C-framed records; a snapshot file has the same shape with its
+// own magic (and the watermark where the segment index sits). Everything
+// after the first frame that fails its length or checksum is unreachable by
+// construction — the log is append-only, so a bad frame can only be a torn
+// tail (or external corruption), and recovery trims it.
+const (
+	segMagic  = "FRWAL001"
+	snapMagic = "FRSNP001"
+
+	// fileHeaderLen is magic(8) + epoch(8) + index-or-watermark(8) + crc(4).
+	fileHeaderLen = 28
+	// frameHeaderLen is length(4) + crc(4).
+	frameHeaderLen = 8
+	// maxRecordLen bounds a frame's declared payload length, so a corrupt
+	// length field cannot drive a giant allocation.
+	maxRecordLen = 16 << 20
+)
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on the
+// platforms that matter).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrEpochMismatch reports durable state written under a different topology
+// epoch than the one this server was started with. Recovery refuses to cross
+// epochs: a reconfiguration must migrate or discard the old epoch's state
+// explicitly, never replay it silently into the new one.
+var ErrEpochMismatch = errors.New("durable: on-disk epoch does not match configured epoch")
+
+// errTorn marks the first unreadable frame of a segment: a torn or truncated
+// tail, or corruption. Recovery stops cleanly there and trims.
+var errTorn = errors.New("durable: torn or corrupt record")
+
+// appendFileHeader encodes a segment or snapshot header.
+func appendFileHeader(dst []byte, magic string, epoch, index uint64) []byte {
+	dst = append(dst, magic...)
+	dst = binary.BigEndian.AppendUint64(dst, epoch)
+	dst = binary.BigEndian.AppendUint64(dst, index)
+	return binary.BigEndian.AppendUint32(dst, crc32.Checksum(dst[len(dst)-24:], castagnoli))
+}
+
+// parseFileHeader validates a header against the expected magic and epoch and
+// returns its index (segment index or snapshot watermark). A wrong magic or
+// checksum returns errTorn; a valid header with the wrong epoch returns
+// ErrEpochMismatch.
+func parseFileHeader(data []byte, magic string, epoch uint64) (uint64, error) {
+	if len(data) < fileHeaderLen || string(data[:8]) != magic {
+		return 0, errTorn
+	}
+	sum := binary.BigEndian.Uint32(data[24:28])
+	if crc32.Checksum(data[:24], castagnoli) != sum {
+		return 0, errTorn
+	}
+	if got := binary.BigEndian.Uint64(data[8:16]); got != epoch {
+		return 0, fmt.Errorf("%w: on disk %d, configured %d", ErrEpochMismatch, got, epoch)
+	}
+	return binary.BigEndian.Uint64(data[16:24]), nil
+}
+
+// appendFrame encodes one record payload as a length+CRC32C frame.
+func appendFrame(dst []byte, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// scanFrames walks the framed records in data (which starts AFTER the file
+// header), calling fn with each intact payload. It returns the number of
+// bytes consumed by intact frames and errTorn if it stopped at a bad one;
+// fn's own error aborts the scan and is returned verbatim.
+func scanFrames(data []byte, fn func(payload []byte) error) (int, error) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen {
+			return off, errTorn
+		}
+		n := int(binary.BigEndian.Uint32(rest[:4]))
+		if n > maxRecordLen || len(rest) < frameHeaderLen+n {
+			return off, errTorn
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+n]
+		if crc32.Checksum(payload, castagnoli) != binary.BigEndian.Uint32(rest[4:8]) {
+			return off, errTorn
+		}
+		if err := fn(payload); err != nil {
+			if errors.Is(err, errTorn) {
+				// A payload that checksums but does not decode is treated as
+				// the torn point too: stop cleanly, trim from here.
+				return off, errTorn
+			}
+			return off, err
+		}
+		off += frameHeaderLen + n
+	}
+	return off, nil
+}

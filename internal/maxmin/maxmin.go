@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fastread/internal/durable"
 	"fastread/internal/protoutil"
 	"fastread/internal/quorum"
 	"fastread/internal/shard"
@@ -91,6 +92,12 @@ type registerState struct {
 	value   types.TaggedValue
 	pending map[readKey]*pendingRead
 	replied map[int]*readerProgress // reader index → reply frontier
+	// lsn is the log sequence number of the last durable record applied to
+	// this register; deltas at or below it are already reflected and must not
+	// replay. The gossip bookkeeping (pending/replied) is transient and never
+	// persisted — an in-flight read at crash time simply times out at its
+	// reader. Zero when not durable.
+	lsn int64
 }
 
 // done reports whether the identified read has already been answered.
@@ -187,6 +194,10 @@ type ServerConfig struct {
 	Workers int
 	// Trace, if non-nil, records protocol events.
 	Trace *trace.Trace
+	// Durable, if non-nil, gives the server a write-ahead log: every value
+	// adoption (write, gossip or max-select) is appended before the reply,
+	// and NewServer recovers whatever a previous incarnation persisted.
+	Durable *durable.Options
 }
 
 // Server is the max-min server. Unlike the fast register's server it is NOT
@@ -201,6 +212,8 @@ type Server struct {
 	servers []types.ProcessID
 
 	states *shard.Map[*registerState]
+	// dlog is the server's durable log; nil when persistence is off.
+	dlog *durable.Log
 
 	stopOnce sync.Once
 	done     chan struct{}
@@ -217,10 +230,9 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 	if node == nil {
 		return nil, fmt.Errorf("maxmin: server %v requires a transport node", cfg.ID)
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		node:    node,
-		exec:    transport.NewExecutor(node, protoutil.WireKeyFunc, cfg.Workers),
 		servers: protoutil.ServerIDs(cfg.Quorum.Servers),
 		states: shard.NewMap(0, func(string) *registerState {
 			return &registerState{
@@ -230,7 +242,83 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 			}
 		}),
 		done: make(chan struct{}),
-	}, nil
+	}
+	if cfg.Durable != nil {
+		dl, err := durable.Open(*cfg.Durable, durable.Hooks{Apply: s.applyRecord, Dump: s.dumpRecords})
+		if err != nil {
+			return nil, fmt.Errorf("maxmin: server %v durable log: %w", cfg.ID, err)
+		}
+		s.dlog = dl
+	}
+	s.exec = transport.NewExecutor(node, protoutil.WireKeyFunc, cfg.Workers)
+	return s, nil
+}
+
+// applyRecord replays one recovered log record, re-running the live adoption
+// comparison under the per-key LSN guard. Only the register value is durable;
+// the per-read gossip bookkeeping is rebuilt by live traffic.
+func (s *Server) applyRecord(r *durable.Record) error {
+	s.states.Do(r.Key, func(st *registerState) {
+		switch r.Kind {
+		case durable.KindState:
+			st.value = types.TaggedValue{
+				TS:   types.Timestamp(r.TS),
+				Cur:  types.Value(r.Cur).Clone(),
+				Prev: types.Value(r.Prev).Clone(),
+			}
+			st.lsn = r.LSN
+		case durable.KindDelta:
+			if r.LSN <= st.lsn {
+				return
+			}
+			if types.Timestamp(r.TS) > st.value.TS {
+				st.value = types.TaggedValue{
+					TS:   types.Timestamp(r.TS),
+					Cur:  types.Value(r.Cur).Clone(),
+					Prev: types.Value(r.Prev).Clone(),
+				}
+			}
+			st.lsn = r.LSN
+		}
+	})
+	return nil
+}
+
+// dumpRecords emits one KindState record per instantiated register for a
+// snapshot, aliasing live state under the register's stripe lock.
+func (s *Server) dumpRecords(emit func(*durable.Record) error) error {
+	var err error
+	s.states.Range(func(key string, st *registerState) {
+		if err != nil {
+			return
+		}
+		err = emit(&durable.Record{
+			Kind: durable.KindState,
+			LSN:  st.lsn,
+			Key:  key,
+			TS:   int64(st.value.TS),
+			Cur:  st.value.Cur,
+			Prev: st.value.Prev,
+		})
+	})
+	return err
+}
+
+// logAdoption appends the adoption of tv to the durable log. Callers hold the
+// register's shard lock, so the append is ordered with the mutation.
+func (s *Server) logAdoption(st *registerState, key string, tv types.TaggedValue, from types.ProcessID) {
+	if s.dlog == nil {
+		return
+	}
+	lsn, _ := s.dlog.Append(&durable.Record{
+		Kind: durable.KindDelta,
+		Key:  key,
+		TS:   int64(tv.TS),
+		Cur:  tv.Cur,
+		Prev: tv.Prev,
+		From: from,
+	})
+	st.lsn = lsn
 }
 
 // Start launches the server's key-sharded executor: messages are dispatched
@@ -246,11 +334,14 @@ func (s *Server) Start() {
 	}()
 }
 
-// Stop detaches the server from the network and waits for the executor to
-// drain every worker.
+// Stop detaches the server from the network, waits for the executor to drain
+// every worker, then closes the durable log.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { _ = s.node.Close() })
 	<-s.done
+	if s.dlog != nil {
+		_ = s.dlog.Close()
+	}
 }
 
 // ID returns the server's identity.
@@ -305,6 +396,7 @@ func (s *Server) handleWrite(from types.ProcessID, req *wire.Message, out transp
 	s.states.Do(req.Key, func(st *registerState) {
 		if req.TS > st.value.TS {
 			st.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
+			s.logAdoption(st, req.Key, st.value, from)
 		}
 		ack = &wire.Message{Op: wire.OpWriteAck, Key: req.Key, TS: st.value.TS, RCounter: req.RCounter}
 	})
@@ -377,6 +469,7 @@ func (s *Server) handleGossip(from types.ProcessID, req *wire.Message, out trans
 		// clone, so adoption is a plain assignment.
 		if incoming.TS > st.value.TS {
 			st.value = incoming
+			s.logAdoption(st, req.Key, st.value, from)
 		}
 		// Gossip for a read this server already answered must not re-create
 		// the read's bookkeeping: the entry would never be garbage-collected.
@@ -412,7 +505,10 @@ func (s *Server) maybeReply(key string, rkey readKey, out transport.Sender) {
 				best = tv
 			}
 		}
-		st.value = best
+		if best.TS > st.value.TS {
+			st.value = best
+			s.logAdoption(st, key, best, s.cfg.ID)
+		}
 		p.replied = true
 		// The reply carries the adopted maximum.
 		ack = &wire.Message{

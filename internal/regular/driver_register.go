@@ -13,7 +13,7 @@ func init() {
 		Name:     "regular",
 		Validate: driver.MajorityValidate("regular"),
 		NewServer: func(cfg driver.ServerConfig, node transport.Node) (driver.Server, error) {
-			s, err := NewServer(cfg.ID, node, nil, cfg.Workers)
+			s, err := NewServer(cfg.ID, node, nil, cfg.Workers, cfg.Durable)
 			if err != nil {
 				return nil, err
 			}

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fastread/internal/durable"
 	"fastread/internal/protoutil"
 	"fastread/internal/quorum"
 	"fastread/internal/shard"
@@ -50,6 +51,10 @@ var (
 // value received for that register.
 type registerState struct {
 	value types.TaggedValue
+	// lsn is the log sequence number of the last durable record applied to
+	// this register; deltas at or below it are already reflected and must not
+	// replay. Zero when not durable.
+	lsn int64
 }
 
 // Server stores, per register key, the highest-timestamped value it has
@@ -63,6 +68,8 @@ type Server struct {
 	exec *transport.Executor
 
 	states *shard.Map[*registerState]
+	// dlog is the server's durable log; nil when persistence is off.
+	dlog *durable.Log
 
 	stopOnce sync.Once
 	done     chan struct{}
@@ -71,24 +78,84 @@ type Server struct {
 // NewServer creates a regular-register server bound to the given node.
 // workers is the number of key-shard workers executing the server's messages
 // in parallel (a register key is always handled by the same worker); zero or
-// negative means GOMAXPROCS.
-func NewServer(id types.ProcessID, node transport.Node, tr *trace.Trace, workers int) (*Server, error) {
+// negative means GOMAXPROCS. A non-nil dopts gives the server a write-ahead
+// log: adoptions are appended before the ack is sent, and NewServer recovers
+// whatever a previous incarnation persisted in the directory.
+func NewServer(id types.ProcessID, node transport.Node, tr *trace.Trace, workers int, dopts *durable.Options) (*Server, error) {
 	if id.Role != types.RoleServer || !id.Valid() {
 		return nil, fmt.Errorf("regular: server id %v is not a valid server identity", id)
 	}
 	if node == nil {
 		return nil, fmt.Errorf("regular: server %v requires a transport node", id)
 	}
-	return &Server{
+	s := &Server{
 		id:   id,
 		tr:   tr,
 		node: node,
-		exec: transport.NewExecutor(node, protoutil.WireKeyFunc, workers),
 		states: shard.NewMap(0, func(string) *registerState {
 			return &registerState{value: types.InitialTaggedValue()}
 		}),
 		done: make(chan struct{}),
-	}, nil
+	}
+	if dopts != nil {
+		dl, err := durable.Open(*dopts, durable.Hooks{Apply: s.applyRecord, Dump: s.dumpRecords})
+		if err != nil {
+			return nil, fmt.Errorf("regular: server %v durable log: %w", id, err)
+		}
+		s.dlog = dl
+	}
+	s.exec = transport.NewExecutor(node, protoutil.WireKeyFunc, workers)
+	return s, nil
+}
+
+// applyRecord replays one recovered log record, re-running the live adoption
+// comparison under the per-key LSN guard; retained bytes are cloned because
+// the record aliases the replay buffer.
+func (s *Server) applyRecord(r *durable.Record) error {
+	s.states.Do(r.Key, func(st *registerState) {
+		switch r.Kind {
+		case durable.KindState:
+			st.value = types.TaggedValue{
+				TS:   types.Timestamp(r.TS),
+				Cur:  types.Value(r.Cur).Clone(),
+				Prev: types.Value(r.Prev).Clone(),
+			}
+			st.lsn = r.LSN
+		case durable.KindDelta:
+			if r.LSN <= st.lsn {
+				return
+			}
+			if types.Timestamp(r.TS) > st.value.TS {
+				st.value = types.TaggedValue{
+					TS:   types.Timestamp(r.TS),
+					Cur:  types.Value(r.Cur).Clone(),
+					Prev: types.Value(r.Prev).Clone(),
+				}
+			}
+			st.lsn = r.LSN
+		}
+	})
+	return nil
+}
+
+// dumpRecords emits one KindState record per instantiated register for a
+// snapshot, aliasing live state under the register's stripe lock.
+func (s *Server) dumpRecords(emit func(*durable.Record) error) error {
+	var err error
+	s.states.Range(func(key string, st *registerState) {
+		if err != nil {
+			return
+		}
+		err = emit(&durable.Record{
+			Kind: durable.KindState,
+			LSN:  st.lsn,
+			Key:  key,
+			TS:   int64(st.value.TS),
+			Cur:  st.value.Cur,
+			Prev: st.value.Prev,
+		})
+	})
+	return err
 }
 
 // Start launches the server's key-sharded executor: messages are dispatched
@@ -102,11 +169,14 @@ func (s *Server) Start() {
 	}()
 }
 
-// Stop detaches the server from the network and waits for the executor to
-// drain every worker.
+// Stop detaches the server from the network, waits for the executor to drain
+// every worker, then closes the durable log.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { _ = s.node.Close() })
 	<-s.done
+	if s.dlog != nil {
+		_ = s.dlog.Close()
+	}
 }
 
 // ID returns the server's identity.
@@ -163,6 +233,17 @@ func (s *Server) handle(m transport.Message, out transport.Sender) {
 		if req.Op == wire.OpWrite && req.TS > st.value.TS {
 			// Retention point: the stored value must own its bytes.
 			st.value = types.TaggedValue{TS: req.TS, Cur: req.Cur.Clone(), Prev: req.Prev.Clone()}
+			if s.dlog != nil {
+				lsn, _ := s.dlog.Append(&durable.Record{
+					Kind: durable.KindDelta,
+					Key:  req.Key,
+					TS:   int64(req.TS),
+					Cur:  req.Cur,
+					Prev: req.Prev,
+					From: m.From,
+				})
+				st.lsn = lsn
+			}
 		}
 		ack.Fill(wire.Message{
 			Op:       ackOp,

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -209,7 +210,7 @@ func Run(sc Scenario, seed int64) *Result {
 		nonce = func() int64 { return 1 }
 	}
 
-	store, err := fastread.NewStore(fastread.Config{
+	cfg := fastread.Config{
 		Servers:   sc.Servers,
 		Faulty:    sc.Faulty,
 		Malicious: sc.Malicious,
@@ -229,7 +230,35 @@ func Run(sc Scenario, seed int64) *Result {
 			fastread.WithSeed(seed),
 			fastread.WithVirtualClock(clock),
 		),
-	})
+	}
+	if sc.Durable != nil {
+		fsync := fastread.FsyncPolicy(sc.Durable.Fsync)
+		if fsync == "" {
+			fsync = fastread.FsyncAlways
+		}
+		if fsync != fastread.FsyncAlways && fsync != fastread.FsyncNever {
+			// The interval policy flushes on a wall-clock ticker, which a
+			// deterministic run cannot contain.
+			res.RunErr = fmt.Errorf("sim: durable fsync policy %q is wall-clock-driven; use always or never", sc.Durable.Fsync)
+			return res
+		}
+		dir, err := os.MkdirTemp("", "sim-durable-")
+		if err != nil {
+			res.RunErr = fmt.Errorf("sim: durable dir: %w", err)
+			return res
+		}
+		defer os.RemoveAll(dir)
+		cfg.DataDir = dir
+		cfg.Durability = fastread.DurabilityOptions{
+			Fsync:        fsync,
+			SegmentBytes: sc.Durable.SegmentBytes,
+			// Background snapshots run on their own wall-clock goroutine;
+			// restarts model machine crashes, not graceful handovers.
+			SnapshotEvery: -1,
+			SimulateCrash: true,
+		}
+	}
+	store, err := fastread.NewStore(cfg)
 	if err != nil {
 		res.RunErr = fmt.Errorf("sim: deploy %q: %w", sc.Name, err)
 		return res
@@ -245,8 +274,8 @@ func Run(sc Scenario, seed int64) *Result {
 	cancel()
 	r := &runner{
 		sc: sc, clock: clock, store: store, net: net,
-		regs: make(map[string]*fastread.Register, sc.Keys),
-		recs: make(map[string]*history.Recorder, sc.Keys),
+		regs:     make(map[string]*fastread.Register, sc.Keys),
+		recs:     make(map[string]*history.Recorder, sc.Keys),
 		abortCtx: aborted,
 		inflight: make(map[handleID]int),
 		seq:      make(map[string]int),
@@ -493,6 +522,13 @@ func (r *runner) applyFault(f FaultEvent) {
 		r.net.Reconnect(srv)
 	case FaultCrash:
 		if err := r.store.CrashServer(f.Server); err != nil {
+			r.res.RunErr = err
+		}
+	case FaultRestartServer:
+		// The swap is atomic in virtual time: the old incarnation's queued
+		// messages die with its node, the new one recovers from disk (when
+		// the scenario is durable) and rejoins before the next event fires.
+		if err := r.store.RestartServer(f.Server); err != nil {
 			r.res.RunErr = err
 		}
 	case FaultHold:

@@ -53,6 +53,14 @@ const (
 	// every key when Key is empty). In-flight operations of the old
 	// incarnation are aborted deterministically before the swap.
 	FaultRestartReader FaultKind = "restart-reader"
+	// FaultRestartServer crash-stops a server and immediately starts a new
+	// incarnation of it (Store.RestartServer). With Scenario.Durable set the
+	// new incarnation recovers the old one's write-ahead log — crashed at
+	// whatever offset the fsync policy had made durable — so the fault
+	// explores recovery correctness, not just outage tolerance. Without
+	// Durable the incarnation rejoins amnesiac, which is only sound inside
+	// quorum-overlap bounds the scenario must respect.
+	FaultRestartServer FaultKind = "restart-server"
 )
 
 // FaultEvent is one timed entry of a scenario's fault script.
@@ -117,6 +125,30 @@ type Scenario struct {
 	// restarted-reader starvation bug, kept as a knob so the fixture that
 	// guards against it can demonstrate it still bites.
 	FrozenNonce bool `json:"frozenNonce,omitempty"`
+	// Durable, when non-nil, runs every server with a write-ahead log in a
+	// per-run temporary directory, so restart-server faults recover real
+	// persisted state. The runner forces SimulateCrash (restarts model
+	// machine crashes: the active segment truncates to its last-fsynced
+	// offset) and disables background snapshots (their trigger goroutine is
+	// wall-clock-driven, which a deterministic run cannot contain).
+	Durable *DurableSpec `json:"durable,omitempty"`
+}
+
+// DurableSpec opts a scenario's servers into durability (see
+// Scenario.Durable).
+type DurableSpec struct {
+	// Fsync is the flush policy: "always" (nothing acknowledged is lost —
+	// every restart recovers full state) or "never" (the active segment is
+	// lost on crash — restarts are amnesiac about their unsealed tail).
+	// Empty means "always". "interval" is rejected by the runner: its flush
+	// ticker is wall-clock-driven, so it cannot appear in a deterministic
+	// run.
+	Fsync string `json:"fsync,omitempty"`
+	// SegmentBytes rotates log segments early (sealed segments survive a
+	// simulated crash even under "never", so small segments make recovery
+	// replay multi-segment logs mid-scenario); 0 keeps the 4MiB default,
+	// which a short scenario never fills.
+	SegmentBytes int64 `json:"segmentBytes,omitempty"`
 }
 
 // WithDefaults fills unset workload fields with usable values.
@@ -200,6 +232,7 @@ func Templates() []Template {
 		{Name: "byz-flood", Gen: genByzFlood},
 		{Name: "hold-release-burst", Gen: genHoldReleaseBurst},
 		{Name: "crash-quorum-edge", Gen: genCrashQuorumEdge},
+		{Name: "restart-recover", Gen: genRestartRecover},
 		{Name: "jitter-chaos", Gen: genJitterChaos},
 		{Name: "maxmin-gossip-jitter", Gen: genMaxminGossipJitter},
 	}
@@ -380,6 +413,54 @@ func genCrashQuorumEdge(seed int64) Scenario {
 		FaultEvent{At: time.Duration(400+rng.Intn(400)) * time.Millisecond, Kind: FaultCrash, Server: first},
 		FaultEvent{At: time.Duration(1200+rng.Intn(600)) * time.Millisecond, Kind: FaultCrash, Server: second},
 	)
+	return sc
+}
+
+// genRestartRecover crashes and restarts DURABLE servers mid-workload, so
+// write-ahead-log recovery (snapshot + tail replay + incarnation bump) runs
+// inside a checked run rather than only in unit tests. Seed parity selects
+// which durability regime the sweep explores:
+//
+//   - Even seeds run fsync=always with a rolling storm of restarts: every
+//     acknowledged write is on disk before its ack, so ANY number of
+//     crash-restarts must preserve both atomicity and liveness.
+//
+//   - Odd seeds run fsync=never, where a crash loses the active (unsealed,
+//     never-synced) segment — the "crash between append and fsync" window at
+//     its widest. Amnesia is only sound inside quorum overlap: the scenario
+//     runs ABD on S=6 (majority quorums of 4 intersect in ≥2 servers) and
+//     restarts a SINGLE seeded victim, twice, so every acknowledged write
+//     survives in at least one non-wiped server of every quorum
+//     intersection. Small segments force rotation, so recovery still
+//     replays the sealed multi-segment prefix the crash could not take.
+func genRestartRecover(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{
+		Name: "restart-recover", Protocol: "abd",
+		Servers: 5, Faulty: 1, Readers: 2, Keys: 2, Depth: 4,
+		Delay: 200 * time.Microsecond, Jitter: 300 * time.Microsecond,
+		Duration: 3 * time.Second, WriteGap: 40 * time.Millisecond, ReadGap: 25 * time.Millisecond,
+		OpTimeout:         2 * time.Second,
+		ExpectAllComplete: true,
+		Durable:           &DurableSpec{Fsync: "always", SegmentBytes: 8 << 10},
+	}
+	if seed%2 != 0 {
+		sc.Servers, sc.Faulty = 6, 2
+		sc.Durable = &DurableSpec{Fsync: "never", SegmentBytes: 4 << 10}
+		victim := 1 + rng.Intn(sc.Servers)
+		sc.Faults = append(sc.Faults,
+			FaultEvent{At: time.Duration(600+rng.Intn(400)) * time.Millisecond, Kind: FaultRestartServer, Server: victim},
+			FaultEvent{At: time.Duration(1700+rng.Intn(500)) * time.Millisecond, Kind: FaultRestartServer, Server: victim},
+		)
+		return sc
+	}
+	at := 300*time.Millisecond + time.Duration(rng.Intn(200))*time.Millisecond
+	for at < sc.Duration-400*time.Millisecond {
+		sc.Faults = append(sc.Faults,
+			FaultEvent{At: at, Kind: FaultRestartServer, Server: 1 + rng.Intn(sc.Servers)},
+		)
+		at += time.Duration(250+rng.Intn(250)) * time.Millisecond
+	}
 	return sc
 }
 

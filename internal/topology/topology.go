@@ -164,6 +164,14 @@ type Topology struct {
 	// means DefaultVirtualNodes. All processes must agree on it, which is why
 	// it travels inside the document.
 	VirtualNodes int `json:"virtual_nodes,omitempty"`
+	// Epoch numbers the deployment's configuration generation. Durable
+	// servers stamp it into every write-ahead segment and snapshot header and
+	// REFUSE to recover state written under a different epoch, so a
+	// reconfiguration (which must bump the epoch when it changes placement)
+	// can never silently resurrect registers a server persisted under the
+	// old keyspace layout. Zero is a valid epoch — the common case for a
+	// deployment that has never been reconfigured.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Groups is the ORDERED group list. Ring lookups return indexes into it,
 	// so reordering the list re-routes the keyspace: treat the order as part
 	// of the deployment's identity.

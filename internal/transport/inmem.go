@@ -298,8 +298,18 @@ func (n *InMemNetwork) Join(id types.ProcessID) (Node, error) {
 		return nil, ErrClosed
 	}
 	old := *n.nodes.Load()
-	if _, ok := old[id]; ok {
-		return nil, fmt.Errorf("%w: %s", ErrAlreadyJoined, id)
+	if prev, ok := old[id]; ok {
+		if !prev.closed.Load() {
+			return nil, fmt.Errorf("%w: %s", ErrAlreadyJoined, id)
+		}
+		// A closed node's identity may be re-taken: a restarted process
+		// rejoins under its old name (Store.RestartServer). The new
+		// incarnation starts reachable — any crash or isolation mark against
+		// the dead one is cleared; messages still queued on the old node are
+		// lost with it, exactly as a real restart loses its socket buffers.
+		delete(n.crashed, id)
+		delete(n.downed, id)
+		n.updateSlowLocked()
 	}
 	node := &inMemNode{
 		id:    id,
@@ -383,8 +393,10 @@ func (n *InMemNetwork) UnblockAll() {
 }
 
 // Crash marks a process as crashed: no message is delivered to it or from it
-// anymore. Crashing is permanent for the lifetime of the network, matching
-// the crash-stop model.
+// anymore. Crashing is permanent for the lifetime of the process incarnation,
+// matching the crash-stop model; only a NEW incarnation that closes the dead
+// node and rejoins under the same identity (see Join) clears the mark, which
+// is the crash-recovery model the durable servers implement.
 func (n *InMemNetwork) Crash(id types.ProcessID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()

@@ -142,6 +142,17 @@ type Config struct {
 	// ordering (later handles get larger nonces) or restarted readers
 	// starve on the servers' stale-request guard.
 	NonceSource func() int64
+	// DataDir, when non-empty, makes every server process durable: each gets
+	// a private write-ahead segment log plus periodic snapshots under
+	// DataDir/<group>/s<index> (see internal/durable), mutations are logged
+	// before they are acknowledged, and Store.RestartServer recovers a
+	// server's state and incarnation counter from its directory. Empty keeps
+	// the classic in-memory-only servers, with zero persistence cost.
+	DataDir string
+	// Durability tunes the write-ahead logs of a durable deployment (DataDir
+	// non-empty); the zero value selects the defaults described on each
+	// field. Ignored when DataDir is empty.
+	Durability DurabilityOptions
 	// Byzantine replaces the listed servers (by 1-based index) with
 	// malicious implementations exhibiting the given behaviours, for
 	// adversarial testing. The replacements understand the fast protocols'
@@ -179,6 +190,73 @@ type GroupSpec struct {
 	// in-memory backend share fine: each group's session allocates its own
 	// endpoints.
 	Transport Transport
+}
+
+// FsyncPolicy selects when a durable server forces its appended log records
+// to stable storage (Config.Durability.Fsync).
+type FsyncPolicy string
+
+const (
+	// FsyncAlways fsyncs inside every append, before the client is
+	// acknowledged: nothing acknowledged is ever lost, at one fsync per
+	// mutation.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncIntervalPolicy fsyncs on a background ticker (the default): a
+	// crash loses at most Durability.FsyncInterval of acknowledged writes.
+	FsyncIntervalPolicy FsyncPolicy = "interval"
+	// FsyncNever leaves flushing to the OS page cache: a process crash is
+	// survivable (the kernel still holds the writes), a machine crash is not.
+	FsyncNever FsyncPolicy = "never"
+)
+
+// DurabilityOptions tunes the write-ahead logs of a durable deployment
+// (Config.DataDir non-empty). The zero value selects every default.
+type DurabilityOptions struct {
+	// Fsync is the flush policy; empty means FsyncIntervalPolicy. See the
+	// FsyncPolicy constants for what each trades away.
+	Fsync FsyncPolicy
+	// FsyncInterval is the FsyncIntervalPolicy period; 0 means 100ms.
+	FsyncInterval time.Duration
+	// SegmentBytes rotates a server's active log segment past this size;
+	// 0 means 4MiB.
+	SegmentBytes int64
+	// SnapshotEvery triggers a background snapshot (which truncates dead log
+	// segments) after that many appends; 0 means 4096, negative disables the
+	// automatic trigger (deterministic simulation does this — the background
+	// goroutine's timing is wall-clock).
+	SnapshotEvery int
+	// Epoch is the topology epoch stamped into every segment and snapshot
+	// header; recovery REFUSES state written under a different epoch, so a
+	// reconfigured deployment cannot silently resurrect pre-reconfiguration
+	// registers. See internal/topology.Topology.Epoch.
+	Epoch uint64
+	// SimulateCrash makes every server shutdown model a machine crash
+	// instead of a graceful close: the active segment is truncated back to
+	// its last-fsynced offset and no final flush or snapshot runs. This is
+	// the fault-injection knob Store.RestartServer and internal/sim build
+	// on; production deployments leave it false.
+	SimulateCrash bool
+}
+
+// DurableStats summarises the write-ahead and recovery work of a durable
+// deployment's logs; all fields are zero when Config.DataDir is empty.
+type DurableStats struct {
+	// Appends counts log records written; Fsyncs the stable-storage flushes
+	// they cost (compare the two to see a policy's amortisation).
+	Appends, Fsyncs int64
+	// Snapshots counts snapshot runs and SnapshotRecords the state records
+	// they wrote.
+	Snapshots, SnapshotRecords int64
+	// SegmentsReplayed, RecordsRecovered and TornTailTrims describe recovery
+	// work: log segments read back, records re-applied to server state, and
+	// torn final records trimmed (a trim is a crash mid-append doing exactly
+	// what it should — only unacknowledged-or-unsynced suffix is lost).
+	SegmentsReplayed, RecordsRecovered, TornTailTrims int64
+	// AppendErrors counts appends that hit an I/O error (sticky per log).
+	AppendErrors int64
+	// Incarnation is the highest restart-incarnation counter among the
+	// servers (aggregated as a maximum — it is an identity, not a tally).
+	Incarnation uint64
 }
 
 // ByzantineBehavior selects what a server listed in Config.Byzantine does
@@ -354,6 +432,9 @@ type Stats struct {
 	ServerMutations  int64
 	ReadRoundsPerOp  float64
 	WriteRoundsPerOp float64
+	// Durable aggregates every server's write-ahead-log counters across the
+	// deployment (Config.DataDir); all zero for in-memory-only deployments.
+	Durable DurableStats
 	// Groups breaks the deployment's traffic down per replica group, one
 	// entry per group in configuration order (a single-group deployment
 	// reports one "default" entry). Groups not yet instantiated report zero
@@ -379,4 +460,7 @@ type GroupStats struct {
 	// backend only). See the same-named Stats fields.
 	SendDrops, InboundDrops, DedupDrops int
 	MailboxHighWater                    int
+	// Durable aggregates the group's servers' write-ahead-log counters
+	// (zero when Config.DataDir is empty or the group is uninstantiated).
+	Durable DurableStats
 }

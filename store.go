@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
 	"fastread/internal/driver"
+	"fastread/internal/durable"
 	"fastread/internal/protoutil"
 	"fastread/internal/quorum"
 	"fastread/internal/sig"
@@ -109,7 +111,17 @@ type storeGroup struct {
 	session transportSession
 	keys    sig.KeyPair
 
+	// srvMu guards servers: RestartServer swaps entries while Stats and
+	// close iterate. The slice length is fixed at startGroup.
+	srvMu   sync.Mutex
 	servers []driver.Server
+
+	// durCounters is index-aligned with servers; each entry is the sink one
+	// server's durable log publishes its counters into. The SAME sink spans
+	// restarts — a new incarnation keeps accumulating where the old one
+	// stopped — so Stats never loses recovery history to a restart. Nil when
+	// the deployment is not durable; read-only after startGroup.
+	durCounters []*durable.Counters
 
 	writerDemux   *transport.Demux
 	readerDemuxes []*transport.Demux
@@ -303,34 +315,26 @@ func (s *Store) groupLocked(gi int) (*storeGroup, error) {
 // with cfg.ServerWorkers workers, so one server process serves every
 // register the group owns, in parallel across keys.
 func (s *Store) startGroup(g *storeGroup) error {
+	if s.cfg.DataDir != "" {
+		g.durCounters = make([]*durable.Counters, g.qcfg.Servers)
+		for i := range g.durCounters {
+			g.durCounters[i] = &durable.Counters{}
+		}
+	}
 	for i := 1; i <= g.qcfg.Servers; i++ {
 		id := types.Server(i)
 		node, err := g.session.join(id)
 		if err != nil {
 			return fmt.Errorf("group %q: join %v: %w", g.name, id, err)
 		}
-		if b, ok := s.cfg.Byzantine[i]; ok {
-			// Byzantine behaviours apply per group: each group's server i
-			// misbehaves, and each group's b bound is validated against it.
-			srv, err := newByzantineServer(s.cfg, b, id, node)
-			if err != nil {
-				return err
-			}
-			srv.Start()
-			g.servers = append(g.servers, srv)
-			continue
-		}
-		srv, err := s.drv.NewServer(driver.ServerConfig{
-			ID:       id,
-			Quorum:   g.qcfg,
-			Verifier: g.keys.Verifier,
-			Workers:  s.cfg.ServerWorkers,
-		}, node)
+		srv, err := s.newGroupServer(g, i, node)
 		if err != nil {
 			return err
 		}
 		srv.Start()
+		g.srvMu.Lock()
 		g.servers = append(g.servers, srv)
+		g.srvMu.Unlock()
 	}
 	wNode, err := g.session.join(types.Writer())
 	if err != nil {
@@ -347,10 +351,53 @@ func (s *Store) startGroup(g *storeGroup) error {
 	return nil
 }
 
+// newGroupServer builds (but does not start) server i of the group: the
+// configured Byzantine replacement if the index is listed, the protocol
+// driver's server otherwise. Byzantine servers never persist — an arbitrary-
+// faulty process gets no say in what recovery replays.
+func (s *Store) newGroupServer(g *storeGroup, i int, node transport.Node) (driver.Server, error) {
+	if b, ok := s.cfg.Byzantine[i]; ok {
+		// Byzantine behaviours apply per group: each group's server i
+		// misbehaves, and each group's b bound is validated against it.
+		return newByzantineServer(s.cfg, b, types.Server(i), node)
+	}
+	return s.drv.NewServer(driver.ServerConfig{
+		ID:       types.Server(i),
+		Quorum:   g.qcfg,
+		Verifier: g.keys.Verifier,
+		Workers:  s.cfg.ServerWorkers,
+		Durable:  s.durableOptions(g, i),
+	}, node)
+}
+
+// durableOptions resolves server i's write-ahead-log configuration, or nil
+// for an in-memory-only deployment. Each server's log lives in its own
+// directory, DataDir/<group>/s<i>, and publishes its counters into the
+// group's per-index sink so restarts accumulate rather than reset.
+func (s *Store) durableOptions(g *storeGroup, i int) *durable.Options {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	d := s.cfg.Durability
+	return &durable.Options{
+		Dir:           filepath.Join(s.cfg.DataDir, g.name, fmt.Sprintf("s%d", i)),
+		Fsync:         durable.Policy(d.Fsync),
+		FsyncEvery:    d.FsyncInterval,
+		SegmentBytes:  d.SegmentBytes,
+		SnapshotEvery: d.SnapshotEvery,
+		Epoch:         d.Epoch,
+		SimulateCrash: d.SimulateCrash,
+		Counters:      g.durCounters[i-1],
+	}
+}
+
 // close shuts one group down: servers stop, the transport session closes,
 // and the demux pumps are drained.
 func (g *storeGroup) close() error {
-	for _, srv := range g.servers {
+	g.srvMu.Lock()
+	servers := append([]driver.Server(nil), g.servers...)
+	g.srvMu.Unlock()
+	for _, srv := range servers {
 		srv.Stop()
 	}
 	err := g.session.close()
@@ -518,6 +565,72 @@ func (s *Store) maxServers() int {
 	return max
 }
 
+// RestartServer stops server si (1-based) and starts a NEW incarnation of it
+// on the same transport identity, recovering whatever the old incarnation
+// persisted. In a durable deployment (Config.DataDir) the new incarnation
+// replays its snapshot and log tail, bumps its persisted incarnation counter
+// and rejoins with every acknowledged register value intact (minus whatever
+// the fsync policy permitted to be lost); in an in-memory-only deployment it
+// rejoins amnesiac, which is only safe while the deployment's total failure
+// budget covers it. The restart models a process crash, not a graceful
+// handover: the old incarnation is stopped without a final flush when
+// Config.Durability.SimulateCrash is set (internal/sim's mode), and messages
+// queued at the dead incarnation are lost with it.
+//
+// In a partitioned deployment the restart applies to server si of every
+// INSTANTIATED replica group whose size covers the index, mirroring
+// CrashServer. A server previously crashed with CrashServer is restartable:
+// the new incarnation clears the crash mark when it rejoins — CrashServer
+// alone remains "gone forever", RestartServer is what brings a fresh
+// incarnation back. Requires a backend whose identities can rejoin; the
+// in-memory transport supports it, socket backends report their own errors.
+func (s *Store) RestartServer(i int) error {
+	if i < 1 {
+		return fmt.Errorf("%w: %d", ErrUnknownServer, i)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return ErrStoreClosed
+	}
+	inRange := false
+	for gi, spec := range s.specs {
+		if i > spec.qcfg.Servers {
+			continue
+		}
+		inRange = true
+		g := s.groups[gi]
+		if g == nil {
+			// Uninstantiated groups have no incarnation to restart; they
+			// start fresh servers when their first key arrives.
+			continue
+		}
+		g.srvMu.Lock()
+		old := g.servers[i-1]
+		g.srvMu.Unlock()
+		// Stop closes the old node (freeing the identity for rejoin) and the
+		// old durable log (truncating to the synced offset under
+		// SimulateCrash — the crash point is wherever the log stood).
+		old.Stop()
+		node, err := g.session.join(types.Server(i))
+		if err != nil {
+			return fmt.Errorf("fastread: restart server %d: group %q: %w", i, g.name, err)
+		}
+		srv, err := s.newGroupServer(g, i, node)
+		if err != nil {
+			return fmt.Errorf("fastread: restart server %d: group %q: %w", i, g.name, err)
+		}
+		srv.Start()
+		g.srvMu.Lock()
+		g.servers[i-1] = srv
+		g.srvMu.Unlock()
+	}
+	if !inRange {
+		return fmt.Errorf("%w: %d (S=%d)", ErrUnknownServer, i, s.maxServers())
+	}
+	return nil
+}
+
 // RestartReader tears down reader ri's client for the named register and
 // builds a fresh one over a new demux route, modelling a reader process
 // restart: in-flight reads of the old incarnation fail (their inbox is
@@ -635,15 +748,24 @@ func (s *Store) Stats() Stats {
 			// process of any group has ever queued.
 			out.MailboxHighWater = ts.mailboxHighWater
 		}
-		for _, srv := range g.servers {
+		g.srvMu.Lock()
+		servers := append([]driver.Server(nil), g.servers...)
+		g.srvMu.Unlock()
+		for _, srv := range servers {
 			out.ServerMutations += srv.TotalMutations()
 		}
+		var dur durable.Stats
+		for _, c := range g.durCounters {
+			dur.Add(c.Snapshot())
+		}
+		gs.Durable = publicDurableStats(dur)
 	}
 	for i := range out.Groups {
 		gs := &out.Groups[i]
 		gs.Ops = gs.Writes + gs.Reads
 		out.Writes += gs.Writes
 		out.Reads += gs.Reads
+		addDurableStats(&out.Durable, gs.Durable)
 	}
 	if out.Reads > 0 {
 		out.ReadRoundsPerOp = float64(out.ReadRoundTrips) / float64(out.Reads)
@@ -652,6 +774,38 @@ func (s *Store) Stats() Stats {
 		out.WriteRoundsPerOp = float64(out.WriteRoundTrips) / float64(out.Writes)
 	}
 	return out
+}
+
+// publicDurableStats converts a durable-log stats snapshot to the public
+// shape.
+func publicDurableStats(d durable.Stats) DurableStats {
+	return DurableStats{
+		Appends:          d.Appends,
+		Fsyncs:           d.Fsyncs,
+		Snapshots:        d.Snapshots,
+		SnapshotRecords:  d.SnapshotRecords,
+		SegmentsReplayed: d.SegmentsReplayed,
+		RecordsRecovered: d.RecordsRecovered,
+		TornTailTrims:    d.TornTailTrims,
+		AppendErrors:     d.AppendErrors,
+		Incarnation:      d.Incarnation,
+	}
+}
+
+// addDurableStats accumulates o into agg (incarnation as a maximum — it is
+// an identity, not a tally).
+func addDurableStats(agg *DurableStats, o DurableStats) {
+	agg.Appends += o.Appends
+	agg.Fsyncs += o.Fsyncs
+	agg.Snapshots += o.Snapshots
+	agg.SnapshotRecords += o.SnapshotRecords
+	agg.SegmentsReplayed += o.SegmentsReplayed
+	agg.RecordsRecovered += o.RecordsRecovered
+	agg.TornTailTrims += o.TornTailTrims
+	agg.AppendErrors += o.AppendErrors
+	if o.Incarnation > agg.Incarnation {
+		agg.Incarnation = o.Incarnation
+	}
 }
 
 // Close shuts the store down: every instantiated replica group's servers
