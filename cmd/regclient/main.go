@@ -26,6 +26,20 @@
 //
 //	regclient -id r1 -book "$BOOK" -pipeline 16 bench -ops 10000
 //
+// Where bench is closed-loop (each worker waits for its completions, so the
+// offered load tracks the deployment's speed), the loadgen subcommand is
+// open-loop: it schedules arrivals at -rate ops/sec on a clock and measures
+// each operation's latency from its intended arrival — coordinated-omission-
+// safe tail latencies. -rates sweeps a list of rates and reports the knee;
+// -admission sheds at-depth submissions with ErrOverloaded instead of
+// blocking. See loadgen.go:
+//
+//	regclient -id w -book "$BOOK" -keys 8 loadgen -rate 2000 -duration 10s
+//	regclient -id w -book "$BOOK" -keys 8 loadgen -rates 500,1000,2000 -admission 1ms
+//
+// Both bench and loadgen echo their active configuration as the first output
+// line, and both accept their flags before or after the subcommand word.
+//
 // The deployment parameters (-S, -t, -b, -R) and -protocol must match what
 // the servers were started with; the protocol's deployment bound (the fast
 // protocols' reader bound, the majority protocols' t < S/2) is checked
@@ -77,64 +91,140 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// cliConfig holds every parsed flag plus the subcommand and its operands, so
+// flag handling (and the config echo built from it) is testable apart from
+// the network setup in run.
+type cliConfig struct {
+	id        string
+	book      string
+	groups    string
+	protocol  string
+	servers   int
+	faulty    int
+	malicious int
+	readers   int
+	byz       bool
+	keyHex    string
+	timeout   time.Duration
+	ops       int
+	key       string
+	keysN     int
+	pipeline  int
+	transport string
+
+	// loadgen flags (see loadgen.go).
+	rate      float64
+	rates     string
+	duration  time.Duration
+	arrival   string
+	zipfS     float64
+	admission time.Duration
+	seed      int64
+	kneeP99   time.Duration
+
+	command string
+	args    []string
+}
+
+// parseCLI parses the regclient command line. Flags may appear before or
+// after the subcommand (`-ops 1000 bench` and `bench -ops 1000` are the same
+// invocation): the remainder after the subcommand is parsed through the same
+// flag set, leaving args holding the subcommand's operands.
+func parseCLI(args []string) (*cliConfig, error) {
+	c := &cliConfig{}
 	fs := flag.NewFlagSet("regclient", flag.ContinueOnError)
-	var (
-		idFlag    = fs.String("id", "r1", "client identity: w for the writer, r1..rR for readers")
-		bookFlag  = fs.String("book", "", "address book: comma-separated id=host:port pairs")
-		groupsArg = fs.String("groups", "", "topology file (JSON) describing a partitioned deployment (replaces -book)")
-		protocol  = fs.String("protocol", "fast", "register protocol: "+strings.Join(driver.Names(), " | "))
-		servers   = fs.Int("S", 4, "number of servers")
-		faulty    = fs.Int("t", 1, "maximum faulty servers")
-		malicious = fs.Int("b", 0, "maximum malicious servers")
-		readers   = fs.Int("R", 1, "number of readers")
-		byz       = fs.Bool("byz", false, "deprecated: alias for -protocol fast-byz")
-		keyHex    = fs.String("writer-key", "", "hex-encoded writer private seed (signing writer) or public key (verifying reader)")
-		timeout   = fs.Duration("timeout", 5*time.Second, "per-operation timeout")
-		ops       = fs.Int("ops", 100, "operation count for the bench subcommand")
-		key       = fs.String("key", "", "register key to operate on (empty = default register)")
-		keysN     = fs.Int("keys", 1, "bench only: spread operations over N registers named <key>0..<key>N-1")
-		pipeline  = fs.Int("pipeline", 1, "bench only: operations kept in flight per handle (1 = serial)")
-		trans     = fs.String("transport", "tcp", "socket transport: tcp | udp (must match the servers)")
-	)
+	fs.StringVar(&c.id, "id", "r1", "client identity: w for the writer, r1..rR for readers")
+	fs.StringVar(&c.book, "book", "", "address book: comma-separated id=host:port pairs")
+	fs.StringVar(&c.groups, "groups", "", "topology file (JSON) describing a partitioned deployment (replaces -book)")
+	fs.StringVar(&c.protocol, "protocol", "fast", "register protocol: "+strings.Join(driver.Names(), " | "))
+	fs.IntVar(&c.servers, "S", 4, "number of servers")
+	fs.IntVar(&c.faulty, "t", 1, "maximum faulty servers")
+	fs.IntVar(&c.malicious, "b", 0, "maximum malicious servers")
+	fs.IntVar(&c.readers, "R", 1, "number of readers")
+	fs.BoolVar(&c.byz, "byz", false, "deprecated: alias for -protocol fast-byz")
+	fs.StringVar(&c.keyHex, "writer-key", "", "hex-encoded writer private seed (signing writer) or public key (verifying reader)")
+	fs.DurationVar(&c.timeout, "timeout", 5*time.Second, "per-operation timeout")
+	fs.IntVar(&c.ops, "ops", 100, "operation count for the bench subcommand")
+	fs.StringVar(&c.key, "key", "", "register key to operate on (empty = default register)")
+	fs.IntVar(&c.keysN, "keys", 1, "bench/loadgen only: spread operations over N registers named <key>0..<key>N-1")
+	fs.IntVar(&c.pipeline, "pipeline", 1, "bench/loadgen only: operations kept in flight per handle (1 = serial)")
+	fs.StringVar(&c.transport, "transport", "tcp", "socket transport: tcp | udp (must match the servers)")
+	fs.Float64Var(&c.rate, "rate", 1000, "loadgen only: offered load in ops/sec")
+	fs.StringVar(&c.rates, "rates", "", "loadgen only: comma-separated ops/sec sweep (overrides -rate); prints one curve point per rate plus the knee")
+	fs.DurationVar(&c.duration, "duration", 10*time.Second, "loadgen only: arrival window (per rate step when sweeping)")
+	fs.StringVar(&c.arrival, "arrival", "poisson", "loadgen only: arrival process: poisson | fixed")
+	fs.Float64Var(&c.zipfS, "zipf", 0, "loadgen only: zipfian key-popularity exponent over -keys (0 = uniform)")
+	fs.DurationVar(&c.admission, "admission", 0, "loadgen only: admission budget; at-depth submissions shed with ErrOverloaded after waiting this long (0 = block)")
+	fs.Int64Var(&c.seed, "seed", 1, "loadgen only: RNG seed for arrival times and key choice")
+	fs.DurationVar(&c.kneeP99, "knee-p99", 50*time.Millisecond, "loadgen sweep only: p99 threshold for the knee finder")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return nil, err
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("usage: regclient [flags] read | write <value> | bench | route [key ...]")
+		return nil, fmt.Errorf("usage: regclient [flags] read | write <value> | bench | loadgen | route [key ...]")
 	}
-	command := fs.Arg(0)
+	c.command = fs.Arg(0)
 	// Flags may also follow the subcommand (`bench -ops 1000 -pipeline 16`),
 	// as the examples above show: parse the remainder through the same set,
 	// leaving fs.Args() holding the subcommand's operands.
 	if err := fs.Parse(fs.Args()[1:]); err != nil {
-		return err
+		return nil, err
 	}
-	if *keysN < 1 {
-		return fmt.Errorf("-keys must be >= 1, got %d", *keysN)
+	c.args = fs.Args()
+	if c.keysN < 1 {
+		return nil, fmt.Errorf("-keys must be >= 1, got %d", c.keysN)
 	}
-	if *pipeline < 1 {
-		return fmt.Errorf("-pipeline must be >= 1, got %d", *pipeline)
+	if c.pipeline < 1 {
+		return nil, fmt.Errorf("-pipeline must be >= 1, got %d", c.pipeline)
 	}
-	if *byz {
-		switch *protocol {
+	if c.arrival != "poisson" && c.arrival != "fixed" {
+		return nil, fmt.Errorf("-arrival must be poisson or fixed, got %q", c.arrival)
+	}
+	if c.byz {
+		switch c.protocol {
 		case "fast", "fast-byz":
-			*protocol = "fast-byz"
+			c.protocol = "fast-byz"
 		default:
-			return fmt.Errorf("contradictory flags: -byz with -protocol %s", *protocol)
+			return nil, fmt.Errorf("contradictory flags: -byz with -protocol %s", c.protocol)
 		}
 	}
+	return c, nil
+}
 
-	drv, ok := driver.Lookup(*protocol)
+// configLine is the one-line active-configuration echo printed before a
+// bench or loadgen run, so a result in a terminal scrollback or a CI log is
+// never separated from the parameters that produced it.
+func (c *cliConfig) configLine() string {
+	line := fmt.Sprintf("config: cmd=%s id=%s protocol=%s transport=%s S=%d t=%d b=%d R=%d key=%q keys=%d pipeline=%d timeout=%v",
+		c.command, c.id, c.protocol, c.transport, c.servers, c.faulty, c.malicious, c.readers,
+		c.key, c.keysN, c.pipeline, c.timeout)
+	if c.command == "loadgen" {
+		rates := c.rates
+		if rates == "" {
+			rates = fmt.Sprintf("%g", c.rate)
+		}
+		line += fmt.Sprintf(" rates=%s duration=%v arrival=%s zipf=%g admission=%v seed=%d knee-p99=%v",
+			rates, c.duration, c.arrival, c.zipfS, c.admission, c.seed, c.kneeP99)
+	}
+	return line
+}
+
+func run(args []string) error {
+	c, err := parseCLI(args)
+	if err != nil {
+		return err
+	}
+	command := c.command
+	drv, ok := driver.Lookup(c.protocol)
 	if !ok {
-		return fmt.Errorf("unknown -protocol %q (have: %s)", *protocol, strings.Join(driver.Names(), ", "))
+		return fmt.Errorf("unknown -protocol %q (have: %s)", c.protocol, strings.Join(driver.Names(), ", "))
 	}
 
-	keys := []string{*key}
-	if (command == "bench" || command == "route") && *keysN > 1 {
-		keys = make([]string, *keysN)
+	keys := []string{c.key}
+	if (command == "bench" || command == "loadgen" || command == "route") && c.keysN > 1 {
+		keys = make([]string, c.keysN)
 		for i := range keys {
-			keys[i] = fmt.Sprintf("%s%d", *key, i)
+			keys[i] = fmt.Sprintf("%s%d", c.key, i)
 		}
 	}
 
@@ -145,13 +235,12 @@ func run(args []string) error {
 	var (
 		topo topology.Topology
 		ring *topology.Ring
-		err  error
 	)
-	if *groupsArg != "" {
-		if *bookFlag != "" {
+	if c.groups != "" {
+		if c.book != "" {
 			return fmt.Errorf("-groups and -book are mutually exclusive: the topology carries each group's address book")
 		}
-		if topo, err = topology.Load(*groupsArg); err != nil {
+		if topo, err = topology.Load(c.groups); err != nil {
 			return err
 		}
 		if ring, err = topo.Ring(); err != nil {
@@ -169,7 +258,7 @@ func run(args []string) error {
 		if ring == nil {
 			return fmt.Errorf("route requires -groups: placement is defined by the topology's ring")
 		}
-		targets := fs.Args()
+		targets := c.args
 		if len(targets) == 0 {
 			targets = keys
 		}
@@ -183,16 +272,19 @@ func run(args []string) error {
 		return nil
 	}
 
-	id, err := types.ParseProcessID(*idFlag)
+	id, err := types.ParseProcessID(c.id)
 	if err != nil {
 		return err
 	}
-	qcfg := quorum.Config{Servers: *servers, Faulty: *faulty, Malicious: *malicious, Readers: *readers}
+	qcfg := quorum.Config{Servers: c.servers, Faulty: c.faulty, Malicious: c.malicious, Readers: c.readers}
 	if err := qcfg.Validate(); err != nil {
 		return err
 	}
 	if err := drv.Validate(qcfg); err != nil {
 		return err
+	}
+	if command == "bench" || command == "loadgen" {
+		fmt.Println(c.configLine())
 	}
 
 	// One socket + demux per replica group this run touches, opened lazily.
@@ -231,10 +323,10 @@ func run(args []string) error {
 			if err = drv.Validate(gq); err != nil {
 				return nil, fmt.Errorf("group %q: %w", g.Name, err)
 			}
-		} else if book, err = parseBook(*bookFlag); err != nil {
+		} else if book, err = parseBook(c.book); err != nil {
 			return nil, err
 		}
-		node, err := listenNode(*trans, id, book)
+		node, err := listenNode(c.transport, id, book)
 		if err != nil {
 			if ring != nil {
 				return nil, fmt.Errorf("group %q: %w", topo.Groups[gi].Name, err)
@@ -250,17 +342,17 @@ func run(args []string) error {
 		return c, nil
 	}
 
-	clientCfg := driver.ClientConfig{Quorum: qcfg, Depth: *pipeline}
+	clientCfg := driver.ClientConfig{Quorum: qcfg, Depth: c.pipeline}
 	if drv.NeedsSignatures {
 		switch id.Role {
 		case types.RoleWriter:
-			signer, err := signerFromHex(*keyHex)
+			signer, err := signerFromHex(c.keyHex)
 			if err != nil {
 				return err
 			}
 			clientCfg.Signer = signer
 		case types.RoleReader:
-			verifier, err := verifierFromHex(*keyHex)
+			verifier, err := verifierFromHex(c.keyHex)
 			if err != nil {
 				return err
 			}
@@ -273,37 +365,43 @@ func run(args []string) error {
 	case types.RoleWriter:
 		writers := make([]driver.Writer, len(keys))
 		for i, k := range keys {
-			c, err := connFor(groupOf(k))
+			gc, err := connFor(groupOf(k))
 			if err != nil {
 				return err
 			}
 			kCfg := clientCfg
-			kCfg.Quorum = c.qcfg
+			kCfg.Quorum = gc.qcfg
 			kCfg.Key = k
-			w, err := drv.NewWriter(kCfg, c.demux.Route(k))
+			w, err := drv.NewWriter(kCfg, gc.demux.Route(k))
 			if err != nil {
 				return err
 			}
 			writers[i] = w
 		}
-		return runWriter(ctx, writers, command, fs.Args(), *timeout, *ops, *pipeline)
+		if command == "loadgen" {
+			return runLoadgen(ctx, c, writers, nil)
+		}
+		return runWriter(ctx, writers, command, c.args, c.timeout, c.ops, c.pipeline)
 	case types.RoleReader:
 		readers := make([]driver.Reader, len(keys))
 		for i, k := range keys {
-			c, err := connFor(groupOf(k))
+			gc, err := connFor(groupOf(k))
 			if err != nil {
 				return err
 			}
 			kCfg := clientCfg
-			kCfg.Quorum = c.qcfg
+			kCfg.Quorum = gc.qcfg
 			kCfg.Key = k
-			r, err := drv.NewReader(kCfg, c.demux.Route(k))
+			r, err := drv.NewReader(kCfg, gc.demux.Route(k))
 			if err != nil {
 				return err
 			}
 			readers[i] = r
 		}
-		return runReader(ctx, readers, command, *timeout, *ops, *pipeline)
+		if command == "loadgen" {
+			return runLoadgen(ctx, c, nil, readers)
+		}
+		return runReader(ctx, readers, command, c.timeout, c.ops, c.pipeline)
 	default:
 		return fmt.Errorf("-id must be the writer (w) or a reader (r1..rR)")
 	}
@@ -361,7 +459,7 @@ func runWriter(ctx context.Context, writers []driver.Writer, command string, arg
 		printPipeline(depth, inflight)
 		return nil
 	default:
-		return fmt.Errorf("the writer supports: write <value> | bench")
+		return fmt.Errorf("the writer supports: write <value> | bench | loadgen")
 	}
 }
 
@@ -401,7 +499,7 @@ func runReader(ctx context.Context, readers []driver.Reader, command string, tim
 		printPipeline(depth, inflight)
 		return nil
 	default:
-		return fmt.Errorf("readers support: read | bench")
+		return fmt.Errorf("readers support: read | bench | loadgen")
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -128,5 +129,84 @@ func TestPipelinedBenchWindow(t *testing.T) {
 		})
 	if err == nil || !strings.Contains(err.Error(), "op 1") {
 		t.Errorf("err = %v, want op 1 failure", err)
+	}
+}
+
+func TestFlagsParseSameBeforeAndAfterSubcommand(t *testing.T) {
+	cases := [][2][]string{
+		{
+			{"-id", "w", "-ops", "1000", "-pipeline", "16", "-keys", "8", "bench"},
+			{"-id", "w", "bench", "-ops", "1000", "-pipeline", "16", "-keys", "8"},
+		},
+		{
+			{"-id", "w", "-rate", "2000", "-duration", "3s", "-admission", "1ms", "-zipf", "0.9", "loadgen"},
+			{"-id", "w", "loadgen", "-rate", "2000", "-duration", "3s", "-admission", "1ms", "-zipf", "0.9"},
+		},
+		{
+			{"-id", "r2", "-rates", "500,1000", "-knee-p99", "20ms", "loadgen"},
+			{"-id", "r2", "loadgen", "-rates", "500,1000", "-knee-p99", "20ms"},
+		},
+		{
+			// Split across the subcommand: some flags before, some after.
+			{"-id", "w", "-keys", "4", "loadgen", "-rate", "750", "-arrival", "fixed"},
+			{"-id", "w", "loadgen", "-keys", "4", "-rate", "750", "-arrival", "fixed"},
+		},
+	}
+	for _, tc := range cases {
+		before, err := parseCLI(tc[0])
+		if err != nil {
+			t.Fatalf("parseCLI(%v): %v", tc[0], err)
+		}
+		after, err := parseCLI(tc[1])
+		if err != nil {
+			t.Fatalf("parseCLI(%v): %v", tc[1], err)
+		}
+		if !reflect.DeepEqual(before, after) {
+			t.Errorf("flag order changed the parse:\n before %+v\n after  %+v", before, after)
+		}
+		if before.configLine() != after.configLine() {
+			t.Errorf("config echo differs:\n before %s\n after  %s", before.configLine(), after.configLine())
+		}
+	}
+}
+
+func TestConfigLineEchoesActiveConfig(t *testing.T) {
+	c, err := parseCLI([]string{"-id", "w", "-S", "5", "-keys", "8", "loadgen", "-rate", "1500", "-admission", "2ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := c.configLine()
+	for _, want := range []string{"cmd=loadgen", "id=w", "S=5", "keys=8", "rates=1500", "admission=2ms", "arrival=poisson"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("config line %q missing %q", line, want)
+		}
+	}
+	b, err := parseCLI([]string{"-id", "r1", "bench", "-ops", "50", "-pipeline", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bline := b.configLine()
+	for _, want := range []string{"cmd=bench", "id=r1", "pipeline=4"} {
+		if !strings.Contains(bline, want) {
+			t.Errorf("bench config line %q missing %q", bline, want)
+		}
+	}
+	if strings.Contains(bline, "rates=") {
+		t.Errorf("bench config line %q leaked loadgen-only fields", bline)
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates("500, 1000,2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 500 || got[1] != 1000 || got[2] != 2000 {
+		t.Errorf("parseRates = %v", got)
+	}
+	for _, bad := range []string{"", "x", "-5", "0", "100,,x"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) succeeded, want error", bad)
+		}
 	}
 }

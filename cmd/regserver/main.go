@@ -97,6 +97,7 @@ func run(args []string) error {
 		pubKey    = fs.String("writer-pubkey", "", "hex-encoded writer public key (signature-verifying protocols)")
 		listen    = fs.String("listen", "", "listen address override (defaults to the address book entry)")
 		workers   = fs.Int("workers", 0, "key-shard workers executing messages in parallel (0 = GOMAXPROCS)")
+		qbound    = fs.Int("queue-bound", 0, "cap on each executor queue: excess messages are shed and counted instead of queueing without bound (0 = unbounded)")
 		trans     = fs.String("transport", "tcp", "socket transport: tcp | udp (must match the clients)")
 		dataDir   = fs.String("data-dir", "", "private durable-state directory for THIS server process: mutations are write-ahead logged there before acknowledgement and recovered on restart (empty = in-memory only)")
 		fsyncArg  = fs.String("fsync", "interval", "durable log flush policy with -data-dir: always | interval | never")
@@ -177,7 +178,7 @@ func run(args []string) error {
 		return err
 	}
 
-	serverCfg := driver.ServerConfig{ID: id, Quorum: qcfg, Workers: *workers}
+	serverCfg := driver.ServerConfig{ID: id, Quorum: qcfg, Workers: *workers, QueueBound: *qbound}
 	var durCounters *durable.Counters
 	if *dataDir != "" {
 		durCounters = &durable.Counters{}
@@ -237,8 +238,12 @@ func run(args []string) error {
 	// operators notice overload or partitions the asynchronous protocols
 	// themselves tolerate without complaint.
 	stats := nodeStats()
-	fmt.Printf("shutting down %s%s: transport=%s delivered=%d frames=%d dropped_inbound=%d dropped_send=%d dedup_drops=%d\n",
-		id, groupNote, *trans, stats.delivered, stats.frames, stats.droppedInbound, stats.droppedSend, stats.dedupDrops)
+	queueSheds := int64(0)
+	if qs, ok := server.(interface{ QueueSheds() int64 }); ok {
+		queueSheds = qs.QueueSheds()
+	}
+	fmt.Printf("shutting down %s%s: transport=%s delivered=%d frames=%d dropped_inbound=%d dropped_send=%d dedup_drops=%d queue_sheds=%d\n",
+		id, groupNote, *trans, stats.delivered, stats.frames, stats.droppedInbound, stats.droppedSend, stats.dedupDrops, queueSheds)
 	if durCounters != nil {
 		ds := durCounters.Snapshot()
 		fmt.Printf("durable shutdown %s%s: incarnation=%d appends=%d fsyncs=%d snapshots=%d snapshot_records=%d append_errors=%d\n",

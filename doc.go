@@ -228,7 +228,25 @@
 // reproducible. The scenario DSL, the seed-sweeping explorer and the trace
 // shrinker built on this live in internal/sim and cmd/simexplore.
 //
+// # Overload control and latency under load
+//
+// Closed-loop benchmarks (blocked workers) cannot observe queueing
+// collapse: their offered load slows down exactly when the system does. The
+// open-loop generator in internal/workload schedules arrivals on a clock at
+// a target rate and charges each operation's latency from its INTENDED
+// arrival time — the coordinated-omission-safe discipline — so stalls are
+// charged to every operation scheduled during them. Overload behaviour is
+// opt-in and two-sided: Config.AdmissionWait turns the pipeline's at-depth
+// blocking into fast-fail admission (a submission that cannot get a slot
+// within the budget returns ErrOverloaded instead of queueing), and
+// Config.QueueBound caps each server's inbound queues, shedding excess
+// messages into Stats.ShedDrops rather than growing mailboxes without
+// bound. Client acknowledgement mailboxes are deliberately never bounded:
+// dropping acks could starve quorums that were already completable. Both
+// knobs default to off, preserving the original never-drop semantics.
+//
 // Benchmarks quantifying each layer live in bench_test.go; BENCH_2.json,
-// BENCH_3.json, BENCH_5.json and BENCH_6.json record the measured
+// BENCH_3.json, BENCH_5.json, BENCH_6.json, BENCH_8.json and BENCH_10.json
+// (open-loop throughput-vs-p99 curves with knee points) record the measured
 // trajectory.
 package fastread

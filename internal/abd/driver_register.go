@@ -14,7 +14,7 @@ func init() {
 		Name:     "abd",
 		Validate: driver.MajorityValidate("abd"),
 		NewServer: func(cfg driver.ServerConfig, node transport.Node) (driver.Server, error) {
-			s, err := NewServer(ServerConfig{ID: cfg.ID, Workers: cfg.Workers, Durable: cfg.Durable}, node)
+			s, err := NewServer(ServerConfig{ID: cfg.ID, Workers: cfg.Workers, QueueBound: cfg.QueueBound, Durable: cfg.Durable}, node)
 			if err != nil {
 				return nil, err
 			}

@@ -39,6 +39,10 @@ type ServerConfig struct {
 	// messages in parallel (a register key is always handled by the same
 	// worker). Zero or negative means GOMAXPROCS.
 	Workers int
+	// QueueBound, when positive, caps each worker's overflow queue:
+	// requests beyond it are shed and counted (QueueSheds) instead of
+	// queued without bound. Zero keeps the default never-drop queues.
+	QueueBound int
 	// Trace, if non-nil, records protocol events.
 	Trace *trace.Trace
 	// Durable, if non-nil, gives the server a write-ahead log: every adoption
@@ -104,6 +108,7 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 		s.dlog = dl
 	}
 	s.exec = transport.NewExecutor(node, protoutil.WireKeyFunc, cfg.Workers)
+	s.exec.SetQueueBound(cfg.QueueBound)
 	return s, nil
 }
 
@@ -186,6 +191,10 @@ func (s *Server) ID() types.ProcessID { return s.cfg.ID }
 
 // Workers reports the executor's key-shard worker count.
 func (s *Server) Workers() int { return s.exec.Workers() }
+
+// QueueSheds returns the number of requests shed by bounded worker queues
+// (always 0 unless ServerConfig.QueueBound was set).
+func (s *Server) QueueSheds() int64 { return s.exec.Sheds() }
 
 // State returns a copy of the default register's current value and the
 // number of state mutations performed on it; use StateOf for a named

@@ -36,12 +36,13 @@ func fastDriver(name string, byzantine bool) driver.Driver {
 		},
 		NewServer: func(cfg driver.ServerConfig, node transport.Node) (driver.Server, error) {
 			s, err := NewServer(ServerConfig{
-				ID:        cfg.ID,
-				Readers:   cfg.Quorum.Readers,
-				Byzantine: byzantine,
-				Verifier:  cfg.Verifier,
-				Workers:   cfg.Workers,
-				Durable:   cfg.Durable,
+				ID:         cfg.ID,
+				Readers:    cfg.Quorum.Readers,
+				Byzantine:  byzantine,
+				Verifier:   cfg.Verifier,
+				Workers:    cfg.Workers,
+				QueueBound: cfg.QueueBound,
+				Durable:    cfg.Durable,
 			}, node)
 			if err != nil {
 				return nil, err

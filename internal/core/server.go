@@ -31,6 +31,10 @@ type ServerConfig struct {
 	// messages in parallel (one goroutine per worker; a register key is
 	// always handled by the same worker). Zero or negative means GOMAXPROCS.
 	Workers int
+	// QueueBound, when positive, caps each worker's overflow queue:
+	// requests beyond it are shed and counted (QueueSheds) instead of
+	// queued without bound. Zero keeps the default never-drop queues.
+	QueueBound int
 	// Trace, if non-nil, records protocol events.
 	Trace *trace.Trace
 	// Durable, if non-nil, gives the server a write-ahead log in the given
@@ -136,6 +140,7 @@ func NewServer(cfg ServerConfig, node transport.Node) (*Server, error) {
 		s.dlog = dl
 	}
 	s.exec = transport.NewExecutor(node, protoutil.WireKeyFunc, cfg.Workers)
+	s.exec.SetQueueBound(cfg.QueueBound)
 	if cfg.Byzantine {
 		s.verify = sig.NewCache(cfg.Verifier, 0)
 	}
@@ -246,6 +251,10 @@ func (s *Server) ID() types.ProcessID { return s.cfg.ID }
 // Workers returns the number of key-shard workers executing this server's
 // messages.
 func (s *Server) Workers() int { return s.exec.Workers() }
+
+// QueueSheds returns the number of requests shed by bounded worker queues
+// (always 0 unless ServerConfig.QueueBound was set).
+func (s *Server) QueueSheds() int64 { return s.exec.Sheds() }
 
 // snapshot deep-copies a register's state under the shard lock.
 func snapshot(st *registerState) ServerState {

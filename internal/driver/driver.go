@@ -128,6 +128,17 @@ type ServerConfig struct {
 	// and server construction recovers whatever a previous incarnation
 	// persisted there. Drivers that keep no durable state ignore it.
 	Durable *durable.Options
+	// QueueBound, when positive, caps each executor worker's overflow
+	// queue: requests beyond it are shed and counted rather than queued
+	// (see transport.Executor.SetQueueBound). Servers that shed SHOULD also
+	// expose the running count through an optional
+	//
+	//	QueueSheds() int64
+	//
+	// method — Store.Stats discovers it by interface assertion, so drivers
+	// without shedding (test canaries, wrappers) need not implement it.
+	// Zero keeps the default never-drop queues.
+	QueueBound int
 }
 
 // ClientConfig is the uniform client-side configuration handed to every

@@ -13,7 +13,7 @@ func init() {
 		Name:     "maxmin",
 		Validate: driver.MajorityValidate("maxmin"),
 		NewServer: func(cfg driver.ServerConfig, node transport.Node) (driver.Server, error) {
-			s, err := NewServer(ServerConfig{ID: cfg.ID, Quorum: cfg.Quorum, Workers: cfg.Workers, Durable: cfg.Durable}, node)
+			s, err := NewServer(ServerConfig{ID: cfg.ID, Quorum: cfg.Quorum, Workers: cfg.Workers, QueueBound: cfg.QueueBound, Durable: cfg.Durable}, node)
 			if err != nil {
 				return nil, err
 			}

@@ -15,6 +15,7 @@ package protoutil
 import (
 	"context"
 	"sync"
+	"time"
 
 	"fastread/internal/trace"
 	"fastread/internal/transport"
@@ -126,8 +127,32 @@ type Op struct {
 
 // Acquire reserves one in-flight slot, blocking while the pipeline is at
 // depth. It fails with the context's error, or with ErrInboxClosed once the
-// node is gone.
+// node is gone. If the context carries an admission budget
+// (WithAdmissionWait) and no slot frees within it, Acquire fails fast with
+// ErrOverloaded — the typed signal the open-loop harness and overloaded
+// clients shed on rather than queueing without bound.
 func (p *Pipeline) Acquire(ctx context.Context) error {
+	// Fast path: a free slot costs one channel op and never consults the
+	// context, so admission control is free when the pipeline has headroom.
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if d := admissionWait(ctx); d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case p.slots <- struct{}{}:
+			return nil
+		case <-timer.C:
+			return ErrOverloaded
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-p.done:
+			return ErrInboxClosed
+		}
+	}
 	select {
 	case p.slots <- struct{}{}:
 		return nil

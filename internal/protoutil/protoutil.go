@@ -30,7 +30,37 @@ var (
 	// ErrInboxClosed indicates the client's transport node was closed while
 	// waiting for acknowledgements.
 	ErrInboxClosed = errors.New("protoutil: transport inbox closed")
+	// ErrOverloaded indicates the pipeline's depth semaphore stayed
+	// saturated past the caller's admission budget (WithAdmissionWait):
+	// the operation was rejected BEFORE consuming a slot or touching the
+	// wire, so the caller can shed it immediately instead of joining an
+	// unbounded queue. Returned only when an admission budget is set —
+	// without one, Acquire blocks as it always has.
+	ErrOverloaded = errors.New("protoutil: pipeline overloaded, admission budget exceeded")
 )
+
+// admissionKey carries the admission-wait budget through a context.
+type admissionKey struct{}
+
+// WithAdmissionWait returns a context that bounds how long a pipeline
+// submission may wait for a free depth slot. If the semaphore is still full
+// after d, Acquire fails fast with ErrOverloaded instead of queueing — the
+// client-side half of overload control (the server-side half is the bounded
+// mailbox shed policy in internal/transport). d <= 0 leaves the default
+// block-until-free behaviour. The budget is read only on Acquire's slow path,
+// so an unsaturated pipeline never pays for it.
+func WithAdmissionWait(ctx context.Context, d time.Duration) context.Context {
+	if d <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, admissionKey{}, d)
+}
+
+// admissionWait extracts the admission budget, or 0 when unset.
+func admissionWait(ctx context.Context) time.Duration {
+	d, _ := ctx.Value(admissionKey{}).(time.Duration)
+	return d
+}
 
 // WireKeyFunc is the transport.Demux routing function shared by every
 // multi-register client: it routes a delivered message by the register key

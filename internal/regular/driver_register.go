@@ -17,6 +17,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
+			s.SetQueueBound(cfg.QueueBound)
 			return regularServerHandle{s}, nil
 		},
 		NewWriter: func(cfg driver.ClientConfig, node transport.Node) (driver.Writer, error) {

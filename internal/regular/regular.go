@@ -185,6 +185,15 @@ func (s *Server) ID() types.ProcessID { return s.id }
 // Workers reports the executor's key-shard worker count.
 func (s *Server) Workers() int { return s.exec.Workers() }
 
+// SetQueueBound caps each worker's overflow queue at n requests
+// (shed-and-count; see transport.Executor.SetQueueBound). Must be called
+// before Start; n <= 0 keeps the default never-drop queues.
+func (s *Server) SetQueueBound(n int) { s.exec.SetQueueBound(n) }
+
+// QueueSheds returns the number of requests shed by bounded worker queues
+// (always 0 unless SetQueueBound was used).
+func (s *Server) QueueSheds() int64 { return s.exec.Sheds() }
+
 // State returns the default register's current value; use StateOf for a
 // named register.
 func (s *Server) State() types.TaggedValue { return s.StateOf("") }

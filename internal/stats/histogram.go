@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"time"
+)
+
+// Histogram bucket geometry: values below 2^subBits nanoseconds get one
+// bucket each (exact); above that, every power-of-two octave is split into
+// 2^subBits log-linear sub-buckets, so the relative quantisation error is
+// bounded by 1/2^subBits ≈ 3.1% at any magnitude. That keeps p999 of a
+// microsecond-scale distribution as faithful as p50 of a millisecond-scale
+// one, which a fixed linear bucketing cannot do.
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	// histBuckets covers every non-negative int64 nanosecond value: the
+	// first histSub exact buckets plus (63-histSubBits) octaves of histSub
+	// sub-buckets each.
+	histBuckets = histSub + (63-histSubBits)*histSub
+)
+
+// Histogram is a log-bucketed latency histogram: constant-time Record, ~3%
+// worst-case quantisation error at every magnitude, and lossless Merge. It is
+// the recorder the open-loop load harness uses — an open-loop run completes
+// millions of operations across many workers, so keeping raw samples (as
+// LatencyRecorder does) would cost memory proportional to the run length,
+// while a Histogram is a fixed ~15KB regardless of duration.
+//
+// Like LatencyRecorder, a Histogram is NOT safe for concurrent use: each
+// worker records into its own and the results are merged.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+// bucketOf maps a non-negative nanosecond value to its bucket index.
+func bucketOf(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // 2^e <= v < 2^(e+1), e >= histSubBits
+	m := int(v>>(uint(e)-histSubBits)) & (histSub - 1)
+	return histSub + (e-histSubBits)*histSub + m
+}
+
+// bucketUpper returns the largest value mapping to bucket b — the
+// conservative (never-understating) representative a latency quantile wants.
+func bucketUpper(b int) int64 {
+	if b < histSub {
+		return int64(b)
+	}
+	i := b - histSub
+	e := histSubBits + i/histSub
+	m := int64(i % histSub)
+	lower := (int64(histSub) + m) << (uint(e) - histSubBits)
+	return lower + (int64(1) << (uint(e) - histSubBits)) - 1
+}
+
+// Record adds one sample. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge adds all of other's samples. Merging histograms is lossless (bucket
+// counts add), which is what lets per-worker recorders combine without
+// degrading tail fidelity.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for b, c := range other.counts {
+		h.counts[b] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean returns the arithmetic mean of the recorded samples (exact — the sum
+// is kept outside the buckets).
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.total))
+}
+
+// AtRank returns the value of the rank-th smallest sample (1-based; rank is
+// clamped into [1, Count]). The result is the containing bucket's upper
+// bound, clamped to the exact observed maximum, so a quantile is never
+// under-reported and over-reporting is bounded by the bucket width (~3.1%).
+func (h *Histogram) AtRank(rank uint64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen uint64
+	for b, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketUpper(b)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) by nearest rank: Quantile(0.99)
+// is the smallest recorded value v such that at least 99% of samples are
+// ≤ v, up to bucket quantisation. Quantile(0) is the minimum, Quantile(1)
+// the maximum.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return time.Duration(h.min)
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	return h.AtRank(rank)
+}
+
+// String renders the headline quantiles compactly.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "no samples"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50=%v p99=%v p999=%v max=%v",
+		h.total, h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.Quantile(0.999).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+	return b.String()
+}

@@ -69,6 +69,12 @@ type Demux struct {
 	mu     sync.Mutex
 	closed bool
 
+	// routeBound, when positive, caps each route's overflow queue
+	// (shed-and-count; see SetRouteBound). sheds is shared by every route
+	// so counts survive route close and node rejoin.
+	routeBound int
+	sheds      atomic.Int64
+
 	done chan struct{}
 }
 
@@ -136,6 +142,30 @@ func (d *Demux) pump() {
 // Node returns the underlying physical node.
 func (d *Demux) Node() Node { return d.node }
 
+// SetRouteBound caps the overflow queue of every route opened AFTER the
+// call at n messages (on top of each route's fixed ring capacity); pushes
+// beyond the cap are shed and counted (Sheds). n <= 0 restores unbounded.
+// Existing routes keep their previous policy.
+//
+// A bounded route DROPS messages, including acknowledgements that would
+// have completed a quorum — the exact failure PR 3's starvation fix removed
+// — so it is safe only where the protocol already tolerates message loss
+// (the client retries or the operation's context expires) and is strictly
+// opt-in, for deployments that prefer bounded memory plus shed counters
+// over unbounded queueing under overload.
+func (d *Demux) SetRouteBound(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	d.routeBound = n
+}
+
+// Sheds returns the number of messages shed by bounded routes over the
+// demux's lifetime (0 unless SetRouteBound was used).
+func (d *Demux) Sheds() int64 { return d.sheds.Load() }
+
 // Route returns the virtual node for the given register key, creating it on
 // first use. Calling Route again with the same key returns the same virtual
 // node until that node is closed. After the demux (or physical node) closes,
@@ -189,10 +219,14 @@ var _ Node = (*demuxRoute)(nil)
 
 // newDemuxRoute builds a route and starts its forwarder.
 func newDemuxRoute(d *Demux, key string) *demuxRoute {
+	box := newHandoff()
+	if d.routeBound > 0 {
+		box = newBoundedHandoff(d.routeBound, &d.sheds)
+	}
 	rt := &demuxRoute{
 		demux: d,
 		key:   key,
-		box:   newHandoff(),
+		box:   box,
 		inbox: make(chan Message, d.buf),
 		done:  make(chan struct{}),
 	}

@@ -3,6 +3,7 @@ package transport
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"fastread/internal/shard"
 )
@@ -53,6 +54,9 @@ type Executor struct {
 	keyOf   KeyFunc
 	workers []*handoff
 	wg      sync.WaitGroup
+	// sheds counts messages dropped by bounded worker queues (see
+	// SetQueueBound); always 0 in the default unbounded configuration.
+	sheds atomic.Int64
 }
 
 // NewExecutor builds an executor over the node with the given number of
@@ -71,6 +75,31 @@ func NewExecutor(node Node, keyOf KeyFunc, workers int) *Executor {
 
 // Workers returns the number of key-shard workers.
 func (e *Executor) Workers() int { return len(e.workers) }
+
+// SetQueueBound caps each worker's overflow queue at n messages (on top of
+// the fixed per-worker ring): a dispatch that finds the target worker's ring
+// full AND its overflow at the cap is shed and counted (Sheds) instead of
+// queued, so a server's memory and queueing delay stay bounded under
+// overload. Shedding a REQUEST is safe — the client's quorum logic already
+// tolerates lost messages (retry or context expiry) — which is why the bound
+// lives here on the server ingress and not on client-side acks. n <= 0 (the
+// default) keeps the never-drop spill of PR 3/PR 5.
+//
+// Must be called before Run/RunCoalescing. Note the single-worker
+// degenerate path (workers == 1) bypasses the worker queues entirely —
+// bound the node's own mailbox instead there (inmem WithMailboxBound).
+func (e *Executor) SetQueueBound(n int) {
+	if n <= 0 {
+		return
+	}
+	for _, h := range e.workers {
+		h.spill.bound = n
+		h.spill.shed = &e.sheds
+	}
+}
+
+// Sheds returns the number of messages shed by bounded worker queues.
+func (e *Executor) Sheds() int64 { return e.sheds.Load() }
 
 // Run dispatches the node's inbox across the workers and blocks until the
 // node is closed AND every worker has drained its mailbox, so a caller that

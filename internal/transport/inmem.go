@@ -56,6 +56,20 @@ func WithMailboxObserver(fn func(Message)) InMemOption {
 	return func(n *InMemNetwork) { n.observer = fn }
 }
 
+// WithMailboxBound caps every SERVER node's mailbox at n queued messages:
+// a delivery finding the mailbox full is shed (dropped-in-transit, counted
+// in MailboxShed and the network's drop counter) instead of growing the
+// queue, so a server's memory and queueing delay — and therefore
+// MailboxHighWater — stay bounded under overload. Client (writer/reader)
+// mailboxes stay unbounded: dropping acknowledgements there can starve an
+// otherwise-completable quorum. Shedding a REQUEST is safe for the same
+// reason a lossy network is: the protocols tolerate loss via quorum slack
+// and the client's retry/timeout. n <= 0 (the default) keeps every mailbox
+// unbounded.
+func WithMailboxBound(n int) InMemOption {
+	return func(nw *InMemNetwork) { nw.mailboxBound = n }
+}
+
 // WithClock runs the network on a virtual clock (simulation mode). Every
 // delivery — including zero-delay ones — becomes a scheduled clock event, so
 // messages are processed strictly one at a time in (due time, send sequence)
@@ -151,6 +165,8 @@ type InMemNetwork struct {
 	rng          *rand.Rand
 	observer     func(Message)
 	batching     bool
+	mailboxBound int
+	mailboxShed  atomic.Int64
 	wg           sync.WaitGroup
 
 	// Delayed deliveries are sequenced through one min-heap ordered by
@@ -311,10 +327,14 @@ func (n *InMemNetwork) Join(id types.ProcessID) (Node, error) {
 		delete(n.downed, id)
 		n.updateSlowLocked()
 	}
+	box := newMailbox()
+	if n.mailboxBound > 0 && id.Role == types.RoleServer {
+		box = newBoundedMailbox(n.mailboxBound, &n.mailboxShed)
+	}
 	node := &inMemNode{
 		id:    id,
 		net:   n,
-		box:   newMailbox(),
+		box:   box,
 		inbox: make(chan Message),
 	}
 	node.startPump()
@@ -785,8 +805,10 @@ func (nd *inMemNode) virtualClock() *VirtualClock { return nd.net.clock }
 
 // MailboxHighWater returns the deepest any node's mailbox has ever been —
 // the network-wide overload high-water mark. Mailboxes are unbounded by
-// design (the asynchronous model forbids blocking a sender on a slow
-// receiver), so depth, not drops, is where overload shows up.
+// default (the asynchronous model forbids blocking a sender on a slow
+// receiver), so without WithMailboxBound depth, not drops, is where
+// overload shows up; with a bound, the mark stays at or under the bound and
+// the overflow appears in MailboxShed instead.
 func (n *InMemNetwork) MailboxHighWater() int {
 	hw := 0
 	for _, nd := range *n.nodes.Load() {
@@ -796,3 +818,7 @@ func (n *InMemNetwork) MailboxHighWater() int {
 	}
 	return hw
 }
+
+// MailboxShed returns how many deliveries bounded server mailboxes have
+// shed (always 0 without WithMailboxBound).
+func (n *InMemNetwork) MailboxShed() int64 { return n.mailboxShed.Load() }

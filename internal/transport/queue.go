@@ -1,6 +1,9 @@
 package transport
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // maxRetainedBatch bounds the capacity of the batch buffer a drain loop
 // recycles between popAll calls. A burst can grow a batch arbitrarily; once
@@ -29,20 +32,51 @@ type mailbox struct {
 	// honest signal (one comparison per push) and is surfaced through
 	// Store.Stats as MailboxHighWater.
 	hw int
+
+	// bound, when positive, caps the queue depth: a push that would exceed
+	// it is rejected and counted into shed instead of growing the queue.
+	// The asynchronous model's "senders never block" rule is preserved —
+	// an over-bound push returns immediately; the message is simply lost,
+	// exactly as a lossy network would lose it, and the protocols already
+	// tolerate loss via quorum slack. A bounded mailbox therefore also
+	// bounds its own high-water mark. Zero means unbounded (the default
+	// everywhere; overload control is strictly opt-in because a bound on a
+	// CLIENT-side queue can drop quorum-completing acks — see the demux
+	// route-starvation history in PR 3/PR 5).
+	bound int
+	shed  *atomic.Int64
 }
 
-// newMailbox returns an empty, open mailbox.
+// newMailbox returns an empty, open, unbounded mailbox.
 func newMailbox() *mailbox {
 	m := &mailbox{}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
-// push appends a message. It reports false if the mailbox is already closed.
+// newBoundedMailbox returns a mailbox that sheds pushes beyond bound queued
+// messages, counting each shed into sink. A non-positive bound is unbounded.
+func newBoundedMailbox(bound int, sink *atomic.Int64) *mailbox {
+	m := newMailbox()
+	m.bound = bound
+	m.shed = sink
+	return m
+}
+
+// push appends a message. It reports false if the mailbox is already closed,
+// or if the mailbox is bounded and full (the shed is counted; the caller
+// releases any resources it pinned for the message, mirroring a closed-box
+// rejection).
 func (m *mailbox) push(msg Message) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
+		return false
+	}
+	if m.bound > 0 && len(m.items) >= m.bound {
+		if m.shed != nil {
+			m.shed.Add(1)
+		}
 		return false
 	}
 	m.items = append(m.items, msg)

@@ -125,6 +125,17 @@ func newHandoff() *handoff {
 	}
 }
 
+// newBoundedHandoff is newHandoff with a capped overflow queue: once the
+// ring is full AND the spill holds bound messages, further pushes are shed
+// and counted into sink (total queued capacity is therefore ringCapacity +
+// bound). A non-positive bound is unbounded.
+func newBoundedHandoff(bound int, sink *atomic.Int64) *handoff {
+	h := newHandoff()
+	h.spill.bound = bound
+	h.spill.shed = sink
+	return h
+}
+
 // wake kicks the consumer if it is (or is about to start) blocking.
 func (h *handoff) wake() {
 	select {
@@ -152,6 +163,17 @@ func (h *handoff) push(m Message) bool {
 	h.spill.mu.Lock()
 	if h.spill.closed {
 		h.spill.mu.Unlock()
+		return false
+	}
+	if h.spill.bound > 0 && len(h.spill.items) >= h.spill.bound {
+		// Bounded handoff at capacity: shed-and-count, without activating
+		// the spill path (the queue's content is unchanged). The caller
+		// treats the rejection exactly like a closed-handoff drop and
+		// releases whatever the message pinned.
+		h.spill.mu.Unlock()
+		if h.spill.shed != nil {
+			h.spill.shed.Add(1)
+		}
 		return false
 	}
 	h.spilling.Store(true)

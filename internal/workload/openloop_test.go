@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastread/internal/protoutil"
+)
+
+// instantClient completes every operation immediately.
+func instantClient(writes, reads *atomic.Int64) OpenLoopClient {
+	noop := func(context.Context) error { return nil }
+	return OpenLoopClient{
+		SubmitWrite: func(ctx context.Context, key int, seq int64) (func(context.Context) error, error) {
+			writes.Add(1)
+			return noop, nil
+		},
+		SubmitRead: func(ctx context.Context, key int) (func(context.Context) error, error) {
+			reads.Add(1)
+			return noop, nil
+		},
+	}
+}
+
+func TestOpenLoopExactAccounting(t *testing.T) {
+	var writes, reads atomic.Int64
+	cfg := OpenLoopConfig{
+		Rate:         2000,
+		Duration:     500 * time.Millisecond,
+		Seed:         1,
+		Keys:         8,
+		ZipfS:        1.0,
+		ReadFraction: 0.5,
+	}
+	res, err := RunOpenLoop(context.Background(), cfg, instantClient(&writes, &reads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if got := res.Completed + res.Overloaded + res.Timeouts + res.Failed + res.Overrun; got != res.Offered {
+		t.Fatalf("accounting leak: offered %d != classified %d (%+v)", res.Offered, got, res)
+	}
+	if res.Completed != writes.Load()+reads.Load() {
+		t.Fatalf("completed %d != submitted %d", res.Completed, writes.Load()+reads.Load())
+	}
+	if writes.Load() == 0 || reads.Load() == 0 {
+		t.Fatalf("mix not exercised: writes=%d reads=%d", writes.Load(), reads.Load())
+	}
+	if int64(res.Hist.Count()) != res.Completed {
+		t.Fatalf("histogram count %d != completed %d", res.Hist.Count(), res.Completed)
+	}
+	// Fixed-seed Poisson at 2000/s over 0.5s: ~1000 arrivals, loose CI bound.
+	if res.Offered < 700 || res.Offered > 1300 {
+		t.Fatalf("offered %d far from expected ~1000", res.Offered)
+	}
+}
+
+func TestOpenLoopFixedRateOfferedExact(t *testing.T) {
+	var writes, reads atomic.Int64
+	cfg := OpenLoopConfig{
+		Rate:         1000,
+		Duration:     300 * time.Millisecond,
+		Poisson:      false,
+		Seed:         2,
+		ReadFraction: 1,
+	}
+	res, err := RunOpenLoop(context.Background(), cfg, instantClient(&writes, &reads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed 1ms gaps over 300ms: exactly 299 arrivals fit strictly inside
+	// the window (the 300th lands exactly on the deadline boundary).
+	if res.Offered < 298 || res.Offered > 300 {
+		t.Fatalf("fixed-rate offered %d, want 299±1", res.Offered)
+	}
+}
+
+// TestOpenLoopCoordinatedOmission pins the whole point of the harness: a
+// server stall must charge latency to every operation scheduled during the
+// stall, not just the one that was in flight.
+func TestOpenLoopCoordinatedOmission(t *testing.T) {
+	var n atomic.Int64
+	client := OpenLoopClient{
+		SubmitRead: func(ctx context.Context, key int) (func(context.Context) error, error) {
+			if n.Add(1) == 1 {
+				// The first SUBMISSION stalls 200ms — modelling a saturated
+				// pipeline whose Acquire blocks. Everything scheduled behind
+				// it queues at the (single) worker with on-schedule intended
+				// timestamps.
+				time.Sleep(200 * time.Millisecond)
+			}
+			return func(context.Context) error { return nil }, nil
+		},
+	}
+	cfg := OpenLoopConfig{
+		Rate:         1000,
+		Duration:     400 * time.Millisecond,
+		Poisson:      false,
+		Seed:         3,
+		Keys:         1,
+		Workers:      1,
+		ReadFraction: 1,
+	}
+	res, err := RunOpenLoop(context.Background(), cfg, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~200 arrivals land during the stall. Each was intended at a 1ms
+	// spacing, so their recorded latencies ramp up toward 200ms: the p99
+	// must see the stall even though only ONE operation was actually slow.
+	if p99 := res.Hist.Quantile(0.99); p99 < 100*time.Millisecond {
+		t.Fatalf("p99 %v does not reflect the 200ms stall: coordinated omission", p99)
+	}
+	// A coordinated-omission-BROKEN recorder (submit-to-complete) would see
+	// one 200ms sample and ~n fast ones; the median should stay small either
+	// way, sanity-checking we didn't just record everything as slow.
+	if p50 := res.Hist.Quantile(0.50); p50 > 250*time.Millisecond {
+		t.Fatalf("p50 %v unexpectedly large", p50)
+	}
+}
+
+func TestOpenLoopClassification(t *testing.T) {
+	boom := errors.New("boom")
+	var n atomic.Int64
+	client := OpenLoopClient{
+		SubmitRead: func(ctx context.Context, key int) (func(context.Context) error, error) {
+			switch n.Add(1) % 3 {
+			case 0:
+				return nil, protoutil.ErrOverloaded
+			case 1:
+				return nil, boom
+			default:
+				return func(context.Context) error { return nil }, nil
+			}
+		},
+	}
+	cfg := OpenLoopConfig{
+		Rate:         3000,
+		Duration:     200 * time.Millisecond,
+		Poisson:      false,
+		Seed:         4,
+		ReadFraction: 1,
+	}
+	res, err := RunOpenLoop(context.Background(), cfg, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overloaded == 0 || res.Failed == 0 || res.Completed == 0 {
+		t.Fatalf("classification missing a bucket: %+v", res)
+	}
+	if got := res.Completed + res.Overloaded + res.Timeouts + res.Failed + res.Overrun; got != res.Offered {
+		t.Fatalf("accounting leak: offered %d != classified %d", res.Offered, got)
+	}
+}
+
+func TestOpenLoopTimeoutChargedFromIntendedStart(t *testing.T) {
+	client := OpenLoopClient{
+		SubmitRead: func(ctx context.Context, key int) (func(context.Context) error, error) {
+			return func(ctx context.Context) error {
+				<-ctx.Done() // never completes; the op deadline fires
+				return ctx.Err()
+			}, nil
+		},
+	}
+	cfg := OpenLoopConfig{
+		Rate:         200,
+		Duration:     200 * time.Millisecond,
+		Poisson:      false,
+		Seed:         5,
+		ReadFraction: 1,
+		OpTimeout:    50 * time.Millisecond,
+	}
+	start := time.Now()
+	res, err := RunOpenLoop(context.Background(), cfg, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeouts != res.Offered || res.Completed != 0 {
+		t.Fatalf("every op should time out: %+v", res)
+	}
+	// Deadlines are intended+50ms, so the whole run drains ~50ms after the
+	// window, not Offered×50ms serially.
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("timeouts did not overlap: run took %v", e)
+	}
+}
+
+func TestOpenLoopConfigValidation(t *testing.T) {
+	var w, r atomic.Int64
+	cases := []OpenLoopConfig{
+		{Rate: 0, Duration: time.Second},
+		{Rate: 100, Duration: 0},
+		{Rate: 100, Duration: time.Second, ReadFraction: 1.5},
+	}
+	for i, cfg := range cases {
+		if _, err := RunOpenLoop(context.Background(), cfg, instantClient(&w, &r)); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	// Missing submit hook for the requested mix.
+	if _, err := RunOpenLoop(context.Background(), OpenLoopConfig{Rate: 100, Duration: time.Second, ReadFraction: 0}, OpenLoopClient{}); err == nil {
+		t.Error("nil SubmitWrite accepted for a write mix")
+	}
+}
+
+func TestSweepAndKnee(t *testing.T) {
+	// An instant client is never the bottleneck, so every sweep point stays
+	// under any sane p99 limit and the knee is the last (highest) rate.
+	client := OpenLoopClient{
+		SubmitRead: func(ctx context.Context, key int) (func(context.Context) error, error) {
+			return func(context.Context) error { return nil }, nil
+		},
+	}
+	cfg := SweepConfig{
+		Base:         OpenLoopConfig{Poisson: false, Seed: 6, ReadFraction: 1},
+		Rates:        []float64{500, 1000, 2000},
+		StepDuration: 150 * time.Millisecond,
+	}
+	points, err := RunSweep(context.Background(), cfg, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].OfferedRate <= points[i-1].OfferedRate {
+			t.Fatalf("offered rates not increasing: %+v", points)
+		}
+	}
+	// The limit is generous on purpose: latency is charged from intended
+	// arrivals, so on a loaded CI box a single 10ms+ scheduler stall lands
+	// in a step's p99 even with an instant client. 250ms is unreachable
+	// without a real bottleneck but still rejects a pathological sweep.
+	idx, ok := Knee(points, 250*time.Millisecond)
+	if !ok || idx != 2 {
+		t.Fatalf("instant client: knee = %d ok=%v, want last point", idx, ok)
+	}
+	// With a 1ns threshold nothing qualifies.
+	if _, ok := Knee(points, 0); ok {
+		t.Fatal("zero threshold should find no knee")
+	}
+}
+
+func TestKneeRejectsSheddingPoints(t *testing.T) {
+	points := []CurvePoint{
+		{OfferedRate: 1000, Goodput: 1000, P99ms: 1},
+		{OfferedRate: 2000, Goodput: 1950, P99ms: 2},
+		// Shedding 60% of load: p99 over survivors looks fine, but this is
+		// not capacity and must not be the knee.
+		{OfferedRate: 4000, Goodput: 1600, P99ms: 2},
+	}
+	idx, ok := Knee(points, 10*time.Millisecond)
+	if !ok || idx != 1 {
+		t.Fatalf("knee = %d ok=%v, want index 1", idx, ok)
+	}
+}

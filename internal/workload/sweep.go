@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// SweepConfig walks offered load upward through Rates, running one open-loop
+// step per rate against the same client, and collects the
+// throughput-vs-quantile curve the knee finder consumes. Base carries every
+// per-step parameter except Rate and Duration.
+type SweepConfig struct {
+	Base         OpenLoopConfig
+	Rates        []float64     // offered rates to visit, ascending
+	StepDuration time.Duration // measured window per rate
+	Settle       time.Duration // optional pause between steps (lets queues drain)
+}
+
+// CurvePoint is one rate step of a sweep, JSON-shaped for BENCH_*.json.
+// Quantiles are in milliseconds (float) so the files diff readably.
+type CurvePoint struct {
+	OfferedRate float64 `json:"offered_rate"`
+	Goodput     float64 `json:"goodput"`
+	P50ms       float64 `json:"p50_ms"`
+	P99ms       float64 `json:"p99_ms"`
+	P999ms      float64 `json:"p999_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	Completed   int64   `json:"completed"`
+	Overloaded  int64   `json:"overloaded"`
+	Timeouts    int64   `json:"timeouts"`
+	Failed      int64   `json:"failed"`
+	Overrun     int64   `json:"overrun"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// PointOf condenses one open-loop result into its curve point.
+func PointOf(r OpenLoopResult) CurvePoint {
+	return CurvePoint{
+		OfferedRate: r.OfferedRate(),
+		Goodput:     r.Goodput(),
+		P50ms:       ms(r.Hist.Quantile(0.50)),
+		P99ms:       ms(r.Hist.Quantile(0.99)),
+		P999ms:      ms(r.Hist.Quantile(0.999)),
+		MaxMs:       ms(r.Hist.Max()),
+		Completed:   r.Completed,
+		Overloaded:  r.Overloaded,
+		Timeouts:    r.Timeouts,
+		Failed:      r.Failed,
+		Overrun:     r.Overrun,
+	}
+}
+
+// RunSweep visits each rate in order and returns one curve point per rate.
+// Cancelling ctx stops the sweep after the current step; the points gathered
+// so far are returned alongside the context error.
+func RunSweep(ctx context.Context, cfg SweepConfig, client OpenLoopClient) ([]CurvePoint, error) {
+	if len(cfg.Rates) == 0 {
+		return nil, fmt.Errorf("workload: sweep needs at least one rate")
+	}
+	if cfg.StepDuration <= 0 {
+		return nil, fmt.Errorf("workload: sweep step duration must be positive, got %v", cfg.StepDuration)
+	}
+	points := make([]CurvePoint, 0, len(cfg.Rates))
+	for _, rate := range cfg.Rates {
+		if ctx.Err() != nil {
+			return points, ctx.Err()
+		}
+		step := cfg.Base
+		step.Rate = rate
+		step.Duration = cfg.StepDuration
+		res, err := RunOpenLoop(ctx, step, client)
+		if err != nil {
+			return points, err
+		}
+		points = append(points, PointOf(res))
+		if cfg.Settle > 0 {
+			select {
+			case <-time.After(cfg.Settle):
+			case <-ctx.Done():
+				return points, ctx.Err()
+			}
+		}
+	}
+	return points, nil
+}
+
+// Knee returns the index of the last sweep point whose p99 stays at or under
+// p99Limit AND that actually absorbed its offered load (goodput within 10%
+// of offered — a point shedding most of its arrivals has a fine p99 over the
+// survivors, which is not capacity). Returns -1, false when even the first
+// point is over the limit.
+func Knee(points []CurvePoint, p99Limit time.Duration) (int, bool) {
+	limit := ms(p99Limit)
+	knee := -1
+	for i, p := range points {
+		if p.P99ms <= limit && p.Goodput >= 0.9*p.OfferedRate {
+			knee = i
+		}
+	}
+	return knee, knee >= 0
+}

@@ -1,0 +1,240 @@
+package fastread
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastread/internal/workload"
+)
+
+// openLoopClient adapts a set of Register handles to the open-loop
+// generator. The generator shards arrivals by key, so each handle only ever
+// sees one submitter at a time — the single-writer discipline the handles
+// require.
+func openLoopClient(regs []*Register) workload.OpenLoopClient {
+	writers := make([]Writer, len(regs))
+	readers := make([]Reader, len(regs))
+	for i, reg := range regs {
+		writers[i] = reg.Writer()
+		readers[i] = reg.Readers()[0]
+	}
+	return workload.OpenLoopClient{
+		SubmitWrite: func(ctx context.Context, key int, seq int64) (func(context.Context) error, error) {
+			wf, err := writers[key].WriteAsync(ctx, []byte(fmt.Sprintf("v%d", seq)))
+			if err != nil {
+				return nil, err
+			}
+			return wf.Result, nil
+		},
+		SubmitRead: func(ctx context.Context, key int) (func(context.Context) error, error) {
+			rf, err := readers[key].ReadAsync(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return func(ctx context.Context) error {
+				_, err := rf.Result(ctx)
+				return err
+			}, nil
+		},
+	}
+}
+
+func registerRange(t *testing.T, store *Store, n int) []*Register {
+	t.Helper()
+	regs := make([]*Register, n)
+	for i := range regs {
+		reg, err := store.Register(fmt.Sprintf("load-%03d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs[i] = reg
+	}
+	return regs
+}
+
+// TestOverloadAcceptance is the acceptance test of the overload-control PR:
+// sweep an in-memory deployment to find its knee, then drive it at 2× the
+// knee rate with bounded queues and admission control, and check that the
+// deployment degrades the way the ISSUE demands — server queues stay under
+// their bound, goodput holds at ≥70% of the swept peak, and every missing
+// operation is accounted for by an explicit shed/timeout/failure counter.
+func TestOverloadAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load sweep takes a few seconds")
+	}
+	const (
+		keys  = 4
+		bound = 128
+	)
+	// NetworkDelay makes the virtual round trip — not host CPU — the
+	// capacity bottleneck, so the knee lands in the same place on a loaded
+	// 1-CPU CI box as on a fast workstation. Capacity ≈ keys × depth/RTT =
+	// 4 × 2/4ms ≈ 2000 ops/s. AdmissionWait (500µs) is deliberately below
+	// the per-slot free gap (RTT/depth = 2ms) so that a saturated pipeline
+	// fails fast with ErrOverloaded instead of silently throttling the
+	// generator to the completion rate.
+	store, err := NewStore(Config{
+		Servers:       4,
+		Faulty:        1,
+		Readers:       1,
+		Protocol:      ProtocolFast,
+		ServerWorkers: 1,
+		PipelineDepth: 2,
+		NetworkDelay:  2 * time.Millisecond,
+		AdmissionWait: 500 * time.Microsecond,
+		QueueBound:    bound,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	client := openLoopClient(registerRange(t, store, keys))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	base := workload.OpenLoopConfig{
+		Duration:     400 * time.Millisecond,
+		Poisson:      true,
+		Seed:         42,
+		Keys:         keys,
+		ZipfS:        1.0,
+		ReadFraction: 0.5,
+		Workers:      keys,
+		OpTimeout:    2 * time.Second,
+	}
+	points, err := workload.RunSweep(ctx, workload.SweepConfig{
+		Base:         base,
+		Rates:        []float64{300, 600, 1200},
+		StepDuration: base.Duration,
+		Settle:       50 * time.Millisecond,
+	}, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knee, ok := workload.Knee(points, 100*time.Millisecond)
+	if !ok {
+		t.Fatalf("no knee under 100ms p99 in sweep: %+v", points)
+	}
+	var peak float64
+	for _, p := range points {
+		if p.Goodput > peak {
+			peak = p.Goodput
+		}
+	}
+	t.Logf("sweep: knee at %.0f ops/s (p99 %.2fms), peak goodput %.0f ops/s",
+		points[knee].OfferedRate, points[knee].P99ms, peak)
+
+	// 2× the knee: the deployment must shed, not collapse.
+	over := base
+	over.Rate = 2 * points[knee].OfferedRate
+	over.Duration = 600 * time.Millisecond
+	over.Seed = 43
+	res, err := workload.RunOpenLoop(ctx, over, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("2x knee (%.0f ops/s): completed=%d overloaded=%d timeouts=%d failed=%d overrun=%d goodput=%.0f",
+		over.Rate, res.Completed, res.Overloaded, res.Timeouts, res.Failed, res.Overrun, res.Goodput())
+
+	if got := res.Completed + res.Overloaded + res.Timeouts + res.Failed + res.Overrun; got != res.Offered {
+		t.Errorf("accounting leak: offered %d but classified %d", res.Offered, got)
+	}
+	if res.Overloaded == 0 {
+		t.Error("expected admission control to shed at 2x the knee, got 0 ErrOverloaded")
+	}
+	if res.Failed != 0 {
+		t.Errorf("unexpected hard failures under overload: %d", res.Failed)
+	}
+	if g := res.Goodput(); g < 0.7*peak {
+		t.Errorf("goodput collapsed under overload: %.0f ops/s < 70%% of peak %.0f", g, peak)
+	}
+	st := store.Stats()
+	if st.MailboxHighWater > bound {
+		t.Errorf("mailbox high water %d exceeds queue bound %d", st.MailboxHighWater, bound)
+	}
+}
+
+// TestOverloadShedDropsAccounted forces a server-side queue overflow and
+// checks the ShedDrops counter moves while every submitted operation still
+// resolves — either completing (its quorum formed from the copies that were
+// admitted) or failing its own deadline. Four writer handles burst
+// signature-verified writes at five bound-8 server mailboxes; verification
+// makes the drain genuinely slower than the arrival, so the overflow is not
+// a timing accident.
+func TestOverloadShedDropsAccounted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deadline drain takes a few seconds")
+	}
+	const (
+		keys     = 4
+		perKey   = 32
+		bound    = 8
+		deadline = 3 * time.Second
+	)
+	store, err := NewStore(Config{
+		Servers:       8,
+		Faulty:        1,
+		Malicious:     1,
+		Readers:       1,
+		Protocol:      ProtocolFastByzantine,
+		ServerWorkers: 1,
+		PipelineDepth: perKey,
+		QueueBound:    bound,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	regs := registerRange(t, store, keys)
+
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+
+	var (
+		wg        sync.WaitGroup
+		completed atomic.Int64
+		errored   atomic.Int64
+	)
+	for _, reg := range regs {
+		wg.Add(1)
+		go func(w Writer) {
+			defer wg.Done()
+			futures := make([]*WriteFuture, 0, perKey)
+			for i := 0; i < perKey; i++ {
+				wf, err := w.WriteAsync(ctx, []byte(fmt.Sprintf("burst-%d", i)))
+				if err != nil {
+					errored.Add(1)
+					continue
+				}
+				futures = append(futures, wf)
+			}
+			for _, wf := range futures {
+				if err := wf.Result(ctx); err != nil {
+					errored.Add(1)
+				} else {
+					completed.Add(1)
+				}
+			}
+		}(reg.Writer())
+	}
+	wg.Wait()
+
+	total := completed.Load() + errored.Load()
+	if total != keys*perKey {
+		t.Errorf("per-op accounting leak: %d submitted but %d resolved", keys*perKey, total)
+	}
+	if completed.Load() == 0 {
+		t.Error("overload wedged the deployment: no write completed at all")
+	}
+	st := store.Stats()
+	t.Logf("burst: completed=%d errored=%d shedDrops=%d highWater=%d",
+		completed.Load(), errored.Load(), st.ShedDrops, st.MailboxHighWater)
+	if st.ShedDrops == 0 {
+		t.Error("expected bounded server mailboxes to shed under the burst, got ShedDrops == 0")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fastread/internal/driver"
+	"fastread/internal/protoutil"
 )
 
 // Protocol selects which register implementation a Cluster runs.
@@ -115,6 +116,34 @@ type Config struct {
 	// span a limited nonce window. Serial Read/Write are the depth-one case
 	// and are unaffected by the setting.
 	PipelineDepth int
+	// AdmissionWait, when positive, turns the pipeline's at-depth blocking
+	// into admission control: a WriteAsync/ReadAsync (or serial Write/Read)
+	// that cannot get an in-flight slot within the budget fails fast with
+	// ErrOverloaded instead of queueing indefinitely. Under offered load
+	// beyond capacity this is what keeps client latency bounded — the
+	// excess is shed and counted rather than stacked into queues (see the
+	// "Latency under load" section of the README). Zero (the default)
+	// keeps the block-until-free behaviour.
+	AdmissionWait time.Duration
+	// QueueBound, when positive, caps each SERVER's inbound queues — the
+	// in-memory transport mailbox and every executor worker's overflow
+	// queue — at that many messages: deliveries beyond the cap are shed
+	// and counted in Stats.ShedDrops instead of growing the queue, so
+	// server memory, queueing delay and MailboxHighWater stay bounded
+	// under overload. Shedding a request is as safe as a lossy network:
+	// the protocols tolerate loss via quorum slack and client
+	// retry/timeout. Client-side queues are never bounded by this knob
+	// (dropping acknowledgements can starve a completable quorum). Zero
+	// (the default) keeps every queue unbounded.
+	QueueBound int
+	// RouteBound, when positive, additionally caps each client demux
+	// route's overflow queue (shed-and-count into Stats.ShedDrops). A
+	// bounded route can drop quorum-completing acknowledgements — the
+	// operation then waits for its context or AdmissionWait budget — so
+	// this is off by default and exists for deployments that must bound
+	// client-side memory too; most overload control wants QueueBound +
+	// AdmissionWait only.
+	RouteBound int
 	// DisableBatching turns off the in-memory transport's delivery batching
 	// (the node pumps' coalescing of consecutive same-sender messages into
 	// one wire.Batch handoff). Batching is on by default and is purely a
@@ -297,6 +326,12 @@ var (
 	ErrUnknownReader = errors.New("fastread: unknown reader index")
 	// ErrUnknownServer indicates a server index outside [1, S].
 	ErrUnknownServer = errors.New("fastread: unknown server index")
+	// ErrOverloaded indicates an operation was shed by admission control:
+	// the handle's pipeline stayed at depth past the Config.AdmissionWait
+	// budget, so the submission failed fast without consuming a slot or
+	// touching the wire. The caller may retry later; under sustained
+	// overload, backing off is the point. Match with errors.Is.
+	ErrOverloaded = protoutil.ErrOverloaded
 )
 
 // ReadResult is the outcome of a read operation.
@@ -420,16 +455,25 @@ type Stats struct {
 	// windows rejected as duplicates or stale replays; always zero on the
 	// other backends.
 	DedupDrops int
-	// MailboxHighWater is the deepest any process's unbounded inbound queue
-	// has ever been. The in-memory transport never drops on overload — the
-	// asynchronous model forbids blocking a sender — so sustained overload
-	// shows up here (and only here) as unbounded growth; a bench or
-	// simulation that ends with a high-water mark far above PipelineDepth ×
-	// clients was queueing, not keeping up. In-memory backend only; socket
+	// MailboxHighWater is the deepest any process's inbound queue has ever
+	// been. By default the in-memory transport never drops on overload —
+	// the asynchronous model forbids blocking a sender — so sustained
+	// overload shows up here as unbounded growth; a bench or simulation
+	// that ends with a high-water mark far above PipelineDepth × clients
+	// was queueing, not keeping up. With Config.QueueBound set, server
+	// mailboxes cap at the bound (so the mark stays at or under it) and
+	// the overflow moves to ShedDrops. In-memory backend only; socket
 	// backends report 0 (their bounded queues surface overload as
 	// SendDrops/InboundDrops instead).
 	MailboxHighWater int
-	ServerMutations  int64
+	// ShedDrops counts messages shed by the opt-in overload bounds —
+	// bounded server mailboxes and executor queues (Config.QueueBound) and
+	// bounded client routes (Config.RouteBound). Always 0 without those
+	// knobs. Together with client-side ErrOverloaded rejections (which the
+	// caller observes directly), this is the exact account of where
+	// offered load beyond capacity went.
+	ShedDrops       int64
+	ServerMutations int64
 	ReadRoundsPerOp  float64
 	WriteRoundsPerOp float64
 	// Durable aggregates every server's write-ahead-log counters across the
@@ -460,6 +504,9 @@ type GroupStats struct {
 	// backend only). See the same-named Stats fields.
 	SendDrops, InboundDrops, DedupDrops int
 	MailboxHighWater                    int
+	// ShedDrops counts messages shed by this group's opt-in overload
+	// bounds (Config.QueueBound / Config.RouteBound); see Stats.ShedDrops.
+	ShedDrops int64
 	// Durable aggregates the group's servers' write-ahead-log counters
 	// (zero when Config.DataDir is empty or the group is uninstantiated).
 	Durable DurableStats

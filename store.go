@@ -341,12 +341,15 @@ func (s *Store) startGroup(g *storeGroup) error {
 		return err
 	}
 	g.writerDemux = transport.NewDemux(wNode, protoutil.WireKeyFunc, 0)
+	g.writerDemux.SetRouteBound(s.cfg.RouteBound)
 	for i := 1; i <= s.cfg.Readers; i++ {
 		rNode, err := g.session.join(types.Reader(i))
 		if err != nil {
 			return err
 		}
-		g.readerDemuxes = append(g.readerDemuxes, transport.NewDemux(rNode, protoutil.WireKeyFunc, 0))
+		rd := transport.NewDemux(rNode, protoutil.WireKeyFunc, 0)
+		rd.SetRouteBound(s.cfg.RouteBound)
+		g.readerDemuxes = append(g.readerDemuxes, rd)
 	}
 	return nil
 }
@@ -362,11 +365,12 @@ func (s *Store) newGroupServer(g *storeGroup, i int, node transport.Node) (drive
 		return newByzantineServer(s.cfg, b, types.Server(i), node)
 	}
 	return s.drv.NewServer(driver.ServerConfig{
-		ID:       types.Server(i),
-		Quorum:   g.qcfg,
-		Verifier: g.keys.Verifier,
-		Workers:  s.cfg.ServerWorkers,
-		Durable:  s.durableOptions(g, i),
+		ID:         types.Server(i),
+		Quorum:     g.qcfg,
+		Verifier:   g.keys.Verifier,
+		Workers:    s.cfg.ServerWorkers,
+		QueueBound: s.cfg.QueueBound,
+		Durable:    s.durableOptions(g, i),
 	}, node)
 }
 
@@ -748,12 +752,27 @@ func (s *Store) Stats() Stats {
 			// process of any group has ever queued.
 			out.MailboxHighWater = ts.mailboxHighWater
 		}
+		// Shed accounting: bounded server mailboxes (transport session),
+		// bounded client routes (demuxes), bounded executor queues
+		// (servers, via the optional QueueSheds interface — drivers
+		// without shedding simply don't implement it).
+		gs.ShedDrops = ts.shedDrops
+		if g.writerDemux != nil {
+			gs.ShedDrops += g.writerDemux.Sheds()
+		}
+		for _, d := range g.readerDemuxes {
+			gs.ShedDrops += d.Sheds()
+		}
 		g.srvMu.Lock()
 		servers := append([]driver.Server(nil), g.servers...)
 		g.srvMu.Unlock()
 		for _, srv := range servers {
 			out.ServerMutations += srv.TotalMutations()
+			if qs, ok := srv.(interface{ QueueSheds() int64 }); ok {
+				gs.ShedDrops += qs.QueueSheds()
+			}
 		}
+		out.ShedDrops += gs.ShedDrops
 		var dur durable.Stats
 		for _, c := range g.durCounters {
 			dur.Add(c.Snapshot())
@@ -870,6 +889,17 @@ func (s *Store) mapHandleErr(err error) error {
 	return fmt.Errorf("%w: %v", ErrStoreClosed, err)
 }
 
+// admit applies the store's admission budget (Config.AdmissionWait) to an
+// operation's context. The pipeline reads the budget only when it is
+// already at depth, so the common unsaturated path costs one nil-comparison
+// here and nothing below.
+func (s *Store) admit(ctx context.Context) context.Context {
+	if s.cfg.AdmissionWait > 0 {
+		return protoutil.WithAdmissionWait(ctx, s.cfg.AdmissionWait)
+	}
+	return ctx
+}
+
 // writerHandle adapts a protocol driver's writer to the public Writer
 // interface, adding the store-closed fast path.
 type writerHandle struct {
@@ -886,7 +916,7 @@ func (w *writerHandle) Write(ctx context.Context, value []byte) error {
 	if w.store.closed.Load() {
 		return ErrStoreClosed
 	}
-	return w.store.mapHandleErr(w.w.Write(ctx, value))
+	return w.store.mapHandleErr(w.w.Write(w.store.admit(ctx), value))
 }
 
 // WriteAsync implements Writer.
@@ -894,7 +924,7 @@ func (w *writerHandle) WriteAsync(ctx context.Context, value []byte) (*WriteFutu
 	if w.store.closed.Load() {
 		return nil, ErrStoreClosed
 	}
-	f, err := w.w.WriteAsync(ctx, value)
+	f, err := w.w.WriteAsync(w.store.admit(ctx), value)
 	if err != nil {
 		return nil, w.store.mapHandleErr(err)
 	}
@@ -926,7 +956,7 @@ func (r *readerHandle) Read(ctx context.Context) (ReadResult, error) {
 	if r.store.closed.Load() {
 		return ReadResult{}, ErrStoreClosed
 	}
-	res, err := r.reader().Read(ctx)
+	res, err := r.reader().Read(r.store.admit(ctx))
 	if err != nil {
 		return ReadResult{}, r.store.mapHandleErr(err)
 	}
@@ -938,7 +968,7 @@ func (r *readerHandle) ReadAsync(ctx context.Context) (*ReadFuture, error) {
 	if r.store.closed.Load() {
 		return nil, ErrStoreClosed
 	}
-	f, err := r.reader().ReadAsync(ctx)
+	f, err := r.reader().ReadAsync(r.store.admit(ctx))
 	if err != nil {
 		return nil, r.store.mapHandleErr(err)
 	}

@@ -72,11 +72,15 @@ type sessionStats struct {
 	// discarded at full inboxes; dedupDrops datagrams rejected by the UDP
 	// at-most-once windows.
 	sendDrops, inboundDrops, dedupDrops int
-	// mailboxHighWater is the deepest any process's unbounded inbound queue
-	// has ever been (in-memory backend only; socket backends report 0 —
-	// their inbound queues are bounded and overflow shows up as
-	// inboundDrops instead).
+	// mailboxHighWater is the deepest any process's inbound queue has ever
+	// been (in-memory backend only; socket backends report 0 — their
+	// inbound queues are bounded and overflow shows up as inboundDrops
+	// instead).
 	mailboxHighWater int
+	// shedDrops counts deliveries shed by opt-in bounded server mailboxes
+	// (Config.QueueBound; in-memory backend — socket backends report their
+	// bounded-queue losses through the drop counters above).
+	shedDrops int64
 }
 
 // dropped sums every way the backend lost a message.
@@ -162,6 +166,9 @@ func (t *inMemTransport) connect(cfg Config) (transportSession, error) {
 	if cfg.Jitter > 0 {
 		opts = append(opts, transport.WithJitter(cfg.Jitter))
 	}
+	if cfg.QueueBound > 0 {
+		opts = append(opts, transport.WithMailboxBound(cfg.QueueBound))
+	}
 	opts = append(opts, t.opts...)
 	return &inMemSession{net: transport.NewInMemNetwork(opts...)}, nil
 }
@@ -190,6 +197,7 @@ func (s *inMemSession) stats() sessionStats {
 		frames:           ns.Delivered,
 		inboundDrops:     ns.Dropped,
 		mailboxHighWater: s.net.MailboxHighWater(),
+		shedDrops:        s.net.MailboxShed(),
 	}
 }
 
